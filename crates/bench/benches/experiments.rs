@@ -1,0 +1,57 @@
+//! The experiment harness bench target.
+//!
+//! Runs every experiment in the registry (or those matching filter
+//! arguments), prints the paper-claim tables, and archives JSON artifacts
+//! under `target/experiments/`.
+//!
+//! ```text
+//! cargo bench --bench experiments              # all experiments
+//! cargo bench --bench experiments -- exp_dc8   # just DC8
+//! cargo bench --bench experiments -- --quick   # scaled-down workloads
+//! ```
+
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let filters: Vec<&String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--") && !a.is_empty())
+        .collect();
+
+    let out_dir = std::path::Path::new("target").join("experiments");
+    let registry = bft_bench::registry();
+    let mut ran = 0usize;
+    let mut failed: Vec<String> = Vec::new();
+    let started = Instant::now();
+
+    println!("untrusted-txn experiment harness — {} experiments registered\n", registry.len());
+    for (id, title, runner) in registry {
+        if !filters.is_empty() && !filters.iter().any(|f| id.contains(f.as_str())) {
+            continue;
+        }
+        let t = Instant::now();
+        let result = runner(quick);
+        println!("{}", result.render());
+        println!("   ({:.2?})\n", t.elapsed());
+        if let Err(e) = result.write_json(&out_dir) {
+            eprintln!("   warning: could not write JSON artifact: {e}");
+        }
+        if !result.claim_holds {
+            failed.push(format!("{id} — {title}"));
+        }
+        ran += 1;
+    }
+
+    println!("ran {ran} experiments in {:.2?}", started.elapsed());
+    if failed.is_empty() {
+        println!("every claim shape reproduced ✓");
+    } else {
+        println!("claims NOT reproduced:");
+        for f in &failed {
+            println!("  ✗ {f}");
+        }
+        std::process::exit(1);
+    }
+}

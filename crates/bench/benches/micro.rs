@@ -1,0 +1,119 @@
+//! Criterion micro-benchmarks for the substrates: cryptography, the state
+//! machine, quorum certificate assembly, and the simulator's event loop.
+//!
+//! ```text
+//! cargo bench --bench micro
+//! ```
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+use bft_crypto::sign::PartyId;
+use bft_crypto::{hmac_sha256, sha256, KeyStore, ThresholdScheme, ThresholdSigner};
+use bft_state::StateMachine;
+use bft_types::{ClientId, Op, Request, SeqNum, Transaction};
+
+fn crypto_benches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("crypto");
+    let data_1k = vec![0xabu8; 1024];
+    g.throughput(Throughput::Bytes(1024));
+    g.bench_function("sha256_1k", |b| b.iter(|| sha256(std::hint::black_box(&data_1k))));
+    g.bench_function("hmac_1k", |b| {
+        b.iter(|| hmac_sha256(b"key-material-32-bytes-long......", std::hint::black_box(&data_1k)))
+    });
+    g.finish();
+
+    let store = KeyStore::new([7u8; 32]);
+    let signer = store.signer_for(PartyId::replica(0));
+    let msg = b"commit v3 s1932 digest=...";
+    let sig = signer.sign(msg);
+    let mut g = c.benchmark_group("signatures");
+    g.bench_function("sign", |b| b.iter(|| signer.sign(std::hint::black_box(msg))));
+    g.bench_function("verify", |b| b.iter(|| store.verify(msg, std::hint::black_box(&sig))));
+    g.finish();
+
+    // threshold: combine a 2f+1 = 9 of n = 13 quorum
+    let signers: Vec<ThresholdSigner> = (0..13)
+        .map(|i| ThresholdSigner::new(store.signer_for(PartyId::replica(i))))
+        .collect();
+    let shares: Vec<_> = signers[..9].iter().map(|s| s.share(msg)).collect();
+    let scheme = ThresholdScheme::new(9);
+    let cert = scheme.combine(&store, msg, &shares).unwrap();
+    let mut g = c.benchmark_group("threshold");
+    g.bench_function("combine_9_of_13", |b| {
+        b.iter(|| scheme.combine(&store, msg, std::hint::black_box(&shares)).unwrap())
+    });
+    g.bench_function("verify_certificate", |b| {
+        b.iter(|| scheme.verify(&store, msg, std::hint::black_box(&cert)))
+    });
+    g.finish();
+}
+
+fn state_benches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("state-machine");
+    g.bench_function("execute_put", |b| {
+        b.iter_batched(
+            StateMachine::new,
+            |mut sm| {
+                for i in 1..=100u64 {
+                    let r = Request::new(
+                        ClientId(1),
+                        i,
+                        Transaction::single(Op::Put(i % 16, i as i64)),
+                    );
+                    sm.execute(SeqNum(i), &r);
+                }
+                sm
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("snapshot_100_keys", |b| {
+        let mut sm = StateMachine::new();
+        for i in 1..=100u64 {
+            let r = Request::new(ClientId(1), i, Transaction::single(Op::Put(i, i as i64)));
+            sm.execute(SeqNum(i), &r);
+        }
+        b.iter(|| std::hint::black_box(&sm).snapshot())
+    });
+    g.bench_function("speculate_and_rollback_50", |b| {
+        b.iter_batched(
+            || {
+                let mut sm = StateMachine::new();
+                let r = Request::new(ClientId(1), 1, Transaction::single(Op::Put(0, 1)));
+                sm.execute(SeqNum(1), &r);
+                sm
+            },
+            |mut sm| {
+                for i in 2..=51u64 {
+                    let r = Request::new(
+                        ClientId(2),
+                        i,
+                        Transaction::single(Op::Add(i % 8, 1)),
+                    );
+                    sm.execute_speculative(SeqNum(i), &r);
+                }
+                sm.rollback_to(SeqNum(2));
+                sm
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn sim_benches(c: &mut Criterion) {
+    use bft_protocols::pbft::{self, PbftOptions};
+    use bft_protocols::Scenario;
+    let mut g = c.benchmark_group("simulation");
+    g.sample_size(10);
+    g.bench_function("pbft_50_requests_end_to_end", |b| {
+        b.iter(|| {
+            let s = Scenario::small(1).with_load(1, 50);
+            pbft::run(std::hint::black_box(&s), &PbftOptions::default())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, crypto_benches, state_benches, sim_benches);
+criterion_main!(benches);

@@ -1,0 +1,9 @@
+//! The experiment implementations, grouped by paper section.
+
+pub mod ablations;
+pub mod choices;
+pub mod environment;
+pub mod figures;
+pub mod qos;
+pub mod structure;
+pub(crate) mod util;

@@ -1,0 +1,179 @@
+//! Experiment result tables: formatting and JSON archival.
+
+use serde::Serialize;
+
+/// One table row: label + column values (already formatted).
+#[derive(Debug, Clone, Serialize)]
+pub struct Row {
+    /// Row label (e.g. protocol name or parameter value).
+    pub label: String,
+    /// Column values, aligned with [`ExperimentResult::columns`].
+    pub values: Vec<String>,
+}
+
+impl Row {
+    /// Build a row.
+    pub fn new(label: impl Into<String>, values: Vec<String>) -> Row {
+        Row { label: label.into(), values }
+    }
+}
+
+/// The outcome of one experiment.
+#[derive(Debug, Clone, Serialize)]
+pub struct ExperimentResult {
+    /// Experiment id (`exp_dc8`, …).
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// The paper's claim being reproduced.
+    pub claim: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Row>,
+    /// Whether the measured shape matches the claim (verified
+    /// programmatically where feasible).
+    pub claim_holds: bool,
+    /// Free-form remarks (crossovers, caveats, substitutions).
+    pub notes: Vec<String>,
+}
+
+impl ExperimentResult {
+    /// Start a result.
+    pub fn new(
+        id: &str,
+        title: &str,
+        claim: &str,
+        columns: Vec<&str>,
+    ) -> ExperimentResult {
+        ExperimentResult {
+            id: id.to_string(),
+            title: title.to_string(),
+            claim: claim.to_string(),
+            columns: columns.into_iter().map(String::from).collect(),
+            rows: Vec::new(),
+            claim_holds: true,
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    pub fn row(&mut self, label: impl Into<String>, values: Vec<String>) -> &mut Self {
+        self.rows.push(Row::new(label, values));
+        self
+    }
+
+    /// Record a claim check (all must hold).
+    pub fn check(&mut self, holds: bool, note: &str) -> &mut Self {
+        self.claim_holds &= holds;
+        self.notes
+            .push(format!("{} {}", if holds { "✓" } else { "✗" }, note));
+        self
+    }
+
+    /// Add a remark.
+    pub fn note(&mut self, s: impl Into<String>) -> &mut Self {
+        self.notes.push(s.into());
+        self
+    }
+
+    /// Render as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("== {} — {}\n", self.id, self.title));
+        out.push_str(&format!("   claim: {}\n", self.claim));
+        // column widths
+        let label_w = self
+            .rows
+            .iter()
+            .map(|r| r.label.len())
+            .chain([8])
+            .max()
+            .unwrap_or(8);
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for r in &self.rows {
+            for (i, v) in r.values.iter().enumerate() {
+                if i < widths.len() {
+                    widths[i] = widths[i].max(v.len());
+                }
+            }
+        }
+        out.push_str(&format!("   {:<label_w$}", ""));
+        for (c, w) in self.columns.iter().zip(&widths) {
+            out.push_str(&format!("  {c:>w$}"));
+        }
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&format!("   {:<label_w$}", r.label));
+            for (v, w) in r.values.iter().zip(&widths) {
+                out.push_str(&format!("  {v:>w$}"));
+            }
+            out.push('\n');
+        }
+        for n in &self.notes {
+            out.push_str(&format!("   {n}\n"));
+        }
+        out.push_str(&format!(
+            "   result: {}\n",
+            if self.claim_holds { "CLAIM SHAPE REPRODUCED" } else { "CLAIM NOT REPRODUCED" }
+        ));
+        out
+    }
+
+    /// Write the JSON artifact under `dir`.
+    pub fn write_json(&self, dir: &std::path::Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.json", self.id));
+        std::fs::write(path, serde_json::to_string_pretty(self).expect("serializable"))
+    }
+}
+
+/// Shorthand formatters used across experiments.
+pub mod fmt {
+    /// Milliseconds with 3 decimals.
+    pub fn ms(ns: f64) -> String {
+        format!("{:.3}", ns / 1e6)
+    }
+
+    /// A float with one decimal.
+    pub fn f1(v: f64) -> String {
+        format!("{v:.1}")
+    }
+
+    /// A float with two decimals.
+    pub fn f2(v: f64) -> String {
+        format!("{v:.2}")
+    }
+
+    /// An integer-ish count.
+    pub fn n(v: impl Into<u64>) -> String {
+        v.into().to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns() {
+        let mut r = ExperimentResult::new("exp_x", "demo", "a beats b", vec!["thr", "lat"]);
+        r.row("protocol-a", vec!["100.0".into(), "1.0".into()]);
+        r.row("b", vec!["5".into(), "10.55".into()]);
+        r.check(true, "a > b");
+        let text = r.render();
+        assert!(text.contains("exp_x"));
+        assert!(text.contains("protocol-a"));
+        assert!(text.contains("CLAIM SHAPE REPRODUCED"));
+        assert!(r.claim_holds);
+    }
+
+    #[test]
+    fn failed_check_flips_outcome() {
+        let mut r = ExperimentResult::new("exp_y", "demo", "c", vec![]);
+        r.check(true, "first");
+        r.check(false, "second");
+        assert!(!r.claim_holds);
+        assert!(r.render().contains("CLAIM NOT REPRODUCED"));
+    }
+}

@@ -1,0 +1,1066 @@
+//! The fourteen design choices (§2.3 of the paper) and the protocol
+//! catalogue.
+//!
+//! Each design choice is a function mapping a valid [`ProtocolPoint`] to
+//! another valid point, exposing a trade-off between design-space
+//! dimensions. Preconditions come from the paper's prose; every function
+//! validates its output, and the property tests at the bottom check that
+//! the whole family maps valid points to valid points.
+//!
+//! The [`catalogue`] module places the named protocols the paper discusses
+//! into the space; the unit tests verify the paper's claimed relationships
+//! (e.g. *linearization* applied to a PBFT-like point lands on SBFT/HotStuff
+//! coordinates, *phase reduction through redundancy* lands on FaB, and so
+//! on).
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+
+use bft_types::{BftError, ReplicaFormula, Result, TimerKind};
+
+use crate::design::{
+    Assumption, AuthMode, ClientRoles, CommitmentStrategy, LeaderMode, MsgComplexity, Phase,
+    ProtocolPoint, QosFeatures, RecoveryMode, ReplyQuorum, TopologyKind,
+};
+
+/// The fourteen design choices, in paper order.
+///
+/// ```
+/// use bft_core::{catalogue, DesignChoice};
+///
+/// // Design choice 2: trade 2f extra replicas for one ordering phase.
+/// let fast = DesignChoice::PhaseReductionThroughRedundancy
+///     .apply(&catalogue::pbft_signed())
+///     .unwrap();
+/// assert_eq!(fast.good_case_phases(), 2);
+/// assert_eq!(fast.replicas, catalogue::fab().replicas); // lands on FaB
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DesignChoice {
+    /// DC1 — split a quadratic phase into two linear phases around a
+    /// collector; requires (threshold) signatures.
+    Linearization,
+    /// DC2 — trade replicas for phases: 3f+1 / 3 phases → 5f+1 / 2 phases.
+    PhaseReductionThroughRedundancy,
+    /// DC3 — replace the stable leader with (responsive) rotation; absorbs
+    /// view-change into ordering.
+    LeaderRotation,
+    /// DC4 — rotation without the extra phase, sacrificing responsiveness
+    /// (Δ-wait).
+    NonResponsiveLeaderRotation,
+    /// DC5 — run with 2f+1 active replicas, f passive (optimistic).
+    OptimisticReplicaReduction,
+    /// DC6 — optimistically skip the third phase when all 3f+1 sign
+    /// (SBFT's fast path).
+    OptimisticPhaseReduction,
+    /// DC7 — speculative variant of DC6 with a 2f+1 certificate and
+    /// rollback (PoE).
+    SpeculativePhaseReduction,
+    /// DC8 — execute straight from the leader's order; clients repair
+    /// (Zyzzyva).
+    SpeculativeExecution,
+    /// DC9 — drop ordering entirely for conflict-free workloads (Q/U).
+    OptimisticConflictFree,
+    /// DC10 — +2f replicas to tolerate f faults with the same fast
+    /// guarantees (Zyzzyva5).
+    Resilience,
+    /// DC11 — swap MACs for signatures (and signatures for threshold
+    /// signatures where a collector exists).
+    Authentication,
+    /// DC12 — add a preordering stage to bound adversarial-leader damage
+    /// (Prime).
+    Robust,
+    /// DC13 — add γ-fair preordering (Themis).
+    Fair,
+    /// DC14 — organize replicas in a tree for load balancing (Kauri).
+    TreeBasedLoadBalancer,
+}
+
+impl DesignChoice {
+    /// All design choices in paper order.
+    pub const ALL: [DesignChoice; 14] = [
+        DesignChoice::Linearization,
+        DesignChoice::PhaseReductionThroughRedundancy,
+        DesignChoice::LeaderRotation,
+        DesignChoice::NonResponsiveLeaderRotation,
+        DesignChoice::OptimisticReplicaReduction,
+        DesignChoice::OptimisticPhaseReduction,
+        DesignChoice::SpeculativePhaseReduction,
+        DesignChoice::SpeculativeExecution,
+        DesignChoice::OptimisticConflictFree,
+        DesignChoice::Resilience,
+        DesignChoice::Authentication,
+        DesignChoice::Robust,
+        DesignChoice::Fair,
+        DesignChoice::TreeBasedLoadBalancer,
+    ];
+
+    /// The paper's number for this choice (1–14).
+    pub fn number(&self) -> usize {
+        Self::ALL.iter().position(|c| c == self).unwrap() + 1
+    }
+
+    /// Apply the choice to a protocol point.
+    pub fn apply(&self, p: &ProtocolPoint) -> Result<ProtocolPoint> {
+        let out = match self {
+            DesignChoice::Linearization => linearization(p)?,
+            DesignChoice::PhaseReductionThroughRedundancy => phase_reduction(p)?,
+            DesignChoice::LeaderRotation => leader_rotation(p)?,
+            DesignChoice::NonResponsiveLeaderRotation => non_responsive_rotation(p)?,
+            DesignChoice::OptimisticReplicaReduction => optimistic_replica_reduction(p)?,
+            DesignChoice::OptimisticPhaseReduction => optimistic_phase_reduction(p)?,
+            DesignChoice::SpeculativePhaseReduction => speculative_phase_reduction(p)?,
+            DesignChoice::SpeculativeExecution => speculative_execution(p)?,
+            DesignChoice::OptimisticConflictFree => optimistic_conflict_free(p)?,
+            DesignChoice::Resilience => resilience(p)?,
+            DesignChoice::Authentication => authentication(p)?,
+            DesignChoice::Robust => robust(p)?,
+            DesignChoice::Fair => fair(p, 1000)?,
+            DesignChoice::TreeBasedLoadBalancer => tree_load_balancer(p, 2)?,
+        };
+        out.validate()?;
+        Ok(out)
+    }
+}
+
+fn precondition(cond: bool, msg: &str) -> Result<()> {
+    if cond {
+        Ok(())
+    } else {
+        Err(BftError::InvalidConfig(format!("design-choice precondition failed: {msg}")))
+    }
+}
+
+/// DC1 (*Linearization*): replace every quadratic (all-to-all) phase with
+/// two linear phases — all-to-collector, collector-to-all — and switch to
+/// threshold signatures so the collector's broadcast carries a constant-size
+/// certificate. Trade-off: message complexity O(n²) → O(n) per original
+/// phase, at the price of +1 phase each and signature CPU cost.
+pub fn linearization(p: &ProtocolPoint) -> Result<ProtocolPoint> {
+    precondition(
+        p.phases.iter().any(|ph| ph.complexity == MsgComplexity::Quadratic),
+        "linearization needs at least one quadratic phase",
+    )?;
+    let mut out = p.clone();
+    out.name = format!("Linearized-{}", p.name);
+    let mut phases = Vec::new();
+    for ph in &p.phases {
+        if ph.complexity == MsgComplexity::Quadratic {
+            phases.push(Phase::linear(&format!("{}-collect", ph.name)));
+            phases.push(Phase::linear(&format!("{}-certify", ph.name)));
+        } else {
+            phases.push(ph.clone());
+        }
+    }
+    out.phases = phases;
+    out.auth = AuthMode::Threshold;
+    out.topology = TopologyKind::Star;
+    Ok(out)
+}
+
+/// DC2 (*Phase reduction through redundancy*): a 3-phase protocol on 3f+1
+/// replicas becomes a 2-phase protocol on 5f+1 replicas with 4f+1 quorums
+/// (FaB). Trade-off: one fewer phase (lower latency) for 2f more replicas.
+pub fn phase_reduction(p: &ProtocolPoint) -> Result<ProtocolPoint> {
+    precondition(
+        matches!(p.replicas, ReplicaFormula::Classic),
+        "phase reduction starts from a 3f+1 protocol",
+    )?;
+    precondition(p.good_case_phases() == 3, "phase reduction starts from a 3-phase protocol")?;
+    let mut out = p.clone();
+    out.name = format!("Fast-{}", p.name);
+    out.replicas = ReplicaFormula::Fast;
+    // drop the middle phase: propose + one agreement round remain
+    let last = p.phases.last().expect("3 phases").clone();
+    out.phases = vec![p.phases[0].clone(), last];
+    Ok(out)
+}
+
+/// DC3 (*Leader rotation*): replace the stable leader with responsive
+/// rotation. Eliminates the view-change stage; adds one quadratic phase (or
+/// two linear phases, when the protocol is collector-based) to ordering so
+/// each new leader learns the state. Trade-off: no expensive view-change
+/// routine and better load balance, but a longer pipeline per decision.
+pub fn leader_rotation(p: &ProtocolPoint) -> Result<ProtocolPoint> {
+    precondition(matches!(p.leader, LeaderMode::Stable), "rotation starts from a stable leader")?;
+    let mut out = p.clone();
+    out.name = format!("Rotating-{}", p.name);
+    out.leader = LeaderMode::Rotating { responsive: true };
+    out.view_change_stage = false;
+    let all_linear = p.phases.iter().all(|ph| ph.complexity == MsgComplexity::Linear);
+    if all_linear {
+        out.phases.push(Phase::linear("handover-collect"));
+        out.phases.push(Phase::linear("handover-certify"));
+    } else {
+        out.phases.push(Phase::quadratic("handover"));
+    }
+    out.timers.insert(TimerKind::T5ViewSync);
+    out.qos.load_balancing = true;
+    Ok(out)
+}
+
+/// DC4 (*Non-responsive leader rotation*): rotation without the extra
+/// ordering phase — the new leader instead waits the known bound Δ (timer
+/// τ5) before proposing, sacrificing responsiveness (Tendermint, Casper).
+pub fn non_responsive_rotation(p: &ProtocolPoint) -> Result<ProtocolPoint> {
+    precondition(matches!(p.leader, LeaderMode::Stable), "rotation starts from a stable leader")?;
+    let mut out = p.clone();
+    out.name = format!("NonResponsiveRotating-{}", p.name);
+    out.leader = LeaderMode::Rotating { responsive: false };
+    out.view_change_stage = false;
+    out.responsive = false;
+    out.timers.insert(TimerKind::T5ViewSync);
+    out.qos.load_balancing = true;
+    Ok(out)
+}
+
+/// DC5 (*Optimistic replica reduction*): involve only 2f+1 (assumed
+/// non-faulty) active replicas in ordering; the remaining f stay passive
+/// until an active replica fails (CheapBFT). `n` stays 3f+1.
+pub fn optimistic_replica_reduction(p: &ProtocolPoint) -> Result<ProtocolPoint> {
+    precondition(
+        matches!(p.replicas, ReplicaFormula::Classic),
+        "replica reduction starts from a 3f+1 protocol",
+    )?;
+    let mut out = p.clone();
+    out.name = format!("Cheap-{}", p.name);
+    let mut assumptions = p.strategy.assumptions();
+    assumptions.insert(Assumption::A2BackupsCorrect);
+    out.strategy = CommitmentStrategy::OptimisticNonSpeculative { assumptions };
+    out.timers.insert(TimerKind::T3BackupFailure);
+    Ok(out)
+}
+
+/// DC6 (*Optimistic phase reduction*): in a linear (collector-based)
+/// protocol, the collector waits for signatures from **all** 3f+1 replicas;
+/// if they arrive, the third phase is skipped and replicas commit directly.
+/// Timer τ3 triggers the slow path (SBFT).
+pub fn optimistic_phase_reduction(p: &ProtocolPoint) -> Result<ProtocolPoint> {
+    precondition(
+        p.phases.iter().all(|ph| ph.complexity == MsgComplexity::Linear),
+        "optimistic phase reduction needs a linear protocol",
+    )?;
+    precondition(p.good_case_phases() >= 5, "needs at least five linear phases to elide two")?;
+    let mut out = p.clone();
+    out.name = format!("FastPath-{}", p.name);
+    out.phases.truncate(p.phases.len() - 2);
+    let mut assumptions = p.strategy.assumptions();
+    assumptions.insert(Assumption::A1LeaderCorrect);
+    assumptions.insert(Assumption::A2BackupsCorrect);
+    out.strategy = CommitmentStrategy::OptimisticNonSpeculative { assumptions };
+    out.timers.insert(TimerKind::T3BackupFailure);
+    Ok(out)
+}
+
+/// DC7 (*Speculative phase reduction*): like DC6 but the collector waits for
+/// only 2f+1 signatures, and replicas execute **speculatively** on the
+/// certificate; if fewer than f+1 correct replicas saw it, the execution
+/// rolls back during view-change (PoE).
+pub fn speculative_phase_reduction(p: &ProtocolPoint) -> Result<ProtocolPoint> {
+    precondition(
+        p.phases.iter().all(|ph| ph.complexity == MsgComplexity::Linear),
+        "speculative phase reduction needs a linear protocol",
+    )?;
+    precondition(p.good_case_phases() >= 5, "needs at least five linear phases to elide two")?;
+    let mut out = p.clone();
+    out.name = format!("Speculative-{}", p.name);
+    out.phases.truncate(p.phases.len() - 2);
+    let mut assumptions = p.strategy.assumptions();
+    assumptions.insert(Assumption::A2BackupsCorrect);
+    out.strategy = CommitmentStrategy::OptimisticSpeculative { assumptions };
+    out.clients.reply_quorum = ReplyQuorum::Quorum;
+    out.timers.insert(TimerKind::T2ViewChange);
+    Ok(out)
+}
+
+/// DC8 (*Speculative execution*): eliminate the prepare and commit phases
+/// entirely; replicas execute straight from the leader's order and clients
+/// detect disagreement (3f+1 matching replies, timer τ1) and repair
+/// (Zyzzyva).
+pub fn speculative_execution(p: &ProtocolPoint) -> Result<ProtocolPoint> {
+    precondition(p.good_case_phases() == 3, "speculative execution starts from a 3-phase protocol")?;
+    let mut out = p.clone();
+    out.name = format!("SpecExec-{}", p.name);
+    out.phases = vec![p.phases[0].clone()];
+    out.strategy = CommitmentStrategy::OptimisticSpeculative {
+        assumptions: BTreeSet::from([
+            Assumption::A1LeaderCorrect,
+            Assumption::A2BackupsCorrect,
+        ]),
+    };
+    out.clients = ClientRoles { reply_quorum: ReplyQuorum::All, proposer: false, repairer: true };
+    out.timers.insert(TimerKind::T1WaitReplies);
+    Ok(out)
+}
+
+/// DC9 (*Optimistic conflict-free*): when concurrent requests touch
+/// disjoint data (assumption a4), no total order is needed at all — clients
+/// become proposers and replicas execute without communicating (Q/U).
+pub fn optimistic_conflict_free(p: &ProtocolPoint) -> Result<ProtocolPoint> {
+    let mut out = p.clone();
+    out.name = format!("ConflictFree-{}", p.name);
+    out.phases = Vec::new();
+    out.preordering = false;
+    out.strategy = CommitmentStrategy::OptimisticSpeculative {
+        assumptions: BTreeSet::from([
+            Assumption::A2BackupsCorrect,
+            Assumption::A4ConflictFree,
+            Assumption::A5ClientsHonest,
+        ]),
+    };
+    out.leader = LeaderMode::Leaderless;
+    out.view_change_stage = false;
+    out.clients = ClientRoles { reply_quorum: ReplyQuorum::Quorum, proposer: true, repairer: true };
+    // Q/U uses 5f+1 so inline repair retains quorum intersection.
+    out.replicas = ReplicaFormula::Fast;
+    out.qos.fairness_gamma_milli = None;
+    Ok(out)
+}
+
+/// DC10 (*Resilience*): add 2f replicas so an optimistic protocol keeps its
+/// fast-path guarantees while tolerating f actual faults (Zyzzyva →
+/// Zyzzyva5 with 5f+1, or 5f+1 → 7f+1).
+pub fn resilience(p: &ProtocolPoint) -> Result<ProtocolPoint> {
+    precondition(
+        p.strategy.is_optimistic(),
+        "resilience boosts optimistic protocols (pessimistic quorums already tolerate f)",
+    )?;
+    let mut out = p.clone();
+    out.name = format!("{}5", p.name);
+    out.replicas = match p.replicas {
+        ReplicaFormula::Classic => ReplicaFormula::Fast,
+        ReplicaFormula::Fast => ReplicaFormula::OneStep,
+        other => {
+            return Err(BftError::InvalidConfig(format!(
+                "resilience undefined for replica formula {}",
+                other.formula()
+            )))
+        }
+    };
+    Ok(out)
+}
+
+/// DC11 (*Authentication*): replace MACs with signatures (gaining
+/// non-repudiation, losing CPU); where a collector exists, replace quorums
+/// of signatures with a threshold signature.
+pub fn authentication(p: &ProtocolPoint) -> Result<ProtocolPoint> {
+    let mut out = p.clone();
+    match p.auth {
+        AuthMode::Mac => {
+            out.name = format!("Signed-{}", p.name);
+            out.auth = AuthMode::Signature;
+        }
+        AuthMode::Signature
+            if matches!(p.topology, TopologyKind::Star | TopologyKind::Tree { .. }) =>
+        {
+            out.name = format!("Threshold-{}", p.name);
+            out.auth = AuthMode::Threshold;
+        }
+        _ => {
+            return Err(BftError::InvalidConfig(
+                "authentication swap: already at the strongest applicable mode".into(),
+            ))
+        }
+    }
+    Ok(out)
+}
+
+/// DC12 (*Robust*): add a preordering stage — replicas locally order and
+/// acknowledge requests all-to-all and periodically exchange order vectors —
+/// bounding how much damage a malicious leader can do (Prime). Also yields
+/// partial fairness.
+pub fn robust(p: &ProtocolPoint) -> Result<ProtocolPoint> {
+    precondition(!p.preordering, "protocol already has a preordering stage")?;
+    let mut out = p.clone();
+    out.name = format!("Robust-{}", p.name);
+    out.preordering = true;
+    out.strategy = CommitmentStrategy::Robust;
+    out.timers.insert(TimerKind::T7Heartbeat);
+    Ok(out)
+}
+
+/// DC13 (*Fair*): add γ-fair preordering — clients broadcast to all
+/// replicas, replicas batch in receive order each round (timer τ6), and the
+/// leader merges batches respecting any order seen by a γ fraction. Requires
+/// n > 4f/(2γ−1) replicas.
+pub fn fair(p: &ProtocolPoint, gamma_milli: u32) -> Result<ProtocolPoint> {
+    precondition(!p.preordering, "protocol already has a preordering stage")?;
+    let mut out = p.clone();
+    out.name = format!("Fair-{}", p.name);
+    out.preordering = true;
+    out.replicas = ReplicaFormula::Fairness { gamma_milli };
+    out.qos.fairness_gamma_milli = Some(gamma_milli);
+    out.timers.insert(TimerKind::T6PreorderRound);
+    Ok(out)
+}
+
+/// DC14 (*Tree-based load balancer*): organize replicas in a fan-out tree
+/// rooted at the leader; each linear phase becomes h tree hops with uniform
+/// per-node load. Optimistically assumes internal nodes are correct
+/// (assumption a3); otherwise the tree is reconfigured (Kauri).
+pub fn tree_load_balancer(p: &ProtocolPoint, fanout: usize) -> Result<ProtocolPoint> {
+    precondition(
+        p.phases.iter().all(|ph| ph.complexity == MsgComplexity::Linear),
+        "tree load balancing applies to linear (collector-based) protocols",
+    )?;
+    precondition(fanout >= 2, "tree fan-out must be at least 2")?;
+    let mut out = p.clone();
+    out.name = format!("Tree-{}", p.name);
+    out.topology = TopologyKind::Tree { fanout };
+    for ph in &mut out.phases {
+        ph.complexity = MsgComplexity::TreeHops;
+    }
+    let mut assumptions = p.strategy.assumptions();
+    assumptions.insert(Assumption::A3InternalNodesCorrect);
+    out.strategy = CommitmentStrategy::OptimisticNonSpeculative { assumptions };
+    out.qos.load_balancing = true;
+    Ok(out)
+}
+
+/// The catalogue: named protocols from the paper placed in the design space.
+pub mod catalogue {
+    use super::*;
+
+    fn base_clients() -> ClientRoles {
+        ClientRoles { reply_quorum: ReplyQuorum::WeakCertificate, proposer: false, repairer: false }
+    }
+
+    /// PBFT (Castro & Liskov '99/'02) — the paper's driving example:
+    /// pessimistic, 3 phases (linear pre-prepare, quadratic prepare and
+    /// commit), stable leader, checkpointing, proactive recovery, MACs.
+    pub fn pbft() -> ProtocolPoint {
+        ProtocolPoint {
+            name: "PBFT".into(),
+            strategy: CommitmentStrategy::Pessimistic,
+            preordering: false,
+            phases: vec![
+                Phase::linear("pre-prepare"),
+                Phase::quadratic("prepare"),
+                Phase::quadratic("commit"),
+            ],
+            leader: LeaderMode::Stable,
+            view_change_stage: true,
+            checkpointing: true,
+            recovery: RecoveryMode::Proactive,
+            clients: base_clients(),
+            replicas: ReplicaFormula::Classic,
+            topology: TopologyKind::Clique,
+            auth: AuthMode::Mac,
+            responsive: true,
+            timers: BTreeSet::from([TimerKind::T2ViewChange, TimerKind::T8RecoveryWatchdog]),
+            qos: QosFeatures::default(),
+        }
+    }
+
+    /// PBFT with signatures instead of MACs (the Castro-Liskov '99 variant;
+    /// input to DC11 demonstrations).
+    pub fn pbft_signed() -> ProtocolPoint {
+        let mut p = pbft();
+        p.name = "PBFT-sig".into();
+        p.auth = AuthMode::Signature;
+        p
+    }
+
+    /// Zyzzyva (Kotla et al. '07): speculative execution, clients collect
+    /// 3f+1 matching replies or trigger repair.
+    pub fn zyzzyva() -> ProtocolPoint {
+        ProtocolPoint {
+            name: "Zyzzyva".into(),
+            strategy: CommitmentStrategy::OptimisticSpeculative {
+                assumptions: BTreeSet::from([
+                    Assumption::A1LeaderCorrect,
+                    Assumption::A2BackupsCorrect,
+                ]),
+            },
+            preordering: false,
+            phases: vec![Phase::linear("spec-order")],
+            leader: LeaderMode::Stable,
+            view_change_stage: true,
+            checkpointing: true,
+            recovery: RecoveryMode::None,
+            clients: ClientRoles {
+                reply_quorum: ReplyQuorum::All,
+                proposer: false,
+                repairer: true,
+            },
+            replicas: ReplicaFormula::Classic,
+            topology: TopologyKind::Clique,
+            auth: AuthMode::Mac,
+            responsive: false, // client waits a predefined time for all replies
+            timers: BTreeSet::from([TimerKind::T1WaitReplies, TimerKind::T2ViewChange]),
+            qos: QosFeatures::default(),
+        }
+    }
+
+    /// Zyzzyva5: the DC10 resilience variant with 5f+1 replicas.
+    pub fn zyzzyva5() -> ProtocolPoint {
+        let mut p = zyzzyva();
+        p.name = "Zyzzyva5".into();
+        p.replicas = ReplicaFormula::Fast;
+        p
+    }
+
+    /// SBFT (Gueta et al. '19): collector-based linear ordering with
+    /// threshold signatures; fast path waits for all 3f+1 shares (timer τ3),
+    /// slow path adds a second round.
+    pub fn sbft() -> ProtocolPoint {
+        ProtocolPoint {
+            name: "SBFT".into(),
+            strategy: CommitmentStrategy::OptimisticNonSpeculative {
+                assumptions: BTreeSet::from([
+                    Assumption::A1LeaderCorrect,
+                    Assumption::A2BackupsCorrect,
+                ]),
+            },
+            preordering: false,
+            phases: vec![
+                Phase::linear("pre-prepare"),
+                Phase::linear("sign-share"),
+                Phase::linear("full-commit-proof"),
+            ],
+            leader: LeaderMode::Stable,
+            view_change_stage: true,
+            checkpointing: true,
+            recovery: RecoveryMode::None,
+            clients: ClientRoles {
+                reply_quorum: ReplyQuorum::Single, // threshold-signed execution proof
+                proposer: false,
+                repairer: false,
+            },
+            replicas: ReplicaFormula::Classic,
+            topology: TopologyKind::Star,
+            auth: AuthMode::Threshold,
+            responsive: false, // collector waits a predefined time for all shares
+            timers: BTreeSet::from([TimerKind::T2ViewChange, TimerKind::T3BackupFailure]),
+            qos: QosFeatures::default(),
+        }
+    }
+
+    /// HotStuff (Yin et al. '19): rotating responsive leader, fully linear
+    /// phases with threshold-signed quorum certificates, Pacemaker view
+    /// synchronizer.
+    pub fn hotstuff() -> ProtocolPoint {
+        ProtocolPoint {
+            name: "HotStuff".into(),
+            strategy: CommitmentStrategy::Pessimistic,
+            preordering: false,
+            phases: vec![
+                Phase::linear("prepare"),
+                Phase::linear("prepare-vote"),
+                Phase::linear("pre-commit"),
+                Phase::linear("pre-commit-vote"),
+                Phase::linear("commit"),
+                Phase::linear("commit-vote"),
+                Phase::linear("decide"),
+            ],
+            leader: LeaderMode::Rotating { responsive: true },
+            view_change_stage: false,
+            checkpointing: true,
+            recovery: RecoveryMode::None,
+            clients: base_clients(),
+            replicas: ReplicaFormula::Classic,
+            topology: TopologyKind::Star,
+            auth: AuthMode::Threshold,
+            responsive: true,
+            timers: BTreeSet::from([TimerKind::T5ViewSync]),
+            qos: QosFeatures { fairness_gamma_milli: None, load_balancing: true },
+        }
+    }
+
+    /// Tendermint (Buchman/Kwon): rotating leader without an extra phase —
+    /// the new leader waits Δ (τ5) — quadratic vote rounds with quorum
+    /// timers (τ4).
+    pub fn tendermint() -> ProtocolPoint {
+        ProtocolPoint {
+            name: "Tendermint".into(),
+            strategy: CommitmentStrategy::Pessimistic,
+            preordering: false,
+            phases: vec![
+                Phase::linear("propose"),
+                Phase::quadratic("prevote"),
+                Phase::quadratic("precommit"),
+            ],
+            leader: LeaderMode::Rotating { responsive: false },
+            view_change_stage: false,
+            checkpointing: true,
+            recovery: RecoveryMode::None,
+            clients: base_clients(),
+            replicas: ReplicaFormula::Classic,
+            topology: TopologyKind::Clique,
+            auth: AuthMode::Signature,
+            responsive: false,
+            timers: BTreeSet::from([TimerKind::T4QuorumConstruction, TimerKind::T5ViewSync]),
+            qos: QosFeatures { fairness_gamma_milli: None, load_balancing: true },
+        }
+    }
+
+    /// PoE (Gupta et al. '21): speculative phase reduction — 2f+1 threshold
+    /// certificate, speculative execution, rollback via view-change.
+    pub fn poe() -> ProtocolPoint {
+        ProtocolPoint {
+            name: "PoE".into(),
+            strategy: CommitmentStrategy::OptimisticSpeculative {
+                assumptions: BTreeSet::from([Assumption::A2BackupsCorrect]),
+            },
+            preordering: false,
+            phases: vec![
+                Phase::linear("propose"),
+                Phase::linear("support"),
+                Phase::linear("certify"),
+            ],
+            leader: LeaderMode::Stable,
+            view_change_stage: true,
+            checkpointing: true,
+            recovery: RecoveryMode::None,
+            clients: ClientRoles {
+                reply_quorum: ReplyQuorum::Quorum,
+                proposer: false,
+                repairer: false,
+            },
+            replicas: ReplicaFormula::Classic,
+            topology: TopologyKind::Star,
+            auth: AuthMode::Threshold,
+            responsive: true,
+            timers: BTreeSet::from([TimerKind::T2ViewChange]),
+            qos: QosFeatures::default(),
+        }
+    }
+
+    /// CheapBFT-style (Kapitza et al. '12): 2f+1 active replicas order and
+    /// execute optimistically; f passive replicas join on fault (here
+    /// without the trusted-hardware counter, which `minbft()` models).
+    pub fn cheapbft() -> ProtocolPoint {
+        ProtocolPoint {
+            name: "CheapBFT".into(),
+            strategy: CommitmentStrategy::OptimisticNonSpeculative {
+                assumptions: BTreeSet::from([Assumption::A2BackupsCorrect]),
+            },
+            preordering: false,
+            phases: vec![
+                Phase::linear("pre-prepare"),
+                Phase::quadratic("prepare"),
+                Phase::quadratic("commit"),
+            ],
+            leader: LeaderMode::Stable,
+            view_change_stage: true,
+            checkpointing: true,
+            recovery: RecoveryMode::None,
+            clients: base_clients(),
+            replicas: ReplicaFormula::Classic,
+            topology: TopologyKind::Clique,
+            auth: AuthMode::Signature,
+            responsive: true,
+            timers: BTreeSet::from([TimerKind::T2ViewChange, TimerKind::T3BackupFailure]),
+            qos: QosFeatures::default(),
+        }
+    }
+
+    /// FaB (Martin & Alvisi '06): fast two-phase Byzantine consensus with
+    /// 5f+1 replicas and 4f+1 quorums.
+    pub fn fab() -> ProtocolPoint {
+        ProtocolPoint {
+            name: "FaB".into(),
+            strategy: CommitmentStrategy::Pessimistic,
+            preordering: false,
+            phases: vec![Phase::linear("propose"), Phase::quadratic("accept")],
+            leader: LeaderMode::Stable,
+            view_change_stage: true,
+            checkpointing: true,
+            recovery: RecoveryMode::None,
+            clients: base_clients(),
+            replicas: ReplicaFormula::Fast,
+            topology: TopologyKind::Clique,
+            auth: AuthMode::Signature,
+            responsive: true,
+            timers: BTreeSet::from([TimerKind::T2ViewChange]),
+            qos: QosFeatures::default(),
+        }
+    }
+
+    /// Prime-style robust protocol (Amir et al. '11): preordering with
+    /// all-to-all acknowledgment and vector exchange before a PBFT-like
+    /// ordering core; leader performance monitoring (τ7).
+    pub fn prime() -> ProtocolPoint {
+        ProtocolPoint {
+            name: "Prime".into(),
+            strategy: CommitmentStrategy::Robust,
+            preordering: true,
+            phases: vec![
+                Phase::linear("pre-prepare"),
+                Phase::quadratic("prepare"),
+                Phase::quadratic("commit"),
+            ],
+            leader: LeaderMode::Stable,
+            view_change_stage: true,
+            checkpointing: true,
+            recovery: RecoveryMode::None,
+            clients: base_clients(),
+            replicas: ReplicaFormula::Classic,
+            topology: TopologyKind::Clique,
+            auth: AuthMode::Signature,
+            responsive: true,
+            timers: BTreeSet::from([TimerKind::T2ViewChange, TimerKind::T7Heartbeat]),
+            qos: QosFeatures::default(),
+        }
+    }
+
+    /// Themis-style fair protocol (Kelkar et al. '22): γ-fair preordering
+    /// batches merged by the leader; n > 4f/(2γ−1).
+    pub fn themis() -> ProtocolPoint {
+        ProtocolPoint {
+            name: "Themis".into(),
+            strategy: CommitmentStrategy::Pessimistic,
+            preordering: true,
+            phases: vec![
+                Phase::linear("pre-prepare"),
+                Phase::quadratic("prepare"),
+                Phase::quadratic("commit"),
+            ],
+            leader: LeaderMode::Stable,
+            view_change_stage: true,
+            checkpointing: true,
+            recovery: RecoveryMode::None,
+            clients: base_clients(),
+            replicas: ReplicaFormula::Fairness { gamma_milli: 1000 },
+            topology: TopologyKind::Clique,
+            auth: AuthMode::Signature,
+            responsive: true,
+            timers: BTreeSet::from([TimerKind::T2ViewChange, TimerKind::T6PreorderRound]),
+            qos: QosFeatures { fairness_gamma_milli: Some(1000), load_balancing: false },
+        }
+    }
+
+    /// Kauri-style (Neiheiser et al. '21): HotStuff-like pipeline over a
+    /// fan-out tree; per-replica load is uniform; non-leaf faults force tree
+    /// reconfiguration (assumption a3).
+    pub fn kauri() -> ProtocolPoint {
+        ProtocolPoint {
+            name: "Kauri".into(),
+            strategy: CommitmentStrategy::OptimisticNonSpeculative {
+                assumptions: BTreeSet::from([Assumption::A3InternalNodesCorrect]),
+            },
+            preordering: false,
+            phases: vec![
+                Phase::new("disseminate", MsgComplexity::TreeHops),
+                Phase::new("aggregate", MsgComplexity::TreeHops),
+                Phase::new("commit-disseminate", MsgComplexity::TreeHops),
+                Phase::new("commit-aggregate", MsgComplexity::TreeHops),
+            ],
+            leader: LeaderMode::Rotating { responsive: true },
+            view_change_stage: false,
+            checkpointing: true,
+            recovery: RecoveryMode::None,
+            clients: base_clients(),
+            replicas: ReplicaFormula::Classic,
+            topology: TopologyKind::Tree { fanout: 2 },
+            auth: AuthMode::Threshold,
+            responsive: true,
+            timers: BTreeSet::from([TimerKind::T5ViewSync]),
+            qos: QosFeatures { fairness_gamma_milli: None, load_balancing: true },
+        }
+    }
+
+    /// Q/U-style (Abd-El-Malek et al. '05): conflict-free optimism — client
+    /// proposers, zero ordering phases, 5f+1 replicas, inline repair on
+    /// contention.
+    pub fn qu() -> ProtocolPoint {
+        ProtocolPoint {
+            name: "Q/U".into(),
+            strategy: CommitmentStrategy::OptimisticSpeculative {
+                assumptions: BTreeSet::from([
+                    Assumption::A2BackupsCorrect,
+                    Assumption::A4ConflictFree,
+                    Assumption::A5ClientsHonest,
+                ]),
+            },
+            preordering: false,
+            phases: Vec::new(),
+            leader: LeaderMode::Leaderless,
+            view_change_stage: false,
+            checkpointing: false,
+            recovery: RecoveryMode::None,
+            clients: ClientRoles {
+                reply_quorum: ReplyQuorum::Quorum,
+                proposer: true,
+                repairer: true,
+            },
+            replicas: ReplicaFormula::Fast,
+            topology: TopologyKind::Clique,
+            auth: AuthMode::Signature,
+            responsive: true,
+            timers: BTreeSet::new(),
+            qos: QosFeatures::default(),
+        }
+    }
+
+    /// MinBFT-style (Veronese et al. '13): trusted-hardware attested
+    /// counters restrict equivocation, enabling 2f+1 replicas and 2 phases.
+    pub fn minbft() -> ProtocolPoint {
+        ProtocolPoint {
+            name: "MinBFT".into(),
+            strategy: CommitmentStrategy::Pessimistic,
+            preordering: false,
+            phases: vec![Phase::linear("prepare"), Phase::quadratic("commit")],
+            leader: LeaderMode::Stable,
+            view_change_stage: true,
+            checkpointing: true,
+            recovery: RecoveryMode::None,
+            clients: base_clients(),
+            replicas: ReplicaFormula::TrustedHardware,
+            topology: TopologyKind::Clique,
+            auth: AuthMode::Signature,
+            responsive: true,
+            timers: BTreeSet::from([TimerKind::T2ViewChange]),
+            qos: QosFeatures::default(),
+        }
+    }
+
+    /// Chain-style (Aublin et al. '15, "700 BFT protocols"): a pipeline
+    /// topology where each replica forwards to its successor; optimistic,
+    /// aborts to a pessimistic backup on fault or timeout.
+    pub fn chain() -> ProtocolPoint {
+        ProtocolPoint {
+            name: "Chain".into(),
+            strategy: CommitmentStrategy::OptimisticNonSpeculative {
+                assumptions: BTreeSet::from([
+                    Assumption::A2BackupsCorrect,
+                    Assumption::A6Synchrony,
+                ]),
+            },
+            preordering: false,
+            phases: vec![Phase::new("pipeline", MsgComplexity::ChainHops)],
+            leader: LeaderMode::Stable,
+            view_change_stage: true,
+            checkpointing: false,
+            recovery: RecoveryMode::None,
+            clients: base_clients(),
+            replicas: ReplicaFormula::Classic,
+            topology: TopologyKind::Chain,
+            auth: AuthMode::Mac,
+            responsive: true,
+            timers: BTreeSet::from([TimerKind::T1WaitReplies, TimerKind::T2ViewChange]),
+            qos: QosFeatures::default(),
+        }
+    }
+
+    /// Every catalogue protocol.
+    pub fn all() -> Vec<ProtocolPoint> {
+        vec![
+            pbft(),
+            pbft_signed(),
+            zyzzyva(),
+            zyzzyva5(),
+            sbft(),
+            hotstuff(),
+            tendermint(),
+            poe(),
+            cheapbft(),
+            fab(),
+            prime(),
+            themis(),
+            kauri(),
+            qu(),
+            minbft(),
+            chain(),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numbers_match_paper_order() {
+        assert_eq!(DesignChoice::Linearization.number(), 1);
+        assert_eq!(DesignChoice::TreeBasedLoadBalancer.number(), 14);
+    }
+
+    #[test]
+    fn dc1_linearization_lands_on_sbft_coordinates() {
+        let out = linearization(&catalogue::pbft_signed()).unwrap();
+        out.validate().unwrap();
+        // 1 linear + 2×(2 linear) = 5 linear phases, star, threshold
+        assert_eq!(out.good_case_phases(), 5);
+        assert!(out.phases.iter().all(|p| p.complexity == MsgComplexity::Linear));
+        assert_eq!(out.auth, AuthMode::Threshold);
+        assert_eq!(out.topology, TopologyKind::Star);
+        // message complexity drops from O(n²) to O(n)
+        assert!(out.good_case_messages(16) < catalogue::pbft().good_case_messages(16));
+    }
+
+    #[test]
+    fn dc2_phase_reduction_lands_on_fab() {
+        let out = phase_reduction(&catalogue::pbft_signed()).unwrap();
+        let fab = catalogue::fab();
+        assert_eq!(out.good_case_phases(), fab.good_case_phases());
+        assert_eq!(out.replicas, fab.replicas);
+        assert_eq!(out.phases[0].complexity, MsgComplexity::Linear);
+        assert_eq!(out.phases[1].complexity, MsgComplexity::Quadratic);
+    }
+
+    #[test]
+    fn dc3_rotation_lands_on_hotstuff_coordinates() {
+        let linearized = linearization(&catalogue::pbft_signed()).unwrap();
+        let out = leader_rotation(&linearized).unwrap();
+        let hs = catalogue::hotstuff();
+        // 5 linear + 2 handover = 7 linear phases, like HotStuff
+        assert_eq!(out.good_case_phases(), hs.good_case_phases());
+        assert_eq!(out.leader, hs.leader);
+        assert!(!out.view_change_stage);
+        assert!(out.timers.contains(&TimerKind::T5ViewSync));
+    }
+
+    #[test]
+    fn dc4_nonresponsive_rotation_lands_on_tendermint_coordinates() {
+        let mut input = catalogue::pbft_signed();
+        input.phases = vec![
+            Phase::linear("propose"),
+            Phase::quadratic("prevote"),
+            Phase::quadratic("precommit"),
+        ];
+        let out = non_responsive_rotation(&input).unwrap();
+        let tm = catalogue::tendermint();
+        assert_eq!(out.good_case_phases(), tm.good_case_phases(), "no extra phase");
+        assert_eq!(out.leader, tm.leader);
+        assert!(!out.responsive);
+        assert!(out.timers.contains(&TimerKind::T5ViewSync));
+    }
+
+    #[test]
+    fn dc5_replica_reduction_adds_a2() {
+        let out = optimistic_replica_reduction(&catalogue::pbft()).unwrap();
+        assert!(out.strategy.assumptions().contains(&Assumption::A2BackupsCorrect));
+        assert_eq!(out.replicas, ReplicaFormula::Classic, "n stays 3f+1");
+    }
+
+    #[test]
+    fn dc6_fast_path_drops_two_linear_phases() {
+        let linearized = linearization(&catalogue::pbft_signed()).unwrap();
+        let out = optimistic_phase_reduction(&linearized).unwrap();
+        assert_eq!(out.good_case_phases(), 3, "SBFT fast path: 3 linear phases");
+        assert!(out.timers.contains(&TimerKind::T3BackupFailure));
+        assert!(!out.strategy.is_speculative());
+    }
+
+    #[test]
+    fn dc7_speculative_variant_is_speculative_with_quorum_replies() {
+        let linearized = linearization(&catalogue::pbft_signed()).unwrap();
+        let out = speculative_phase_reduction(&linearized).unwrap();
+        assert_eq!(out.good_case_phases(), 3, "PoE: 3 linear phases");
+        assert!(out.strategy.is_speculative());
+        assert_eq!(out.clients.reply_quorum, ReplyQuorum::Quorum);
+    }
+
+    #[test]
+    fn dc8_speculative_execution_lands_on_zyzzyva() {
+        let out = speculative_execution(&catalogue::pbft()).unwrap();
+        let z = catalogue::zyzzyva();
+        assert_eq!(out.good_case_phases(), z.good_case_phases());
+        assert_eq!(out.clients.reply_quorum, z.clients.reply_quorum);
+        assert!(out.clients.repairer);
+        assert!(out.strategy.is_speculative());
+        assert!(out.timers.contains(&TimerKind::T1WaitReplies));
+    }
+
+    #[test]
+    fn dc9_conflict_free_lands_on_qu() {
+        let out = optimistic_conflict_free(&catalogue::pbft_signed()).unwrap();
+        let qu = catalogue::qu();
+        assert_eq!(out.good_case_phases(), 0);
+        assert_eq!(out.leader, qu.leader);
+        assert!(out.clients.proposer);
+        assert_eq!(out.replicas, qu.replicas);
+    }
+
+    #[test]
+    fn dc10_resilience_lands_on_zyzzyva5() {
+        let out = resilience(&catalogue::zyzzyva()).unwrap();
+        let z5 = catalogue::zyzzyva5();
+        assert_eq!(out.replicas, z5.replicas);
+        // and 5f+1 → 7f+1
+        let out2 = resilience(&out).unwrap();
+        assert_eq!(out2.replicas, ReplicaFormula::OneStep);
+        // pessimistic protocols are rejected
+        assert!(resilience(&catalogue::pbft()).is_err());
+    }
+
+    #[test]
+    fn dc11_authentication_ladder() {
+        let signed = authentication(&catalogue::pbft()).unwrap();
+        assert_eq!(signed.auth, AuthMode::Signature);
+        // clique + signature has no collector: cannot upgrade further
+        assert!(authentication(&signed).is_err());
+        // star + signature upgrades to threshold
+        let mut star = signed.clone();
+        star.topology = TopologyKind::Star;
+        assert_eq!(authentication(&star).unwrap().auth, AuthMode::Threshold);
+    }
+
+    #[test]
+    fn dc12_robust_lands_on_prime_coordinates() {
+        let out = robust(&catalogue::pbft_signed()).unwrap();
+        let prime = catalogue::prime();
+        assert!(out.preordering);
+        assert_eq!(out.strategy, prime.strategy);
+        assert!(out.timers.contains(&TimerKind::T7Heartbeat));
+        assert!(robust(&out).is_err(), "idempotence rejected");
+    }
+
+    #[test]
+    fn dc13_fair_lands_on_themis_coordinates() {
+        let out = fair(&catalogue::pbft_signed(), 1000).unwrap();
+        let th = catalogue::themis();
+        assert!(out.preordering);
+        assert_eq!(out.replicas, th.replicas);
+        assert_eq!(out.qos.fairness_gamma_milli, Some(1000));
+        assert!(out.timers.contains(&TimerKind::T6PreorderRound));
+    }
+
+    #[test]
+    fn dc14_tree_lands_on_kauri_coordinates() {
+        let out = tree_load_balancer(&catalogue::hotstuff(), 2).unwrap();
+        let k = catalogue::kauri();
+        assert_eq!(out.topology, k.topology);
+        assert!(out.phases.iter().all(|p| p.complexity == MsgComplexity::TreeHops));
+        assert!(out.strategy.assumptions().contains(&Assumption::A3InternalNodesCorrect));
+        assert!(out.qos.load_balancing);
+        // quadratic protocols are rejected
+        assert!(tree_load_balancer(&catalogue::pbft(), 2).is_err());
+    }
+
+    #[test]
+    fn every_choice_maps_valid_to_valid() {
+        // For every catalogue point and every design choice: either the
+        // precondition rejects the input, or the output validates.
+        for p in catalogue::all() {
+            p.validate().unwrap();
+            for choice in DesignChoice::ALL {
+                match choice.apply(&p) {
+                    Ok(out) => {
+                        out.validate().unwrap_or_else(|e| {
+                            panic!("{:?} on {} produced invalid point: {e}", choice, p.name)
+                        });
+                        assert_ne!(out.name, p.name, "transformations rename");
+                    }
+                    Err(BftError::InvalidConfig(_)) => {} // precondition rejected
+                    Err(e) => panic!("{choice:?} on {}: unexpected error {e}", p.name),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn choices_compose_pbft_to_kauri() {
+        // PBFT-sig —DC1→ linear —DC3→ rotating —DC14→ tree: a Kauri-shaped
+        // protocol derived purely by composition.
+        let p = catalogue::pbft_signed();
+        let p = linearization(&p).unwrap();
+        let p = leader_rotation(&p).unwrap();
+        let p = tree_load_balancer(&p, 3).unwrap();
+        p.validate().unwrap();
+        assert!(matches!(p.topology, TopologyKind::Tree { fanout: 3 }));
+        assert!(matches!(p.leader, LeaderMode::Rotating { responsive: true }));
+    }
+}

@@ -1,0 +1,215 @@
+//! Client machinery (dimension **P6**).
+//!
+//! Every protocol's client actor is built from the same two pieces:
+//!
+//! * [`ReplyCollector`] — collects replies from distinct replicas and
+//!   reports when the protocol's reply quorum is reached with *matching*
+//!   results (result + post-state digest must agree). PBFT waits for `f+1`,
+//!   PoE for `2f+1`, Zyzzyva's fast path for all `3f+1`.
+//! * [`ClientBehavior`] — the workload-driving policy: closed-loop (one
+//!   outstanding request, next sent on completion) with a retransmission
+//!   timer (the client-side part of timer τ1/τ2 handling).
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use bft_types::{Digest, Reply, ReplicaId, RequestId};
+
+/// Collects replies for one outstanding request.
+#[derive(Debug, Clone, Default)]
+pub struct ReplyCollector {
+    /// Replies keyed by replica; only the latest reply per replica counts.
+    replies: BTreeMap<ReplicaId, Reply>,
+}
+
+/// The outcome of offering a reply to the collector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CollectStatus {
+    /// Not enough matching replies yet.
+    Pending {
+        /// Size of the largest matching set so far.
+        best: usize,
+    },
+    /// A quorum of matching replies was assembled.
+    Complete {
+        /// The agreed reply.
+        reply: Reply,
+        /// How many replicas matched.
+        matched: usize,
+    },
+    /// Two replies from different replicas conflict (differ in result or
+    /// state digest) — for Zyzzyva clients this is the failure-detection
+    /// signal that triggers repair.
+    Conflict,
+}
+
+impl ReplyCollector {
+    /// Create an empty collector.
+    pub fn new() -> Self {
+        ReplyCollector::default()
+    }
+
+    /// Number of distinct replicas heard from.
+    pub fn distinct(&self) -> usize {
+        self.replies.len()
+    }
+
+    /// Offer a reply from `replica`; `quorum` is the number of *matching*
+    /// replies required.
+    pub fn offer(&mut self, replica: ReplicaId, reply: Reply, quorum: usize) -> CollectStatus {
+        self.replies.insert(replica, reply);
+        self.status(quorum)
+    }
+
+    /// Current status against `quorum`.
+    pub fn status(&self, quorum: usize) -> CollectStatus {
+        // group by (result, state digest)
+        let mut groups: BTreeMap<(Digest, bool), (usize, &Reply)> = BTreeMap::new();
+        let mut digests_seen: Vec<Digest> = Vec::new();
+        for reply in self.replies.values() {
+            let key = (reply.state_digest, reply.speculative);
+            let entry = groups.entry(key).or_insert((0, reply));
+            entry.0 += 1;
+            if !digests_seen.contains(&reply.state_digest) {
+                digests_seen.push(reply.state_digest);
+            }
+        }
+        let best = groups.values().map(|(c, _)| *c).max().unwrap_or(0);
+        if let Some((count, reply)) = groups.values().find(|(c, _)| *c >= quorum) {
+            return CollectStatus::Complete { reply: (*reply).clone(), matched: *count };
+        }
+        if digests_seen.len() > 1 {
+            return CollectStatus::Conflict;
+        }
+        CollectStatus::Pending { best }
+    }
+
+    /// The matching count of the largest agreeing group (Zyzzyva's slow
+    /// path: 2f+1 matching speculative replies out of a conflicted or
+    /// incomplete set still allow a commit-certificate round).
+    pub fn best_matching(&self) -> usize {
+        let mut groups: BTreeMap<(Digest, bool), usize> = BTreeMap::new();
+        for reply in self.replies.values() {
+            *groups.entry((reply.state_digest, reply.speculative)).or_insert(0) += 1;
+        }
+        groups.values().copied().max().unwrap_or(0)
+    }
+
+    /// Reset for the next request.
+    pub fn clear(&mut self) {
+        self.replies.clear();
+    }
+}
+
+/// Client pacing policy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClientBehavior {
+    /// Total requests this client issues.
+    pub total_requests: u64,
+    /// Retransmission timeout in virtual nanoseconds (client-side τ1/τ2:
+    /// retransmit, and in PBFT broadcast to all replicas rather than just
+    /// the leader).
+    pub retransmit_after_ns: u64,
+    /// Think time between a completed request and the next one (0 = fully
+    /// closed loop).
+    pub think_time_ns: u64,
+}
+
+impl ClientBehavior {
+    /// A closed-loop client issuing `total` requests with a 1-second
+    /// retransmission timeout.
+    pub fn closed_loop(total: u64) -> Self {
+        ClientBehavior {
+            total_requests: total,
+            retransmit_after_ns: 1_000_000_000,
+            think_time_ns: 0,
+        }
+    }
+}
+
+/// Tracks one client's progress through its request sequence.
+#[derive(Debug, Clone, Default)]
+pub struct RequestTracker {
+    /// Next timestamp to assign.
+    pub next_timestamp: u64,
+    /// Completed request count.
+    pub completed: u64,
+    /// The in-flight request, if any.
+    pub in_flight: Option<RequestId>,
+}
+
+impl RequestTracker {
+    /// Is the request `id` the one we are waiting on?
+    pub fn is_current(&self, id: RequestId) -> bool {
+        self.in_flight == Some(id)
+    }
+
+    /// Mark the in-flight request complete.
+    pub fn complete(&mut self) {
+        self.in_flight = None;
+        self.completed += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bft_types::{ClientId, TxnResult, View};
+
+    fn reply(ts: u64, digest: u8, speculative: bool) -> Reply {
+        Reply {
+            request: RequestId { client: ClientId(1), timestamp: ts },
+            view: View(0),
+            result: TxnResult { reads: vec![] },
+            state_digest: Digest([digest; 32]),
+            speculative,
+        }
+    }
+
+    #[test]
+    fn completes_at_quorum() {
+        let mut c = ReplyCollector::new();
+        assert_eq!(c.offer(ReplicaId(0), reply(1, 7, false), 2), CollectStatus::Pending { best: 1 });
+        match c.offer(ReplicaId(1), reply(1, 7, false), 2) {
+            CollectStatus::Complete { matched, .. } => assert_eq!(matched, 2),
+            s => panic!("expected complete, got {s:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_replica_does_not_count_twice() {
+        let mut c = ReplyCollector::new();
+        c.offer(ReplicaId(0), reply(1, 7, false), 2);
+        let s = c.offer(ReplicaId(0), reply(1, 7, false), 2);
+        assert_eq!(s, CollectStatus::Pending { best: 1 });
+    }
+
+    #[test]
+    fn conflict_detected() {
+        let mut c = ReplyCollector::new();
+        c.offer(ReplicaId(0), reply(1, 7, false), 3);
+        let s = c.offer(ReplicaId(1), reply(1, 8, false), 3);
+        assert_eq!(s, CollectStatus::Conflict);
+    }
+
+    #[test]
+    fn speculative_and_final_replies_do_not_match() {
+        let mut c = ReplyCollector::new();
+        c.offer(ReplicaId(0), reply(1, 7, true), 2);
+        let s = c.offer(ReplicaId(1), reply(1, 7, false), 2);
+        // same digest but different speculation flag: still pending (no
+        // matching pair), though not a digest conflict
+        assert_eq!(s, CollectStatus::Pending { best: 1 });
+    }
+
+    #[test]
+    fn best_matching_counts_largest_group() {
+        let mut c = ReplyCollector::new();
+        c.offer(ReplicaId(0), reply(1, 7, false), 10);
+        c.offer(ReplicaId(1), reply(1, 7, false), 10);
+        c.offer(ReplicaId(2), reply(1, 8, false), 10);
+        assert_eq!(c.best_matching(), 2);
+        assert_eq!(c.distinct(), 3);
+    }
+}

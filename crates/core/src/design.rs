@@ -1,0 +1,499 @@
+//! The design space (§2.2 of the paper).
+//!
+//! Every BFT protocol is a point in a multi-dimensional space. The paper
+//! groups the dimensions into four families — *protocol structure* (P1–P6),
+//! *environmental settings* (E1–E4), *quality of service* (Q1–Q2) and
+//! *performance optimizations* — and studies the first three (as does this
+//! reproduction). [`ProtocolPoint`] is the product of those dimensions;
+//! [`ProtocolPoint::validate`] encodes the cross-dimension constraints the
+//! paper states in prose, so that the design-choice functions in
+//! [`crate::choices`] provably map valid points to valid points.
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+
+use bft_types::{BftError, QuorumRules, ReplicaFormula, Result, TimerKind};
+
+/// The optimistic assumptions of dimension P1 (`a1`–`a6`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Assumption {
+    /// a1 — the leader is non-faulty and orders correctly (Zyzzyva).
+    A1LeaderCorrect,
+    /// a2 — the backups are non-faulty and participate (CheapBFT).
+    A2BackupsCorrect,
+    /// a3 — all non-leaf replicas of a tree are non-faulty (Kauri).
+    A3InternalNodesCorrect,
+    /// a4 — the workload is conflict-free (Q/U).
+    A4ConflictFree,
+    /// a5 — the clients are honest (Quorum).
+    A5ClientsHonest,
+    /// a6 — the network is synchronous in a window (Tendermint).
+    A6Synchrony,
+}
+
+/// Dimension P1: commitment strategy.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CommitmentStrategy {
+    /// No optimistic assumptions; replicas always run full agreement.
+    Pessimistic,
+    /// Optimistic assumptions, but execution only happens once the
+    /// assumption is confirmed (CheapBFT, SBFT).
+    OptimisticNonSpeculative {
+        /// Which assumptions the fast path relies on.
+        assumptions: BTreeSet<Assumption>,
+    },
+    /// Optimistic and executes before confirmation; may roll back
+    /// (Zyzzyva, PoE).
+    OptimisticSpeculative {
+        /// Which assumptions the fast path relies on.
+        assumptions: BTreeSet<Assumption>,
+    },
+    /// Hardened against a strong adversary (Prime, Aardvark): bounded
+    /// degradation under attack, typically via preordering or performance
+    /// monitoring.
+    Robust,
+}
+
+impl CommitmentStrategy {
+    /// The assumptions this strategy makes (empty for pessimistic/robust).
+    pub fn assumptions(&self) -> BTreeSet<Assumption> {
+        match self {
+            CommitmentStrategy::OptimisticNonSpeculative { assumptions }
+            | CommitmentStrategy::OptimisticSpeculative { assumptions } => assumptions.clone(),
+            _ => BTreeSet::new(),
+        }
+    }
+
+    /// Is this an optimistic strategy?
+    pub fn is_optimistic(&self) -> bool {
+        matches!(
+            self,
+            CommitmentStrategy::OptimisticNonSpeculative { .. }
+                | CommitmentStrategy::OptimisticSpeculative { .. }
+        )
+    }
+
+    /// Is this a speculative strategy (may roll back)?
+    pub fn is_speculative(&self) -> bool {
+        matches!(self, CommitmentStrategy::OptimisticSpeculative { .. })
+    }
+}
+
+/// Message complexity of one ordering phase (dimension E2 interacts here).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MsgComplexity {
+    /// One-to-all or all-to-one: O(n) messages.
+    Linear,
+    /// All-to-all: O(n²) messages.
+    Quadratic,
+    /// Along tree edges: O(n) messages but `h` sequential hops.
+    TreeHops,
+    /// Along a chain: O(n) messages, n sequential hops.
+    ChainHops,
+}
+
+/// One ordering phase.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Phase {
+    /// Phase label (e.g. `"pre-prepare"`).
+    pub name: String,
+    /// Message complexity of the phase.
+    pub complexity: MsgComplexity,
+}
+
+impl Phase {
+    /// Construct a phase.
+    pub fn new(name: &str, complexity: MsgComplexity) -> Phase {
+        Phase { name: name.into(), complexity }
+    }
+
+    /// A linear (one-to-all / all-to-one) phase.
+    pub fn linear(name: &str) -> Phase {
+        Phase::new(name, MsgComplexity::Linear)
+    }
+
+    /// A quadratic (all-to-all) phase.
+    pub fn quadratic(name: &str) -> Phase {
+        Phase::new(name, MsgComplexity::Quadratic)
+    }
+}
+
+/// Dimension P3: view-change / leader regime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LeaderMode {
+    /// A stable leader replaced only on suspicion (PBFT, SBFT, Zyzzyva).
+    Stable,
+    /// Leader rotates per view/epoch. `responsive` distinguishes design
+    /// choice 3 (HotStuff: extra phase, responsive) from design choice 4
+    /// (Tendermint: Δ-wait, non-responsive).
+    Rotating {
+        /// Does rotation preserve responsiveness?
+        responsive: bool,
+    },
+    /// No leader at all: clients propose directly to quorums (Q/U-style,
+    /// design choice 9).
+    Leaderless,
+}
+
+/// Dimension P5: recovery regime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RecoveryMode {
+    /// No rejuvenation machinery.
+    None,
+    /// Detect faults, then rejuvenate (reactive).
+    Reactive,
+    /// Periodic rejuvenation without detection (proactive).
+    Proactive,
+    /// Both (proactive-reactive, e.g. Sousa et al.).
+    ProactiveReactive,
+}
+
+/// Dimension E2: topology over which ordering traffic flows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TopologyKind {
+    /// Hub-and-spoke via the leader/collector.
+    Star,
+    /// All-to-all.
+    Clique,
+    /// Tree rooted at the leader with a fan-out.
+    Tree {
+        /// Children per internal node.
+        fanout: usize,
+    },
+    /// Pipeline.
+    Chain,
+}
+
+/// Dimension E3: authentication of protocol messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AuthMode {
+    /// MAC authenticators (vectors of per-receiver MACs).
+    Mac,
+    /// Digital signatures.
+    Signature,
+    /// Digital signatures + threshold aggregation for quorum certificates.
+    Threshold,
+}
+
+/// Dimensions Q1–Q2: optional QoS features.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct QosFeatures {
+    /// Order-fairness parameter γ in thousandths (Q1), if supported.
+    pub fairness_gamma_milli: Option<u32>,
+    /// Load balancing across replicas (Q2): rotation, trees, multi-leader.
+    pub load_balancing: bool,
+}
+
+/// Dimension P6: what clients do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClientRoles {
+    /// Matching replies the requester waits for (`f+1`, `2f+1`, `3f+1`, or
+    /// 1 with trusted/threshold reply aggregation).
+    pub reply_quorum: ReplyQuorum,
+    /// Clients may propose orderings themselves (Q/U).
+    pub proposer: bool,
+    /// Clients detect failures and trigger repair (Zyzzyva).
+    pub repairer: bool,
+}
+
+/// How many matching replies a requester needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReplyQuorum {
+    /// `f + 1` matching replies (PBFT).
+    WeakCertificate,
+    /// `2f + 1` matching replies (PoE, PBFT read-only).
+    Quorum,
+    /// All `n` matching replies (Zyzzyva's fast path).
+    All,
+    /// A single verifiable reply (threshold-signed or trusted component).
+    Single,
+}
+
+impl ReplyQuorum {
+    /// Concrete count for the given quorum rules.
+    pub fn count(&self, q: &QuorumRules) -> usize {
+        match self {
+            ReplyQuorum::WeakCertificate => q.weak(),
+            ReplyQuorum::Quorum => q.quorum(),
+            ReplyQuorum::All => q.n,
+            ReplyQuorum::Single => 1,
+        }
+    }
+}
+
+/// A complete protocol description: one point in the design space.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProtocolPoint {
+    /// Protocol name (catalogue identity).
+    pub name: String,
+    /// P1 — commitment strategy.
+    pub strategy: CommitmentStrategy,
+    /// Preordering phases (robust/fair protocols), before the ordering
+    /// stage proper.
+    pub preordering: bool,
+    /// P2 — the good-case ordering phases, in order.
+    pub phases: Vec<Phase>,
+    /// P3 — leader regime.
+    pub leader: LeaderMode,
+    /// Whether a dedicated view-change stage exists (leader rotation may
+    /// absorb it into ordering — design choice 3).
+    pub view_change_stage: bool,
+    /// P4 — checkpointing enabled.
+    pub checkpointing: bool,
+    /// P5 — recovery regime.
+    pub recovery: RecoveryMode,
+    /// P6 — client roles.
+    pub clients: ClientRoles,
+    /// E1 — replica budget formula.
+    pub replicas: ReplicaFormula,
+    /// E2 — topology.
+    pub topology: TopologyKind,
+    /// E3 — authentication.
+    pub auth: AuthMode,
+    /// E4 — is the protocol responsive (commit latency tracks δ, not Δ)?
+    pub responsive: bool,
+    /// E4 — timers the protocol depends on (τ1–τ8).
+    pub timers: BTreeSet<TimerKind>,
+    /// Q1–Q2 — QoS features.
+    pub qos: QosFeatures,
+}
+
+impl ProtocolPoint {
+    /// Good-case commitment phases (dimension P2).
+    pub fn good_case_phases(&self) -> usize {
+        self.phases.len()
+    }
+
+    /// Total good-case message count for `n` replicas, summed over phases
+    /// (the quantity experiment E2/DC1 measures).
+    pub fn good_case_messages(&self, n: usize) -> usize {
+        self.phases
+            .iter()
+            .map(|p| match p.complexity {
+                MsgComplexity::Linear => n,
+                MsgComplexity::Quadratic => n * n,
+                MsgComplexity::TreeHops => n,
+                MsgComplexity::ChainHops => n,
+            })
+            .sum()
+    }
+
+    /// Validate the cross-dimension constraints stated in the paper.
+    pub fn validate(&self) -> Result<()> {
+        let err = |msg: String| Err(BftError::InvalidConfig(format!("{}: {msg}", self.name)));
+
+        if self.phases.is_empty() && !matches!(self.strategy, CommitmentStrategy::OptimisticSpeculative { .. })
+        {
+            // Only conflict-free optimistic protocols (Q/U) have zero
+            // ordering phases, and those are speculative by nature.
+            if !self
+                .strategy
+                .assumptions()
+                .contains(&Assumption::A4ConflictFree)
+            {
+                return err("a protocol needs ordering phases unless it assumes conflict-freedom".into());
+            }
+        }
+
+        // E3 / DC11: a star topology in which followers' votes must be
+        // proven to third parties (any collector-based linear phase pattern)
+        // cannot use MACs — MACs lack non-repudiation.
+        if matches!(self.topology, TopologyKind::Star) && self.auth == AuthMode::Mac {
+            return err("star-topology collectors need signatures (MACs lack non-repudiation)".into());
+        }
+
+        // Threshold signatures only make sense with a collector pattern:
+        // star or tree topology.
+        if self.auth == AuthMode::Threshold
+            && !matches!(self.topology, TopologyKind::Star | TopologyKind::Tree { .. })
+        {
+            return err("threshold signatures require a collector (star/tree) topology".into());
+        }
+
+        // DC2: a two-phase (non-optimistic) protocol needs the 5f+1 budget.
+        if self.good_case_phases() < 3
+            && !self.strategy.is_optimistic()
+            && !self.preordering
+            && matches!(self.replicas, ReplicaFormula::Classic)
+            && !matches!(self.strategy, CommitmentStrategy::Robust)
+        {
+            return err("two-phase commitment with 3f+1 replicas requires optimism (5f+1 needed)".into());
+        }
+
+        // DC3/DC4: rotating leaders absorb the view-change stage.
+        if matches!(self.leader, LeaderMode::Rotating { .. } | LeaderMode::Leaderless)
+            && self.view_change_stage
+        {
+            return err("rotating/leaderless protocols have no separate view-change stage".into());
+        }
+        if matches!(self.leader, LeaderMode::Stable) && !self.view_change_stage {
+            return err("stable-leader protocols need a view-change stage".into());
+        }
+
+        // E4: a non-responsive rotating protocol must wait on the view
+        // synchronization timer τ5.
+        if let LeaderMode::Rotating { responsive: false } = self.leader {
+            if !self.timers.contains(&TimerKind::T5ViewSync) {
+                return err("non-responsive rotation requires the τ5 view-sync timer".into());
+            }
+            if self.responsive {
+                return err("non-responsive rotation contradicts responsive = true".into());
+            }
+        }
+
+        // Q1 / DC13: fairness needs the replica bound and a preordering
+        // round (and its timer τ6).
+        if let Some(gamma_milli) = self.qos.fairness_gamma_milli {
+            let gamma = gamma_milli as f64 / 1000.0;
+            QuorumRules::fairness_min_n(1, gamma)?; // validates γ range
+            if !self.preordering {
+                return err("order-fairness requires a preordering stage".into());
+            }
+            if !matches!(self.replicas, ReplicaFormula::Fairness { .. }) {
+                return err("order-fairness requires the n > 4f/(2γ−1) replica budget".into());
+            }
+            if !self.timers.contains(&TimerKind::T6PreorderRound) {
+                return err("order-fairness preordering requires the τ6 round timer".into());
+            }
+        }
+
+        // P1 a3 is only meaningful on trees.
+        if self
+            .strategy
+            .assumptions()
+            .contains(&Assumption::A3InternalNodesCorrect)
+            && !matches!(self.topology, TopologyKind::Tree { .. })
+        {
+            return err("assumption a3 (internal nodes correct) requires a tree topology".into());
+        }
+
+        // Trusted hardware budget only pairs with signature-ish auth in our
+        // suite (the attested counter must be verifiable by all).
+        if matches!(self.replicas, ReplicaFormula::TrustedHardware) && self.auth == AuthMode::Mac {
+            return err("2f+1 trusted-hardware protocols need verifiable (signed) attestations".into());
+        }
+
+        // Speculative protocols need a fallback trigger: the client's τ1,
+        // the collector's τ3, or the view-change timer τ2 (PoE recovers
+        // speculation failures during view-change). Conflict-free optimism
+        // (Q/U) repairs inline instead.
+        if self.strategy.is_speculative()
+            && !self.timers.contains(&TimerKind::T1WaitReplies)
+            && !self.timers.contains(&TimerKind::T2ViewChange)
+            && !self.timers.contains(&TimerKind::T3BackupFailure)
+            && !self
+                .strategy
+                .assumptions()
+                .contains(&Assumption::A4ConflictFree)
+        {
+            return err("speculative protocols need a fallback trigger timer (τ1/τ2/τ3)".into());
+        }
+
+        Ok(())
+    }
+
+    /// A compact one-line coordinate summary (used in reports).
+    pub fn summary(&self) -> String {
+        format!(
+            "{}: {} phases ({}), {} leader, {}, {:?} auth, replicas {}{}{}",
+            self.name,
+            self.good_case_phases(),
+            self.phases
+                .iter()
+                .map(|p| format!("{:?}", p.complexity))
+                .collect::<Vec<_>>()
+                .join("+"),
+            match self.leader {
+                LeaderMode::Stable => "stable",
+                LeaderMode::Rotating { responsive: true } => "rotating(responsive)",
+                LeaderMode::Rotating { responsive: false } => "rotating(Δ-wait)",
+                LeaderMode::Leaderless => "leaderless",
+            },
+            match &self.strategy {
+                CommitmentStrategy::Pessimistic => "pessimistic".to_string(),
+                CommitmentStrategy::Robust => "robust".to_string(),
+                CommitmentStrategy::OptimisticNonSpeculative { assumptions } =>
+                    format!("optimistic({} assumptions)", assumptions.len()),
+                CommitmentStrategy::OptimisticSpeculative { assumptions } =>
+                    format!("speculative({} assumptions)", assumptions.len()),
+            },
+            self.auth,
+            self.replicas.formula(),
+            if self.preordering { ", preordering" } else { "" },
+            if self.qos.fairness_gamma_milli.is_some() { ", fair" } else { "" },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalogue;
+
+    #[test]
+    fn catalogue_points_are_valid() {
+        for p in catalogue::all() {
+            p.validate().unwrap_or_else(|e| panic!("{} invalid: {e}", p.name));
+        }
+    }
+
+    #[test]
+    fn star_with_macs_rejected() {
+        let mut p = catalogue::hotstuff();
+        p.auth = AuthMode::Mac;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn threshold_requires_collector() {
+        let mut p = catalogue::pbft();
+        p.auth = AuthMode::Threshold; // clique + threshold: no collector
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn rotating_leader_cannot_keep_view_change_stage() {
+        let mut p = catalogue::hotstuff();
+        p.view_change_stage = true;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn two_phase_needs_redundancy_or_optimism() {
+        let mut p = catalogue::pbft();
+        p.phases.pop(); // drop commit phase: 2 phases, pessimistic, 3f+1
+        assert!(p.validate().is_err());
+        p.replicas = ReplicaFormula::Fast;
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn fairness_requires_preordering_and_budget() {
+        let mut p = catalogue::themis();
+        p.preordering = false;
+        assert!(p.validate().is_err());
+        let mut p2 = catalogue::themis();
+        p2.replicas = ReplicaFormula::Classic;
+        assert!(p2.validate().is_err());
+    }
+
+    #[test]
+    fn good_case_message_counts() {
+        let pbft = catalogue::pbft();
+        // pre-prepare linear + prepare quadratic + commit quadratic
+        assert_eq!(pbft.good_case_messages(4), 4 + 16 + 16);
+        let hs = catalogue::hotstuff();
+        // all linear phases
+        assert_eq!(hs.good_case_messages(4), hs.good_case_phases() * 4);
+    }
+
+    #[test]
+    fn reply_quorum_counts() {
+        let q = QuorumRules::classic(2); // n = 7
+        assert_eq!(ReplyQuorum::WeakCertificate.count(&q), 3);
+        assert_eq!(ReplyQuorum::Quorum.count(&q), 5);
+        assert_eq!(ReplyQuorum::All.count(&q), 7);
+        assert_eq!(ReplyQuorum::Single.count(&q), 1);
+    }
+}

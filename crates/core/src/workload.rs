@@ -1,0 +1,164 @@
+//! Synthetic workload generation.
+//!
+//! The paper's trade-offs are parameterized by the workload: the
+//! conflict-free optimism of Q/U (design choice 9) depends on the *conflict
+//! rate*; fairness experiments need *adversarially interesting request
+//! streams*; load-balancing results depend on *demand*. [`Workload`]
+//! generates transactions with explicit knobs for all of these, driven by a
+//! seeded deterministic RNG.
+
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use bft_types::{Key, Op, Transaction};
+
+/// Workload parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadConfig {
+    /// Size of the key space.
+    pub keys: u64,
+    /// Fraction of transactions that target the single "hot" key 0 (driving
+    /// conflicts): 0.0 = uniform, 1.0 = everything conflicts.
+    pub hot_fraction: f64,
+    /// Fraction of read-only transactions.
+    pub read_fraction: f64,
+    /// Operations per transaction.
+    pub ops_per_txn: usize,
+    /// Virtual-time execution cost units per transaction (adds an
+    /// [`Op::Work`] operation when > 0).
+    pub work_units: u32,
+}
+
+impl WorkloadConfig {
+    /// Uniform single-op read/write mix over a large key space —
+    /// effectively conflict-free.
+    pub fn uniform() -> Self {
+        WorkloadConfig {
+            keys: 100_000,
+            hot_fraction: 0.0,
+            read_fraction: 0.5,
+            ops_per_txn: 1,
+            work_units: 0,
+        }
+    }
+
+    /// A contended workload: the given fraction of transactions write the
+    /// hot key.
+    pub fn contended(hot_fraction: f64) -> Self {
+        WorkloadConfig { hot_fraction, read_fraction: 0.0, ..WorkloadConfig::uniform() }
+    }
+
+    /// Builder-style: set the read fraction.
+    pub fn with_reads(mut self, read_fraction: f64) -> Self {
+        self.read_fraction = read_fraction;
+        self
+    }
+
+    /// Builder-style: set per-transaction compute cost.
+    pub fn with_work(mut self, units: u32) -> Self {
+        self.work_units = units;
+        self
+    }
+}
+
+/// A deterministic transaction generator.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// The parameters.
+    pub config: WorkloadConfig,
+    rng: ChaCha8Rng,
+}
+
+impl Workload {
+    /// Create a workload from a config and seed.
+    pub fn new(config: WorkloadConfig, seed: u64) -> Self {
+        Workload { config, rng: ChaCha8Rng::seed_from_u64(seed ^ 0x9e3779b97f4a7c15) }
+    }
+
+    /// Generate the next transaction.
+    pub fn next_txn(&mut self) -> Transaction {
+        let mut ops = Vec::with_capacity(self.config.ops_per_txn + 1);
+        let read_only = self.rng.gen_bool(self.config.read_fraction.clamp(0.0, 1.0));
+        for _ in 0..self.config.ops_per_txn {
+            let key = self.pick_key();
+            if read_only {
+                ops.push(Op::Get(key));
+            } else {
+                // read-modify-write: conflicts both ways on the key
+                ops.push(Op::Add(key, self.rng.gen_range(-5..=5)));
+            }
+        }
+        if self.config.work_units > 0 {
+            ops.push(Op::Work(self.config.work_units));
+        }
+        Transaction { ops }
+    }
+
+    fn pick_key(&mut self) -> Key {
+        if self.config.hot_fraction > 0.0 && self.rng.gen_bool(self.config.hot_fraction.clamp(0.0, 1.0))
+        {
+            0
+        } else {
+            // avoid the hot key in the uniform part
+            self.rng.gen_range(1..self.config.keys.max(2))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = Workload::new(WorkloadConfig::uniform(), 7);
+        let mut b = Workload::new(WorkloadConfig::uniform(), 7);
+        for _ in 0..100 {
+            assert_eq!(a.next_txn(), b.next_txn());
+        }
+    }
+
+    #[test]
+    fn hot_fraction_drives_conflicts() {
+        let sample_conflict_rate = |hot: f64| -> f64 {
+            let mut w = Workload::new(WorkloadConfig::contended(hot), 3);
+            let txns: Vec<Transaction> = (0..200).map(|_| w.next_txn()).collect();
+            let mut conflicts = 0usize;
+            let mut pairs = 0usize;
+            for i in 0..txns.len() {
+                for j in (i + 1)..txns.len().min(i + 10) {
+                    pairs += 1;
+                    if txns[i].conflicts_with(&txns[j]) {
+                        conflicts += 1;
+                    }
+                }
+            }
+            conflicts as f64 / pairs as f64
+        };
+        let low = sample_conflict_rate(0.0);
+        let high = sample_conflict_rate(0.8);
+        assert!(low < 0.01, "uniform workload nearly conflict-free ({low})");
+        assert!(high > 0.5, "hot workload heavily conflicted ({high})");
+    }
+
+    #[test]
+    fn read_fraction_respected() {
+        let mut w = Workload::new(WorkloadConfig::uniform().with_reads(1.0), 5);
+        for _ in 0..50 {
+            assert!(w.next_txn().is_read_only());
+        }
+        let mut w = Workload::new(WorkloadConfig::uniform().with_reads(0.0), 5);
+        for _ in 0..50 {
+            assert!(!w.next_txn().is_read_only());
+        }
+    }
+
+    #[test]
+    fn work_units_add_work_op() {
+        let mut w = Workload::new(WorkloadConfig::uniform().with_work(42), 5);
+        let txn = w.next_txn();
+        assert!(txn.ops.iter().any(|op| matches!(op, Op::Work(42))));
+    }
+}

@@ -1,0 +1,592 @@
+//! Chain — a pipelined BFT protocol (the Chain instance of Aublin et al.'s
+//! "700 BFT protocols" Abstract framework): dimension **E2**'s chain
+//! topology.
+//!
+//! Replicas form a pipeline `head → r1 → … → tail`. The head assigns
+//! sequence numbers; each replica executes the batch and forwards it to its
+//! successor, accumulating authentication as it goes; the **last f+1**
+//! replicas reply to the client, whose f+1 matching replies prove at least
+//! one correct replica vouches for the whole prefix. Per request the chain
+//! moves only `n` messages — the cheapest fault-free message complexity of
+//! any topology — at the price of `n` sequential hops of latency and an
+//! optimistic assumption (a2: everyone participates; a6: timely links).
+//!
+//! When the pipeline stalls (a replica crashed), progress detection works
+//! by *stall reports*: τ2 fires at replicas with pending work, everyone
+//! broadcasts a report carrying their last seen sequence number, and after
+//! a settling delay the replicas that reported nothing are the suspects.
+//! The next configuration (view) excludes them; the new head re-disseminates
+//! from the lowest reported sequence number. This models Abstract's
+//! switching (Chain → backup instance) without changing protocol family.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
+
+use bft_crypto::{digest_of, CryptoOp, KeyStore};
+use bft_sim::runner::RunOutcome;
+use bft_sim::{Actor, Context, NodeId, Observation, SimDuration, Stage, TimerId};
+use bft_state::StateMachine;
+use bft_types::{
+    Digest, Op, QuorumRules, Reply, ReplicaId, RequestId, SeqNum, TimerKind, View, WireSize,
+};
+
+use crate::common::{
+    run_to_completion, ClientProtocol, GenericClient, Scenario, SignedRequest, SubmitPolicy,
+};
+
+/// Chain messages.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub enum ChainMsg {
+    /// Client → head.
+    Request(SignedRequest),
+    /// Replica → client.
+    Reply(Reply),
+    /// The pipelined batch: forwarded hop by hop with accumulated MACs.
+    Chained {
+        /// Configuration (view).
+        view: View,
+        /// Sequence number.
+        seq: SeqNum,
+        /// Batch digest.
+        digest: Digest,
+        /// The batch.
+        batch: Vec<SignedRequest>,
+        /// How many hops it has traveled (MAC accumulation count).
+        hops: u32,
+    },
+    /// Stall report: broadcast when τ2 fires; silence identifies suspects.
+    StallReport {
+        /// Configuration the stall was observed in.
+        view: View,
+        /// Sender's highest contiguous executed sequence number.
+        last_seq: SeqNum,
+        /// Sender.
+        from: ReplicaId,
+    },
+    /// Adopt the next configuration (sent by the prospective head with the
+    /// collected suspect evidence).
+    Reconfigure {
+        /// The new configuration.
+        view: View,
+        /// Replicas excluded from the new chain.
+        suspects: Vec<ReplicaId>,
+        /// Resume point (min reported last_seq).
+        resume_from: SeqNum,
+    },
+}
+
+impl WireSize for ChainMsg {
+    fn wire_size(&self) -> usize {
+        match self {
+            ChainMsg::Request(r) => 1 + r.wire_size(),
+            ChainMsg::Reply(r) => 1 + r.wire_size(),
+            ChainMsg::Chained { batch, hops, .. } => {
+                1 + 8 + 8 + 32 + batch.wire_size() + (*hops as usize + 1) * 32
+            }
+            ChainMsg::StallReport { .. } => 1 + 8 + 8 + 4 + 32,
+            ChainMsg::Reconfigure { suspects, .. } => 1 + 8 + suspects.len() * 4 + 8 + 64,
+        }
+    }
+}
+
+/// A chain replica.
+pub struct ChainReplica {
+    me: ReplicaId,
+    q: QuorumRules,
+    store: Arc<KeyStore>,
+    view: View,
+    /// Replicas excluded from the current chain.
+    suspects: Vec<ReplicaId>,
+    next_seq: SeqNum,
+    /// Sequence log: seq → batch (buffered until contiguous, then kept for
+    /// re-dissemination after reconfiguration).
+    log: BTreeMap<SeqNum, Vec<SignedRequest>>,
+    executed_reqs: BTreeMap<RequestId, ()>,
+    known: BTreeMap<RequestId, SignedRequest>,
+    sm: StateMachine,
+    exec_cursor: SeqNum,
+    mempool: VecDeque<SignedRequest>,
+    /// Stall machinery.
+    vc_timer: Option<TimerId>,
+    settle_timer: Option<TimerId>,
+    pending_reqs: Vec<RequestId>,
+    /// Reports received for the current stall round: replica → last_seq.
+    reports: BTreeMap<ReplicaId, SeqNum>,
+    view_timeout: SimDuration,
+    batch_size: usize,
+}
+
+impl ChainReplica {
+    /// Create a replica.
+    pub fn new(
+        me: ReplicaId,
+        q: QuorumRules,
+        store: Arc<KeyStore>,
+        view_timeout: SimDuration,
+        batch_size: usize,
+    ) -> Self {
+        ChainReplica {
+            me,
+            q,
+            store,
+            view: View(0),
+            suspects: Vec::new(),
+            next_seq: SeqNum(1),
+            log: BTreeMap::new(),
+            executed_reqs: BTreeMap::new(),
+            known: BTreeMap::new(),
+            sm: StateMachine::new(),
+            exec_cursor: SeqNum(0),
+            mempool: VecDeque::new(),
+            vc_timer: None,
+            settle_timer: None,
+            pending_reqs: Vec::new(),
+            reports: BTreeMap::new(),
+            view_timeout,
+            batch_size,
+        }
+    }
+
+    /// The chain order for the current configuration: all non-suspect
+    /// replicas, starting from `view mod n`.
+    fn chain(&self) -> Vec<ReplicaId> {
+        let n = self.q.n as u32;
+        let start = (self.view.0 % n as u64) as u32;
+        (0..n)
+            .map(|i| ReplicaId((start + i) % n))
+            .filter(|r| !self.suspects.contains(r))
+            .collect()
+    }
+
+    fn head(&self) -> ReplicaId {
+        self.chain()[0]
+    }
+
+    fn is_head(&self) -> bool {
+        self.head() == self.me
+    }
+
+    /// Successor of this replica in the chain, if any.
+    fn successor(&self) -> Option<ReplicaId> {
+        let chain = self.chain();
+        chain
+            .iter()
+            .position(|r| *r == self.me)
+            .and_then(|p| chain.get(p + 1))
+            .copied()
+    }
+
+    /// Is this replica among the last f+1 (the reply suffix)?
+    fn replies_to_clients(&self) -> bool {
+        let chain = self.chain();
+        let suffix = self.q.weak().min(chain.len());
+        chain[chain.len() - suffix..].contains(&self.me)
+    }
+
+    fn disseminate(&mut self, ctx: &mut Context<'_, ChainMsg>) {
+        if !self.is_head() {
+            return;
+        }
+        let executed = &self.executed_reqs;
+        let in_log: Vec<RequestId> = self
+            .log
+            .values()
+            .flat_map(|b| b.iter().map(|r| r.request.id))
+            .collect();
+        self.mempool
+            .retain(|r| !executed.contains_key(&r.request.id) && !in_log.contains(&r.request.id));
+        while !self.mempool.is_empty() {
+            let take = self.batch_size.min(self.mempool.len());
+            let batch: Vec<SignedRequest> = self.mempool.drain(..take).collect();
+            let seq = self.next_seq;
+            self.next_seq = self.next_seq.next();
+            let digest = digest_of(&batch);
+            ctx.charge_crypto(CryptoOp::Hash);
+            self.accept_chained(seq, digest, batch, 0, ctx);
+        }
+    }
+
+    fn accept_chained(
+        &mut self,
+        seq: SeqNum,
+        _digest: Digest,
+        batch: Vec<SignedRequest>,
+        hops: u32,
+        ctx: &mut Context<'_, ChainMsg>,
+    ) {
+        for r in &batch {
+            self.known.entry(r.request.id).or_insert_with(|| r.clone());
+        }
+        self.log.entry(seq).or_insert(batch);
+        self.try_execute_and_forward(hops, ctx);
+    }
+
+    fn try_execute_and_forward(&mut self, hops: u32, ctx: &mut Context<'_, ChainMsg>) {
+        loop {
+            let next = self.exec_cursor.next();
+            let Some(batch) = self.log.get(&next).cloned() else { break };
+            let digest = digest_of(&batch);
+            let view = self.view;
+            ctx.observe(Observation::Commit { seq: next, view, digest, speculative: false });
+            ctx.observe(Observation::StageEnter { stage: Stage::Execution });
+            for signed in &batch {
+                if self.executed_reqs.contains_key(&signed.request.id) {
+                    continue;
+                }
+                let seq = self.sm.last_executed().next();
+                let work: u32 = signed
+                    .request
+                    .txn
+                    .ops
+                    .iter()
+                    .map(|op| if let Op::Work(w) = op { *w } else { 0 })
+                    .sum();
+                if work > 0 {
+                    ctx.charge(SimDuration(work as u64 * 1_000));
+                }
+                let (result, state_digest) = self.sm.execute(seq, &signed.request);
+                ctx.observe(Observation::Execute { seq, request: signed.request.id, state_digest });
+                self.executed_reqs.insert(signed.request.id, ());
+                self.pending_reqs.retain(|r| *r != signed.request.id);
+                if self.replies_to_clients() {
+                    let reply = Reply {
+                        request: signed.request.id,
+                        view,
+                        result,
+                        state_digest,
+                        speculative: false,
+                    };
+                    ctx.charge_crypto(CryptoOp::MacGen);
+                    ctx.send(NodeId::Client(signed.request.id.client), ChainMsg::Reply(reply));
+                }
+            }
+            self.exec_cursor = next;
+            ctx.observe(Observation::StageEnter { stage: Stage::Ordering });
+            // forward down the pipeline with one more MAC accumulated
+            if let Some(successor) = self.successor() {
+                ctx.charge_crypto(CryptoOp::MacGen);
+                ctx.send(
+                    NodeId::Replica(successor),
+                    ChainMsg::Chained { view, seq: next, digest, batch, hops: hops + 1 },
+                );
+            }
+            if self.pending_reqs.is_empty() {
+                if let Some(t) = self.vc_timer.take() {
+                    ctx.cancel_timer(t);
+                }
+            }
+        }
+    }
+
+    fn on_stall(&mut self, ctx: &mut Context<'_, ChainMsg>) {
+        // broadcast a report; silent replicas are the suspects
+        let me = self.me;
+        let view = self.view;
+        let last_seq = self.exec_cursor;
+        ctx.charge_crypto(CryptoOp::MacGen);
+        ctx.broadcast_replicas(ChainMsg::StallReport { view, last_seq, from: me });
+        self.reports.insert(me, last_seq);
+        if self.settle_timer.is_none() {
+            self.settle_timer = Some(ctx.set_timer(TimerKind::T5ViewSync, ctx.delta()));
+        }
+    }
+
+    fn on_settle(&mut self, ctx: &mut Context<'_, ChainMsg>) {
+        // reports are in: non-reporters are suspects
+        let suspects: Vec<ReplicaId> = (0..self.q.n as u32)
+            .map(ReplicaId)
+            .filter(|r| !self.reports.contains_key(r))
+            .collect();
+        let resume_from = self.reports.values().min().copied().unwrap_or(SeqNum(0));
+        let next_view = self.view.next();
+        // the prospective head of the next configuration announces it
+        let n = self.q.n as u32;
+        let start = (next_view.0 % n as u64) as u32;
+        let new_head = (0..n)
+            .map(|i| ReplicaId((start + i) % n))
+            .find(|r| !suspects.contains(r))
+            .unwrap_or(ReplicaId(start));
+        if new_head == self.me {
+            ctx.charge_crypto(CryptoOp::Sign);
+            ctx.broadcast_replicas(ChainMsg::Reconfigure {
+                view: next_view,
+                suspects: suspects.clone(),
+                resume_from,
+            });
+            self.adopt_config(next_view, suspects, resume_from, ctx);
+        }
+        self.reports.clear();
+    }
+
+    fn adopt_config(
+        &mut self,
+        view: View,
+        suspects: Vec<ReplicaId>,
+        resume_from: SeqNum,
+        ctx: &mut Context<'_, ChainMsg>,
+    ) {
+        if view <= self.view {
+            return;
+        }
+        self.view = view;
+        self.suspects = suspects;
+        self.reports.clear();
+        if let Some(t) = self.vc_timer.take() {
+            ctx.cancel_timer(t);
+        }
+        if let Some(t) = self.settle_timer.take() {
+            ctx.cancel_timer(t);
+        }
+        ctx.observe(Observation::NewView { view });
+        if self.is_head() {
+            // re-disseminate everything above the resume point so stragglers
+            // fill their gaps, then fresh requests
+            self.next_seq = self.next_seq.max(self.exec_cursor.next());
+            let replay: Vec<(SeqNum, Vec<SignedRequest>)> = self
+                .log
+                .range(resume_from.next()..)
+                .map(|(s, b)| (*s, b.clone()))
+                .collect();
+            let view = self.view;
+            if let Some(successor) = self.successor() {
+                for (seq, batch) in replay {
+                    let digest = digest_of(&batch);
+                    ctx.send(
+                        NodeId::Replica(successor),
+                        ChainMsg::Chained { view, seq, digest, batch, hops: 1 },
+                    );
+                }
+            }
+            // anything known but unexecuted and unlogged gets fresh slots
+            let in_log: Vec<RequestId> = self
+                .log
+                .values()
+                .flat_map(|b| b.iter().map(|r| r.request.id))
+                .collect();
+            let todo: Vec<SignedRequest> = self
+                .known
+                .values()
+                .filter(|r| {
+                    !self.executed_reqs.contains_key(&r.request.id)
+                        && !in_log.contains(&r.request.id)
+                })
+                .cloned()
+                .collect();
+            for r in todo {
+                if !self.mempool.iter().any(|m| m.request.id == r.request.id) {
+                    self.mempool.push_back(r);
+                }
+            }
+            self.disseminate(ctx);
+        }
+    }
+}
+
+impl Actor<ChainMsg> for ChainReplica {
+    fn on_start(&mut self, ctx: &mut Context<'_, ChainMsg>) {
+        ctx.observe(Observation::StageEnter { stage: Stage::Ordering });
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: ChainMsg, ctx: &mut Context<'_, ChainMsg>) {
+        match msg {
+            ChainMsg::Request(signed) => {
+                ctx.charge_crypto(CryptoOp::Verify);
+                if !signed.verify(&self.store) {
+                    return;
+                }
+                if self.executed_reqs.contains_key(&signed.request.id) {
+                    if let Some((id, result)) = self.sm.cached_reply(signed.request.id.client) {
+                        if *id == signed.request.id && self.replies_to_clients() {
+                            let reply = Reply {
+                                request: *id,
+                                view: self.view,
+                                result: result.clone(),
+                                state_digest: self.sm.digest(),
+                                speculative: false,
+                            };
+                            ctx.send(NodeId::Client(id.client), ChainMsg::Reply(reply));
+                        }
+                    }
+                    return;
+                }
+                self.known.insert(signed.request.id, signed.clone());
+                if self.is_head() {
+                    if !self.mempool.iter().any(|r| r.request.id == signed.request.id) {
+                        self.mempool.push_back(signed);
+                    }
+                    self.disseminate(ctx);
+                } else {
+                    let head = self.head();
+                    ctx.send(NodeId::Replica(head), ChainMsg::Request(signed.clone()));
+                    if !self.pending_reqs.contains(&signed.request.id) {
+                        self.pending_reqs.push(signed.request.id);
+                    }
+                    if self.vc_timer.is_none() {
+                        self.vc_timer =
+                            Some(ctx.set_timer(TimerKind::T2ViewChange, self.view_timeout));
+                    }
+                }
+            }
+            ChainMsg::Chained { view, seq, digest, batch, hops } => {
+                if view != self.view {
+                    return;
+                }
+                ctx.charge_crypto(CryptoOp::MacVerify);
+                ctx.charge_crypto(CryptoOp::Hash);
+                if digest_of(&batch) != digest {
+                    return;
+                }
+                self.accept_chained(seq, digest, batch, hops, ctx);
+            }
+            ChainMsg::StallReport { view, last_seq, from: r } => {
+                if view != self.view {
+                    return;
+                }
+                ctx.charge_crypto(CryptoOp::MacVerify);
+                self.reports.insert(r, last_seq);
+                // a report from elsewhere means someone stalled: join the
+                // round so our own liveness report is counted
+                if !self.reports.contains_key(&self.me) {
+                    self.on_stall(ctx);
+                }
+            }
+            ChainMsg::Reconfigure { view, suspects, resume_from } => {
+                let NodeId::Replica(_) = from else { return };
+                ctx.charge_crypto(CryptoOp::Verify);
+                self.adopt_config(view, suspects, resume_from, ctx);
+            }
+            ChainMsg::Reply(_) => {}
+        }
+    }
+
+    fn on_timer(&mut self, id: TimerId, kind: TimerKind, ctx: &mut Context<'_, ChainMsg>) {
+        match kind {
+            TimerKind::T2ViewChange
+                if Some(id) == self.vc_timer => {
+                    self.vc_timer = None;
+                    if !self.pending_reqs.is_empty() {
+                        self.on_stall(ctx);
+                    }
+                }
+            TimerKind::T5ViewSync
+                if Some(id) == self.settle_timer => {
+                    self.settle_timer = None;
+                    self.on_settle(ctx);
+                }
+            _ => {}
+        }
+    }
+}
+
+/// Chain client hooks: f+1 matching replies from the chain suffix.
+pub struct ChainClientProto;
+
+impl ClientProtocol for ChainClientProto {
+    type Msg = ChainMsg;
+
+    fn wrap_request(req: SignedRequest) -> ChainMsg {
+        ChainMsg::Request(req)
+    }
+
+    fn unwrap_reply(msg: &ChainMsg) -> Option<&Reply> {
+        match msg {
+            ChainMsg::Reply(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    fn submit_policy() -> SubmitPolicy {
+        SubmitPolicy::LeaderThenBroadcast
+    }
+
+    fn reply_quorum(q: &QuorumRules) -> usize {
+        q.weak()
+    }
+}
+
+/// Run Chain under a scenario.
+pub fn run(scenario: &Scenario) -> RunOutcome {
+    let n = scenario.n(3 * scenario.f + 1);
+    let q = QuorumRules { n, f: scenario.f };
+    let store = scenario.key_store();
+    let view_timeout = SimDuration(scenario.network.delta.0 * 4);
+
+    let mut sim = scenario.build_sim::<ChainMsg>();
+    for i in 0..n as u32 {
+        sim.add_replica(
+            i,
+            Box::new(ChainReplica::new(ReplicaId(i), q, store.clone(), view_timeout, scenario.batch_size)),
+        );
+    }
+    for c in 0..scenario.clients as u64 {
+        sim.add_client(c, Box::new(GenericClient::<ChainClientProto>::new(scenario, q, c)));
+    }
+    run_to_completion(sim, scenario.total_requests(), scenario.max_time)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pbft::{self, PbftOptions};
+    use bft_sim::{FaultPlan, SafetyAuditor, SimTime};
+
+    fn accepted(out: &RunOutcome) -> usize {
+        out.log.client_latencies().len()
+    }
+
+    #[test]
+    fn fault_free_pipeline_works() {
+        let s = Scenario::small(1).with_load(1, 30);
+        let out = run(&s);
+        SafetyAuditor::all_correct().assert_safe(&out.log);
+        assert_eq!(accepted(&out), 30);
+    }
+
+    #[test]
+    fn chain_uses_fewest_messages() {
+        let s = Scenario::small(1).with_load(1, 30);
+        let chain = run(&s);
+        let pbft = pbft::run(&s, &PbftOptions::default());
+        let msgs = |o: &RunOutcome| o.metrics.replica_msgs_sent() as f64 / 30.0;
+        assert!(
+            msgs(&chain) < msgs(&pbft) / 2.0,
+            "pipeline {} vs clique {} messages per request",
+            msgs(&chain),
+            msgs(&pbft)
+        );
+    }
+
+    #[test]
+    fn chain_latency_grows_with_n() {
+        // sequential hops: latency grows ~linearly with chain length
+        let mean = |f: usize| {
+            let s = Scenario::small(f).with_load(1, 15);
+            let out = run(&s);
+            let l = out.log.client_latencies();
+            l.iter().map(|(_, d)| d.0).sum::<u64>() as f64 / l.len() as f64
+        };
+        let m1 = mean(1); // n = 4
+        let m4 = mean(4); // n = 13
+        assert!(m4 > 2.0 * m1, "n=13 chain must be much slower: {m4} vs {m1}");
+    }
+
+    #[test]
+    fn mid_chain_crash_reconfigures() {
+        let s = Scenario::small(1)
+            .with_load(1, 20)
+            .with_faults(FaultPlan::none().crash(NodeId::replica(2), SimTime(3_000_000)));
+        let out = run(&s);
+        SafetyAuditor::excluding(vec![NodeId::replica(2)]).assert_safe(&out.log);
+        assert!(out.log.max_view() >= View(1), "reconfiguration must happen");
+        assert_eq!(accepted(&out), 20);
+    }
+
+    #[test]
+    fn deterministic() {
+        let s = Scenario::small(1).with_load(1, 10);
+        let a = run(&s);
+        let b = run(&s);
+        assert_eq!(a.events_processed, b.events_processed);
+        assert_eq!(a.end_time, b.end_time);
+    }
+}

@@ -1,0 +1,478 @@
+//! Infrastructure shared by every protocol implementation.
+//!
+//! * [`Scenario`] — the experiment description (cluster size, workload,
+//!   network, faults, seeds) under which protocols are compared.
+//! * [`SignedRequest`] — a client request carrying the client's signature.
+//! * [`QuorumTracker`] — counts distinct-sender votes per (view, seq,
+//!   digest) key; the core of every agreement phase.
+//! * [`GenericClient`] — the requester client (dimension P6) shared by most
+//!   protocols: closed-loop submission, reply collection against a
+//!   protocol-specific quorum, retransmission.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use bft_crypto::{digest_of, CryptoCostModel, KeyStore, Signature};
+use bft_crypto::sign::PartyId;
+use bft_sim::{
+    Actor, Context, FaultPlan, NetworkConfig, NetworkModel, NodeId, Observation, SimDuration,
+    SimTime, Simulation, TimerId,
+};
+use bft_core::workload::{Workload, WorkloadConfig};
+use bft_types::{
+    ClientId, Digest, QuorumRules, Reply, ReplicaId, Request, RequestId, TimerKind, WireSize,
+};
+
+/// A client request plus the client's signature over it.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize)]
+pub struct SignedRequest {
+    /// The request.
+    pub request: Request,
+    /// Client signature over the request.
+    pub sig: Signature,
+}
+
+impl SignedRequest {
+    /// Sign a request on behalf of a client.
+    pub fn new(store: &KeyStore, request: Request) -> SignedRequest {
+        let signer = store.signer_for(PartyId::client(request.id.client.0));
+        let sig = signer.sign_value(&request);
+        SignedRequest { request, sig }
+    }
+
+    /// Verify the client signature.
+    pub fn verify(&self, store: &KeyStore) -> bool {
+        bft_crypto::sign::verify_value(store, &self.request, &self.sig)
+    }
+
+    /// Digest identifying the request.
+    pub fn digest(&self) -> Digest {
+        digest_of(&self.request)
+    }
+}
+
+impl WireSize for SignedRequest {
+    fn wire_size(&self) -> usize {
+        self.request.wire_size() + Signature::WIRE_SIZE
+    }
+}
+
+/// Counts distinct-sender votes for keys of type `K` (typically
+/// `(View, SeqNum, Digest)`), the primitive under every prepare/commit/vote
+/// phase.
+#[derive(Debug, Clone)]
+pub struct QuorumTracker<K: Ord> {
+    votes: BTreeMap<K, Vec<ReplicaId>>,
+}
+
+impl<K: Ord + Clone> Default for QuorumTracker<K> {
+    fn default() -> Self {
+        QuorumTracker { votes: BTreeMap::new() }
+    }
+}
+
+impl<K: Ord + Clone> QuorumTracker<K> {
+    /// New empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a vote. Returns the number of distinct voters for the key
+    /// after insertion (duplicates do not increase the count).
+    pub fn vote(&mut self, key: K, from: ReplicaId) -> usize {
+        let voters = self.votes.entry(key).or_default();
+        if !voters.contains(&from) {
+            voters.push(from);
+        }
+        voters.len()
+    }
+
+    /// Current count for a key.
+    pub fn count(&self, key: &K) -> usize {
+        self.votes.get(key).map_or(0, |v| v.len())
+    }
+
+    /// Voters for a key.
+    pub fn voters(&self, key: &K) -> &[ReplicaId] {
+        self.votes.get(key).map_or(&[], |v| v.as_slice())
+    }
+
+    /// Drop all keys for which `pred` is false (garbage collection).
+    pub fn retain(&mut self, mut pred: impl FnMut(&K) -> bool) {
+        self.votes.retain(|k, _| pred(k));
+    }
+}
+
+/// The experiment scenario: everything about a run except the protocol.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Fault threshold.
+    pub f: usize,
+    /// Override the replica count (defaults to the protocol's formula).
+    pub n_override: Option<usize>,
+    /// Number of clients.
+    pub clients: usize,
+    /// Requests each client issues (closed loop).
+    pub requests_per_client: u64,
+    /// Network configuration.
+    pub network: NetworkConfig,
+    /// Crash/partition schedule.
+    pub faults: FaultPlan,
+    /// Transaction mix.
+    pub workload: WorkloadConfig,
+    /// Master seed (drives network delays, workload, crypto keys).
+    pub seed: u64,
+    /// Crypto cost model charged to virtual time.
+    pub cost_model: CryptoCostModel,
+    /// Checkpoint interval in sequence numbers (0 = disabled).
+    pub checkpoint_interval: u64,
+    /// Requests per batch.
+    pub batch_size: usize,
+    /// Virtual-time budget for the run.
+    pub max_time: SimDuration,
+}
+
+impl Scenario {
+    /// A small fault-free LAN scenario: f = 1, one client, 50 requests.
+    pub fn small(f: usize) -> Scenario {
+        Scenario {
+            f,
+            n_override: None,
+            clients: 1,
+            requests_per_client: 50,
+            network: NetworkConfig::lan(),
+            faults: FaultPlan::none(),
+            workload: WorkloadConfig::uniform(),
+            seed: 42,
+            cost_model: CryptoCostModel::free(),
+            checkpoint_interval: 16,
+            batch_size: 1,
+            max_time: SimDuration::from_secs(60),
+        }
+    }
+
+    /// Builder-style: set clients and per-client request count.
+    pub fn with_load(mut self, clients: usize, requests_per_client: u64) -> Scenario {
+        self.clients = clients;
+        self.requests_per_client = requests_per_client;
+        self
+    }
+
+    /// Builder-style: set the fault plan.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Scenario {
+        self.faults = faults;
+        self
+    }
+
+    /// Builder-style: set the network.
+    pub fn with_network(mut self, network: NetworkConfig) -> Scenario {
+        self.network = network;
+        self
+    }
+
+    /// Builder-style: set the workload.
+    pub fn with_workload(mut self, workload: WorkloadConfig) -> Scenario {
+        self.workload = workload;
+        self
+    }
+
+    /// Builder-style: set the seed.
+    pub fn with_seed(mut self, seed: u64) -> Scenario {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder-style: set the crypto cost model.
+    pub fn with_cost_model(mut self, cost_model: CryptoCostModel) -> Scenario {
+        self.cost_model = cost_model;
+        self
+    }
+
+    /// Builder-style: set the batch size.
+    pub fn with_batch(mut self, batch_size: usize) -> Scenario {
+        self.batch_size = batch_size;
+        self
+    }
+
+    /// The replica count for a protocol whose formula minimum is `min_n`.
+    pub fn n(&self, min_n: usize) -> usize {
+        self.n_override.map_or(min_n, |n| n.max(min_n))
+    }
+
+    /// The key store all parties in this scenario share.
+    pub fn key_store(&self) -> Arc<KeyStore> {
+        let mut master = [0u8; 32];
+        master[..8].copy_from_slice(&self.seed.to_le_bytes());
+        KeyStore::shared(master)
+    }
+
+    /// Build the simulation shell: network, seed, cost model, fault plan.
+    pub fn build_sim<M: WireSize + 'static>(&self) -> Simulation<M> {
+        let mut sim = Simulation::new(NetworkModel::new(self.network.clone()), self.seed);
+        sim.set_cost_model(self.cost_model);
+        self.faults.apply(&mut sim);
+        sim
+    }
+
+    /// Total requests across all clients.
+    pub fn total_requests(&self) -> u64 {
+        self.clients as u64 * self.requests_per_client
+    }
+
+    /// Workload generator for one client (each client gets a distinct
+    /// stream).
+    pub fn workload_for(&self, client: u64) -> Workload {
+        Workload::new(self.workload, self.seed.wrapping_mul(31).wrapping_add(client))
+    }
+}
+
+/// Where a generic client sends its requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitPolicy {
+    /// Send to the believed leader; on retransmit, broadcast (PBFT rule).
+    LeaderThenBroadcast,
+    /// Always broadcast to all replicas (rotating-leader and fair
+    /// protocols).
+    Broadcast,
+}
+
+/// Hooks a protocol provides to use [`GenericClient`].
+pub trait ClientProtocol: 'static {
+    /// The protocol's message type.
+    type Msg: WireSize + Clone + 'static;
+
+    /// Wrap a signed request for submission.
+    fn wrap_request(req: SignedRequest) -> Self::Msg;
+
+    /// Extract a reply, if this message is one.
+    fn unwrap_reply(msg: &Self::Msg) -> Option<&Reply>;
+
+    /// Submission policy.
+    fn submit_policy() -> SubmitPolicy;
+
+    /// The reply quorum for the given rules.
+    fn reply_quorum(q: &QuorumRules) -> usize;
+}
+
+/// The requester client shared by most protocols: closed-loop, collects
+/// matching replies, retransmits on timeout (broadcasting if the policy says
+/// so), records `ClientAccept` observations for latency accounting.
+pub struct GenericClient<P: ClientProtocol> {
+    id: ClientId,
+    q: QuorumRules,
+    store: Arc<KeyStore>,
+    workload: Workload,
+    total: u64,
+    sent: u64,
+    in_flight: Option<(RequestId, SignedRequest, SimTime)>,
+    collector: bft_core::client::ReplyCollector,
+    leader_hint: ReplicaId,
+    retransmit: SimDuration,
+    timer: Option<TimerId>,
+    retransmitted: bool,
+    _marker: std::marker::PhantomData<P>,
+}
+
+impl<P: ClientProtocol> GenericClient<P> {
+    /// Create a client for `scenario` with identity `id`.
+    pub fn new(scenario: &Scenario, q: QuorumRules, id: u64) -> Self {
+        GenericClient {
+            id: ClientId(id),
+            q,
+            store: scenario.key_store(),
+            workload: scenario.workload_for(id),
+            total: scenario.requests_per_client,
+            sent: 0,
+            in_flight: None,
+            collector: bft_core::client::ReplyCollector::new(),
+            leader_hint: ReplicaId(0),
+            retransmit: SimDuration(scenario.network.delta.0 * 4),
+            timer: None,
+            retransmitted: false,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    fn submit_next(&mut self, ctx: &mut Context<'_, P::Msg>) {
+        if self.sent >= self.total {
+            return;
+        }
+        self.sent += 1;
+        let request = Request::new(self.id, self.sent, self.workload.next_txn());
+        let signed = SignedRequest::new(&self.store, request.clone());
+        ctx.charge_crypto(bft_crypto::CryptoOp::Sign);
+        self.in_flight = Some((request.id, signed.clone(), ctx.now()));
+        self.collector.clear();
+        self.retransmitted = false;
+        self.dispatch(signed, false, ctx);
+        let t = ctx.set_timer(TimerKind::T1WaitReplies, self.retransmit);
+        self.timer = Some(t);
+    }
+
+    fn dispatch(&mut self, signed: SignedRequest, retransmit: bool, ctx: &mut Context<'_, P::Msg>) {
+        match P::submit_policy() {
+            SubmitPolicy::LeaderThenBroadcast if !retransmit => {
+                ctx.send(NodeId::Replica(self.leader_hint), P::wrap_request(signed));
+            }
+            _ => {
+                let n = self.q.n;
+                ctx.multicast(
+                    (0..n as u32).map(NodeId::replica),
+                    P::wrap_request(signed),
+                );
+            }
+        }
+    }
+
+    /// Completed request count.
+    pub fn completed(&self) -> u64 {
+        self.sent.saturating_sub(self.in_flight.is_some() as u64)
+    }
+}
+
+impl<P: ClientProtocol> Actor<P::Msg> for GenericClient<P> {
+    fn on_start(&mut self, ctx: &mut Context<'_, P::Msg>) {
+        self.submit_next(ctx);
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: P::Msg, ctx: &mut Context<'_, P::Msg>) {
+        let Some(reply) = P::unwrap_reply(&msg) else { return };
+        let Some((current, _, sent_at)) = self.in_flight else { return };
+        if reply.request != current {
+            return;
+        }
+        let NodeId::Replica(replica) = from else { return };
+        ctx.charge_crypto(bft_crypto::CryptoOp::Verify);
+        self.leader_hint = reply.view.leader_of(self.q.n);
+        let quorum = P::reply_quorum(&self.q);
+        if let bft_core::client::CollectStatus::Complete { reply: agreed, .. } =
+            self.collector.offer(replica, reply.clone(), quorum)
+        {
+            if let Some(t) = self.timer.take() {
+                ctx.cancel_timer(t);
+            }
+            self.in_flight = None;
+            ctx.observe(Observation::ClientAccept {
+                request: current,
+                sent_at,
+                fast_path: !self.retransmitted && agreed.speculative,
+            });
+            self.submit_next(ctx);
+        }
+    }
+
+    fn on_timer(&mut self, id: TimerId, _kind: TimerKind, ctx: &mut Context<'_, P::Msg>) {
+        if Some(id) != self.timer {
+            return;
+        }
+        let Some((_, signed, _)) = self.in_flight.clone() else { return };
+        // retransmit, broadcasting (PBFT rule: a retransmission goes to all
+        // replicas so a faulty leader cannot suppress the request forever)
+        self.retransmitted = true;
+        self.dispatch(signed, true, ctx);
+        let t = ctx.set_timer(TimerKind::T1WaitReplies, self.retransmit);
+        self.timer = Some(t);
+    }
+}
+
+/// Drive a simulation until every expected client acceptance has been
+/// observed, the event queue drains, or the virtual-time budget runs out.
+/// Returns the finished outcome.
+pub fn run_to_completion<M: WireSize + 'static>(
+    sim: Simulation<M>,
+    total_requests: u64,
+    max_time: SimDuration,
+) -> bft_sim::runner::RunOutcome {
+    run_to_completion_with_drain(sim, total_requests, max_time, SimDuration::ZERO)
+}
+
+/// Like [`run_to_completion`], but keeps the simulation running for `drain`
+/// extra virtual time after the last client acceptance, letting in-flight
+/// messages settle (used by protocols whose convergence outlasts the last
+/// reply, e.g. Q/U's trailing fast-forwards).
+pub fn run_to_completion_with_drain<M: WireSize + 'static>(
+    mut sim: Simulation<M>,
+    total_requests: u64,
+    max_time: SimDuration,
+    drain: SimDuration,
+) -> bft_sim::runner::RunOutcome {
+    let step = SimDuration::from_millis(50);
+    let mut t = SimTime::ZERO;
+    loop {
+        t = t + step;
+        sim.run(t);
+        let accepted = sim
+            .log()
+            .count(|e| matches!(e.obs, Observation::ClientAccept { .. }));
+        if accepted as u64 >= total_requests {
+            if drain.0 > 0 {
+                sim.run(t + drain);
+            }
+            break;
+        }
+        if t.0 >= max_time.0 {
+            // the virtual-time budget is the deadlock backstop
+            break;
+        }
+    }
+    sim.finish()
+}
+
+/// A re-proposable consensus entry: `(slot, batch digest, batch)` — the
+/// unit view-change messages carry.
+pub type BatchEntry = (bft_types::SeqNum, Digest, Vec<SignedRequest>);
+
+/// View-change votes collected per target view: sender plus the entries it
+/// reported.
+pub type VcVotes = BTreeMap<bft_types::View, Vec<(ReplicaId, Vec<BatchEntry>)>>;
+
+/// Helper: the set of replica ids `0..n` as `NodeId`s.
+pub fn replica_nodes(n: usize) -> impl Iterator<Item = NodeId> + Clone {
+    (0..n as u32).map(NodeId::replica)
+}
+
+/// Helper: pretty digest for markers.
+pub fn short(d: &Digest) -> String {
+    d.short_hex()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quorum_tracker_counts_distinct() {
+        let mut t: QuorumTracker<(u64, u8)> = QuorumTracker::new();
+        assert_eq!(t.vote((1, 0), ReplicaId(0)), 1);
+        assert_eq!(t.vote((1, 0), ReplicaId(0)), 1, "duplicate ignored");
+        assert_eq!(t.vote((1, 0), ReplicaId(1)), 2);
+        assert_eq!(t.vote((2, 0), ReplicaId(1)), 1, "separate key");
+        assert_eq!(t.count(&(1, 0)), 2);
+        t.retain(|k| k.0 > 1);
+        assert_eq!(t.count(&(1, 0)), 0);
+        assert_eq!(t.count(&(2, 0)), 1);
+    }
+
+    #[test]
+    fn signed_request_verifies() {
+        let s = Scenario::small(1);
+        let store = s.key_store();
+        let req = Request::new(ClientId(1), 1, bft_types::Transaction::default());
+        let signed = SignedRequest::new(&store, req);
+        assert!(signed.verify(&store));
+        // tampering breaks it
+        let mut bad = signed.clone();
+        bad.request.id.timestamp = 99;
+        assert!(!bad.verify(&store));
+    }
+
+    #[test]
+    fn scenario_n_override_respects_minimum() {
+        let mut s = Scenario::small(1);
+        assert_eq!(s.n(4), 4);
+        s.n_override = Some(7);
+        assert_eq!(s.n(4), 7);
+        s.n_override = Some(2);
+        assert_eq!(s.n(4), 4, "cannot go below the protocol minimum");
+    }
+}

@@ -1,0 +1,893 @@
+//! Themis-style order-fair BFT (Kelkar et al. '22): design choice 13,
+//! *fair*, and dimension **Q1** (*order-fairness*).
+//!
+//! The fairness definition: if a γ fraction of replicas received request
+//! `t1` before `t2`, then `t1` must execute before `t2`. With γ = 1 the
+//! replica bound `n > 4f/(2γ−1)` is `4f+1` — the deployment this module
+//! uses.
+//!
+//! Mechanism (the paper's preordering approach, DC13):
+//!
+//! * clients **broadcast** requests to every replica;
+//! * each replica keeps its local *receive order*; every preordering round
+//!   (timer τ6) it sends its pending requests, in receive order, to the
+//!   leader;
+//! * the leader bundles **n − f** such batches into a proposal — crucially
+//!   the proposal carries the *batches themselves*, not an order: every
+//!   replica derives the execution order deterministically (requests
+//!   supported by ≥ f+1 batches, sorted by median reported position). A
+//!   Byzantine leader therefore cannot reorder at all; it can only select
+//!   *which* n−f batches to include, and any such selection still contains
+//!   ≥ 2f+1 honest receive orders — the γ-fairness witness;
+//! * a PBFT-style three-phase round commits the batch set.
+//!
+//! The Q1 experiment compares execution order against true client send
+//! order under this protocol vs. PBFT with a front-running (`Favor`)
+//! leader.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use bft_crypto::{digest_of, CryptoOp, KeyStore};
+use bft_sim::runner::RunOutcome;
+use bft_sim::{Actor, Context, NodeId, Observation, SimDuration, Stage, TimerId};
+use bft_state::StateMachine;
+use bft_types::{
+    Digest, Op, QuorumRules, Reply, ReplicaId, RequestId, SeqNum, TimerKind, View, WireSize,
+};
+
+use crate::common::{
+    run_to_completion, ClientProtocol, GenericClient, Scenario, SignedRequest, SubmitPolicy,
+};
+
+/// Fair-protocol messages.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub enum FairMsg {
+    /// Client → all replicas (broadcast — fairness needs every replica's
+    /// receive timestamp).
+    Request(SignedRequest),
+    /// Replica → client.
+    Reply(Reply),
+    /// Preordering round batch: replica → leader (timer τ6).
+    RoundBatch {
+        /// Preordering round.
+        round: u64,
+        /// Pending requests in this replica's receive order.
+        entries: Vec<SignedRequest>,
+        /// Sender.
+        from: ReplicaId,
+    },
+    /// Leader → all: the collected batch set (the order is *derived*, not
+    /// dictated).
+    FairPropose {
+        /// View.
+        view: View,
+        /// Slot.
+        seq: SeqNum,
+        /// Digest over the batch set.
+        digest: Digest,
+        /// The n−f collected round batches.
+        batches: Vec<(ReplicaId, Vec<SignedRequest>)>,
+    },
+    /// Quadratic agreement round 1.
+    Prepare {
+        /// View.
+        view: View,
+        /// Slot.
+        seq: SeqNum,
+        /// Digest.
+        digest: Digest,
+        /// Sender.
+        from: ReplicaId,
+    },
+    /// Quadratic agreement round 2.
+    Commit {
+        /// View.
+        view: View,
+        /// Slot.
+        seq: SeqNum,
+        /// Digest.
+        digest: Digest,
+        /// Sender.
+        from: ReplicaId,
+    },
+    /// View change.
+    ViewChange {
+        /// Target view.
+        new_view: View,
+        /// Prepared proposals.
+        prepared: Vec<FairEntry>,
+        /// Sender.
+        from: ReplicaId,
+    },
+    /// New leader installs the view.
+    NewView {
+        /// Installed view.
+        view: View,
+        /// Re-proposals.
+        proposals: Vec<FairEntry>,
+    },
+}
+
+impl WireSize for FairMsg {
+    fn wire_size(&self) -> usize {
+        let batches_size = |batches: &Vec<ReplicaBatch>| {
+            batches.iter().map(|(_, b)| 4 + b.wire_size()).sum::<usize>()
+        };
+        match self {
+            FairMsg::Request(r) => 1 + r.wire_size(),
+            FairMsg::Reply(r) => 1 + r.wire_size(),
+            FairMsg::RoundBatch { entries, .. } => 1 + 8 + entries.wire_size() + 4 + 64,
+            FairMsg::FairPropose { batches, .. } => 1 + 16 + 32 + batches_size(batches) + 64,
+            FairMsg::Prepare { .. } | FairMsg::Commit { .. } => 1 + 16 + 32 + 4 + 64,
+            FairMsg::ViewChange { prepared, .. } => {
+                1 + 8
+                    + prepared.iter().map(|(_, _, b)| 40 + batches_size(b)).sum::<usize>()
+                    + 64
+            }
+            FairMsg::NewView { proposals, .. } => {
+                1 + 8
+                    + proposals.iter().map(|(_, _, b)| 40 + batches_size(b)).sum::<usize>()
+                    + 64
+            }
+        }
+    }
+}
+
+/// One replica's receive-order batch inside a proposal.
+pub type ReplicaBatch = (ReplicaId, Vec<SignedRequest>);
+
+/// A re-proposable fair slot: `(slot, digest, the collected batch set)`.
+pub type FairEntry = (SeqNum, Digest, Vec<ReplicaBatch>);
+
+/// Deterministic γ-fair merge: requests supported by ≥ `support` of the
+/// batches, ordered by the median of their positions in the batches that
+/// contain them (ties by request id). Every replica computes this
+/// identically from the proposal's batch set — the leader has no say.
+pub fn fair_merge(
+    batches: &[ReplicaBatch],
+    support: usize,
+) -> Vec<SignedRequest> {
+    let mut positions: BTreeMap<RequestId, (Vec<usize>, SignedRequest)> = BTreeMap::new();
+    for (_, batch) in batches {
+        for (pos, signed) in batch.iter().enumerate() {
+            positions
+                .entry(signed.request.id)
+                .or_insert_with(|| (Vec::new(), signed.clone()))
+                .0
+                .push(pos);
+        }
+    }
+    let mut merged: Vec<(usize, RequestId, SignedRequest)> = positions
+        .into_iter()
+        .filter(|(_, (pos, _))| pos.len() >= support)
+        .map(|(id, (mut pos, signed))| {
+            pos.sort_unstable();
+            let median = pos[pos.len() / 2];
+            (median, id, signed)
+        })
+        .collect();
+    merged.sort_by_key(|a| (a.0, a.1));
+    merged.into_iter().map(|(_, _, s)| s).collect()
+}
+
+#[derive(Debug, Clone, Default)]
+struct FairSlot {
+    digest: Option<Digest>,
+    batches: Vec<(ReplicaId, Vec<SignedRequest>)>,
+    prepares: Vec<ReplicaId>,
+    commits: Vec<ReplicaId>,
+    prepared: bool,
+    committed: bool,
+    executed: bool,
+    sent_commit: bool,
+}
+
+/// A fair-protocol replica.
+pub struct FairReplica {
+    me: ReplicaId,
+    q: QuorumRules,
+    store: Arc<KeyStore>,
+    view: View,
+    next_seq: SeqNum,
+    round: u64,
+    slots: BTreeMap<SeqNum, FairSlot>,
+    /// Pending requests in receive order.
+    pending: Vec<SignedRequest>,
+    /// Round batches collected by the leader: round → replica → batch.
+    round_batches: BTreeMap<u64, Vec<(ReplicaId, Vec<SignedRequest>)>>,
+    executed_reqs: BTreeMap<RequestId, ()>,
+    sm: StateMachine,
+    exec_cursor: SeqNum,
+    in_view_change: bool,
+    vc_votes: BTreeMap<View, Vec<(ReplicaId, Vec<FairEntry>)>>,
+    vc_timer: Option<TimerId>,
+    future_msgs: Vec<(NodeId, FairMsg)>,
+    round_timer: Option<TimerId>,
+    round_period: SimDuration,
+    view_timeout: SimDuration,
+}
+
+impl FairReplica {
+    /// Create a replica.
+    pub fn new(
+        me: ReplicaId,
+        q: QuorumRules,
+        store: Arc<KeyStore>,
+        round_period: SimDuration,
+        view_timeout: SimDuration,
+    ) -> Self {
+        FairReplica {
+            me,
+            q,
+            store,
+            view: View(0),
+            next_seq: SeqNum(1),
+            round: 0,
+            slots: BTreeMap::new(),
+            pending: Vec::new(),
+            round_batches: BTreeMap::new(),
+            executed_reqs: BTreeMap::new(),
+            sm: StateMachine::new(),
+            exec_cursor: SeqNum(0),
+            in_view_change: false,
+            vc_votes: BTreeMap::new(),
+            vc_timer: None,
+            future_msgs: Vec::new(),
+            round_timer: None,
+            round_period,
+            view_timeout,
+        }
+    }
+
+    fn leader(&self) -> ReplicaId {
+        self.view.leader_of(self.q.n)
+    }
+
+    fn is_leader(&self) -> bool {
+        self.leader() == self.me
+    }
+
+    /// Batches needed per proposal: n − f.
+    fn batch_quorum(&self) -> usize {
+        self.q.n - self.q.f
+    }
+
+    /// Support needed for a request to enter the merge: f + 1.
+    fn merge_support(&self) -> usize {
+        self.q.f + 1
+    }
+
+    fn on_round_tick(&mut self, ctx: &mut Context<'_, FairMsg>) {
+        self.round += 1;
+        let round = self.round;
+        let executed = &self.executed_reqs;
+        self.pending.retain(|r| !executed.contains_key(&r.request.id));
+        let entries = self.pending.clone();
+        let me = self.me;
+        if !entries.is_empty() || self.is_leader() {
+            ctx.charge_crypto(CryptoOp::Sign);
+            let leader = self.leader();
+            if leader == self.me {
+                self.record_round_batch(me, round, entries, ctx);
+            } else {
+                ctx.send(NodeId::Replica(leader), FairMsg::RoundBatch { round, entries, from: me });
+            }
+        }
+        // liveness pressure: pending work arms τ2
+        if !self.pending.is_empty() && self.vc_timer.is_none() && !self.in_view_change {
+            self.vc_timer = Some(ctx.set_timer(TimerKind::T2ViewChange, self.view_timeout));
+        }
+        self.round_timer = Some(ctx.set_timer(TimerKind::T6PreorderRound, self.round_period));
+    }
+
+    fn record_round_batch(
+        &mut self,
+        from: ReplicaId,
+        round: u64,
+        entries: Vec<SignedRequest>,
+        ctx: &mut Context<'_, FairMsg>,
+    ) {
+        if !self.is_leader() || self.in_view_change {
+            return;
+        }
+        let needed = self.batch_quorum();
+        let batches = self.round_batches.entry(round).or_default();
+        if batches.iter().any(|(r, _)| *r == from) {
+            return;
+        }
+        batches.push((from, entries));
+        if batches.len() >= needed {
+            let batches = self.round_batches.remove(&round).unwrap_or_default();
+            // propose only when the merge is non-trivial
+            let merged = fair_merge(&batches, self.merge_support());
+            let fresh: Vec<&SignedRequest> = merged
+                .iter()
+                .filter(|r| !self.executed_reqs.contains_key(&r.request.id))
+                .collect();
+            if fresh.is_empty() {
+                return;
+            }
+            let seq = self.next_seq;
+            self.next_seq = self.next_seq.next();
+            let digest = digest_of(&batches);
+            ctx.charge_crypto(CryptoOp::Hash);
+            ctx.charge_crypto(CryptoOp::Sign);
+            let view = self.view;
+            {
+                let slot = self.slots.entry(seq).or_default();
+                slot.digest = Some(digest);
+                slot.batches = batches.clone();
+            }
+            ctx.broadcast_replicas(FairMsg::FairPropose { view, seq, digest, batches });
+            let me = self.me;
+            self.record_prepare(me, seq, digest, ctx);
+        } else {
+            // old rounds that never filled up: garbage-collect
+            self.round_batches.retain(|r, _| *r + 8 > round);
+        }
+    }
+
+    fn record_prepare(
+        &mut self,
+        from: ReplicaId,
+        seq: SeqNum,
+        digest: Digest,
+        ctx: &mut Context<'_, FairMsg>,
+    ) {
+        let quorum = self.q.quorum();
+        let view = self.view;
+        let me = self.me;
+        let slot = self.slots.entry(seq).or_default();
+        if slot.digest.is_some() && slot.digest != Some(digest) {
+            return;
+        }
+        if !slot.prepares.contains(&from) {
+            slot.prepares.push(from);
+        }
+        if slot.digest == Some(digest) && !slot.prepared && slot.prepares.len() >= quorum {
+            slot.prepared = true;
+            if !slot.sent_commit {
+                slot.sent_commit = true;
+                ctx.charge_crypto(CryptoOp::Sign);
+                ctx.broadcast_replicas(FairMsg::Commit { view, seq, digest, from: me });
+                self.record_commit(me, seq, digest, ctx);
+            }
+        }
+    }
+
+    fn record_commit(
+        &mut self,
+        from: ReplicaId,
+        seq: SeqNum,
+        digest: Digest,
+        ctx: &mut Context<'_, FairMsg>,
+    ) {
+        let quorum = self.q.quorum();
+        let view = self.view;
+        let slot = self.slots.entry(seq).or_default();
+        if slot.digest.is_some() && slot.digest != Some(digest) {
+            return;
+        }
+        if !slot.commits.contains(&from) {
+            slot.commits.push(from);
+        }
+        if slot.prepared && !slot.committed && slot.commits.len() >= quorum {
+            slot.committed = true;
+            ctx.observe(Observation::Commit { seq, view, digest, speculative: false });
+            self.try_execute(ctx);
+        }
+    }
+
+    fn try_execute(&mut self, ctx: &mut Context<'_, FairMsg>) {
+        loop {
+            let next = self.exec_cursor.next();
+            let Some(slot) = self.slots.get(&next) else { break };
+            if !slot.committed || slot.executed {
+                break;
+            }
+            // the execution order is DERIVED from the batch set — identical
+            // at every replica, independent of the leader
+            let merged = fair_merge(&slot.batches, self.merge_support());
+            let view = self.view;
+            ctx.observe(Observation::StageEnter { stage: Stage::Execution });
+            for signed in &merged {
+                if self.executed_reqs.contains_key(&signed.request.id) {
+                    continue;
+                }
+                let seq = self.sm.last_executed().next();
+                let work: u32 = signed
+                    .request
+                    .txn
+                    .ops
+                    .iter()
+                    .map(|op| if let Op::Work(w) = op { *w } else { 0 })
+                    .sum();
+                if work > 0 {
+                    ctx.charge(SimDuration(work as u64 * 1_000));
+                }
+                let (result, state_digest) = self.sm.execute(seq, &signed.request);
+                ctx.observe(Observation::Execute { seq, request: signed.request.id, state_digest });
+                self.executed_reqs.insert(signed.request.id, ());
+                let reply = Reply {
+                    request: signed.request.id,
+                    view,
+                    result,
+                    state_digest,
+                    speculative: false,
+                };
+                ctx.charge_crypto(CryptoOp::Sign);
+                ctx.send(NodeId::Client(signed.request.id.client), FairMsg::Reply(reply));
+            }
+            let slot = self.slots.get_mut(&next).expect("slot exists");
+            slot.executed = true;
+            self.exec_cursor = next;
+            let executed = &self.executed_reqs;
+            self.pending.retain(|r| !executed.contains_key(&r.request.id));
+            ctx.observe(Observation::StageEnter { stage: Stage::Ordering });
+            if self.pending.is_empty() {
+                if let Some(t) = self.vc_timer.take() {
+                    ctx.cancel_timer(t);
+                }
+            }
+        }
+    }
+
+    // ---- view change ---------------------------------------------------
+
+    fn start_view_change(&mut self, target: View, ctx: &mut Context<'_, FairMsg>) {
+        if target <= self.view {
+            return;
+        }
+        if self.in_view_change && self.vc_votes.keys().max().is_some_and(|v| *v >= target) {
+            return;
+        }
+        self.in_view_change = true;
+        ctx.observe(Observation::StageEnter { stage: Stage::ViewChange });
+        let prepared: Vec<FairEntry> = self
+            .slots
+            .iter()
+            .filter(|(seq, s)| s.prepared && !s.executed && **seq > self.exec_cursor)
+            .map(|(seq, s)| (*seq, s.digest.unwrap_or(Digest::ZERO), s.batches.clone()))
+            .collect();
+        ctx.charge_crypto(CryptoOp::Sign);
+        let me = self.me;
+        ctx.broadcast_replicas(FairMsg::ViewChange {
+            new_view: target,
+            prepared: prepared.clone(),
+            from: me,
+        });
+        self.record_vc(me, target, prepared, ctx);
+        self.vc_timer = Some(ctx.set_timer(TimerKind::T2ViewChange, self.view_timeout));
+    }
+
+    fn record_vc(
+        &mut self,
+        from: ReplicaId,
+        target: View,
+        prepared: Vec<FairEntry>,
+        ctx: &mut Context<'_, FairMsg>,
+    ) {
+        let votes = self.vc_votes.entry(target).or_default();
+        if votes.iter().any(|(r, _)| *r == from) {
+            return;
+        }
+        votes.push((from, prepared));
+        let have = votes.len();
+        if target > self.view && !self.in_view_change && have > self.q.f {
+            self.start_view_change(target, ctx);
+            return;
+        }
+        if target.leader_of(self.q.n) == self.me && self.in_view_change && have >= self.q.quorum()
+        {
+            let votes = self.vc_votes.get(&target).cloned().unwrap_or_default();
+            let mut proposals: BTreeMap<SeqNum, (Digest, Vec<ReplicaBatch>)> = BTreeMap::new();
+            for (_, prepared) in &votes {
+                for (seq, digest, batches) in prepared {
+                    proposals.entry(*seq).or_insert((*digest, batches.clone()));
+                }
+            }
+            let proposals: Vec<FairEntry> =
+                proposals.into_iter().map(|(s, (d, b))| (s, d, b)).collect();
+            ctx.charge_crypto(CryptoOp::Sign);
+            ctx.broadcast_replicas(FairMsg::NewView { view: target, proposals: proposals.clone() });
+            self.install_view(target, proposals, ctx);
+        }
+    }
+
+    fn install_view(
+        &mut self,
+        view: View,
+        proposals: Vec<FairEntry>,
+        ctx: &mut Context<'_, FairMsg>,
+    ) {
+        self.view = view;
+        self.in_view_change = false;
+        self.vc_votes.retain(|v, _| *v > view);
+        self.round_batches.clear();
+        if let Some(t) = self.vc_timer.take() {
+            ctx.cancel_timer(t);
+        }
+        ctx.observe(Observation::NewView { view });
+        ctx.observe(Observation::StageEnter { stage: Stage::Ordering });
+        let exec_cursor = self.exec_cursor;
+        let re_proposed: Vec<SeqNum> = proposals.iter().map(|(s, _, _)| *s).collect();
+        // dead slots' requests remain in `pending` (they were never removed)
+        self.slots
+            .retain(|seq, slot| *seq <= exec_cursor || slot.executed || re_proposed.contains(seq));
+        let max_seq = proposals.iter().map(|(s, _, _)| *s).max().unwrap_or(exec_cursor);
+        let leader = self.leader();
+        let me = self.me;
+        for (seq, digest, batches) in proposals {
+            if seq <= exec_cursor {
+                continue;
+            }
+            {
+                let slot = self.slots.entry(seq).or_default();
+                if slot.executed {
+                    continue;
+                }
+                slot.digest = Some(digest);
+                slot.batches = batches;
+                slot.prepared = false;
+                slot.committed = false;
+                slot.sent_commit = false;
+                slot.prepares.clear();
+                slot.commits.clear();
+            }
+            if me != leader {
+                ctx.charge_crypto(CryptoOp::Sign);
+                let view = self.view;
+                ctx.broadcast_replicas(FairMsg::Prepare { view, seq, digest, from: me });
+                self.record_prepare(me, seq, digest, ctx);
+            }
+        }
+        if self.is_leader() {
+            self.next_seq = self.next_seq.max(max_seq.next()).max(self.exec_cursor.next());
+        }
+        let cur = self.view;
+        let msg_view = |m: &FairMsg| match m {
+            FairMsg::FairPropose { view, .. }
+            | FairMsg::Prepare { view, .. }
+            | FairMsg::Commit { view, .. } => Some(*view),
+            _ => None,
+        };
+        let (now, later): (Vec<_>, Vec<_>) = std::mem::take(&mut self.future_msgs)
+            .into_iter()
+            .partition(|(_, m)| msg_view(m) == Some(cur));
+        self.future_msgs = later
+            .into_iter()
+            .filter(|(_, m)| msg_view(m).is_some_and(|v| v > cur))
+            .collect();
+        for (from, msg) in now {
+            self.on_message(from, msg, ctx);
+        }
+    }
+
+    fn view_ok(&mut self, from: NodeId, view: View, msg: FairMsg) -> bool {
+        if view > self.view || (self.in_view_change && view == self.view) {
+            if self.future_msgs.len() < 10_000 {
+                self.future_msgs.push((from, msg));
+            }
+            false
+        } else {
+            view == self.view && !self.in_view_change
+        }
+    }
+}
+
+impl Actor<FairMsg> for FairReplica {
+    fn on_start(&mut self, ctx: &mut Context<'_, FairMsg>) {
+        ctx.observe(Observation::StageEnter { stage: Stage::Ordering });
+        self.round_timer = Some(ctx.set_timer(TimerKind::T6PreorderRound, self.round_period));
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: FairMsg, ctx: &mut Context<'_, FairMsg>) {
+        match msg {
+            FairMsg::Request(signed) => {
+                ctx.charge_crypto(CryptoOp::Verify);
+                if !signed.verify(&self.store) {
+                    return;
+                }
+                if self.executed_reqs.contains_key(&signed.request.id) {
+                    if let Some((id, result)) = self.sm.cached_reply(signed.request.id.client) {
+                        if *id == signed.request.id {
+                            let reply = Reply {
+                                request: *id,
+                                view: self.view,
+                                result: result.clone(),
+                                state_digest: self.sm.digest(),
+                                speculative: false,
+                            };
+                            ctx.send(NodeId::Client(id.client), FairMsg::Reply(reply));
+                        }
+                    }
+                    return;
+                }
+                // record in RECEIVE ORDER — the fairness-critical step
+                if !self.pending.iter().any(|r| r.request.id == signed.request.id) {
+                    self.pending.push(signed);
+                }
+            }
+            FairMsg::RoundBatch { round, entries, from: r } => {
+                ctx.charge_crypto(CryptoOp::Verify);
+                self.record_round_batch(r, round, entries, ctx);
+            }
+            FairMsg::FairPropose { view, seq, digest, batches } => {
+                let m = FairMsg::FairPropose { view, seq, digest, batches: batches.clone() };
+                if !self.view_ok(from, view, m) {
+                    return;
+                }
+                if from != NodeId::Replica(self.leader()) {
+                    return;
+                }
+                ctx.charge_crypto(CryptoOp::Verify);
+                ctx.charge_crypto(CryptoOp::Hash);
+                if digest_of(&batches) != digest {
+                    return;
+                }
+                // verify the proposal carries enough distinct batches
+                let mut senders: Vec<ReplicaId> = batches.iter().map(|(r, _)| *r).collect();
+                senders.sort_unstable();
+                senders.dedup();
+                if senders.len() < self.batch_quorum() {
+                    return; // not enough receive-order witnesses: unfair
+                }
+                {
+                    let slot = self.slots.entry(seq).or_default();
+                    if slot.digest.is_some() && slot.digest != Some(digest) {
+                        return;
+                    }
+                    slot.digest = Some(digest);
+                    slot.batches = batches;
+                }
+                let me = self.me;
+                let leader = self.leader();
+                ctx.charge_crypto(CryptoOp::Sign);
+                ctx.broadcast_replicas(FairMsg::Prepare { view, seq, digest, from: me });
+                // the proposal itself is the leader's prepare vote
+                self.record_prepare(leader, seq, digest, ctx);
+                self.record_prepare(me, seq, digest, ctx);
+            }
+            FairMsg::Prepare { view, seq, digest, from: r } => {
+                let m = FairMsg::Prepare { view, seq, digest, from: r };
+                if !self.view_ok(from, view, m) {
+                    return;
+                }
+                ctx.charge_crypto(CryptoOp::Verify);
+                self.record_prepare(r, seq, digest, ctx);
+            }
+            FairMsg::Commit { view, seq, digest, from: r } => {
+                let m = FairMsg::Commit { view, seq, digest, from: r };
+                if !self.view_ok(from, view, m) {
+                    return;
+                }
+                ctx.charge_crypto(CryptoOp::Verify);
+                self.record_commit(r, seq, digest, ctx);
+            }
+            FairMsg::ViewChange { new_view, prepared, from: r } => {
+                ctx.charge_crypto(CryptoOp::Verify);
+                self.record_vc(r, new_view, prepared, ctx);
+            }
+            FairMsg::NewView { view, proposals } => {
+                if view >= self.view && from == NodeId::Replica(view.leader_of(self.q.n)) {
+                    ctx.charge_crypto(CryptoOp::Verify);
+                    self.install_view(view, proposals, ctx);
+                }
+            }
+            FairMsg::Reply(_) => {}
+        }
+    }
+
+    fn on_timer(&mut self, id: TimerId, kind: TimerKind, ctx: &mut Context<'_, FairMsg>) {
+        match kind {
+            TimerKind::T6PreorderRound
+                if Some(id) == self.round_timer => {
+                    self.round_timer = None;
+                    self.on_round_tick(ctx);
+                }
+            TimerKind::T2ViewChange
+                if Some(id) == self.vc_timer => {
+                    self.vc_timer = None;
+                    if self.in_view_change {
+                        let target =
+                            self.vc_votes.keys().max().copied().unwrap_or(self.view).next();
+                        self.start_view_change(target, ctx);
+                    } else if !self.pending.is_empty() {
+                        let target = self.view.next();
+                        self.start_view_change(target, ctx);
+                    }
+                }
+            _ => {}
+        }
+    }
+}
+
+/// Fair-protocol client hooks: broadcast (every replica must timestamp).
+pub struct FairClientProto;
+
+impl ClientProtocol for FairClientProto {
+    type Msg = FairMsg;
+
+    fn wrap_request(req: SignedRequest) -> FairMsg {
+        FairMsg::Request(req)
+    }
+
+    fn unwrap_reply(msg: &FairMsg) -> Option<&Reply> {
+        match msg {
+            FairMsg::Reply(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    fn submit_policy() -> SubmitPolicy {
+        SubmitPolicy::Broadcast
+    }
+
+    fn reply_quorum(q: &QuorumRules) -> usize {
+        q.weak()
+    }
+}
+
+/// Run the fair protocol under a scenario (n = 4f+1, γ = 1).
+pub fn run(scenario: &Scenario) -> RunOutcome {
+    let n = scenario.n(4 * scenario.f + 1);
+    let q = QuorumRules { n, f: scenario.f };
+    let store = scenario.key_store();
+    let round_period = SimDuration(scenario.network.base_delay.0 * 4);
+    let view_timeout = SimDuration(scenario.network.delta.0 * 4);
+
+    let mut sim = scenario.build_sim::<FairMsg>();
+    for i in 0..n as u32 {
+        sim.add_replica(
+            i,
+            Box::new(FairReplica::new(ReplicaId(i), q, store.clone(), round_period, view_timeout)),
+        );
+    }
+    for c in 0..scenario.clients as u64 {
+        sim.add_client(c, Box::new(GenericClient::<FairClientProto>::new(scenario, q, c)));
+    }
+    run_to_completion(sim, scenario.total_requests(), scenario.max_time)
+}
+
+/// Fairness metric: mean absolute displacement between the order clients
+/// *sent* requests (by virtual send time) and the order a replica *executed*
+/// them. 0 = perfectly fair; large = heavy reordering.
+pub fn mean_displacement(out: &RunOutcome, node: NodeId) -> f64 {
+    // send order: ClientAccept observations carry sent_at
+    let mut send_times: Vec<(bft_sim::SimTime, RequestId)> = out
+        .log
+        .entries
+        .iter()
+        .filter_map(|e| match &e.obs {
+            Observation::ClientAccept { request, sent_at, .. } => Some((*sent_at, *request)),
+            _ => None,
+        })
+        .collect();
+    send_times.sort();
+    let send_rank: BTreeMap<RequestId, usize> =
+        send_times.iter().enumerate().map(|(i, (_, id))| (*id, i)).collect();
+    let exec_order: Vec<RequestId> = out
+        .log
+        .entries
+        .iter()
+        .filter(|e| e.node == node)
+        .filter_map(|e| match &e.obs {
+            Observation::Execute { request, .. } => Some(*request),
+            _ => None,
+        })
+        .collect();
+    if exec_order.is_empty() {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for (exec_rank, id) in exec_order.iter().enumerate() {
+        if let Some(send) = send_rank.get(id) {
+            total += (exec_rank as f64 - *send as f64).abs();
+            count += 1;
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        total / count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pbft::{self, Behavior, PbftOptions};
+    use bft_sim::SafetyAuditor;
+    use bft_types::ClientId;
+
+    fn accepted(out: &RunOutcome) -> usize {
+        out.log.client_latencies().len()
+    }
+
+    #[test]
+    fn merge_is_deterministic_and_majority_based() {
+        let store = KeyStore::new([1u8; 32]);
+        let req = |c: u64, ts: u64| {
+            SignedRequest::new(
+                &store,
+                bft_types::Request::new(ClientId(c), ts, bft_types::Transaction::default()),
+            )
+        };
+        let a = req(1, 1);
+        let b = req(2, 1);
+        let c = req(3, 1);
+        // three replicas saw a before b; one saw b first; c only in one batch
+        let batches = vec![
+            (ReplicaId(0), vec![a.clone(), b.clone()]),
+            (ReplicaId(1), vec![a.clone(), b.clone(), c.clone()]),
+            (ReplicaId(2), vec![a.clone(), b.clone()]),
+            (ReplicaId(3), vec![b.clone(), a.clone()]),
+        ];
+        let merged = fair_merge(&batches, 2);
+        let ids: Vec<RequestId> = merged.iter().map(|r| r.request.id).collect();
+        // c lacks support (1 < 2); a's median position 0 beats b's 1
+        assert_eq!(ids, vec![a.request.id, b.request.id]);
+        assert_eq!(fair_merge(&batches, 2), merged, "deterministic");
+    }
+
+    #[test]
+    fn fault_free_progress() {
+        let s = Scenario::small(1).with_load(2, 15);
+        let out = run(&s);
+        SafetyAuditor::all_correct().assert_safe(&out.log);
+        assert_eq!(accepted(&out), 30);
+    }
+
+    #[test]
+    fn fair_order_tracks_arrival_while_pbft_favor_reorders() {
+        // Q1's experiment in miniature: 4 clients, the PBFT leader
+        // front-runs client 3; the fair protocol's derived order cannot be
+        // manipulated
+        // per-request execution cost creates a leader-side backlog, which
+        // is what a front-running leader exploits
+        let s = Scenario::small(1)
+            .with_load(4, 15)
+            .with_workload(bft_core::workload::WorkloadConfig::uniform().with_work(300));
+        let fair_out = run(&s);
+        let pbft_out = pbft::run(
+            &s,
+            &PbftOptions {
+                behaviors: vec![(ReplicaId(0), Behavior::Favor(ClientId(3)))],
+                ..Default::default()
+            },
+        );
+        assert_eq!(accepted(&fair_out), 60);
+        assert_eq!(accepted(&pbft_out), 60);
+        let fair_disp = mean_displacement(&fair_out, NodeId::replica(1));
+        let pbft_disp = mean_displacement(&pbft_out, NodeId::replica(1));
+        assert!(
+            fair_disp < pbft_disp,
+            "fair displacement {fair_disp:.2} must beat front-run PBFT {pbft_disp:.2}"
+        );
+    }
+
+    #[test]
+    fn leader_crash_recovers() {
+        use bft_sim::{FaultPlan, SimTime};
+        let s = Scenario::small(1)
+            .with_load(1, 10)
+            .with_faults(FaultPlan::none().crash(NodeId::replica(0), SimTime(3_000_000)));
+        let out = run(&s);
+        SafetyAuditor::excluding(vec![NodeId::replica(0)]).assert_safe(&out.log);
+        assert!(out.log.max_view() >= View(1));
+        assert_eq!(accepted(&out), 10);
+    }
+
+    #[test]
+    fn deterministic() {
+        let s = Scenario::small(1).with_load(2, 10);
+        let a = run(&s);
+        let b = run(&s);
+        assert_eq!(a.events_processed, b.events_processed);
+        assert_eq!(a.end_time, b.end_time);
+    }
+
+    use bft_crypto::KeyStore;
+}

@@ -1,0 +1,585 @@
+//! Tendermint-style consensus (Buchman, Kwon; design choice 4).
+//!
+//! The *non-responsive leader rotation* point of the design space: the
+//! leader rotates every height **without** the extra ordering phase HotStuff
+//! adds. Instead, a new proposer assumes synchrony and waits the known bound
+//! **Δ** (timer τ5) before proposing, so that it is guaranteed to have heard
+//! the precommits of slow-but-correct replicas from the previous height.
+//! This sacrifices *responsiveness* (dimension E4): commit latency is
+//! `Δ + O(δ)` rather than `O(δ)`.
+//!
+//! The **informed-leader optimization** (attributed to HotStuff-2 in the
+//! paper) restores responsiveness opportunistically: a proposer that itself
+//! received 2f+1 precommits for the previous height already knows the
+//! decided value and proposes immediately.
+//!
+//! Structure per height: `propose` (linear) → `prevote` (quadratic, quorum
+//! 2f+1, lock on success, timeout τ4 → nil) → `precommit` (quadratic,
+//! quorum 2f+1 → decide, timeout τ4 → next round with proposer rotation).
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
+
+use bft_crypto::{digest_of, CryptoOp, KeyStore};
+use bft_sim::runner::RunOutcome;
+use bft_sim::{Actor, Context, NodeId, Observation, SimDuration, Stage, TimerId};
+use bft_state::StateMachine;
+use bft_types::{
+    Digest, Op, QuorumRules, Reply, ReplicaId, RequestId, SeqNum, TimerKind, View, WireSize,
+};
+
+use crate::common::{
+    run_to_completion, ClientProtocol, GenericClient, Scenario, SignedRequest, SubmitPolicy,
+};
+
+/// Vote kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, serde::Serialize)]
+pub enum VoteKind {
+    /// First all-to-all round.
+    Prevote,
+    /// Second all-to-all round.
+    Precommit,
+}
+
+/// Tendermint messages.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub enum TmMsg {
+    /// Client → replicas (broadcast).
+    Request(SignedRequest),
+    /// Replica → client.
+    Reply(Reply),
+    /// Proposer → all.
+    Proposal {
+        /// Height (one decision per height).
+        height: SeqNum,
+        /// Round within the height.
+        round: u32,
+        /// Batch digest.
+        digest: Digest,
+        /// The batch.
+        batch: Vec<SignedRequest>,
+    },
+    /// All-to-all vote. `digest == None` is a nil vote.
+    Vote {
+        /// Prevote or precommit.
+        kind: VoteKind,
+        /// Height.
+        height: SeqNum,
+        /// Round.
+        round: u32,
+        /// Voted digest (None = nil).
+        digest: Option<Digest>,
+        /// Voter.
+        from: ReplicaId,
+    },
+}
+
+impl WireSize for TmMsg {
+    fn wire_size(&self) -> usize {
+        match self {
+            TmMsg::Request(r) => 1 + r.wire_size(),
+            TmMsg::Reply(r) => 1 + r.wire_size(),
+            TmMsg::Proposal { batch, .. } => 1 + 8 + 4 + 32 + batch.wire_size() + 72,
+            TmMsg::Vote { .. } => 1 + 1 + 8 + 4 + 33 + 72,
+        }
+    }
+}
+
+/// A Tendermint replica.
+pub struct TendermintReplica {
+    me: ReplicaId,
+    q: QuorumRules,
+    store: Arc<KeyStore>,
+    height: SeqNum,
+    round: u32,
+    /// Proposal seen for (height, round).
+    proposal: Option<(Digest, Vec<SignedRequest>)>,
+    /// Batches by digest for execution.
+    batches: BTreeMap<Digest, Vec<SignedRequest>>,
+    /// Votes: (kind, height, round, digest) → voters.
+    votes: BTreeMap<(VoteKind, SeqNum, u32, Option<Digest>), Vec<ReplicaId>>,
+    /// Lock: digest we precommitted, with its round.
+    locked: Option<(Digest, u32)>,
+    /// This replica received 2f+1 precommits for the previous height
+    /// (informed-leader optimization).
+    informed: bool,
+    /// Enable the informed-leader optimization.
+    opt_informed: bool,
+    mempool: VecDeque<SignedRequest>,
+    executed_reqs: BTreeMap<RequestId, ()>,
+    sm: StateMachine,
+    /// Sent votes dedup: (kind, height, round).
+    voted: BTreeMap<(VoteKind, SeqNum, u32), ()>,
+    /// Decided this height already.
+    decided: bool,
+    /// Δ-wait timer before proposing (τ5).
+    propose_timer: Option<TimerId>,
+    /// Round timeout (τ4).
+    round_timer: Option<TimerId>,
+    delta: SimDuration,
+    round_timeout: SimDuration,
+    batch_size: usize,
+}
+
+impl TendermintReplica {
+    /// Create a replica. `opt_informed` enables the informed-leader
+    /// optimization.
+    pub fn new(
+        me: ReplicaId,
+        q: QuorumRules,
+        store: Arc<KeyStore>,
+        delta: SimDuration,
+        opt_informed: bool,
+        batch_size: usize,
+    ) -> Self {
+        TendermintReplica {
+            me,
+            q,
+            store,
+            height: SeqNum(1),
+            round: 0,
+            proposal: None,
+            batches: BTreeMap::new(),
+            votes: BTreeMap::new(),
+            locked: None,
+            informed: true, // height 1 has no predecessor to learn about
+            opt_informed,
+            mempool: VecDeque::new(),
+            executed_reqs: BTreeMap::new(),
+            sm: StateMachine::new(),
+            voted: BTreeMap::new(),
+            decided: false,
+            propose_timer: None,
+            round_timer: None,
+            delta,
+            round_timeout: SimDuration(delta.0 * 2),
+            batch_size,
+        }
+    }
+
+    fn proposer(&self, height: SeqNum, round: u32) -> ReplicaId {
+        ReplicaId(((height.0 + round as u64) % self.q.n as u64) as u32)
+    }
+
+    fn i_propose_now(&self) -> bool {
+        self.proposer(self.height, self.round) == self.me && self.proposal.is_none() && !self.decided
+    }
+
+    fn schedule_propose(&mut self, ctx: &mut Context<'_, TmMsg>) {
+        if !self.i_propose_now() || self.mempool.is_empty() || self.propose_timer.is_some() {
+            return;
+        }
+        if self.opt_informed && self.informed {
+            // informed-leader optimization: we saw 2f+1 precommits for the
+            // previous height ourselves — no Δ-wait needed
+            ctx.observe(Observation::Marker { label: "informed-skip-delta" });
+            self.do_propose(ctx);
+        } else {
+            // non-responsive: wait the full synchrony bound Δ so slow
+            // correct replicas' decisions are surely known (τ5)
+            ctx.observe(Observation::Marker { label: "delta-wait" });
+            self.propose_timer = Some(ctx.set_timer(TimerKind::T5ViewSync, self.delta));
+        }
+    }
+
+    fn do_propose(&mut self, ctx: &mut Context<'_, TmMsg>) {
+        if !self.i_propose_now() {
+            return;
+        }
+        let executed = &self.executed_reqs;
+        self.mempool.retain(|r| !executed.contains_key(&r.request.id));
+        // re-propose the locked value if we hold a lock, else a new batch
+        let (digest, batch) = if let Some((locked_digest, _)) = self.locked {
+            let batch = self.batches.get(&locked_digest).cloned().unwrap_or_default();
+            (locked_digest, batch)
+        } else {
+            if self.mempool.is_empty() {
+                return;
+            }
+            let take = self.batch_size.min(self.mempool.len());
+            let batch: Vec<SignedRequest> = self.mempool.drain(..take).collect();
+            let digest = digest_of(&batch);
+            ctx.charge_crypto(CryptoOp::Hash);
+            (digest, batch)
+        };
+        ctx.charge_crypto(CryptoOp::Sign);
+        let height = self.height;
+        let round = self.round;
+        self.batches.insert(digest, batch.clone());
+        ctx.broadcast_replicas(TmMsg::Proposal { height, round, digest, batch: batch.clone() });
+        self.on_proposal(self.me, height, round, digest, batch, ctx);
+    }
+
+    fn on_proposal(
+        &mut self,
+        from: ReplicaId,
+        height: SeqNum,
+        round: u32,
+        digest: Digest,
+        batch: Vec<SignedRequest>,
+        ctx: &mut Context<'_, TmMsg>,
+    ) {
+        if height != self.height || round != self.round || self.decided {
+            return;
+        }
+        if from != self.proposer(height, round) {
+            return;
+        }
+        self.batches.insert(digest, batch.clone());
+        let ids: Vec<RequestId> = batch.iter().map(|r| r.request.id).collect();
+        self.mempool.retain(|r| !ids.contains(&r.request.id));
+        self.proposal = Some((digest, batch));
+        self.arm_round_timer(ctx);
+        // prevote: the lock rule — vote for the proposal unless locked on a
+        // different value
+        let vote = match self.locked {
+            Some((l, _)) if l != digest => None, // nil
+            _ => Some(digest),
+        };
+        self.cast(VoteKind::Prevote, vote, ctx);
+    }
+
+    fn cast(&mut self, kind: VoteKind, digest: Option<Digest>, ctx: &mut Context<'_, TmMsg>) {
+        let key = (kind, self.height, self.round);
+        if self.voted.contains_key(&key) {
+            return;
+        }
+        self.voted.insert(key, ());
+        ctx.charge_crypto(CryptoOp::Sign);
+        let height = self.height;
+        let round = self.round;
+        let me = self.me;
+        ctx.broadcast_replicas(TmMsg::Vote { kind, height, round, digest, from: me });
+        self.record_vote(me, kind, height, round, digest, ctx);
+    }
+
+    fn record_vote(
+        &mut self,
+        from: ReplicaId,
+        kind: VoteKind,
+        height: SeqNum,
+        round: u32,
+        digest: Option<Digest>,
+        ctx: &mut Context<'_, TmMsg>,
+    ) {
+        if height != self.height {
+            return;
+        }
+        let voters = self.votes.entry((kind, height, round, digest)).or_default();
+        if voters.contains(&from) {
+            return;
+        }
+        voters.push(from);
+        let count = voters.len();
+        if count < self.q.quorum() {
+            return;
+        }
+        match (kind, digest) {
+            (VoteKind::Prevote, Some(d)) if round == self.round => {
+                // 2f+1 prevotes for a value: lock it and precommit
+                self.locked = Some((d, round));
+                self.cast(VoteKind::Precommit, Some(d), ctx);
+            }
+            (VoteKind::Prevote, None) if round == self.round => {
+                // 2f+1 nil prevotes: precommit nil
+                self.cast(VoteKind::Precommit, None, ctx);
+            }
+            (VoteKind::Precommit, Some(d)) => {
+                self.decide(d, round, ctx);
+            }
+            (VoteKind::Precommit, None) if round == self.round => {
+                // the round failed: rotate the proposer
+                self.next_round(ctx);
+            }
+            _ => {}
+        }
+    }
+
+    fn decide(&mut self, digest: Digest, round: u32, ctx: &mut Context<'_, TmMsg>) {
+        if self.decided {
+            return;
+        }
+        self.decided = true;
+        let height = self.height;
+        ctx.observe(Observation::Commit {
+            seq: height,
+            view: View(round as u64),
+            digest,
+            speculative: false,
+        });
+        let batch = self.batches.get(&digest).cloned().unwrap_or_default();
+        ctx.observe(Observation::StageEnter { stage: Stage::Execution });
+        for signed in &batch {
+            if self.executed_reqs.contains_key(&signed.request.id) {
+                continue;
+            }
+            let seq = self.sm.last_executed().next();
+            let work: u32 = signed
+                .request
+                .txn
+                .ops
+                .iter()
+                .map(|op| if let Op::Work(w) = op { *w } else { 0 })
+                .sum();
+            if work > 0 {
+                ctx.charge(SimDuration(work as u64 * 1_000));
+            }
+            let (result, state_digest) = self.sm.execute(seq, &signed.request);
+            ctx.observe(Observation::Execute { seq, request: signed.request.id, state_digest });
+            self.executed_reqs.insert(signed.request.id, ());
+            let reply = Reply {
+                request: signed.request.id,
+                view: View(height.0),
+                result,
+                state_digest,
+                speculative: false,
+            };
+            ctx.charge_crypto(CryptoOp::Sign);
+            ctx.send(NodeId::Client(signed.request.id.client), TmMsg::Reply(reply));
+        }
+        ctx.observe(Observation::StageEnter { stage: Stage::Ordering });
+        // informed? we ourselves saw 2f+1 precommits for this height
+        self.informed = true;
+        self.enter_height(height.next(), ctx);
+    }
+
+    fn enter_height(&mut self, height: SeqNum, ctx: &mut Context<'_, TmMsg>) {
+        self.height = height;
+        self.round = 0;
+        self.proposal = None;
+        self.locked = None;
+        self.decided = false;
+        self.votes.retain(|(_, h, _, _), _| *h >= height);
+        self.voted.retain(|(_, h, _), _| *h >= height);
+        if let Some(t) = self.round_timer.take() {
+            ctx.cancel_timer(t);
+        }
+        if let Some(t) = self.propose_timer.take() {
+            ctx.cancel_timer(t);
+        }
+        ctx.observe(Observation::NewView { view: View(height.0) });
+        self.schedule_propose(ctx);
+        if !self.mempool.is_empty() {
+            self.arm_round_timer(ctx);
+        }
+    }
+
+    fn next_round(&mut self, ctx: &mut Context<'_, TmMsg>) {
+        self.round += 1;
+        self.proposal = None;
+        if let Some(t) = self.propose_timer.take() {
+            ctx.cancel_timer(t);
+        }
+        // a proposer taking over mid-height has not necessarily heard the
+        // previous height's precommits recently: apply the Δ-wait rule again
+        self.schedule_propose(ctx);
+        self.arm_round_timer(ctx);
+    }
+
+    fn arm_round_timer(&mut self, ctx: &mut Context<'_, TmMsg>) {
+        if self.round_timer.is_none() {
+            self.round_timer = Some(ctx.set_timer(TimerKind::T4QuorumConstruction, self.round_timeout));
+        }
+    }
+}
+
+impl Actor<TmMsg> for TendermintReplica {
+    fn on_start(&mut self, ctx: &mut Context<'_, TmMsg>) {
+        ctx.observe(Observation::StageEnter { stage: Stage::Ordering });
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: TmMsg, ctx: &mut Context<'_, TmMsg>) {
+        match msg {
+            TmMsg::Request(signed) => {
+                ctx.charge_crypto(CryptoOp::Verify);
+                if !signed.verify(&self.store) {
+                    return;
+                }
+                if self.executed_reqs.contains_key(&signed.request.id) {
+                    if let Some((id, result)) = self.sm.cached_reply(signed.request.id.client) {
+                        if *id == signed.request.id {
+                            let reply = Reply {
+                                request: *id,
+                                view: View(self.height.0),
+                                result: result.clone(),
+                                state_digest: self.sm.digest(),
+                                speculative: false,
+                            };
+                            ctx.send(NodeId::Client(id.client), TmMsg::Reply(reply));
+                        }
+                    }
+                    return;
+                }
+                if !self.mempool.iter().any(|r| r.request.id == signed.request.id) {
+                    self.mempool.push_back(signed);
+                }
+                self.schedule_propose(ctx);
+                self.arm_round_timer(ctx);
+            }
+            TmMsg::Proposal { height, round, digest, batch } => {
+                let NodeId::Replica(r) = from else { return };
+                ctx.charge_crypto(CryptoOp::Verify);
+                ctx.charge_crypto(CryptoOp::Hash);
+                if digest_of(&batch) != digest {
+                    return;
+                }
+                self.on_proposal(r, height, round, digest, batch, ctx);
+            }
+            TmMsg::Vote { kind, height, round, digest, from: r } => {
+                ctx.charge_crypto(CryptoOp::Verify);
+                self.record_vote(r, kind, height, round, digest, ctx);
+            }
+            TmMsg::Reply(_) => {}
+        }
+    }
+
+    fn on_timer(&mut self, id: TimerId, kind: TimerKind, ctx: &mut Context<'_, TmMsg>) {
+        match kind {
+            TimerKind::T5ViewSync
+                if Some(id) == self.propose_timer => {
+                    self.propose_timer = None;
+                    self.do_propose(ctx);
+                }
+            TimerKind::T4QuorumConstruction
+                if Some(id) == self.round_timer => {
+                    self.round_timer = None;
+                    if self.decided || self.mempool.is_empty() && self.proposal.is_none() {
+                        return;
+                    }
+                    // the round stalled: prevote/precommit nil to unblock
+                    if self.proposal.is_none() {
+                        self.cast(VoteKind::Prevote, None, ctx);
+                    }
+                    self.arm_round_timer(ctx);
+                }
+            _ => {}
+        }
+    }
+}
+
+/// Tendermint client hooks.
+pub struct TmClientProto;
+
+impl ClientProtocol for TmClientProto {
+    type Msg = TmMsg;
+
+    fn wrap_request(req: SignedRequest) -> TmMsg {
+        TmMsg::Request(req)
+    }
+
+    fn unwrap_reply(msg: &TmMsg) -> Option<&Reply> {
+        match msg {
+            TmMsg::Reply(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    fn submit_policy() -> SubmitPolicy {
+        SubmitPolicy::Broadcast
+    }
+
+    fn reply_quorum(q: &QuorumRules) -> usize {
+        q.weak()
+    }
+}
+
+/// Run Tendermint. `informed_leader_opt` enables the responsive
+/// optimization the paper attributes to HotStuff-2.
+pub fn run(scenario: &Scenario, informed_leader_opt: bool) -> RunOutcome {
+    let n = scenario.n(3 * scenario.f + 1);
+    let q = QuorumRules { n, f: scenario.f };
+    let store = scenario.key_store();
+    let delta = scenario.network.delta;
+
+    let mut sim = scenario.build_sim::<TmMsg>();
+    for i in 0..n as u32 {
+        sim.add_replica(
+            i,
+            Box::new(TendermintReplica::new(
+                ReplicaId(i),
+                q,
+                store.clone(),
+                delta,
+                informed_leader_opt,
+                scenario.batch_size,
+            )),
+        );
+    }
+    for c in 0..scenario.clients as u64 {
+        sim.add_client(c, Box::new(GenericClient::<TmClientProto>::new(scenario, q, c)));
+    }
+    run_to_completion(sim, scenario.total_requests(), scenario.max_time)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bft_sim::{FaultPlan, SafetyAuditor, SimTime};
+
+    fn accepted(out: &RunOutcome) -> usize {
+        out.log.client_latencies().len()
+    }
+
+    fn mean_latency(out: &RunOutcome) -> f64 {
+        let l = out.log.client_latencies();
+        l.iter().map(|(_, d)| d.as_millis_f64()).sum::<f64>() / l.len() as f64
+    }
+
+    #[test]
+    fn fault_free_progress() {
+        let s = Scenario::small(1).with_load(1, 20);
+        let out = run(&s, false);
+        SafetyAuditor::all_correct().assert_safe(&out.log);
+        assert_eq!(accepted(&out), 20);
+        assert!(out.log.marker_count("delta-wait") >= 19, "every height waits Δ");
+    }
+
+    #[test]
+    fn informed_leader_optimization_skips_delta() {
+        let s = Scenario::small(1).with_load(1, 20);
+        let plain = run(&s, false);
+        let opt = run(&s, true);
+        assert_eq!(accepted(&opt), 20);
+        assert!(opt.log.marker_count("informed-skip-delta") >= 19);
+        // the Δ-wait dominates latency: the optimization must be much faster
+        assert!(
+            mean_latency(&plain) > 2.0 * mean_latency(&opt),
+            "Δ-wait {} ms vs informed {} ms",
+            mean_latency(&plain),
+            mean_latency(&opt)
+        );
+    }
+
+    #[test]
+    fn latency_tracks_delta_not_network_delay() {
+        // E4: non-responsive latency is governed by Δ even when the actual
+        // network delay δ is tiny
+        let fast_net = Scenario::small(1).with_load(1, 10);
+        let out = run(&fast_net, false);
+        let delta_ms = fast_net.network.delta.as_millis_f64();
+        assert!(
+            mean_latency(&out) >= delta_ms,
+            "each decision must pay Δ = {delta_ms} ms; got {} ms",
+            mean_latency(&out)
+        );
+    }
+
+    #[test]
+    fn proposer_crash_rotates_round() {
+        let s = Scenario::small(1)
+            .with_load(1, 10)
+            .with_faults(FaultPlan::none().crash(NodeId::replica(2), SimTime(1_000_000)));
+        let out = run(&s, false);
+        SafetyAuditor::excluding(vec![NodeId::replica(2)]).assert_safe(&out.log);
+        assert_eq!(accepted(&out), 10, "nil-vote rounds must skip the crashed proposer");
+    }
+
+    #[test]
+    fn deterministic() {
+        let s = Scenario::small(1).with_load(1, 10);
+        let a = run(&s, false);
+        let b = run(&s, false);
+        assert_eq!(a.events_processed, b.events_processed);
+        assert_eq!(a.end_time, b.end_time);
+    }
+}

@@ -1,0 +1,282 @@
+//! The safety auditor.
+//!
+//! Every experiment ends with an audit of the observation log against the
+//! two core guarantees of BFT state machine replication (§2 of the paper):
+//!
+//! * **Safety** — all non-faulty replicas execute the same transactions in
+//!   the same order: no two correct replicas may finally commit *different*
+//!   digests at the same sequence number, and their execution histories must
+//!   agree on state digests at common sequence numbers.
+//! * **Liveness** (checked per-experiment, not here) — all correct
+//!   transactions eventually execute; experiments assert progress bounds
+//!   explicitly since "eventually" depends on the scenario.
+//!
+//! Speculative commits (Zyzzyva/PoE) are exempt from the final-commit check
+//! until they are confirmed; a speculative commit that conflicts with a
+//! later final commit must have a matching `Rollback` observation.
+
+use std::collections::BTreeMap;
+
+use bft_types::{Digest, SeqNum};
+
+use crate::event::NodeId;
+use crate::obs::{Observation, ObservationLog};
+
+/// A detected safety violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SafetyViolation {
+    /// Sequence number where histories diverge.
+    pub seq: SeqNum,
+    /// The two conflicting (node, digest) witnesses.
+    pub witnesses: [(NodeId, Digest); 2],
+    /// What diverged.
+    pub kind: ViolationKind,
+}
+
+/// What kind of divergence was found.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// Two final commits with different digests at one sequence number.
+    ConflictingCommit,
+    /// Two executions leaving different state digests at one sequence
+    /// number (divergent state machines).
+    DivergentState,
+    /// A speculative execution that conflicts with the final commit was
+    /// never rolled back.
+    UnrolledSpeculation,
+}
+
+/// Audits an observation log for safety.
+#[derive(Debug, Clone, Default)]
+pub struct SafetyAuditor {
+    /// Replicas known to be faulty in this run (crashed or Byzantine);
+    /// their observations are ignored — BFT guarantees only bind correct
+    /// replicas.
+    pub faulty: Vec<NodeId>,
+}
+
+impl SafetyAuditor {
+    /// Auditor that treats every replica as correct.
+    pub fn all_correct() -> Self {
+        SafetyAuditor::default()
+    }
+
+    /// Auditor excluding the given faulty replicas.
+    pub fn excluding(faulty: Vec<NodeId>) -> Self {
+        SafetyAuditor { faulty }
+    }
+
+    /// Check the log; returns every violation found (empty = safe).
+    pub fn check(&self, log: &ObservationLog) -> Vec<SafetyViolation> {
+        let mut violations = Vec::new();
+
+        // seq → first (node, digest) final commit witness
+        let mut commit_witness: BTreeMap<SeqNum, (NodeId, Digest)> = BTreeMap::new();
+        // (node, seq) → last state digest executed (speculative state may
+        // be overwritten by rollback + re-execution; last wins)
+        let mut exec_state: BTreeMap<(NodeId, SeqNum), Digest> = BTreeMap::new();
+        // nodes with rollbacks, and the lowest rolled-back seq
+        let mut rollbacks: BTreeMap<NodeId, SeqNum> = BTreeMap::new();
+
+        for e in &log.entries {
+            if self.faulty.contains(&e.node) || !e.node.is_replica() {
+                continue;
+            }
+            match &e.obs {
+                Observation::Commit { seq, digest, speculative: false, .. } => {
+                    match commit_witness.get(seq) {
+                        None => {
+                            commit_witness.insert(*seq, (e.node, *digest));
+                        }
+                        Some((first_node, first_digest)) => {
+                            if first_digest != digest {
+                                violations.push(SafetyViolation {
+                                    seq: *seq,
+                                    witnesses: [
+                                        (*first_node, *first_digest),
+                                        (e.node, *digest),
+                                    ],
+                                    kind: ViolationKind::ConflictingCommit,
+                                });
+                            }
+                        }
+                    }
+                }
+                Observation::Execute { seq, state_digest, .. } => {
+                    exec_state.insert((e.node, *seq), *state_digest);
+                }
+                Observation::Rollback { from_seq } => {
+                    let entry = rollbacks.entry(e.node).or_insert(*from_seq);
+                    *entry = (*entry).min(*from_seq);
+                    // discard rolled-back execution state for this node
+                    let stale: Vec<(NodeId, SeqNum)> = exec_state
+                        .keys()
+                        .filter(|(n, s)| *n == e.node && *s >= *from_seq)
+                        .copied()
+                        .collect();
+                    for k in stale {
+                        exec_state.remove(&k);
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        // Cross-replica execution-state agreement: for each seq, all correct
+        // replicas that executed it must agree on the post-state digest.
+        let mut state_witness: BTreeMap<SeqNum, (NodeId, Digest)> = BTreeMap::new();
+        for ((node, seq), digest) in &exec_state {
+            match state_witness.get(seq) {
+                None => {
+                    state_witness.insert(*seq, (*node, *digest));
+                }
+                Some((first_node, first_digest)) => {
+                    if first_digest != digest {
+                        violations.push(SafetyViolation {
+                            seq: *seq,
+                            witnesses: [(*first_node, *first_digest), (*node, *digest)],
+                            kind: ViolationKind::DivergentState,
+                        });
+                    }
+                }
+            }
+        }
+
+        violations
+    }
+
+    /// Convenience: panic with a readable report if the log is unsafe.
+    /// Experiments call this at the end of every run.
+    pub fn assert_safe(&self, log: &ObservationLog) {
+        let violations = self.check(log);
+        assert!(
+            violations.is_empty(),
+            "SAFETY VIOLATIONS DETECTED:\n{}",
+            violations
+                .iter()
+                .map(|v| format!(
+                    "  {:?} at {}: {} committed {}, {} committed {}",
+                    v.kind,
+                    v.seq,
+                    v.witnesses[0].0,
+                    v.witnesses[0].1,
+                    v.witnesses[1].0,
+                    v.witnesses[1].1
+                ))
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimTime;
+    use bft_types::View;
+
+    fn commit(log: &mut ObservationLog, node: u32, seq: u64, d: u8, spec: bool) {
+        log.push(
+            SimTime(seq),
+            NodeId::replica(node),
+            Observation::Commit {
+                seq: SeqNum(seq),
+                view: View(0),
+                digest: Digest([d; 32]),
+                speculative: spec,
+            },
+        );
+    }
+
+    #[test]
+    fn agreeing_commits_are_safe() {
+        let mut log = ObservationLog::default();
+        for r in 0..4 {
+            commit(&mut log, r, 1, 0xaa, false);
+            commit(&mut log, r, 2, 0xbb, false);
+        }
+        assert!(SafetyAuditor::all_correct().check(&log).is_empty());
+    }
+
+    #[test]
+    fn conflicting_commits_detected() {
+        let mut log = ObservationLog::default();
+        commit(&mut log, 0, 1, 0xaa, false);
+        commit(&mut log, 1, 1, 0xbb, false);
+        let v = SafetyAuditor::all_correct().check(&log);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, ViolationKind::ConflictingCommit);
+        assert_eq!(v[0].seq, SeqNum(1));
+    }
+
+    #[test]
+    fn faulty_replicas_are_ignored() {
+        let mut log = ObservationLog::default();
+        commit(&mut log, 0, 1, 0xaa, false);
+        commit(&mut log, 1, 1, 0xbb, false); // byzantine claims different digest
+        let auditor = SafetyAuditor::excluding(vec![NodeId::replica(1)]);
+        assert!(auditor.check(&log).is_empty());
+    }
+
+    #[test]
+    fn speculative_commits_do_not_conflict() {
+        let mut log = ObservationLog::default();
+        commit(&mut log, 0, 1, 0xaa, true); // speculative
+        commit(&mut log, 1, 1, 0xbb, false); // final
+        assert!(SafetyAuditor::all_correct().check(&log).is_empty());
+    }
+
+    #[test]
+    fn divergent_execution_state_detected() {
+        let mut log = ObservationLog::default();
+        let req = bft_types::RequestId { client: bft_types::ClientId(1), timestamp: 1 };
+        log.push(
+            SimTime(1),
+            NodeId::replica(0),
+            Observation::Execute { seq: SeqNum(1), request: req, state_digest: Digest([1; 32]) },
+        );
+        log.push(
+            SimTime(2),
+            NodeId::replica(1),
+            Observation::Execute { seq: SeqNum(1), request: req, state_digest: Digest([2; 32]) },
+        );
+        let v = SafetyAuditor::all_correct().check(&log);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, ViolationKind::DivergentState);
+    }
+
+    #[test]
+    fn rolled_back_speculation_is_forgiven() {
+        let mut log = ObservationLog::default();
+        let req = bft_types::RequestId { client: bft_types::ClientId(1), timestamp: 1 };
+        // replica 0 speculatively executes the "wrong" request…
+        log.push(
+            SimTime(1),
+            NodeId::replica(0),
+            Observation::Execute { seq: SeqNum(1), request: req, state_digest: Digest([9; 32]) },
+        );
+        // …rolls it back…
+        log.push(SimTime(2), NodeId::replica(0), Observation::Rollback { from_seq: SeqNum(1) });
+        // …and re-executes the right one, now agreeing with replica 1.
+        log.push(
+            SimTime(3),
+            NodeId::replica(0),
+            Observation::Execute { seq: SeqNum(1), request: req, state_digest: Digest([1; 32]) },
+        );
+        log.push(
+            SimTime(3),
+            NodeId::replica(1),
+            Observation::Execute { seq: SeqNum(1), request: req, state_digest: Digest([1; 32]) },
+        );
+        assert!(SafetyAuditor::all_correct().check(&log).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "SAFETY VIOLATIONS")]
+    fn assert_safe_panics_on_violation() {
+        let mut log = ObservationLog::default();
+        commit(&mut log, 0, 1, 0xaa, false);
+        commit(&mut log, 1, 1, 0xbb, false);
+        SafetyAuditor::all_correct().assert_safe(&log);
+    }
+}

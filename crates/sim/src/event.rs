@@ -1,0 +1,126 @@
+//! Event queue internals: node identity, queued events, deterministic order.
+
+use serde::{Deserialize, Serialize};
+
+use bft_types::{ClientId, ReplicaId, TimerKind};
+
+use crate::runner::TimerId;
+use crate::time::SimTime;
+
+/// Identity of a simulated node — either a consensus replica or a client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum NodeId {
+    /// A consensus replica.
+    Replica(ReplicaId),
+    /// A client driving the workload.
+    Client(ClientId),
+}
+
+impl NodeId {
+    /// Shorthand for a replica node.
+    pub fn replica(i: u32) -> NodeId {
+        NodeId::Replica(ReplicaId(i))
+    }
+
+    /// Shorthand for a client node.
+    pub fn client(c: u64) -> NodeId {
+        NodeId::Client(ClientId(c))
+    }
+
+    /// The replica id, if this is a replica.
+    pub fn as_replica(&self) -> Option<ReplicaId> {
+        match self {
+            NodeId::Replica(r) => Some(*r),
+            NodeId::Client(_) => None,
+        }
+    }
+
+    /// True for replica nodes.
+    pub fn is_replica(&self) -> bool {
+        matches!(self, NodeId::Replica(_))
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NodeId::Replica(r) => write!(f, "{r}"),
+            NodeId::Client(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+/// What a queued event does when it fires.
+#[derive(Debug)]
+pub(crate) enum EventKind<M> {
+    /// Deliver a protocol message.
+    Deliver { from: NodeId, msg: M },
+    /// Fire a timer (if it has not been cancelled).
+    Timer { id: TimerId, kind: TimerKind },
+    /// Crash the node (stops processing events).
+    Crash,
+    /// Recover the node (resumes processing; the actor's `on_recover` runs).
+    Recover,
+}
+
+/// A queued event: fires at `at` for `node`. `seq` breaks timestamp ties in
+/// insertion order, making runs deterministic.
+#[derive(Debug)]
+pub(crate) struct QueuedEvent<M> {
+    pub at: SimTime,
+    pub seq: u64,
+    pub node: NodeId,
+    pub kind: EventKind<M>,
+}
+
+impl<M> PartialEq for QueuedEvent<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for QueuedEvent<M> {}
+
+impl<M> PartialOrd for QueuedEvent<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+// BinaryHeap is a max-heap; invert so earliest (then lowest seq) pops first.
+impl<M> Ord for QueuedEvent<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BinaryHeap;
+
+    fn ev(at: u64, seq: u64) -> QueuedEvent<()> {
+        QueuedEvent { at: SimTime(at), seq, node: NodeId::replica(0), kind: EventKind::Crash }
+    }
+
+    #[test]
+    fn heap_pops_earliest_first() {
+        let mut h = BinaryHeap::new();
+        h.push(ev(10, 0));
+        h.push(ev(5, 1));
+        h.push(ev(5, 2));
+        h.push(ev(1, 3));
+        let order: Vec<(u64, u64)> = std::iter::from_fn(|| h.pop().map(|e| (e.at.0, e.seq))).collect();
+        assert_eq!(order, vec![(1, 3), (5, 1), (5, 2), (10, 0)]);
+    }
+
+    #[test]
+    fn node_id_accessors() {
+        assert!(NodeId::replica(1).is_replica());
+        assert!(!NodeId::client(1).is_replica());
+        assert_eq!(NodeId::replica(2).as_replica(), Some(ReplicaId(2)));
+        assert_eq!(NodeId::client(2).as_replica(), None);
+    }
+}

@@ -1,0 +1,165 @@
+//! Declarative fault plans.
+//!
+//! Experiments describe failure scenarios as data: crashes, recoveries,
+//! partitions and slow links with their schedules. [`FaultPlan::apply`]
+//! installs the plan into a simulation. Byzantine *behaviors* (equivocation,
+//! censorship, reordering) are implemented as malicious actor variants in
+//! `bft-protocols` — the simulator itself only models timing and
+//! crash/recovery faults, matching the paper's separation between the
+//! network adversary and corrupted replicas.
+
+use bft_types::WireSize;
+
+use crate::event::NodeId;
+use crate::runner::Simulation;
+use crate::time::{SimDuration, SimTime};
+
+/// One scheduled fault.
+#[derive(Debug, Clone)]
+pub enum FaultEvent {
+    /// Crash a node at a time (it silently stops).
+    Crash {
+        /// The victim.
+        node: NodeId,
+        /// When it crashes.
+        at: SimTime,
+    },
+    /// Recover a previously crashed node.
+    Recover {
+        /// The node rejoining.
+        node: NodeId,
+        /// When it rejoins.
+        at: SimTime,
+    },
+    /// Cut all links between two nodes for an interval.
+    Partition {
+        /// One endpoint.
+        a: NodeId,
+        /// Other endpoint.
+        b: NodeId,
+        /// Cut start.
+        from: SimTime,
+        /// Cut end.
+        until: SimTime,
+    },
+    /// Isolate one node from a set of peers for an interval ("in-dark"
+    /// replica scenarios, dimension P4).
+    Isolate {
+        /// The isolated node.
+        node: NodeId,
+        /// Peers it cannot reach.
+        peers: Vec<NodeId>,
+        /// Cut start.
+        from: SimTime,
+        /// Cut end.
+        until: SimTime,
+    },
+    /// Permanently slow the `from → to` link by `extra`.
+    SlowLink {
+        /// Sender side.
+        from: NodeId,
+        /// Receiver side.
+        to: NodeId,
+        /// Added one-way delay.
+        extra: SimDuration,
+    },
+}
+
+/// A set of scheduled faults.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// The scheduled fault events.
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty (fault-free) plan.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Add a crash.
+    pub fn crash(mut self, node: NodeId, at: SimTime) -> Self {
+        self.events.push(FaultEvent::Crash { node, at });
+        self
+    }
+
+    /// Add a crash followed by recovery.
+    pub fn crash_recover(mut self, node: NodeId, at: SimTime, recover_at: SimTime) -> Self {
+        self.events.push(FaultEvent::Crash { node, at });
+        self.events.push(FaultEvent::Recover { node, at: recover_at });
+        self
+    }
+
+    /// Add a pairwise partition.
+    pub fn partition(mut self, a: NodeId, b: NodeId, from: SimTime, until: SimTime) -> Self {
+        self.events.push(FaultEvent::Partition { a, b, from, until });
+        self
+    }
+
+    /// Isolate `node` from `peers` during an interval.
+    pub fn isolate(
+        mut self,
+        node: NodeId,
+        peers: Vec<NodeId>,
+        from: SimTime,
+        until: SimTime,
+    ) -> Self {
+        self.events.push(FaultEvent::Isolate { node, peers, from, until });
+        self
+    }
+
+    /// Slow a link permanently.
+    pub fn slow_link(mut self, from: NodeId, to: NodeId, extra: SimDuration) -> Self {
+        self.events.push(FaultEvent::SlowLink { from, to, extra });
+        self
+    }
+
+    /// Number of *distinct* replicas this plan crashes (used by experiments
+    /// to assert the plan stays within a protocol's fault budget).
+    pub fn crashed_replicas(&self) -> usize {
+        let mut seen = std::collections::BTreeSet::new();
+        for e in &self.events {
+            if let FaultEvent::Crash { node: NodeId::Replica(r), .. } = e {
+                seen.insert(*r);
+            }
+        }
+        seen.len()
+    }
+
+    /// Install the plan into a simulation.
+    pub fn apply<M: WireSize + 'static>(&self, sim: &mut Simulation<M>) {
+        for ev in &self.events {
+            match ev {
+                FaultEvent::Crash { node, at } => sim.schedule_crash(*node, *at),
+                FaultEvent::Recover { node, at } => sim.schedule_recover(*node, *at),
+                FaultEvent::Partition { a, b, from, until } => {
+                    sim.network_mut().partition_pair(*a, *b, *from, *until)
+                }
+                FaultEvent::Isolate { node, peers, from, until } => {
+                    sim.network_mut().isolate(*node, peers.clone(), *from, *until)
+                }
+                FaultEvent::SlowLink { from, to, extra } => {
+                    sim.network_mut().slow_link(*from, *to, *extra)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_counting() {
+        let plan = FaultPlan::none()
+            .crash(NodeId::replica(1), SimTime(100))
+            .crash(NodeId::replica(1), SimTime(200)) // same replica again
+            .crash(NodeId::replica(2), SimTime(100))
+            .crash(NodeId::client(1), SimTime(100)) // clients don't count
+            .partition(NodeId::replica(0), NodeId::replica(3), SimTime(0), SimTime(10));
+        assert_eq!(plan.crashed_replicas(), 2);
+        assert_eq!(plan.events.len(), 5);
+    }
+}

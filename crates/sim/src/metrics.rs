@@ -1,0 +1,226 @@
+//! Run metrics: message counts, byte counts, latency statistics.
+//!
+//! These are the raw measurements the experiment harness aggregates into the
+//! paper's trade-off tables: message complexity by topology (E2), bytes by
+//! authentication mode (E3), per-replica load distribution (Q2), commit
+//! latency by number of phases (P2), and so on.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::event::NodeId;
+use crate::time::SimDuration;
+
+/// Per-node traffic counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeCounters {
+    /// Messages sent by this node.
+    pub msgs_sent: u64,
+    /// Bytes sent by this node (wire-size estimates).
+    pub bytes_sent: u64,
+    /// Messages delivered to this node.
+    pub msgs_received: u64,
+    /// Bytes delivered to this node.
+    pub bytes_received: u64,
+    /// Virtual CPU time this node charged (crypto + execution costs).
+    pub cpu: SimDuration,
+}
+
+/// Metrics for one simulation run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Metrics {
+    per_node: BTreeMap<NodeId, NodeCounters>,
+    /// Messages dropped by the network (pre-GST loss, partitions).
+    pub dropped: u64,
+    /// Messages suppressed because the topology forbids the link.
+    pub topology_blocked: u64,
+}
+
+impl Metrics {
+    /// Record a send.
+    pub fn on_send(&mut self, from: NodeId, bytes: usize) {
+        let c = self.per_node.entry(from).or_default();
+        c.msgs_sent += 1;
+        c.bytes_sent += bytes as u64;
+    }
+
+    /// Record a delivery.
+    pub fn on_deliver(&mut self, to: NodeId, bytes: usize) {
+        let c = self.per_node.entry(to).or_default();
+        c.msgs_received += 1;
+        c.bytes_received += bytes as u64;
+    }
+
+    /// Record charged CPU time.
+    pub fn on_cpu(&mut self, node: NodeId, d: SimDuration) {
+        self.per_node.entry(node).or_default().cpu += d;
+    }
+
+    /// Counters for one node.
+    pub fn node(&self, node: NodeId) -> NodeCounters {
+        self.per_node.get(&node).copied().unwrap_or_default()
+    }
+
+    /// All nodes with counters.
+    pub fn nodes(&self) -> impl Iterator<Item = (&NodeId, &NodeCounters)> {
+        self.per_node.iter()
+    }
+
+    /// Total messages sent by replicas (the "message complexity" metric).
+    pub fn replica_msgs_sent(&self) -> u64 {
+        self.per_node
+            .iter()
+            .filter(|(n, _)| n.is_replica())
+            .map(|(_, c)| c.msgs_sent)
+            .sum()
+    }
+
+    /// Total bytes sent by replicas.
+    pub fn replica_bytes_sent(&self) -> u64 {
+        self.per_node
+            .iter()
+            .filter(|(n, _)| n.is_replica())
+            .map(|(_, c)| c.bytes_sent)
+            .sum()
+    }
+
+    /// Load-imbalance ratio across replicas: `max(msgs_sent + msgs_received)
+    /// / mean(...)`. 1.0 = perfectly balanced; the leader bottleneck of
+    /// dimension Q2 shows up as values ≫ 1.
+    pub fn load_imbalance(&self) -> f64 {
+        let loads: Vec<u64> = self
+            .per_node
+            .iter()
+            .filter(|(n, _)| n.is_replica())
+            .map(|(_, c)| c.msgs_sent + c.msgs_received)
+            .collect();
+        if loads.is_empty() {
+            return 1.0;
+        }
+        let max = *loads.iter().max().unwrap() as f64;
+        let mean = loads.iter().sum::<u64>() as f64 / loads.len() as f64;
+        if mean == 0.0 {
+            1.0
+        } else {
+            max / mean
+        }
+    }
+}
+
+/// Order statistics over a set of latency samples.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencyStats {
+    /// Number of samples.
+    pub count: usize,
+    /// Mean latency.
+    pub mean: SimDuration,
+    /// Median (p50).
+    pub p50: SimDuration,
+    /// 99th percentile.
+    pub p99: SimDuration,
+    /// Maximum.
+    pub max: SimDuration,
+}
+
+impl LatencyStats {
+    /// Compute stats from samples. Returns `None` for an empty set.
+    pub fn from_samples(mut samples: Vec<SimDuration>) -> Option<LatencyStats> {
+        if samples.is_empty() {
+            return None;
+        }
+        samples.sort_unstable();
+        let count = samples.len();
+        let sum: u64 = samples.iter().map(|d| d.0).sum();
+        let pct = |p: f64| -> SimDuration {
+            let idx = ((count as f64 - 1.0) * p).round() as usize;
+            samples[idx]
+        };
+        Some(LatencyStats {
+            count,
+            mean: SimDuration(sum / count as u64),
+            p50: pct(0.50),
+            p99: pct(0.99),
+            max: *samples.last().unwrap(),
+        })
+    }
+}
+
+impl std::fmt::Display for LatencyStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} mean={} p50={} p99={} max={}",
+            self.count, self.mean, self.p50, self.p99, self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = Metrics::default();
+        let a = NodeId::replica(0);
+        m.on_send(a, 100);
+        m.on_send(a, 50);
+        m.on_deliver(a, 30);
+        m.on_cpu(a, SimDuration(500));
+        let c = m.node(a);
+        assert_eq!(c.msgs_sent, 2);
+        assert_eq!(c.bytes_sent, 150);
+        assert_eq!(c.msgs_received, 1);
+        assert_eq!(c.bytes_received, 30);
+        assert_eq!(c.cpu, SimDuration(500));
+    }
+
+    #[test]
+    fn replica_totals_exclude_clients() {
+        let mut m = Metrics::default();
+        m.on_send(NodeId::replica(0), 10);
+        m.on_send(NodeId::client(0), 99);
+        assert_eq!(m.replica_msgs_sent(), 1);
+        assert_eq!(m.replica_bytes_sent(), 10);
+    }
+
+    #[test]
+    fn imbalance_detects_leader_bottleneck() {
+        let mut m = Metrics::default();
+        // leader sends 90, three backups send 10 each
+        for _ in 0..90 {
+            m.on_send(NodeId::replica(0), 1);
+        }
+        for r in 1..4 {
+            for _ in 0..10 {
+                m.on_send(NodeId::replica(r), 1);
+            }
+        }
+        let imb = m.load_imbalance();
+        assert!(imb > 2.5, "imbalance = {imb}");
+    }
+
+    #[test]
+    fn imbalance_of_uniform_load_is_one() {
+        let mut m = Metrics::default();
+        for r in 0..4 {
+            for _ in 0..10 {
+                m.on_send(NodeId::replica(r), 1);
+            }
+        }
+        assert!((m.load_imbalance() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_stats() {
+        let samples: Vec<SimDuration> = (1..=100).map(SimDuration).collect();
+        let s = LatencyStats::from_samples(samples).unwrap();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.mean, SimDuration(50)); // (1+..+100)/100 = 50.5 → integer div
+        assert_eq!(s.p50, SimDuration(51));
+        assert_eq!(s.p99, SimDuration(99));
+        assert_eq!(s.max, SimDuration(100));
+        assert!(LatencyStats::from_samples(vec![]).is_none());
+    }
+}

@@ -1,0 +1,639 @@
+//! The simulation runner: actors, contexts, and the deterministic event loop.
+//!
+//! A [`Simulation`] owns a set of [`Actor`]s (replicas and clients), a
+//! [`crate::net::NetworkModel`], a seeded RNG, metrics, and the
+//! observation log. Running it is a pure function of its inputs: events at
+//! equal timestamps fire in insertion order, every random choice comes from
+//! the seeded RNG, and no wall-clock time is consulted anywhere.
+//!
+//! ## CPU model
+//!
+//! Each node is one virtual core. An event arriving at `t` on a node that is
+//! busy until `b` starts processing at `max(t, b)`; costs charged during the
+//! handler (crypto operations, execution work) extend the node's busy time
+//! and delay its outgoing messages. This is what surfaces the *leader
+//! bottleneck* (dimension Q2) and the MAC-vs-signature CPU trade-off
+//! (dimension E3) in experiments.
+
+use std::collections::{BTreeMap, BinaryHeap, HashSet};
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use bft_crypto::{CryptoCostModel, CryptoOp};
+use bft_types::{TimerKind, WireSize};
+
+use crate::event::{EventKind, NodeId, QueuedEvent};
+use crate::metrics::Metrics;
+use crate::net::{Delivery, NetworkModel};
+use crate::obs::{Observation, ObservationLog};
+use crate::time::{SimDuration, SimTime};
+use crate::topology::Topology;
+
+/// Handle to a pending timer, for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub struct TimerId(pub u64);
+
+/// A protocol participant (replica or client).
+///
+/// Implementations receive messages and timer events through the simulator
+/// and act through the [`Context`]. They must be deterministic: any
+/// randomness comes from [`Context::rng`].
+pub trait Actor<M> {
+    /// Called once when the simulation starts.
+    fn on_start(&mut self, _ctx: &mut Context<'_, M>) {}
+
+    /// A message from `from` arrived.
+    fn on_message(&mut self, from: NodeId, msg: M, ctx: &mut Context<'_, M>);
+
+    /// A timer set through [`Context::set_timer`] fired (and was not
+    /// cancelled).
+    fn on_timer(&mut self, _id: TimerId, _kind: TimerKind, _ctx: &mut Context<'_, M>) {}
+
+    /// The node recovered after a scheduled crash (rejuvenation).
+    fn on_recover(&mut self, _ctx: &mut Context<'_, M>) {}
+}
+
+/// Shared simulation state the context exposes to the running actor.
+struct SimState<M> {
+    queue: BinaryHeap<QueuedEvent<M>>,
+    next_seq: u64,
+    next_timer: u64,
+    cancelled: HashSet<TimerId>,
+    network: NetworkModel,
+    topology: Option<Topology>,
+    n_replicas: usize,
+    rng: ChaCha8Rng,
+    metrics: Metrics,
+    log: ObservationLog,
+    cost_model: CryptoCostModel,
+}
+
+impl<M> SimState<M> {
+    fn push(&mut self, at: SimTime, node: NodeId, kind: EventKind<M>) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue.push(QueuedEvent { at, seq, node, kind });
+    }
+}
+
+/// The interface through which an actor interacts with the world while
+/// handling an event.
+pub struct Context<'a, M> {
+    node: NodeId,
+    /// Time at which processing of this event started.
+    base: SimTime,
+    /// Virtual CPU time charged so far during this handler.
+    charged: SimDuration,
+    state: &'a mut SimState<M>,
+}
+
+impl<'a, M: WireSize> Context<'a, M> {
+    /// This node's identity.
+    pub fn me(&self) -> NodeId {
+        self.node
+    }
+
+    /// Current virtual time: processing start plus CPU charged so far.
+    pub fn now(&self) -> SimTime {
+        self.base + self.charged
+    }
+
+    /// The network's synchrony bound Δ (protocols derive timeouts from it).
+    pub fn delta(&self) -> SimDuration {
+        self.state.network.config.delta
+    }
+
+    /// Deterministic RNG for protocol-level randomness.
+    pub fn rng(&mut self) -> &mut ChaCha8Rng {
+        &mut self.state.rng
+    }
+
+    /// Charge virtual CPU time: delays this node's subsequent sends and its
+    /// availability for the next event.
+    pub fn charge(&mut self, d: SimDuration) {
+        self.charged += d;
+        self.state.metrics.on_cpu(self.node, d);
+    }
+
+    /// Charge one cryptographic operation at the configured cost model.
+    pub fn charge_crypto(&mut self, op: CryptoOp) {
+        self.charge(SimDuration(self.state.cost_model.cost_ns(op)));
+    }
+
+    /// Charge `count` cryptographic operations.
+    pub fn charge_crypto_n(&mut self, op: CryptoOp, count: usize) {
+        self.charge(SimDuration(
+            self.state.cost_model.cost_ns(op).saturating_mul(count as u64),
+        ));
+    }
+
+    /// Send a message. Applies topology constraints (replica↔replica links
+    /// only), samples network delay, and records metrics.
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        let bytes = msg.wire_size();
+        // Overlay enforcement: only replica-to-replica links are constrained.
+        if let (Some(topo), NodeId::Replica(f), NodeId::Replica(t)) =
+            (&self.state.topology, self.node, to)
+        {
+            if f != t && !topo.allows(self.state.n_replicas, f, t) {
+                self.state.metrics.topology_blocked += 1;
+                return;
+            }
+        }
+        self.state.metrics.on_send(self.node, bytes);
+        let sent_at = self.now();
+        match self
+            .state
+            .network
+            .route(&mut self.state.rng, sent_at, self.node, to)
+        {
+            Delivery::After(d) => {
+                self.state
+                    .push(sent_at + d, to, EventKind::Deliver { from: self.node, msg });
+            }
+            Delivery::Dropped => {
+                self.state.metrics.dropped += 1;
+            }
+        }
+    }
+
+    /// Send the same message to many nodes (clones per receiver).
+    pub fn multicast(&mut self, to: impl IntoIterator<Item = NodeId>, msg: M)
+    where
+        M: Clone,
+    {
+        for node in to {
+            self.send(node, msg.clone());
+        }
+    }
+
+    /// Send to every replica in `0..n` except self.
+    pub fn broadcast_replicas(&mut self, msg: M)
+    where
+        M: Clone,
+    {
+        let n = self.state.n_replicas;
+        let me = self.node;
+        self.multicast(
+            (0..n as u32).map(NodeId::replica).filter(|r| *r != me),
+            msg,
+        );
+    }
+
+    /// Number of replicas in the simulation.
+    pub fn n_replicas(&self) -> usize {
+        self.state.n_replicas
+    }
+
+    /// Set a timer of the given kind; fires after `delay` unless cancelled.
+    pub fn set_timer(&mut self, kind: TimerKind, delay: SimDuration) -> TimerId {
+        let id = TimerId(self.state.next_timer);
+        self.state.next_timer += 1;
+        let at = self.now() + delay;
+        self.state.push(at, self.node, EventKind::Timer { id, kind });
+        id
+    }
+
+    /// Cancel a pending timer (no-op if it already fired).
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        self.state.cancelled.insert(id);
+    }
+
+    /// Record an observation in the audit log.
+    pub fn observe(&mut self, obs: Observation) {
+        let now = self.now();
+        self.state.log.push(now, self.node, obs);
+    }
+}
+
+/// State of one node slot.
+struct NodeSlot<M> {
+    actor: Option<Box<dyn Actor<M>>>,
+    crashed: bool,
+    busy_until: SimTime,
+}
+
+/// Outcome of a finished run.
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// Virtual time when the run stopped.
+    pub end_time: SimTime,
+    /// Traffic metrics.
+    pub metrics: Metrics,
+    /// The audit log.
+    pub log: ObservationLog,
+    /// Number of events processed.
+    pub events_processed: u64,
+}
+
+/// A deterministic discrete-event simulation.
+pub struct Simulation<M> {
+    nodes: BTreeMap<NodeId, NodeSlot<M>>,
+    state: SimState<M>,
+    now: SimTime,
+    events_processed: u64,
+    /// Stop the run after this many events (runaway-protocol guard).
+    pub max_events: u64,
+}
+
+impl<M: WireSize + 'static> Simulation<M> {
+    /// Create a simulation with the given network and RNG seed.
+    pub fn new(network: NetworkModel, seed: u64) -> Self {
+        Simulation {
+            nodes: BTreeMap::new(),
+            state: SimState {
+                queue: BinaryHeap::new(),
+                next_seq: 0,
+                next_timer: 0,
+                cancelled: HashSet::new(),
+                network,
+                topology: None,
+                n_replicas: 0,
+                rng: ChaCha8Rng::seed_from_u64(seed),
+                metrics: Metrics::default(),
+                log: ObservationLog::default(),
+                cost_model: CryptoCostModel::free(),
+            },
+            now: SimTime::ZERO,
+            events_processed: 0,
+            max_events: 20_000_000,
+        }
+    }
+
+    /// Set the crypto cost model charged by `Context::charge_crypto`.
+    pub fn set_cost_model(&mut self, model: CryptoCostModel) {
+        self.state.cost_model = model;
+    }
+
+    /// Restrict replica↔replica communication to a topology (dimension E2).
+    pub fn set_topology(&mut self, topology: Topology) {
+        self.state.topology = Some(topology);
+    }
+
+    /// Mutable access to the network model (partitions, slow links).
+    pub fn network_mut(&mut self) -> &mut NetworkModel {
+        &mut self.state.network
+    }
+
+    /// Add a replica actor as replica `i` (`i` must be dense from 0).
+    pub fn add_replica(&mut self, i: u32, actor: Box<dyn Actor<M>>) {
+        let id = NodeId::replica(i);
+        assert!(
+            self.nodes.insert(
+                id,
+                NodeSlot { actor: Some(actor), crashed: false, busy_until: SimTime::ZERO }
+            )
+            .is_none(),
+            "duplicate replica {id}"
+        );
+        self.state.n_replicas = self.state.n_replicas.max(i as usize + 1);
+    }
+
+    /// Add a client actor.
+    pub fn add_client(&mut self, c: u64, actor: Box<dyn Actor<M>>) {
+        let id = NodeId::client(c);
+        assert!(
+            self.nodes.insert(
+                id,
+                NodeSlot { actor: Some(actor), crashed: false, busy_until: SimTime::ZERO }
+            )
+            .is_none(),
+            "duplicate client {id}"
+        );
+    }
+
+    /// Schedule a crash: the node stops processing events at `at`.
+    pub fn schedule_crash(&mut self, node: NodeId, at: SimTime) {
+        self.state.push(at, node, EventKind::Crash);
+    }
+
+    /// Schedule a recovery: the node resumes processing at `at` and its
+    /// `on_recover` hook runs.
+    pub fn schedule_recover(&mut self, node: NodeId, at: SimTime) {
+        self.state.push(at, node, EventKind::Recover);
+    }
+
+    /// Inject a message from outside the actor set (used by tests).
+    pub fn inject(&mut self, at: SimTime, from: NodeId, to: NodeId, msg: M) {
+        self.state.push(at, to, EventKind::Deliver { from, msg });
+    }
+
+    /// Run until the queue drains or `until` is reached. Returns the
+    /// outcome; the simulation can be resumed by calling `run` again with a
+    /// later deadline.
+    pub fn run(&mut self, until: SimTime) -> &mut Self {
+        if self.events_processed == 0 {
+            // fire on_start hooks in node order, at t = 0
+            let ids: Vec<NodeId> = self.nodes.keys().copied().collect();
+            for id in ids {
+                self.with_actor(id, SimTime::ZERO, |actor, ctx| actor.on_start(ctx));
+            }
+        }
+        while let Some(ev) = self.state.queue.peek() {
+            if ev.at > until {
+                break;
+            }
+            if self.events_processed >= self.max_events {
+                break;
+            }
+            let ev = self.state.queue.pop().unwrap();
+            self.now = self.now.max(ev.at);
+            self.events_processed += 1;
+            self.dispatch(ev);
+        }
+        self.now = self.now.max(until.min(
+            self.state
+                .queue
+                .peek()
+                .map(|e| e.at)
+                .unwrap_or(until),
+        ));
+        self
+    }
+
+    fn dispatch(&mut self, ev: QueuedEvent<M>) {
+        let node = ev.node;
+        match ev.kind {
+            EventKind::Crash => {
+                if let Some(slot) = self.nodes.get_mut(&node) {
+                    slot.crashed = true;
+                }
+            }
+            EventKind::Recover => {
+                let was_crashed = self
+                    .nodes
+                    .get_mut(&node)
+                    .map(|s| std::mem::replace(&mut s.crashed, false))
+                    .unwrap_or(false);
+                if was_crashed {
+                    self.with_actor(node, ev.at, |actor, ctx| actor.on_recover(ctx));
+                }
+            }
+            EventKind::Deliver { from, msg } => {
+                let Some(slot) = self.nodes.get(&node) else { return };
+                if slot.crashed || slot.actor.is_none() {
+                    return;
+                }
+                self.state.metrics.on_deliver(node, msg.wire_size());
+                self.with_actor(node, ev.at, |actor, ctx| actor.on_message(from, msg, ctx));
+            }
+            EventKind::Timer { id, kind } => {
+                if self.state.cancelled.remove(&id) {
+                    return;
+                }
+                let Some(slot) = self.nodes.get(&node) else { return };
+                if slot.crashed || slot.actor.is_none() {
+                    return;
+                }
+                self.with_actor(node, ev.at, |actor, ctx| actor.on_timer(id, kind, ctx));
+            }
+        }
+    }
+
+    /// Run `f` with the node's actor checked out and a context built over
+    /// the shared state; applies the single-core CPU model.
+    fn with_actor(
+        &mut self,
+        node: NodeId,
+        arrival: SimTime,
+        f: impl FnOnce(&mut Box<dyn Actor<M>>, &mut Context<'_, M>),
+    ) {
+        let Some(slot) = self.nodes.get_mut(&node) else { return };
+        let Some(mut actor) = slot.actor.take() else { return };
+        let start = arrival.max(slot.busy_until);
+        let mut ctx = Context {
+            node,
+            base: start,
+            charged: SimDuration::ZERO,
+            state: &mut self.state,
+        };
+        f(&mut actor, &mut ctx);
+        let busy_until = start + ctx.charged;
+        let slot = self.nodes.get_mut(&node).expect("slot exists");
+        slot.busy_until = busy_until;
+        slot.actor = Some(actor);
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Immutable view of the metrics so far.
+    pub fn metrics(&self) -> &Metrics {
+        &self.state.metrics
+    }
+
+    /// Immutable view of the observation log so far.
+    pub fn log(&self) -> &ObservationLog {
+        &self.state.log
+    }
+
+    /// Finish and extract the outcome.
+    pub fn finish(self) -> RunOutcome {
+        RunOutcome {
+            end_time: self.now,
+            metrics: self.state.metrics,
+            log: self.state.log,
+            events_processed: self.events_processed,
+        }
+    }
+
+    /// Borrow an actor for inspection (tests / experiments).
+    pub fn actor(&self, node: NodeId) -> Option<&dyn Actor<M>> {
+        self.nodes.get(&node).and_then(|s| s.actor.as_deref())
+    }
+
+    /// Whether the node is currently crashed.
+    pub fn is_crashed(&self, node: NodeId) -> bool {
+        self.nodes.get(&node).map(|s| s.crashed).unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::NetworkConfig;
+    use serde::{Deserialize, Serialize};
+
+    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    struct Ping(u64);
+
+    impl WireSize for Ping {
+        fn wire_size(&self) -> usize {
+            8
+        }
+    }
+
+    /// Echoes every ping back with value + 1, up to a limit.
+    struct Echo {
+        limit: u64,
+        received: Vec<u64>,
+    }
+
+    impl Actor<Ping> for Echo {
+        fn on_message(&mut self, from: NodeId, msg: Ping, ctx: &mut Context<'_, Ping>) {
+            self.received.push(msg.0);
+            if msg.0 < self.limit {
+                ctx.send(from, Ping(msg.0 + 1));
+            }
+        }
+    }
+
+    fn sim() -> Simulation<Ping> {
+        Simulation::new(NetworkModel::new(NetworkConfig::lan()), 1)
+    }
+
+    #[test]
+    fn ping_pong_terminates() {
+        let mut s = sim();
+        s.add_replica(0, Box::new(Echo { limit: 10, received: vec![] }));
+        s.add_replica(1, Box::new(Echo { limit: 10, received: vec![] }));
+        s.inject(SimTime::ZERO, NodeId::replica(0), NodeId::replica(1), Ping(0));
+        s.run(SimTime(SimDuration::from_secs(10).0));
+        let out = s.finish();
+        // 0..=10 delivered: 11 messages
+        assert_eq!(out.events_processed, 11);
+        assert!(out.metrics.node(NodeId::replica(1)).msgs_received >= 5);
+    }
+
+    #[test]
+    fn crash_stops_processing_and_recover_resumes() {
+        struct Counter {
+            seen: u64,
+        }
+        impl Actor<Ping> for Counter {
+            fn on_message(&mut self, _from: NodeId, _msg: Ping, _ctx: &mut Context<'_, Ping>) {
+                self.seen += 1;
+            }
+        }
+        struct Feeder;
+        impl Actor<Ping> for Feeder {
+            fn on_start(&mut self, ctx: &mut Context<'_, Ping>) {
+                // one ping every ms for 10 ms
+                for i in 0..10u64 {
+                    ctx.set_timer(TimerKind::T7Heartbeat, SimDuration::from_millis(i + 1));
+                }
+            }
+            fn on_message(&mut self, _f: NodeId, _m: Ping, _c: &mut Context<'_, Ping>) {}
+            fn on_timer(&mut self, _id: TimerId, _k: TimerKind, ctx: &mut Context<'_, Ping>) {
+                ctx.send(NodeId::replica(1), Ping(0));
+            }
+        }
+        let mut s = sim();
+        s.add_replica(0, Box::new(Feeder));
+        s.add_replica(1, Box::new(Counter { seen: 0 }));
+        // crash replica 1 between 3.5 ms and 7.5 ms: pings at 4,5,6,7 ms lost
+        s.schedule_crash(NodeId::replica(1), SimTime(3_500_000));
+        s.schedule_recover(NodeId::replica(1), SimTime(7_500_000));
+        s.run(SimTime(SimDuration::from_secs(1).0));
+        // downcast via metrics instead: delivered messages counted only when alive
+        let delivered = s.metrics().node(NodeId::replica(1)).msgs_received;
+        assert_eq!(delivered, 6, "4 of 10 pings fell in the crash window");
+    }
+
+    #[test]
+    fn timers_fire_and_cancel() {
+        struct T {
+            fired: Vec<TimerKind>,
+        }
+        impl Actor<Ping> for T {
+            fn on_start(&mut self, ctx: &mut Context<'_, Ping>) {
+                ctx.set_timer(TimerKind::T2ViewChange, SimDuration::from_millis(1));
+                let id = ctx.set_timer(TimerKind::T1WaitReplies, SimDuration::from_millis(2));
+                ctx.cancel_timer(id);
+                ctx.set_timer(TimerKind::T5ViewSync, SimDuration::from_millis(3));
+            }
+            fn on_message(&mut self, _f: NodeId, _m: Ping, _c: &mut Context<'_, Ping>) {}
+            fn on_timer(&mut self, _id: TimerId, kind: TimerKind, _ctx: &mut Context<'_, Ping>) {
+                self.fired.push(kind);
+            }
+        }
+        let mut s = sim();
+        s.add_replica(0, Box::new(T { fired: vec![] }));
+        s.run(SimTime(SimDuration::from_secs(1).0));
+        let out = s.finish();
+        // 3 timer events pop from the queue; the cancelled one is skipped
+        // without reaching the actor, so only τ2 and τ5 fire.
+        assert_eq!(out.events_processed, 3);
+    }
+
+    #[test]
+    fn cpu_charges_delay_sends() {
+        struct Busy;
+        impl Actor<Ping> for Busy {
+            fn on_message(&mut self, from: NodeId, _msg: Ping, ctx: &mut Context<'_, Ping>) {
+                ctx.charge(SimDuration::from_millis(5));
+                ctx.send(from, Ping(99));
+            }
+        }
+        struct Recorder {
+            got_at: Option<SimTime>,
+        }
+        impl Actor<Ping> for Recorder {
+            fn on_message(&mut self, _f: NodeId, msg: Ping, ctx: &mut Context<'_, Ping>) {
+                if msg.0 == 99 {
+                    self.got_at = Some(ctx.now());
+                    ctx.observe(Observation::Marker { label: "got" });
+                }
+            }
+        }
+        let mut s = sim();
+        s.add_replica(0, Box::new(Busy));
+        s.add_replica(1, Box::new(Recorder { got_at: None }));
+        s.inject(SimTime::ZERO, NodeId::replica(1), NodeId::replica(0), Ping(1));
+        s.run(SimTime(SimDuration::from_secs(1).0));
+        let out = s.finish();
+        let marker = out
+            .log
+            .entries
+            .iter()
+            .find(|e| matches!(e.obs, Observation::Marker { label: "got" }))
+            .expect("reply observed");
+        // ≥ 5 ms CPU + the reply's network hop ≥ 100 µs (the injected
+        // request is delivered directly, without a network delay)
+        assert!(marker.at >= SimTime(5_100_000), "reply at {}", marker.at);
+        assert_eq!(out.metrics.node(NodeId::replica(0)).cpu, SimDuration::from_millis(5));
+    }
+
+    #[test]
+    fn identical_seeds_identical_runs() {
+        let run = |seed: u64| -> (u64, u64) {
+            let mut s = Simulation::<Ping>::new(NetworkModel::new(NetworkConfig::lan()), seed);
+            s.add_replica(0, Box::new(Echo { limit: 50, received: vec![] }));
+            s.add_replica(1, Box::new(Echo { limit: 50, received: vec![] }));
+            s.inject(SimTime::ZERO, NodeId::replica(0), NodeId::replica(1), Ping(0));
+            s.run(SimTime(SimDuration::from_secs(10).0));
+            let out = s.finish();
+            (out.events_processed, out.end_time.0)
+        };
+        assert_eq!(run(3), run(3));
+    }
+
+    #[test]
+    fn topology_blocks_forbidden_links() {
+        struct Spray;
+        impl Actor<Ping> for Spray {
+            fn on_start(&mut self, ctx: &mut Context<'_, Ping>) {
+                ctx.broadcast_replicas(Ping(1));
+            }
+            fn on_message(&mut self, _f: NodeId, _m: Ping, _c: &mut Context<'_, Ping>) {}
+        }
+        struct Sink;
+        impl Actor<Ping> for Sink {
+            fn on_message(&mut self, _f: NodeId, _m: Ping, _c: &mut Context<'_, Ping>) {}
+        }
+        let mut s = sim();
+        s.set_topology(Topology::Star { hub: bft_types::ReplicaId(0) });
+        s.add_replica(0, Box::new(Sink));
+        s.add_replica(1, Box::new(Spray)); // backup sprays to 0, 2, 3
+        s.add_replica(2, Box::new(Sink));
+        s.add_replica(3, Box::new(Sink));
+        s.run(SimTime(SimDuration::from_secs(1).0));
+        let out = s.finish();
+        // only the link to the hub is allowed
+        assert_eq!(out.metrics.topology_blocked, 2);
+        assert_eq!(out.metrics.node(NodeId::replica(0)).msgs_received, 1);
+    }
+}

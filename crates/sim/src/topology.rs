@@ -1,0 +1,256 @@
+//! Communication topologies (dimension **E2**).
+//!
+//! The paper distinguishes four overlay topologies BFT protocols use:
+//!
+//! * **Star** — all traffic flows through a designated hub (the leader):
+//!   linear message complexity (Zyzzyva, HotStuff).
+//! * **Clique** — all replicas talk to all replicas: quadratic message
+//!   complexity (PBFT's prepare/commit phases).
+//! * **Tree** — replicas form a tree rooted at the leader; each phase is a
+//!   parent↔child exchange: logarithmic depth, uniform per-node load
+//!   (ByzCoin, Kauri — design choice 14).
+//! * **Chain** — a pipeline where each replica talks to its successor
+//!   (Chain/Aliph).
+//!
+//! A topology answers two questions: *may `a` send to `b`?* (used by the
+//! network to enforce the overlay) and *what are `a`'s neighbors?* (used by
+//! tree/chain protocols to route). Clients are outside the overlay and may
+//! always reach replicas (and vice versa).
+
+use serde::{Deserialize, Serialize};
+
+use bft_types::ReplicaId;
+
+/// A communication overlay over `n` replicas.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Topology {
+    /// Every replica may message every replica.
+    Clique,
+    /// All replica↔replica traffic must involve the hub.
+    Star {
+        /// The hub replica (typically the current leader).
+        hub: ReplicaId,
+    },
+    /// Balanced tree rooted at `root` with the given fan-out; replicas are
+    /// placed in id order (root = `root`, then level by level).
+    Tree {
+        /// The root replica (the leader).
+        root: ReplicaId,
+        /// Children per node.
+        fanout: usize,
+    },
+    /// Pipeline `0 → 1 → … → n−1` (by id, rotated so `head` is first).
+    Chain {
+        /// First replica in the pipeline.
+        head: ReplicaId,
+    },
+}
+
+impl Topology {
+    /// May `from` send to `to` under this overlay (replica↔replica only —
+    /// callers route client traffic unconditionally)?
+    pub fn allows(&self, n: usize, from: ReplicaId, to: ReplicaId) -> bool {
+        match self {
+            Topology::Clique => true,
+            Topology::Star { hub } => from == *hub || to == *hub,
+            Topology::Tree { .. } => {
+                self.parent(n, from) == Some(to)
+                    || self.parent(n, to) == Some(from)
+            }
+            Topology::Chain { .. } => {
+                let fp = self.chain_pos(n, from);
+                let tp = self.chain_pos(n, to);
+                fp + 1 == tp || tp + 1 == fp
+            }
+        }
+    }
+
+    /// Tree: the parent of `node`, if any.
+    pub fn parent(&self, n: usize, node: ReplicaId) -> Option<ReplicaId> {
+        match self {
+            Topology::Tree { root, fanout } => {
+                let pos = Self::tree_pos(n, *root, node);
+                if pos == 0 {
+                    None
+                } else {
+                    let parent_pos = (pos - 1) / fanout;
+                    Some(Self::tree_id(n, *root, parent_pos))
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// Tree: the children of `node`.
+    pub fn children(&self, n: usize, node: ReplicaId) -> Vec<ReplicaId> {
+        match self {
+            Topology::Tree { root, fanout } => {
+                let pos = Self::tree_pos(n, *root, node);
+                (1..=*fanout)
+                    .map(|i| pos * fanout + i)
+                    .filter(|&c| c < n)
+                    .map(|c| Self::tree_id(n, *root, c))
+                    .collect()
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    /// Tree: depth of `node` (root = 0).
+    pub fn depth(&self, n: usize, node: ReplicaId) -> usize {
+        match self {
+            Topology::Tree { root, fanout } => {
+                let mut pos = Self::tree_pos(n, *root, node);
+                let mut d = 0;
+                while pos > 0 {
+                    pos = (pos - 1) / fanout;
+                    d += 1;
+                }
+                d
+            }
+            _ => 0,
+        }
+    }
+
+    /// Tree: height of the whole tree (max depth).
+    pub fn height(&self, n: usize) -> usize {
+        match self {
+            Topology::Tree { .. } => {
+                (0..n as u32).map(|i| self.depth(n, ReplicaId(i))).max().unwrap_or(0)
+            }
+            _ => 0,
+        }
+    }
+
+    /// Tree: all non-leaf replicas (whose correctness Kauri's optimistic
+    /// assumption `a3` depends on).
+    pub fn internal_nodes(&self, n: usize) -> Vec<ReplicaId> {
+        match self {
+            Topology::Tree { .. } => (0..n as u32)
+                .map(ReplicaId)
+                .filter(|r| !self.children(n, *r).is_empty())
+                .collect(),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Chain: the successor of `node`.
+    pub fn successor(&self, n: usize, node: ReplicaId) -> Option<ReplicaId> {
+        match self {
+            Topology::Chain { head } => {
+                let pos = self.chain_pos(n, node);
+                if pos + 1 < n {
+                    Some(ReplicaId((head.0 + pos as u32 + 1) % n as u32))
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// Chain: position of `node` in the pipeline (head = 0).
+    fn chain_pos(&self, n: usize, node: ReplicaId) -> usize {
+        match self {
+            Topology::Chain { head } => {
+                ((node.0 + n as u32 - head.0) % n as u32) as usize
+            }
+            _ => 0,
+        }
+    }
+
+    /// Level-order position of `node` when `root` occupies position 0 and
+    /// remaining replicas fill positions in id order.
+    fn tree_pos(n: usize, root: ReplicaId, node: ReplicaId) -> usize {
+        ((node.0 + n as u32 - root.0) % n as u32) as usize
+    }
+
+    /// Inverse of `tree_pos`.
+    fn tree_id(n: usize, root: ReplicaId, pos: usize) -> ReplicaId {
+        ReplicaId((root.0 + pos as u32) % n as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clique_allows_everything() {
+        let t = Topology::Clique;
+        assert!(t.allows(4, ReplicaId(1), ReplicaId(3)));
+    }
+
+    #[test]
+    fn star_routes_through_hub() {
+        let t = Topology::Star { hub: ReplicaId(0) };
+        assert!(t.allows(4, ReplicaId(0), ReplicaId(3)));
+        assert!(t.allows(4, ReplicaId(3), ReplicaId(0)));
+        assert!(!t.allows(4, ReplicaId(1), ReplicaId(2)));
+    }
+
+    #[test]
+    fn tree_structure_with_fanout_2() {
+        let t = Topology::Tree { root: ReplicaId(0), fanout: 2 };
+        let n = 7;
+        assert_eq!(t.parent(n, ReplicaId(0)), None);
+        assert_eq!(t.children(n, ReplicaId(0)), vec![ReplicaId(1), ReplicaId(2)]);
+        assert_eq!(t.children(n, ReplicaId(1)), vec![ReplicaId(3), ReplicaId(4)]);
+        assert_eq!(t.parent(n, ReplicaId(4)), Some(ReplicaId(1)));
+        assert_eq!(t.depth(n, ReplicaId(0)), 0);
+        assert_eq!(t.depth(n, ReplicaId(6)), 2);
+        assert_eq!(t.height(n), 2);
+        assert!(t.allows(n, ReplicaId(1), ReplicaId(3)));
+        assert!(!t.allows(n, ReplicaId(3), ReplicaId(4)));
+        assert_eq!(t.internal_nodes(n), vec![ReplicaId(0), ReplicaId(1), ReplicaId(2)]);
+    }
+
+    #[test]
+    fn tree_rotated_root() {
+        let t = Topology::Tree { root: ReplicaId(2), fanout: 2 };
+        let n = 4;
+        assert_eq!(t.parent(n, ReplicaId(2)), None);
+        assert_eq!(t.children(n, ReplicaId(2)), vec![ReplicaId(3), ReplicaId(0)]);
+        assert_eq!(t.parent(n, ReplicaId(0)), Some(ReplicaId(2)));
+    }
+
+    #[test]
+    fn chain_linkage() {
+        let t = Topology::Chain { head: ReplicaId(0) };
+        let n = 4;
+        assert_eq!(t.successor(n, ReplicaId(0)), Some(ReplicaId(1)));
+        assert_eq!(t.successor(n, ReplicaId(2)), Some(ReplicaId(3)));
+        assert_eq!(t.successor(n, ReplicaId(3)), None);
+        assert!(t.allows(n, ReplicaId(1), ReplicaId(2)));
+        assert!(t.allows(n, ReplicaId(2), ReplicaId(1)), "backward link for acks");
+        assert!(!t.allows(n, ReplicaId(0), ReplicaId(2)));
+    }
+
+    #[test]
+    fn chain_rotated_head() {
+        let t = Topology::Chain { head: ReplicaId(2) };
+        let n = 4;
+        assert_eq!(t.successor(n, ReplicaId(2)), Some(ReplicaId(3)));
+        assert_eq!(t.successor(n, ReplicaId(3)), Some(ReplicaId(0)));
+        assert_eq!(t.successor(n, ReplicaId(1)), None);
+    }
+
+    #[test]
+    fn every_tree_node_reaches_root() {
+        for n in [4usize, 7, 10, 16, 31] {
+            for fanout in [2usize, 3, 5] {
+                let t = Topology::Tree { root: ReplicaId(0), fanout };
+                for i in 1..n as u32 {
+                    let mut cur = ReplicaId(i);
+                    let mut hops = 0;
+                    while let Some(p) = t.parent(n, cur) {
+                        cur = p;
+                        hops += 1;
+                        assert!(hops <= n, "cycle detected");
+                    }
+                    assert_eq!(cur, ReplicaId(0));
+                }
+            }
+        }
+    }
+}

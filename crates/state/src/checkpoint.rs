@@ -1,0 +1,225 @@
+//! Checkpoint management (dimension **P4**).
+//!
+//! The paper: checkpointing (1) garbage-collects data of completed consensus
+//! instances to save space, and (2) restores in-dark replicas so all
+//! non-faulty replicas stay up-to-date. It is "typically initiated after a
+//! fixed window in a decentralized manner without relying on a leader".
+//!
+//! [`CheckpointManager`] implements the decentralized PBFT scheme: every
+//! `interval` sequence numbers a replica snapshots its state and broadcasts
+//! a checkpoint message `(seq, state digest)`; once `quorum` matching
+//! checkpoint messages for the same `(seq, digest)` are collected (a
+//! [`CheckpointProof`]), the checkpoint is *stable*: the log below it is
+//! discarded, and the low/high water marks advance.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use bft_types::{Digest, ReplicaId, SeqNum};
+
+use crate::machine::Snapshot;
+
+/// A quorum of matching checkpoint attestations: proof that the state at
+/// `seq` with digest `digest` is agreed by a quorum.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CheckpointProof {
+    /// Checkpoint sequence number.
+    pub seq: SeqNum,
+    /// Agreed state digest.
+    pub digest: Digest,
+    /// Replicas that attested.
+    pub attesters: Vec<ReplicaId>,
+}
+
+/// Tracks checkpoint attestations and stability for one replica.
+#[derive(Debug, Clone)]
+pub struct CheckpointManager {
+    /// Snapshot interval in sequence numbers (0 = checkpointing disabled).
+    pub interval: u64,
+    /// Matching attestations required for stability (2f+1 in PBFT).
+    pub quorum: usize,
+    /// Attestations seen: (seq, digest) → attesting replicas.
+    votes: BTreeMap<(SeqNum, Digest), Vec<ReplicaId>>,
+    /// Last stable checkpoint.
+    stable: Option<CheckpointProof>,
+    /// Local snapshots retained until stability (seq → snapshot).
+    snapshots: BTreeMap<SeqNum, Snapshot>,
+}
+
+impl CheckpointManager {
+    /// Create a manager. `interval = 0` disables checkpointing entirely.
+    pub fn new(interval: u64, quorum: usize) -> Self {
+        CheckpointManager {
+            interval,
+            quorum,
+            votes: BTreeMap::new(),
+            stable: None,
+            snapshots: BTreeMap::new(),
+        }
+    }
+
+    /// Should a checkpoint be taken at `seq`?
+    pub fn is_checkpoint_seq(&self, seq: SeqNum) -> bool {
+        self.interval > 0 && seq.0 > 0 && seq.0.is_multiple_of(self.interval)
+    }
+
+    /// Record the local snapshot taken at a checkpoint sequence number.
+    pub fn store_snapshot(&mut self, snap: Snapshot) {
+        self.snapshots.insert(snap.seq, snap);
+    }
+
+    /// The retained snapshot at `seq`, if any (served to trailing replicas).
+    pub fn snapshot_at(&self, seq: SeqNum) -> Option<&Snapshot> {
+        self.snapshots.get(&seq)
+    }
+
+    /// The latest retained snapshot at or below `seq`.
+    pub fn latest_snapshot_at_or_below(&self, seq: SeqNum) -> Option<&Snapshot> {
+        self.snapshots.range(..=seq).next_back().map(|(_, s)| s)
+    }
+
+    /// Record an attestation from `replica` for `(seq, digest)`. Returns the
+    /// new stable proof if this vote made the checkpoint stable.
+    pub fn add_attestation(
+        &mut self,
+        replica: ReplicaId,
+        seq: SeqNum,
+        digest: Digest,
+    ) -> Option<CheckpointProof> {
+        // ignore attestations at or below the current stable point
+        if let Some(stable) = &self.stable {
+            if seq <= stable.seq {
+                return None;
+            }
+        }
+        let entry = self.votes.entry((seq, digest)).or_default();
+        if entry.contains(&replica) {
+            return None;
+        }
+        entry.push(replica);
+        if entry.len() >= self.quorum {
+            let proof = CheckpointProof { seq, digest, attesters: entry.clone() };
+            self.make_stable(proof.clone());
+            Some(proof)
+        } else {
+            None
+        }
+    }
+
+    fn make_stable(&mut self, proof: CheckpointProof) {
+        let seq = proof.seq;
+        self.stable = Some(proof);
+        // garbage-collect: votes and snapshots strictly below the stable
+        // point (the stable snapshot itself is kept to serve catch-ups)
+        self.votes.retain(|(s, _), _| *s > seq);
+        self.snapshots.retain(|s, _| *s >= seq);
+    }
+
+    /// The last stable checkpoint proof.
+    pub fn stable(&self) -> Option<&CheckpointProof> {
+        self.stable.as_ref()
+    }
+
+    /// Low water mark: sequence numbers at or below this are garbage.
+    pub fn low_water(&self) -> SeqNum {
+        self.stable.as_ref().map(|p| p.seq).unwrap_or(SeqNum(0))
+    }
+
+    /// High water mark given a window size: replicas refuse to order beyond
+    /// this until the checkpoint advances (PBFT's throttle on in-dark
+    /// divergence).
+    pub fn high_water(&self, window: u64) -> SeqNum {
+        SeqNum(self.low_water().0 + window)
+    }
+
+    /// Number of retained snapshots (memory accounting for experiments).
+    pub fn retained_snapshots(&self) -> usize {
+        self.snapshots.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::StateMachine;
+    use bft_types::{ClientId, Op, Request, Transaction};
+
+    fn digest(b: u8) -> Digest {
+        Digest([b; 32])
+    }
+
+    #[test]
+    fn interval_detection() {
+        let m = CheckpointManager::new(10, 3);
+        assert!(!m.is_checkpoint_seq(SeqNum(0)));
+        assert!(!m.is_checkpoint_seq(SeqNum(5)));
+        assert!(m.is_checkpoint_seq(SeqNum(10)));
+        assert!(m.is_checkpoint_seq(SeqNum(20)));
+        let off = CheckpointManager::new(0, 3);
+        assert!(!off.is_checkpoint_seq(SeqNum(10)));
+    }
+
+    #[test]
+    fn stability_requires_quorum_of_distinct_replicas() {
+        let mut m = CheckpointManager::new(10, 3);
+        assert!(m.add_attestation(ReplicaId(0), SeqNum(10), digest(1)).is_none());
+        // duplicate vote doesn't count
+        assert!(m.add_attestation(ReplicaId(0), SeqNum(10), digest(1)).is_none());
+        assert!(m.add_attestation(ReplicaId(1), SeqNum(10), digest(1)).is_none());
+        let proof = m.add_attestation(ReplicaId(2), SeqNum(10), digest(1)).unwrap();
+        assert_eq!(proof.seq, SeqNum(10));
+        assert_eq!(proof.attesters.len(), 3);
+        assert_eq!(m.low_water(), SeqNum(10));
+        assert_eq!(m.high_water(100), SeqNum(110));
+    }
+
+    #[test]
+    fn conflicting_digests_do_not_mix() {
+        let mut m = CheckpointManager::new(10, 3);
+        m.add_attestation(ReplicaId(0), SeqNum(10), digest(1));
+        m.add_attestation(ReplicaId(1), SeqNum(10), digest(2)); // divergent
+        assert!(m.add_attestation(ReplicaId(2), SeqNum(10), digest(1)).is_none());
+        assert!(m.stable().is_none());
+        assert!(m.add_attestation(ReplicaId(3), SeqNum(10), digest(1)).is_some());
+    }
+
+    #[test]
+    fn old_attestations_ignored_after_stability() {
+        let mut m = CheckpointManager::new(10, 2);
+        m.add_attestation(ReplicaId(0), SeqNum(20), digest(2));
+        m.add_attestation(ReplicaId(1), SeqNum(20), digest(2));
+        assert_eq!(m.low_water(), SeqNum(20));
+        // a straggler attestation for seq 10 is ignored
+        assert!(m.add_attestation(ReplicaId(2), SeqNum(10), digest(1)).is_none());
+        assert!(m.add_attestation(ReplicaId(3), SeqNum(10), digest(1)).is_none());
+        assert_eq!(m.low_water(), SeqNum(20));
+    }
+
+    #[test]
+    fn snapshots_gc_below_stable() {
+        let mut m = CheckpointManager::new(10, 2);
+        let mut sm = StateMachine::new();
+        for i in 1..=30u64 {
+            sm.execute(
+                SeqNum(i),
+                &Request::new(ClientId(1), i, Transaction { ops: vec![Op::Put(1, i as i64)] }),
+            );
+            if m.is_checkpoint_seq(SeqNum(i)) {
+                m.store_snapshot(sm.snapshot());
+            }
+        }
+        assert_eq!(m.retained_snapshots(), 3);
+        let d20 = m.snapshot_at(SeqNum(20)).unwrap().digest;
+        m.add_attestation(ReplicaId(0), SeqNum(20), d20);
+        m.add_attestation(ReplicaId(1), SeqNum(20), d20);
+        // snapshots at 10 dropped; 20 and 30 retained
+        assert_eq!(m.retained_snapshots(), 2);
+        assert!(m.snapshot_at(SeqNum(10)).is_none());
+        assert!(m.snapshot_at(SeqNum(20)).is_some());
+        assert_eq!(
+            m.latest_snapshot_at_or_below(SeqNum(25)).unwrap().seq,
+            SeqNum(20)
+        );
+    }
+}

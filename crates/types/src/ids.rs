@@ -1,0 +1,213 @@
+//! Strongly-typed identifiers.
+//!
+//! BFT protocols juggle several numeric spaces — replica indices, client
+//! identities, view numbers, sequence numbers — whose accidental confusion is
+//! a classic source of consensus bugs. Each gets its own newtype here.
+
+use serde::{Deserialize, Serialize};
+
+/// Helper macro: `Display` for a numeric newtype with a prefix letter.
+macro_rules! fmt_display_inner {
+    ($prefix:literal) => {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, concat!($prefix, "{}"), self.0)
+        }
+    };
+}
+
+/// Identifier of a replica (server) participating in consensus.
+///
+/// Replicas are numbered `0..n`. In leader-based protocols the leader of view
+/// `v` is conventionally the replica with index `v mod n`
+/// ([`View::leader_of`]).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct ReplicaId(pub u32);
+
+impl ReplicaId {
+    /// Index usable for `Vec` addressing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Iterator over the replica ids of an `n`-replica cluster.
+    pub fn all(n: usize) -> impl Iterator<Item = ReplicaId> + Clone {
+        (0..n as u32).map(ReplicaId)
+    }
+}
+
+impl std::fmt::Display for ReplicaId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Identifier of a client submitting transactions.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct ClientId(pub u64);
+
+impl std::fmt::Display for ClientId {
+    fmt_display_inner!("c");
+}
+
+/// A view (configuration epoch) number.
+///
+/// Each view is coordinated by a designated leader; the view-change stage
+/// advances the view when the leader is suspected faulty (stable-leader
+/// protocols) or on a fixed rotation schedule (rotating-leader protocols).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct View(pub u64);
+
+impl View {
+    /// The conventional round-robin leader assignment: view `v` is led by
+    /// replica `v mod n`.
+    #[inline]
+    pub fn leader_of(self, n: usize) -> ReplicaId {
+        ReplicaId((self.0 % n as u64) as u32)
+    }
+
+    /// The next view.
+    #[inline]
+    pub fn next(self) -> View {
+        View(self.0 + 1)
+    }
+}
+
+impl std::fmt::Display for View {
+    fmt_display_inner!("v");
+}
+
+/// A sequence number: the position a request is assigned in the global
+/// service history. All non-faulty replicas execute the request with sequence
+/// number `s` only after every request with a lower sequence number.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct SeqNum(pub u64);
+
+impl SeqNum {
+    /// The next sequence number.
+    #[inline]
+    pub fn next(self) -> SeqNum {
+        SeqNum(self.0 + 1)
+    }
+
+    /// The previous sequence number, saturating at zero.
+    #[inline]
+    pub fn prev(self) -> SeqNum {
+        SeqNum(self.0.saturating_sub(1))
+    }
+}
+
+impl std::fmt::Display for SeqNum {
+    fmt_display_inner!("s");
+}
+
+/// Unique identifier of a client request: the issuing client plus a
+/// client-local monotonically increasing timestamp. Replicas use it for
+/// de-duplication (at-most-once execution semantics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct RequestId {
+    /// The client that issued the request.
+    pub client: ClientId,
+    /// Client-local logical timestamp; strictly increasing per client.
+    pub timestamp: u64,
+}
+
+impl std::fmt::Display for RequestId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}#{}", self.client, self.timestamp)
+    }
+}
+
+/// A 32-byte cryptographic digest (produced by `bft-crypto`'s SHA-256).
+///
+/// Digests identify request batches in ordering messages so that the bulky
+/// payload travels only once (in the pre-prepare / proposal), while votes
+/// reference it by digest.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Digest(pub [u8; 32]);
+
+impl Digest {
+    /// The all-zero digest, used as the digest of "nothing" (e.g. a nil
+    /// proposal in view-change).
+    pub const ZERO: Digest = Digest([0u8; 32]);
+
+    /// Hex rendering of the first four bytes, for logs.
+    pub fn short_hex(&self) -> String {
+        self.0[..4].iter().map(|b| format!("{b:02x}")).collect()
+    }
+}
+
+impl Default for Digest {
+    fn default() -> Self {
+        Digest::ZERO
+    }
+}
+
+impl std::fmt::Debug for Digest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Digest({}…)", self.short_hex())
+    }
+}
+
+impl std::fmt::Display for Digest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}…", self.short_hex())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leader_rotation_is_round_robin() {
+        let n = 4;
+        assert_eq!(View(0).leader_of(n), ReplicaId(0));
+        assert_eq!(View(1).leader_of(n), ReplicaId(1));
+        assert_eq!(View(4).leader_of(n), ReplicaId(0));
+        assert_eq!(View(7).leader_of(n), ReplicaId(3));
+    }
+
+    #[test]
+    fn seqnum_next_prev() {
+        assert_eq!(SeqNum(0).next(), SeqNum(1));
+        assert_eq!(SeqNum(0).prev(), SeqNum(0));
+        assert_eq!(SeqNum(5).prev(), SeqNum(4));
+    }
+
+    #[test]
+    fn replica_all_enumerates() {
+        let ids: Vec<_> = ReplicaId::all(3).collect();
+        assert_eq!(ids, vec![ReplicaId(0), ReplicaId(1), ReplicaId(2)]);
+    }
+
+    #[test]
+    fn digest_short_hex() {
+        let d = Digest([0xab; 32]);
+        assert_eq!(d.short_hex(), "abababab");
+        assert_eq!(format!("{d}"), "abababab…");
+    }
+
+    #[test]
+    fn request_id_orders_by_client_then_timestamp() {
+        let a = RequestId { client: ClientId(1), timestamp: 9 };
+        let b = RequestId { client: ClientId(2), timestamp: 0 };
+        assert!(a < b);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(ReplicaId(3).to_string(), "r3");
+        assert_eq!(ClientId(7).to_string(), "c7");
+        assert_eq!(View(2).to_string(), "v2");
+        assert_eq!(SeqNum(11).to_string(), "s11");
+    }
+}

@@ -1,0 +1,266 @@
+//! Quorum arithmetic.
+//!
+//! The paper's dimension **E1 (number of replicas)** enumerates the replica
+//! budgets BFT protocols operate with:
+//!
+//! * `n = 3f + 1` — the classic lower bound for partially synchronous BFT
+//!   (PBFT and descendants), ordering quorums of `2f + 1`;
+//! * `n = 5f + 1` — two-phase "fast" protocols (FaB), quorums of `4f + 1`,
+//!   with `5f − 1` proven to be the tight lower bound for two-step consensus;
+//! * `n = 7f + 1` — one-step protocols (Bosco-style);
+//! * `n = 2f + 1` — achievable with trusted hardware restricting
+//!   equivocation (MinBFT-style);
+//! * `n = 3f + 2k + 1` — tolerating `k` concurrently rejuvenating replicas
+//!   during proactive recovery;
+//! * `n > 4f / (2γ − 1)` — the order-fairness bound (Themis), which is
+//!   `4f + 1` at `γ = 1`.
+//!
+//! [`QuorumRules`] packages `n`, `f` and the derived quorum sizes, and is the
+//! single place in the code base where this arithmetic lives. Every protocol
+//! pulls its quorum sizes from here, and the property tests at the bottom
+//! verify the quorum-intersection invariant that makes the protocols safe.
+
+use serde::{Deserialize, Serialize};
+
+use crate::BftError;
+
+/// Quorum sizes derived from a cluster size `n` and fault threshold `f`.
+///
+/// ```
+/// use bft_types::QuorumRules;
+///
+/// let q = QuorumRules::classic(1); // n = 3f+1 = 4
+/// assert_eq!(q.quorum(), 3);       // ordering quorum 2f+1
+/// assert_eq!(q.weak(), 2);         // client reply quorum f+1
+///
+/// let fast = QuorumRules::fast(1); // n = 5f+1 = 6 (FaB)
+/// assert_eq!(fast.fast_quorum(), 5); // 4f+1
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QuorumRules {
+    /// Total number of replicas.
+    pub n: usize,
+    /// Maximum number of concurrently Byzantine replicas tolerated.
+    pub f: usize,
+}
+
+impl QuorumRules {
+    /// Construct quorum rules, validating `n ≥ 2f + 1` (no meaningful BFT
+    /// system exists below that — even with trusted hardware).
+    pub fn new(n: usize, f: usize) -> Result<Self, BftError> {
+        if n < 2 * f + 1 {
+            return Err(BftError::InvalidConfig(format!(
+                "n = {n} cannot tolerate f = {f} Byzantine replicas (need n ≥ 2f+1)"
+            )));
+        }
+        Ok(QuorumRules { n, f })
+    }
+
+    /// The classic `n = 3f + 1` configuration.
+    pub fn classic(f: usize) -> Self {
+        QuorumRules { n: 3 * f + 1, f }
+    }
+
+    /// The fast two-phase `n = 5f + 1` configuration (FaB).
+    pub fn fast(f: usize) -> Self {
+        QuorumRules { n: 5 * f + 1, f }
+    }
+
+    /// The one-step `n = 7f + 1` configuration (Bosco-style).
+    pub fn one_step(f: usize) -> Self {
+        QuorumRules { n: 7 * f + 1, f }
+    }
+
+    /// The trusted-hardware `n = 2f + 1` configuration (MinBFT-style).
+    pub fn trusted(f: usize) -> Self {
+        QuorumRules { n: 2 * f + 1, f }
+    }
+
+    /// The proactive-recovery `n = 3f + 2k + 1` configuration, tolerating
+    /// `k` concurrently rejuvenating (hence unavailable) replicas.
+    pub fn with_recovery(f: usize, k: usize) -> Self {
+        QuorumRules { n: 3 * f + 2 * k + 1, f }
+    }
+
+    /// Does `n` actually satisfy `n ≥ 3f + 1`? (False for trusted-hardware
+    /// deployments, which compensate with an equivocation-free log.)
+    pub fn satisfies_classic_bound(&self) -> bool {
+        self.n > 3 * self.f
+    }
+
+    /// An ordering quorum: `⌈(n + f + 1) / 2⌉`, which is `2f + 1` when
+    /// `n = 3f + 1`. Two such quorums intersect in at least `f + 1` replicas,
+    /// hence in at least one correct replica — the property that makes a
+    /// committed value durable across views.
+    pub fn quorum(&self) -> usize {
+        (self.n + self.f + 2) / 2 // ⌈(n + f + 1) / 2⌉
+    }
+
+    /// A *fast* quorum for two-phase commitment: `n − f` in the 5f+1 setting
+    /// is `4f + 1`; more generally the fast path requires matching messages
+    /// from `⌈(n + 3f + 1) / 2⌉` replicas so any two fast quorums intersect
+    /// in `2f + 1` replicas, preserving a correct majority witness after `f`
+    /// Byzantine defections.
+    pub fn fast_quorum(&self) -> usize {
+        ((self.n + 3 * self.f + 2) / 2).min(self.n) // ⌈(n + 3f + 1) / 2⌉, capped at n
+    }
+
+    /// Quorum under a trusted-hardware (equivocation-free) model: a simple
+    /// majority, `⌈(n + 1) / 2⌉`, which is `f + 1` when `n = 2f + 1`.
+    /// Trusted components (attested monotonic counters) prevent a Byzantine
+    /// replica from sending conflicting statements for the same log position,
+    /// so quorum intersection in a *single* replica suffices (MinBFT-style,
+    /// dimension E1).
+    pub fn trusted_quorum(&self) -> usize {
+        self.n / 2 + 1
+    }
+
+    /// The "weak certificate" size `f + 1`: enough matching messages to
+    /// guarantee at least one comes from a correct replica. This is the reply
+    /// quorum a PBFT client waits for.
+    pub fn weak(&self) -> usize {
+        self.f + 1
+    }
+
+    /// The speculative reply quorum used by Zyzzyva clients: all `n`
+    /// replicas (`3f + 1` in the classic setting) must reply identically for
+    /// single-phase speculative commitment.
+    pub fn speculative(&self) -> usize {
+        self.n
+    }
+
+    /// Number of correct (non-Byzantine) replicas.
+    pub fn correct(&self) -> usize {
+        self.n - self.f
+    }
+
+    /// Minimum overlap between any two sets of size `q` out of `n` replicas.
+    pub fn min_intersection(q: usize, n: usize) -> usize {
+        (2 * q).saturating_sub(n)
+    }
+
+    /// The order-fairness replica bound from Themis/Aequitas: providing
+    /// γ-order-fairness with `f` faults requires `n > 4f / (2γ − 1)`, where
+    /// `γ ∈ (0.5, 1]` is the fraction of replicas that must have received
+    /// `t1` before `t2` for the fair order to apply. Returns the minimum `n`.
+    pub fn fairness_min_n(f: usize, gamma: f64) -> Result<usize, BftError> {
+        if !(gamma > 0.5 && gamma <= 1.0) {
+            return Err(BftError::InvalidConfig(format!(
+                "order-fairness parameter γ = {gamma} outside (0.5, 1]"
+            )));
+        }
+        let bound = 4.0 * f as f64 / (2.0 * gamma - 1.0);
+        // strict inequality: n must exceed the bound
+        let mut n = bound.floor() as usize + 1;
+        // fairness still requires basic BFT safety
+        n = n.max(3 * f + 1);
+        Ok(n)
+    }
+}
+
+impl std::fmt::Display for QuorumRules {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n={}, f={}, quorum={}", self.n, self.f, self.quorum())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn classic_quorums() {
+        for f in 1..10 {
+            let q = QuorumRules::classic(f);
+            assert_eq!(q.n, 3 * f + 1);
+            assert_eq!(q.quorum(), 2 * f + 1, "f={f}");
+            assert_eq!(q.weak(), f + 1);
+            assert_eq!(q.correct(), 2 * f + 1);
+        }
+    }
+
+    #[test]
+    fn fast_quorums_match_fab() {
+        for f in 1..10 {
+            let q = QuorumRules::fast(f);
+            assert_eq!(q.n, 5 * f + 1);
+            assert_eq!(q.fast_quorum(), 4 * f + 1, "f={f}");
+        }
+    }
+
+    #[test]
+    fn trusted_hardware_quorums() {
+        for f in 1..10 {
+            let q = QuorumRules::trusted(f);
+            assert_eq!(q.n, 2 * f + 1);
+            assert_eq!(q.trusted_quorum(), f + 1, "f={f}: MinBFT commits with f+1");
+            assert!(!q.satisfies_classic_bound());
+        }
+    }
+
+    #[test]
+    fn recovery_budget() {
+        let q = QuorumRules::with_recovery(1, 1);
+        assert_eq!(q.n, 6); // 3f + 2k + 1 = 3 + 2 + 1
+    }
+
+    #[test]
+    fn new_rejects_too_small() {
+        assert!(QuorumRules::new(2, 1).is_err());
+        assert!(QuorumRules::new(3, 1).is_ok());
+    }
+
+    #[test]
+    fn fairness_bound_matches_paper() {
+        // γ = 1 ⇒ n > 4f ⇒ minimum 4f + 1 (paper: "at least 4f+1 replicas")
+        assert_eq!(QuorumRules::fairness_min_n(1, 1.0).unwrap(), 5);
+        assert_eq!(QuorumRules::fairness_min_n(2, 1.0).unwrap(), 9);
+        // γ close to 0.5 blows up
+        assert!(QuorumRules::fairness_min_n(1, 0.6).unwrap() > 20);
+        // invalid γ
+        assert!(QuorumRules::fairness_min_n(1, 0.5).is_err());
+        assert!(QuorumRules::fairness_min_n(1, 1.1).is_err());
+    }
+
+    proptest! {
+        /// Any two ordering quorums intersect in at least f+1 replicas,
+        /// i.e. at least one correct replica.
+        #[test]
+        fn quorum_intersection_has_correct_replica(f in 1usize..20, extra in 0usize..10) {
+            let n = 3 * f + 1 + extra;
+            let q = QuorumRules::new(n, f).unwrap();
+            let inter = QuorumRules::min_intersection(q.quorum(), n);
+            prop_assert!(inter > f,
+                "n={n} f={f} quorum={} intersection={inter}", q.quorum());
+        }
+
+        /// Fast quorums intersect in at least 2f+1 replicas, so even after f
+        /// Byzantine members defect, a correct majority witness remains.
+        #[test]
+        fn fast_quorum_intersection_survives_defection(f in 1usize..20) {
+            let q = QuorumRules::fast(f);
+            let inter = QuorumRules::min_intersection(q.fast_quorum(), q.n);
+            prop_assert!(inter > 2 * f);
+        }
+
+        /// An ordering quorum is always achievable by the correct replicas
+        /// alone (liveness: f silent Byzantine replicas cannot block it).
+        #[test]
+        fn quorum_reachable_without_byzantine(f in 1usize..20, extra in 0usize..10) {
+            let n = 3 * f + 1 + extra;
+            let q = QuorumRules::new(n, f).unwrap();
+            prop_assert!(q.quorum() <= q.correct());
+        }
+
+        /// The fairness bound is monotone: larger γ never requires more
+        /// replicas.
+        #[test]
+        fn fairness_bound_monotone_in_gamma(f in 1usize..10, g1 in 0.51f64..1.0, g2 in 0.51f64..1.0) {
+            let (lo, hi) = if g1 < g2 { (g1, g2) } else { (g2, g1) };
+            let n_lo = QuorumRules::fairness_min_n(f, lo).unwrap();
+            let n_hi = QuorumRules::fairness_min_n(f, hi).unwrap();
+            prop_assert!(n_hi <= n_lo);
+        }
+    }
+}

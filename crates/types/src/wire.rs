@@ -1,0 +1,172 @@
+//! Wire-size accounting.
+//!
+//! Experiments about message complexity (dimension **E2**) and authentication
+//! cost (dimension **E3**) need byte counts. Since the simulator passes Rust
+//! values in-process rather than serialized frames, every message type
+//! implements [`WireSize`] — an *estimate* of its serialized size that the
+//! network layer charges to bandwidth metrics.
+//!
+//! The estimates use fixed encodings (8-byte integers, 32-byte digests,
+//! 32-byte MACs, 64-byte signatures) so that relative comparisons between
+//! protocols are meaningful; nothing in the experiments depends on absolute
+//! byte values.
+
+use crate::ids::{ClientId, Digest, ReplicaId, RequestId, SeqNum, View};
+use crate::request::{Op, Reply, Request, Transaction, TxnResult};
+
+/// Estimated serialized size, in bytes.
+pub trait WireSize {
+    /// Size in bytes this value would occupy on the wire.
+    fn wire_size(&self) -> usize;
+}
+
+impl WireSize for u8 {
+    fn wire_size(&self) -> usize {
+        1
+    }
+}
+impl WireSize for u32 {
+    fn wire_size(&self) -> usize {
+        4
+    }
+}
+impl WireSize for u64 {
+    fn wire_size(&self) -> usize {
+        8
+    }
+}
+impl WireSize for i64 {
+    fn wire_size(&self) -> usize {
+        8
+    }
+}
+impl WireSize for usize {
+    fn wire_size(&self) -> usize {
+        8
+    }
+}
+impl WireSize for bool {
+    fn wire_size(&self) -> usize {
+        1
+    }
+}
+
+impl WireSize for ReplicaId {
+    fn wire_size(&self) -> usize {
+        4
+    }
+}
+impl WireSize for ClientId {
+    fn wire_size(&self) -> usize {
+        8
+    }
+}
+impl WireSize for View {
+    fn wire_size(&self) -> usize {
+        8
+    }
+}
+impl WireSize for SeqNum {
+    fn wire_size(&self) -> usize {
+        8
+    }
+}
+impl WireSize for RequestId {
+    fn wire_size(&self) -> usize {
+        16
+    }
+}
+impl WireSize for Digest {
+    fn wire_size(&self) -> usize {
+        32
+    }
+}
+
+impl<T: WireSize> WireSize for Option<T> {
+    fn wire_size(&self) -> usize {
+        1 + self.as_ref().map_or(0, WireSize::wire_size)
+    }
+}
+
+impl<T: WireSize> WireSize for Vec<T> {
+    fn wire_size(&self) -> usize {
+        4 + self.iter().map(WireSize::wire_size).sum::<usize>()
+    }
+}
+
+impl<A: WireSize, B: WireSize> WireSize for (A, B) {
+    fn wire_size(&self) -> usize {
+        self.0.wire_size() + self.1.wire_size()
+    }
+}
+
+impl WireSize for Op {
+    fn wire_size(&self) -> usize {
+        // 1-byte tag + operands
+        match self {
+            Op::Get(_) | Op::Delete(_) => 1 + 8,
+            Op::Put(_, _) | Op::Add(_, _) => 1 + 16,
+            Op::Work(_) => 1 + 4,
+        }
+    }
+}
+
+impl WireSize for Transaction {
+    fn wire_size(&self) -> usize {
+        self.ops.wire_size()
+    }
+}
+
+impl WireSize for Request {
+    fn wire_size(&self) -> usize {
+        self.id.wire_size() + self.txn.wire_size()
+    }
+}
+
+impl WireSize for TxnResult {
+    fn wire_size(&self) -> usize {
+        self.reads.wire_size()
+    }
+}
+
+impl WireSize for Reply {
+    fn wire_size(&self) -> usize {
+        self.request.wire_size()
+            + self.view.wire_size()
+            + self.result.wire_size()
+            + self.state_digest.wire_size()
+            + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_sizes() {
+        assert_eq!(Op::Get(1).wire_size(), 9);
+        assert_eq!(Op::Put(1, 2).wire_size(), 17);
+        assert_eq!(Op::Work(3).wire_size(), 5);
+    }
+
+    #[test]
+    fn vec_adds_length_prefix() {
+        let v: Vec<u64> = vec![1, 2, 3];
+        assert_eq!(v.wire_size(), 4 + 24);
+    }
+
+    #[test]
+    fn request_size_composes() {
+        let r = Request::new(ClientId(1), 1, Transaction::single(Op::Get(1)));
+        assert_eq!(r.wire_size(), 16 + 4 + 9);
+    }
+
+    #[test]
+    fn option_size() {
+        let some: Option<u64> = Some(9);
+        let none: Option<u64> = None;
+        assert_eq!(some.wire_size(), 9);
+        assert_eq!(none.wire_size(), 1);
+    }
+}

@@ -1,0 +1,83 @@
+//! Geo-replication: responsiveness (dimension E4) over a WAN.
+//!
+//! The paper: "protocols that reduce message complexity by increasing
+//! communication phases exhibit better throughput but worse latency (e.g.,
+//! unsuitable for geo-replicated databases)" — and non-responsive protocols
+//! pay the synchrony bound Δ instead of the actual delay δ.
+//!
+//! This example deploys the suite over a WAN-like network (δ = 25 ms,
+//! Δ = 500 ms) and over a LAN (δ = 0.1 ms) and shows how the ranking flips.
+//!
+//! ```text
+//! cargo run --release --example geo_replication
+//! ```
+
+use untrusted_txn::prelude::*;
+use untrusted_txn::sim::runner::RunOutcome;
+
+fn mean_ms(out: &RunOutcome) -> f64 {
+    let l = out.log.client_latencies();
+    l.iter().map(|(_, d)| d.as_millis_f64()).sum::<f64>() / l.len() as f64
+}
+
+fn main() {
+    let reqs = 15;
+    let lan = Scenario::small(1).with_load(1, reqs).with_network(NetworkConfig::lan());
+    let wan = Scenario::small(1).with_load(1, reqs).with_network(NetworkConfig::wan());
+
+    println!("mean commit latency, LAN (δ=0.1 ms, Δ=10 ms) vs WAN (δ=25 ms, Δ=500 ms):\n");
+    println!("  {:<28}{:>9}{:>11}{:>8}", "protocol", "LAN ms", "WAN ms", "ratio");
+
+    let mut rows: Vec<(&str, f64, f64)> = vec![(
+        "Zyzzyva (1 phase)",
+        mean_ms(&zyzzyva::run(&lan, ZyzzyvaVariant::Classic)),
+        mean_ms(&zyzzyva::run(&wan, ZyzzyvaVariant::Classic)),
+    )];
+    rows.push((
+        "FaB (2 phases)",
+        mean_ms(&fab::run(&lan)),
+        mean_ms(&fab::run(&wan)),
+    ));
+    rows.push((
+        "PBFT (3 phases)",
+        mean_ms(&pbft::run(&lan, &PbftOptions::default())),
+        mean_ms(&pbft::run(&wan, &PbftOptions::default())),
+    ));
+    rows.push((
+        "SBFT (5 linear phases)",
+        mean_ms(&sbft::run(&lan)),
+        mean_ms(&sbft::run(&wan)),
+    ));
+    rows.push((
+        "HotStuff (7 linear phases)",
+        mean_ms(&hotstuff::run(&lan)),
+        mean_ms(&hotstuff::run(&wan)),
+    ));
+    rows.push((
+        "Tendermint (Δ-wait)",
+        mean_ms(&tendermint::run(&lan, false)),
+        mean_ms(&tendermint::run(&wan, false)),
+    ));
+    rows.push((
+        "Tendermint + informed",
+        mean_ms(&tendermint::run(&lan, true)),
+        mean_ms(&tendermint::run(&wan, true)),
+    ));
+
+    for (name, l, w) in &rows {
+        println!("  {name:<28}{l:>9.3}{w:>11.3}{:>8.0}x", w / l);
+    }
+
+    println!(
+        "\nreadings (the paper's E4/P2 trade-offs):\n\
+         \u{2022} on a WAN every extra phase costs a cross-continent round trip —\n\
+         \u{2003}the phase hierarchy (1 < 2 < 3 < 5 < 7) turns into tens of ms per step;\n\
+         \u{2022} the Δ-wait protocol is the outlier: its latency is pinned to the\n\
+         \u{2003}conservative synchrony bound, not the actual delay — non-responsive\n\
+         \u{2003}rotation is the wrong choice for geo-replication unless the\n\
+         \u{2003}informed-leader optimization applies;\n\
+         \u{2022} message-frugal linear protocols (SBFT, HotStuff) trade exactly the\n\
+         \u{2003}latency that WANs make expensive — 'better throughput but worse\n\
+         \u{2003}latency, unsuitable for geo-replicated databases'."
+    );
+}

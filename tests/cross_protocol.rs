@@ -1,0 +1,120 @@
+//! Cross-protocol invariants: different protocols given the same sequential
+//! workload must produce the same final replicated state; every protocol
+//! must be deterministic under a fixed seed and sensitive to seed changes.
+
+use untrusted_txn::prelude::*;
+use untrusted_txn::sim::runner::RunOutcome;
+use untrusted_txn::types::Digest;
+
+/// The state digest after the last execution on a given replica.
+fn final_state_digest(out: &RunOutcome, replica: u32) -> Option<Digest> {
+    out.log
+        .entries
+        .iter()
+        .rev()
+        .find_map(|e| match &e.obs {
+            Observation::Execute { state_digest, .. } if e.node == NodeId::replica(replica) => {
+                Some(*state_digest)
+            }
+            _ => None,
+        })
+}
+
+#[test]
+fn all_ordering_protocols_agree_on_final_state() {
+    // one client, sequential workload: every total-order protocol must
+    // execute the identical command sequence, hence end in identical state
+    let s = Scenario::small(1).with_load(1, 20);
+    let outs: Vec<(&str, RunOutcome)> = vec![
+        ("PBFT", pbft::run(&s, &PbftOptions::default())),
+        ("Zyzzyva", zyzzyva::run(&s, ZyzzyvaVariant::Classic)),
+        ("SBFT", sbft::run(&s)),
+        ("HotStuff", hotstuff::run(&s)),
+        ("Tendermint", tendermint::run(&s, false)),
+        ("PoE", poe::run(&s, &[])),
+        ("FaB", fab::run(&s)),
+        ("CheapBFT", cheap::run(&s)),
+        ("Prime", prime::run(&s, &[])),
+        ("Fair", fair::run(&s)),
+        ("Kauri", kauri::run(&s, 2)),
+        ("MinBFT", minbft::run(&s)),
+        ("Chain", chain::run(&s)),
+    ];
+    let reference = final_state_digest(&outs[0].1, 1).expect("PBFT executed something");
+    for (name, out) in &outs {
+        assert_eq!(
+            out.log.client_latencies().len(),
+            20,
+            "{name} did not complete the workload"
+        );
+        let d = final_state_digest(out, 1).unwrap_or_else(|| panic!("{name} executed nothing"));
+        assert_eq!(
+            d, reference,
+            "{name}'s final replicated state diverges from PBFT's"
+        );
+    }
+}
+
+#[test]
+fn every_protocol_is_deterministic() {
+    let s = Scenario::small(1).with_load(1, 10);
+    macro_rules! det {
+        ($name:literal, $run:expr) => {{
+            let a: RunOutcome = $run;
+            let b: RunOutcome = $run;
+            assert_eq!(a.events_processed, b.events_processed, "{} events differ", $name);
+            assert_eq!(a.end_time, b.end_time, "{} end time differs", $name);
+            assert_eq!(
+                a.log.entries.len(),
+                b.log.entries.len(),
+                "{} observation logs differ",
+                $name
+            );
+        }};
+    }
+    det!("PBFT", pbft::run(&s, &PbftOptions::default()));
+    det!("Zyzzyva", zyzzyva::run(&s, ZyzzyvaVariant::Classic));
+    det!("SBFT", sbft::run(&s));
+    det!("HotStuff", hotstuff::run(&s));
+    det!("Tendermint", tendermint::run(&s, false));
+    det!("PoE", poe::run(&s, &[]));
+    det!("FaB", fab::run(&s));
+    det!("CheapBFT", cheap::run(&s));
+    det!("Prime", prime::run(&s, &[]));
+    det!("Fair", fair::run(&s));
+    det!("Kauri", kauri::run(&s, 2));
+    det!("MinBFT", minbft::run(&s));
+    det!("Chain", chain::run(&s));
+    det!("Q/U", qu::run(&s));
+}
+
+#[test]
+fn seed_changes_the_microtiming_but_not_the_outcome() {
+    let a = pbft::run(&Scenario::small(1).with_load(1, 10).with_seed(1), &PbftOptions::default());
+    let b = pbft::run(&Scenario::small(1).with_load(1, 10).with_seed(2), &PbftOptions::default());
+    // different jitter draws → different per-request latencies…
+    let lat_sum = |o: &RunOutcome| -> u64 { o.log.client_latencies().iter().map(|(_, d)| d.0).sum() };
+    assert_ne!(lat_sum(&a), lat_sum(&b), "seeds must matter");
+    // …but the same logical outcome: everything commits. (Final state
+    // digests differ because the workload itself derives from the seed.)
+    assert_eq!(a.log.client_latencies().len(), 10);
+    assert_eq!(b.log.client_latencies().len(), 10);
+}
+
+#[test]
+fn batching_preserves_final_state() {
+    let unbatched = pbft::run(
+        &Scenario::small(1).with_load(4, 10).with_batch(1),
+        &PbftOptions::default(),
+    );
+    let batched = pbft::run(
+        &Scenario::small(1).with_load(4, 10).with_batch(8),
+        &PbftOptions::default(),
+    );
+    assert_eq!(unbatched.log.client_latencies().len(), 40);
+    assert_eq!(batched.log.client_latencies().len(), 40);
+    // same per-client request streams; with multiple clients the interleaving
+    // may differ, so compare per-protocol safety instead of digests here
+    SafetyAuditor::all_correct().assert_safe(&unbatched.log);
+    SafetyAuditor::all_correct().assert_safe(&batched.log);
+}

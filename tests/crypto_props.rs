@@ -1,0 +1,114 @@
+//! Property-based tests over the cryptographic substrate: the certificate
+//! soundness invariant from DESIGN.md, checked over random inputs.
+
+use proptest::prelude::*;
+
+use untrusted_txn::crypto::sign::PartyId;
+use untrusted_txn::crypto::{
+    digest_of, hmac_sha256, sha256, KeyStore, ThresholdScheme, ThresholdSigner,
+};
+
+proptest! {
+    /// SHA-256 is deterministic and input-sensitive (changing any byte
+    /// changes the digest).
+    #[test]
+    fn sha256_sensitivity(mut data in prop::collection::vec(any::<u8>(), 1..512), flip in 0usize..512) {
+        let original = sha256(&data);
+        prop_assert_eq!(original, sha256(&data), "deterministic");
+        let idx = flip % data.len();
+        data[idx] ^= 0x01;
+        prop_assert_ne!(original, sha256(&data), "one flipped bit changes the digest");
+    }
+
+    /// HMAC binds both key and message.
+    #[test]
+    fn hmac_binds_key_and_message(
+        key in prop::collection::vec(any::<u8>(), 1..128),
+        msg in prop::collection::vec(any::<u8>(), 0..256),
+        other_msg in prop::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let tag = hmac_sha256(&key, &msg);
+        prop_assert_eq!(tag, hmac_sha256(&key, &msg));
+        if msg != other_msg {
+            prop_assert_ne!(tag, hmac_sha256(&key, &other_msg));
+        }
+        let mut other_key = key.clone();
+        other_key[0] ^= 0xff;
+        prop_assert_ne!(tag, hmac_sha256(&other_key, &msg));
+    }
+
+    /// Signatures verify only for (signer, message) pairs that were signed.
+    #[test]
+    fn signature_binding(signer_id in 0u32..64, claimed in 0u32..64, msg in prop::collection::vec(any::<u8>(), 0..128)) {
+        let store = KeyStore::new([9u8; 32]);
+        let sig = store.signer_for(PartyId::replica(signer_id)).sign(&msg);
+        prop_assert!(store.verify(&msg, &sig));
+        if claimed != signer_id {
+            let forged = untrusted_txn::crypto::Signature {
+                signer: PartyId::replica(claimed),
+                tag: sig.tag,
+            };
+            prop_assert!(!store.verify(&msg, &forged), "signer substitution must fail");
+        }
+    }
+
+    /// Threshold certificate soundness over random signer subsets: combine
+    /// succeeds iff the subset has ≥ t distinct members, and duplicated
+    /// shares never inflate the count.
+    #[test]
+    fn threshold_soundness(
+        n in 4usize..16,
+        t_frac in 0.3f64..0.9,
+        subset_bits in any::<u32>(),
+        dupes in 0usize..4,
+    ) {
+        let t = ((n as f64 * t_frac) as usize).max(2);
+        let store = KeyStore::new([3u8; 32]);
+        let signers: Vec<ThresholdSigner> = (0..n as u32)
+            .map(|i| ThresholdSigner::new(store.signer_for(PartyId::replica(i))))
+            .collect();
+        let msg = b"threshold soundness";
+        let mut shares: Vec<_> = signers
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| subset_bits & (1 << i) != 0)
+            .map(|(_, s)| s.share(msg))
+            .collect();
+        let distinct = shares.len();
+        // duplicate some shares: they must not count twice
+        for d in 0..dupes.min(shares.len()) {
+            let dup = shares[d];
+            shares.push(dup);
+        }
+        let scheme = ThresholdScheme::new(t);
+        let combined = scheme.combine(&store, msg, &shares);
+        if distinct >= t {
+            let cert = combined.expect("enough distinct shares");
+            prop_assert!(scheme.verify(&store, msg, &cert));
+            prop_assert!(!scheme.verify(&store, b"different message", &cert));
+        } else {
+            prop_assert!(combined.is_err(), "{distinct} distinct < t = {t} must fail");
+        }
+    }
+
+    /// The stable digest encoder: structurally different values get
+    /// different digests (no field-boundary aliasing).
+    #[test]
+    fn digest_of_no_aliasing(a in prop::collection::vec(any::<u8>(), 0..32), b in prop::collection::vec(any::<u8>(), 0..32)) {
+        #[derive(serde::Serialize)]
+        struct Pair(Vec<u8>, Vec<u8>);
+        let d1 = digest_of(&Pair(a.clone(), b.clone()));
+        let d2 = digest_of(&Pair(b.clone(), a.clone()));
+        if a != b {
+            prop_assert_ne!(d1, d2, "field order must matter");
+        }
+        // moving a byte across the field boundary must change the digest
+        if !a.is_empty() {
+            let mut a2 = a.clone();
+            let moved = a2.pop().unwrap();
+            let mut b2 = b.clone();
+            b2.insert(0, moved);
+            prop_assert_ne!(d1, digest_of(&Pair(a2, b2)));
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Property-based tests over the design space and quorum arithmetic —
+//! the invariants DESIGN.md calls out, checked across randomly generated
+//! configurations.
+
+use proptest::prelude::*;
+
+use untrusted_txn::core::catalogue;
+use untrusted_txn::core::choices::DesignChoice;
+use untrusted_txn::core::design::{AuthMode, TopologyKind};
+use untrusted_txn::types::{QuorumRules, ReplicaFormula};
+
+proptest! {
+    /// Design choices are closed over the valid region: every admissible
+    /// application of any choice to any catalogue protocol yields a point
+    /// that passes validation.
+    #[test]
+    fn choices_map_valid_points_to_valid_points(
+        point_idx in 0usize..16,
+        choice_idx in 0usize..14,
+    ) {
+        let points = catalogue::all();
+        let p = &points[point_idx % points.len()];
+        let choice = DesignChoice::ALL[choice_idx % 14];
+        if let Ok(out) = choice.apply(p) {
+            out.validate().unwrap();
+            prop_assert_ne!(&out.name, &p.name, "transformations rename their output");
+        }
+    }
+
+    /// Chains of design choices stay inside the valid region.
+    #[test]
+    fn choice_chains_stay_valid(
+        point_idx in 0usize..16,
+        chain in prop::collection::vec(0usize..14, 1..5),
+    ) {
+        let points = catalogue::all();
+        let mut p = points[point_idx % points.len()].clone();
+        for idx in chain {
+            if let Ok(next) = DesignChoice::ALL[idx].apply(&p) {
+                next.validate().unwrap();
+                p = next;
+            }
+        }
+    }
+
+    /// Quorum intersection: for any n ≥ 3f+1, two ordering quorums share a
+    /// correct replica; message counts follow the phase model.
+    #[test]
+    fn quorum_intersection_and_message_model(f in 1usize..16, extra in 0usize..8) {
+        let n = 3 * f + 1 + extra;
+        let q = QuorumRules::new(n, f).unwrap();
+        let inter = QuorumRules::min_intersection(q.quorum(), n);
+        prop_assert!(inter > f, "two quorums must share a correct replica");
+        // every catalogue point's message model is monotone in n
+        for p in catalogue::all() {
+            prop_assert!(p.good_case_messages(n + 1) >= p.good_case_messages(n));
+        }
+    }
+
+    /// The fairness replica bound is always at least the classic bound and
+    /// exactly 4f+1 at γ = 1.
+    #[test]
+    fn fairness_bound_dominates_classic(f in 1usize..12) {
+        let fair_n = QuorumRules::fairness_min_n(f, 1.0).unwrap();
+        prop_assert_eq!(fair_n, 4 * f + 1);
+        prop_assert!(fair_n > 3 * f);
+        let half_n = QuorumRules::fairness_min_n(f, 0.75).unwrap();
+        prop_assert!(half_n > fair_n, "smaller γ needs more replicas");
+    }
+
+    /// Replica formulas order as the paper states: 2f+1 < 3f+1 < 5f+1 < 7f+1.
+    #[test]
+    fn replica_formula_ordering(f in 1usize..16) {
+        let trusted = ReplicaFormula::TrustedHardware.min_n(f).unwrap();
+        let classic = ReplicaFormula::Classic.min_n(f).unwrap();
+        let fast = ReplicaFormula::Fast.min_n(f).unwrap();
+        let one_step = ReplicaFormula::OneStep.min_n(f).unwrap();
+        prop_assert!(trusted < classic && classic < fast && fast < one_step);
+        // the recovery budget adds exactly 2k
+        for k in 0..4 {
+            prop_assert_eq!(
+                ReplicaFormula::WithRecovery { k }.min_n(f).unwrap(),
+                classic + 2 * k
+            );
+        }
+    }
+}
+
+#[test]
+fn catalogue_invariants() {
+    for p in catalogue::all() {
+        p.validate().unwrap_or_else(|e| panic!("{}: {e}", p.name));
+        // threshold auth implies a collector topology
+        if p.auth == AuthMode::Threshold {
+            assert!(
+                matches!(p.topology, TopologyKind::Star | TopologyKind::Tree { .. }),
+                "{}: threshold without collector",
+                p.name
+            );
+        }
+        // fairness implies the fairness replica budget
+        if p.qos.fairness_gamma_milli.is_some() {
+            assert!(matches!(p.replicas, ReplicaFormula::Fairness { .. }), "{}", p.name);
+        }
+    }
+}
+
+#[test]
+fn paper_relationships_hold() {
+    use untrusted_txn::core::choices::*;
+    // DC8(PBFT) ≈ Zyzzyva, DC2(PBFT) ≈ FaB, DC13(PBFT) ≈ Themis — the
+    // identities §2.3 claims (coordinate-level, names aside)
+    let z = speculative_execution(&catalogue::pbft()).unwrap();
+    assert_eq!(z.good_case_phases(), catalogue::zyzzyva().good_case_phases());
+    assert_eq!(z.clients.reply_quorum, catalogue::zyzzyva().clients.reply_quorum);
+
+    let f = phase_reduction(&catalogue::pbft_signed()).unwrap();
+    assert_eq!(f.replicas, catalogue::fab().replicas);
+    assert_eq!(f.good_case_phases(), catalogue::fab().good_case_phases());
+
+    let t = fair(&catalogue::pbft_signed(), 1000).unwrap();
+    assert_eq!(t.replicas, catalogue::themis().replicas);
+    assert!(t.preordering);
+}

@@ -1,0 +1,39 @@
+//! Every experiment in the harness must reproduce its paper-claim shape,
+//! even on the scaled-down quick workloads. This is the regression gate for
+//! EXPERIMENTS.md: if a protocol change breaks a trade-off, this fails.
+
+#[test]
+fn all_experiment_claims_reproduce_in_quick_mode() {
+    let mut failures = Vec::new();
+    for (id, title, runner) in bft_bench::registry() {
+        let result = runner(true);
+        assert_eq!(result.id, id, "registry id mismatch");
+        if !result.claim_holds {
+            failures.push(format!("{id} — {title}\n{}", result.render()));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "claims not reproduced:\n{}",
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn experiment_tables_are_well_formed() {
+    // spot-check a handful of fast experiments for structural sanity
+    for id in ["exp_f2", "exp_dc2", "exp_dc13"] {
+        let r = bft_bench::run_experiment(id, true).expect("registered");
+        assert!(!r.rows.is_empty(), "{id} produced no rows");
+        for row in &r.rows {
+            assert_eq!(
+                row.values.len(),
+                r.columns.len(),
+                "{id}: row '{}' column count mismatch",
+                row.label
+            );
+        }
+        assert!(!r.claim.is_empty());
+        assert!(r.render().contains(&r.id));
+    }
+}
