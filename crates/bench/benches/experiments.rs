@@ -1,14 +1,20 @@
 //! The experiment harness bench target.
 //!
 //! Runs every experiment in the registry (or those matching filter
-//! arguments), prints the paper-claim tables, and archives JSON artifacts
-//! under `target/experiments/`.
+//! arguments) on a parallel worker pool, prints the paper-claim tables in
+//! registry order, and archives JSON artifacts under `target/experiments/`.
 //!
 //! ```text
 //! cargo bench --bench experiments              # all experiments
 //! cargo bench --bench experiments -- exp_dc8   # just DC8
 //! cargo bench --bench experiments -- --quick   # scaled-down workloads
+//! BFT_BENCH_THREADS=1 cargo bench --bench experiments   # force sequential
 //! ```
+//!
+//! Experiments run concurrently (pool size from `BFT_BENCH_THREADS`, else
+//! the machine's available parallelism), but each one is a deterministic,
+//! self-contained simulation, so the tables and JSON artifacts are
+//! byte-identical at any thread count.
 
 use std::time::Instant;
 
@@ -21,30 +27,46 @@ fn main() {
         .collect();
 
     let out_dir = std::path::Path::new("target").join("experiments");
-    let registry = bft_bench::registry();
-    let mut ran = 0usize;
-    let mut failed: Vec<String> = Vec::new();
-    let started = Instant::now();
+    let selected: Vec<_> = bft_bench::registry()
+        .into_iter()
+        .filter(|(id, _, _)| filters.is_empty() || filters.iter().any(|f| id.contains(f.as_str())))
+        .collect();
+    if selected.is_empty() {
+        eprintln!(
+            "no experiments match {:?} — known ids: exp_f1..exp_f2, exp_p1..exp_p6, \
+             exp_e1..exp_e4, exp_q1..exp_q2, exp_dc1..exp_dc14, exp_abl_*",
+            filters
+        );
+        std::process::exit(2);
+    }
+    let threads = bft_bench::thread_count(selected.len());
 
-    println!("untrusted-txn experiment harness — {} experiments registered\n", registry.len());
-    for (id, title, runner) in registry {
-        if !filters.is_empty() && !filters.iter().any(|f| id.contains(f.as_str())) {
-            continue;
-        }
-        let t = Instant::now();
-        let result = runner(quick);
-        println!("{}", result.render());
-        println!("   ({:.2?})\n", t.elapsed());
-        if let Err(e) = result.write_json(&out_dir) {
+    println!(
+        "untrusted-txn experiment harness — {} experiments selected, {} worker thread{}\n",
+        selected.len(),
+        threads,
+        if threads == 1 { "" } else { "s" }
+    );
+
+    let started = Instant::now();
+    let records = bft_bench::run_all(&selected, quick, threads);
+    let mut failed: Vec<String> = Vec::new();
+    for rec in &records {
+        println!("{}", rec.result.render());
+        println!("   ({:.2?})\n", rec.elapsed);
+        if let Err(e) = rec.result.write_json(&out_dir) {
             eprintln!("   warning: could not write JSON artifact: {e}");
         }
-        if !result.claim_holds {
-            failed.push(format!("{id} — {title}"));
+        if !rec.result.claim_holds {
+            failed.push(format!("{} — {}", rec.id, rec.title));
         }
-        ran += 1;
     }
 
-    println!("ran {ran} experiments in {:.2?}", started.elapsed());
+    println!(
+        "ran {} experiments in {:.2?}",
+        records.len(),
+        started.elapsed()
+    );
     if failed.is_empty() {
         println!("every claim shape reproduced ✓");
     } else {

@@ -4,11 +4,11 @@
 //! every implementation depends on) and the partial-synchrony model itself
 //! (liveness across GST).
 
-use bft_protocols::pbft::{self, PbftOptions};
-use bft_sim::NodeId;
-use bft_protocols::Scenario;
-use bft_sim::{NetworkConfig, Observation, SimTime};
 use bft_core::workload::WorkloadConfig;
+use bft_protocols::pbft::{self, PbftOptions};
+use bft_protocols::Scenario;
+use bft_sim::NodeId;
+use bft_sim::{NetworkConfig, Observation, SimTime};
 
 use crate::table::{fmt, ExperimentResult};
 
@@ -39,8 +39,7 @@ pub fn abl_batching(quick: bool) -> ExperimentResult {
             .entries
             .iter()
             .filter(|e| {
-                e.node == bft_sim::NodeId::replica(1)
-                    && matches!(e.obs, Observation::Commit { .. })
+                e.node == bft_sim::NodeId::replica(1) && matches!(e.obs, Observation::Commit { .. })
             })
             .count() as u64;
         result.row(
@@ -91,7 +90,11 @@ pub fn abl_gst(quick: bool) -> ExperimentResult {
         let after = accepted(&out) - before;
         result.row(
             format!("GST = {gst_ms} ms"),
-            vec![before.to_string(), after.to_string(), accepted(&out).to_string()],
+            vec![
+                before.to_string(),
+                after.to_string(),
+                accepted(&out).to_string(),
+            ],
         );
         result.check(
             accepted(&out) as u64 == s.total_requests(),
@@ -135,9 +138,7 @@ pub fn abl_readonly(quick: bool) -> ExperimentResult {
             .log
             .entries
             .iter()
-            .filter(|e| {
-                e.node == NodeId::replica(1) && matches!(e.obs, Observation::Commit { .. })
-            })
+            .filter(|e| e.node == NodeId::replica(1) && matches!(e.obs, Observation::Commit { .. }))
             .count();
         result.row(
             label,

@@ -2,15 +2,15 @@
 //! protocol of the transformation with its output and measuring the claimed
 //! trade-off.
 
+use bft_core::catalogue;
+use bft_core::choices as dc;
+use bft_core::workload::WorkloadConfig;
 use bft_crypto::CryptoCostModel;
 use bft_protocols::pbft::{self, Behavior, PbftAuth, PbftOptions};
 use bft_protocols::poe::{self, PoeBehavior};
 use bft_protocols::prime::{self, PrimeBehavior};
 use bft_protocols::zyzzyva::{self, ZyzzyvaVariant};
 use bft_protocols::{cheap, fab, fair, hotstuff, kauri, qu, sbft, tendermint, Scenario};
-use bft_core::choices as dc;
-use bft_core::workload::WorkloadConfig;
-use bft_core::catalogue;
 use bft_sim::{FaultPlan, NodeId, Observation, SimDuration, SimTime};
 use bft_types::{QuorumRules, ReplicaId};
 
@@ -62,7 +62,10 @@ pub fn dc1_linearization(quick: bool) -> ExperimentResult {
             ],
         );
     }
-    result.check(crossover_seen, "the linear protocol wins on messages as n grows");
+    result.check(
+        crossover_seen,
+        "the linear protocol wins on messages as n grows",
+    );
     result
 }
 
@@ -77,7 +80,11 @@ pub fn dc2_phase_reduction(quick: bool) -> ExperimentResult {
         vec!["n", "phases", "latency ms", "msgs/req"],
     );
     let fast = dc::phase_reduction(&catalogue::pbft_signed()).expect("applies");
-    result.note(format!("design space: {} → {}", catalogue::pbft().summary(), fast.summary()));
+    result.note(format!(
+        "design space: {} → {}",
+        catalogue::pbft().summary(),
+        fast.summary()
+    ));
     let reqs = load(quick, 25);
     let s = Scenario::small(1).with_load(1, reqs);
     let pb = pbft::run(&s, &PbftOptions::default());
@@ -86,13 +93,26 @@ pub fn dc2_phase_reduction(quick: bool) -> ExperimentResult {
     audit(&fb, &[]);
     result.row(
         "PBFT (3f+1)",
-        vec!["4".into(), "3".into(), fmt::ms(mean_latency_ns(&pb)), fmt::f1(msgs_per_req(&pb))],
+        vec![
+            "4".into(),
+            "3".into(),
+            fmt::ms(mean_latency_ns(&pb)),
+            fmt::f1(msgs_per_req(&pb)),
+        ],
     );
     result.row(
         "FaB (5f+1)",
-        vec!["6".into(), "2".into(), fmt::ms(mean_latency_ns(&fb)), fmt::f1(msgs_per_req(&fb))],
+        vec![
+            "6".into(),
+            "2".into(),
+            fmt::ms(mean_latency_ns(&fb)),
+            fmt::f1(msgs_per_req(&fb)),
+        ],
     );
-    result.check(mean_latency_ns(&fb) < mean_latency_ns(&pb), "FaB is faster in the good case");
+    result.check(
+        mean_latency_ns(&fb) < mean_latency_ns(&pb),
+        "FaB is faster in the good case",
+    );
     result.check(
         msgs_per_req(&fb) > msgs_per_req(&pb),
         "the price: more replicas and a bigger quadratic round",
@@ -226,7 +246,9 @@ pub fn dc5_replica_reduction(quick: bool) -> ExperimentResult {
     );
     result.note(format!(
         "design space: {}",
-        dc::optimistic_replica_reduction(&catalogue::pbft()).unwrap().summary()
+        dc::optimistic_replica_reduction(&catalogue::pbft())
+            .unwrap()
+            .summary()
     ));
     let reqs = load(quick, 40).max(12);
     let free = Scenario::small(1).with_load(1, reqs);
@@ -239,7 +261,10 @@ pub fn dc5_replica_reduction(quick: bool) -> ExperimentResult {
     audit(&cb_crash, &[1]);
     let pb_free = pbft::run(&free, &PbftOptions::default());
     audit(&pb_free, &[]);
-    for (name, out) in [("CheapBFT fault-free", &cb_free), ("CheapBFT + active crash", &cb_crash)] {
+    for (name, out) in [
+        ("CheapBFT fault-free", &cb_free),
+        ("CheapBFT + active crash", &cb_crash),
+    ] {
         result.row(
             name,
             vec![
@@ -252,7 +277,12 @@ pub fn dc5_replica_reduction(quick: bool) -> ExperimentResult {
     }
     result.row(
         "PBFT reference",
-        vec![fmt::f1(msgs_per_req(&pb_free)), "—".into(), "—".into(), accepted(&pb_free).to_string()],
+        vec![
+            fmt::f1(msgs_per_req(&pb_free)),
+            "—".into(),
+            "—".into(),
+            accepted(&pb_free).to_string(),
+        ],
     );
     result.check(
         msgs_per_req(&cb_free) < msgs_per_req(&pb_free),
@@ -324,27 +354,55 @@ pub fn dc7_speculative_phase(quick: bool) -> ExperimentResult {
     audit(&sbft_free, &[]);
     // the rollback scenario: n = 7, certificate withheld from all but one
     // replica, that replica briefly partitioned during the view change
-    let peers: Vec<NodeId> = [0u32, 2, 3, 4, 5, 6].iter().map(|i| NodeId::replica(*i)).collect();
-    let attack = Scenario::small(2).with_load(2, load(quick, 10)).with_faults(
-        FaultPlan::none().isolate(NodeId::replica(1), peers, SimTime(1_000_000), SimTime(120_000_000)),
-    );
+    let peers: Vec<NodeId> = [0u32, 2, 3, 4, 5, 6]
+        .iter()
+        .map(|i| NodeId::replica(*i))
+        .collect();
+    let attack = Scenario::small(2)
+        .with_load(2, load(quick, 10))
+        .with_faults(FaultPlan::none().isolate(
+            NodeId::replica(1),
+            peers,
+            SimTime(1_000_000),
+            SimTime(120_000_000),
+        ));
     let attacked = poe::run(
         &attack,
-        &[(ReplicaId(0), PoeBehavior::WithholdCertify { seq: 3, sole_recipient: ReplicaId(1) })],
+        &[(
+            ReplicaId(0),
+            PoeBehavior::WithholdCertify {
+                seq: 3,
+                sole_recipient: ReplicaId(1),
+            },
+        )],
     );
     audit(&attacked, &[0]);
-    let rollbacks = attacked.log.count(|e| matches!(e.obs, Observation::Rollback { .. }));
+    let rollbacks = attacked
+        .log
+        .count(|e| matches!(e.obs, Observation::Rollback { .. }));
     result.row(
         "PoE fault-free",
-        vec![fmt::ms(mean_latency_ns(&poe_free)), "0".into(), accepted(&poe_free).to_string()],
+        vec![
+            fmt::ms(mean_latency_ns(&poe_free)),
+            "0".into(),
+            accepted(&poe_free).to_string(),
+        ],
     );
     result.row(
         "SBFT fault-free (reference)",
-        vec![fmt::ms(mean_latency_ns(&sbft_free)), "—".into(), accepted(&sbft_free).to_string()],
+        vec![
+            fmt::ms(mean_latency_ns(&sbft_free)),
+            "—".into(),
+            accepted(&sbft_free).to_string(),
+        ],
     );
     result.row(
         "PoE + withheld certificate",
-        vec![fmt::ms(mean_latency_ns(&attacked)), rollbacks.to_string(), accepted(&attacked).to_string()],
+        vec![
+            fmt::ms(mean_latency_ns(&attacked)),
+            rollbacks.to_string(),
+            accepted(&attacked).to_string(),
+        ],
     );
     result.check(
         mean_latency_ns(&poe_free) <= mean_latency_ns(&sbft_free),
@@ -384,9 +442,15 @@ pub fn dc8_speculative_exec(quick: bool) -> ExperimentResult {
     let p_crash = pbft::run(&crash, &PbftOptions::default());
     audit(&p_crash, &[2]);
     let fast_rate = |out: &bft_sim::runner::RunOutcome| {
-        let fast = out
-            .log
-            .count(|e| matches!(e.obs, Observation::ClientAccept { fast_path: true, .. }));
+        let fast = out.log.count(|e| {
+            matches!(
+                e.obs,
+                Observation::ClientAccept {
+                    fast_path: true,
+                    ..
+                }
+            )
+        });
         fast as f64 / accepted(out).max(1) as f64
     };
     result.row(
@@ -429,7 +493,9 @@ pub fn dc9_conflict_free(quick: bool) -> ExperimentResult {
     );
     result.note(format!(
         "design space: {}",
-        dc::optimistic_conflict_free(&catalogue::pbft_signed()).unwrap().summary()
+        dc::optimistic_conflict_free(&catalogue::pbft_signed())
+            .unwrap()
+            .summary()
     ));
     let reqs = load(quick, 15);
     let mut last_tp = f64::INFINITY;
@@ -451,7 +517,11 @@ pub fn dc9_conflict_free(quick: bool) -> ExperimentResult {
         last_retries = retries;
         result.row(
             format!("hot fraction {hot:.1}"),
-            vec![fmt::f1(tp), retries.to_string(), fmt::ms(mean_latency_ns(&out))],
+            vec![
+                fmt::f1(tp),
+                retries.to_string(),
+                fmt::ms(mean_latency_ns(&out)),
+            ],
         );
     }
     result.check(tp_declines, "throughput falls as contention rises");
@@ -478,9 +548,15 @@ pub fn dc10_resilience(quick: bool) -> ExperimentResult {
     ));
     let reqs = load(quick, 20);
     let fast_rate = |out: &bft_sim::runner::RunOutcome| {
-        let fast = out
-            .log
-            .count(|e| matches!(e.obs, Observation::ClientAccept { fast_path: true, .. }));
+        let fast = out.log.count(|e| {
+            matches!(
+                e.obs,
+                Observation::ClientAccept {
+                    fast_path: true,
+                    ..
+                }
+            )
+        });
         fast as f64 / accepted(out).max(1) as f64
     };
     // one crashed backup in both deployments
@@ -496,14 +572,28 @@ pub fn dc10_resilience(quick: bool) -> ExperimentResult {
     audit(&z5, &[3]);
     result.row(
         "Zyzzyva + 1 crash",
-        vec!["4".into(), fmt::f2(fast_rate(&z)), fmt::ms(mean_latency_ns(&z))],
+        vec![
+            "4".into(),
+            fmt::f2(fast_rate(&z)),
+            fmt::ms(mean_latency_ns(&z)),
+        ],
     );
     result.row(
         "Zyzzyva5 + 1 crash",
-        vec!["6".into(), fmt::f2(fast_rate(&z5)), fmt::ms(mean_latency_ns(&z5))],
+        vec![
+            "6".into(),
+            fmt::f2(fast_rate(&z5)),
+            fmt::ms(mean_latency_ns(&z5)),
+        ],
     );
-    result.check(fast_rate(&z) == 0.0, "classic Zyzzyva's fast path dies with one crash");
-    result.check(fast_rate(&z5) > 0.95, "Zyzzyva5's fast path survives f crashes");
+    result.check(
+        fast_rate(&z) == 0.0,
+        "classic Zyzzyva's fast path dies with one crash",
+    );
+    result.check(
+        fast_rate(&z5) > 0.95,
+        "Zyzzyva5's fast path survives f crashes",
+    );
     result.check(
         mean_latency_ns(&z5) < mean_latency_ns(&z) / 2.0,
         "staying on the fast path is the whole point",
@@ -528,9 +618,21 @@ pub fn dc11_authentication(quick: bool) -> ExperimentResult {
         .with_load(1, reqs)
         .with_cost_model(CryptoCostModel::realistic())
         .with_faults(FaultPlan::none().crash(NodeId::replica(0), SimTime(4_000_000)));
-    let mac = pbft::run(&s, &PbftOptions { auth: PbftAuth::Mac, ..Default::default() });
+    let mac = pbft::run(
+        &s,
+        &PbftOptions {
+            auth: PbftAuth::Mac,
+            ..Default::default()
+        },
+    );
     audit(&mac, &[0]);
-    let sig = pbft::run(&s, &PbftOptions { auth: PbftAuth::Signature, ..Default::default() });
+    let sig = pbft::run(
+        &s,
+        &PbftOptions {
+            auth: PbftAuth::Signature,
+            ..Default::default()
+        },
+    );
     audit(&sig, &[0]);
     // count ack messages by wire bytes is fiddly; the MAC run's extra
     // messages during view change are the acks — report max view instead
@@ -607,7 +709,10 @@ pub fn dc12_robust(quick: bool) -> ExperimentResult {
             ],
         );
     }
-    result.check(prime_dominates, "Prime's throughput under attack dwarfs PBFT's");
+    result.check(
+        prime_dominates,
+        "Prime's throughput under attack dwarfs PBFT's",
+    );
     result
 }
 
@@ -649,7 +754,10 @@ pub fn dc13_fair(quick: bool) -> ExperimentResult {
     let d_fair = fair::mean_displacement(&fair_out, NodeId::replica(1));
     result.row("PBFT+front-runner displacement", vec![fmt::f2(d_fr)]);
     result.row("Fair protocol displacement", vec![fmt::f2(d_fair)]);
-    result.check(d_fair < d_fr, "the derived merge order resists front-running");
+    result.check(
+        d_fair < d_fr,
+        "the derived merge order resists front-running",
+    );
     result
 }
 
@@ -666,7 +774,9 @@ pub fn dc14_tree(quick: bool) -> ExperimentResult {
     );
     result.note(format!(
         "design space: {}",
-        dc::tree_load_balancer(&catalogue::hotstuff(), 2).unwrap().summary()
+        dc::tree_load_balancer(&catalogue::hotstuff(), 2)
+            .unwrap()
+            .summary()
     ));
     let reqs = load(quick, 15);
     let s = Scenario::small(4).with_load(1, reqs); // n = 13
@@ -691,7 +801,10 @@ pub fn dc14_tree(quick: bool) -> ExperimentResult {
     for (name, out, faulty) in &rows {
         audit(out, faulty);
         let root = out.metrics.node(NodeId::replica(0));
-        stats.push((out.metrics.load_imbalance(), (root.msgs_sent + root.msgs_received) as f64));
+        stats.push((
+            out.metrics.load_imbalance(),
+            (root.msgs_sent + root.msgs_received) as f64,
+        ));
         result.row(
             *name,
             vec![
@@ -702,8 +815,14 @@ pub fn dc14_tree(quick: bool) -> ExperimentResult {
             ],
         );
     }
-    result.check(stats[1].0 < stats[0].0, "the tree beats the star on load balance");
-    result.check(stats[1].1 < stats[0].1 / 2.0, "the root's traffic shrinks dramatically");
+    result.check(
+        stats[1].0 < stats[0].0,
+        "the tree beats the star on load balance",
+    );
+    result.check(
+        stats[1].1 < stats[0].1 / 2.0,
+        "the root's traffic shrinks dramatically",
+    );
     result.check(
         rows[3].1.log.marker_count("tree-reconfiguration") > 0,
         "an internal-node fault forces reconfiguration (assumption a3)",

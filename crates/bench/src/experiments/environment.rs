@@ -34,19 +34,39 @@ pub fn e1_replicas(quick: bool) -> ExperimentResult {
 
     result.row(
         "MinBFT (trusted hw)",
-        vec!["3".into(), "2f+1".into(), fmt::ms(mean_latency_ns(&mb)), fmt::f1(msgs_per_req(&mb))],
+        vec![
+            "3".into(),
+            "2f+1".into(),
+            fmt::ms(mean_latency_ns(&mb)),
+            fmt::f1(msgs_per_req(&mb)),
+        ],
     );
     result.row(
         "CheapBFT (2f+1 active)",
-        vec!["4".into(), "3f+1".into(), fmt::ms(mean_latency_ns(&cb)), fmt::f1(msgs_per_req(&cb))],
+        vec![
+            "4".into(),
+            "3f+1".into(),
+            fmt::ms(mean_latency_ns(&cb)),
+            fmt::f1(msgs_per_req(&cb)),
+        ],
     );
     result.row(
         "PBFT",
-        vec!["4".into(), "3f+1".into(), fmt::ms(mean_latency_ns(&pb)), fmt::f1(msgs_per_req(&pb))],
+        vec![
+            "4".into(),
+            "3f+1".into(),
+            fmt::ms(mean_latency_ns(&pb)),
+            fmt::f1(msgs_per_req(&pb)),
+        ],
     );
     result.row(
         "FaB (2 phases)",
-        vec!["6".into(), "5f+1".into(), fmt::ms(mean_latency_ns(&fb)), fmt::f1(msgs_per_req(&fb))],
+        vec![
+            "6".into(),
+            "5f+1".into(),
+            fmt::ms(mean_latency_ns(&fb)),
+            fmt::f1(msgs_per_req(&fb)),
+        ],
     );
     result.check(
         msgs_per_req(&mb) < msgs_per_req(&pb),
@@ -136,9 +156,21 @@ pub fn e3_auth(quick: bool) -> ExperimentResult {
         .with_load(1, reqs)
         .with_cost_model(CryptoCostModel::realistic());
 
-    let mac = pbft::run(&s, &PbftOptions { auth: PbftAuth::Mac, ..Default::default() });
+    let mac = pbft::run(
+        &s,
+        &PbftOptions {
+            auth: PbftAuth::Mac,
+            ..Default::default()
+        },
+    );
     audit(&mac, &[]);
-    let sig = pbft::run(&s, &PbftOptions { auth: PbftAuth::Signature, ..Default::default() });
+    let sig = pbft::run(
+        &s,
+        &PbftOptions {
+            auth: PbftAuth::Signature,
+            ..Default::default()
+        },
+    );
     audit(&sig, &[]);
     let thr = sbft::run(&s);
     audit(&thr, &[]);
@@ -214,8 +246,14 @@ pub fn e4_responsiveness(quick: bool) -> ExperimentResult {
         }
         prev_hs = Some(hs_ms);
     }
-    result.check(tm_flat, "non-responsive latency is pinned near Δ regardless of δ");
+    result.check(
+        tm_flat,
+        "non-responsive latency is pinned near Δ regardless of δ",
+    );
     result.check(hs_tracks, "responsive latency tracks δ");
-    result.check(true, "informed-leader optimization stays close to the responsive line");
+    result.check(
+        true,
+        "informed-leader optimization stays close to the responsive line",
+    );
     result
 }

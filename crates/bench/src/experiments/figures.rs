@@ -1,9 +1,9 @@
 //! Experiments F1 and F2: the paper's two figures.
 
+use bft_core::catalogue;
 use bft_protocols::pbft::{self, PbftOptions};
 use bft_protocols::Scenario;
 use bft_sim::{FaultPlan, NodeId, SimDuration, SimTime, Stage};
-use bft_core::catalogue;
 
 use crate::table::{fmt, ExperimentResult};
 
@@ -17,7 +17,13 @@ pub fn f1_lifecycle(quick: bool) -> ExperimentResult {
         "Figure 1: replica lifecycle stages",
         "a replica's lifecycle consists of ordering, execution, view-change, \
          checkpointing and recovery stages",
-        vec!["ordering", "execution", "view-change", "checkpointing", "recovery"],
+        vec![
+            "ordering",
+            "execution",
+            "view-change",
+            "checkpointing",
+            "recovery",
+        ],
     );
     // one run exercising everything: a leader crash (view change), enough
     // requests for checkpoints, and proactive rejuvenation
@@ -51,8 +57,14 @@ pub fn f1_lifecycle(quick: bool) -> ExperimentResult {
         all_present &= Stage::ALL.iter().all(|s| stages.contains(s));
         result.row(format!("replica r{r}"), row);
     }
-    result.check(all_present, "every stage of Figure 1 observed on every correct replica");
-    result.check(accepted(&out) as u64 == s.total_requests(), "all requests completed");
+    result.check(
+        all_present,
+        "every stage of Figure 1 observed on every correct replica",
+    );
+    result.check(
+        accepted(&out) as u64 == s.total_requests(),
+        "all requests completed",
+    );
     result
 }
 

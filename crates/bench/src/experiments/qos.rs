@@ -1,9 +1,9 @@
 //! Experiments Q1–Q2: the quality-of-service dimensions.
 
+use bft_core::workload::WorkloadConfig;
 use bft_protocols::fair::{self, mean_displacement};
 use bft_protocols::pbft::{self, Behavior, PbftOptions};
 use bft_protocols::{hotstuff, kauri, sbft, Scenario};
-use bft_core::workload::WorkloadConfig;
 use bft_sim::{NodeId, Observation};
 use bft_types::{ClientId, ReplicaId};
 
@@ -38,7 +38,10 @@ pub fn q1_fairness(quick: bool) -> ExperimentResult {
         let mut sum = 0u64;
         let mut cnt = 0u64;
         for e in &out.log.entries {
-            if let Observation::ClientAccept { request, sent_at, .. } = e.obs {
+            if let Observation::ClientAccept {
+                request, sent_at, ..
+            } = e.obs
+            {
                 if request.client == c {
                     sum += e.at.since(sent_at).0;
                     cnt += 1;
@@ -106,8 +109,18 @@ pub fn q1_fairness(quick: bool) -> ExperimentResult {
             > mean_displacement(&honest, NodeId::replica(1)),
         "the front-running leader measurably reorders",
     );
-    let favored_gain = per_client_latency(&frontrun, ClientId(3)) < others_latency(&frontrun);
-    result.check(favored_gain, "the favored client jumps the queue (lower latency)");
+    // paired comparison against the honest run: per-client latencies differ
+    // even under an honest leader (arrival phases are client-specific), so
+    // the attack's effect is each client's latency vs its own honest
+    // baseline — the favored client gains, everyone else foots the bill
+    let favored_gain = per_client_latency(&frontrun, ClientId(3))
+        < per_client_latency(&honest, ClientId(3))
+        && others_latency(&frontrun) >= others_latency(&honest);
+    result.check(
+        favored_gain,
+        "the favored client jumps the queue (faster than under an honest leader, \
+         at the others' expense)",
+    );
     result.check(
         mean_displacement(&fair_out, NodeId::replica(1))
             < mean_displacement(&frontrun, NodeId::replica(1)),
@@ -136,7 +149,10 @@ pub fn q2_loadbalance(quick: bool) -> ExperimentResult {
     let s = Scenario::small(4).with_load(1, reqs); // n = 13
 
     let runs: Vec<(&str, bft_sim::runner::RunOutcome)> = vec![
-        ("PBFT (stable, clique)", pbft::run(&s, &PbftOptions::default())),
+        (
+            "PBFT (stable, clique)",
+            pbft::run(&s, &PbftOptions::default()),
+        ),
         ("SBFT (stable, star)", sbft::run(&s)),
         ("HotStuff (rotating, star)", hotstuff::run(&s)),
         ("Kauri (tree m=2)", kauri::run(&s, 2)),
@@ -155,7 +171,11 @@ pub fn q2_loadbalance(quick: bool) -> ExperimentResult {
         stats.push((out.metrics.load_imbalance(), max, mean));
         result.row(
             *name,
-            vec![fmt::f2(out.metrics.load_imbalance()), fmt::f1(max), fmt::f1(mean)],
+            vec![
+                fmt::f2(out.metrics.load_imbalance()),
+                fmt::f1(max),
+                fmt::f1(mean),
+            ],
         );
     }
     result.check(

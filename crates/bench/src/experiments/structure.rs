@@ -1,11 +1,11 @@
 //! Experiments P1–P6: the protocol-structure dimensions.
 
+use bft_core::catalogue;
+use bft_core::design::ReplyQuorum;
 use bft_protocols::pbft::{self, Behavior, PbftOptions};
 use bft_protocols::zyzzyva::{self, ZyzzyvaVariant};
 use bft_protocols::{hotstuff, poe, prime, sbft, Scenario};
 use bft_sim::{FaultPlan, NodeId, Observation, SimDuration, SimTime};
-use bft_core::catalogue;
-use bft_core::design::ReplyQuorum;
 use bft_types::QuorumRules;
 
 use crate::table::{fmt, ExperimentResult};
@@ -52,7 +52,10 @@ pub fn p1_commitment(quick: bool) -> ExperimentResult {
     let r_free = prime::run(&free, &[]);
     let r_attacked = prime::run(
         &free,
-        &[(bft_types::ReplicaId(0), prime::PrimeBehavior::DelayLeader(delay))],
+        &[(
+            bft_types::ReplicaId(0),
+            prime::PrimeBehavior::DelayLeader(delay),
+        )],
     );
     audit(&r_free, &[]);
     audit(&r_attacked, &[0]);
@@ -167,7 +170,12 @@ pub fn p3_viewchange(quick: bool) -> ExperimentResult {
         "the stable leader's view-change stage only runs on suspicion but is \
          expensive; rotating leaders absorb leader faults cheaply and \
          balance load",
-        vec!["fault-free ms", "crash: views", "crash: stall ms", "imbalance"],
+        vec![
+            "fault-free ms",
+            "crash: views",
+            "crash: stall ms",
+            "imbalance",
+        ],
     );
     let reqs = load(quick, 25);
     let free = Scenario::small(1).with_load(1, reqs);
@@ -185,11 +193,7 @@ pub fn p3_viewchange(quick: bool) -> ExperimentResult {
             .map(|e| e.at.0)
             .collect();
         times.sort_unstable();
-        times
-            .windows(2)
-            .map(|w| w[1] - w[0])
-            .max()
-            .unwrap_or(0) as f64
+        times.windows(2).map(|w| w[1] - w[0]).max().unwrap_or(0) as f64
     };
 
     let p_free = pbft::run(&free, &PbftOptions::default());
@@ -241,7 +245,12 @@ pub fn p4_checkpoint(quick: bool) -> ExperimentResult {
         "P4: checkpointing",
         "checkpointing garbage-collects the log and lets in-dark replicas \
          catch up via state transfer",
-        vec!["stable ckpts", "state transfers", "dark replica execs", "accepted"],
+        vec![
+            "stable ckpts",
+            "state transfers",
+            "dark replica execs",
+            "accepted",
+        ],
     );
     let reqs = load(quick, 200);
     // isolate the replica for roughly the first half of the run so traffic
@@ -249,9 +258,14 @@ pub fn p4_checkpoint(quick: bool) -> ExperimentResult {
     let heal_at = SimTime(reqs * 300_000);
     for interval in [0u64, 16, 64] {
         let peers: Vec<NodeId> = (0..3).map(NodeId::replica).collect();
-        let mut s = Scenario::small(1).with_load(1, reqs).with_faults(
-            FaultPlan::none().isolate(NodeId::replica(3), peers, SimTime::ZERO, heal_at),
-        );
+        let mut s = Scenario::small(1)
+            .with_load(1, reqs)
+            .with_faults(FaultPlan::none().isolate(
+                NodeId::replica(3),
+                peers,
+                SimTime::ZERO,
+                heal_at,
+            ));
         s.checkpoint_interval = interval;
         let out = pbft::run(&s, &PbftOptions::default());
         audit(&out, &[]);
@@ -263,7 +277,11 @@ pub fn p4_checkpoint(quick: bool) -> ExperimentResult {
             e.node == NodeId::replica(3) && matches!(e.obs, Observation::Execute { .. })
         });
         result.row(
-            if interval == 0 { "no checkpointing".into() } else { format!("interval {interval}") },
+            if interval == 0 {
+                "no checkpointing".into()
+            } else {
+                format!("interval {interval}")
+            },
             vec![
                 stable.to_string(),
                 transfers.to_string(),
@@ -272,10 +290,16 @@ pub fn p4_checkpoint(quick: bool) -> ExperimentResult {
             ],
         );
         if interval == 0 {
-            result.check(transfers == 0, "without checkpoints there is no snapshot to ship");
+            result.check(
+                transfers == 0,
+                "without checkpoints there is no snapshot to ship",
+            );
         } else if interval == 16 {
             result.check(stable > 0, "checkpoints become stable");
-            result.check(transfers > 0, "the in-dark replica catches up by state transfer");
+            result.check(
+                transfers > 0,
+                "the in-dark replica catches up by state transfer",
+            );
         }
     }
     result.note(format!(
@@ -311,7 +335,9 @@ pub fn p5_recovery(quick: bool) -> ExperimentResult {
             },
         );
         audit(&out, &[1]);
-        let recoveries = out.log.count(|e| matches!(e.obs, Observation::RecoveryStart));
+        let recoveries = out
+            .log
+            .count(|e| matches!(e.obs, Observation::RecoveryStart));
         result.row(
             label,
             vec![
@@ -359,11 +385,23 @@ pub fn p6_clients(quick: bool) -> ExperimentResult {
     let rq = |r: ReplyQuorum| r.count(&q).to_string();
     result.row(
         "PBFT (f+1)",
-        vec![rq(ReplyQuorum::WeakCertificate), fmt::f1(per_req(&pbft_out))],
+        vec![
+            rq(ReplyQuorum::WeakCertificate),
+            fmt::f1(per_req(&pbft_out)),
+        ],
     );
-    result.row("PoE (2f+1)", vec![rq(ReplyQuorum::Quorum), fmt::f1(per_req(&poe_out))]);
-    result.row("Zyzzyva (3f+1)", vec![rq(ReplyQuorum::All), fmt::f1(per_req(&z_out))]);
-    result.row("SBFT (single)", vec![rq(ReplyQuorum::Single), fmt::f1(per_req(&sbft_out))]);
+    result.row(
+        "PoE (2f+1)",
+        vec![rq(ReplyQuorum::Quorum), fmt::f1(per_req(&poe_out))],
+    );
+    result.row(
+        "Zyzzyva (3f+1)",
+        vec![rq(ReplyQuorum::All), fmt::f1(per_req(&z_out))],
+    );
+    result.row(
+        "SBFT (single)",
+        vec![rq(ReplyQuorum::Single), fmt::f1(per_req(&sbft_out))],
+    );
     result.check(
         (per_req(&sbft_out) - 1.0).abs() < 0.2,
         "SBFT's collector sends exactly one verifiable reply",

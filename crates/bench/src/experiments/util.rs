@@ -19,7 +19,12 @@ pub fn mean_latency_ns(out: &RunOutcome) -> f64 {
 
 /// p99 client latency in virtual nanoseconds.
 pub fn p99_latency_ns(out: &RunOutcome) -> f64 {
-    let mut l: Vec<u64> = out.log.client_latencies().iter().map(|(_, d)| d.0).collect();
+    let mut l: Vec<u64> = out
+        .log
+        .client_latencies()
+        .iter()
+        .map(|(_, d)| d.0)
+        .collect();
     if l.is_empty() {
         return 0.0;
     }

@@ -1,0 +1,133 @@
+//! Parallel experiment execution.
+//!
+//! Every experiment in the registry is an independent, deterministic
+//! simulation: it builds its own [`bft_protocols::Scenario`]s, seeds its
+//! own RNGs, and shares no mutable state with any other experiment. That
+//! makes the registry embarrassingly parallel — [`run_all`] fans the
+//! entries out over a scoped worker pool and reassembles the results in
+//! registry order, so the output (tables, JSON artifacts, claim verdicts)
+//! is byte-identical to a sequential run at any thread count.
+//!
+//! The pool size comes from the `BFT_BENCH_THREADS` environment variable
+//! when set (a positive integer; `1` forces sequential execution), and
+//! defaults to the machine's available parallelism otherwise.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use crate::{ExperimentFn, ExperimentResult};
+
+/// Environment variable that overrides the worker-pool size.
+pub const THREADS_ENV: &str = "BFT_BENCH_THREADS";
+
+/// One completed experiment: the registry entry, its result table, and the
+/// wall-clock time the runner took on its worker thread.
+#[derive(Debug, Clone)]
+pub struct RunRecord {
+    /// Experiment id (`exp_dc8`, …).
+    pub id: &'static str,
+    /// Human title from the registry.
+    pub title: &'static str,
+    /// The result table the runner produced.
+    pub result: ExperimentResult,
+    /// Wall-clock runtime of this experiment alone.
+    pub elapsed: Duration,
+}
+
+/// Resolve the worker-pool size for `jobs` experiments: `BFT_BENCH_THREADS`
+/// if set to a positive integer, otherwise the machine's available
+/// parallelism; always clamped to `1..=jobs`.
+pub fn thread_count(jobs: usize) -> usize {
+    let requested = std::env::var(THREADS_ENV)
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0);
+    let n =
+        requested.unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |p| p.get()));
+    n.clamp(1, jobs.max(1))
+}
+
+/// Run `entries` (any subset of [`crate::registry`]) on a pool of
+/// `threads` workers and return the results in input order.
+///
+/// Workers pull jobs from a shared atomic index, so scheduling adapts to
+/// skewed experiment runtimes without any work-stealing machinery. Each
+/// runner is deterministic and self-contained, so the returned results are
+/// identical — byte-for-byte once serialized — regardless of `threads`.
+///
+/// Panics if a worker thread panics (i.e. an experiment itself panicked).
+pub fn run_all(
+    entries: &[(&'static str, &'static str, ExperimentFn)],
+    quick: bool,
+    threads: usize,
+) -> Vec<RunRecord> {
+    let threads = threads.clamp(1, entries.len().max(1));
+    if threads <= 1 {
+        return entries
+            .iter()
+            .map(|&(id, title, runner)| run_one(id, title, runner, quick))
+            .collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut indexed: Vec<(usize, RunRecord)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(&(id, title, runner)) = entries.get(i) else {
+                            break;
+                        };
+                        local.push((i, run_one(id, title, runner, quick)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("experiment worker panicked"))
+            .collect()
+    });
+    indexed.sort_by_key(|(i, _)| *i);
+    indexed.into_iter().map(|(_, r)| r).collect()
+}
+
+fn run_one(id: &'static str, title: &'static str, runner: ExperimentFn, quick: bool) -> RunRecord {
+    let t = Instant::now();
+    let result = runner(quick);
+    RunRecord {
+        id,
+        title,
+        result,
+        elapsed: t.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_count_clamps_to_jobs() {
+        // regardless of the machine or the env var, never more workers
+        // than jobs, never fewer than one
+        assert_eq!(thread_count(0), 1);
+        assert_eq!(thread_count(1), 1);
+        assert!(thread_count(4) >= 1);
+        assert!(thread_count(4) <= 4);
+    }
+
+    #[test]
+    fn run_all_preserves_registry_order() {
+        let entries: Vec<_> = crate::registry().into_iter().take(4).collect();
+        let records = run_all(&entries, true, 4);
+        assert_eq!(records.len(), entries.len());
+        for (rec, (id, _, _)) in records.iter().zip(&entries) {
+            assert_eq!(rec.id, *id);
+            assert_eq!(rec.result.id, *id);
+        }
+    }
+}

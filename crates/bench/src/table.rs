@@ -14,7 +14,10 @@ pub struct Row {
 impl Row {
     /// Build a row.
     pub fn new(label: impl Into<String>, values: Vec<String>) -> Row {
-        Row { label: label.into(), values }
+        Row {
+            label: label.into(),
+            values,
+        }
     }
 }
 
@@ -40,12 +43,7 @@ pub struct ExperimentResult {
 
 impl ExperimentResult {
     /// Start a result.
-    pub fn new(
-        id: &str,
-        title: &str,
-        claim: &str,
-        columns: Vec<&str>,
-    ) -> ExperimentResult {
+    pub fn new(id: &str, title: &str, claim: &str, columns: Vec<&str>) -> ExperimentResult {
         ExperimentResult {
             id: id.to_string(),
             title: title.to_string(),
@@ -115,7 +113,11 @@ impl ExperimentResult {
         }
         out.push_str(&format!(
             "   result: {}\n",
-            if self.claim_holds { "CLAIM SHAPE REPRODUCED" } else { "CLAIM NOT REPRODUCED" }
+            if self.claim_holds {
+                "CLAIM SHAPE REPRODUCED"
+            } else {
+                "CLAIM NOT REPRODUCED"
+            }
         ));
         out
     }
@@ -124,7 +126,10 @@ impl ExperimentResult {
     pub fn write_json(&self, dir: &std::path::Path) -> std::io::Result<()> {
         std::fs::create_dir_all(dir)?;
         let path = dir.join(format!("{}.json", self.id));
-        std::fs::write(path, serde_json::to_string_pretty(self).expect("serializable"))
+        std::fs::write(
+            path,
+            serde_json::to_string_pretty(self).expect("serializable"),
+        )
     }
 }
 

@@ -128,7 +128,9 @@ fn precondition(cond: bool, msg: &str) -> Result<()> {
     if cond {
         Ok(())
     } else {
-        Err(BftError::InvalidConfig(format!("design-choice precondition failed: {msg}")))
+        Err(BftError::InvalidConfig(format!(
+            "design-choice precondition failed: {msg}"
+        )))
     }
 }
 
@@ -139,7 +141,9 @@ fn precondition(cond: bool, msg: &str) -> Result<()> {
 /// phase, at the price of +1 phase each and signature CPU cost.
 pub fn linearization(p: &ProtocolPoint) -> Result<ProtocolPoint> {
     precondition(
-        p.phases.iter().any(|ph| ph.complexity == MsgComplexity::Quadratic),
+        p.phases
+            .iter()
+            .any(|ph| ph.complexity == MsgComplexity::Quadratic),
         "linearization needs at least one quadratic phase",
     )?;
     let mut out = p.clone();
@@ -167,7 +171,10 @@ pub fn phase_reduction(p: &ProtocolPoint) -> Result<ProtocolPoint> {
         matches!(p.replicas, ReplicaFormula::Classic),
         "phase reduction starts from a 3f+1 protocol",
     )?;
-    precondition(p.good_case_phases() == 3, "phase reduction starts from a 3-phase protocol")?;
+    precondition(
+        p.good_case_phases() == 3,
+        "phase reduction starts from a 3-phase protocol",
+    )?;
     let mut out = p.clone();
     out.name = format!("Fast-{}", p.name);
     out.replicas = ReplicaFormula::Fast;
@@ -183,12 +190,18 @@ pub fn phase_reduction(p: &ProtocolPoint) -> Result<ProtocolPoint> {
 /// each new leader learns the state. Trade-off: no expensive view-change
 /// routine and better load balance, but a longer pipeline per decision.
 pub fn leader_rotation(p: &ProtocolPoint) -> Result<ProtocolPoint> {
-    precondition(matches!(p.leader, LeaderMode::Stable), "rotation starts from a stable leader")?;
+    precondition(
+        matches!(p.leader, LeaderMode::Stable),
+        "rotation starts from a stable leader",
+    )?;
     let mut out = p.clone();
     out.name = format!("Rotating-{}", p.name);
     out.leader = LeaderMode::Rotating { responsive: true };
     out.view_change_stage = false;
-    let all_linear = p.phases.iter().all(|ph| ph.complexity == MsgComplexity::Linear);
+    let all_linear = p
+        .phases
+        .iter()
+        .all(|ph| ph.complexity == MsgComplexity::Linear);
     if all_linear {
         out.phases.push(Phase::linear("handover-collect"));
         out.phases.push(Phase::linear("handover-certify"));
@@ -204,7 +217,10 @@ pub fn leader_rotation(p: &ProtocolPoint) -> Result<ProtocolPoint> {
 /// ordering phase — the new leader instead waits the known bound Δ (timer
 /// τ5) before proposing, sacrificing responsiveness (Tendermint, Casper).
 pub fn non_responsive_rotation(p: &ProtocolPoint) -> Result<ProtocolPoint> {
-    precondition(matches!(p.leader, LeaderMode::Stable), "rotation starts from a stable leader")?;
+    precondition(
+        matches!(p.leader, LeaderMode::Stable),
+        "rotation starts from a stable leader",
+    )?;
     let mut out = p.clone();
     out.name = format!("NonResponsiveRotating-{}", p.name);
     out.leader = LeaderMode::Rotating { responsive: false };
@@ -238,10 +254,15 @@ pub fn optimistic_replica_reduction(p: &ProtocolPoint) -> Result<ProtocolPoint> 
 /// Timer τ3 triggers the slow path (SBFT).
 pub fn optimistic_phase_reduction(p: &ProtocolPoint) -> Result<ProtocolPoint> {
     precondition(
-        p.phases.iter().all(|ph| ph.complexity == MsgComplexity::Linear),
+        p.phases
+            .iter()
+            .all(|ph| ph.complexity == MsgComplexity::Linear),
         "optimistic phase reduction needs a linear protocol",
     )?;
-    precondition(p.good_case_phases() >= 5, "needs at least five linear phases to elide two")?;
+    precondition(
+        p.good_case_phases() >= 5,
+        "needs at least five linear phases to elide two",
+    )?;
     let mut out = p.clone();
     out.name = format!("FastPath-{}", p.name);
     out.phases.truncate(p.phases.len() - 2);
@@ -259,10 +280,15 @@ pub fn optimistic_phase_reduction(p: &ProtocolPoint) -> Result<ProtocolPoint> {
 /// rolls back during view-change (PoE).
 pub fn speculative_phase_reduction(p: &ProtocolPoint) -> Result<ProtocolPoint> {
     precondition(
-        p.phases.iter().all(|ph| ph.complexity == MsgComplexity::Linear),
+        p.phases
+            .iter()
+            .all(|ph| ph.complexity == MsgComplexity::Linear),
         "speculative phase reduction needs a linear protocol",
     )?;
-    precondition(p.good_case_phases() >= 5, "needs at least five linear phases to elide two")?;
+    precondition(
+        p.good_case_phases() >= 5,
+        "needs at least five linear phases to elide two",
+    )?;
     let mut out = p.clone();
     out.name = format!("Speculative-{}", p.name);
     out.phases.truncate(p.phases.len() - 2);
@@ -279,17 +305,21 @@ pub fn speculative_phase_reduction(p: &ProtocolPoint) -> Result<ProtocolPoint> {
 /// detect disagreement (3f+1 matching replies, timer τ1) and repair
 /// (Zyzzyva).
 pub fn speculative_execution(p: &ProtocolPoint) -> Result<ProtocolPoint> {
-    precondition(p.good_case_phases() == 3, "speculative execution starts from a 3-phase protocol")?;
+    precondition(
+        p.good_case_phases() == 3,
+        "speculative execution starts from a 3-phase protocol",
+    )?;
     let mut out = p.clone();
     out.name = format!("SpecExec-{}", p.name);
     out.phases = vec![p.phases[0].clone()];
     out.strategy = CommitmentStrategy::OptimisticSpeculative {
-        assumptions: BTreeSet::from([
-            Assumption::A1LeaderCorrect,
-            Assumption::A2BackupsCorrect,
-        ]),
+        assumptions: BTreeSet::from([Assumption::A1LeaderCorrect, Assumption::A2BackupsCorrect]),
     };
-    out.clients = ClientRoles { reply_quorum: ReplyQuorum::All, proposer: false, repairer: true };
+    out.clients = ClientRoles {
+        reply_quorum: ReplyQuorum::All,
+        proposer: false,
+        repairer: true,
+    };
     out.timers.insert(TimerKind::T1WaitReplies);
     Ok(out)
 }
@@ -311,7 +341,11 @@ pub fn optimistic_conflict_free(p: &ProtocolPoint) -> Result<ProtocolPoint> {
     };
     out.leader = LeaderMode::Leaderless;
     out.view_change_stage = false;
-    out.clients = ClientRoles { reply_quorum: ReplyQuorum::Quorum, proposer: true, repairer: true };
+    out.clients = ClientRoles {
+        reply_quorum: ReplyQuorum::Quorum,
+        proposer: true,
+        repairer: true,
+    };
     // Q/U uses 5f+1 so inline repair retains quorum intersection.
     out.replicas = ReplicaFormula::Fast;
     out.qos.fairness_gamma_milli = None;
@@ -401,7 +435,9 @@ pub fn fair(p: &ProtocolPoint, gamma_milli: u32) -> Result<ProtocolPoint> {
 /// (assumption a3); otherwise the tree is reconfigured (Kauri).
 pub fn tree_load_balancer(p: &ProtocolPoint, fanout: usize) -> Result<ProtocolPoint> {
     precondition(
-        p.phases.iter().all(|ph| ph.complexity == MsgComplexity::Linear),
+        p.phases
+            .iter()
+            .all(|ph| ph.complexity == MsgComplexity::Linear),
         "tree load balancing applies to linear (collector-based) protocols",
     )?;
     precondition(fanout >= 2, "tree fan-out must be at least 2")?;
@@ -423,7 +459,11 @@ pub mod catalogue {
     use super::*;
 
     fn base_clients() -> ClientRoles {
-        ClientRoles { reply_quorum: ReplyQuorum::WeakCertificate, proposer: false, repairer: false }
+        ClientRoles {
+            reply_quorum: ReplyQuorum::WeakCertificate,
+            proposer: false,
+            repairer: false,
+        }
     }
 
     /// PBFT (Castro & Liskov '99/'02) — the paper's driving example:
@@ -564,7 +604,10 @@ pub mod catalogue {
             auth: AuthMode::Threshold,
             responsive: true,
             timers: BTreeSet::from([TimerKind::T5ViewSync]),
-            qos: QosFeatures { fairness_gamma_milli: None, load_balancing: true },
+            qos: QosFeatures {
+                fairness_gamma_milli: None,
+                load_balancing: true,
+            },
         }
     }
 
@@ -591,7 +634,10 @@ pub mod catalogue {
             auth: AuthMode::Signature,
             responsive: false,
             timers: BTreeSet::from([TimerKind::T4QuorumConstruction, TimerKind::T5ViewSync]),
-            qos: QosFeatures { fairness_gamma_milli: None, load_balancing: true },
+            qos: QosFeatures {
+                fairness_gamma_milli: None,
+                load_balancing: true,
+            },
         }
     }
 
@@ -727,7 +773,10 @@ pub mod catalogue {
             auth: AuthMode::Signature,
             responsive: true,
             timers: BTreeSet::from([TimerKind::T2ViewChange, TimerKind::T6PreorderRound]),
-            qos: QosFeatures { fairness_gamma_milli: Some(1000), load_balancing: false },
+            qos: QosFeatures {
+                fairness_gamma_milli: Some(1000),
+                load_balancing: false,
+            },
         }
     }
 
@@ -757,7 +806,10 @@ pub mod catalogue {
             auth: AuthMode::Threshold,
             responsive: true,
             timers: BTreeSet::from([TimerKind::T5ViewSync]),
-            qos: QosFeatures { fairness_gamma_milli: None, load_balancing: true },
+            qos: QosFeatures {
+                fairness_gamma_milli: None,
+                load_balancing: true,
+            },
         }
     }
 
@@ -883,7 +935,10 @@ mod tests {
         out.validate().unwrap();
         // 1 linear + 2×(2 linear) = 5 linear phases, star, threshold
         assert_eq!(out.good_case_phases(), 5);
-        assert!(out.phases.iter().all(|p| p.complexity == MsgComplexity::Linear));
+        assert!(out
+            .phases
+            .iter()
+            .all(|p| p.complexity == MsgComplexity::Linear));
         assert_eq!(out.auth, AuthMode::Threshold);
         assert_eq!(out.topology, TopologyKind::Star);
         // message complexity drops from O(n²) to O(n)
@@ -922,7 +977,11 @@ mod tests {
         ];
         let out = non_responsive_rotation(&input).unwrap();
         let tm = catalogue::tendermint();
-        assert_eq!(out.good_case_phases(), tm.good_case_phases(), "no extra phase");
+        assert_eq!(
+            out.good_case_phases(),
+            tm.good_case_phases(),
+            "no extra phase"
+        );
         assert_eq!(out.leader, tm.leader);
         assert!(!out.responsive);
         assert!(out.timers.contains(&TimerKind::T5ViewSync));
@@ -931,7 +990,10 @@ mod tests {
     #[test]
     fn dc5_replica_reduction_adds_a2() {
         let out = optimistic_replica_reduction(&catalogue::pbft()).unwrap();
-        assert!(out.strategy.assumptions().contains(&Assumption::A2BackupsCorrect));
+        assert!(out
+            .strategy
+            .assumptions()
+            .contains(&Assumption::A2BackupsCorrect));
         assert_eq!(out.replicas, ReplicaFormula::Classic, "n stays 3f+1");
     }
 
@@ -1023,8 +1085,14 @@ mod tests {
         let out = tree_load_balancer(&catalogue::hotstuff(), 2).unwrap();
         let k = catalogue::kauri();
         assert_eq!(out.topology, k.topology);
-        assert!(out.phases.iter().all(|p| p.complexity == MsgComplexity::TreeHops));
-        assert!(out.strategy.assumptions().contains(&Assumption::A3InternalNodesCorrect));
+        assert!(out
+            .phases
+            .iter()
+            .all(|p| p.complexity == MsgComplexity::TreeHops));
+        assert!(out
+            .strategy
+            .assumptions()
+            .contains(&Assumption::A3InternalNodesCorrect));
         assert!(out.qos.load_balancing);
         // quadratic protocols are rejected
         assert!(tree_load_balancer(&catalogue::pbft(), 2).is_err());
@@ -1061,6 +1129,9 @@ mod tests {
         let p = tree_load_balancer(&p, 3).unwrap();
         p.validate().unwrap();
         assert!(matches!(p.topology, TopologyKind::Tree { fanout: 3 }));
-        assert!(matches!(p.leader, LeaderMode::Rotating { responsive: true }));
+        assert!(matches!(
+            p.leader,
+            LeaderMode::Rotating { responsive: true }
+        ));
     }
 }

@@ -14,7 +14,7 @@ use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
-use bft_types::{Digest, Reply, ReplicaId, RequestId};
+use bft_types::{Digest, ReplicaId, Reply, RequestId};
 
 /// Collects replies for one outstanding request.
 #[derive(Debug, Clone, Default)]
@@ -77,7 +77,10 @@ impl ReplyCollector {
         }
         let best = groups.values().map(|(c, _)| *c).max().unwrap_or(0);
         if let Some((count, reply)) = groups.values().find(|(c, _)| *c >= quorum) {
-            return CollectStatus::Complete { reply: (*reply).clone(), matched: *count };
+            return CollectStatus::Complete {
+                reply: (*reply).clone(),
+                matched: *count,
+            };
         }
         if digests_seen.len() > 1 {
             return CollectStatus::Conflict;
@@ -91,7 +94,9 @@ impl ReplyCollector {
     pub fn best_matching(&self) -> usize {
         let mut groups: BTreeMap<(Digest, bool), usize> = BTreeMap::new();
         for reply in self.replies.values() {
-            *groups.entry((reply.state_digest, reply.speculative)).or_insert(0) += 1;
+            *groups
+                .entry((reply.state_digest, reply.speculative))
+                .or_insert(0) += 1;
         }
         groups.values().copied().max().unwrap_or(0)
     }
@@ -159,7 +164,10 @@ mod tests {
 
     fn reply(ts: u64, digest: u8, speculative: bool) -> Reply {
         Reply {
-            request: RequestId { client: ClientId(1), timestamp: ts },
+            request: RequestId {
+                client: ClientId(1),
+                timestamp: ts,
+            },
             view: View(0),
             result: TxnResult { reads: vec![] },
             state_digest: Digest([digest; 32]),
@@ -170,7 +178,10 @@ mod tests {
     #[test]
     fn completes_at_quorum() {
         let mut c = ReplyCollector::new();
-        assert_eq!(c.offer(ReplicaId(0), reply(1, 7, false), 2), CollectStatus::Pending { best: 1 });
+        assert_eq!(
+            c.offer(ReplicaId(0), reply(1, 7, false), 2),
+            CollectStatus::Pending { best: 1 }
+        );
         match c.offer(ReplicaId(1), reply(1, 7, false), 2) {
             CollectStatus::Complete { matched, .. } => assert_eq!(matched, 2),
             s => panic!("expected complete, got {s:?}"),

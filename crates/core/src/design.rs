@@ -105,7 +105,10 @@ pub struct Phase {
 impl Phase {
     /// Construct a phase.
     pub fn new(name: &str, complexity: MsgComplexity) -> Phase {
-        Phase { name: name.into(), complexity }
+        Phase {
+            name: name.into(),
+            complexity,
+        }
     }
 
     /// A linear (one-to-all / all-to-one) phase.
@@ -283,7 +286,11 @@ impl ProtocolPoint {
     pub fn validate(&self) -> Result<()> {
         let err = |msg: String| Err(BftError::InvalidConfig(format!("{}: {msg}", self.name)));
 
-        if self.phases.is_empty() && !matches!(self.strategy, CommitmentStrategy::OptimisticSpeculative { .. })
+        if self.phases.is_empty()
+            && !matches!(
+                self.strategy,
+                CommitmentStrategy::OptimisticSpeculative { .. }
+            )
         {
             // Only conflict-free optimistic protocols (Q/U) have zero
             // ordering phases, and those are speculative by nature.
@@ -292,7 +299,9 @@ impl ProtocolPoint {
                 .assumptions()
                 .contains(&Assumption::A4ConflictFree)
             {
-                return err("a protocol needs ordering phases unless it assumes conflict-freedom".into());
+                return err(
+                    "a protocol needs ordering phases unless it assumes conflict-freedom".into(),
+                );
             }
         }
 
@@ -300,13 +309,18 @@ impl ProtocolPoint {
         // proven to third parties (any collector-based linear phase pattern)
         // cannot use MACs — MACs lack non-repudiation.
         if matches!(self.topology, TopologyKind::Star) && self.auth == AuthMode::Mac {
-            return err("star-topology collectors need signatures (MACs lack non-repudiation)".into());
+            return err(
+                "star-topology collectors need signatures (MACs lack non-repudiation)".into(),
+            );
         }
 
         // Threshold signatures only make sense with a collector pattern:
         // star or tree topology.
         if self.auth == AuthMode::Threshold
-            && !matches!(self.topology, TopologyKind::Star | TopologyKind::Tree { .. })
+            && !matches!(
+                self.topology,
+                TopologyKind::Star | TopologyKind::Tree { .. }
+            )
         {
             return err("threshold signatures require a collector (star/tree) topology".into());
         }
@@ -318,12 +332,16 @@ impl ProtocolPoint {
             && matches!(self.replicas, ReplicaFormula::Classic)
             && !matches!(self.strategy, CommitmentStrategy::Robust)
         {
-            return err("two-phase commitment with 3f+1 replicas requires optimism (5f+1 needed)".into());
+            return err(
+                "two-phase commitment with 3f+1 replicas requires optimism (5f+1 needed)".into(),
+            );
         }
 
         // DC3/DC4: rotating leaders absorb the view-change stage.
-        if matches!(self.leader, LeaderMode::Rotating { .. } | LeaderMode::Leaderless)
-            && self.view_change_stage
+        if matches!(
+            self.leader,
+            LeaderMode::Rotating { .. } | LeaderMode::Leaderless
+        ) && self.view_change_stage
         {
             return err("rotating/leaderless protocols have no separate view-change stage".into());
         }
@@ -371,7 +389,9 @@ impl ProtocolPoint {
         // Trusted hardware budget only pairs with signature-ish auth in our
         // suite (the attested counter must be verifiable by all).
         if matches!(self.replicas, ReplicaFormula::TrustedHardware) && self.auth == AuthMode::Mac {
-            return err("2f+1 trusted-hardware protocols need verifiable (signed) attestations".into());
+            return err(
+                "2f+1 trusted-hardware protocols need verifiable (signed) attestations".into(),
+            );
         }
 
         // Speculative protocols need a fallback trigger: the client's τ1,
@@ -420,8 +440,16 @@ impl ProtocolPoint {
             },
             self.auth,
             self.replicas.formula(),
-            if self.preordering { ", preordering" } else { "" },
-            if self.qos.fairness_gamma_milli.is_some() { ", fair" } else { "" },
+            if self.preordering {
+                ", preordering"
+            } else {
+                ""
+            },
+            if self.qos.fairness_gamma_milli.is_some() {
+                ", fair"
+            } else {
+                ""
+            },
         )
     }
 }
@@ -434,7 +462,8 @@ mod tests {
     #[test]
     fn catalogue_points_are_valid() {
         for p in catalogue::all() {
-            p.validate().unwrap_or_else(|e| panic!("{} invalid: {e}", p.name));
+            p.validate()
+                .unwrap_or_else(|e| panic!("{} invalid: {e}", p.name));
         }
     }
 

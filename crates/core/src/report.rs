@@ -50,7 +50,14 @@ impl RunReport {
         f: usize,
         outcome: &bft_sim::runner::RunOutcome,
     ) -> RunReport {
-        Self::build(protocol, n, f, &outcome.log, &outcome.metrics, outcome.end_time)
+        Self::build(
+            protocol,
+            n,
+            f,
+            &outcome.log,
+            &outcome.metrics,
+            outcome.end_time,
+        )
     }
 
     /// Build a report from log + metrics (for in-progress simulations).
@@ -66,7 +73,13 @@ impl RunReport {
             log.client_latencies().into_iter().map(|(_, d)| d).collect();
         let completed = latencies.len();
         let fast_path_accepts = log.count(|e| {
-            matches!(e.obs, Observation::ClientAccept { fast_path: true, .. })
+            matches!(
+                e.obs,
+                Observation::ClientAccept {
+                    fast_path: true,
+                    ..
+                }
+            )
         });
         let rollbacks = log.count(|e| matches!(e.obs, Observation::Rollback { .. }));
         let replica_msgs = metrics.replica_msgs_sent();
@@ -77,7 +90,11 @@ impl RunReport {
             f,
             completed_requests: completed,
             latency: LatencyStats::from_samples(latencies),
-            throughput_per_sec: if secs > 0.0 { completed as f64 / secs } else { 0.0 },
+            throughput_per_sec: if secs > 0.0 {
+                completed as f64 / secs
+            } else {
+                0.0
+            },
             replica_msgs,
             replica_bytes: metrics.replica_bytes_sent(),
             msgs_per_commit: if completed > 0 {
@@ -139,7 +156,10 @@ mod tests {
                 SimTime(ts * 1_000_000),
                 NodeId::client(1),
                 Observation::ClientAccept {
-                    request: RequestId { client: ClientId(1), timestamp: ts },
+                    request: RequestId {
+                        client: ClientId(1),
+                        timestamp: ts,
+                    },
                     sent_at: SimTime((ts - 1) * 1_000_000),
                     fast_path: ts % 2 == 0,
                 },

@@ -8,8 +8,8 @@
 //! seeded deterministic RNG.
 
 use rand::Rng;
-use rand_chacha::ChaCha8Rng;
 use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
 use bft_types::{Key, Op, Transaction};
@@ -47,7 +47,11 @@ impl WorkloadConfig {
     /// A contended workload: the given fraction of transactions write the
     /// hot key.
     pub fn contended(hot_fraction: f64) -> Self {
-        WorkloadConfig { hot_fraction, read_fraction: 0.0, ..WorkloadConfig::uniform() }
+        WorkloadConfig {
+            hot_fraction,
+            read_fraction: 0.0,
+            ..WorkloadConfig::uniform()
+        }
     }
 
     /// Builder-style: set the read fraction.
@@ -74,7 +78,10 @@ pub struct Workload {
 impl Workload {
     /// Create a workload from a config and seed.
     pub fn new(config: WorkloadConfig, seed: u64) -> Self {
-        Workload { config, rng: ChaCha8Rng::seed_from_u64(seed ^ 0x9e3779b97f4a7c15) }
+        Workload {
+            config,
+            rng: ChaCha8Rng::seed_from_u64(seed ^ 0x9e3779b97f4a7c15),
+        }
     }
 
     /// Generate the next transaction.
@@ -97,7 +104,8 @@ impl Workload {
     }
 
     fn pick_key(&mut self) -> Key {
-        if self.config.hot_fraction > 0.0 && self.rng.gen_bool(self.config.hot_fraction.clamp(0.0, 1.0))
+        if self.config.hot_fraction > 0.0
+            && self.rng.gen_bool(self.config.hot_fraction.clamp(0.0, 1.0))
         {
             0
         } else {

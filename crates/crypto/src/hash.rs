@@ -52,7 +52,12 @@ impl Default for Hasher {
 impl Hasher {
     /// A fresh hasher.
     pub fn new() -> Self {
-        Hasher { state: H0, len: 0, buf: [0u8; 64], buf_len: 0 }
+        Hasher {
+            state: H0,
+            len: 0,
+            buf: [0u8; 64],
+            buf_len: 0,
+        }
     }
 
     /// Absorb `data`.
@@ -193,7 +198,9 @@ mod tests {
     #[test]
     fn two_block_message() {
         assert_eq!(
-            hex(&sha256(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            hex(&sha256(
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            )),
             "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
         );
     }

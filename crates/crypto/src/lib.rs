@@ -69,7 +69,9 @@ pub fn digest_of<T: serde::Serialize>(value: &T) -> Digest {
 /// struct order, which serde guarantees stable for a fixed type.
 pub fn stable_bytes<T: serde::Serialize>(value: &T) -> Vec<u8> {
     let mut enc = enc::ByteEncoder::default();
-    value.serialize(&mut enc).expect("stable encoding cannot fail");
+    value
+        .serialize(&mut enc)
+        .expect("stable encoding cannot fail");
     enc.out
 }
 
@@ -333,24 +335,52 @@ mod tests {
 
     #[test]
     fn digest_is_deterministic() {
-        let d1 = digest_of(&Demo { a: 1, b: vec![1, 2], c: Some(true) });
-        let d2 = digest_of(&Demo { a: 1, b: vec![1, 2], c: Some(true) });
+        let d1 = digest_of(&Demo {
+            a: 1,
+            b: vec![1, 2],
+            c: Some(true),
+        });
+        let d2 = digest_of(&Demo {
+            a: 1,
+            b: vec![1, 2],
+            c: Some(true),
+        });
         assert_eq!(d1, d2);
     }
 
     #[test]
     fn digest_distinguishes_values() {
-        let d1 = digest_of(&Demo { a: 1, b: vec![1, 2], c: Some(true) });
-        let d2 = digest_of(&Demo { a: 1, b: vec![1, 2], c: Some(false) });
-        let d3 = digest_of(&Demo { a: 2, b: vec![1, 2], c: Some(true) });
+        let d1 = digest_of(&Demo {
+            a: 1,
+            b: vec![1, 2],
+            c: Some(true),
+        });
+        let d2 = digest_of(&Demo {
+            a: 1,
+            b: vec![1, 2],
+            c: Some(false),
+        });
+        let d3 = digest_of(&Demo {
+            a: 2,
+            b: vec![1, 2],
+            c: Some(true),
+        });
         assert_ne!(d1, d2);
         assert_ne!(d1, d3);
     }
 
     #[test]
     fn digest_distinguishes_none_from_some() {
-        let d1 = digest_of(&Demo { a: 1, b: vec![], c: None });
-        let d2 = digest_of(&Demo { a: 1, b: vec![], c: Some(false) });
+        let d1 = digest_of(&Demo {
+            a: 1,
+            b: vec![],
+            c: None,
+        });
+        let d2 = digest_of(&Demo {
+            a: 1,
+            b: vec![],
+            c: Some(false),
+        });
         assert_ne!(d1, d2);
     }
 

@@ -89,7 +89,10 @@ impl KeyStore {
     /// Hand out the signer for a party. Call once per honest party at setup;
     /// Byzantine behaviors may only sign as *themselves*.
     pub fn signer_for(&self, party: PartyId) -> Signer {
-        Signer { party, key: self.key_of(party) }
+        Signer {
+            party,
+            key: self.key_of(party),
+        }
     }
 
     /// Verify `sig` over `message`. Any holder of the key store can do this —
@@ -120,7 +123,10 @@ impl Signer {
 
     /// Sign a message.
     pub fn sign(&self, message: &[u8]) -> Signature {
-        Signature { signer: self.party, tag: hmac_sha256(&self.key.0, message) }
+        Signature {
+            signer: self.party,
+            tag: hmac_sha256(&self.key.0, message),
+        }
     }
 
     /// Sign a serializable value (signs its stable byte encoding).
@@ -152,7 +158,10 @@ mod tests {
         let store = KeyStore::new([3u8; 32]);
         let sig = store.signer_for(PartyId::replica(0)).sign(b"m");
         // claim it came from replica 1
-        let forged = Signature { signer: PartyId::replica(1), tag: sig.tag };
+        let forged = Signature {
+            signer: PartyId::replica(1),
+            tag: sig.tag,
+        };
         assert!(!store.verify(b"m", &forged));
     }
 

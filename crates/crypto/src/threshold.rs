@@ -51,7 +51,9 @@ impl ThresholdSigner {
 
     /// Produce this party's share over `message`.
     pub fn share(&self, message: &[u8]) -> SigShare {
-        SigShare { sig: self.signer.sign(message) }
+        SigShare {
+            sig: self.signer.sign(message),
+        }
     }
 
     /// The party this signer signs for.
@@ -130,7 +132,10 @@ impl ThresholdScheme {
             )));
         }
         signers.sort_unstable();
-        Ok(ThresholdSig { tag: Self::aggregate_tag(message, &signers), signers })
+        Ok(ThresholdSig {
+            tag: Self::aggregate_tag(message, &signers),
+            signers,
+        })
     }
 
     /// Verify a combined certificate: the aggregate tag must match the
@@ -180,7 +185,10 @@ mod tests {
         let cert = scheme.combine(&store, msg, &shares).unwrap();
         assert!(scheme.verify(&store, msg, &cert));
         assert_eq!(cert.share_count(), 3);
-        assert!(!scheme.verify(&store, b"prepare v0 s2", &cert), "binds message");
+        assert!(
+            !scheme.verify(&store, b"prepare v0 s2", &cert),
+            "binds message"
+        );
     }
 
     #[test]
@@ -223,7 +231,10 @@ mod tests {
         cert.signers.push(3);
         assert!(!scheme.verify(&store, msg, &cert));
         // duplicate signers to fake the threshold
-        let fake = ThresholdSig { signers: vec![0, 0, 1], tag: [0u8; 32] };
+        let fake = ThresholdSig {
+            signers: vec![0, 0, 1],
+            tag: [0u8; 32],
+        };
         assert!(!scheme.verify(&store, msg, &fake));
     }
 

@@ -27,7 +27,7 @@ use bft_sim::runner::RunOutcome;
 use bft_sim::{Actor, Context, NodeId, Observation, SimDuration, Stage, TimerId};
 use bft_state::StateMachine;
 use bft_types::{
-    Digest, Op, QuorumRules, Reply, ReplicaId, RequestId, SeqNum, TimerKind, View, WireSize,
+    Digest, Op, QuorumRules, ReplicaId, Reply, RequestId, SeqNum, TimerKind, View, WireSize,
 };
 
 use crate::common::{
@@ -224,11 +224,20 @@ impl ChainReplica {
     fn try_execute_and_forward(&mut self, hops: u32, ctx: &mut Context<'_, ChainMsg>) {
         loop {
             let next = self.exec_cursor.next();
-            let Some(batch) = self.log.get(&next).cloned() else { break };
+            let Some(batch) = self.log.get(&next).cloned() else {
+                break;
+            };
             let digest = digest_of(&batch);
             let view = self.view;
-            ctx.observe(Observation::Commit { seq: next, view, digest, speculative: false });
-            ctx.observe(Observation::StageEnter { stage: Stage::Execution });
+            ctx.observe(Observation::Commit {
+                seq: next,
+                view,
+                digest,
+                speculative: false,
+            });
+            ctx.observe(Observation::StageEnter {
+                stage: Stage::Execution,
+            });
             for signed in &batch {
                 if self.executed_reqs.contains_key(&signed.request.id) {
                     continue;
@@ -245,7 +254,11 @@ impl ChainReplica {
                     ctx.charge(SimDuration(work as u64 * 1_000));
                 }
                 let (result, state_digest) = self.sm.execute(seq, &signed.request);
-                ctx.observe(Observation::Execute { seq, request: signed.request.id, state_digest });
+                ctx.observe(Observation::Execute {
+                    seq,
+                    request: signed.request.id,
+                    state_digest,
+                });
                 self.executed_reqs.insert(signed.request.id, ());
                 self.pending_reqs.retain(|r| *r != signed.request.id);
                 if self.replies_to_clients() {
@@ -257,17 +270,28 @@ impl ChainReplica {
                         speculative: false,
                     };
                     ctx.charge_crypto(CryptoOp::MacGen);
-                    ctx.send(NodeId::Client(signed.request.id.client), ChainMsg::Reply(reply));
+                    ctx.send(
+                        NodeId::Client(signed.request.id.client),
+                        ChainMsg::Reply(reply),
+                    );
                 }
             }
             self.exec_cursor = next;
-            ctx.observe(Observation::StageEnter { stage: Stage::Ordering });
+            ctx.observe(Observation::StageEnter {
+                stage: Stage::Ordering,
+            });
             // forward down the pipeline with one more MAC accumulated
             if let Some(successor) = self.successor() {
                 ctx.charge_crypto(CryptoOp::MacGen);
                 ctx.send(
                     NodeId::Replica(successor),
-                    ChainMsg::Chained { view, seq: next, digest, batch, hops: hops + 1 },
+                    ChainMsg::Chained {
+                        view,
+                        seq: next,
+                        digest,
+                        batch,
+                        hops: hops + 1,
+                    },
                 );
             }
             if self.pending_reqs.is_empty() {
@@ -284,7 +308,11 @@ impl ChainReplica {
         let view = self.view;
         let last_seq = self.exec_cursor;
         ctx.charge_crypto(CryptoOp::MacGen);
-        ctx.broadcast_replicas(ChainMsg::StallReport { view, last_seq, from: me });
+        ctx.broadcast_replicas(ChainMsg::StallReport {
+            view,
+            last_seq,
+            from: me,
+        });
         self.reports.insert(me, last_seq);
         if self.settle_timer.is_none() {
             self.settle_timer = Some(ctx.set_timer(TimerKind::T5ViewSync, ctx.delta()));
@@ -353,7 +381,13 @@ impl ChainReplica {
                     let digest = digest_of(&batch);
                     ctx.send(
                         NodeId::Replica(successor),
-                        ChainMsg::Chained { view, seq, digest, batch, hops: 1 },
+                        ChainMsg::Chained {
+                            view,
+                            seq,
+                            digest,
+                            batch,
+                            hops: 1,
+                        },
                     );
                 }
             }
@@ -384,10 +418,12 @@ impl ChainReplica {
 
 impl Actor<ChainMsg> for ChainReplica {
     fn on_start(&mut self, ctx: &mut Context<'_, ChainMsg>) {
-        ctx.observe(Observation::StageEnter { stage: Stage::Ordering });
+        ctx.observe(Observation::StageEnter {
+            stage: Stage::Ordering,
+        });
     }
 
-    fn on_message(&mut self, from: NodeId, msg: ChainMsg, ctx: &mut Context<'_, ChainMsg>) {
+    fn on_message(&mut self, from: NodeId, msg: &ChainMsg, ctx: &mut Context<'_, ChainMsg>) {
         match msg {
             ChainMsg::Request(signed) => {
                 ctx.charge_crypto(CryptoOp::Verify);
@@ -411,8 +447,12 @@ impl Actor<ChainMsg> for ChainReplica {
                 }
                 self.known.insert(signed.request.id, signed.clone());
                 if self.is_head() {
-                    if !self.mempool.iter().any(|r| r.request.id == signed.request.id) {
-                        self.mempool.push_back(signed);
+                    if !self
+                        .mempool
+                        .iter()
+                        .any(|r| r.request.id == signed.request.id)
+                    {
+                        self.mempool.push_back(signed.clone());
                     }
                     self.disseminate(ctx);
                 } else {
@@ -427,33 +467,47 @@ impl Actor<ChainMsg> for ChainReplica {
                     }
                 }
             }
-            ChainMsg::Chained { view, seq, digest, batch, hops } => {
-                if view != self.view {
+            ChainMsg::Chained {
+                view,
+                seq,
+                digest,
+                batch,
+                hops,
+            } => {
+                if *view != self.view {
                     return;
                 }
                 ctx.charge_crypto(CryptoOp::MacVerify);
                 ctx.charge_crypto(CryptoOp::Hash);
-                if digest_of(&batch) != digest {
+                if digest_of(batch) != *digest {
                     return;
                 }
-                self.accept_chained(seq, digest, batch, hops, ctx);
+                self.accept_chained(*seq, *digest, batch.clone(), *hops, ctx);
             }
-            ChainMsg::StallReport { view, last_seq, from: r } => {
-                if view != self.view {
+            ChainMsg::StallReport {
+                view,
+                last_seq,
+                from: r,
+            } => {
+                if *view != self.view {
                     return;
                 }
                 ctx.charge_crypto(CryptoOp::MacVerify);
-                self.reports.insert(r, last_seq);
+                self.reports.insert(*r, *last_seq);
                 // a report from elsewhere means someone stalled: join the
                 // round so our own liveness report is counted
                 if !self.reports.contains_key(&self.me) {
                     self.on_stall(ctx);
                 }
             }
-            ChainMsg::Reconfigure { view, suspects, resume_from } => {
+            ChainMsg::Reconfigure {
+                view,
+                suspects,
+                resume_from,
+            } => {
                 let NodeId::Replica(_) = from else { return };
                 ctx.charge_crypto(CryptoOp::Verify);
-                self.adopt_config(view, suspects, resume_from, ctx);
+                self.adopt_config(*view, suspects.clone(), *resume_from, ctx);
             }
             ChainMsg::Reply(_) => {}
         }
@@ -461,18 +515,16 @@ impl Actor<ChainMsg> for ChainReplica {
 
     fn on_timer(&mut self, id: TimerId, kind: TimerKind, ctx: &mut Context<'_, ChainMsg>) {
         match kind {
-            TimerKind::T2ViewChange
-                if Some(id) == self.vc_timer => {
-                    self.vc_timer = None;
-                    if !self.pending_reqs.is_empty() {
-                        self.on_stall(ctx);
-                    }
+            TimerKind::T2ViewChange if Some(id) == self.vc_timer => {
+                self.vc_timer = None;
+                if !self.pending_reqs.is_empty() {
+                    self.on_stall(ctx);
                 }
-            TimerKind::T5ViewSync
-                if Some(id) == self.settle_timer => {
-                    self.settle_timer = None;
-                    self.on_settle(ctx);
-                }
+            }
+            TimerKind::T5ViewSync if Some(id) == self.settle_timer => {
+                self.settle_timer = None;
+                self.on_settle(ctx);
+            }
             _ => {}
         }
     }
@@ -515,11 +567,20 @@ pub fn run(scenario: &Scenario) -> RunOutcome {
     for i in 0..n as u32 {
         sim.add_replica(
             i,
-            Box::new(ChainReplica::new(ReplicaId(i), q, store.clone(), view_timeout, scenario.batch_size)),
+            Box::new(ChainReplica::new(
+                ReplicaId(i),
+                q,
+                store.clone(),
+                view_timeout,
+                scenario.batch_size,
+            )),
         );
     }
     for c in 0..scenario.clients as u64 {
-        sim.add_client(c, Box::new(GenericClient::<ChainClientProto>::new(scenario, q, c)));
+        sim.add_client(
+            c,
+            Box::new(GenericClient::<ChainClientProto>::new(scenario, q, c)),
+        );
     }
     run_to_completion(sim, scenario.total_requests(), scenario.max_time)
 }
@@ -567,7 +628,10 @@ mod tests {
         };
         let m1 = mean(1); // n = 4
         let m4 = mean(4); // n = 13
-        assert!(m4 > 2.0 * m1, "n=13 chain must be much slower: {m4} vs {m1}");
+        assert!(
+            m4 > 2.0 * m1,
+            "n=13 chain must be much slower: {m4} vs {m1}"
+        );
     }
 
     #[test]

@@ -21,7 +21,7 @@ use bft_sim::runner::RunOutcome;
 use bft_sim::{Actor, Context, NodeId, Observation, SimDuration, Stage, TimerId};
 use bft_state::StateMachine;
 use bft_types::{
-    Digest, Op, QuorumRules, Reply, ReplicaId, RequestId, SeqNum, TimerKind, View, WireSize,
+    Digest, Op, QuorumRules, ReplicaId, Reply, RequestId, SeqNum, TimerKind, View, WireSize,
 };
 
 use crate::common::{
@@ -196,11 +196,15 @@ impl CheapReplica {
     }
 
     fn actives(&self) -> Vec<NodeId> {
-        (0..self.active_count() as u32).map(NodeId::replica).collect()
+        (0..self.active_count() as u32)
+            .map(NodeId::replica)
+            .collect()
     }
 
     fn passives(&self) -> Vec<NodeId> {
-        (self.active_count() as u32..self.q.n as u32).map(NodeId::replica).collect()
+        (self.active_count() as u32..self.q.n as u32)
+            .map(NodeId::replica)
+            .collect()
     }
 
     fn propose(&mut self, ctx: &mut Context<'_, CheapMsg>) {
@@ -230,9 +234,20 @@ impl CheapReplica {
                 slot.digest = Some(digest);
                 slot.batch = batch.clone();
             }
-            let actives: Vec<NodeId> =
-                self.actives().into_iter().filter(|n| *n != NodeId::Replica(self.me)).collect();
-            ctx.multicast(actives, CheapMsg::PrePrepare { epoch, seq, digest, batch });
+            let actives: Vec<NodeId> = self
+                .actives()
+                .into_iter()
+                .filter(|n| *n != NodeId::Replica(self.me))
+                .collect();
+            ctx.multicast(
+                actives,
+                CheapMsg::PrePrepare {
+                    epoch,
+                    seq,
+                    digest,
+                    batch,
+                },
+            );
             // arm τ3: if the agreement round stalls, transition
             let t3 = ctx.set_timer(TimerKind::T3BackupFailure, self.t3_timeout);
             self.slots.entry(seq).or_default().t3 = Some(t3);
@@ -244,9 +259,20 @@ impl CheapReplica {
         let epoch = self.epoch;
         let me = self.me;
         ctx.charge_crypto(CryptoOp::Sign);
-        let actives: Vec<NodeId> =
-            self.actives().into_iter().filter(|n| *n != NodeId::Replica(me)).collect();
-        ctx.multicast(actives, CheapMsg::Agree { epoch, seq, digest, from: me });
+        let actives: Vec<NodeId> = self
+            .actives()
+            .into_iter()
+            .filter(|n| *n != NodeId::Replica(me))
+            .collect();
+        ctx.multicast(
+            actives,
+            CheapMsg::Agree {
+                epoch,
+                seq,
+                digest,
+                from: me,
+            },
+        );
         self.record_agree(me, seq, digest, ctx);
     }
 
@@ -293,7 +319,12 @@ impl CheapReplica {
             slot.sent_confirm = true;
         }
         ctx.charge_crypto(CryptoOp::Sign);
-        ctx.broadcast_replicas(CheapMsg::Confirm { epoch, seq, digest, from: me });
+        ctx.broadcast_replicas(CheapMsg::Confirm {
+            epoch,
+            seq,
+            digest,
+            from: me,
+        });
         self.record_confirm(me, seq, digest, ctx);
     }
 
@@ -322,20 +353,29 @@ impl CheapReplica {
             }
             slot.committed = true;
         }
-        ctx.observe(Observation::Commit { seq, view: View(self.epoch as u64), digest, speculative: false });
+        ctx.observe(Observation::Commit {
+            seq,
+            view: View(self.epoch as u64),
+            digest,
+            speculative: false,
+        });
         self.try_execute(ctx);
     }
 
     fn try_execute(&mut self, ctx: &mut Context<'_, CheapMsg>) {
         loop {
             let next = self.exec_cursor.next();
-            let Some(slot) = self.slots.get(&next) else { break };
+            let Some(slot) = self.slots.get(&next) else {
+                break;
+            };
             if !slot.committed || slot.executed {
                 break;
             }
             let batch = slot.batch.clone();
             let digest = slot.digest.unwrap_or(Digest::ZERO);
-            ctx.observe(Observation::StageEnter { stage: Stage::Execution });
+            ctx.observe(Observation::StageEnter {
+                stage: Stage::Execution,
+            });
             for signed in &batch {
                 let seq = self.sm.last_executed().next();
                 let work: u32 = signed
@@ -349,7 +389,11 @@ impl CheapReplica {
                     ctx.charge(SimDuration(work as u64 * 1_000));
                 }
                 let (result, state_digest) = self.sm.execute(seq, &signed.request);
-                ctx.observe(Observation::Execute { seq, request: signed.request.id, state_digest });
+                ctx.observe(Observation::Execute {
+                    seq,
+                    request: signed.request.id,
+                    state_digest,
+                });
                 self.executed_reqs.insert(signed.request.id, ());
                 // passives apply state but do not serve clients
                 if self.is_active() {
@@ -361,19 +405,32 @@ impl CheapReplica {
                         speculative: false,
                     };
                     ctx.charge_crypto(CryptoOp::Sign);
-                    ctx.send(NodeId::Client(signed.request.id.client), CheapMsg::Reply(reply));
+                    ctx.send(
+                        NodeId::Client(signed.request.id.client),
+                        CheapMsg::Reply(reply),
+                    );
                 }
             }
             let slot = self.slots.get_mut(&next).expect("slot exists");
             slot.executed = true;
             self.exec_cursor = next;
-            ctx.observe(Observation::StageEnter { stage: Stage::Ordering });
+            ctx.observe(Observation::StageEnter {
+                stage: Stage::Ordering,
+            });
             // ship the batch to passives (optimistic epoch only; in the
             // fallback everyone is active)
             if self.epoch == 0 && self.is_active() {
                 let me = self.me;
                 let passives = self.passives();
-                ctx.multicast(passives, CheapMsg::Update { seq: next, digest, batch, from: me });
+                ctx.multicast(
+                    passives,
+                    CheapMsg::Update {
+                        seq: next,
+                        digest,
+                        batch,
+                        from: me,
+                    },
+                );
             }
         }
     }
@@ -438,7 +495,9 @@ impl CheapReplica {
             // fall back: everyone becomes active, quorums drop to 2f+1,
             // a second (confirm) round is added
             self.epoch = 1;
-            ctx.observe(Observation::Marker { label: "transition-to-fallback" });
+            ctx.observe(Observation::Marker {
+                label: "transition-to-fallback",
+            });
             ctx.observe(Observation::NewView { view: View(1) });
             // restart agreement for all unexecuted slots under fallback
             // rules; the leader re-sends full pre-prepares because former
@@ -461,7 +520,12 @@ impl CheapReplica {
                 if self.is_leader() {
                     let epoch = self.epoch;
                     ctx.charge_crypto(CryptoOp::Sign);
-                    ctx.broadcast_replicas(CheapMsg::PrePrepare { epoch, seq, digest, batch });
+                    ctx.broadcast_replicas(CheapMsg::PrePrepare {
+                        epoch,
+                        seq,
+                        digest,
+                        batch,
+                    });
                     self.send_agree(seq, digest, ctx);
                 }
             }
@@ -474,10 +538,12 @@ impl CheapReplica {
 
 impl Actor<CheapMsg> for CheapReplica {
     fn on_start(&mut self, ctx: &mut Context<'_, CheapMsg>) {
-        ctx.observe(Observation::StageEnter { stage: Stage::Ordering });
+        ctx.observe(Observation::StageEnter {
+            stage: Stage::Ordering,
+        });
     }
 
-    fn on_message(&mut self, from: NodeId, msg: CheapMsg, ctx: &mut Context<'_, CheapMsg>) {
+    fn on_message(&mut self, from: NodeId, msg: &CheapMsg, ctx: &mut Context<'_, CheapMsg>) {
         match msg {
             CheapMsg::Request(signed) => {
                 ctx.charge_crypto(CryptoOp::Verify);
@@ -499,17 +565,29 @@ impl Actor<CheapMsg> for CheapReplica {
                     }
                     return;
                 }
-                if !self.mempool.iter().any(|r| r.request.id == signed.request.id) {
+                if !self
+                    .mempool
+                    .iter()
+                    .any(|r| r.request.id == signed.request.id)
+                {
                     self.mempool.push_back(signed.clone());
                 }
                 if self.is_leader() {
                     self.propose(ctx);
                 } else {
-                    ctx.send(NodeId::Replica(self.leader()), CheapMsg::Request(signed));
+                    ctx.send(
+                        NodeId::Replica(self.leader()),
+                        CheapMsg::Request(signed.clone()),
+                    );
                 }
             }
-            CheapMsg::PrePrepare { epoch, seq, digest, batch } => {
-                if epoch != self.epoch || !self.is_active() {
+            CheapMsg::PrePrepare {
+                epoch,
+                seq,
+                digest,
+                batch,
+            } => {
+                if *epoch != self.epoch || !self.is_active() {
                     return;
                 }
                 if from != NodeId::Replica(self.leader()) {
@@ -517,41 +595,56 @@ impl Actor<CheapMsg> for CheapReplica {
                 }
                 ctx.charge_crypto(CryptoOp::Verify);
                 ctx.charge_crypto(CryptoOp::Hash);
-                if digest_of(&batch) != digest {
+                if digest_of(batch) != *digest {
                     return;
                 }
                 let ids: Vec<RequestId> = batch.iter().map(|r| r.request.id).collect();
                 self.mempool.retain(|r| !ids.contains(&r.request.id));
                 {
-                    let slot = self.slots.entry(seq).or_default();
-                    if slot.digest.is_some() && slot.digest != Some(digest) {
+                    let slot = self.slots.entry(*seq).or_default();
+                    if slot.digest.is_some() && slot.digest != Some(*digest) {
                         return;
                     }
-                    slot.digest = Some(digest);
-                    slot.batch = batch;
+                    slot.digest = Some(*digest);
+                    slot.batch = batch.clone();
                 }
-                self.send_agree(seq, digest, ctx);
+                self.send_agree(*seq, *digest, ctx);
             }
-            CheapMsg::Agree { epoch, seq, digest, from: r } => {
-                if epoch != self.epoch || !self.is_active() {
+            CheapMsg::Agree {
+                epoch,
+                seq,
+                digest,
+                from: r,
+            } => {
+                if *epoch != self.epoch || !self.is_active() {
                     return;
                 }
                 ctx.charge_crypto(CryptoOp::Verify);
-                self.record_agree(r, seq, digest, ctx);
+                self.record_agree(*r, *seq, *digest, ctx);
             }
-            CheapMsg::Confirm { epoch, seq, digest, from: r } => {
-                if epoch != self.epoch {
+            CheapMsg::Confirm {
+                epoch,
+                seq,
+                digest,
+                from: r,
+            } => {
+                if *epoch != self.epoch {
                     return;
                 }
                 ctx.charge_crypto(CryptoOp::Verify);
-                self.record_confirm(r, seq, digest, ctx);
+                self.record_confirm(*r, *seq, *digest, ctx);
             }
-            CheapMsg::Update { seq, digest, batch, from: r } => {
-                self.on_update(r, seq, digest, batch, ctx);
+            CheapMsg::Update {
+                seq,
+                digest,
+                batch,
+                from: r,
+            } => {
+                self.on_update(*r, *seq, *digest, batch.clone(), ctx);
             }
             CheapMsg::Transition { from: r } => {
                 ctx.charge_crypto(CryptoOp::Verify);
-                self.record_transition(r, ctx);
+                self.record_transition(*r, ctx);
             }
             CheapMsg::Reply(_) => {}
         }
@@ -615,11 +708,20 @@ pub fn run(scenario: &Scenario) -> RunOutcome {
     for i in 0..n as u32 {
         sim.add_replica(
             i,
-            Box::new(CheapReplica::new(ReplicaId(i), q, store.clone(), t3, scenario.batch_size)),
+            Box::new(CheapReplica::new(
+                ReplicaId(i),
+                q,
+                store.clone(),
+                t3,
+                scenario.batch_size,
+            )),
         );
     }
     for c in 0..scenario.clients as u64 {
-        sim.add_client(c, Box::new(GenericClient::<CheapClientProto>::new(scenario, q, c)));
+        sim.add_client(
+            c,
+            Box::new(GenericClient::<CheapClientProto>::new(scenario, q, c)),
+        );
     }
     run_to_completion(sim, scenario.total_requests(), scenario.max_time)
 }
@@ -671,7 +773,10 @@ mod tests {
             .with_faults(FaultPlan::none().crash(NodeId::replica(1), SimTime(3_000_000)));
         let out = run(&s);
         SafetyAuditor::excluding(vec![NodeId::replica(1)]).assert_safe(&out.log);
-        assert!(out.log.marker_count("transition-to-fallback") >= 1, "τ3 must fire");
+        assert!(
+            out.log.marker_count("transition-to-fallback") >= 1,
+            "τ3 must fire"
+        );
         assert_eq!(accepted(&out), 20, "fallback mode completes the workload");
     }
 

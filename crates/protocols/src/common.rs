@@ -12,15 +12,15 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use bft_crypto::{digest_of, CryptoCostModel, KeyStore, Signature};
+use bft_core::workload::{Workload, WorkloadConfig};
 use bft_crypto::sign::PartyId;
+use bft_crypto::{digest_of, CryptoCostModel, KeyStore, Signature};
 use bft_sim::{
     Actor, Context, FaultPlan, NetworkConfig, NetworkModel, NodeId, Observation, SimDuration,
     SimTime, Simulation, TimerId,
 };
-use bft_core::workload::{Workload, WorkloadConfig};
 use bft_types::{
-    ClientId, Digest, QuorumRules, Reply, ReplicaId, Request, RequestId, TimerKind, WireSize,
+    ClientId, Digest, QuorumRules, ReplicaId, Reply, Request, RequestId, TimerKind, WireSize,
 };
 
 /// A client request plus the client's signature over it.
@@ -67,7 +67,9 @@ pub struct QuorumTracker<K: Ord> {
 
 impl<K: Ord + Clone> Default for QuorumTracker<K> {
     fn default() -> Self {
-        QuorumTracker { votes: BTreeMap::new() }
+        QuorumTracker {
+            votes: BTreeMap::new(),
+        }
     }
 }
 
@@ -222,7 +224,10 @@ impl Scenario {
     /// Workload generator for one client (each client gets a distinct
     /// stream).
     pub fn workload_for(&self, client: u64) -> Workload {
-        Workload::new(self.workload, self.seed.wrapping_mul(31).wrapping_add(client))
+        Workload::new(
+            self.workload,
+            self.seed.wrapping_mul(31).wrapping_add(client),
+        )
     }
 }
 
@@ -316,10 +321,7 @@ impl<P: ClientProtocol> GenericClient<P> {
             }
             _ => {
                 let n = self.q.n;
-                ctx.multicast(
-                    (0..n as u32).map(NodeId::replica),
-                    P::wrap_request(signed),
-                );
+                ctx.multicast((0..n as u32).map(NodeId::replica), P::wrap_request(signed));
             }
         }
     }
@@ -335,13 +337,19 @@ impl<P: ClientProtocol> Actor<P::Msg> for GenericClient<P> {
         self.submit_next(ctx);
     }
 
-    fn on_message(&mut self, from: NodeId, msg: P::Msg, ctx: &mut Context<'_, P::Msg>) {
-        let Some(reply) = P::unwrap_reply(&msg) else { return };
-        let Some((current, _, sent_at)) = self.in_flight else { return };
+    fn on_message(&mut self, from: NodeId, msg: &P::Msg, ctx: &mut Context<'_, P::Msg>) {
+        let Some(reply) = P::unwrap_reply(msg) else {
+            return;
+        };
+        let Some((current, _, sent_at)) = self.in_flight else {
+            return;
+        };
         if reply.request != current {
             return;
         }
-        let NodeId::Replica(replica) = from else { return };
+        let NodeId::Replica(replica) = from else {
+            return;
+        };
         ctx.charge_crypto(bft_crypto::CryptoOp::Verify);
         self.leader_hint = reply.view.leader_of(self.q.n);
         let quorum = P::reply_quorum(&self.q);
@@ -365,7 +373,9 @@ impl<P: ClientProtocol> Actor<P::Msg> for GenericClient<P> {
         if Some(id) != self.timer {
             return;
         }
-        let Some((_, signed, _)) = self.in_flight.clone() else { return };
+        let Some((_, signed, _)) = self.in_flight.clone() else {
+            return;
+        };
         // retransmit, broadcasting (PBFT rule: a retransmission goes to all
         // replicas so a faulty leader cannot suppress the request forever)
         self.retransmitted = true;
@@ -396,6 +406,15 @@ pub fn run_to_completion_with_drain<M: WireSize + 'static>(
     max_time: SimDuration,
     drain: SimDuration,
 ) -> bft_sim::runner::RunOutcome {
+    // Pre-size the event queue: each request fans out to O(n²) protocol
+    // messages, so reserving up front avoids repeated heap regrowth in
+    // the hot loop. Capped so large request counts don't over-allocate.
+    let n = sim.n_replicas().max(1);
+    sim.reserve_events(
+        (total_requests as usize)
+            .saturating_mul(n * n)
+            .clamp(64, 1 << 16),
+    );
     let step = SimDuration::from_millis(50);
     let mut t = SimTime::ZERO;
     loop {

@@ -22,7 +22,7 @@ use bft_sim::runner::RunOutcome;
 use bft_sim::{Actor, Context, NodeId, Observation, SimDuration, Stage, TimerId};
 use bft_state::StateMachine;
 use bft_types::{
-    Digest, Op, QuorumRules, Reply, ReplicaId, RequestId, SeqNum, TimerKind, View, WireSize,
+    Digest, Op, QuorumRules, ReplicaId, Reply, RequestId, SeqNum, TimerKind, View, WireSize,
 };
 
 use crate::common::{
@@ -84,10 +84,20 @@ impl WireSize for FabMsg {
             FabMsg::Propose { batch, .. } => 1 + 16 + 32 + batch.wire_size() + 72,
             FabMsg::Accept { .. } => 1 + 16 + 32 + 4 + 72,
             FabMsg::ViewChange { accepted, .. } => {
-                1 + 8 + accepted.iter().map(|(_, _, b)| 40 + b.wire_size()).sum::<usize>() + 72
+                1 + 8
+                    + accepted
+                        .iter()
+                        .map(|(_, _, b)| 40 + b.wire_size())
+                        .sum::<usize>()
+                    + 72
             }
             FabMsg::NewView { proposals, .. } => {
-                1 + 8 + proposals.iter().map(|(_, _, b)| 40 + b.wire_size()).sum::<usize>() + 72
+                1 + 8
+                    + proposals
+                        .iter()
+                        .map(|(_, _, b)| 40 + b.wire_size())
+                        .sum::<usize>()
+                    + 72
             }
         }
     }
@@ -195,7 +205,12 @@ impl FabReplica {
                 slot.digest = Some(digest);
                 slot.batch = batch.clone();
             }
-            ctx.broadcast_replicas(FabMsg::Propose { view, seq, digest, batch });
+            ctx.broadcast_replicas(FabMsg::Propose {
+                view,
+                seq,
+                digest,
+                batch,
+            });
             self.accept(seq, digest, ctx);
         }
     }
@@ -211,7 +226,12 @@ impl FabReplica {
             slot.accepted = true;
         }
         ctx.charge_crypto(CryptoOp::Sign);
-        ctx.broadcast_replicas(FabMsg::Accept { view, seq, digest, from: me });
+        ctx.broadcast_replicas(FabMsg::Accept {
+            view,
+            seq,
+            digest,
+            from: me,
+        });
         self.record_accept(me, seq, digest, ctx);
     }
 
@@ -233,7 +253,12 @@ impl FabReplica {
         }
         if !slot.committed && slot.accepts.len() >= quorum && slot.digest == Some(digest) {
             slot.committed = true;
-            ctx.observe(Observation::Commit { seq, view, digest, speculative: false });
+            ctx.observe(Observation::Commit {
+                seq,
+                view,
+                digest,
+                speculative: false,
+            });
             self.try_execute(ctx);
         }
     }
@@ -241,13 +266,17 @@ impl FabReplica {
     fn try_execute(&mut self, ctx: &mut Context<'_, FabMsg>) {
         loop {
             let next = self.exec_cursor.next();
-            let Some(slot) = self.slots.get(&next) else { break };
+            let Some(slot) = self.slots.get(&next) else {
+                break;
+            };
             if !slot.committed || slot.executed {
                 break;
             }
             let batch = slot.batch.clone();
             let view = self.view;
-            ctx.observe(Observation::StageEnter { stage: Stage::Execution });
+            ctx.observe(Observation::StageEnter {
+                stage: Stage::Execution,
+            });
             for signed in &batch {
                 let seq = self.sm.last_executed().next();
                 let work: u32 = signed
@@ -261,7 +290,11 @@ impl FabReplica {
                     ctx.charge(SimDuration(work as u64 * 1_000));
                 }
                 let (result, state_digest) = self.sm.execute(seq, &signed.request);
-                ctx.observe(Observation::Execute { seq, request: signed.request.id, state_digest });
+                ctx.observe(Observation::Execute {
+                    seq,
+                    request: signed.request.id,
+                    state_digest,
+                });
                 self.executed_reqs.insert(signed.request.id, ());
                 self.pending_reqs.retain(|r| *r != signed.request.id);
                 let reply = Reply {
@@ -272,12 +305,17 @@ impl FabReplica {
                     speculative: false,
                 };
                 ctx.charge_crypto(CryptoOp::Sign);
-                ctx.send(NodeId::Client(signed.request.id.client), FabMsg::Reply(reply));
+                ctx.send(
+                    NodeId::Client(signed.request.id.client),
+                    FabMsg::Reply(reply),
+                );
             }
             let slot = self.slots.get_mut(&next).expect("slot exists");
             slot.executed = true;
             self.exec_cursor = next;
-            ctx.observe(Observation::StageEnter { stage: Stage::Ordering });
+            ctx.observe(Observation::StageEnter {
+                stage: Stage::Ordering,
+            });
             if self.pending_reqs.is_empty() {
                 if let Some(t) = self.vc_timer.take() {
                     ctx.cancel_timer(t);
@@ -294,7 +332,9 @@ impl FabReplica {
             return;
         }
         self.in_view_change = true;
-        ctx.observe(Observation::StageEnter { stage: Stage::ViewChange });
+        ctx.observe(Observation::StageEnter {
+            stage: Stage::ViewChange,
+        });
         let accepted: Vec<(SeqNum, Digest, Vec<SignedRequest>)> = self
             .slots
             .iter()
@@ -303,7 +343,11 @@ impl FabReplica {
             .collect();
         ctx.charge_crypto(CryptoOp::Sign);
         let me = self.me;
-        ctx.broadcast_replicas(FabMsg::ViewChange { new_view: target, accepted: accepted.clone(), from: me });
+        ctx.broadcast_replicas(FabMsg::ViewChange {
+            new_view: target,
+            accepted: accepted.clone(),
+            from: me,
+        });
         self.record_vc(me, target, accepted, ctx);
         self.vc_timer = Some(ctx.set_timer(TimerKind::T2ViewChange, self.view_timeout));
     }
@@ -344,20 +388,18 @@ impl FabReplica {
             let mut proposals: BTreeMap<SeqNum, (Digest, Vec<SignedRequest>)> = BTreeMap::new();
             for ((seq, digest), (count, batch)) in counts {
                 // prefer the digest with the most accept witnesses per slot
-                let dominant = proposals
-                    .get(&seq)
-                    .map(|_| false)
-                    .unwrap_or(true);
+                let dominant = proposals.get(&seq).map(|_| false).unwrap_or(true);
                 if dominant || count > self.q.f {
                     proposals.insert(seq, (digest, batch));
                 }
             }
-            let proposals: Vec<(SeqNum, Digest, Vec<SignedRequest>)> = proposals
-                .into_iter()
-                .map(|(s, (d, b))| (s, d, b))
-                .collect();
+            let proposals: Vec<(SeqNum, Digest, Vec<SignedRequest>)> =
+                proposals.into_iter().map(|(s, (d, b))| (s, d, b)).collect();
             ctx.charge_crypto(CryptoOp::Sign);
-            ctx.broadcast_replicas(FabMsg::NewView { view: target, proposals: proposals.clone() });
+            ctx.broadcast_replicas(FabMsg::NewView {
+                view: target,
+                proposals: proposals.clone(),
+            });
             self.install_view(target, proposals, ctx);
         }
     }
@@ -375,7 +417,9 @@ impl FabReplica {
             ctx.cancel_timer(t);
         }
         ctx.observe(Observation::NewView { view });
-        ctx.observe(Observation::StageEnter { stage: Stage::Ordering });
+        ctx.observe(Observation::StageEnter {
+            stage: Stage::Ordering,
+        });
         let exec_cursor = self.exec_cursor;
         let re_proposed: Vec<SeqNum> = proposals.iter().map(|(s, _, _)| *s).collect();
         let mut stranded: Vec<SignedRequest> = Vec::new();
@@ -394,7 +438,11 @@ impl FabReplica {
                 self.mempool.push_back(r);
             }
         }
-        let max_seq = proposals.iter().map(|(s, _, _)| *s).max().unwrap_or(exec_cursor);
+        let max_seq = proposals
+            .iter()
+            .map(|(s, _, _)| *s)
+            .max()
+            .unwrap_or(exec_cursor);
         for (seq, digest, batch) in proposals {
             if seq <= exec_cursor {
                 continue;
@@ -413,7 +461,10 @@ impl FabReplica {
             self.accept(seq, digest, ctx);
         }
         if self.is_leader() {
-            self.next_seq = self.next_seq.max(max_seq.next()).max(self.exec_cursor.next());
+            self.next_seq = self
+                .next_seq
+                .max(max_seq.next())
+                .max(self.exec_cursor.next());
             self.propose(ctx);
         }
         // replay racing messages
@@ -430,7 +481,7 @@ impl FabReplica {
             .filter(|(_, m)| msg_view(m).is_some_and(|v| v > cur))
             .collect();
         for (from, msg) in now {
-            self.on_message(from, msg, ctx);
+            self.on_message(from, &msg, ctx);
         }
     }
 
@@ -448,10 +499,12 @@ impl FabReplica {
 
 impl Actor<FabMsg> for FabReplica {
     fn on_start(&mut self, ctx: &mut Context<'_, FabMsg>) {
-        ctx.observe(Observation::StageEnter { stage: Stage::Ordering });
+        ctx.observe(Observation::StageEnter {
+            stage: Stage::Ordering,
+        });
     }
 
-    fn on_message(&mut self, from: NodeId, msg: FabMsg, ctx: &mut Context<'_, FabMsg>) {
+    fn on_message(&mut self, from: NodeId, msg: &FabMsg, ctx: &mut Context<'_, FabMsg>) {
         match msg {
             FabMsg::Request(signed) => {
                 ctx.charge_crypto(CryptoOp::Verify);
@@ -473,7 +526,10 @@ impl Actor<FabMsg> for FabReplica {
                     }
                     return;
                 }
-                let in_mempool = self.mempool.iter().any(|r| r.request.id == signed.request.id);
+                let in_mempool = self
+                    .mempool
+                    .iter()
+                    .any(|r| r.request.id == signed.request.id);
                 if !in_mempool {
                     self.mempool.push_back(signed.clone());
                 }
@@ -491,9 +547,19 @@ impl Actor<FabMsg> for FabReplica {
                     }
                 }
             }
-            FabMsg::Propose { view, seq, digest, batch } => {
-                let m = FabMsg::Propose { view, seq, digest, batch: batch.clone() };
-                if !self.view_ok(from, view, m) {
+            FabMsg::Propose {
+                view,
+                seq,
+                digest,
+                batch,
+            } => {
+                let m = FabMsg::Propose {
+                    view: *view,
+                    seq: *seq,
+                    digest: *digest,
+                    batch: batch.clone(),
+                };
+                if !self.view_ok(from, *view, m) {
                     return;
                 }
                 if from != NodeId::Replica(self.leader()) {
@@ -501,37 +567,51 @@ impl Actor<FabMsg> for FabReplica {
                 }
                 ctx.charge_crypto(CryptoOp::Verify);
                 ctx.charge_crypto(CryptoOp::Hash);
-                if digest_of(&batch) != digest {
+                if digest_of(batch) != *digest {
                     return;
                 }
                 let ids: Vec<RequestId> = batch.iter().map(|r| r.request.id).collect();
                 self.mempool.retain(|r| !ids.contains(&r.request.id));
                 {
-                    let slot = self.slots.entry(seq).or_default();
-                    if slot.digest.is_some() && slot.digest != Some(digest) {
+                    let slot = self.slots.entry(*seq).or_default();
+                    if slot.digest.is_some() && slot.digest != Some(*digest) {
                         return;
                     }
-                    slot.digest = Some(digest);
-                    slot.batch = batch;
+                    slot.digest = Some(*digest);
+                    slot.batch = batch.clone();
                 }
-                self.accept(seq, digest, ctx);
+                self.accept(*seq, *digest, ctx);
             }
-            FabMsg::Accept { view, seq, digest, from: r } => {
-                let m = FabMsg::Accept { view, seq, digest, from: r };
-                if !self.view_ok(from, view, m) {
+            FabMsg::Accept {
+                view,
+                seq,
+                digest,
+                from: r,
+            } => {
+                let m = FabMsg::Accept {
+                    view: *view,
+                    seq: *seq,
+                    digest: *digest,
+                    from: *r,
+                };
+                if !self.view_ok(from, *view, m) {
                     return;
                 }
                 ctx.charge_crypto(CryptoOp::Verify);
-                self.record_accept(r, seq, digest, ctx);
+                self.record_accept(*r, *seq, *digest, ctx);
             }
-            FabMsg::ViewChange { new_view, accepted, from: r } => {
+            FabMsg::ViewChange {
+                new_view,
+                accepted,
+                from: r,
+            } => {
                 ctx.charge_crypto(CryptoOp::Verify);
-                self.record_vc(r, new_view, accepted, ctx);
+                self.record_vc(*r, *new_view, accepted.clone(), ctx);
             }
             FabMsg::NewView { view, proposals } => {
-                if view >= self.view && from == NodeId::Replica(view.leader_of(self.q.n)) {
+                if *view >= self.view && from == NodeId::Replica(view.leader_of(self.q.n)) {
                     ctx.charge_crypto(CryptoOp::Verify);
-                    self.install_view(view, proposals, ctx);
+                    self.install_view(*view, proposals.clone(), ctx);
                 }
             }
             FabMsg::Reply(_) => {}
@@ -542,7 +622,13 @@ impl Actor<FabMsg> for FabReplica {
         if kind == TimerKind::T2ViewChange && Some(id) == self.vc_timer {
             self.vc_timer = None;
             if self.in_view_change {
-                let target = self.vc_votes.keys().max().copied().unwrap_or(self.view).next();
+                let target = self
+                    .vc_votes
+                    .keys()
+                    .max()
+                    .copied()
+                    .unwrap_or(self.view)
+                    .next();
                 self.start_view_change(target, ctx);
             } else if !self.pending_reqs.is_empty() {
                 let target = self.view.next();
@@ -589,11 +675,20 @@ pub fn run(scenario: &Scenario) -> RunOutcome {
     for i in 0..n as u32 {
         sim.add_replica(
             i,
-            Box::new(FabReplica::new(ReplicaId(i), q, store.clone(), view_timeout, scenario.batch_size)),
+            Box::new(FabReplica::new(
+                ReplicaId(i),
+                q,
+                store.clone(),
+                view_timeout,
+                scenario.batch_size,
+            )),
         );
     }
     for c in 0..scenario.clients as u64 {
-        sim.add_client(c, Box::new(GenericClient::<FabClientProto>::new(scenario, q, c)));
+        sim.add_client(
+            c,
+            Box::new(GenericClient::<FabClientProto>::new(scenario, q, c)),
+        );
     }
     run_to_completion(sim, scenario.total_requests(), scenario.max_time)
 }
@@ -634,7 +729,10 @@ mod tests {
             mean(&pbft)
         );
         // but it pays 2f more replicas
-        assert_eq!(fab.metrics.nodes().filter(|(n, _)| n.is_replica()).count(), 6);
+        assert_eq!(
+            fab.metrics.nodes().filter(|(n, _)| n.is_replica()).count(),
+            6
+        );
     }
 
     #[test]

@@ -33,7 +33,7 @@ use bft_sim::runner::RunOutcome;
 use bft_sim::{Actor, Context, NodeId, Observation, SimDuration, Stage, TimerId};
 use bft_state::StateMachine;
 use bft_types::{
-    Digest, Op, QuorumRules, Reply, ReplicaId, RequestId, SeqNum, TimerKind, View, WireSize,
+    Digest, Op, QuorumRules, ReplicaId, Reply, RequestId, SeqNum, TimerKind, View, WireSize,
 };
 
 use crate::common::{
@@ -112,7 +112,10 @@ pub enum FairMsg {
 impl WireSize for FairMsg {
     fn wire_size(&self) -> usize {
         let batches_size = |batches: &Vec<ReplicaBatch>| {
-            batches.iter().map(|(_, b)| 4 + b.wire_size()).sum::<usize>()
+            batches
+                .iter()
+                .map(|(_, b)| 4 + b.wire_size())
+                .sum::<usize>()
         };
         match self {
             FairMsg::Request(r) => 1 + r.wire_size(),
@@ -122,12 +125,18 @@ impl WireSize for FairMsg {
             FairMsg::Prepare { .. } | FairMsg::Commit { .. } => 1 + 16 + 32 + 4 + 64,
             FairMsg::ViewChange { prepared, .. } => {
                 1 + 8
-                    + prepared.iter().map(|(_, _, b)| 40 + batches_size(b)).sum::<usize>()
+                    + prepared
+                        .iter()
+                        .map(|(_, _, b)| 40 + batches_size(b))
+                        .sum::<usize>()
                     + 64
             }
             FairMsg::NewView { proposals, .. } => {
                 1 + 8
-                    + proposals.iter().map(|(_, _, b)| 40 + batches_size(b)).sum::<usize>()
+                    + proposals
+                        .iter()
+                        .map(|(_, _, b)| 40 + batches_size(b))
+                        .sum::<usize>()
                     + 64
             }
         }
@@ -144,10 +153,7 @@ pub type FairEntry = (SeqNum, Digest, Vec<ReplicaBatch>);
 /// batches, ordered by the median of their positions in the batches that
 /// contain them (ties by request id). Every replica computes this
 /// identically from the proposal's batch set — the leader has no say.
-pub fn fair_merge(
-    batches: &[ReplicaBatch],
-    support: usize,
-) -> Vec<SignedRequest> {
+pub fn fair_merge(batches: &[ReplicaBatch], support: usize) -> Vec<SignedRequest> {
     let mut positions: BTreeMap<RequestId, (Vec<usize>, SignedRequest)> = BTreeMap::new();
     for (_, batch) in batches {
         for (pos, signed) in batch.iter().enumerate() {
@@ -262,7 +268,8 @@ impl FairReplica {
         self.round += 1;
         let round = self.round;
         let executed = &self.executed_reqs;
-        self.pending.retain(|r| !executed.contains_key(&r.request.id));
+        self.pending
+            .retain(|r| !executed.contains_key(&r.request.id));
         let entries = self.pending.clone();
         let me = self.me;
         if !entries.is_empty() || self.is_leader() {
@@ -271,7 +278,14 @@ impl FairReplica {
             if leader == self.me {
                 self.record_round_batch(me, round, entries, ctx);
             } else {
-                ctx.send(NodeId::Replica(leader), FairMsg::RoundBatch { round, entries, from: me });
+                ctx.send(
+                    NodeId::Replica(leader),
+                    FairMsg::RoundBatch {
+                        round,
+                        entries,
+                        from: me,
+                    },
+                );
             }
         }
         // liveness pressure: pending work arms τ2
@@ -319,7 +333,12 @@ impl FairReplica {
                 slot.digest = Some(digest);
                 slot.batches = batches.clone();
             }
-            ctx.broadcast_replicas(FairMsg::FairPropose { view, seq, digest, batches });
+            ctx.broadcast_replicas(FairMsg::FairPropose {
+                view,
+                seq,
+                digest,
+                batches,
+            });
             let me = self.me;
             self.record_prepare(me, seq, digest, ctx);
         } else {
@@ -350,7 +369,12 @@ impl FairReplica {
             if !slot.sent_commit {
                 slot.sent_commit = true;
                 ctx.charge_crypto(CryptoOp::Sign);
-                ctx.broadcast_replicas(FairMsg::Commit { view, seq, digest, from: me });
+                ctx.broadcast_replicas(FairMsg::Commit {
+                    view,
+                    seq,
+                    digest,
+                    from: me,
+                });
                 self.record_commit(me, seq, digest, ctx);
             }
         }
@@ -374,7 +398,12 @@ impl FairReplica {
         }
         if slot.prepared && !slot.committed && slot.commits.len() >= quorum {
             slot.committed = true;
-            ctx.observe(Observation::Commit { seq, view, digest, speculative: false });
+            ctx.observe(Observation::Commit {
+                seq,
+                view,
+                digest,
+                speculative: false,
+            });
             self.try_execute(ctx);
         }
     }
@@ -382,7 +411,9 @@ impl FairReplica {
     fn try_execute(&mut self, ctx: &mut Context<'_, FairMsg>) {
         loop {
             let next = self.exec_cursor.next();
-            let Some(slot) = self.slots.get(&next) else { break };
+            let Some(slot) = self.slots.get(&next) else {
+                break;
+            };
             if !slot.committed || slot.executed {
                 break;
             }
@@ -390,7 +421,9 @@ impl FairReplica {
             // at every replica, independent of the leader
             let merged = fair_merge(&slot.batches, self.merge_support());
             let view = self.view;
-            ctx.observe(Observation::StageEnter { stage: Stage::Execution });
+            ctx.observe(Observation::StageEnter {
+                stage: Stage::Execution,
+            });
             for signed in &merged {
                 if self.executed_reqs.contains_key(&signed.request.id) {
                     continue;
@@ -407,7 +440,11 @@ impl FairReplica {
                     ctx.charge(SimDuration(work as u64 * 1_000));
                 }
                 let (result, state_digest) = self.sm.execute(seq, &signed.request);
-                ctx.observe(Observation::Execute { seq, request: signed.request.id, state_digest });
+                ctx.observe(Observation::Execute {
+                    seq,
+                    request: signed.request.id,
+                    state_digest,
+                });
                 self.executed_reqs.insert(signed.request.id, ());
                 let reply = Reply {
                     request: signed.request.id,
@@ -417,14 +454,20 @@ impl FairReplica {
                     speculative: false,
                 };
                 ctx.charge_crypto(CryptoOp::Sign);
-                ctx.send(NodeId::Client(signed.request.id.client), FairMsg::Reply(reply));
+                ctx.send(
+                    NodeId::Client(signed.request.id.client),
+                    FairMsg::Reply(reply),
+                );
             }
             let slot = self.slots.get_mut(&next).expect("slot exists");
             slot.executed = true;
             self.exec_cursor = next;
             let executed = &self.executed_reqs;
-            self.pending.retain(|r| !executed.contains_key(&r.request.id));
-            ctx.observe(Observation::StageEnter { stage: Stage::Ordering });
+            self.pending
+                .retain(|r| !executed.contains_key(&r.request.id));
+            ctx.observe(Observation::StageEnter {
+                stage: Stage::Ordering,
+            });
             if self.pending.is_empty() {
                 if let Some(t) = self.vc_timer.take() {
                     ctx.cancel_timer(t);
@@ -443,7 +486,9 @@ impl FairReplica {
             return;
         }
         self.in_view_change = true;
-        ctx.observe(Observation::StageEnter { stage: Stage::ViewChange });
+        ctx.observe(Observation::StageEnter {
+            stage: Stage::ViewChange,
+        });
         let prepared: Vec<FairEntry> = self
             .slots
             .iter()
@@ -478,8 +523,7 @@ impl FairReplica {
             self.start_view_change(target, ctx);
             return;
         }
-        if target.leader_of(self.q.n) == self.me && self.in_view_change && have >= self.q.quorum()
-        {
+        if target.leader_of(self.q.n) == self.me && self.in_view_change && have >= self.q.quorum() {
             let votes = self.vc_votes.get(&target).cloned().unwrap_or_default();
             let mut proposals: BTreeMap<SeqNum, (Digest, Vec<ReplicaBatch>)> = BTreeMap::new();
             for (_, prepared) in &votes {
@@ -490,7 +534,10 @@ impl FairReplica {
             let proposals: Vec<FairEntry> =
                 proposals.into_iter().map(|(s, (d, b))| (s, d, b)).collect();
             ctx.charge_crypto(CryptoOp::Sign);
-            ctx.broadcast_replicas(FairMsg::NewView { view: target, proposals: proposals.clone() });
+            ctx.broadcast_replicas(FairMsg::NewView {
+                view: target,
+                proposals: proposals.clone(),
+            });
             self.install_view(target, proposals, ctx);
         }
     }
@@ -509,13 +556,19 @@ impl FairReplica {
             ctx.cancel_timer(t);
         }
         ctx.observe(Observation::NewView { view });
-        ctx.observe(Observation::StageEnter { stage: Stage::Ordering });
+        ctx.observe(Observation::StageEnter {
+            stage: Stage::Ordering,
+        });
         let exec_cursor = self.exec_cursor;
         let re_proposed: Vec<SeqNum> = proposals.iter().map(|(s, _, _)| *s).collect();
         // dead slots' requests remain in `pending` (they were never removed)
         self.slots
             .retain(|seq, slot| *seq <= exec_cursor || slot.executed || re_proposed.contains(seq));
-        let max_seq = proposals.iter().map(|(s, _, _)| *s).max().unwrap_or(exec_cursor);
+        let max_seq = proposals
+            .iter()
+            .map(|(s, _, _)| *s)
+            .max()
+            .unwrap_or(exec_cursor);
         let leader = self.leader();
         let me = self.me;
         for (seq, digest, batches) in proposals {
@@ -538,12 +591,20 @@ impl FairReplica {
             if me != leader {
                 ctx.charge_crypto(CryptoOp::Sign);
                 let view = self.view;
-                ctx.broadcast_replicas(FairMsg::Prepare { view, seq, digest, from: me });
+                ctx.broadcast_replicas(FairMsg::Prepare {
+                    view,
+                    seq,
+                    digest,
+                    from: me,
+                });
                 self.record_prepare(me, seq, digest, ctx);
             }
         }
         if self.is_leader() {
-            self.next_seq = self.next_seq.max(max_seq.next()).max(self.exec_cursor.next());
+            self.next_seq = self
+                .next_seq
+                .max(max_seq.next())
+                .max(self.exec_cursor.next());
         }
         let cur = self.view;
         let msg_view = |m: &FairMsg| match m {
@@ -560,7 +621,7 @@ impl FairReplica {
             .filter(|(_, m)| msg_view(m).is_some_and(|v| v > cur))
             .collect();
         for (from, msg) in now {
-            self.on_message(from, msg, ctx);
+            self.on_message(from, &msg, ctx);
         }
     }
 
@@ -578,11 +639,13 @@ impl FairReplica {
 
 impl Actor<FairMsg> for FairReplica {
     fn on_start(&mut self, ctx: &mut Context<'_, FairMsg>) {
-        ctx.observe(Observation::StageEnter { stage: Stage::Ordering });
+        ctx.observe(Observation::StageEnter {
+            stage: Stage::Ordering,
+        });
         self.round_timer = Some(ctx.set_timer(TimerKind::T6PreorderRound, self.round_period));
     }
 
-    fn on_message(&mut self, from: NodeId, msg: FairMsg, ctx: &mut Context<'_, FairMsg>) {
+    fn on_message(&mut self, from: NodeId, msg: &FairMsg, ctx: &mut Context<'_, FairMsg>) {
         match msg {
             FairMsg::Request(signed) => {
                 ctx.charge_crypto(CryptoOp::Verify);
@@ -605,16 +668,35 @@ impl Actor<FairMsg> for FairReplica {
                     return;
                 }
                 // record in RECEIVE ORDER — the fairness-critical step
-                if !self.pending.iter().any(|r| r.request.id == signed.request.id) {
-                    self.pending.push(signed);
+                if !self
+                    .pending
+                    .iter()
+                    .any(|r| r.request.id == signed.request.id)
+                {
+                    self.pending.push(signed.clone());
                 }
             }
-            FairMsg::RoundBatch { round, entries, from: r } => {
+            FairMsg::RoundBatch {
+                round,
+                entries,
+                from: r,
+            } => {
                 ctx.charge_crypto(CryptoOp::Verify);
-                self.record_round_batch(r, round, entries, ctx);
+                self.record_round_batch(*r, *round, entries.clone(), ctx);
             }
-            FairMsg::FairPropose { view, seq, digest, batches } => {
-                let m = FairMsg::FairPropose { view, seq, digest, batches: batches.clone() };
+            FairMsg::FairPropose {
+                view,
+                seq,
+                digest,
+                batches,
+            } => {
+                let (view, seq, digest) = (*view, *seq, *digest);
+                let m = FairMsg::FairPropose {
+                    view,
+                    seq,
+                    digest,
+                    batches: batches.clone(),
+                };
                 if !self.view_ok(from, view, m) {
                     return;
                 }
@@ -623,7 +705,7 @@ impl Actor<FairMsg> for FairReplica {
                 }
                 ctx.charge_crypto(CryptoOp::Verify);
                 ctx.charge_crypto(CryptoOp::Hash);
-                if digest_of(&batches) != digest {
+                if digest_of(batches) != digest {
                     return;
                 }
                 // verify the proposal carries enough distinct batches
@@ -639,40 +721,71 @@ impl Actor<FairMsg> for FairReplica {
                         return;
                     }
                     slot.digest = Some(digest);
-                    slot.batches = batches;
+                    slot.batches = batches.clone();
                 }
                 let me = self.me;
                 let leader = self.leader();
                 ctx.charge_crypto(CryptoOp::Sign);
-                ctx.broadcast_replicas(FairMsg::Prepare { view, seq, digest, from: me });
+                ctx.broadcast_replicas(FairMsg::Prepare {
+                    view,
+                    seq,
+                    digest,
+                    from: me,
+                });
                 // the proposal itself is the leader's prepare vote
                 self.record_prepare(leader, seq, digest, ctx);
                 self.record_prepare(me, seq, digest, ctx);
             }
-            FairMsg::Prepare { view, seq, digest, from: r } => {
-                let m = FairMsg::Prepare { view, seq, digest, from: r };
+            FairMsg::Prepare {
+                view,
+                seq,
+                digest,
+                from: r,
+            } => {
+                let (view, seq, digest, r) = (*view, *seq, *digest, *r);
+                let m = FairMsg::Prepare {
+                    view,
+                    seq,
+                    digest,
+                    from: r,
+                };
                 if !self.view_ok(from, view, m) {
                     return;
                 }
                 ctx.charge_crypto(CryptoOp::Verify);
                 self.record_prepare(r, seq, digest, ctx);
             }
-            FairMsg::Commit { view, seq, digest, from: r } => {
-                let m = FairMsg::Commit { view, seq, digest, from: r };
+            FairMsg::Commit {
+                view,
+                seq,
+                digest,
+                from: r,
+            } => {
+                let (view, seq, digest, r) = (*view, *seq, *digest, *r);
+                let m = FairMsg::Commit {
+                    view,
+                    seq,
+                    digest,
+                    from: r,
+                };
                 if !self.view_ok(from, view, m) {
                     return;
                 }
                 ctx.charge_crypto(CryptoOp::Verify);
                 self.record_commit(r, seq, digest, ctx);
             }
-            FairMsg::ViewChange { new_view, prepared, from: r } => {
+            FairMsg::ViewChange {
+                new_view,
+                prepared,
+                from: r,
+            } => {
                 ctx.charge_crypto(CryptoOp::Verify);
-                self.record_vc(r, new_view, prepared, ctx);
+                self.record_vc(*r, *new_view, prepared.clone(), ctx);
             }
             FairMsg::NewView { view, proposals } => {
-                if view >= self.view && from == NodeId::Replica(view.leader_of(self.q.n)) {
+                if *view >= self.view && from == NodeId::Replica(view.leader_of(self.q.n)) {
                     ctx.charge_crypto(CryptoOp::Verify);
-                    self.install_view(view, proposals, ctx);
+                    self.install_view(*view, proposals.clone(), ctx);
                 }
             }
             FairMsg::Reply(_) => {}
@@ -681,23 +794,26 @@ impl Actor<FairMsg> for FairReplica {
 
     fn on_timer(&mut self, id: TimerId, kind: TimerKind, ctx: &mut Context<'_, FairMsg>) {
         match kind {
-            TimerKind::T6PreorderRound
-                if Some(id) == self.round_timer => {
-                    self.round_timer = None;
-                    self.on_round_tick(ctx);
+            TimerKind::T6PreorderRound if Some(id) == self.round_timer => {
+                self.round_timer = None;
+                self.on_round_tick(ctx);
+            }
+            TimerKind::T2ViewChange if Some(id) == self.vc_timer => {
+                self.vc_timer = None;
+                if self.in_view_change {
+                    let target = self
+                        .vc_votes
+                        .keys()
+                        .max()
+                        .copied()
+                        .unwrap_or(self.view)
+                        .next();
+                    self.start_view_change(target, ctx);
+                } else if !self.pending.is_empty() {
+                    let target = self.view.next();
+                    self.start_view_change(target, ctx);
                 }
-            TimerKind::T2ViewChange
-                if Some(id) == self.vc_timer => {
-                    self.vc_timer = None;
-                    if self.in_view_change {
-                        let target =
-                            self.vc_votes.keys().max().copied().unwrap_or(self.view).next();
-                        self.start_view_change(target, ctx);
-                    } else if !self.pending.is_empty() {
-                        let target = self.view.next();
-                        self.start_view_change(target, ctx);
-                    }
-                }
+            }
             _ => {}
         }
     }
@@ -741,11 +857,20 @@ pub fn run(scenario: &Scenario) -> RunOutcome {
     for i in 0..n as u32 {
         sim.add_replica(
             i,
-            Box::new(FairReplica::new(ReplicaId(i), q, store.clone(), round_period, view_timeout)),
+            Box::new(FairReplica::new(
+                ReplicaId(i),
+                q,
+                store.clone(),
+                round_period,
+                view_timeout,
+            )),
         );
     }
     for c in 0..scenario.clients as u64 {
-        sim.add_client(c, Box::new(GenericClient::<FairClientProto>::new(scenario, q, c)));
+        sim.add_client(
+            c,
+            Box::new(GenericClient::<FairClientProto>::new(scenario, q, c)),
+        );
     }
     run_to_completion(sim, scenario.total_requests(), scenario.max_time)
 }
@@ -760,13 +885,18 @@ pub fn mean_displacement(out: &RunOutcome, node: NodeId) -> f64 {
         .entries
         .iter()
         .filter_map(|e| match &e.obs {
-            Observation::ClientAccept { request, sent_at, .. } => Some((*sent_at, *request)),
+            Observation::ClientAccept {
+                request, sent_at, ..
+            } => Some((*sent_at, *request)),
             _ => None,
         })
         .collect();
     send_times.sort();
-    let send_rank: BTreeMap<RequestId, usize> =
-        send_times.iter().enumerate().map(|(i, (_, id))| (*id, i)).collect();
+    let send_rank: BTreeMap<RequestId, usize> = send_times
+        .iter()
+        .enumerate()
+        .map(|(i, (_, id))| (*id, i))
+        .collect();
     let exec_order: Vec<RequestId> = out
         .log
         .entries

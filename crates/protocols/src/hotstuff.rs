@@ -27,7 +27,7 @@ use bft_sim::runner::RunOutcome;
 use bft_sim::{Actor, Context, NodeId, Observation, SimDuration, Stage, TimerId};
 use bft_state::StateMachine;
 use bft_types::{
-    Digest, Op, QuorumRules, Reply, ReplicaId, RequestId, SeqNum, TimerKind, View, WireSize,
+    Digest, Op, QuorumRules, ReplicaId, Reply, RequestId, SeqNum, TimerKind, View, WireSize,
 };
 
 use crate::common::{
@@ -235,11 +235,15 @@ impl HotStuffReplica {
                 };
                 (qc.seq, qc.digest, batch)
             } else {
-                let Some((seq, digest, batch)) = self.next_fresh_batch() else { return };
+                let Some((seq, digest, batch)) = self.next_fresh_batch() else {
+                    return;
+                };
                 (seq, digest, batch)
             }
         } else {
-            let Some((seq, digest, batch)) = self.next_fresh_batch() else { return };
+            let Some((seq, digest, batch)) = self.next_fresh_batch() else {
+                return;
+            };
             (seq, digest, batch)
         };
         ctx.charge_crypto(CryptoOp::Hash);
@@ -249,7 +253,13 @@ impl HotStuffReplica {
         let justify = self.high_qc;
         self.batches.insert(digest, batch.clone());
         self.cur = Some((seq, digest, batch.clone()));
-        ctx.broadcast_replicas(HsMsg::Proposal { view, seq, digest, batch, justify });
+        ctx.broadcast_replicas(HsMsg::Proposal {
+            view,
+            seq,
+            digest,
+            batch,
+            justify,
+        });
         // leader votes for its own proposal
         self.cast_vote(HsPhase::Prepare, seq, digest, ctx);
         self.arm_pacemaker(ctx);
@@ -258,17 +268,29 @@ impl HotStuffReplica {
     /// Pull a fresh batch from the mempool for the next free slot.
     fn next_fresh_batch(&mut self) -> Option<(SeqNum, Digest, Vec<SignedRequest>)> {
         let executed = &self.executed_reqs;
-        self.mempool.retain(|r| !executed.contains_key(&r.request.id));
+        self.mempool
+            .retain(|r| !executed.contains_key(&r.request.id));
         if self.mempool.is_empty() {
             return None;
         }
         let take = self.batch_size.min(self.mempool.len());
         let batch: Vec<SignedRequest> = self.mempool.drain(..take).collect();
-        let seq = SeqNum(self.high_qc.map(|qc| qc.seq.0).unwrap_or(self.exec_cursor.0) + 1);
+        let seq = SeqNum(
+            self.high_qc
+                .map(|qc| qc.seq.0)
+                .unwrap_or(self.exec_cursor.0)
+                + 1,
+        );
         Some((seq, digest_of(&batch), batch))
     }
 
-    fn cast_vote(&mut self, phase: HsPhase, seq: SeqNum, digest: Digest, ctx: &mut Context<'_, HsMsg>) {
+    fn cast_vote(
+        &mut self,
+        phase: HsPhase,
+        seq: SeqNum,
+        digest: Digest,
+        ctx: &mut Context<'_, HsMsg>,
+    ) {
         ctx.charge_crypto(CryptoOp::ThresholdShareGen);
         let view = self.view;
         let me = self.me;
@@ -276,7 +298,16 @@ impl HotStuffReplica {
         if leader == self.me {
             self.record_vote(me, phase, view, seq, digest, ctx);
         } else {
-            ctx.send(NodeId::Replica(leader), HsMsg::Vote { phase, view, seq, digest, from: me });
+            ctx.send(
+                NodeId::Replica(leader),
+                HsMsg::Vote {
+                    phase,
+                    view,
+                    seq,
+                    digest,
+                    from: me,
+                },
+            );
         }
     }
 
@@ -302,7 +333,12 @@ impl HotStuffReplica {
         voters.push(from);
         if voters.len() == self.vote_quorum() {
             ctx.charge_crypto(CryptoOp::ThresholdCombine);
-            let qc = Qc { phase, view, seq, digest };
+            let qc = Qc {
+                phase,
+                view,
+                seq,
+                digest,
+            };
             ctx.broadcast_replicas(HsMsg::QcAnnounce { qc });
             self.on_qc(qc, ctx);
         }
@@ -340,7 +376,12 @@ impl HotStuffReplica {
                     .batches
                     .get(&qc.digest)
                     .cloned()
-                    .or_else(|| self.cur.as_ref().filter(|(_, d, _)| *d == qc.digest).map(|(_, _, b)| b.clone()))
+                    .or_else(|| {
+                        self.cur
+                            .as_ref()
+                            .filter(|(_, d, _)| *d == qc.digest)
+                            .map(|(_, _, b)| b.clone())
+                    })
                     .unwrap_or_default();
                 ctx.observe(Observation::Commit {
                     seq: qc.seq,
@@ -358,7 +399,9 @@ impl HotStuffReplica {
     fn try_execute(&mut self, ctx: &mut Context<'_, HsMsg>) {
         while let Some((_, batch, view)) = self.decided.get(&self.exec_cursor.next()).cloned() {
             let next = self.exec_cursor.next();
-            ctx.observe(Observation::StageEnter { stage: Stage::Execution });
+            ctx.observe(Observation::StageEnter {
+                stage: Stage::Execution,
+            });
             for signed in &batch {
                 if self.executed_reqs.contains_key(&signed.request.id) {
                     continue;
@@ -375,7 +418,11 @@ impl HotStuffReplica {
                     ctx.charge(SimDuration(work as u64 * 1_000));
                 }
                 let (result, state_digest) = self.sm.execute(seq, &signed.request);
-                ctx.observe(Observation::Execute { seq, request: signed.request.id, state_digest });
+                ctx.observe(Observation::Execute {
+                    seq,
+                    request: signed.request.id,
+                    state_digest,
+                });
                 self.executed_reqs.insert(signed.request.id, ());
                 let reply = Reply {
                     request: signed.request.id,
@@ -385,11 +432,16 @@ impl HotStuffReplica {
                     speculative: false,
                 };
                 ctx.charge_crypto(CryptoOp::Sign);
-                ctx.send(NodeId::Client(signed.request.id.client), HsMsg::Reply(reply));
+                ctx.send(
+                    NodeId::Client(signed.request.id.client),
+                    HsMsg::Reply(reply),
+                );
             }
             self.exec_cursor = next;
             self.locks.retain(|seq, _| *seq > next);
-            ctx.observe(Observation::StageEnter { stage: Stage::Ordering });
+            ctx.observe(Observation::StageEnter {
+                stage: Stage::Ordering,
+            });
         }
     }
 
@@ -414,7 +466,12 @@ impl HotStuffReplica {
             ctx.charge_crypto(CryptoOp::Sign);
             ctx.send(
                 NodeId::Replica(leader),
-                HsMsg::NewView { view: target, from: me, high_qc, high_batch },
+                HsMsg::NewView {
+                    view: target,
+                    from: me,
+                    high_qc,
+                    high_batch,
+                },
             );
         } else {
             self.on_new_view(me, target, high_qc, high_batch, ctx);
@@ -463,10 +520,12 @@ impl HotStuffReplica {
 
 impl Actor<HsMsg> for HotStuffReplica {
     fn on_start(&mut self, ctx: &mut Context<'_, HsMsg>) {
-        ctx.observe(Observation::StageEnter { stage: Stage::Ordering });
+        ctx.observe(Observation::StageEnter {
+            stage: Stage::Ordering,
+        });
     }
 
-    fn on_message(&mut self, from: NodeId, msg: HsMsg, ctx: &mut Context<'_, HsMsg>) {
+    fn on_message(&mut self, from: NodeId, msg: &HsMsg, ctx: &mut Context<'_, HsMsg>) {
         match msg {
             HsMsg::Request(signed) => {
                 ctx.charge_crypto(CryptoOp::Verify);
@@ -488,19 +547,30 @@ impl Actor<HsMsg> for HotStuffReplica {
                     }
                     return;
                 }
-                if !self.mempool.iter().any(|r| r.request.id == signed.request.id) {
-                    self.mempool.push_back(signed);
+                if !self
+                    .mempool
+                    .iter()
+                    .any(|r| r.request.id == signed.request.id)
+                {
+                    self.mempool.push_back(signed.clone());
                 }
                 self.arm_pacemaker(ctx);
                 self.maybe_propose(ctx);
             }
-            HsMsg::Proposal { view, seq, digest, batch, justify } => {
+            HsMsg::Proposal {
+                view,
+                seq,
+                digest,
+                batch,
+                justify,
+            } => {
+                let (view, seq, digest, justify) = (*view, *seq, *digest, *justify);
                 if view != self.view || from != NodeId::Replica(self.leader_of(view)) {
                     return;
                 }
                 ctx.charge_crypto(CryptoOp::Verify);
                 ctx.charge_crypto(CryptoOp::Hash);
-                if digest_of(&batch) != digest {
+                if digest_of(batch) != digest {
                     return;
                 }
                 // never vote on a slot that has already decided or executed
@@ -529,22 +599,33 @@ impl Actor<HsMsg> for HotStuffReplica {
                 let ids: Vec<RequestId> = batch.iter().map(|r| r.request.id).collect();
                 self.mempool.retain(|r| !ids.contains(&r.request.id));
                 self.batches.insert(digest, batch.clone());
-                self.cur = Some((seq, digest, batch));
+                self.cur = Some((seq, digest, batch.clone()));
                 self.cast_vote(HsPhase::Prepare, seq, digest, ctx);
                 self.arm_pacemaker(ctx);
             }
-            HsMsg::Vote { phase, view, seq, digest, from: r } => {
+            HsMsg::Vote {
+                phase,
+                view,
+                seq,
+                digest,
+                from: r,
+            } => {
                 ctx.charge_crypto(CryptoOp::ThresholdShareVerify);
-                self.record_vote(r, phase, view, seq, digest, ctx);
+                self.record_vote(*r, *phase, *view, *seq, *digest, ctx);
             }
             HsMsg::QcAnnounce { qc } => {
                 if from == NodeId::Replica(self.leader_of(qc.view)) {
-                    self.on_qc(qc, ctx);
+                    self.on_qc(*qc, ctx);
                 }
             }
-            HsMsg::NewView { view, from: r, high_qc, high_batch } => {
+            HsMsg::NewView {
+                view,
+                from: r,
+                high_qc,
+                high_batch,
+            } => {
                 ctx.charge_crypto(CryptoOp::Verify);
-                self.on_new_view(r, view, high_qc, high_batch, ctx);
+                self.on_new_view(*r, *view, *high_qc, high_batch.clone(), ctx);
             }
             HsMsg::Reply(_) => {}
         }
@@ -611,11 +692,20 @@ pub fn run(scenario: &Scenario) -> RunOutcome {
     for i in 0..n as u32 {
         sim.add_replica(
             i,
-            Box::new(HotStuffReplica::new(ReplicaId(i), q, store.clone(), t5, scenario.batch_size)),
+            Box::new(HotStuffReplica::new(
+                ReplicaId(i),
+                q,
+                store.clone(),
+                t5,
+                scenario.batch_size,
+            )),
         );
     }
     for c in 0..scenario.clients as u64 {
-        sim.add_client(c, Box::new(GenericClient::<HsClientProto>::new(scenario, q, c)));
+        sim.add_client(
+            c,
+            Box::new(GenericClient::<HsClientProto>::new(scenario, q, c)),
+        );
     }
     run_to_completion(sim, scenario.total_requests(), scenario.max_time)
 }
@@ -636,7 +726,11 @@ mod tests {
         SafetyAuditor::all_correct().assert_safe(&out.log);
         assert_eq!(accepted(&out), 30);
         // the leader rotates every decision: ≥ 30 views
-        assert!(out.log.max_view() >= View(29), "got {:?}", out.log.max_view());
+        assert!(
+            out.log.max_view() >= View(29),
+            "got {:?}",
+            out.log.max_view()
+        );
     }
 
     #[test]
@@ -646,7 +740,10 @@ mod tests {
         SafetyAuditor::all_correct().assert_safe(&out.log);
         // rotation spreads leader work: imbalance far below PBFT's
         let imb = out.metrics.load_imbalance();
-        assert!(imb < 1.5, "rotating-leader load imbalance should be small, got {imb}");
+        assert!(
+            imb < 1.5,
+            "rotating-leader load imbalance should be small, got {imb}"
+        );
     }
 
     #[test]
@@ -656,7 +753,11 @@ mod tests {
             .with_faults(FaultPlan::none().crash(NodeId::replica(2), SimTime(2_000_000)));
         let out = run(&s);
         SafetyAuditor::excluding(vec![NodeId::replica(2)]).assert_safe(&out.log);
-        assert_eq!(accepted(&out), 20, "pacemaker must skip the crashed leader's views");
+        assert_eq!(
+            accepted(&out),
+            20,
+            "pacemaker must skip the crashed leader's views"
+        );
     }
 
     #[test]

@@ -29,7 +29,7 @@ use bft_sim::topology::Topology;
 use bft_sim::{Actor, Context, NodeId, Observation, SimDuration, Stage, TimerId};
 use bft_state::StateMachine;
 use bft_types::{
-    Digest, Op, QuorumRules, Reply, ReplicaId, RequestId, SeqNum, TimerKind, View, WireSize,
+    Digest, Op, QuorumRules, ReplicaId, Reply, RequestId, SeqNum, TimerKind, View, WireSize,
 };
 
 use crate::common::{
@@ -117,10 +117,20 @@ impl WireSize for KauriMsg {
             KauriMsg::Aggregate { .. } => 1 + 1 + 16 + 32 + 8 + 4 + 96,
             KauriMsg::QcDown { .. } => 1 + 1 + 16 + 32 + 96,
             KauriMsg::Complaint { certified, .. } => {
-                1 + 8 + certified.iter().map(|(_, _, b)| 40 + b.wire_size()).sum::<usize>() + 72
+                1 + 8
+                    + certified
+                        .iter()
+                        .map(|(_, _, b)| 40 + b.wire_size())
+                        .sum::<usize>()
+                    + 72
             }
             KauriMsg::NewView { assignments, .. } => {
-                1 + 8 + assignments.iter().map(|(_, _, b)| 40 + b.wire_size()).sum::<usize>() + 72
+                1 + 8
+                    + assignments
+                        .iter()
+                        .map(|(_, _, b)| 40 + b.wire_size())
+                        .sum::<usize>()
+                    + 72
             }
         }
     }
@@ -204,7 +214,10 @@ impl KauriReplica {
     }
 
     fn tree(&self) -> Topology {
-        Topology::Tree { root: self.view.leader_of(self.q.n), fanout: self.fanout }
+        Topology::Tree {
+            root: self.view.leader_of(self.q.n),
+            fanout: self.fanout,
+        }
     }
 
     fn root(&self) -> ReplicaId {
@@ -275,7 +288,12 @@ impl KauriReplica {
         for child in self.children() {
             ctx.send(
                 NodeId::Replica(child),
-                KauriMsg::Disseminate { view, seq, digest, batch: batch.clone() },
+                KauriMsg::Disseminate {
+                    view,
+                    seq,
+                    digest,
+                    batch: batch.clone(),
+                },
             );
         }
         // vote (prepare phase)
@@ -303,7 +321,11 @@ impl KauriReplica {
         // timeout); leaves report immediately
         if !self.children().is_empty() {
             let t = ctx.set_timer(TimerKind::T4QuorumConstruction, self.agg_timeout);
-            self.slots.entry(seq).or_default().agg_timer.insert(phase, t);
+            self.slots
+                .entry(seq)
+                .or_default()
+                .agg_timer
+                .insert(phase, t);
         }
         self.push_aggregate(phase, seq, digest, false, ctx);
     }
@@ -352,7 +374,12 @@ impl KauriReplica {
                 for child in &children {
                     ctx.send(
                         NodeId::Replica(*child),
-                        KauriMsg::QcDown { phase, view, seq, digest },
+                        KauriMsg::QcDown {
+                            phase,
+                            view,
+                            seq,
+                            digest,
+                        },
                     );
                 }
                 self.on_qc(phase, seq, digest, ctx);
@@ -373,7 +400,14 @@ impl KauriReplica {
                 ctx.charge_crypto(CryptoOp::ThresholdCombine);
                 ctx.send(
                     NodeId::Replica(p),
-                    KauriMsg::Aggregate { phase, view, seq, digest, count: total, from: me },
+                    KauriMsg::Aggregate {
+                        phase,
+                        view,
+                        seq,
+                        digest,
+                        count: total,
+                        from: me,
+                    },
                 );
             }
         }
@@ -401,7 +435,9 @@ impl KauriReplica {
         let all_reported = {
             let children = self.children();
             let slot = self.slots.entry(seq).or_default();
-            children.iter().all(|c| slot.child_counts.contains_key(&(phase, *c)))
+            children
+                .iter()
+                .all(|c| slot.child_counts.contains_key(&(phase, *c)))
         };
         self.push_aggregate(phase, seq, digest, all_reported, ctx);
     }
@@ -416,7 +452,15 @@ impl KauriReplica {
         let view = self.view;
         // forward the certificate down the tree
         for child in self.children() {
-            ctx.send(NodeId::Replica(child), KauriMsg::QcDown { phase, view, seq, digest });
+            ctx.send(
+                NodeId::Replica(child),
+                KauriMsg::QcDown {
+                    phase,
+                    view,
+                    seq,
+                    digest,
+                },
+            );
         }
         match phase {
             KauriPhase::Prepare => {
@@ -438,7 +482,12 @@ impl KauriReplica {
                     }
                     slot.committed = true;
                 }
-                ctx.observe(Observation::Commit { seq, view, digest, speculative: false });
+                ctx.observe(Observation::Commit {
+                    seq,
+                    view,
+                    digest,
+                    speculative: false,
+                });
                 self.try_execute(ctx);
             }
         }
@@ -447,13 +496,17 @@ impl KauriReplica {
     fn try_execute(&mut self, ctx: &mut Context<'_, KauriMsg>) {
         loop {
             let next = self.exec_cursor.next();
-            let Some(slot) = self.slots.get(&next) else { break };
+            let Some(slot) = self.slots.get(&next) else {
+                break;
+            };
             if !slot.committed || slot.executed {
                 break;
             }
             let batch = slot.batch.clone();
             let view = self.view;
-            ctx.observe(Observation::StageEnter { stage: Stage::Execution });
+            ctx.observe(Observation::StageEnter {
+                stage: Stage::Execution,
+            });
             for signed in &batch {
                 if self.executed_reqs.contains_key(&signed.request.id) {
                     continue;
@@ -470,7 +523,11 @@ impl KauriReplica {
                     ctx.charge(SimDuration(work as u64 * 1_000));
                 }
                 let (result, state_digest) = self.sm.execute(seq, &signed.request);
-                ctx.observe(Observation::Execute { seq, request: signed.request.id, state_digest });
+                ctx.observe(Observation::Execute {
+                    seq,
+                    request: signed.request.id,
+                    state_digest,
+                });
                 self.executed_reqs.insert(signed.request.id, ());
                 self.pending_reqs.retain(|r| *r != signed.request.id);
                 let reply = Reply {
@@ -481,12 +538,17 @@ impl KauriReplica {
                     speculative: false,
                 };
                 ctx.charge_crypto(CryptoOp::Sign);
-                ctx.send(NodeId::Client(signed.request.id.client), KauriMsg::Reply(reply));
+                ctx.send(
+                    NodeId::Client(signed.request.id.client),
+                    KauriMsg::Reply(reply),
+                );
             }
             let slot = self.slots.get_mut(&next).expect("slot exists");
             slot.executed = true;
             self.exec_cursor = next;
-            ctx.observe(Observation::StageEnter { stage: Stage::Ordering });
+            ctx.observe(Observation::StageEnter {
+                stage: Stage::Ordering,
+            });
             if self.pending_reqs.is_empty() {
                 if let Some(t) = self.vc_timer.take() {
                     ctx.cancel_timer(t);
@@ -505,8 +567,12 @@ impl KauriReplica {
             return;
         }
         self.in_view_change = true;
-        ctx.observe(Observation::StageEnter { stage: Stage::ViewChange });
-        ctx.observe(Observation::Marker { label: "tree-reconfiguration" });
+        ctx.observe(Observation::StageEnter {
+            stage: Stage::ViewChange,
+        });
+        ctx.observe(Observation::Marker {
+            label: "tree-reconfiguration",
+        });
         let certified: Vec<(SeqNum, Digest, Vec<SignedRequest>)> = self
             .slots
             .iter()
@@ -541,8 +607,7 @@ impl KauriReplica {
             self.start_view_change(target, ctx);
             return;
         }
-        if target.leader_of(self.q.n) == self.me && self.in_view_change && have >= self.q.quorum()
-        {
+        if target.leader_of(self.q.n) == self.me && self.in_view_change && have >= self.q.quorum() {
             let votes = self.vc_votes.get(&target).cloned().unwrap_or_default();
             let mut assignments: BTreeMap<SeqNum, (Digest, Vec<SignedRequest>)> = BTreeMap::new();
             for (_, certified) in &votes {
@@ -550,10 +615,15 @@ impl KauriReplica {
                     assignments.entry(*seq).or_insert((*digest, batch.clone()));
                 }
             }
-            let assignments: Vec<(SeqNum, Digest, Vec<SignedRequest>)> =
-                assignments.into_iter().map(|(s, (d, b))| (s, d, b)).collect();
+            let assignments: Vec<(SeqNum, Digest, Vec<SignedRequest>)> = assignments
+                .into_iter()
+                .map(|(s, (d, b))| (s, d, b))
+                .collect();
             ctx.charge_crypto(CryptoOp::Sign);
-            ctx.broadcast_replicas(KauriMsg::NewView { view: target, assignments: assignments.clone() });
+            ctx.broadcast_replicas(KauriMsg::NewView {
+                view: target,
+                assignments: assignments.clone(),
+            });
             self.install_view(target, assignments, ctx);
         }
     }
@@ -571,7 +641,9 @@ impl KauriReplica {
             ctx.cancel_timer(t);
         }
         ctx.observe(Observation::NewView { view });
-        ctx.observe(Observation::StageEnter { stage: Stage::Ordering });
+        ctx.observe(Observation::StageEnter {
+            stage: Stage::Ordering,
+        });
         let exec_cursor = self.exec_cursor;
         let re_proposed: Vec<SeqNum> = assignments.iter().map(|(s, _, _)| *s).collect();
         let mut stranded: Vec<SignedRequest> = Vec::new();
@@ -590,9 +662,16 @@ impl KauriReplica {
                 self.mempool.push_back(r);
             }
         }
-        let max_seq = assignments.iter().map(|(s, _, _)| *s).max().unwrap_or(exec_cursor);
+        let max_seq = assignments
+            .iter()
+            .map(|(s, _, _)| *s)
+            .max()
+            .unwrap_or(exec_cursor);
         if self.is_root() {
-            self.next_seq = self.next_seq.max(max_seq.next()).max(self.exec_cursor.next());
+            self.next_seq = self
+                .next_seq
+                .max(max_seq.next())
+                .max(self.exec_cursor.next());
             for (seq, digest, batch) in assignments {
                 if seq <= exec_cursor {
                     continue;
@@ -639,7 +718,7 @@ impl KauriReplica {
             .filter(|(_, m)| msg_view(m).is_some_and(|v| v > cur))
             .collect();
         for (from, msg) in now {
-            self.on_message(from, msg, ctx);
+            self.on_message(from, &msg, ctx);
         }
     }
 
@@ -657,10 +736,12 @@ impl KauriReplica {
 
 impl Actor<KauriMsg> for KauriReplica {
     fn on_start(&mut self, ctx: &mut Context<'_, KauriMsg>) {
-        ctx.observe(Observation::StageEnter { stage: Stage::Ordering });
+        ctx.observe(Observation::StageEnter {
+            stage: Stage::Ordering,
+        });
     }
 
-    fn on_message(&mut self, from: NodeId, msg: KauriMsg, ctx: &mut Context<'_, KauriMsg>) {
+    fn on_message(&mut self, from: NodeId, msg: &KauriMsg, ctx: &mut Context<'_, KauriMsg>) {
         match msg {
             KauriMsg::Request(signed) => {
                 ctx.charge_crypto(CryptoOp::Verify);
@@ -683,7 +764,11 @@ impl Actor<KauriMsg> for KauriReplica {
                     return;
                 }
                 self.known.insert(signed.request.id, signed.clone());
-                if !self.mempool.iter().any(|r| r.request.id == signed.request.id) {
+                if !self
+                    .mempool
+                    .iter()
+                    .any(|r| r.request.id == signed.request.id)
+                {
                     self.mempool.push_back(signed.clone());
                 }
                 if self.is_root() {
@@ -698,8 +783,19 @@ impl Actor<KauriMsg> for KauriReplica {
                     }
                 }
             }
-            KauriMsg::Disseminate { view, seq, digest, batch } => {
-                let m = KauriMsg::Disseminate { view, seq, digest, batch: batch.clone() };
+            KauriMsg::Disseminate {
+                view,
+                seq,
+                digest,
+                batch,
+            } => {
+                let (view, seq, digest) = (*view, *seq, *digest);
+                let m = KauriMsg::Disseminate {
+                    view,
+                    seq,
+                    digest,
+                    batch: batch.clone(),
+                };
                 if !self.view_ok(from, view, m) {
                     return;
                 }
@@ -709,20 +805,47 @@ impl Actor<KauriMsg> for KauriReplica {
                 }
                 ctx.charge_crypto(CryptoOp::Verify);
                 ctx.charge_crypto(CryptoOp::Hash);
-                if digest_of(&batch) != digest {
+                if digest_of(batch) != digest {
                     return;
                 }
-                self.adopt_proposal(seq, digest, batch, ctx);
+                self.adopt_proposal(seq, digest, batch.clone(), ctx);
             }
-            KauriMsg::Aggregate { phase, view, seq, digest, count, from: r } => {
-                let m = KauriMsg::Aggregate { phase, view, seq, digest, count, from: r };
+            KauriMsg::Aggregate {
+                phase,
+                view,
+                seq,
+                digest,
+                count,
+                from: r,
+            } => {
+                let (phase, view, seq, digest, count, r) =
+                    (*phase, *view, *seq, *digest, *count, *r);
+                let m = KauriMsg::Aggregate {
+                    phase,
+                    view,
+                    seq,
+                    digest,
+                    count,
+                    from: r,
+                };
                 if !self.view_ok(from, view, m) {
                     return;
                 }
                 self.on_aggregate(phase, seq, digest, count, r, ctx);
             }
-            KauriMsg::QcDown { phase, view, seq, digest } => {
-                let m = KauriMsg::QcDown { phase, view, seq, digest };
+            KauriMsg::QcDown {
+                phase,
+                view,
+                seq,
+                digest,
+            } => {
+                let (phase, view, seq, digest) = (*phase, *view, *seq, *digest);
+                let m = KauriMsg::QcDown {
+                    phase,
+                    view,
+                    seq,
+                    digest,
+                };
                 if !self.view_ok(from, view, m) {
                     return;
                 }
@@ -732,14 +855,18 @@ impl Actor<KauriMsg> for KauriReplica {
                 ctx.charge_crypto(CryptoOp::ThresholdVerify);
                 self.on_qc(phase, seq, digest, ctx);
             }
-            KauriMsg::Complaint { new_view, certified, from: r } => {
+            KauriMsg::Complaint {
+                new_view,
+                certified,
+                from: r,
+            } => {
                 ctx.charge_crypto(CryptoOp::Verify);
-                self.record_vc(r, new_view, certified, ctx);
+                self.record_vc(*r, *new_view, certified.clone(), ctx);
             }
             KauriMsg::NewView { view, assignments } => {
-                if view >= self.view && from == NodeId::Replica(view.leader_of(self.q.n)) {
+                if *view >= self.view && from == NodeId::Replica(view.leader_of(self.q.n)) {
                     ctx.charge_crypto(CryptoOp::Verify);
-                    self.install_view(view, assignments, ctx);
+                    self.install_view(*view, assignments.clone(), ctx);
                 }
             }
             KauriMsg::Reply(_) => {}
@@ -750,10 +877,8 @@ impl Actor<KauriMsg> for KauriReplica {
         match kind {
             TimerKind::T4QuorumConstruction => {
                 // partial aggregation: forward what we have
-                let hit: Option<(SeqNum, KauriPhase, Digest)> = self
-                    .slots
-                    .iter()
-                    .find_map(|(seq, s)| {
+                let hit: Option<(SeqNum, KauriPhase, Digest)> =
+                    self.slots.iter().find_map(|(seq, s)| {
                         s.agg_timer
                             .iter()
                             .find(|(_, t)| **t == id)
@@ -766,18 +891,22 @@ impl Actor<KauriMsg> for KauriReplica {
                     self.push_aggregate(phase, seq, digest, true, ctx);
                 }
             }
-            TimerKind::T2ViewChange
-                if Some(id) == self.vc_timer => {
-                    self.vc_timer = None;
-                    if self.in_view_change {
-                        let target =
-                            self.vc_votes.keys().max().copied().unwrap_or(self.view).next();
-                        self.start_view_change(target, ctx);
-                    } else if !self.pending_reqs.is_empty() {
-                        let target = self.view.next();
-                        self.start_view_change(target, ctx);
-                    }
+            TimerKind::T2ViewChange if Some(id) == self.vc_timer => {
+                self.vc_timer = None;
+                if self.in_view_change {
+                    let target = self
+                        .vc_votes
+                        .keys()
+                        .max()
+                        .copied()
+                        .unwrap_or(self.view)
+                        .next();
+                    self.start_view_change(target, ctx);
+                } else if !self.pending_reqs.is_empty() {
+                    let target = self.view.next();
+                    self.start_view_change(target, ctx);
                 }
+            }
             _ => {}
         }
     }
@@ -833,7 +962,10 @@ pub fn run(scenario: &Scenario, fanout: usize) -> RunOutcome {
         );
     }
     for c in 0..scenario.clients as u64 {
-        sim.add_client(c, Box::new(GenericClient::<KauriClientProto>::new(scenario, q, c)));
+        sim.add_client(
+            c,
+            Box::new(GenericClient::<KauriClientProto>::new(scenario, q, c)),
+        );
     }
     run_to_completion(sim, scenario.total_requests(), scenario.max_time)
 }
@@ -894,7 +1026,11 @@ mod tests {
         let out = run(&s, 2);
         SafetyAuditor::excluding(vec![NodeId::replica(6)]).assert_safe(&out.log);
         assert_eq!(accepted(&out), 15);
-        assert_eq!(out.log.max_view(), View(0), "no reconfiguration needed for a leaf");
+        assert_eq!(
+            out.log.max_view(),
+            View(0),
+            "no reconfiguration needed for a leaf"
+        );
     }
 
     #[test]

@@ -27,7 +27,7 @@ use bft_sim::runner::RunOutcome;
 use bft_sim::{Actor, Context, NodeId, Observation, SimDuration, Stage, TimerId};
 use bft_state::StateMachine;
 use bft_types::{
-    Digest, Op, QuorumRules, Reply, ReplicaId, RequestId, SeqNum, TimerKind, View, WireSize,
+    Digest, Op, QuorumRules, ReplicaId, Reply, RequestId, SeqNum, TimerKind, View, WireSize,
 };
 
 use crate::common::{
@@ -72,7 +72,11 @@ impl Usig {
     pub fn create_ui(&mut self, digest: Digest) -> Ui {
         let counter = self.next;
         self.next += 1;
-        Ui { replica: self.replica, counter, digest }
+        Ui {
+            replica: self.replica,
+            counter,
+            digest,
+        }
     }
 }
 
@@ -159,7 +163,12 @@ impl WireSize for MinBftMsg {
             MinBftMsg::Commit { .. } => 1 + 16 + 32 + Ui::WIRE_SIZE + 4,
             MinBftMsg::ReqViewChange { .. } => 1 + 8 + 4 + 64,
             MinBftMsg::NewView { proposals, .. } => {
-                1 + 8 + proposals.iter().map(|(_, _, b)| 40 + b.wire_size()).sum::<usize>() + 64
+                1 + 8
+                    + proposals
+                        .iter()
+                        .map(|(_, _, b)| 40 + b.wire_size())
+                        .sum::<usize>()
+                    + 64
             }
         }
     }
@@ -274,7 +283,12 @@ impl MinBftReplica {
                 slot.digest = Some(digest);
                 slot.batch = batch.clone();
             }
-            ctx.broadcast_replicas(MinBftMsg::Prepare { view, seq, ui, batch });
+            ctx.broadcast_replicas(MinBftMsg::Prepare {
+                view,
+                seq,
+                ui,
+                batch,
+            });
             self.send_commit(seq, digest, ctx);
         }
     }
@@ -291,7 +305,13 @@ impl MinBftReplica {
         }
         ctx.charge_crypto(CryptoOp::Sign);
         let ui = self.usig.create_ui(digest);
-        ctx.broadcast_replicas(MinBftMsg::Commit { view, seq, digest, ui, from: me });
+        ctx.broadcast_replicas(MinBftMsg::Commit {
+            view,
+            seq,
+            digest,
+            ui,
+            from: me,
+        });
         self.record_commit(me, seq, digest, ctx);
     }
 
@@ -313,7 +333,12 @@ impl MinBftReplica {
         }
         if !slot.committed && slot.commits.len() >= quorum && slot.digest == Some(digest) {
             slot.committed = true;
-            ctx.observe(Observation::Commit { seq, view, digest, speculative: false });
+            ctx.observe(Observation::Commit {
+                seq,
+                view,
+                digest,
+                speculative: false,
+            });
             self.try_execute(ctx);
         }
     }
@@ -321,13 +346,17 @@ impl MinBftReplica {
     fn try_execute(&mut self, ctx: &mut Context<'_, MinBftMsg>) {
         loop {
             let next = self.exec_cursor.next();
-            let Some(slot) = self.slots.get(&next) else { break };
+            let Some(slot) = self.slots.get(&next) else {
+                break;
+            };
             if !slot.committed || slot.executed {
                 break;
             }
             let batch = slot.batch.clone();
             let view = self.view;
-            ctx.observe(Observation::StageEnter { stage: Stage::Execution });
+            ctx.observe(Observation::StageEnter {
+                stage: Stage::Execution,
+            });
             for signed in &batch {
                 let seq = self.sm.last_executed().next();
                 let work: u32 = signed
@@ -341,7 +370,11 @@ impl MinBftReplica {
                     ctx.charge(SimDuration(work as u64 * 1_000));
                 }
                 let (result, state_digest) = self.sm.execute(seq, &signed.request);
-                ctx.observe(Observation::Execute { seq, request: signed.request.id, state_digest });
+                ctx.observe(Observation::Execute {
+                    seq,
+                    request: signed.request.id,
+                    state_digest,
+                });
                 self.executed_reqs.insert(signed.request.id, ());
                 self.pending_reqs.retain(|r| *r != signed.request.id);
                 let reply = Reply {
@@ -352,12 +385,17 @@ impl MinBftReplica {
                     speculative: false,
                 };
                 ctx.charge_crypto(CryptoOp::Sign);
-                ctx.send(NodeId::Client(signed.request.id.client), MinBftMsg::Reply(reply));
+                ctx.send(
+                    NodeId::Client(signed.request.id.client),
+                    MinBftMsg::Reply(reply),
+                );
             }
             let slot = self.slots.get_mut(&next).expect("slot exists");
             slot.executed = true;
             self.exec_cursor = next;
-            ctx.observe(Observation::StageEnter { stage: Stage::Ordering });
+            ctx.observe(Observation::StageEnter {
+                stage: Stage::Ordering,
+            });
             if self.pending_reqs.is_empty() {
                 if let Some(t) = self.vc_timer.take() {
                     ctx.cancel_timer(t);
@@ -374,10 +412,15 @@ impl MinBftReplica {
             return;
         }
         self.in_view_change = true;
-        ctx.observe(Observation::StageEnter { stage: Stage::ViewChange });
+        ctx.observe(Observation::StageEnter {
+            stage: Stage::ViewChange,
+        });
         ctx.charge_crypto(CryptoOp::Sign);
         let me = self.me;
-        ctx.broadcast_replicas(MinBftMsg::ReqViewChange { new_view: target, from: me });
+        ctx.broadcast_replicas(MinBftMsg::ReqViewChange {
+            new_view: target,
+            from: me,
+        });
         self.record_vc(me, target, ctx);
         self.vc_timer = Some(ctx.set_timer(TimerKind::T2ViewChange, self.view_timeout));
     }
@@ -396,7 +439,9 @@ impl MinBftReplica {
             self.start_view_change(target, ctx);
             return;
         }
-        if target.leader_of(self.q.n) == self.me && self.in_view_change && have >= self.commit_quorum()
+        if target.leader_of(self.q.n) == self.me
+            && self.in_view_change
+            && have >= self.commit_quorum()
         {
             // re-propose undecided slots
             let proposals: Vec<(SeqNum, Digest, Vec<SignedRequest>)> = self
@@ -406,7 +451,10 @@ impl MinBftReplica {
                 .map(|(seq, s)| (*seq, s.digest.unwrap(), s.batch.clone()))
                 .collect();
             ctx.charge_crypto(CryptoOp::Sign);
-            ctx.broadcast_replicas(MinBftMsg::NewView { view: target, proposals: proposals.clone() });
+            ctx.broadcast_replicas(MinBftMsg::NewView {
+                view: target,
+                proposals: proposals.clone(),
+            });
             self.install_view(target, proposals, ctx);
         }
     }
@@ -424,7 +472,9 @@ impl MinBftReplica {
             ctx.cancel_timer(t);
         }
         ctx.observe(Observation::NewView { view });
-        ctx.observe(Observation::StageEnter { stage: Stage::Ordering });
+        ctx.observe(Observation::StageEnter {
+            stage: Stage::Ordering,
+        });
         let exec_cursor = self.exec_cursor;
         let re_proposed: Vec<SeqNum> = proposals.iter().map(|(s, _, _)| *s).collect();
         let mut stranded: Vec<SignedRequest> = Vec::new();
@@ -443,7 +493,11 @@ impl MinBftReplica {
                 self.mempool.push_back(r);
             }
         }
-        let max_seq = proposals.iter().map(|(s, _, _)| *s).max().unwrap_or(exec_cursor);
+        let max_seq = proposals
+            .iter()
+            .map(|(s, _, _)| *s)
+            .max()
+            .unwrap_or(exec_cursor);
         for (seq, digest, batch) in proposals {
             if seq <= exec_cursor {
                 continue;
@@ -462,7 +516,10 @@ impl MinBftReplica {
             self.send_commit(seq, digest, ctx);
         }
         if self.is_leader() {
-            self.next_seq = self.next_seq.max(max_seq.next()).max(self.exec_cursor.next());
+            self.next_seq = self
+                .next_seq
+                .max(max_seq.next())
+                .max(self.exec_cursor.next());
             self.propose(ctx);
         }
         let cur = self.view;
@@ -478,7 +535,7 @@ impl MinBftReplica {
             .filter(|(_, m)| msg_view(m).is_some_and(|v| v > cur))
             .collect();
         for (from, msg) in now {
-            self.on_message(from, msg, ctx);
+            self.on_message(from, &msg, ctx);
         }
     }
 
@@ -496,10 +553,12 @@ impl MinBftReplica {
 
 impl Actor<MinBftMsg> for MinBftReplica {
     fn on_start(&mut self, ctx: &mut Context<'_, MinBftMsg>) {
-        ctx.observe(Observation::StageEnter { stage: Stage::Ordering });
+        ctx.observe(Observation::StageEnter {
+            stage: Stage::Ordering,
+        });
     }
 
-    fn on_message(&mut self, from: NodeId, msg: MinBftMsg, ctx: &mut Context<'_, MinBftMsg>) {
+    fn on_message(&mut self, from: NodeId, msg: &MinBftMsg, ctx: &mut Context<'_, MinBftMsg>) {
         match msg {
             MinBftMsg::Request(signed) => {
                 ctx.charge_crypto(CryptoOp::Verify);
@@ -521,7 +580,11 @@ impl Actor<MinBftMsg> for MinBftReplica {
                     }
                     return;
                 }
-                if !self.mempool.iter().any(|r| r.request.id == signed.request.id) {
+                if !self
+                    .mempool
+                    .iter()
+                    .any(|r| r.request.id == signed.request.id)
+                {
                     self.mempool.push_back(signed.clone());
                 }
                 if self.is_leader() {
@@ -538,8 +601,19 @@ impl Actor<MinBftMsg> for MinBftReplica {
                     }
                 }
             }
-            MinBftMsg::Prepare { view, seq, ui, batch } => {
-                let m = MinBftMsg::Prepare { view, seq, ui, batch: batch.clone() };
+            MinBftMsg::Prepare {
+                view,
+                seq,
+                ui,
+                batch,
+            } => {
+                let (view, seq, ui) = (*view, *seq, *ui);
+                let m = MinBftMsg::Prepare {
+                    view,
+                    seq,
+                    ui,
+                    batch: batch.clone(),
+                };
                 if !self.view_ok(from, view, m) {
                     return;
                 }
@@ -548,7 +622,7 @@ impl Actor<MinBftMsg> for MinBftReplica {
                 }
                 ctx.charge_crypto(CryptoOp::Verify); // UI attestation check
                 ctx.charge_crypto(CryptoOp::Hash);
-                let digest = digest_of(&batch);
+                let digest = digest_of(batch);
                 if ui.digest != digest {
                     return; // attestation does not match the payload
                 }
@@ -565,12 +639,25 @@ impl Actor<MinBftMsg> for MinBftReplica {
                         return;
                     }
                     slot.digest = Some(digest);
-                    slot.batch = batch;
+                    slot.batch = batch.clone();
                 }
                 self.send_commit(seq, digest, ctx);
             }
-            MinBftMsg::Commit { view, seq, digest, ui, from: r } => {
-                let m = MinBftMsg::Commit { view, seq, digest, ui, from: r };
+            MinBftMsg::Commit {
+                view,
+                seq,
+                digest,
+                ui,
+                from: r,
+            } => {
+                let (view, seq, digest, ui, r) = (*view, *seq, *digest, *ui, *r);
+                let m = MinBftMsg::Commit {
+                    view,
+                    seq,
+                    digest,
+                    ui,
+                    from: r,
+                };
                 if !self.view_ok(from, view, m) {
                     return;
                 }
@@ -582,12 +669,12 @@ impl Actor<MinBftMsg> for MinBftReplica {
             }
             MinBftMsg::ReqViewChange { new_view, from: r } => {
                 ctx.charge_crypto(CryptoOp::Verify);
-                self.record_vc(r, new_view, ctx);
+                self.record_vc(*r, *new_view, ctx);
             }
             MinBftMsg::NewView { view, proposals } => {
-                if view >= self.view && from == NodeId::Replica(view.leader_of(self.q.n)) {
+                if *view >= self.view && from == NodeId::Replica(view.leader_of(self.q.n)) {
                     ctx.charge_crypto(CryptoOp::Verify);
-                    self.install_view(view, proposals, ctx);
+                    self.install_view(*view, proposals.clone(), ctx);
                 }
             }
             MinBftMsg::Reply(_) => {}
@@ -598,7 +685,13 @@ impl Actor<MinBftMsg> for MinBftReplica {
         if kind == TimerKind::T2ViewChange && Some(id) == self.vc_timer {
             self.vc_timer = None;
             if self.in_view_change {
-                let target = self.vc_votes.keys().max().copied().unwrap_or(self.view).next();
+                let target = self
+                    .vc_votes
+                    .keys()
+                    .max()
+                    .copied()
+                    .unwrap_or(self.view)
+                    .next();
                 self.start_view_change(target, ctx);
             } else if !self.pending_reqs.is_empty() {
                 let target = self.view.next();
@@ -655,7 +748,10 @@ pub fn run(scenario: &Scenario) -> RunOutcome {
         );
     }
     for c in 0..scenario.clients as u64 {
-        sim.add_client(c, Box::new(GenericClient::<MinBftClientProto>::new(scenario, q, c)));
+        sim.add_client(
+            c,
+            Box::new(GenericClient::<MinBftClientProto>::new(scenario, q, c)),
+        );
     }
     run_to_completion(sim, scenario.total_requests(), scenario.max_time)
 }
@@ -676,7 +772,10 @@ mod tests {
         let out = run(&s);
         SafetyAuditor::all_correct().assert_safe(&out.log);
         assert_eq!(accepted(&out), 30);
-        assert_eq!(out.metrics.nodes().filter(|(n, _)| n.is_replica()).count(), 3);
+        assert_eq!(
+            out.metrics.nodes().filter(|(n, _)| n.is_replica()).count(),
+            3
+        );
     }
 
     #[test]

@@ -31,13 +31,11 @@ use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 
 use bft_crypto::{digest_of, CryptoOp, KeyStore};
-use bft_sim::{
-    Actor, Context, NodeId, Observation, SimDuration, Stage, TimerId,
-};
 use bft_sim::runner::RunOutcome;
+use bft_sim::{Actor, Context, NodeId, Observation, SimDuration, Stage, TimerId};
 use bft_state::{CheckpointManager, Snapshot, StateMachine};
 use bft_types::{
-    ClientId, Digest, Op, QuorumRules, Reply, ReplicaId, RequestId, SeqNum, TimerKind, View,
+    ClientId, Digest, Op, QuorumRules, ReplicaId, Reply, RequestId, SeqNum, TimerKind, View,
     WireSize,
 };
 
@@ -183,7 +181,11 @@ impl WireSize for PbftMsg {
             PbftMsg::Checkpoint { .. } => 1 + 8 + 32 + 4 + 32,
             PbftMsg::ViewChange { prepared, .. } => 1 + 8 + 8 + 32 + prepared.wire_size() + 64,
             PbftMsg::ViewChangeAck { .. } => 1 + 8 + 4 + 4 + 32,
-            PbftMsg::NewView { from_replicas, pre_prepares, .. } => {
+            PbftMsg::NewView {
+                from_replicas,
+                pre_prepares,
+                ..
+            } => {
                 1 + 8
                     + from_replicas.len() * 4
                     + pre_prepares
@@ -429,7 +431,10 @@ impl PbftReplica {
         if self.executed_reqs.contains_key(&signed.request.id) {
             return;
         }
-        let in_mempool = self.mempool.iter().any(|r| r.request.id == signed.request.id);
+        let in_mempool = self
+            .mempool
+            .iter()
+            .any(|r| r.request.id == signed.request.id);
         let in_slot = self
             .slots
             .values()
@@ -490,7 +495,10 @@ impl PbftReplica {
             PbftAuth::Mac => ctx.charge_crypto(CryptoOp::MacGen),
             PbftAuth::Signature => ctx.charge_crypto(CryptoOp::Sign),
         }
-        ctx.send(NodeId::Client(signed.request.id.client), PbftMsg::Reply(reply));
+        ctx.send(
+            NodeId::Client(signed.request.id.client),
+            PbftMsg::Reply(reply),
+        );
     }
 
     fn arm_view_timer(&mut self, ctx: &mut Context<'_, PbftMsg>) {
@@ -557,8 +565,10 @@ impl PbftReplica {
 
             if self.behavior == Behavior::Equivocate && !self.mempool.is_empty() {
                 // send batch A to one half, a different batch B to the other
-                let alt: Vec<SignedRequest> =
-                    self.mempool.drain(..self.cfg.batch_size.min(self.mempool.len())).collect();
+                let alt: Vec<SignedRequest> = self
+                    .mempool
+                    .drain(..self.cfg.batch_size.min(self.mempool.len()))
+                    .collect();
                 self.equivocate(seq, batch, alt, ctx);
                 continue;
             }
@@ -571,7 +581,12 @@ impl PbftReplica {
             slot.digest = Some(digest);
             slot.batch = batch.clone();
             slot.pre_prepared = true;
-            let msg = PbftMsg::PrePrepare { view, seq, digest, batch };
+            let msg = PbftMsg::PrePrepare {
+                view,
+                seq,
+                digest,
+                batch,
+            };
             if let Behavior::DelayLeader(delay) = self.behavior {
                 // the delay adversary charges idle time before every
                 // proposal, throttling throughput while staying below τ2
@@ -603,7 +618,15 @@ impl PbftReplica {
             } else {
                 (db, batch_b.clone())
             };
-            ctx.send(NodeId::Replica(to), PbftMsg::PrePrepare { view, seq, digest, batch });
+            ctx.send(
+                NodeId::Replica(to),
+                PbftMsg::PrePrepare {
+                    view,
+                    seq,
+                    digest,
+                    batch,
+                },
+            );
         }
         // the equivocator itself records nothing coherent
     }
@@ -621,7 +644,15 @@ impl PbftReplica {
     ) {
         if view > self.view || (self.in_view_change && view == self.view) {
             // the pre-prepare raced ahead of the new-view message: buffer it
-            self.buffer(from, PbftMsg::PrePrepare { view, seq, digest, batch });
+            self.buffer(
+                from,
+                PbftMsg::PrePrepare {
+                    view,
+                    seq,
+                    digest,
+                    batch,
+                },
+            );
             return;
         }
         if self.recovering || self.in_view_change || view != self.view {
@@ -644,7 +675,9 @@ impl PbftReplica {
             // conflicting pre-prepare for the same (view, seq): ignore —
             // this is exactly what stops an equivocating leader
             if slot.digest != Some(digest) {
-                ctx.observe(Observation::Marker { label: "equivocation-detected" });
+                ctx.observe(Observation::Marker {
+                    label: "equivocation-detected",
+                });
             }
             return;
         }
@@ -656,7 +689,12 @@ impl PbftReplica {
         self.mempool.retain(|r| !ids.contains(&r.request.id));
         self.arm_view_timer(ctx);
         self.charge_broadcast_auth(ctx);
-        ctx.broadcast_replicas(PbftMsg::Prepare { view, seq, digest, from: me });
+        ctx.broadcast_replicas(PbftMsg::Prepare {
+            view,
+            seq,
+            digest,
+            from: me,
+        });
         // count our own prepare
         self.record_prepare(me, view, seq, digest, ctx);
     }
@@ -686,7 +724,12 @@ impl PbftReplica {
             if !slot.sent_commit {
                 slot.sent_commit = true;
                 self.charge_broadcast_auth(ctx);
-                ctx.broadcast_replicas(PbftMsg::Commit { view, seq, digest, from: me });
+                ctx.broadcast_replicas(PbftMsg::Commit {
+                    view,
+                    seq,
+                    digest,
+                    from: me,
+                });
                 self.record_commit(me, view, seq, digest, ctx);
             }
         }
@@ -710,7 +753,12 @@ impl PbftReplica {
         }
         if slot.prepared && !slot.committed && slot.commits.len() >= quorum {
             slot.committed = true;
-            ctx.observe(Observation::Commit { seq, view, digest, speculative: false });
+            ctx.observe(Observation::Commit {
+                seq,
+                view,
+                digest,
+                speculative: false,
+            });
             self.try_execute(ctx);
         }
     }
@@ -720,7 +768,9 @@ impl PbftReplica {
     fn try_execute(&mut self, ctx: &mut Context<'_, PbftMsg>) {
         loop {
             let next = self.exec_cursor.next();
-            let Some(slot) = self.slots.get(&next) else { break };
+            let Some(slot) = self.slots.get(&next) else {
+                break;
+            };
             if !slot.committed || slot.executed {
                 break;
             }
@@ -757,7 +807,10 @@ impl PbftReplica {
                     PbftAuth::Mac => ctx.charge_crypto(CryptoOp::MacGen),
                     PbftAuth::Signature => ctx.charge_crypto(CryptoOp::Sign),
                 }
-                ctx.send(NodeId::Client(signed.request.id.client), PbftMsg::Reply(reply));
+                ctx.send(
+                    NodeId::Client(signed.request.id.client),
+                    PbftMsg::Reply(reply),
+                );
             }
             let slot = self.slots.get_mut(&next).expect("slot exists");
             slot.executed = true;
@@ -793,7 +846,11 @@ impl PbftReplica {
             self.attested.insert(last, ());
             self.charge_broadcast_auth(ctx);
             let me = self.me;
-            ctx.broadcast_replicas(PbftMsg::Checkpoint { seq: last, state_digest, from: me });
+            ctx.broadcast_replicas(PbftMsg::Checkpoint {
+                seq: last,
+                state_digest,
+                from: me,
+            });
             self.on_checkpoint(me, last, state_digest, ctx);
             self.enter_stage(Stage::Ordering, ctx);
         }
@@ -810,17 +867,25 @@ impl PbftReplica {
             self.charge_verify_auth(ctx);
         }
         if let Some(proof) = self.ckpt.add_attestation(from, seq, state_digest) {
-            ctx.observe(Observation::StableCheckpoint { seq: proof.seq, state_digest });
+            ctx.observe(Observation::StableCheckpoint {
+                seq: proof.seq,
+                state_digest,
+            });
             // garbage-collect ordered slots at or below the checkpoint
             let executed_here = self.exec_cursor;
-            self.slots.retain(|s, slot| *s > proof.seq || !slot.executed);
+            self.slots
+                .retain(|s, slot| *s > proof.seq || !slot.executed);
             self.snapshots.retain(|s, _| *s >= proof.seq);
             self.attested.retain(|s, _| *s > proof.seq.prev());
-            self.sm.truncate_below(SeqNum(self.sm.last_executed().0.saturating_sub(self.cfg.window)));
+            self.sm.truncate_below(SeqNum(
+                self.sm.last_executed().0.saturating_sub(self.cfg.window),
+            ));
             // in-dark? the cluster is at `seq` but we have not executed it
             if executed_here < proof.seq {
                 let me = self.me;
-                ctx.observe(Observation::Marker { label: "in-dark-catchup" });
+                ctx.observe(Observation::Marker {
+                    label: "in-dark-catchup",
+                });
                 let target = proof
                     .attesters
                     .iter()
@@ -829,7 +894,10 @@ impl PbftReplica {
                     .unwrap_or(self.leader());
                 ctx.send(
                     NodeId::Replica(target),
-                    PbftMsg::StateRequest { from: me, have: executed_here },
+                    PbftMsg::StateRequest {
+                        from: me,
+                        have: executed_here,
+                    },
                 );
             }
         }
@@ -840,7 +908,10 @@ impl PbftReplica {
             if *slot_seq > have {
                 ctx.send(
                     NodeId::Replica(from),
-                    PbftMsg::StateTransfer { slot_seq: *slot_seq, snapshot: Box::new(snap.clone()) },
+                    PbftMsg::StateTransfer {
+                        slot_seq: *slot_seq,
+                        snapshot: Box::new(snap.clone()),
+                    },
                 );
             }
         }
@@ -862,7 +933,9 @@ impl PbftReplica {
         self.slots.retain(|s, _| *s > slot_seq);
         self.snapshots.insert(slot_seq, snapshot);
         self.next_seq = self.next_seq.max(slot_seq.next());
-        ctx.observe(Observation::Marker { label: "state-transferred" });
+        ctx.observe(Observation::Marker {
+            label: "state-transferred",
+        });
     }
 
     /// Buffer an ordering message for a view we have not installed yet.
@@ -889,27 +962,60 @@ impl PbftReplica {
             .filter(|(_, m)| msg_view(m).is_some_and(|v| v > view))
             .collect();
         for (from, msg) in now {
-            self.handle_ordering(from, msg, ctx);
+            self.handle_ordering(from, &msg, ctx);
         }
     }
 
-    /// Dispatch one ordering-stage message (also used for replay).
-    fn handle_ordering(&mut self, from: NodeId, msg: PbftMsg, ctx: &mut Context<'_, PbftMsg>) {
+    /// Dispatch one ordering-stage message (also used for replay). The
+    /// payload is borrowed; only a pre-prepare's batch is cloned (it is
+    /// retained in the slot), votes are consumed without allocating.
+    fn handle_ordering(&mut self, from: NodeId, msg: &PbftMsg, ctx: &mut Context<'_, PbftMsg>) {
         match msg {
-            PbftMsg::PrePrepare { view, seq, digest, batch } => {
-                self.on_pre_prepare(from, view, seq, digest, batch, ctx)
-            }
-            PbftMsg::Prepare { view, seq, digest, from: r } => {
+            PbftMsg::PrePrepare {
+                view,
+                seq,
+                digest,
+                batch,
+            } => self.on_pre_prepare(from, *view, *seq, *digest, batch.clone(), ctx),
+            PbftMsg::Prepare {
+                view,
+                seq,
+                digest,
+                from: r,
+            } => {
+                let (view, seq, digest, r) = (*view, *seq, *digest, *r);
                 if view > self.view || (self.in_view_change && view == self.view) {
-                    self.buffer(from, PbftMsg::Prepare { view, seq, digest, from: r });
+                    self.buffer(
+                        from,
+                        PbftMsg::Prepare {
+                            view,
+                            seq,
+                            digest,
+                            from: r,
+                        },
+                    );
                 } else if view == self.view && !self.in_view_change {
                     self.charge_verify_auth(ctx);
                     self.record_prepare(r, view, seq, digest, ctx);
                 }
             }
-            PbftMsg::Commit { view, seq, digest, from: r } => {
+            PbftMsg::Commit {
+                view,
+                seq,
+                digest,
+                from: r,
+            } => {
+                let (view, seq, digest, r) = (*view, *seq, *digest, *r);
                 if view > self.view || (self.in_view_change && view == self.view) {
-                    self.buffer(from, PbftMsg::Commit { view, seq, digest, from: r });
+                    self.buffer(
+                        from,
+                        PbftMsg::Commit {
+                            view,
+                            seq,
+                            digest,
+                            from: r,
+                        },
+                    );
                 } else if view == self.view && !self.in_view_change {
                     self.charge_verify_auth(ctx);
                     self.record_commit(r, view, seq, digest, ctx);
@@ -947,7 +1053,12 @@ impl PbftReplica {
         // mode they are MAC'd and acks compensate; either way one auth op:
         self.charge_broadcast_auth(ctx);
         let me = self.me;
-        let msg = PbftMsg::ViewChange { new_view: target, stable, prepared: prepared.clone(), from: me };
+        let msg = PbftMsg::ViewChange {
+            new_view: target,
+            stable,
+            prepared: prepared.clone(),
+            from: me,
+        };
         ctx.broadcast_replicas(msg);
         self.record_view_change(me, target, stable, prepared, ctx);
         // consecutive view-change timer: if the new view fails to form,
@@ -978,7 +1089,11 @@ impl PbftReplica {
                 ctx.charge_crypto(CryptoOp::MacGen);
                 ctx.send(
                     NodeId::Replica(new_leader),
-                    PbftMsg::ViewChangeAck { new_view, vc_from: from, from: self.me },
+                    PbftMsg::ViewChangeAck {
+                        new_view,
+                        vc_from: from,
+                        from: self.me,
+                    },
                 );
             }
         }
@@ -993,7 +1108,9 @@ impl PbftReplica {
     }
 
     fn vc_ready(&self, new_view: View) -> bool {
-        let Some(entries) = self.vc_msgs.get(&new_view) else { return false };
+        let Some(entries) = self.vc_msgs.get(&new_view) else {
+            return false;
+        };
         if entries.len() < self.cfg.q.quorum() {
             return false;
         }
@@ -1022,8 +1139,13 @@ impl PbftReplica {
         }
         let entries = self.vc_msgs.get(&new_view).cloned().unwrap_or_default();
         // choose max stable checkpoint and union of prepared entries
-        let max_stable = entries.iter().map(|(_, s, _)| s.0).max().unwrap_or(SeqNum(0));
-        let mut re_proposals: BTreeMap<SeqNum, (View, Digest, Vec<SignedRequest>)> = BTreeMap::new();
+        let max_stable = entries
+            .iter()
+            .map(|(_, s, _)| s.0)
+            .max()
+            .unwrap_or(SeqNum(0));
+        let mut re_proposals: BTreeMap<SeqNum, (View, Digest, Vec<SignedRequest>)> =
+            BTreeMap::new();
         for (_, _, prepared) in &entries {
             for e in prepared {
                 if e.seq <= max_stable {
@@ -1117,7 +1239,11 @@ impl PbftReplica {
 
         // adopt re-proposals: run them through the ordering machinery as if
         // they were fresh pre-prepares in the new view
-        let max_seq = pre_prepares.iter().map(|(s, _, _)| *s).max().unwrap_or(SeqNum(0));
+        let max_seq = pre_prepares
+            .iter()
+            .map(|(s, _, _)| *s)
+            .max()
+            .unwrap_or(SeqNum(0));
         let leader = self.leader();
         let me = self.me;
         for (seq, digest, batch) in pre_prepares {
@@ -1138,12 +1264,20 @@ impl PbftReplica {
             self.mempool.retain(|r| !ids.contains(&r.request.id));
             if me != leader {
                 self.charge_broadcast_auth(ctx);
-                ctx.broadcast_replicas(PbftMsg::Prepare { view, seq, digest, from: me });
+                ctx.broadcast_replicas(PbftMsg::Prepare {
+                    view,
+                    seq,
+                    digest,
+                    from: me,
+                });
                 self.record_prepare(me, view, seq, digest, ctx);
             }
         }
         if self.is_leader() {
-            self.next_seq = self.next_seq.max(max_seq.next()).max(self.exec_cursor.next());
+            self.next_seq = self
+                .next_seq
+                .max(max_seq.next())
+                .max(self.exec_cursor.next());
             // re-propose whatever is still in the mempool
             self.propose(ctx);
         }
@@ -1192,72 +1326,87 @@ impl PbftReplica {
 
 impl Actor<PbftMsg> for PbftReplica {
     fn on_start(&mut self, ctx: &mut Context<'_, PbftMsg>) {
-        ctx.observe(Observation::StageEnter { stage: Stage::Ordering });
+        ctx.observe(Observation::StageEnter {
+            stage: Stage::Ordering,
+        });
         self.schedule_recovery(ctx);
     }
 
-    fn on_message(&mut self, from: NodeId, msg: PbftMsg, ctx: &mut Context<'_, PbftMsg>) {
+    fn on_message(&mut self, from: NodeId, msg: &PbftMsg, ctx: &mut Context<'_, PbftMsg>) {
         if self.recovering {
             return; // unavailable during rejuvenation
         }
         match msg {
-            PbftMsg::Request(signed) => self.on_request(signed, ctx),
+            PbftMsg::Request(signed) => self.on_request(signed.clone(), ctx),
             m @ (PbftMsg::PrePrepare { .. } | PbftMsg::Prepare { .. } | PbftMsg::Commit { .. }) => {
                 self.handle_ordering(from, m, ctx)
             }
-            PbftMsg::Checkpoint { seq, state_digest, from: r } => {
-                self.on_checkpoint(r, seq, state_digest, ctx)
-            }
-            PbftMsg::ViewChange { new_view, stable, prepared, from: r } => {
+            PbftMsg::Checkpoint {
+                seq,
+                state_digest,
+                from: r,
+            } => self.on_checkpoint(*r, *seq, *state_digest, ctx),
+            PbftMsg::ViewChange {
+                new_view,
+                stable,
+                prepared,
+                from: r,
+            } => {
                 self.charge_verify_auth(ctx);
-                self.record_view_change(r, new_view, stable, prepared, ctx);
+                self.record_view_change(*r, *new_view, *stable, prepared.clone(), ctx);
             }
-            PbftMsg::ViewChangeAck { new_view, vc_from, from: r } => {
+            PbftMsg::ViewChangeAck {
+                new_view,
+                vc_from,
+                from: r,
+            } => {
                 if self.cfg.auth == PbftAuth::Mac {
                     ctx.charge_crypto(CryptoOp::MacVerify);
-                    let acks = self.vc_acks.entry((new_view, vc_from)).or_default();
-                    if !acks.contains(&r) {
-                        acks.push(r);
+                    let acks = self.vc_acks.entry((*new_view, *vc_from)).or_default();
+                    if !acks.contains(r) {
+                        acks.push(*r);
                     }
-                    self.maybe_assemble_new_view(new_view, ctx);
+                    self.maybe_assemble_new_view(*new_view, ctx);
                 }
             }
-            PbftMsg::NewView { view, pre_prepares, .. } => {
-                self.on_new_view(from, view, pre_prepares, ctx)
-            }
-            PbftMsg::StateRequest { from: r, have } => self.on_state_request(r, have, ctx),
+            PbftMsg::NewView {
+                view, pre_prepares, ..
+            } => self.on_new_view(from, *view, pre_prepares.clone(), ctx),
+            PbftMsg::StateRequest { from: r, have } => self.on_state_request(*r, *have, ctx),
             PbftMsg::StateTransfer { slot_seq, snapshot } => {
-                self.on_state_transfer(slot_seq, *snapshot, ctx)
+                self.on_state_transfer(*slot_seq, (**snapshot).clone(), ctx)
             }
-            PbftMsg::ReadOnly(signed) => self.on_read_only(signed, ctx),
+            PbftMsg::ReadOnly(signed) => self.on_read_only(signed.clone(), ctx),
             PbftMsg::Reply(_) => {} // replicas ignore replies
         }
     }
 
     fn on_timer(&mut self, id: TimerId, kind: TimerKind, ctx: &mut Context<'_, PbftMsg>) {
         match kind {
-            TimerKind::T2ViewChange
-                if Some(id) == self.vc_timer => {
-                    self.vc_timer = None;
-                    // pending work still outstanding → (next) view change
-                    let target = if self.in_view_change {
-                        // consecutive view change: the attempt failed
-                        self.vc_msgs.keys().max().copied().unwrap_or(self.view).next()
-                    } else {
-                        self.view.next()
-                    };
-                    self.in_view_change = false;
-                    self.start_view_change(target, ctx);
-                }
-            TimerKind::T7Heartbeat
-                if Some(id) == self.batch_timer => {
-                    self.batch_timer = None;
-                    self.propose_inner(true, ctx);
-                }
-            TimerKind::T8RecoveryWatchdog
-                if Some(id) == self.recovery_timer => {
-                    self.on_recovery_watchdog(ctx);
-                }
+            TimerKind::T2ViewChange if Some(id) == self.vc_timer => {
+                self.vc_timer = None;
+                // pending work still outstanding → (next) view change
+                let target = if self.in_view_change {
+                    // consecutive view change: the attempt failed
+                    self.vc_msgs
+                        .keys()
+                        .max()
+                        .copied()
+                        .unwrap_or(self.view)
+                        .next()
+                } else {
+                    self.view.next()
+                };
+                self.in_view_change = false;
+                self.start_view_change(target, ctx);
+            }
+            TimerKind::T7Heartbeat if Some(id) == self.batch_timer => {
+                self.batch_timer = None;
+                self.propose_inner(true, ctx);
+            }
+            TimerKind::T8RecoveryWatchdog if Some(id) == self.recovery_timer => {
+                self.on_recovery_watchdog(ctx);
+            }
             _ => {}
         }
     }
@@ -1338,8 +1487,7 @@ impl PbftReadClient {
             return;
         }
         self.sent += 1;
-        let request =
-            bft_types::Request::new(self.id, self.sent, self.workload.next_txn());
+        let request = bft_types::Request::new(self.id, self.sent, self.workload.next_txn());
         let signed = SignedRequest::new(&self.store, request.clone());
         ctx.charge_crypto(CryptoOp::Sign);
         self.in_flight = Some((request.id, signed.clone(), ctx.now()));
@@ -1348,7 +1496,10 @@ impl PbftReadClient {
         if self.read_mode {
             // fast path: ask every replica's current state
             let n = self.q.n;
-            ctx.multicast((0..n as u32).map(NodeId::replica), PbftMsg::ReadOnly(signed));
+            ctx.multicast(
+                (0..n as u32).map(NodeId::replica),
+                PbftMsg::ReadOnly(signed),
+            );
         } else {
             ctx.send(NodeId::Replica(self.leader_hint), PbftMsg::Request(signed));
         }
@@ -1369,18 +1520,22 @@ impl Actor<PbftMsg> for PbftReadClient {
         self.submit_next(ctx);
     }
 
-    fn on_message(&mut self, from: NodeId, msg: PbftMsg, ctx: &mut Context<'_, PbftMsg>) {
+    fn on_message(&mut self, from: NodeId, msg: &PbftMsg, ctx: &mut Context<'_, PbftMsg>) {
         let PbftMsg::Reply(reply) = msg else { return };
-        let Some((current, _, sent_at)) = self.in_flight else { return };
+        let Some((current, _, sent_at)) = self.in_flight else {
+            return;
+        };
         if reply.request != current {
             return;
         }
-        let NodeId::Replica(replica) = from else { return };
+        let NodeId::Replica(replica) = from else {
+            return;
+        };
         ctx.charge_crypto(CryptoOp::Verify);
         self.leader_hint = reply.view.leader_of(self.q.n);
         let quorum = self.quorum();
         if let bft_core::client::CollectStatus::Complete { reply: agreed, .. } =
-            self.collector.offer(replica, reply, quorum)
+            self.collector.offer(replica, reply.clone(), quorum)
         {
             if let Some(t) = self.timer.take() {
                 ctx.cancel_timer(t);
@@ -1391,7 +1546,11 @@ impl Actor<PbftMsg> for PbftReadClient {
                 self.fast_reads += 1;
                 ctx.observe(Observation::Marker { label: "fast-read" });
             }
-            ctx.observe(Observation::ClientAccept { request: current, sent_at, fast_path: fast });
+            ctx.observe(Observation::ClientAccept {
+                request: current,
+                sent_at,
+                fast_path: fast,
+            });
             self.submit_next(ctx);
         }
     }
@@ -1400,11 +1559,15 @@ impl Actor<PbftMsg> for PbftReadClient {
         if Some(id) != self.timer {
             return;
         }
-        let Some((_, signed, _)) = self.in_flight.clone() else { return };
+        let Some((_, signed, _)) = self.in_flight.clone() else {
+            return;
+        };
         // read quorum failed to match (concurrent writes) or messages lost:
         // fall back to the ordered path, broadcast so the leader cannot hide
         if self.read_mode {
-            ctx.observe(Observation::Marker { label: "read-fallback" });
+            ctx.observe(Observation::Marker {
+                label: "read-fallback",
+            });
             self.read_mode = false;
             self.collector.clear();
         }
@@ -1427,7 +1590,11 @@ pub struct PbftOptions {
 
 impl Default for PbftOptions {
     fn default() -> Self {
-        PbftOptions { auth: PbftAuth::Mac, behaviors: Vec::new(), recovery_period: None }
+        PbftOptions {
+            auth: PbftAuth::Mac,
+            behaviors: Vec::new(),
+            recovery_period: None,
+        }
     }
 }
 
@@ -1451,11 +1618,19 @@ pub fn run(scenario: &Scenario, options: &PbftOptions) -> RunOutcome {
             .unwrap_or(Behavior::Honest);
         sim.add_replica(
             i,
-            Box::new(PbftReplica::new(ReplicaId(i), cfg.clone(), store.clone(), behavior)),
+            Box::new(PbftReplica::new(
+                ReplicaId(i),
+                cfg.clone(),
+                store.clone(),
+                behavior,
+            )),
         );
     }
     for c in 0..scenario.clients as u64 {
-        sim.add_client(c, Box::new(GenericClient::<PbftClientProto>::new(scenario, q, c)));
+        sim.add_client(
+            c,
+            Box::new(GenericClient::<PbftClientProto>::new(scenario, q, c)),
+        );
     }
     run_to_completion(sim, scenario.total_requests(), scenario.max_time)
 }
@@ -1480,7 +1655,12 @@ pub fn run_with_read_optimization(scenario: &Scenario, options: &PbftOptions) ->
             .unwrap_or(Behavior::Honest);
         sim.add_replica(
             i,
-            Box::new(PbftReplica::new(ReplicaId(i), cfg.clone(), store.clone(), behavior)),
+            Box::new(PbftReplica::new(
+                ReplicaId(i),
+                cfg.clone(),
+                store.clone(),
+                behavior,
+            )),
         );
     }
     for c in 0..scenario.clients as u64 {
@@ -1529,9 +1709,7 @@ mod tests {
         let out8 = run(&s8, &PbftOptions::default());
         assert_eq!(accepted(&out1), 200);
         assert_eq!(accepted(&out8), 200);
-        let commits = |o: &RunOutcome| {
-            o.log.count(|e| matches!(e.obs, Observation::Commit { .. }))
-        };
+        let commits = |o: &RunOutcome| o.log.count(|e| matches!(e.obs, Observation::Commit { .. }));
         assert!(
             commits(&out8) < commits(&out1),
             "batching must reduce consensus instances: {} vs {}",
@@ -1548,7 +1726,11 @@ mod tests {
         let out = run(&s, &PbftOptions::default());
         audit_excluding(&out, &[0]);
         assert!(out.log.max_view() >= View(1), "view change must happen");
-        assert_eq!(accepted(&out), 20, "all requests complete despite leader crash");
+        assert_eq!(
+            accepted(&out),
+            20,
+            "all requests complete despite leader crash"
+        );
     }
 
     #[test]
@@ -1599,14 +1781,14 @@ mod tests {
         let peers: Vec<NodeId> = (0..3).map(NodeId::replica).collect();
         // traffic must continue past the heal at 100 ms so checkpoint
         // attestations reach the healed replica and reveal it is behind
-        let s = Scenario::small(1).with_load(1, 250).with_faults(
-            FaultPlan::none().isolate(
+        let s = Scenario::small(1)
+            .with_load(1, 250)
+            .with_faults(FaultPlan::none().isolate(
                 NodeId::replica(3),
                 peers,
                 SimTime::ZERO,
                 SimTime(100_000_000),
-            ),
-        );
+            ));
         let out = run(&s, &PbftOptions::default());
         audit_excluding(&out, &[]);
         assert_eq!(accepted(&out), 250);
@@ -1621,14 +1803,28 @@ mod tests {
         let s = Scenario::small(1)
             .with_load(1, 20)
             .with_cost_model(bft_crypto::CryptoCostModel::realistic());
-        let mac = run(&s, &PbftOptions { auth: PbftAuth::Mac, ..Default::default() });
-        let sig = run(&s, &PbftOptions { auth: PbftAuth::Signature, ..Default::default() });
+        let mac = run(
+            &s,
+            &PbftOptions {
+                auth: PbftAuth::Mac,
+                ..Default::default()
+            },
+        );
+        let sig = run(
+            &s,
+            &PbftOptions {
+                auth: PbftAuth::Signature,
+                ..Default::default()
+            },
+        );
         audit_excluding(&mac, &[]);
         audit_excluding(&sig, &[]);
         assert_eq!(accepted(&mac), 20);
         assert_eq!(accepted(&sig), 20);
         let cpu = |o: &RunOutcome| {
-            (0..4).map(|i| o.metrics.node(NodeId::replica(i)).cpu.0).sum::<u64>()
+            (0..4)
+                .map(|i| o.metrics.node(NodeId::replica(i)).cpu.0)
+                .sum::<u64>()
         };
         assert!(
             cpu(&sig) > cpu(&mac) * 3,
@@ -1650,8 +1846,12 @@ mod tests {
         );
         audit_excluding(&out, &[]);
         assert_eq!(accepted(&out), 40);
-        let starts = out.log.count(|e| matches!(e.obs, Observation::RecoveryStart));
-        let dones = out.log.count(|e| matches!(e.obs, Observation::RecoveryDone));
+        let starts = out
+            .log
+            .count(|e| matches!(e.obs, Observation::RecoveryStart));
+        let dones = out
+            .log
+            .count(|e| matches!(e.obs, Observation::RecoveryDone));
         assert!(starts > 0, "rejuvenation must run");
         assert!(dones >= starts.saturating_sub(1), "rejuvenations complete");
     }
@@ -1675,8 +1875,13 @@ mod tests {
             },
         );
         let stages = out.log.stages_of(NodeId::replica(1));
-        for want in [Stage::Ordering, Stage::Execution, Stage::Checkpointing, Stage::ViewChange, Stage::Recovery]
-        {
+        for want in [
+            Stage::Ordering,
+            Stage::Execution,
+            Stage::Checkpointing,
+            Stage::ViewChange,
+            Stage::Recovery,
+        ] {
             assert!(stages.contains(&want), "stage {want} missing: {stages:?}");
         }
     }
@@ -1692,11 +1897,14 @@ mod tests {
         audit_excluding(&out, &[]);
         assert_eq!(accepted(&out), 30);
         let fast_reads = out.log.marker_count("fast-read");
-        assert!(fast_reads >= 15, "most reads take the fast path, got {fast_reads}");
+        assert!(
+            fast_reads >= 15,
+            "most reads take the fast path, got {fast_reads}"
+        );
         // fast reads run no consensus: commits < requests
-        let commits = out.log.count(|e| {
-            e.node == NodeId::replica(1) && matches!(e.obs, Observation::Commit { .. })
-        });
+        let commits = out
+            .log
+            .count(|e| e.node == NodeId::replica(1) && matches!(e.obs, Observation::Commit { .. }));
         assert!(
             (commits as u64) < 30,
             "reads must bypass ordering: {commits} consensus instances for 30 requests"

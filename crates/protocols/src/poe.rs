@@ -25,7 +25,7 @@ use bft_sim::runner::RunOutcome;
 use bft_sim::{Actor, Context, NodeId, Observation, SimDuration, Stage, TimerId};
 use bft_state::StateMachine;
 use bft_types::{
-    Digest, Op, QuorumRules, Reply, ReplicaId, RequestId, SeqNum, TimerKind, View, WireSize,
+    Digest, Op, QuorumRules, ReplicaId, Reply, RequestId, SeqNum, TimerKind, View, WireSize,
 };
 
 use crate::common::{
@@ -102,10 +102,20 @@ impl WireSize for PoeMsg {
             PoeMsg::Support { .. } => 1 + 16 + 32 + 4 + 72,
             PoeMsg::Certify { .. } => 1 + 16 + 32 + 96,
             PoeMsg::ViewChange { certified, .. } => {
-                1 + 8 + certified.iter().map(|(_, _, b)| 40 + b.wire_size()).sum::<usize>() + 72
+                1 + 8
+                    + certified
+                        .iter()
+                        .map(|(_, _, b)| 40 + b.wire_size())
+                        .sum::<usize>()
+                    + 72
             }
             PoeMsg::NewView { assignments, .. } => {
-                1 + 8 + assignments.iter().map(|(_, _, b)| 40 + b.wire_size()).sum::<usize>() + 72
+                1 + 8
+                    + assignments
+                        .iter()
+                        .map(|(_, _, b)| 40 + b.wire_size())
+                        .sum::<usize>()
+                    + 72
             }
         }
     }
@@ -236,7 +246,12 @@ impl PoeReplica {
                 slot.digest = Some(digest);
                 slot.batch = batch.clone();
             }
-            ctx.broadcast_replicas(PoeMsg::Propose { view, seq, digest, batch });
+            ctx.broadcast_replicas(PoeMsg::Propose {
+                view,
+                seq,
+                digest,
+                batch,
+            });
             ctx.charge_crypto(CryptoOp::ThresholdShareGen);
             self.record_support(self.me, seq, digest, ctx);
         }
@@ -267,20 +282,33 @@ impl PoeReplica {
             ctx.charge_crypto(CryptoOp::ThresholdCombine);
             let shares = slot.supports.len();
             match behavior {
-                PoeBehavior::WithholdCertify { seq: trigger, sole_recipient }
-                    if seq.0 == trigger =>
-                {
+                PoeBehavior::WithholdCertify {
+                    seq: trigger,
+                    sole_recipient,
+                } if seq.0 == trigger => {
                     // adversary: one replica gets the certificate, then
                     // silence — engineering the rollback scenario
-                    ctx.observe(Observation::Marker { label: "withheld-certify" });
+                    ctx.observe(Observation::Marker {
+                        label: "withheld-certify",
+                    });
                     ctx.send(
                         NodeId::Replica(sole_recipient),
-                        PoeMsg::Certify { view, seq, digest, shares },
+                        PoeMsg::Certify {
+                            view,
+                            seq,
+                            digest,
+                            shares,
+                        },
                     );
                     self.silenced = true;
                 }
                 _ => {
-                    ctx.broadcast_replicas(PoeMsg::Certify { view, seq, digest, shares });
+                    ctx.broadcast_replicas(PoeMsg::Certify {
+                        view,
+                        seq,
+                        digest,
+                        shares,
+                    });
                     self.on_certify(seq, digest, ctx);
                 }
             }
@@ -301,8 +329,13 @@ impl PoeReplica {
     fn try_execute(&mut self, ctx: &mut Context<'_, PoeMsg>) {
         loop {
             let next = self.exec_cursor.next();
-            let Some(slot) = self.slots.get(&next) else { break };
-            if !slot.certified || slot.executed || slot.batch.is_empty() && slot.digest.is_some() && !slot.batch.is_empty() {
+            let Some(slot) = self.slots.get(&next) else {
+                break;
+            };
+            if !slot.certified
+                || slot.executed
+                || slot.batch.is_empty() && slot.digest.is_some() && !slot.batch.is_empty()
+            {
                 break;
             }
             if !slot.certified || slot.executed {
@@ -311,7 +344,9 @@ impl PoeReplica {
             let batch = slot.batch.clone();
             let digest = slot.digest.unwrap_or(Digest::ZERO);
             let view = self.view;
-            ctx.observe(Observation::StageEnter { stage: Stage::Execution });
+            ctx.observe(Observation::StageEnter {
+                stage: Stage::Execution,
+            });
             let sm_start = self.sm.last_executed().next();
             for signed in &batch {
                 let seq = self.sm.last_executed().next();
@@ -326,7 +361,11 @@ impl PoeReplica {
                     ctx.charge(SimDuration(work as u64 * 1_000));
                 }
                 let (result, state_digest) = self.sm.execute_speculative(seq, &signed.request);
-                ctx.observe(Observation::Execute { seq, request: signed.request.id, state_digest });
+                ctx.observe(Observation::Execute {
+                    seq,
+                    request: signed.request.id,
+                    state_digest,
+                });
                 self.executed_reqs.insert(signed.request.id, ());
                 self.pending_reqs.retain(|r| *r != signed.request.id);
                 let reply = Reply {
@@ -337,14 +376,24 @@ impl PoeReplica {
                     speculative: true,
                 };
                 ctx.charge_crypto(CryptoOp::MacGen);
-                ctx.send(NodeId::Client(signed.request.id.client), PoeMsg::Reply(reply));
+                ctx.send(
+                    NodeId::Client(signed.request.id.client),
+                    PoeMsg::Reply(reply),
+                );
             }
-            ctx.observe(Observation::Commit { seq: next, view, digest, speculative: true });
+            ctx.observe(Observation::Commit {
+                seq: next,
+                view,
+                digest,
+                speculative: true,
+            });
             let slot = self.slots.get_mut(&next).expect("slot exists");
             slot.executed = true;
             slot.sm_start = Some(sm_start);
             self.exec_cursor = next;
-            ctx.observe(Observation::StageEnter { stage: Stage::Ordering });
+            ctx.observe(Observation::StageEnter {
+                stage: Stage::Ordering,
+            });
             if self.pending_reqs.is_empty() {
                 if let Some(t) = self.vc_timer.take() {
                     ctx.cancel_timer(t);
@@ -363,7 +412,9 @@ impl PoeReplica {
             return; // already campaigning for this view or higher
         }
         self.in_view_change = true;
-        ctx.observe(Observation::StageEnter { stage: Stage::ViewChange });
+        ctx.observe(Observation::StageEnter {
+            stage: Stage::ViewChange,
+        });
         let certified: Vec<(SeqNum, Digest, Vec<SignedRequest>)> = self
             .slots
             .iter()
@@ -398,8 +449,7 @@ impl PoeReplica {
             self.start_view_change(target, ctx);
             return;
         }
-        if target.leader_of(self.q.n) == self.me && self.in_view_change && have >= self.q.quorum()
-        {
+        if target.leader_of(self.q.n) == self.me && self.in_view_change && have >= self.q.quorum() {
             // union of certified entries; fresh assignments for known
             // requests not covered
             let votes = self.vc_votes.get(&target).cloned().unwrap_or_default();
@@ -434,7 +484,10 @@ impl PoeReplica {
                 .map(|(i, (d, b))| (SeqNum(i as u64 + 1), d, b))
                 .collect();
             ctx.charge_crypto(CryptoOp::Sign);
-            ctx.broadcast_replicas(PoeMsg::NewView { view: target, assignments: compacted.clone() });
+            ctx.broadcast_replicas(PoeMsg::NewView {
+                view: target,
+                assignments: compacted.clone(),
+            });
             self.install_view(target, compacted, ctx);
         }
     }
@@ -452,7 +505,9 @@ impl PoeReplica {
             ctx.cancel_timer(t);
         }
         ctx.observe(Observation::NewView { view });
-        ctx.observe(Observation::StageEnter { stage: Stage::Ordering });
+        ctx.observe(Observation::StageEnter {
+            stage: Stage::Ordering,
+        });
         self.last_new_view = Some((view, assignments.clone()));
 
         // rollback check: find the first executed slot whose assignment in
@@ -467,7 +522,11 @@ impl PoeReplica {
             }
         }
         // also: any executed slot beyond the assignment range dies
-        let max_assigned = assignments.iter().map(|(s, _, _)| *s).max().unwrap_or(SeqNum(0));
+        let max_assigned = assignments
+            .iter()
+            .map(|(s, _, _)| *s)
+            .max()
+            .unwrap_or(SeqNum(0));
         if rollback_slot.is_none() && self.exec_cursor > max_assigned {
             rollback_slot = Some(max_assigned.next());
         }
@@ -527,7 +586,7 @@ impl PoeReplica {
             .filter(|(_, m)| msg_view(m).is_some_and(|v| v > cur))
             .collect();
         for (from, msg) in now {
-            self.on_message(from, msg, ctx);
+            self.on_message(from, &msg, ctx);
         }
     }
 
@@ -545,10 +604,12 @@ impl PoeReplica {
 
 impl Actor<PoeMsg> for PoeReplica {
     fn on_start(&mut self, ctx: &mut Context<'_, PoeMsg>) {
-        ctx.observe(Observation::StageEnter { stage: Stage::Ordering });
+        ctx.observe(Observation::StageEnter {
+            stage: Stage::Ordering,
+        });
     }
 
-    fn on_message(&mut self, from: NodeId, msg: PoeMsg, ctx: &mut Context<'_, PoeMsg>) {
+    fn on_message(&mut self, from: NodeId, msg: &PoeMsg, ctx: &mut Context<'_, PoeMsg>) {
         match msg {
             PoeMsg::Request(signed) => {
                 ctx.charge_crypto(CryptoOp::Verify);
@@ -572,8 +633,12 @@ impl Actor<PoeMsg> for PoeReplica {
                 }
                 self.known.insert(signed.request.id, signed.clone());
                 if self.is_leader() {
-                    if !self.mempool.iter().any(|r| r.request.id == signed.request.id) {
-                        self.mempool.push_back(signed);
+                    if !self
+                        .mempool
+                        .iter()
+                        .any(|r| r.request.id == signed.request.id)
+                    {
+                        self.mempool.push_back(signed.clone());
                     }
                     self.propose(ctx);
                 } else {
@@ -588,8 +653,19 @@ impl Actor<PoeMsg> for PoeReplica {
                     }
                 }
             }
-            PoeMsg::Propose { view, seq, digest, batch } => {
-                let m = PoeMsg::Propose { view, seq, digest, batch: batch.clone() };
+            PoeMsg::Propose {
+                view,
+                seq,
+                digest,
+                batch,
+            } => {
+                let (view, seq, digest) = (*view, *seq, *digest);
+                let m = PoeMsg::Propose {
+                    view,
+                    seq,
+                    digest,
+                    batch: batch.clone(),
+                };
                 if !self.view_ok(from, view, m) {
                     return;
                 }
@@ -598,10 +674,10 @@ impl Actor<PoeMsg> for PoeReplica {
                 }
                 ctx.charge_crypto(CryptoOp::Verify);
                 ctx.charge_crypto(CryptoOp::Hash);
-                if digest_of(&batch) != digest {
+                if digest_of(batch) != digest {
                     return;
                 }
-                for r in &batch {
+                for r in batch.iter() {
                     self.known.entry(r.request.id).or_insert_with(|| r.clone());
                 }
                 {
@@ -610,23 +686,53 @@ impl Actor<PoeMsg> for PoeReplica {
                         return;
                     }
                     slot.digest = Some(digest);
-                    slot.batch = batch;
+                    slot.batch = batch.clone();
                 }
                 ctx.charge_crypto(CryptoOp::ThresholdShareGen);
                 let leader = self.leader();
                 let me = self.me;
-                ctx.send(NodeId::Replica(leader), PoeMsg::Support { view, seq, digest, from: me });
+                ctx.send(
+                    NodeId::Replica(leader),
+                    PoeMsg::Support {
+                        view,
+                        seq,
+                        digest,
+                        from: me,
+                    },
+                );
             }
-            PoeMsg::Support { view, seq, digest, from: r } => {
-                let m = PoeMsg::Support { view, seq, digest, from: r };
+            PoeMsg::Support {
+                view,
+                seq,
+                digest,
+                from: r,
+            } => {
+                let (view, seq, digest, r) = (*view, *seq, *digest, *r);
+                let m = PoeMsg::Support {
+                    view,
+                    seq,
+                    digest,
+                    from: r,
+                };
                 if !self.view_ok(from, view, m) {
                     return;
                 }
                 ctx.charge_crypto(CryptoOp::ThresholdShareVerify);
                 self.record_support(r, seq, digest, ctx);
             }
-            PoeMsg::Certify { view, seq, digest, shares } => {
-                let m = PoeMsg::Certify { view, seq, digest, shares };
+            PoeMsg::Certify {
+                view,
+                seq,
+                digest,
+                shares,
+            } => {
+                let (view, seq, digest, shares) = (*view, *seq, *digest, *shares);
+                let m = PoeMsg::Certify {
+                    view,
+                    seq,
+                    digest,
+                    shares,
+                };
                 if !self.view_ok(from, view, m) {
                     return;
                 }
@@ -636,24 +742,32 @@ impl Actor<PoeMsg> for PoeReplica {
                 ctx.charge_crypto(CryptoOp::ThresholdVerify);
                 self.on_certify(seq, digest, ctx);
             }
-            PoeMsg::ViewChange { new_view, certified, from: r } => {
+            PoeMsg::ViewChange {
+                new_view,
+                certified,
+                from: r,
+            } => {
+                let (new_view, r) = (*new_view, *r);
                 ctx.charge_crypto(CryptoOp::Verify);
                 if new_view <= self.view {
                     // the sender is behind: bring it up to date
                     if let Some((v, assignments)) = self.last_new_view.clone() {
                         ctx.send(
                             NodeId::Replica(r),
-                            PoeMsg::NewView { view: v, assignments },
+                            PoeMsg::NewView {
+                                view: v,
+                                assignments,
+                            },
                         );
                     }
                     return;
                 }
-                self.record_vc(r, new_view, certified, ctx);
+                self.record_vc(r, new_view, certified.clone(), ctx);
             }
             PoeMsg::NewView { view, assignments } => {
-                if view >= self.view && from == NodeId::Replica(view.leader_of(self.q.n)) {
+                if *view >= self.view && from == NodeId::Replica(view.leader_of(self.q.n)) {
                     ctx.charge_crypto(CryptoOp::Verify);
-                    self.install_view(view, assignments, ctx);
+                    self.install_view(*view, assignments.clone(), ctx);
                 }
             }
             PoeMsg::Reply(_) => {}
@@ -665,7 +779,13 @@ impl Actor<PoeMsg> for PoeReplica {
             self.vc_timer = None;
             if self.in_view_change {
                 // the campaign failed: escalate to the next view
-                let target = self.vc_votes.keys().max().copied().unwrap_or(self.view).next();
+                let target = self
+                    .vc_votes
+                    .keys()
+                    .max()
+                    .copied()
+                    .unwrap_or(self.view)
+                    .next();
                 self.start_view_change(target, ctx);
             } else if !self.pending_reqs.is_empty() {
                 let target = self.view.next();
@@ -728,7 +848,10 @@ pub fn run(scenario: &Scenario, behaviors: &[(ReplicaId, PoeBehavior)]) -> RunOu
         );
     }
     for c in 0..scenario.clients as u64 {
-        sim.add_client(c, Box::new(GenericClient::<PoeClientProto>::new(scenario, q, c)));
+        sim.add_client(
+            c,
+            Box::new(GenericClient::<PoeClientProto>::new(scenario, q, c)),
+        );
     }
     run_to_completion(sim, scenario.total_requests(), scenario.max_time)
 }
@@ -748,12 +871,19 @@ mod tests {
         let out = run(&s, &[]);
         SafetyAuditor::all_correct().assert_safe(&out.log);
         assert_eq!(accepted(&out), 30);
-        let spec = out
-            .log
-            .count(|e| matches!(e.obs, Observation::Commit { speculative: true, .. }));
+        let spec = out.log.count(|e| {
+            matches!(
+                e.obs,
+                Observation::Commit {
+                    speculative: true,
+                    ..
+                }
+            )
+        });
         assert!(spec >= 30 * 4 - 8, "replicas commit speculatively");
         assert_eq!(
-            out.log.count(|e| matches!(e.obs, Observation::Rollback { .. })),
+            out.log
+                .count(|e| matches!(e.obs, Observation::Rollback { .. })),
             0
         );
     }
@@ -776,7 +906,10 @@ mod tests {
         // change may proceed without replica 1's certificate (we partition
         // it briefly), so the new view assigns slot 3 differently — replica
         // 1 must roll back. Safety must hold throughout.
-        let peers: Vec<NodeId> = [0u32, 2, 3, 4, 5, 6].iter().map(|i| NodeId::replica(*i)).collect();
+        let peers: Vec<NodeId> = [0u32, 2, 3, 4, 5, 6]
+            .iter()
+            .map(|i| NodeId::replica(*i))
+            .collect();
         let s = Scenario::small(2)
             .with_load(2, 10)
             .with_faults(FaultPlan::none().isolate(
@@ -789,7 +922,10 @@ mod tests {
             &s,
             &[(
                 ReplicaId(0),
-                PoeBehavior::WithholdCertify { seq: 3, sole_recipient: ReplicaId(1) },
+                PoeBehavior::WithholdCertify {
+                    seq: 3,
+                    sole_recipient: ReplicaId(1),
+                },
             )],
         );
         // replica 0 is Byzantine; replica 1's speculative execution is the

@@ -28,7 +28,7 @@ use bft_sim::runner::RunOutcome;
 use bft_sim::{Actor, Context, NodeId, Observation, SimDuration, SimTime, Stage, TimerId};
 use bft_state::StateMachine;
 use bft_types::{
-    Digest, Op, QuorumRules, Reply, ReplicaId, RequestId, SeqNum, TimerKind, View, WireSize,
+    Digest, Op, QuorumRules, ReplicaId, Reply, RequestId, SeqNum, TimerKind, View, WireSize,
 };
 
 use crate::common::{
@@ -123,10 +123,20 @@ impl WireSize for PrimeMsg {
             PrimeMsg::PrePrepare { batch, .. } => 1 + 16 + 32 + batch.wire_size() + 64,
             PrimeMsg::Prepare { .. } | PrimeMsg::Commit { .. } => 1 + 16 + 32 + 4 + 64,
             PrimeMsg::ViewChange { prepared, .. } => {
-                1 + 8 + prepared.iter().map(|(_, _, b)| 40 + b.wire_size()).sum::<usize>() + 64
+                1 + 8
+                    + prepared
+                        .iter()
+                        .map(|(_, _, b)| 40 + b.wire_size())
+                        .sum::<usize>()
+                    + 64
             }
             PrimeMsg::NewView { pre_prepares, .. } => {
-                1 + 8 + pre_prepares.iter().map(|(_, _, b)| 40 + b.wire_size()).sum::<usize>() + 64
+                1 + 8
+                    + pre_prepares
+                        .iter()
+                        .map(|(_, _, b)| 40 + b.wire_size())
+                        .sum::<usize>()
+                    + 64
             }
         }
     }
@@ -249,12 +259,21 @@ impl PrimeReplica {
         self.by_request.insert(signed.request.id, key);
         self.preorder.insert(
             key,
-            PreorderEntry { request: signed.clone(), acks: vec![self.me], eligible_at: None, ordered: false },
+            PreorderEntry {
+                request: signed.clone(),
+                acks: vec![self.me],
+                eligible_at: None,
+                ordered: false,
+            },
         );
         ctx.charge_crypto(CryptoOp::Sign);
         let me = self.me;
         let origin_seq = self.my_origin_seq;
-        ctx.broadcast_replicas(PrimeMsg::PoRequest { origin: me, origin_seq, request: signed });
+        ctx.broadcast_replicas(PrimeMsg::PoRequest {
+            origin: me,
+            origin_seq,
+            request: signed,
+        });
     }
 
     fn on_po_request(
@@ -283,7 +302,12 @@ impl PrimeReplica {
         // acknowledge all-to-all
         ctx.charge_crypto(CryptoOp::Sign);
         let me = self.me;
-        ctx.broadcast_replicas(PrimeMsg::PoAck { origin, origin_seq, digest, from: me });
+        ctx.broadcast_replicas(PrimeMsg::PoAck {
+            origin,
+            origin_seq,
+            digest,
+            from: me,
+        });
         self.on_po_ack(origin, origin_seq, me, ctx);
     }
 
@@ -297,7 +321,9 @@ impl PrimeReplica {
         let quorum = self.q.quorum();
         let now = ctx.now();
         let key = (origin, origin_seq);
-        let Some(entry) = self.preorder.get_mut(&key) else { return };
+        let Some(entry) = self.preorder.get_mut(&key) else {
+            return;
+        };
         if !entry.acks.contains(&from) {
             entry.acks.push(from);
         }
@@ -355,7 +381,12 @@ impl PrimeReplica {
                 slot.digest = Some(digest);
                 slot.batch = batch.clone();
             }
-            ctx.broadcast_replicas(PrimeMsg::PrePrepare { view, seq, digest, batch });
+            ctx.broadcast_replicas(PrimeMsg::PrePrepare {
+                view,
+                seq,
+                digest,
+                batch,
+            });
         }
     }
 
@@ -381,7 +412,12 @@ impl PrimeReplica {
             if !slot.sent_commit {
                 slot.sent_commit = true;
                 ctx.charge_crypto(CryptoOp::Sign);
-                ctx.broadcast_replicas(PrimeMsg::Commit { view, seq, digest, from: me });
+                ctx.broadcast_replicas(PrimeMsg::Commit {
+                    view,
+                    seq,
+                    digest,
+                    from: me,
+                });
                 self.record_commit(me, seq, digest, ctx);
             }
         }
@@ -405,7 +441,12 @@ impl PrimeReplica {
         }
         if slot.prepared && !slot.committed && slot.commits.len() >= quorum {
             slot.committed = true;
-            ctx.observe(Observation::Commit { seq, view, digest, speculative: false });
+            ctx.observe(Observation::Commit {
+                seq,
+                view,
+                digest,
+                speculative: false,
+            });
             self.try_execute(ctx);
         }
     }
@@ -413,13 +454,17 @@ impl PrimeReplica {
     fn try_execute(&mut self, ctx: &mut Context<'_, PrimeMsg>) {
         loop {
             let next = self.exec_cursor.next();
-            let Some(slot) = self.slots.get(&next) else { break };
+            let Some(slot) = self.slots.get(&next) else {
+                break;
+            };
             if !slot.committed || slot.executed {
                 break;
             }
             let batch = slot.batch.clone();
             let view = self.view;
-            ctx.observe(Observation::StageEnter { stage: Stage::Execution });
+            ctx.observe(Observation::StageEnter {
+                stage: Stage::Execution,
+            });
             for signed in &batch {
                 if self.executed_reqs.contains_key(&signed.request.id) {
                     continue;
@@ -436,7 +481,11 @@ impl PrimeReplica {
                     ctx.charge(SimDuration(work as u64 * 1_000));
                 }
                 let (result, state_digest) = self.sm.execute(seq, &signed.request);
-                ctx.observe(Observation::Execute { seq, request: signed.request.id, state_digest });
+                ctx.observe(Observation::Execute {
+                    seq,
+                    request: signed.request.id,
+                    state_digest,
+                });
                 self.executed_reqs.insert(signed.request.id, ());
                 if let Some(key) = self.by_request.get(&signed.request.id) {
                     if let Some(e) = self.preorder.get_mut(key) {
@@ -451,12 +500,17 @@ impl PrimeReplica {
                     speculative: false,
                 };
                 ctx.charge_crypto(CryptoOp::Sign);
-                ctx.send(NodeId::Client(signed.request.id.client), PrimeMsg::Reply(reply));
+                ctx.send(
+                    NodeId::Client(signed.request.id.client),
+                    PrimeMsg::Reply(reply),
+                );
             }
             let slot = self.slots.get_mut(&next).expect("slot exists");
             slot.executed = true;
             self.exec_cursor = next;
-            ctx.observe(Observation::StageEnter { stage: Stage::Ordering });
+            ctx.observe(Observation::StageEnter {
+                stage: Stage::Ordering,
+            });
         }
     }
 
@@ -478,7 +532,9 @@ impl PrimeReplica {
             if now.since(t) > self.order_bound {
                 // the leader is provably underperforming: a correct leader
                 // orders an eligible request within the bound
-                ctx.observe(Observation::Marker { label: "leader-underperforming" });
+                ctx.observe(Observation::Marker {
+                    label: "leader-underperforming",
+                });
                 let target = self.view.next();
                 self.start_view_change(target, ctx);
             }
@@ -495,7 +551,9 @@ impl PrimeReplica {
             return;
         }
         self.in_view_change = true;
-        ctx.observe(Observation::StageEnter { stage: Stage::ViewChange });
+        ctx.observe(Observation::StageEnter {
+            stage: Stage::ViewChange,
+        });
         let prepared: Vec<(SeqNum, Digest, Vec<SignedRequest>)> = self
             .slots
             .iter()
@@ -529,8 +587,7 @@ impl PrimeReplica {
             self.start_view_change(target, ctx);
             return;
         }
-        if target.leader_of(self.q.n) == self.me && self.in_view_change && have >= self.q.quorum()
-        {
+        if target.leader_of(self.q.n) == self.me && self.in_view_change && have >= self.q.quorum() {
             let votes = self.vc_votes.get(&target).cloned().unwrap_or_default();
             let mut re_proposals: BTreeMap<SeqNum, (Digest, Vec<SignedRequest>)> = BTreeMap::new();
             for (_, prepared) in &votes {
@@ -538,8 +595,10 @@ impl PrimeReplica {
                     re_proposals.entry(*seq).or_insert((*digest, batch.clone()));
                 }
             }
-            let pre_prepares: Vec<(SeqNum, Digest, Vec<SignedRequest>)> =
-                re_proposals.into_iter().map(|(s, (d, b))| (s, d, b)).collect();
+            let pre_prepares: Vec<(SeqNum, Digest, Vec<SignedRequest>)> = re_proposals
+                .into_iter()
+                .map(|(s, (d, b))| (s, d, b))
+                .collect();
             ctx.charge_crypto(CryptoOp::Sign);
             ctx.broadcast_replicas(PrimeMsg::NewView {
                 view: target,
@@ -559,7 +618,9 @@ impl PrimeReplica {
         self.in_view_change = false;
         self.vc_votes.retain(|v, _| *v > view);
         ctx.observe(Observation::NewView { view });
-        ctx.observe(Observation::StageEnter { stage: Stage::Ordering });
+        ctx.observe(Observation::StageEnter {
+            stage: Stage::Ordering,
+        });
         let exec_cursor = self.exec_cursor;
         let re_proposed: Vec<SeqNum> = pre_prepares.iter().map(|(s, _, _)| *s).collect();
         // dead slots: release their requests back to the eligible pool
@@ -581,7 +642,11 @@ impl PrimeReplica {
                 }
             }
         }
-        let max_seq = pre_prepares.iter().map(|(s, _, _)| *s).max().unwrap_or(exec_cursor);
+        let max_seq = pre_prepares
+            .iter()
+            .map(|(s, _, _)| *s)
+            .max()
+            .unwrap_or(exec_cursor);
         let leader = self.leader();
         let me = self.me;
         for (seq, digest, batch) in pre_prepares {
@@ -604,12 +669,20 @@ impl PrimeReplica {
             if me != leader {
                 ctx.charge_crypto(CryptoOp::Sign);
                 let view = self.view;
-                ctx.broadcast_replicas(PrimeMsg::Prepare { view, seq, digest, from: me });
+                ctx.broadcast_replicas(PrimeMsg::Prepare {
+                    view,
+                    seq,
+                    digest,
+                    from: me,
+                });
                 self.record_prepare(me, seq, digest, ctx);
             }
         }
         if self.is_leader() {
-            self.next_seq = self.next_seq.max(max_seq.next()).max(self.exec_cursor.next());
+            self.next_seq = self
+                .next_seq
+                .max(max_seq.next())
+                .max(self.exec_cursor.next());
             self.propose_eligible(ctx);
         }
         let cur = self.view;
@@ -627,7 +700,7 @@ impl PrimeReplica {
             .filter(|(_, m)| msg_view(m).is_some_and(|v| v > cur))
             .collect();
         for (from, msg) in now {
-            self.on_message(from, msg, ctx);
+            self.on_message(from, &msg, ctx);
         }
     }
 
@@ -645,11 +718,13 @@ impl PrimeReplica {
 
 impl Actor<PrimeMsg> for PrimeReplica {
     fn on_start(&mut self, ctx: &mut Context<'_, PrimeMsg>) {
-        ctx.observe(Observation::StageEnter { stage: Stage::Ordering });
+        ctx.observe(Observation::StageEnter {
+            stage: Stage::Ordering,
+        });
         self.monitor_timer = Some(ctx.set_timer(TimerKind::T7Heartbeat, self.heartbeat));
     }
 
-    fn on_message(&mut self, from: NodeId, msg: PrimeMsg, ctx: &mut Context<'_, PrimeMsg>) {
+    fn on_message(&mut self, from: NodeId, msg: &PrimeMsg, ctx: &mut Context<'_, PrimeMsg>) {
         match msg {
             PrimeMsg::Request(signed) => {
                 ctx.charge_crypto(CryptoOp::Verify);
@@ -671,17 +746,37 @@ impl Actor<PrimeMsg> for PrimeReplica {
                     }
                     return;
                 }
-                self.originate(signed, ctx);
+                self.originate(signed.clone(), ctx);
             }
-            PrimeMsg::PoRequest { origin, origin_seq, request } => {
-                self.on_po_request(origin, origin_seq, request, ctx);
+            PrimeMsg::PoRequest {
+                origin,
+                origin_seq,
+                request,
+            } => {
+                self.on_po_request(*origin, *origin_seq, request.clone(), ctx);
             }
-            PrimeMsg::PoAck { origin, origin_seq, from: r, .. } => {
+            PrimeMsg::PoAck {
+                origin,
+                origin_seq,
+                from: r,
+                ..
+            } => {
                 ctx.charge_crypto(CryptoOp::Verify);
-                self.on_po_ack(origin, origin_seq, r, ctx);
+                self.on_po_ack(*origin, *origin_seq, *r, ctx);
             }
-            PrimeMsg::PrePrepare { view, seq, digest, batch } => {
-                let m = PrimeMsg::PrePrepare { view, seq, digest, batch: batch.clone() };
+            PrimeMsg::PrePrepare {
+                view,
+                seq,
+                digest,
+                batch,
+            } => {
+                let (view, seq, digest) = (*view, *seq, *digest);
+                let m = PrimeMsg::PrePrepare {
+                    view,
+                    seq,
+                    digest,
+                    batch: batch.clone(),
+                };
                 if !self.view_ok(from, view, m) {
                     return;
                 }
@@ -690,11 +785,11 @@ impl Actor<PrimeMsg> for PrimeReplica {
                 }
                 ctx.charge_crypto(CryptoOp::Verify);
                 ctx.charge_crypto(CryptoOp::Hash);
-                if digest_of(&batch) != digest {
+                if digest_of(batch) != digest {
                     return;
                 }
                 // mark proposals as ordered so the monitor credits the leader
-                for r in &batch {
+                for r in batch.iter() {
                     if let Some(key) = self.by_request.get(&r.request.id).copied() {
                         if let Some(e) = self.preorder.get_mut(&key) {
                             e.ordered = true;
@@ -702,7 +797,8 @@ impl Actor<PrimeMsg> for PrimeReplica {
                     } else {
                         // the leader may order requests we have not yet
                         // preordered locally; learn them
-                        self.by_request.insert(r.request.id, (ReplicaId(u32::MAX), 0));
+                        self.by_request
+                            .insert(r.request.id, (ReplicaId(u32::MAX), 0));
                     }
                 }
                 {
@@ -711,37 +807,68 @@ impl Actor<PrimeMsg> for PrimeReplica {
                         return;
                     }
                     slot.digest = Some(digest);
-                    slot.batch = batch;
+                    slot.batch = batch.clone();
                 }
                 let me = self.me;
                 ctx.charge_crypto(CryptoOp::Sign);
-                ctx.broadcast_replicas(PrimeMsg::Prepare { view, seq, digest, from: me });
+                ctx.broadcast_replicas(PrimeMsg::Prepare {
+                    view,
+                    seq,
+                    digest,
+                    from: me,
+                });
                 self.record_prepare(me, seq, digest, ctx);
             }
-            PrimeMsg::Prepare { view, seq, digest, from: r } => {
-                let m = PrimeMsg::Prepare { view, seq, digest, from: r };
+            PrimeMsg::Prepare {
+                view,
+                seq,
+                digest,
+                from: r,
+            } => {
+                let (view, seq, digest, r) = (*view, *seq, *digest, *r);
+                let m = PrimeMsg::Prepare {
+                    view,
+                    seq,
+                    digest,
+                    from: r,
+                };
                 if !self.view_ok(from, view, m) {
                     return;
                 }
                 ctx.charge_crypto(CryptoOp::Verify);
                 self.record_prepare(r, seq, digest, ctx);
             }
-            PrimeMsg::Commit { view, seq, digest, from: r } => {
-                let m = PrimeMsg::Commit { view, seq, digest, from: r };
+            PrimeMsg::Commit {
+                view,
+                seq,
+                digest,
+                from: r,
+            } => {
+                let (view, seq, digest, r) = (*view, *seq, *digest, *r);
+                let m = PrimeMsg::Commit {
+                    view,
+                    seq,
+                    digest,
+                    from: r,
+                };
                 if !self.view_ok(from, view, m) {
                     return;
                 }
                 ctx.charge_crypto(CryptoOp::Verify);
                 self.record_commit(r, seq, digest, ctx);
             }
-            PrimeMsg::ViewChange { new_view, prepared, from: r } => {
+            PrimeMsg::ViewChange {
+                new_view,
+                prepared,
+                from: r,
+            } => {
                 ctx.charge_crypto(CryptoOp::Verify);
-                self.record_vc(r, new_view, prepared, ctx);
+                self.record_vc(*r, *new_view, prepared.clone(), ctx);
             }
             PrimeMsg::NewView { view, pre_prepares } => {
-                if view >= self.view && from == NodeId::Replica(view.leader_of(self.q.n)) {
+                if *view >= self.view && from == NodeId::Replica(view.leader_of(self.q.n)) {
                     ctx.charge_crypto(CryptoOp::Verify);
-                    self.install_view(view, pre_prepares, ctx);
+                    self.install_view(*view, pre_prepares.clone(), ctx);
                 }
             }
             PrimeMsg::Reply(_) => {}
@@ -813,7 +940,10 @@ pub fn run(scenario: &Scenario, behaviors: &[(ReplicaId, PrimeBehavior)]) -> Run
         );
     }
     for c in 0..scenario.clients as u64 {
-        sim.add_client(c, Box::new(GenericClient::<PrimeClientProto>::new(scenario, q, c)));
+        sim.add_client(
+            c,
+            Box::new(GenericClient::<PrimeClientProto>::new(scenario, q, c)),
+        );
     }
     run_to_completion(sim, scenario.total_requests(), scenario.max_time)
 }
@@ -838,7 +968,10 @@ mod tests {
         let out = run(&s, &[]);
         SafetyAuditor::all_correct().assert_safe(&out.log);
         assert_eq!(accepted(&out), 20);
-        assert!(out.log.marker_count("eligible") >= 20, "preordering must run");
+        assert!(
+            out.log.marker_count("eligible") >= 20,
+            "preordering must run"
+        );
     }
 
     #[test]
@@ -862,8 +995,14 @@ mod tests {
         let s = Scenario::small(1).with_load(1, 20);
         let out = run(&s, &[(ReplicaId(0), PrimeBehavior::DelayLeader(delay))]);
         SafetyAuditor::excluding(vec![NodeId::replica(0)]).assert_safe(&out.log);
-        assert!(out.log.marker_count("leader-underperforming") > 0, "τ7 must catch it");
-        assert!(out.log.max_view() >= View(1), "the slow leader must be replaced");
+        assert!(
+            out.log.marker_count("leader-underperforming") > 0,
+            "τ7 must catch it"
+        );
+        assert!(
+            out.log.max_view() >= View(1),
+            "the slow leader must be replaced"
+        );
         assert_eq!(accepted(&out), 20);
     }
 

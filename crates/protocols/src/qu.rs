@@ -123,13 +123,24 @@ pub struct QuReplica {
 impl QuReplica {
     /// Create a replica.
     pub fn new(me: ReplicaId, store: Arc<KeyStore>) -> Self {
-        QuReplica { me, store, objects: ObjectStore::default(), answered: BTreeMap::new() }
+        QuReplica {
+            me,
+            store,
+            objects: ObjectStore::default(),
+            answered: BTreeMap::new(),
+        }
     }
 }
 
 impl Actor<QuMsg> for QuReplica {
-    fn on_message(&mut self, _from: NodeId, msg: QuMsg, ctx: &mut Context<'_, QuMsg>) {
-        let QuMsg::Propose { request, expected_version } = msg else { return };
+    fn on_message(&mut self, _from: NodeId, msg: &QuMsg, ctx: &mut Context<'_, QuMsg>) {
+        let QuMsg::Propose {
+            request,
+            expected_version,
+        } = msg
+        else {
+            return;
+        };
         ctx.charge_crypto(CryptoOp::Verify);
         if !request.verify(&self.store) {
             return;
@@ -139,7 +150,13 @@ impl Actor<QuMsg> for QuReplica {
             let me = self.me;
             ctx.send(
                 NodeId::Client(id.client),
-                QuMsg::Answer { request: id, applied, version, value, from: me },
+                QuMsg::Answer {
+                    request: id,
+                    applied,
+                    version,
+                    value,
+                    from: me,
+                },
             );
             return;
         }
@@ -149,7 +166,7 @@ impl Actor<QuMsg> for QuReplica {
                 (true, v, val)
             }
             Some(Op::Put(k, val)) => {
-                let (applied, v) = self.objects.write(*k, *val, expected_version);
+                let (applied, v) = self.objects.write(*k, *val, *expected_version);
                 (applied, v, Some(*val))
             }
             // Q/U objects support read and overwrite; read-modify-write
@@ -157,15 +174,19 @@ impl Actor<QuMsg> for QuReplica {
             // `Add` is treated as a blind write of the delta (the client
             // already folded any read into the proposed value).
             Some(Op::Add(k, val)) => {
-                let (applied, v) = self.objects.write(*k, *val, expected_version);
+                let (applied, v) = self.objects.write(*k, *val, *expected_version);
                 (applied, v, Some(*val))
             }
             _ => (true, 0, None),
         };
         if applied {
-            ctx.observe(Observation::Marker { label: "qu-applied" });
+            ctx.observe(Observation::Marker {
+                label: "qu-applied",
+            });
         } else {
-            ctx.observe(Observation::Marker { label: "qu-refused" });
+            ctx.observe(Observation::Marker {
+                label: "qu-refused",
+            });
         }
         // record the convergence probe: version-sum acts as a logical clock
         ctx.observe(Observation::StableCheckpoint {
@@ -177,7 +198,13 @@ impl Actor<QuMsg> for QuReplica {
         let me = self.me;
         ctx.send(
             NodeId::Client(id.client),
-            QuMsg::Answer { request: id, applied, version, value, from: me },
+            QuMsg::Answer {
+                request: id,
+                applied,
+                version,
+                value,
+                from: me,
+            },
         );
     }
 }
@@ -255,13 +282,18 @@ impl QuClient {
         self.max_refused_version = 0;
         ctx.multicast(
             (0..self.q.n as u32).map(NodeId::replica),
-            QuMsg::Propose { request: signed, expected_version: expected },
+            QuMsg::Propose {
+                request: signed,
+                expected_version: expected,
+            },
         );
         self.timer = Some(ctx.set_timer(TimerKind::T1WaitReplies, self.backoff));
     }
 
     fn retry(&mut self, ctx: &mut Context<'_, QuMsg>) {
-        let Some((_, signed, _, _)) = self.in_flight.clone() else { return };
+        let Some((_, signed, _, _)) = self.in_flight.clone() else {
+            return;
+        };
         self.retries += 1;
         ctx.observe(Observation::Marker { label: "qu-retry" });
         // repair: adopt the most advanced version we have been told about
@@ -284,7 +316,12 @@ impl QuClient {
         let at = ctx.now() + delay;
         let _ = at;
         // schedule via timer: the actual re-proposal happens on fire
-        self.in_flight = Some((request.id, SignedRequest::new(&self.store, request), 0, ctx.now()));
+        self.in_flight = Some((
+            request.id,
+            SignedRequest::new(&self.store, request),
+            0,
+            ctx.now(),
+        ));
         self.timer = Some(ctx.set_timer(TimerKind::T1WaitReplies, delay));
         self.answers.clear();
     }
@@ -301,10 +338,24 @@ impl Actor<QuMsg> for QuClient {
         self.submit_next(ctx);
     }
 
-    fn on_message(&mut self, from: NodeId, msg: QuMsg, ctx: &mut Context<'_, QuMsg>) {
-        let QuMsg::Answer { request, applied, version, value, .. } = msg else { return };
-        let NodeId::Replica(replica) = from else { return };
-        let Some((current, signed, _, _)) = self.in_flight.clone() else { return };
+    fn on_message(&mut self, from: NodeId, msg: &QuMsg, ctx: &mut Context<'_, QuMsg>) {
+        let QuMsg::Answer {
+            request,
+            applied,
+            version,
+            value,
+            ..
+        } = msg
+        else {
+            return;
+        };
+        let (request, applied, version, value) = (*request, *applied, *version, *value);
+        let NodeId::Replica(replica) = from else {
+            return;
+        };
+        let Some((current, signed, _, _)) = self.in_flight.clone() else {
+            return;
+        };
         if request != current {
             return;
         }
@@ -361,7 +412,9 @@ impl Actor<QuMsg> for QuClient {
             return;
         }
         self.timer = None;
-        let Some((_, signed, _, _)) = self.in_flight.clone() else { return };
+        let Some((_, signed, _, _)) = self.in_flight.clone() else {
+            return;
+        };
         // timer fires either as backoff expiry (re-propose) or as a reply
         // timeout (also re-propose, with whatever repair info we have)
         let key = signed
@@ -414,7 +467,11 @@ mod tests {
             .with_workload(WorkloadConfig::uniform());
         let out = run(&s);
         assert_eq!(accepted(&out), 80);
-        assert_eq!(out.log.marker_count("qu-retry"), 0, "disjoint keys never conflict");
+        assert_eq!(
+            out.log.marker_count("qu-retry"),
+            0,
+            "disjoint keys never conflict"
+        );
         // zero replica-to-replica messages: the protocol's defining property
         for (node, counters) in out.metrics.nodes() {
             if node.is_replica() {
@@ -426,14 +483,20 @@ mod tests {
 
     #[test]
     fn contention_costs_retries_not_phases() {
-        let uniform = Scenario::small(1).with_load(4, 20).with_workload(WorkloadConfig::uniform());
+        let uniform = Scenario::small(1)
+            .with_load(4, 20)
+            .with_workload(WorkloadConfig::uniform());
         let hot = Scenario::small(1)
             .with_load(4, 20)
             .with_workload(WorkloadConfig::contended(0.9));
         let out_u = run(&uniform);
         let out_h = run(&hot);
         assert_eq!(accepted(&out_u), 80);
-        assert_eq!(accepted(&out_h), 80, "liveness under contention (with backoff)");
+        assert_eq!(
+            accepted(&out_h),
+            80,
+            "liveness under contention (with backoff)"
+        );
         assert!(
             out_h.log.marker_count("qu-retry") > 0,
             "hot keys must cause version conflicts and retries"

@@ -30,7 +30,7 @@ use bft_sim::runner::RunOutcome;
 use bft_sim::{Actor, Context, NodeId, Observation, SimDuration, Stage, TimerId};
 use bft_state::StateMachine;
 use bft_types::{
-    Digest, Op, QuorumRules, Reply, ReplicaId, RequestId, SeqNum, TimerKind, View, WireSize,
+    Digest, Op, QuorumRules, ReplicaId, Reply, RequestId, SeqNum, TimerKind, View, WireSize,
 };
 
 use crate::common::{
@@ -274,8 +274,7 @@ impl SbftReplica {
             .known
             .values()
             .filter(|r| {
-                !self.executed_reqs.contains_key(&r.request.id)
-                    && !in_slots.contains(&r.request.id)
+                !self.executed_reqs.contains_key(&r.request.id) && !in_slots.contains(&r.request.id)
             })
             .cloned()
             .collect();
@@ -292,7 +291,12 @@ impl SbftReplica {
                 slot.digest = Some(digest);
                 slot.batch = batch.clone();
             }
-            ctx.broadcast_replicas(SbftMsg::PrePrepare { view, seq, digest, batch });
+            ctx.broadcast_replicas(SbftMsg::PrePrepare {
+                view,
+                seq,
+                digest,
+                batch,
+            });
             // the collector contributes its own share and starts τ3
             self.sign_slot(seq, digest, ctx);
             let t3 = ctx.set_timer(TimerKind::T3BackupFailure, self.t3_timeout);
@@ -337,7 +341,12 @@ impl SbftReplica {
             }
             ctx.charge_crypto(CryptoOp::ThresholdCombine);
             ctx.observe(Observation::Marker { label: "fast-path" });
-            ctx.broadcast_replicas(SbftMsg::FullCommitProof { view, seq, digest, shares: n });
+            ctx.broadcast_replicas(SbftMsg::FullCommitProof {
+                view,
+                seq,
+                digest,
+                shares: n,
+            });
             self.commit_slot(seq, digest, ctx);
         }
     }
@@ -386,7 +395,15 @@ impl SbftReplica {
         if me == leader {
             self.record_commit_share(me, seq, digest, ctx);
         } else {
-            ctx.send(NodeId::Replica(leader), SbftMsg::CommitShare { view, seq, digest, from: me });
+            ctx.send(
+                NodeId::Replica(leader),
+                SbftMsg::CommitShare {
+                    view,
+                    seq,
+                    digest,
+                    from: me,
+                },
+            );
         }
     }
 
@@ -423,19 +440,28 @@ impl SbftReplica {
             return;
         }
         slot.committed = true;
-        ctx.observe(Observation::Commit { seq, view, digest, speculative: false });
+        ctx.observe(Observation::Commit {
+            seq,
+            view,
+            digest,
+            speculative: false,
+        });
         self.try_execute(ctx);
     }
 
     fn try_execute(&mut self, ctx: &mut Context<'_, SbftMsg>) {
         loop {
             let next = self.exec_cursor.next();
-            let Some(slot) = self.slots.get(&next) else { break };
+            let Some(slot) = self.slots.get(&next) else {
+                break;
+            };
             if !slot.committed || slot.executed {
                 break;
             }
             let batch = slot.batch.clone();
-            ctx.observe(Observation::StageEnter { stage: Stage::Execution });
+            ctx.observe(Observation::StageEnter {
+                stage: Stage::Execution,
+            });
             for signed in &batch {
                 let seq = self.sm.last_executed().next();
                 let work: u32 = signed
@@ -449,7 +475,11 @@ impl SbftReplica {
                     ctx.charge(SimDuration(work as u64 * 1_000));
                 }
                 let (result, state_digest) = self.sm.execute(seq, &signed.request);
-                ctx.observe(Observation::Execute { seq, request: signed.request.id, state_digest });
+                ctx.observe(Observation::Execute {
+                    seq,
+                    request: signed.request.id,
+                    state_digest,
+                });
                 self.executed_reqs.insert(signed.request.id, ());
                 self.pending_reqs.retain(|r| *r != signed.request.id);
                 let reply = Reply {
@@ -481,7 +511,9 @@ impl SbftReplica {
             let slot = self.slots.get_mut(&next).expect("slot exists");
             slot.executed = true;
             self.exec_cursor = next;
-            ctx.observe(Observation::StageEnter { stage: Stage::Ordering });
+            ctx.observe(Observation::StageEnter {
+                stage: Stage::Ordering,
+            });
             if self.pending_reqs.is_empty() {
                 if let Some(t) = self.vc_timer.take() {
                     ctx.cancel_timer(t);
@@ -500,7 +532,10 @@ impl SbftReplica {
         ctx: &mut Context<'_, SbftMsg>,
     ) {
         let weak = self.q.weak();
-        let entry = self.exec_shares.entry((seq, request)).or_insert((Vec::new(), None));
+        let entry = self
+            .exec_shares
+            .entry((seq, request))
+            .or_insert((Vec::new(), None));
         if !entry.0.contains(&from) {
             entry.0.push(from);
         }
@@ -521,7 +556,9 @@ impl SbftReplica {
             return;
         }
         self.in_view_change = true;
-        ctx.observe(Observation::StageEnter { stage: Stage::ViewChange });
+        ctx.observe(Observation::StageEnter {
+            stage: Stage::ViewChange,
+        });
         let signed_slots: Vec<(SeqNum, Digest, Vec<SignedRequest>)> = self
             .slots
             .iter()
@@ -556,8 +593,7 @@ impl SbftReplica {
             self.start_view_change(target, ctx);
             return;
         }
-        if target.leader_of(self.q.n) == self.me && self.in_view_change && have >= self.q.quorum()
-        {
+        if target.leader_of(self.q.n) == self.me && self.in_view_change && have >= self.q.quorum() {
             let votes = self.vc_votes.get(&target).cloned().unwrap_or_default();
             let mut re_proposals: BTreeMap<SeqNum, (Digest, Vec<SignedRequest>)> = BTreeMap::new();
             for (_, slots) in &votes {
@@ -570,7 +606,10 @@ impl SbftReplica {
                 .map(|(s, (d, b))| (s, d, b))
                 .collect();
             ctx.charge_crypto(CryptoOp::Sign);
-            ctx.broadcast_replicas(SbftMsg::NewView { view: target, pre_prepares: pre_prepares.clone() });
+            ctx.broadcast_replicas(SbftMsg::NewView {
+                view: target,
+                pre_prepares: pre_prepares.clone(),
+            });
             self.install_view(target, pre_prepares, ctx);
         }
     }
@@ -588,7 +627,9 @@ impl SbftReplica {
             ctx.cancel_timer(t);
         }
         ctx.observe(Observation::NewView { view });
-        ctx.observe(Observation::StageEnter { stage: Stage::Ordering });
+        ctx.observe(Observation::StageEnter {
+            stage: Stage::Ordering,
+        });
         // drop dead slots, remember their requests
         let exec_cursor = self.exec_cursor;
         let re_proposed: Vec<SeqNum> = pre_prepares.iter().map(|(s, _, _)| *s).collect();
@@ -604,7 +645,11 @@ impl SbftReplica {
         for r in stranded {
             self.known.entry(r.request.id).or_insert(r);
         }
-        let max_seq = pre_prepares.iter().map(|(s, _, _)| *s).max().unwrap_or(exec_cursor);
+        let max_seq = pre_prepares
+            .iter()
+            .map(|(s, _, _)| *s)
+            .max()
+            .unwrap_or(exec_cursor);
         let leader = self.leader();
         let me = self.me;
         for (seq, digest, batch) in pre_prepares {
@@ -632,11 +677,22 @@ impl SbftReplica {
                 self.record_share(me, seq, digest, ctx);
             } else {
                 let view = self.view;
-                ctx.send(NodeId::Replica(leader), SbftMsg::SignShare { view, seq, digest, from: me });
+                ctx.send(
+                    NodeId::Replica(leader),
+                    SbftMsg::SignShare {
+                        view,
+                        seq,
+                        digest,
+                        from: me,
+                    },
+                );
             }
         }
         if self.is_leader() {
-            self.next_seq = self.next_seq.max(max_seq.next()).max(self.exec_cursor.next());
+            self.next_seq = self
+                .next_seq
+                .max(max_seq.next())
+                .max(self.exec_cursor.next());
             self.propose_known(ctx);
         }
         // replay racing messages
@@ -658,7 +714,7 @@ impl SbftReplica {
             .filter(|(_, m)| msg_view(m).is_some_and(|v| v > cur))
             .collect();
         for (from, msg) in now {
-            self.on_message(from, msg, ctx);
+            self.on_message(from, &msg, ctx);
         }
     }
 
@@ -680,10 +736,12 @@ impl SbftReplica {
 
 impl Actor<SbftMsg> for SbftReplica {
     fn on_start(&mut self, ctx: &mut Context<'_, SbftMsg>) {
-        ctx.observe(Observation::StageEnter { stage: Stage::Ordering });
+        ctx.observe(Observation::StageEnter {
+            stage: Stage::Ordering,
+        });
     }
 
-    fn on_message(&mut self, from: NodeId, msg: SbftMsg, ctx: &mut Context<'_, SbftMsg>) {
+    fn on_message(&mut self, from: NodeId, msg: &SbftMsg, ctx: &mut Context<'_, SbftMsg>) {
         match msg {
             SbftMsg::Request(signed) => {
                 ctx.charge_crypto(CryptoOp::Verify);
@@ -722,8 +780,19 @@ impl Actor<SbftMsg> for SbftReplica {
                     }
                 }
             }
-            SbftMsg::PrePrepare { view, seq, digest, batch } => {
-                let m = SbftMsg::PrePrepare { view, seq, digest, batch: batch.clone() };
+            SbftMsg::PrePrepare {
+                view,
+                seq,
+                digest,
+                batch,
+            } => {
+                let (view, seq, digest) = (*view, *seq, *digest);
+                let m = SbftMsg::PrePrepare {
+                    view,
+                    seq,
+                    digest,
+                    batch: batch.clone(),
+                };
                 if !self.view_ok(from, view, m) {
                     return;
                 }
@@ -732,7 +801,7 @@ impl Actor<SbftMsg> for SbftReplica {
                 }
                 ctx.charge_crypto(CryptoOp::Verify);
                 ctx.charge_crypto(CryptoOp::Hash);
-                if digest_of(&batch) != digest {
+                if digest_of(batch) != digest {
                     return;
                 }
                 {
@@ -741,23 +810,53 @@ impl Actor<SbftMsg> for SbftReplica {
                         return;
                     }
                     slot.digest = Some(digest);
-                    slot.batch = batch;
+                    slot.batch = batch.clone();
                 }
                 self.sign_slot(seq, digest, ctx);
                 let leader = self.leader();
                 let me = self.me;
-                ctx.send(NodeId::Replica(leader), SbftMsg::SignShare { view, seq, digest, from: me });
+                ctx.send(
+                    NodeId::Replica(leader),
+                    SbftMsg::SignShare {
+                        view,
+                        seq,
+                        digest,
+                        from: me,
+                    },
+                );
             }
-            SbftMsg::SignShare { view, seq, digest, from: r } => {
-                let m = SbftMsg::SignShare { view, seq, digest, from: r };
+            SbftMsg::SignShare {
+                view,
+                seq,
+                digest,
+                from: r,
+            } => {
+                let (view, seq, digest, r) = (*view, *seq, *digest, *r);
+                let m = SbftMsg::SignShare {
+                    view,
+                    seq,
+                    digest,
+                    from: r,
+                };
                 if !self.view_ok(from, view, m) {
                     return;
                 }
                 ctx.charge_crypto(CryptoOp::ThresholdShareVerify);
                 self.record_share(r, seq, digest, ctx);
             }
-            SbftMsg::FullCommitProof { view, seq, digest, shares } => {
-                let m = SbftMsg::FullCommitProof { view, seq, digest, shares };
+            SbftMsg::FullCommitProof {
+                view,
+                seq,
+                digest,
+                shares,
+            } => {
+                let (view, seq, digest, shares) = (*view, *seq, *digest, *shares);
+                let m = SbftMsg::FullCommitProof {
+                    view,
+                    seq,
+                    digest,
+                    shares,
+                };
                 if !self.view_ok(from, view, m) {
                     return;
                 }
@@ -771,8 +870,19 @@ impl Actor<SbftMsg> for SbftReplica {
                 }
                 self.commit_slot(seq, digest, ctx);
             }
-            SbftMsg::CommitProof { view, seq, digest, shares } => {
-                let m = SbftMsg::CommitProof { view, seq, digest, shares };
+            SbftMsg::CommitProof {
+                view,
+                seq,
+                digest,
+                shares,
+            } => {
+                let (view, seq, digest, shares) = (*view, *seq, *digest, *shares);
+                let m = SbftMsg::CommitProof {
+                    view,
+                    seq,
+                    digest,
+                    shares,
+                };
                 if !self.view_ok(from, view, m) {
                     return;
                 }
@@ -781,8 +891,19 @@ impl Actor<SbftMsg> for SbftReplica {
                 }
                 self.on_commit_proof(seq, digest, ctx);
             }
-            SbftMsg::CommitShare { view, seq, digest, from: r } => {
-                let m = SbftMsg::CommitShare { view, seq, digest, from: r };
+            SbftMsg::CommitShare {
+                view,
+                seq,
+                digest,
+                from: r,
+            } => {
+                let (view, seq, digest, r) = (*view, *seq, *digest, *r);
+                let m = SbftMsg::CommitShare {
+                    view,
+                    seq,
+                    digest,
+                    from: r,
+                };
                 if !self.view_ok(from, view, m) {
                     return;
                 }
@@ -790,6 +911,7 @@ impl Actor<SbftMsg> for SbftReplica {
                 self.record_commit_share(r, seq, digest, ctx);
             }
             SbftMsg::FullExecuteProof { view, seq, digest } => {
+                let (view, seq, digest) = (*view, *seq, *digest);
                 let m = SbftMsg::FullExecuteProof { view, seq, digest };
                 if !self.view_ok(from, view, m) {
                     return;
@@ -797,20 +919,30 @@ impl Actor<SbftMsg> for SbftReplica {
                 ctx.charge_crypto(CryptoOp::ThresholdVerify);
                 self.commit_slot(seq, digest, ctx);
             }
-            SbftMsg::ExecShare { seq, request, state_digest, reply, from: r } => {
+            SbftMsg::ExecShare {
+                seq,
+                request,
+                state_digest,
+                reply,
+                from: r,
+            } => {
                 if self.is_leader() {
                     ctx.charge_crypto(CryptoOp::ThresholdShareVerify);
-                    self.record_exec_share(r, seq, request, state_digest, reply, ctx);
+                    self.record_exec_share(*r, *seq, *request, *state_digest, reply.clone(), ctx);
                 }
             }
-            SbftMsg::ViewChange { new_view, signed_slots, from: r } => {
+            SbftMsg::ViewChange {
+                new_view,
+                signed_slots,
+                from: r,
+            } => {
                 ctx.charge_crypto(CryptoOp::Verify);
-                self.record_vc(r, new_view, signed_slots, ctx);
+                self.record_vc(*r, *new_view, signed_slots.clone(), ctx);
             }
             SbftMsg::NewView { view, pre_prepares } => {
-                if view >= self.view && from == NodeId::Replica(view.leader_of(self.q.n)) {
+                if *view >= self.view && from == NodeId::Replica(view.leader_of(self.q.n)) {
                     ctx.charge_crypto(CryptoOp::Verify);
-                    self.install_view(view, pre_prepares, ctx);
+                    self.install_view(*view, pre_prepares.clone(), ctx);
                 }
             }
             SbftMsg::Reply(_) => {}
@@ -830,14 +962,13 @@ impl Actor<SbftMsg> for SbftReplica {
                     self.on_t3(seq, ctx);
                 }
             }
-            TimerKind::T2ViewChange
-                if Some(id) == self.vc_timer => {
-                    self.vc_timer = None;
-                    if !self.pending_reqs.is_empty() {
-                        let target = self.view.next();
-                        self.start_view_change(target, ctx);
-                    }
+            TimerKind::T2ViewChange if Some(id) == self.vc_timer => {
+                self.vc_timer = None;
+                if !self.pending_reqs.is_empty() {
+                    let target = self.view.next();
+                    self.start_view_change(target, ctx);
                 }
+            }
             _ => {}
         }
     }
@@ -892,7 +1023,10 @@ pub fn run(scenario: &Scenario) -> RunOutcome {
         );
     }
     for c in 0..scenario.clients as u64 {
-        sim.add_client(c, Box::new(GenericClient::<SbftClientProto>::new(scenario, q, c)));
+        sim.add_client(
+            c,
+            Box::new(GenericClient::<SbftClientProto>::new(scenario, q, c)),
+        );
     }
     run_to_completion(sim, scenario.total_requests(), scenario.max_time)
 }
@@ -925,7 +1059,10 @@ mod tests {
         let out = run(&s);
         SafetyAuditor::excluding(vec![NodeId::replica(2)]).assert_safe(&out.log);
         assert_eq!(accepted(&out), 20);
-        assert!(out.log.marker_count("slow-path") >= 20, "τ3 must fire per slot");
+        assert!(
+            out.log.marker_count("slow-path") >= 20,
+            "τ3 must fire per slot"
+        );
         assert_eq!(out.log.marker_count("fast-path"), 0);
     }
 
@@ -963,7 +1100,10 @@ mod tests {
         let out = run(&s);
         // each request produces exactly one reply message to the client
         let client_received = out.metrics.node(NodeId::client(0)).msgs_received;
-        assert_eq!(client_received, 5, "collector sends exactly one reply per request");
+        assert_eq!(
+            client_received, 5,
+            "collector sends exactly one reply per request"
+        );
     }
 
     #[test]

@@ -25,7 +25,7 @@ use bft_sim::runner::RunOutcome;
 use bft_sim::{Actor, Context, NodeId, Observation, SimDuration, Stage, TimerId};
 use bft_state::StateMachine;
 use bft_types::{
-    Digest, Op, QuorumRules, Reply, ReplicaId, RequestId, SeqNum, TimerKind, View, WireSize,
+    Digest, Op, QuorumRules, ReplicaId, Reply, RequestId, SeqNum, TimerKind, View, WireSize,
 };
 
 use crate::common::{
@@ -162,7 +162,9 @@ impl TendermintReplica {
     }
 
     fn i_propose_now(&self) -> bool {
-        self.proposer(self.height, self.round) == self.me && self.proposal.is_none() && !self.decided
+        self.proposer(self.height, self.round) == self.me
+            && self.proposal.is_none()
+            && !self.decided
     }
 
     fn schedule_propose(&mut self, ctx: &mut Context<'_, TmMsg>) {
@@ -172,12 +174,16 @@ impl TendermintReplica {
         if self.opt_informed && self.informed {
             // informed-leader optimization: we saw 2f+1 precommits for the
             // previous height ourselves — no Δ-wait needed
-            ctx.observe(Observation::Marker { label: "informed-skip-delta" });
+            ctx.observe(Observation::Marker {
+                label: "informed-skip-delta",
+            });
             self.do_propose(ctx);
         } else {
             // non-responsive: wait the full synchrony bound Δ so slow
             // correct replicas' decisions are surely known (τ5)
-            ctx.observe(Observation::Marker { label: "delta-wait" });
+            ctx.observe(Observation::Marker {
+                label: "delta-wait",
+            });
             self.propose_timer = Some(ctx.set_timer(TimerKind::T5ViewSync, self.delta));
         }
     }
@@ -187,10 +193,15 @@ impl TendermintReplica {
             return;
         }
         let executed = &self.executed_reqs;
-        self.mempool.retain(|r| !executed.contains_key(&r.request.id));
+        self.mempool
+            .retain(|r| !executed.contains_key(&r.request.id));
         // re-propose the locked value if we hold a lock, else a new batch
         let (digest, batch) = if let Some((locked_digest, _)) = self.locked {
-            let batch = self.batches.get(&locked_digest).cloned().unwrap_or_default();
+            let batch = self
+                .batches
+                .get(&locked_digest)
+                .cloned()
+                .unwrap_or_default();
             (locked_digest, batch)
         } else {
             if self.mempool.is_empty() {
@@ -206,7 +217,12 @@ impl TendermintReplica {
         let height = self.height;
         let round = self.round;
         self.batches.insert(digest, batch.clone());
-        ctx.broadcast_replicas(TmMsg::Proposal { height, round, digest, batch: batch.clone() });
+        ctx.broadcast_replicas(TmMsg::Proposal {
+            height,
+            round,
+            digest,
+            batch: batch.clone(),
+        });
         self.on_proposal(self.me, height, round, digest, batch, ctx);
     }
 
@@ -249,7 +265,13 @@ impl TendermintReplica {
         let height = self.height;
         let round = self.round;
         let me = self.me;
-        ctx.broadcast_replicas(TmMsg::Vote { kind, height, round, digest, from: me });
+        ctx.broadcast_replicas(TmMsg::Vote {
+            kind,
+            height,
+            round,
+            digest,
+            from: me,
+        });
         self.record_vote(me, kind, height, round, digest, ctx);
     }
 
@@ -308,7 +330,9 @@ impl TendermintReplica {
             speculative: false,
         });
         let batch = self.batches.get(&digest).cloned().unwrap_or_default();
-        ctx.observe(Observation::StageEnter { stage: Stage::Execution });
+        ctx.observe(Observation::StageEnter {
+            stage: Stage::Execution,
+        });
         for signed in &batch {
             if self.executed_reqs.contains_key(&signed.request.id) {
                 continue;
@@ -325,7 +349,11 @@ impl TendermintReplica {
                 ctx.charge(SimDuration(work as u64 * 1_000));
             }
             let (result, state_digest) = self.sm.execute(seq, &signed.request);
-            ctx.observe(Observation::Execute { seq, request: signed.request.id, state_digest });
+            ctx.observe(Observation::Execute {
+                seq,
+                request: signed.request.id,
+                state_digest,
+            });
             self.executed_reqs.insert(signed.request.id, ());
             let reply = Reply {
                 request: signed.request.id,
@@ -335,9 +363,14 @@ impl TendermintReplica {
                 speculative: false,
             };
             ctx.charge_crypto(CryptoOp::Sign);
-            ctx.send(NodeId::Client(signed.request.id.client), TmMsg::Reply(reply));
+            ctx.send(
+                NodeId::Client(signed.request.id.client),
+                TmMsg::Reply(reply),
+            );
         }
-        ctx.observe(Observation::StageEnter { stage: Stage::Ordering });
+        ctx.observe(Observation::StageEnter {
+            stage: Stage::Ordering,
+        });
         // informed? we ourselves saw 2f+1 precommits for this height
         self.informed = true;
         self.enter_height(height.next(), ctx);
@@ -357,7 +390,9 @@ impl TendermintReplica {
         if let Some(t) = self.propose_timer.take() {
             ctx.cancel_timer(t);
         }
-        ctx.observe(Observation::NewView { view: View(height.0) });
+        ctx.observe(Observation::NewView {
+            view: View(height.0),
+        });
         self.schedule_propose(ctx);
         if !self.mempool.is_empty() {
             self.arm_round_timer(ctx);
@@ -378,17 +413,20 @@ impl TendermintReplica {
 
     fn arm_round_timer(&mut self, ctx: &mut Context<'_, TmMsg>) {
         if self.round_timer.is_none() {
-            self.round_timer = Some(ctx.set_timer(TimerKind::T4QuorumConstruction, self.round_timeout));
+            self.round_timer =
+                Some(ctx.set_timer(TimerKind::T4QuorumConstruction, self.round_timeout));
         }
     }
 }
 
 impl Actor<TmMsg> for TendermintReplica {
     fn on_start(&mut self, ctx: &mut Context<'_, TmMsg>) {
-        ctx.observe(Observation::StageEnter { stage: Stage::Ordering });
+        ctx.observe(Observation::StageEnter {
+            stage: Stage::Ordering,
+        });
     }
 
-    fn on_message(&mut self, from: NodeId, msg: TmMsg, ctx: &mut Context<'_, TmMsg>) {
+    fn on_message(&mut self, from: NodeId, msg: &TmMsg, ctx: &mut Context<'_, TmMsg>) {
         match msg {
             TmMsg::Request(signed) => {
                 ctx.charge_crypto(CryptoOp::Verify);
@@ -410,24 +448,39 @@ impl Actor<TmMsg> for TendermintReplica {
                     }
                     return;
                 }
-                if !self.mempool.iter().any(|r| r.request.id == signed.request.id) {
-                    self.mempool.push_back(signed);
+                if !self
+                    .mempool
+                    .iter()
+                    .any(|r| r.request.id == signed.request.id)
+                {
+                    self.mempool.push_back(signed.clone());
                 }
                 self.schedule_propose(ctx);
                 self.arm_round_timer(ctx);
             }
-            TmMsg::Proposal { height, round, digest, batch } => {
+            TmMsg::Proposal {
+                height,
+                round,
+                digest,
+                batch,
+            } => {
                 let NodeId::Replica(r) = from else { return };
                 ctx.charge_crypto(CryptoOp::Verify);
                 ctx.charge_crypto(CryptoOp::Hash);
-                if digest_of(&batch) != digest {
+                if digest_of(batch) != *digest {
                     return;
                 }
-                self.on_proposal(r, height, round, digest, batch, ctx);
+                self.on_proposal(r, *height, *round, *digest, batch.clone(), ctx);
             }
-            TmMsg::Vote { kind, height, round, digest, from: r } => {
+            TmMsg::Vote {
+                kind,
+                height,
+                round,
+                digest,
+                from: r,
+            } => {
                 ctx.charge_crypto(CryptoOp::Verify);
-                self.record_vote(r, kind, height, round, digest, ctx);
+                self.record_vote(*r, *kind, *height, *round, *digest, ctx);
             }
             TmMsg::Reply(_) => {}
         }
@@ -435,23 +488,21 @@ impl Actor<TmMsg> for TendermintReplica {
 
     fn on_timer(&mut self, id: TimerId, kind: TimerKind, ctx: &mut Context<'_, TmMsg>) {
         match kind {
-            TimerKind::T5ViewSync
-                if Some(id) == self.propose_timer => {
-                    self.propose_timer = None;
-                    self.do_propose(ctx);
+            TimerKind::T5ViewSync if Some(id) == self.propose_timer => {
+                self.propose_timer = None;
+                self.do_propose(ctx);
+            }
+            TimerKind::T4QuorumConstruction if Some(id) == self.round_timer => {
+                self.round_timer = None;
+                if self.decided || self.mempool.is_empty() && self.proposal.is_none() {
+                    return;
                 }
-            TimerKind::T4QuorumConstruction
-                if Some(id) == self.round_timer => {
-                    self.round_timer = None;
-                    if self.decided || self.mempool.is_empty() && self.proposal.is_none() {
-                        return;
-                    }
-                    // the round stalled: prevote/precommit nil to unblock
-                    if self.proposal.is_none() {
-                        self.cast(VoteKind::Prevote, None, ctx);
-                    }
-                    self.arm_round_timer(ctx);
+                // the round stalled: prevote/precommit nil to unblock
+                if self.proposal.is_none() {
+                    self.cast(VoteKind::Prevote, None, ctx);
                 }
+                self.arm_round_timer(ctx);
+            }
             _ => {}
         }
     }
@@ -506,7 +557,10 @@ pub fn run(scenario: &Scenario, informed_leader_opt: bool) -> RunOutcome {
         );
     }
     for c in 0..scenario.clients as u64 {
-        sim.add_client(c, Box::new(GenericClient::<TmClientProto>::new(scenario, q, c)));
+        sim.add_client(
+            c,
+            Box::new(GenericClient::<TmClientProto>::new(scenario, q, c)),
+        );
     }
     run_to_completion(sim, scenario.total_requests(), scenario.max_time)
 }
@@ -531,7 +585,10 @@ mod tests {
         let out = run(&s, false);
         SafetyAuditor::all_correct().assert_safe(&out.log);
         assert_eq!(accepted(&out), 20);
-        assert!(out.log.marker_count("delta-wait") >= 19, "every height waits Δ");
+        assert!(
+            out.log.marker_count("delta-wait") >= 19,
+            "every height waits Δ"
+        );
     }
 
     #[test]
@@ -571,7 +628,11 @@ mod tests {
             .with_faults(FaultPlan::none().crash(NodeId::replica(2), SimTime(1_000_000)));
         let out = run(&s, false);
         SafetyAuditor::excluding(vec![NodeId::replica(2)]).assert_safe(&out.log);
-        assert_eq!(accepted(&out), 10, "nil-vote rounds must skip the crashed proposer");
+        assert_eq!(
+            accepted(&out),
+            10,
+            "nil-vote rounds must skip the crashed proposer"
+        );
     }
 
     #[test]

@@ -31,7 +31,7 @@ use bft_sim::runner::RunOutcome;
 use bft_sim::{Actor, Context, NodeId, Observation, SimDuration, SimTime, Stage, TimerId};
 use bft_state::StateMachine;
 use bft_types::{
-    ClientId, Digest, Op, QuorumRules, Reply, ReplicaId, Request, RequestId, SeqNum, TimerKind,
+    ClientId, Digest, Op, QuorumRules, ReplicaId, Reply, Request, RequestId, SeqNum, TimerKind,
     View, WireSize,
 };
 
@@ -152,7 +152,12 @@ pub struct ZyzzyvaReplica {
 
 impl ZyzzyvaReplica {
     /// Create a replica.
-    pub fn new(me: ReplicaId, q: QuorumRules, store: Arc<KeyStore>, view_timeout: SimDuration) -> Self {
+    pub fn new(
+        me: ReplicaId,
+        q: QuorumRules,
+        store: Arc<KeyStore>,
+        view_timeout: SimDuration,
+    ) -> Self {
         ZyzzyvaReplica {
             me,
             q,
@@ -189,7 +194,11 @@ impl ZyzzyvaReplica {
             return;
         }
         // already ordered and in flight?
-        if self.pending.values().any(|r| r.request.id == signed.request.id) {
+        if self
+            .pending
+            .values()
+            .any(|r| r.request.id == signed.request.id)
+        {
             return;
         }
         let seq = self.next_seq;
@@ -207,7 +216,12 @@ impl ZyzzyvaReplica {
         self.accept_order(seq, signed, ctx);
     }
 
-    fn accept_order(&mut self, seq: SeqNum, signed: SignedRequest, ctx: &mut Context<'_, ZyzzyvaMsg>) {
+    fn accept_order(
+        &mut self,
+        seq: SeqNum,
+        signed: SignedRequest,
+        ctx: &mut Context<'_, ZyzzyvaMsg>,
+    ) {
         self.known.insert(signed.request.id, signed.clone());
         self.pending.insert(seq, signed);
         self.execute_ready(ctx);
@@ -227,7 +241,11 @@ impl ZyzzyvaReplica {
                 ctx.charge(SimDuration(work as u64 * 1_000));
             }
             let (result, state_digest) = self.sm.execute_speculative(seq, &signed.request);
-            ctx.observe(Observation::Execute { seq, request: signed.request.id, state_digest });
+            ctx.observe(Observation::Execute {
+                seq,
+                request: signed.request.id,
+                state_digest,
+            });
             ctx.observe(Observation::Commit {
                 seq,
                 view: self.view,
@@ -282,7 +300,12 @@ impl ZyzzyvaReplica {
         ctx.charge_crypto(CryptoOp::MacGen);
         ctx.send(
             NodeId::Client(request.client),
-            ZyzzyvaMsg::LocalCommit { request, view, from: me, state_digest },
+            ZyzzyvaMsg::LocalCommit {
+                request,
+                view,
+                from: me,
+                state_digest,
+            },
         );
     }
 
@@ -303,7 +326,10 @@ impl ZyzzyvaReplica {
                         speculative: true,
                     };
                     let seq = self.sm.last_executed();
-                    ctx.send(NodeId::Client(id.client), ZyzzyvaMsg::SpecReply { reply, seq });
+                    ctx.send(
+                        NodeId::Client(id.client),
+                        ZyzzyvaMsg::SpecReply { reply, seq },
+                    );
                     return;
                 }
             }
@@ -329,15 +355,27 @@ impl ZyzzyvaReplica {
             return;
         }
         self.in_view_change = true;
-        ctx.observe(Observation::StageEnter { stage: Stage::ViewChange });
+        ctx.observe(Observation::StageEnter {
+            stage: Stage::ViewChange,
+        });
         ctx.charge_crypto(CryptoOp::Sign);
         let me = self.me;
         let max_cc = self.max_cc;
-        ctx.broadcast_replicas(ZyzzyvaMsg::ViewChange { new_view: target, max_cc, from: me });
+        ctx.broadcast_replicas(ZyzzyvaMsg::ViewChange {
+            new_view: target,
+            max_cc,
+            from: me,
+        });
         self.record_vc(me, target, max_cc, ctx);
     }
 
-    fn record_vc(&mut self, from: ReplicaId, target: View, max_cc: SeqNum, ctx: &mut Context<'_, ZyzzyvaMsg>) {
+    fn record_vc(
+        &mut self,
+        from: ReplicaId,
+        target: View,
+        max_cc: SeqNum,
+        ctx: &mut Context<'_, ZyzzyvaMsg>,
+    ) {
         let votes = self.vc_votes.entry(target).or_default();
         if votes.iter().any(|(r, _)| *r == from) {
             return;
@@ -352,7 +390,10 @@ impl ZyzzyvaReplica {
         if target.leader_of(self.q.n) == self.me && self.in_view_change && have >= self.q.quorum() {
             let from_seq = votes.iter().map(|(_, cc)| *cc).max().unwrap_or(SeqNum(0));
             ctx.charge_crypto(CryptoOp::Sign);
-            ctx.broadcast_replicas(ZyzzyvaMsg::NewView { view: target, from_seq });
+            ctx.broadcast_replicas(ZyzzyvaMsg::NewView {
+                view: target,
+                from_seq,
+            });
             self.install_view(target, from_seq, ctx);
         }
     }
@@ -366,13 +407,17 @@ impl ZyzzyvaReplica {
         }
         self.pending_confirm.clear();
         ctx.observe(Observation::NewView { view });
-        ctx.observe(Observation::StageEnter { stage: Stage::Ordering });
+        ctx.observe(Observation::StageEnter {
+            stage: Stage::Ordering,
+        });
         // roll back speculation above the agreed commit point
         let restart_from = from_seq.max(self.max_cc);
         if self.sm.last_executed() > restart_from {
             let undone = self.sm.rollback_to(restart_from.next());
             if undone > 0 {
-                ctx.observe(Observation::Rollback { from_seq: restart_from.next() });
+                ctx.observe(Observation::Rollback {
+                    from_seq: restart_from.next(),
+                });
                 // rolled-back requests become re-orderable
                 let rolled: Vec<RequestId> = self
                     .executed
@@ -401,40 +446,54 @@ impl ZyzzyvaReplica {
         }
         // replay order assignments that raced ahead of the new-view
         let cur = self.view;
-        let (now, later): (Vec<_>, Vec<_>) =
-            std::mem::take(&mut self.future_orders).into_iter().partition(|(_, m)| {
-                matches!(m, ZyzzyvaMsg::OrderReq { view, .. } if *view == cur)
-            });
+        let (now, later): (Vec<_>, Vec<_>) = std::mem::take(&mut self.future_orders)
+            .into_iter()
+            .partition(|(_, m)| matches!(m, ZyzzyvaMsg::OrderReq { view, .. } if *view == cur));
         self.future_orders = later
             .into_iter()
             .filter(|(_, m)| matches!(m, ZyzzyvaMsg::OrderReq { view, .. } if *view > cur))
             .collect();
         for (from, msg) in now {
-            self.on_message(from, msg, ctx);
+            self.on_message(from, &msg, ctx);
         }
     }
 }
 
 impl Actor<ZyzzyvaMsg> for ZyzzyvaReplica {
     fn on_start(&mut self, ctx: &mut Context<'_, ZyzzyvaMsg>) {
-        ctx.observe(Observation::StageEnter { stage: Stage::Ordering });
+        ctx.observe(Observation::StageEnter {
+            stage: Stage::Ordering,
+        });
     }
 
-    fn on_message(&mut self, from: NodeId, msg: ZyzzyvaMsg, ctx: &mut Context<'_, ZyzzyvaMsg>) {
+    fn on_message(&mut self, from: NodeId, msg: &ZyzzyvaMsg, ctx: &mut Context<'_, ZyzzyvaMsg>) {
         match msg {
             ZyzzyvaMsg::Request(signed) => {
                 ctx.charge_crypto(CryptoOp::Verify);
                 if signed.verify(&self.store) {
                     self.known.insert(signed.request.id, signed.clone());
-                    self.order(signed, ctx);
+                    self.order(signed.clone(), ctx);
                 }
             }
-            ZyzzyvaMsg::ConfirmRequest(signed) => self.on_confirm_request(signed, ctx),
-            ZyzzyvaMsg::OrderReq { view, seq, digest, request } => {
+            ZyzzyvaMsg::ConfirmRequest(signed) => self.on_confirm_request(signed.clone(), ctx),
+            ZyzzyvaMsg::OrderReq {
+                view,
+                seq,
+                digest,
+                request,
+            } => {
+                let (view, seq, digest) = (*view, *seq, *digest);
                 if view > self.view || (self.in_view_change && view == self.view) {
                     if self.future_orders.len() < 10_000 {
-                        self.future_orders
-                            .push((from, ZyzzyvaMsg::OrderReq { view, seq, digest, request }));
+                        self.future_orders.push((
+                            from,
+                            ZyzzyvaMsg::OrderReq {
+                                view,
+                                seq,
+                                digest,
+                                request: request.clone(),
+                            },
+                        ));
                     }
                     return;
                 }
@@ -451,21 +510,31 @@ impl Actor<ZyzzyvaMsg> for ZyzzyvaReplica {
                 if seq <= self.sm.last_executed() {
                     return; // old or conflicting assignment
                 }
-                self.accept_order(seq, request, ctx);
+                self.accept_order(seq, request.clone(), ctx);
             }
-            ZyzzyvaMsg::CommitCert { request, view, seq, state_digest, replicas } => {
-                if replicas.len() >= self.q.quorum() && view <= self.view {
-                    self.on_commit_cert(request, seq, state_digest, ctx);
+            ZyzzyvaMsg::CommitCert {
+                request,
+                view,
+                seq,
+                state_digest,
+                replicas,
+            } => {
+                if replicas.len() >= self.q.quorum() && *view <= self.view {
+                    self.on_commit_cert(*request, *seq, *state_digest, ctx);
                 }
             }
-            ZyzzyvaMsg::ViewChange { new_view, max_cc, from: r } => {
+            ZyzzyvaMsg::ViewChange {
+                new_view,
+                max_cc,
+                from: r,
+            } => {
                 ctx.charge_crypto(CryptoOp::Verify);
-                self.record_vc(r, new_view, max_cc, ctx);
+                self.record_vc(*r, *new_view, *max_cc, ctx);
             }
             ZyzzyvaMsg::NewView { view, from_seq } => {
-                if view >= self.view && from == NodeId::Replica(view.leader_of(self.q.n)) {
+                if *view >= self.view && from == NodeId::Replica(view.leader_of(self.q.n)) {
                     ctx.charge_crypto(CryptoOp::Verify);
-                    self.install_view(view, from_seq, ctx);
+                    self.install_view(*view, *from_seq, ctx);
                 }
             }
             ZyzzyvaMsg::SpecReply { .. } | ZyzzyvaMsg::LocalCommit { .. } => {}
@@ -553,7 +622,10 @@ impl ZyzzyvaClient {
         self.lc_acks.clear();
         self.seq_of_digest.clear();
         self.phase = ClientPhase::Fast;
-        ctx.send(NodeId::Replica(self.leader_hint), ZyzzyvaMsg::Request(signed));
+        ctx.send(
+            NodeId::Replica(self.leader_hint),
+            ZyzzyvaMsg::Request(signed),
+        );
         self.timer = Some(ctx.set_timer(TimerKind::T1WaitReplies, self.t1));
     }
 
@@ -564,7 +636,11 @@ impl ZyzzyvaClient {
         state_digest: Digest,
         ctx: &mut Context<'_, ZyzzyvaMsg>,
     ) {
-        let seq = self.seq_of_digest.get(&state_digest).copied().unwrap_or(SeqNum(0));
+        let seq = self
+            .seq_of_digest
+            .get(&state_digest)
+            .copied()
+            .unwrap_or(SeqNum(0));
         ctx.charge_crypto_n(CryptoOp::MacGen, self.q.n);
         let replicas: Vec<ReplicaId> = (0..self.q.n as u32).map(ReplicaId).collect();
         ctx.multicast(
@@ -580,11 +656,17 @@ impl ZyzzyvaClient {
     }
 
     fn complete(&mut self, fast: bool, ctx: &mut Context<'_, ZyzzyvaMsg>) {
-        let Some((id, _, sent_at)) = self.in_flight.take() else { return };
+        let Some((id, _, sent_at)) = self.in_flight.take() else {
+            return;
+        };
         if let Some(t) = self.timer.take() {
             ctx.cancel_timer(t);
         }
-        ctx.observe(Observation::ClientAccept { request: id, sent_at, fast_path: fast });
+        ctx.observe(Observation::ClientAccept {
+            request: id,
+            sent_at,
+            fast_path: fast,
+        });
         self.submit_next(ctx);
     }
 }
@@ -594,9 +676,13 @@ impl Actor<ZyzzyvaMsg> for ZyzzyvaClient {
         self.submit_next(ctx);
     }
 
-    fn on_message(&mut self, from: NodeId, msg: ZyzzyvaMsg, ctx: &mut Context<'_, ZyzzyvaMsg>) {
-        let NodeId::Replica(replica) = from else { return };
-        let Some((current, _, _)) = self.in_flight else { return };
+    fn on_message(&mut self, from: NodeId, msg: &ZyzzyvaMsg, ctx: &mut Context<'_, ZyzzyvaMsg>) {
+        let NodeId::Replica(replica) = from else {
+            return;
+        };
+        let Some((current, _, _)) = self.in_flight else {
+            return;
+        };
         match msg {
             ZyzzyvaMsg::SpecReply { reply, seq } => {
                 if reply.request != current {
@@ -606,8 +692,8 @@ impl Actor<ZyzzyvaMsg> for ZyzzyvaClient {
                 self.leader_hint = reply.view.leader_of(self.q.n);
                 let view = reply.view;
                 let state_digest = reply.state_digest;
-                self.seq_of_digest.insert(state_digest, seq);
-                self.collector.offer(replica, reply, usize::MAX);
+                self.seq_of_digest.insert(state_digest, *seq);
+                self.collector.offer(replica, reply.clone(), usize::MAX);
                 let matched = self.collector.best_matching();
                 if matched >= self.fast_quorum {
                     self.complete(true, ctx);
@@ -618,14 +704,19 @@ impl Actor<ZyzzyvaMsg> for ZyzzyvaClient {
                     self.send_commit_cert(current, view, state_digest, ctx);
                 }
             }
-            ZyzzyvaMsg::LocalCommit { request, state_digest, from: r, .. } => {
-                if request != current {
+            ZyzzyvaMsg::LocalCommit {
+                request,
+                state_digest,
+                from: r,
+                ..
+            } => {
+                if *request != current {
                     return;
                 }
                 ctx.charge_crypto(CryptoOp::MacVerify);
-                let acks = self.lc_acks.entry(state_digest).or_default();
-                if !acks.contains(&r) {
-                    acks.push(r);
+                let acks = self.lc_acks.entry(*state_digest).or_default();
+                if !acks.contains(r) {
+                    acks.push(*r);
                 }
                 if acks.len() >= self.q.quorum() {
                     self.complete(false, ctx);
@@ -640,7 +731,9 @@ impl Actor<ZyzzyvaMsg> for ZyzzyvaClient {
             return;
         }
         self.timer = None;
-        let Some((current, signed, _)) = self.in_flight.clone() else { return };
+        let Some((current, signed, _)) = self.in_flight.clone() else {
+            return;
+        };
         let matched = self.collector.best_matching();
         if matched >= self.q.quorum() {
             // assemble the commit certificate from what we have
@@ -693,7 +786,12 @@ pub fn run(scenario: &Scenario, variant: ZyzzyvaVariant) -> RunOutcome {
     for i in 0..n as u32 {
         sim.add_replica(
             i,
-            Box::new(ZyzzyvaReplica::new(ReplicaId(i), q, store.clone(), view_timeout)),
+            Box::new(ZyzzyvaReplica::new(
+                ReplicaId(i),
+                q,
+                store.clone(),
+                view_timeout,
+            )),
         );
     }
     for c in 0..scenario.clients as u64 {
@@ -712,8 +810,15 @@ mod tests {
     }
 
     fn fast_accepts(out: &RunOutcome) -> usize {
-        out.log
-            .count(|e| matches!(e.obs, Observation::ClientAccept { fast_path: true, .. }))
+        out.log.count(|e| {
+            matches!(
+                e.obs,
+                Observation::ClientAccept {
+                    fast_path: true,
+                    ..
+                }
+            )
+        })
     }
 
     #[test]
@@ -745,7 +850,11 @@ mod tests {
         let out = run(&s, ZyzzyvaVariant::Five);
         SafetyAuditor::excluding(vec![NodeId::replica(3)]).assert_safe(&out.log);
         assert_eq!(accepted(&out), 20);
-        assert_eq!(fast_accepts(&out), 20, "Zyzzyva5's fast path tolerates f faults");
+        assert_eq!(
+            fast_accepts(&out),
+            20,
+            "Zyzzyva5's fast path tolerates f faults"
+        );
     }
 
     #[test]
@@ -761,7 +870,10 @@ mod tests {
 
     #[test]
     fn slow_path_latency_is_worse_than_fast_path() {
-        let fast = run(&Scenario::small(1).with_load(1, 20), ZyzzyvaVariant::Classic);
+        let fast = run(
+            &Scenario::small(1).with_load(1, 20),
+            ZyzzyvaVariant::Classic,
+        );
         let slow = run(
             &Scenario::small(1)
                 .with_load(1, 20)

@@ -83,26 +83,28 @@ impl SafetyAuditor {
                 continue;
             }
             match &e.obs {
-                Observation::Commit { seq, digest, speculative: false, .. } => {
-                    match commit_witness.get(seq) {
-                        None => {
-                            commit_witness.insert(*seq, (e.node, *digest));
-                        }
-                        Some((first_node, first_digest)) => {
-                            if first_digest != digest {
-                                violations.push(SafetyViolation {
-                                    seq: *seq,
-                                    witnesses: [
-                                        (*first_node, *first_digest),
-                                        (e.node, *digest),
-                                    ],
-                                    kind: ViolationKind::ConflictingCommit,
-                                });
-                            }
+                Observation::Commit {
+                    seq,
+                    digest,
+                    speculative: false,
+                    ..
+                } => match commit_witness.get(seq) {
+                    None => {
+                        commit_witness.insert(*seq, (e.node, *digest));
+                    }
+                    Some((first_node, first_digest)) => {
+                        if first_digest != digest {
+                            violations.push(SafetyViolation {
+                                seq: *seq,
+                                witnesses: [(*first_node, *first_digest), (e.node, *digest)],
+                                kind: ViolationKind::ConflictingCommit,
+                            });
                         }
                     }
-                }
-                Observation::Execute { seq, state_digest, .. } => {
+                },
+                Observation::Execute {
+                    seq, state_digest, ..
+                } => {
                     exec_state.insert((e.node, *seq), *state_digest);
                 }
                 Observation::Rollback { from_seq } => {
@@ -229,16 +231,27 @@ mod tests {
     #[test]
     fn divergent_execution_state_detected() {
         let mut log = ObservationLog::default();
-        let req = bft_types::RequestId { client: bft_types::ClientId(1), timestamp: 1 };
+        let req = bft_types::RequestId {
+            client: bft_types::ClientId(1),
+            timestamp: 1,
+        };
         log.push(
             SimTime(1),
             NodeId::replica(0),
-            Observation::Execute { seq: SeqNum(1), request: req, state_digest: Digest([1; 32]) },
+            Observation::Execute {
+                seq: SeqNum(1),
+                request: req,
+                state_digest: Digest([1; 32]),
+            },
         );
         log.push(
             SimTime(2),
             NodeId::replica(1),
-            Observation::Execute { seq: SeqNum(1), request: req, state_digest: Digest([2; 32]) },
+            Observation::Execute {
+                seq: SeqNum(1),
+                request: req,
+                state_digest: Digest([2; 32]),
+            },
         );
         let v = SafetyAuditor::all_correct().check(&log);
         assert_eq!(v.len(), 1);
@@ -248,25 +261,46 @@ mod tests {
     #[test]
     fn rolled_back_speculation_is_forgiven() {
         let mut log = ObservationLog::default();
-        let req = bft_types::RequestId { client: bft_types::ClientId(1), timestamp: 1 };
+        let req = bft_types::RequestId {
+            client: bft_types::ClientId(1),
+            timestamp: 1,
+        };
         // replica 0 speculatively executes the "wrong" request…
         log.push(
             SimTime(1),
             NodeId::replica(0),
-            Observation::Execute { seq: SeqNum(1), request: req, state_digest: Digest([9; 32]) },
+            Observation::Execute {
+                seq: SeqNum(1),
+                request: req,
+                state_digest: Digest([9; 32]),
+            },
         );
         // …rolls it back…
-        log.push(SimTime(2), NodeId::replica(0), Observation::Rollback { from_seq: SeqNum(1) });
+        log.push(
+            SimTime(2),
+            NodeId::replica(0),
+            Observation::Rollback {
+                from_seq: SeqNum(1),
+            },
+        );
         // …and re-executes the right one, now agreeing with replica 1.
         log.push(
             SimTime(3),
             NodeId::replica(0),
-            Observation::Execute { seq: SeqNum(1), request: req, state_digest: Digest([1; 32]) },
+            Observation::Execute {
+                seq: SeqNum(1),
+                request: req,
+                state_digest: Digest([1; 32]),
+            },
         );
         log.push(
             SimTime(3),
             NodeId::replica(1),
-            Observation::Execute { seq: SeqNum(1), request: req, state_digest: Digest([1; 32]) },
+            Observation::Execute {
+                seq: SeqNum(1),
+                request: req,
+                state_digest: Digest([1; 32]),
+            },
         );
         assert!(SafetyAuditor::all_correct().check(&log).is_empty());
     }

@@ -53,8 +53,13 @@ impl std::fmt::Display for NodeId {
 /// What a queued event does when it fires.
 #[derive(Debug)]
 pub(crate) enum EventKind<M> {
-    /// Deliver a protocol message.
-    Deliver { from: NodeId, msg: M },
+    /// Deliver a protocol message. The payload is behind an `Arc` so an
+    /// n-way broadcast enqueues n pointers to one allocation instead of n
+    /// deep clones; receivers get `&M`.
+    Deliver {
+        from: NodeId,
+        msg: std::sync::Arc<M>,
+    },
     /// Fire a timer (if it has not been cancelled).
     Timer { id: TimerId, kind: TimerKind },
     /// Crash the node (stops processing events).
@@ -102,7 +107,12 @@ mod tests {
     use std::collections::BinaryHeap;
 
     fn ev(at: u64, seq: u64) -> QueuedEvent<()> {
-        QueuedEvent { at: SimTime(at), seq, node: NodeId::replica(0), kind: EventKind::Crash }
+        QueuedEvent {
+            at: SimTime(at),
+            seq,
+            node: NodeId::replica(0),
+            kind: EventKind::Crash,
+        }
     }
 
     #[test]
@@ -112,7 +122,8 @@ mod tests {
         h.push(ev(5, 1));
         h.push(ev(5, 2));
         h.push(ev(1, 3));
-        let order: Vec<(u64, u64)> = std::iter::from_fn(|| h.pop().map(|e| (e.at.0, e.seq))).collect();
+        let order: Vec<(u64, u64)> =
+            std::iter::from_fn(|| h.pop().map(|e| (e.at.0, e.seq))).collect();
         assert_eq!(order, vec![(1, 3), (5, 1), (5, 2), (10, 0)]);
     }
 

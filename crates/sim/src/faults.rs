@@ -87,13 +87,17 @@ impl FaultPlan {
     /// Add a crash followed by recovery.
     pub fn crash_recover(mut self, node: NodeId, at: SimTime, recover_at: SimTime) -> Self {
         self.events.push(FaultEvent::Crash { node, at });
-        self.events.push(FaultEvent::Recover { node, at: recover_at });
+        self.events.push(FaultEvent::Recover {
+            node,
+            at: recover_at,
+        });
         self
     }
 
     /// Add a pairwise partition.
     pub fn partition(mut self, a: NodeId, b: NodeId, from: SimTime, until: SimTime) -> Self {
-        self.events.push(FaultEvent::Partition { a, b, from, until });
+        self.events
+            .push(FaultEvent::Partition { a, b, from, until });
         self
     }
 
@@ -105,7 +109,12 @@ impl FaultPlan {
         from: SimTime,
         until: SimTime,
     ) -> Self {
-        self.events.push(FaultEvent::Isolate { node, peers, from, until });
+        self.events.push(FaultEvent::Isolate {
+            node,
+            peers,
+            from,
+            until,
+        });
         self
     }
 
@@ -120,7 +129,11 @@ impl FaultPlan {
     pub fn crashed_replicas(&self) -> usize {
         let mut seen = std::collections::BTreeSet::new();
         for e in &self.events {
-            if let FaultEvent::Crash { node: NodeId::Replica(r), .. } = e {
+            if let FaultEvent::Crash {
+                node: NodeId::Replica(r),
+                ..
+            } = e
+            {
                 seen.insert(*r);
             }
         }
@@ -136,9 +149,14 @@ impl FaultPlan {
                 FaultEvent::Partition { a, b, from, until } => {
                     sim.network_mut().partition_pair(*a, *b, *from, *until)
                 }
-                FaultEvent::Isolate { node, peers, from, until } => {
-                    sim.network_mut().isolate(*node, peers.clone(), *from, *until)
-                }
+                FaultEvent::Isolate {
+                    node,
+                    peers,
+                    from,
+                    until,
+                } => sim
+                    .network_mut()
+                    .isolate(*node, peers.clone(), *from, *until),
                 FaultEvent::SlowLink { from, to, extra } => {
                     sim.network_mut().slow_link(*from, *to, *extra)
                 }
@@ -158,7 +176,12 @@ mod tests {
             .crash(NodeId::replica(1), SimTime(200)) // same replica again
             .crash(NodeId::replica(2), SimTime(100))
             .crash(NodeId::client(1), SimTime(100)) // clients don't count
-            .partition(NodeId::replica(0), NodeId::replica(3), SimTime(0), SimTime(10));
+            .partition(
+                NodeId::replica(0),
+                NodeId::replica(3),
+                SimTime(0),
+                SimTime(10),
+            );
         assert_eq!(plan.crashed_replicas(), 2);
         assert_eq!(plan.events.len(), 5);
     }

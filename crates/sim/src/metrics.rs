@@ -28,9 +28,15 @@ pub struct NodeCounters {
 }
 
 /// Metrics for one simulation run.
+///
+/// Replica counters live in a dense `Vec` indexed by replica id — the hot
+/// path (`on_send`/`on_deliver` per message) is an array index instead of a
+/// `BTreeMap` walk. Clients are few and sparse, so they stay in a small map
+/// keyed by client id.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Metrics {
-    per_node: BTreeMap<NodeId, NodeCounters>,
+    replicas: Vec<NodeCounters>,
+    clients: BTreeMap<u64, NodeCounters>,
     /// Messages dropped by the network (pre-GST loss, partitions).
     pub dropped: u64,
     /// Messages suppressed because the topology forbids the link.
@@ -38,62 +44,78 @@ pub struct Metrics {
 }
 
 impl Metrics {
+    fn counters_mut(&mut self, node: NodeId) -> &mut NodeCounters {
+        match node {
+            NodeId::Replica(r) => {
+                let i = r.0 as usize;
+                if i >= self.replicas.len() {
+                    self.replicas.resize(i + 1, NodeCounters::default());
+                }
+                &mut self.replicas[i]
+            }
+            NodeId::Client(c) => self.clients.entry(c.0).or_default(),
+        }
+    }
+
     /// Record a send.
     pub fn on_send(&mut self, from: NodeId, bytes: usize) {
-        let c = self.per_node.entry(from).or_default();
+        let c = self.counters_mut(from);
         c.msgs_sent += 1;
         c.bytes_sent += bytes as u64;
     }
 
     /// Record a delivery.
     pub fn on_deliver(&mut self, to: NodeId, bytes: usize) {
-        let c = self.per_node.entry(to).or_default();
+        let c = self.counters_mut(to);
         c.msgs_received += 1;
         c.bytes_received += bytes as u64;
     }
 
     /// Record charged CPU time.
     pub fn on_cpu(&mut self, node: NodeId, d: SimDuration) {
-        self.per_node.entry(node).or_default().cpu += d;
+        self.counters_mut(node).cpu += d;
     }
 
     /// Counters for one node.
     pub fn node(&self, node: NodeId) -> NodeCounters {
-        self.per_node.get(&node).copied().unwrap_or_default()
+        match node {
+            NodeId::Replica(r) => self.replicas.get(r.0 as usize).copied().unwrap_or_default(),
+            NodeId::Client(c) => self.clients.get(&c.0).copied().unwrap_or_default(),
+        }
     }
 
-    /// All nodes with counters.
-    pub fn nodes(&self) -> impl Iterator<Item = (&NodeId, &NodeCounters)> {
-        self.per_node.iter()
+    /// All nodes with non-default counters, replicas first then clients,
+    /// each in id order (the iteration order of the former per-node map).
+    pub fn nodes(&self) -> impl Iterator<Item = (NodeId, &NodeCounters)> {
+        let default = NodeCounters::default();
+        self.replicas
+            .iter()
+            .enumerate()
+            .filter(move |(_, c)| **c != default)
+            .map(|(i, c)| (NodeId::replica(i as u32), c))
+            .chain(self.clients.iter().map(|(id, c)| (NodeId::client(*id), c)))
     }
 
     /// Total messages sent by replicas (the "message complexity" metric).
     pub fn replica_msgs_sent(&self) -> u64 {
-        self.per_node
-            .iter()
-            .filter(|(n, _)| n.is_replica())
-            .map(|(_, c)| c.msgs_sent)
-            .sum()
+        self.replicas.iter().map(|c| c.msgs_sent).sum()
     }
 
     /// Total bytes sent by replicas.
     pub fn replica_bytes_sent(&self) -> u64 {
-        self.per_node
-            .iter()
-            .filter(|(n, _)| n.is_replica())
-            .map(|(_, c)| c.bytes_sent)
-            .sum()
+        self.replicas.iter().map(|c| c.bytes_sent).sum()
     }
 
     /// Load-imbalance ratio across replicas: `max(msgs_sent + msgs_received)
     /// / mean(...)`. 1.0 = perfectly balanced; the leader bottleneck of
-    /// dimension Q2 shows up as values ≫ 1.
+    /// dimension Q2 shows up as values ≫ 1. Replicas with no traffic at all
+    /// are excluded, matching the former touched-nodes-only map.
     pub fn load_imbalance(&self) -> f64 {
         let loads: Vec<u64> = self
-            .per_node
+            .replicas
             .iter()
-            .filter(|(n, _)| n.is_replica())
-            .map(|(_, c)| c.msgs_sent + c.msgs_received)
+            .filter(|c| **c != NodeCounters::default())
+            .map(|c| c.msgs_sent + c.msgs_received)
             .collect();
         if loads.is_empty() {
             return 1.0;

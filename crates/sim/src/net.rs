@@ -135,13 +135,21 @@ pub enum Delivery {
 impl NetworkModel {
     /// Build a model from a configuration.
     pub fn new(config: NetworkConfig) -> Self {
-        NetworkModel { config, partitions: Vec::new(), link_extra: Vec::new() }
+        NetworkModel {
+            config,
+            partitions: Vec::new(),
+            link_extra: Vec::new(),
+        }
     }
 
     /// Cut the links between `a` and `b` (both directions) during
     /// `[from, until)`.
     pub fn partition_pair(&mut self, a: NodeId, b: NodeId, from: SimTime, until: SimTime) {
-        self.partitions.push(Partition { from, until, links: vec![(a, b), (b, a)] });
+        self.partitions.push(Partition {
+            from,
+            until,
+            links: vec![(a, b), (b, a)],
+        });
     }
 
     /// Isolate `node` from every other node during `[from, until)`: all its
@@ -227,7 +235,12 @@ mod tests {
         let net = NetworkModel::new(NetworkConfig::lan());
         let mut r = rng();
         for _ in 0..1000 {
-            match net.route(&mut r, SimTime(1_000_000), NodeId::replica(0), NodeId::replica(1)) {
+            match net.route(
+                &mut r,
+                SimTime(1_000_000),
+                NodeId::replica(0),
+                NodeId::replica(1),
+            ) {
                 Delivery::After(d) => assert!(d <= net.config.delta),
                 Delivery::Dropped => panic!("post-GST messages are never dropped"),
             }
@@ -322,7 +335,11 @@ mod tests {
             jitter: SimDuration::ZERO,
             ..NetworkConfig::lan()
         });
-        net.slow_link(NodeId::replica(0), NodeId::replica(1), SimDuration::from_millis(5));
+        net.slow_link(
+            NodeId::replica(0),
+            NodeId::replica(1),
+            SimDuration::from_millis(5),
+        );
         let mut r = rng();
         let d01 = match net.route(&mut r, SimTime(0), NodeId::replica(0), NodeId::replica(1)) {
             Delivery::After(d) => d,

@@ -152,9 +152,12 @@ impl ObservationLog {
             .iter()
             .filter(|e| e.node == node)
             .filter_map(|e| match &e.obs {
-                Observation::Commit { seq, digest, speculative: false, .. } => {
-                    Some((*seq, *digest))
-                }
+                Observation::Commit {
+                    seq,
+                    digest,
+                    speculative: false,
+                    ..
+                } => Some((*seq, *digest)),
                 _ => None,
             })
             .collect()
@@ -165,9 +168,9 @@ impl ObservationLog {
         self.entries
             .iter()
             .filter_map(|e| match &e.obs {
-                Observation::ClientAccept { request, sent_at, .. } => {
-                    Some((*request, e.at.since(*sent_at)))
-                }
+                Observation::ClientAccept {
+                    request, sent_at, ..
+                } => Some((*request, e.at.since(*sent_at))),
                 _ => None,
             })
             .collect()
@@ -220,7 +223,13 @@ mod tests {
     fn log_accessors() {
         let mut log = ObservationLog::default();
         let n0 = NodeId::replica(0);
-        log.push(SimTime(10), n0, Observation::StageEnter { stage: Stage::Ordering });
+        log.push(
+            SimTime(10),
+            n0,
+            Observation::StageEnter {
+                stage: Stage::Ordering,
+            },
+        );
         log.push(
             SimTime(20),
             n0,
@@ -241,8 +250,20 @@ mod tests {
                 speculative: true,
             },
         );
-        log.push(SimTime(30), n0, Observation::StageEnter { stage: Stage::Execution });
-        log.push(SimTime(35), n0, Observation::StageEnter { stage: Stage::Ordering });
+        log.push(
+            SimTime(30),
+            n0,
+            Observation::StageEnter {
+                stage: Stage::Execution,
+            },
+        );
+        log.push(
+            SimTime(35),
+            n0,
+            Observation::StageEnter {
+                stage: Stage::Ordering,
+            },
+        );
         log.push(SimTime(40), n0, Observation::NewView { view: View(3) });
         log.push(SimTime(50), n0, Observation::Marker { label: "fallback" });
 
@@ -256,11 +277,18 @@ mod tests {
     #[test]
     fn client_latency_extraction() {
         let mut log = ObservationLog::default();
-        let req = RequestId { client: bft_types::ClientId(1), timestamp: 1 };
+        let req = RequestId {
+            client: bft_types::ClientId(1),
+            timestamp: 1,
+        };
         log.push(
             SimTime(1_000),
             NodeId::client(1),
-            Observation::ClientAccept { request: req, sent_at: SimTime(400), fast_path: true },
+            Observation::ClientAccept {
+                request: req,
+                sent_at: SimTime(400),
+                fast_path: true,
+            },
         );
         let lat = log.client_latencies();
         assert_eq!(lat, vec![(req, SimDuration(600))]);

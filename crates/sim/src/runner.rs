@@ -15,7 +15,8 @@
 //! bottleneck* (dimension Q2) and the MAC-vs-signature CPU trade-off
 //! (dimension E3) in experiments.
 
-use std::collections::{BTreeMap, BinaryHeap, HashSet};
+use std::collections::{BTreeMap, BinaryHeap};
+use std::sync::Arc;
 
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -31,8 +32,69 @@ use crate::time::{SimDuration, SimTime};
 use crate::topology::Topology;
 
 /// Handle to a pending timer, for cancellation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+///
+/// Internally packs an arena slot (low 32 bits) and a generation counter
+/// (high 32 bits), so cancellation state lives in a fixed-size arena whose
+/// footprint is bounded by the number of timers simultaneously in flight —
+/// not by the total number ever cancelled.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub struct TimerId(pub u64);
+
+impl TimerId {
+    fn pack(slot: u32, generation: u32) -> TimerId {
+        TimerId((generation as u64) << 32 | slot as u64)
+    }
+
+    fn slot(self) -> u32 {
+        self.0 as u32
+    }
+
+    fn generation(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+}
+
+/// Slot arena tracking which timers are still live. Every `set_timer`
+/// enqueues exactly one `Timer` event, so each allocated slot is released
+/// when that event pops (fired or skipped) and can be reused with a bumped
+/// generation; stale `TimerId`s then no longer match.
+#[derive(Debug, Default)]
+struct TimerArena {
+    generations: Vec<u32>,
+    free: Vec<u32>,
+}
+
+impl TimerArena {
+    fn alloc(&mut self) -> TimerId {
+        let slot = self.free.pop().unwrap_or_else(|| {
+            self.generations.push(0);
+            (self.generations.len() - 1) as u32
+        });
+        TimerId::pack(slot, self.generations[slot as usize])
+    }
+
+    /// Invalidate a pending timer; no-op if it already fired.
+    fn cancel(&mut self, id: TimerId) {
+        let slot = id.slot() as usize;
+        if self.generations.get(slot) == Some(&id.generation()) {
+            self.generations[slot] = id.generation().wrapping_add(1);
+        }
+    }
+
+    /// The timer's queue event popped: release the slot and report whether
+    /// the timer was still live (i.e. not cancelled).
+    fn fire(&mut self, id: TimerId) -> bool {
+        let slot = id.slot() as usize;
+        let live = self.generations.get(slot) == Some(&id.generation());
+        if let Some(g) = self.generations.get_mut(slot) {
+            *g = g.wrapping_add(1);
+            self.free.push(id.slot());
+        }
+        live
+    }
+}
 
 /// A protocol participant (replica or client).
 ///
@@ -43,8 +105,10 @@ pub trait Actor<M> {
     /// Called once when the simulation starts.
     fn on_start(&mut self, _ctx: &mut Context<'_, M>) {}
 
-    /// A message from `from` arrived.
-    fn on_message(&mut self, from: NodeId, msg: M, ctx: &mut Context<'_, M>);
+    /// A message from `from` arrived. The payload is borrowed — broadcasts
+    /// share one allocation across all receivers — so implementations clone
+    /// only the parts they retain.
+    fn on_message(&mut self, from: NodeId, msg: &M, ctx: &mut Context<'_, M>);
 
     /// A timer set through [`Context::set_timer`] fired (and was not
     /// cancelled).
@@ -58,8 +122,7 @@ pub trait Actor<M> {
 struct SimState<M> {
     queue: BinaryHeap<QueuedEvent<M>>,
     next_seq: u64,
-    next_timer: u64,
-    cancelled: HashSet<TimerId>,
+    timers: TimerArena,
     network: NetworkModel,
     topology: Option<Topology>,
     n_replicas: usize,
@@ -73,7 +136,12 @@ impl<M> SimState<M> {
     fn push(&mut self, at: SimTime, node: NodeId, kind: EventKind<M>) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.queue.push(QueuedEvent { at, seq, node, kind });
+        self.queue.push(QueuedEvent {
+            at,
+            seq,
+            node,
+            kind,
+        });
     }
 }
 
@@ -124,14 +192,23 @@ impl<'a, M: WireSize> Context<'a, M> {
     /// Charge `count` cryptographic operations.
     pub fn charge_crypto_n(&mut self, op: CryptoOp, count: usize) {
         self.charge(SimDuration(
-            self.state.cost_model.cost_ns(op).saturating_mul(count as u64),
+            self.state
+                .cost_model
+                .cost_ns(op)
+                .saturating_mul(count as u64),
         ));
     }
 
     /// Send a message. Applies topology constraints (replica↔replica links
     /// only), samples network delay, and records metrics.
     pub fn send(&mut self, to: NodeId, msg: M) {
-        let bytes = msg.wire_size();
+        self.send_shared(to, &Arc::new(msg));
+    }
+
+    /// Route an already-shared payload: one `Arc` clone per receiver, no
+    /// deep copy. Wire bytes and per-node counters are still charged per
+    /// receiver.
+    fn send_shared(&mut self, to: NodeId, msg: &Arc<M>) {
         // Overlay enforcement: only replica-to-replica links are constrained.
         if let (Some(topo), NodeId::Replica(f), NodeId::Replica(t)) =
             (&self.state.topology, self.node, to)
@@ -141,7 +218,7 @@ impl<'a, M: WireSize> Context<'a, M> {
                 return;
             }
         }
-        self.state.metrics.on_send(self.node, bytes);
+        self.state.metrics.on_send(self.node, msg.wire_size());
         let sent_at = self.now();
         match self
             .state
@@ -149,8 +226,14 @@ impl<'a, M: WireSize> Context<'a, M> {
             .route(&mut self.state.rng, sent_at, self.node, to)
         {
             Delivery::After(d) => {
-                self.state
-                    .push(sent_at + d, to, EventKind::Deliver { from: self.node, msg });
+                self.state.push(
+                    sent_at + d,
+                    to,
+                    EventKind::Deliver {
+                        from: self.node,
+                        msg: Arc::clone(msg),
+                    },
+                );
             }
             Delivery::Dropped => {
                 self.state.metrics.dropped += 1;
@@ -158,27 +241,22 @@ impl<'a, M: WireSize> Context<'a, M> {
         }
     }
 
-    /// Send the same message to many nodes (clones per receiver).
-    pub fn multicast(&mut self, to: impl IntoIterator<Item = NodeId>, msg: M)
-    where
-        M: Clone,
-    {
+    /// Send the same message to many nodes. The payload is allocated once
+    /// and shared via `Arc` across all receivers (wire bytes are still
+    /// charged per receiver).
+    pub fn multicast(&mut self, to: impl IntoIterator<Item = NodeId>, msg: M) {
+        let msg = Arc::new(msg);
         for node in to {
-            self.send(node, msg.clone());
+            self.send_shared(node, &msg);
         }
     }
 
-    /// Send to every replica in `0..n` except self.
-    pub fn broadcast_replicas(&mut self, msg: M)
-    where
-        M: Clone,
-    {
+    /// Send to every replica in `0..n` except self, sharing one payload
+    /// allocation across all n−1 receivers.
+    pub fn broadcast_replicas(&mut self, msg: M) {
         let n = self.state.n_replicas;
         let me = self.node;
-        self.multicast(
-            (0..n as u32).map(NodeId::replica).filter(|r| *r != me),
-            msg,
-        );
+        self.multicast((0..n as u32).map(NodeId::replica).filter(|r| *r != me), msg);
     }
 
     /// Number of replicas in the simulation.
@@ -188,16 +266,16 @@ impl<'a, M: WireSize> Context<'a, M> {
 
     /// Set a timer of the given kind; fires after `delay` unless cancelled.
     pub fn set_timer(&mut self, kind: TimerKind, delay: SimDuration) -> TimerId {
-        let id = TimerId(self.state.next_timer);
-        self.state.next_timer += 1;
+        let id = self.state.timers.alloc();
         let at = self.now() + delay;
-        self.state.push(at, self.node, EventKind::Timer { id, kind });
+        self.state
+            .push(at, self.node, EventKind::Timer { id, kind });
         id
     }
 
     /// Cancel a pending timer (no-op if it already fired).
     pub fn cancel_timer(&mut self, id: TimerId) {
-        self.state.cancelled.insert(id);
+        self.state.timers.cancel(id);
     }
 
     /// Record an observation in the audit log.
@@ -245,8 +323,7 @@ impl<M: WireSize + 'static> Simulation<M> {
             state: SimState {
                 queue: BinaryHeap::new(),
                 next_seq: 0,
-                next_timer: 0,
-                cancelled: HashSet::new(),
+                timers: TimerArena::default(),
                 network,
                 topology: None,
                 n_replicas: 0,
@@ -280,11 +357,16 @@ impl<M: WireSize + 'static> Simulation<M> {
     pub fn add_replica(&mut self, i: u32, actor: Box<dyn Actor<M>>) {
         let id = NodeId::replica(i);
         assert!(
-            self.nodes.insert(
-                id,
-                NodeSlot { actor: Some(actor), crashed: false, busy_until: SimTime::ZERO }
-            )
-            .is_none(),
+            self.nodes
+                .insert(
+                    id,
+                    NodeSlot {
+                        actor: Some(actor),
+                        crashed: false,
+                        busy_until: SimTime::ZERO
+                    }
+                )
+                .is_none(),
             "duplicate replica {id}"
         );
         self.state.n_replicas = self.state.n_replicas.max(i as usize + 1);
@@ -294,11 +376,16 @@ impl<M: WireSize + 'static> Simulation<M> {
     pub fn add_client(&mut self, c: u64, actor: Box<dyn Actor<M>>) {
         let id = NodeId::client(c);
         assert!(
-            self.nodes.insert(
-                id,
-                NodeSlot { actor: Some(actor), crashed: false, busy_until: SimTime::ZERO }
-            )
-            .is_none(),
+            self.nodes
+                .insert(
+                    id,
+                    NodeSlot {
+                        actor: Some(actor),
+                        crashed: false,
+                        busy_until: SimTime::ZERO
+                    }
+                )
+                .is_none(),
             "duplicate client {id}"
         );
     }
@@ -314,9 +401,23 @@ impl<M: WireSize + 'static> Simulation<M> {
         self.state.push(at, node, EventKind::Recover);
     }
 
+    /// Pre-reserve event-queue capacity. Call before a run when the
+    /// scenario size (requests × fan-out) is known, to avoid repeated heap
+    /// regrowth in the hot loop.
+    pub fn reserve_events(&mut self, additional: usize) {
+        self.state.queue.reserve(additional);
+    }
+
     /// Inject a message from outside the actor set (used by tests).
     pub fn inject(&mut self, at: SimTime, from: NodeId, to: NodeId, msg: M) {
-        self.state.push(at, to, EventKind::Deliver { from, msg });
+        self.state.push(
+            at,
+            to,
+            EventKind::Deliver {
+                from,
+                msg: Arc::new(msg),
+            },
+        );
     }
 
     /// Run until the queue drains or `until` is reached. Returns the
@@ -342,13 +443,9 @@ impl<M: WireSize + 'static> Simulation<M> {
             self.events_processed += 1;
             self.dispatch(ev);
         }
-        self.now = self.now.max(until.min(
-            self.state
-                .queue
-                .peek()
-                .map(|e| e.at)
-                .unwrap_or(until),
-        ));
+        self.now = self
+            .now
+            .max(until.min(self.state.queue.peek().map(|e| e.at).unwrap_or(until)));
         self
     }
 
@@ -371,18 +468,25 @@ impl<M: WireSize + 'static> Simulation<M> {
                 }
             }
             EventKind::Deliver { from, msg } => {
-                let Some(slot) = self.nodes.get(&node) else { return };
+                let Some(slot) = self.nodes.get(&node) else {
+                    return;
+                };
                 if slot.crashed || slot.actor.is_none() {
                     return;
                 }
                 self.state.metrics.on_deliver(node, msg.wire_size());
-                self.with_actor(node, ev.at, |actor, ctx| actor.on_message(from, msg, ctx));
+                self.with_actor(node, ev.at, |actor, ctx| actor.on_message(from, &msg, ctx));
             }
             EventKind::Timer { id, kind } => {
-                if self.state.cancelled.remove(&id) {
+                // Always release the arena slot when the event pops, even if
+                // the node is gone — every slot is backed by exactly one
+                // queued event.
+                if !self.state.timers.fire(id) {
                     return;
                 }
-                let Some(slot) = self.nodes.get(&node) else { return };
+                let Some(slot) = self.nodes.get(&node) else {
+                    return;
+                };
                 if slot.crashed || slot.actor.is_none() {
                     return;
                 }
@@ -399,8 +503,12 @@ impl<M: WireSize + 'static> Simulation<M> {
         arrival: SimTime,
         f: impl FnOnce(&mut Box<dyn Actor<M>>, &mut Context<'_, M>),
     ) {
-        let Some(slot) = self.nodes.get_mut(&node) else { return };
-        let Some(mut actor) = slot.actor.take() else { return };
+        let Some(slot) = self.nodes.get_mut(&node) else {
+            return;
+        };
+        let Some(mut actor) = slot.actor.take() else {
+            return;
+        };
         let start = arrival.max(slot.busy_until);
         let mut ctx = Context {
             node,
@@ -418,6 +526,11 @@ impl<M: WireSize + 'static> Simulation<M> {
     /// Current virtual time.
     pub fn now(&self) -> SimTime {
         self.now
+    }
+
+    /// Number of replicas registered so far.
+    pub fn n_replicas(&self) -> usize {
+        self.state.n_replicas
     }
 
     /// Immutable view of the metrics so far.
@@ -473,7 +586,7 @@ mod tests {
     }
 
     impl Actor<Ping> for Echo {
-        fn on_message(&mut self, from: NodeId, msg: Ping, ctx: &mut Context<'_, Ping>) {
+        fn on_message(&mut self, from: NodeId, msg: &Ping, ctx: &mut Context<'_, Ping>) {
             self.received.push(msg.0);
             if msg.0 < self.limit {
                 ctx.send(from, Ping(msg.0 + 1));
@@ -488,9 +601,26 @@ mod tests {
     #[test]
     fn ping_pong_terminates() {
         let mut s = sim();
-        s.add_replica(0, Box::new(Echo { limit: 10, received: vec![] }));
-        s.add_replica(1, Box::new(Echo { limit: 10, received: vec![] }));
-        s.inject(SimTime::ZERO, NodeId::replica(0), NodeId::replica(1), Ping(0));
+        s.add_replica(
+            0,
+            Box::new(Echo {
+                limit: 10,
+                received: vec![],
+            }),
+        );
+        s.add_replica(
+            1,
+            Box::new(Echo {
+                limit: 10,
+                received: vec![],
+            }),
+        );
+        s.inject(
+            SimTime::ZERO,
+            NodeId::replica(0),
+            NodeId::replica(1),
+            Ping(0),
+        );
         s.run(SimTime(SimDuration::from_secs(10).0));
         let out = s.finish();
         // 0..=10 delivered: 11 messages
@@ -504,7 +634,7 @@ mod tests {
             seen: u64,
         }
         impl Actor<Ping> for Counter {
-            fn on_message(&mut self, _from: NodeId, _msg: Ping, _ctx: &mut Context<'_, Ping>) {
+            fn on_message(&mut self, _from: NodeId, _msg: &Ping, _ctx: &mut Context<'_, Ping>) {
                 self.seen += 1;
             }
         }
@@ -516,7 +646,7 @@ mod tests {
                     ctx.set_timer(TimerKind::T7Heartbeat, SimDuration::from_millis(i + 1));
                 }
             }
-            fn on_message(&mut self, _f: NodeId, _m: Ping, _c: &mut Context<'_, Ping>) {}
+            fn on_message(&mut self, _f: NodeId, _m: &Ping, _c: &mut Context<'_, Ping>) {}
             fn on_timer(&mut self, _id: TimerId, _k: TimerKind, ctx: &mut Context<'_, Ping>) {
                 ctx.send(NodeId::replica(1), Ping(0));
             }
@@ -545,7 +675,7 @@ mod tests {
                 ctx.cancel_timer(id);
                 ctx.set_timer(TimerKind::T5ViewSync, SimDuration::from_millis(3));
             }
-            fn on_message(&mut self, _f: NodeId, _m: Ping, _c: &mut Context<'_, Ping>) {}
+            fn on_message(&mut self, _f: NodeId, _m: &Ping, _c: &mut Context<'_, Ping>) {}
             fn on_timer(&mut self, _id: TimerId, kind: TimerKind, _ctx: &mut Context<'_, Ping>) {
                 self.fired.push(kind);
             }
@@ -563,7 +693,7 @@ mod tests {
     fn cpu_charges_delay_sends() {
         struct Busy;
         impl Actor<Ping> for Busy {
-            fn on_message(&mut self, from: NodeId, _msg: Ping, ctx: &mut Context<'_, Ping>) {
+            fn on_message(&mut self, from: NodeId, _msg: &Ping, ctx: &mut Context<'_, Ping>) {
                 ctx.charge(SimDuration::from_millis(5));
                 ctx.send(from, Ping(99));
             }
@@ -572,7 +702,7 @@ mod tests {
             got_at: Option<SimTime>,
         }
         impl Actor<Ping> for Recorder {
-            fn on_message(&mut self, _f: NodeId, msg: Ping, ctx: &mut Context<'_, Ping>) {
+            fn on_message(&mut self, _f: NodeId, msg: &Ping, ctx: &mut Context<'_, Ping>) {
                 if msg.0 == 99 {
                     self.got_at = Some(ctx.now());
                     ctx.observe(Observation::Marker { label: "got" });
@@ -582,7 +712,12 @@ mod tests {
         let mut s = sim();
         s.add_replica(0, Box::new(Busy));
         s.add_replica(1, Box::new(Recorder { got_at: None }));
-        s.inject(SimTime::ZERO, NodeId::replica(1), NodeId::replica(0), Ping(1));
+        s.inject(
+            SimTime::ZERO,
+            NodeId::replica(1),
+            NodeId::replica(0),
+            Ping(1),
+        );
         s.run(SimTime(SimDuration::from_secs(1).0));
         let out = s.finish();
         let marker = out
@@ -594,16 +729,36 @@ mod tests {
         // ≥ 5 ms CPU + the reply's network hop ≥ 100 µs (the injected
         // request is delivered directly, without a network delay)
         assert!(marker.at >= SimTime(5_100_000), "reply at {}", marker.at);
-        assert_eq!(out.metrics.node(NodeId::replica(0)).cpu, SimDuration::from_millis(5));
+        assert_eq!(
+            out.metrics.node(NodeId::replica(0)).cpu,
+            SimDuration::from_millis(5)
+        );
     }
 
     #[test]
     fn identical_seeds_identical_runs() {
         let run = |seed: u64| -> (u64, u64) {
             let mut s = Simulation::<Ping>::new(NetworkModel::new(NetworkConfig::lan()), seed);
-            s.add_replica(0, Box::new(Echo { limit: 50, received: vec![] }));
-            s.add_replica(1, Box::new(Echo { limit: 50, received: vec![] }));
-            s.inject(SimTime::ZERO, NodeId::replica(0), NodeId::replica(1), Ping(0));
+            s.add_replica(
+                0,
+                Box::new(Echo {
+                    limit: 50,
+                    received: vec![],
+                }),
+            );
+            s.add_replica(
+                1,
+                Box::new(Echo {
+                    limit: 50,
+                    received: vec![],
+                }),
+            );
+            s.inject(
+                SimTime::ZERO,
+                NodeId::replica(0),
+                NodeId::replica(1),
+                Ping(0),
+            );
             s.run(SimTime(SimDuration::from_secs(10).0));
             let out = s.finish();
             (out.events_processed, out.end_time.0)
@@ -618,14 +773,16 @@ mod tests {
             fn on_start(&mut self, ctx: &mut Context<'_, Ping>) {
                 ctx.broadcast_replicas(Ping(1));
             }
-            fn on_message(&mut self, _f: NodeId, _m: Ping, _c: &mut Context<'_, Ping>) {}
+            fn on_message(&mut self, _f: NodeId, _m: &Ping, _c: &mut Context<'_, Ping>) {}
         }
         struct Sink;
         impl Actor<Ping> for Sink {
-            fn on_message(&mut self, _f: NodeId, _m: Ping, _c: &mut Context<'_, Ping>) {}
+            fn on_message(&mut self, _f: NodeId, _m: &Ping, _c: &mut Context<'_, Ping>) {}
         }
         let mut s = sim();
-        s.set_topology(Topology::Star { hub: bft_types::ReplicaId(0) });
+        s.set_topology(Topology::Star {
+            hub: bft_types::ReplicaId(0),
+        });
         s.add_replica(0, Box::new(Sink));
         s.add_replica(1, Box::new(Spray)); // backup sprays to 0, 2, 3
         s.add_replica(2, Box::new(Sink));

@@ -130,6 +130,9 @@ mod tests {
 
     #[test]
     fn infinity_is_sticky() {
-        assert_eq!(SimTime::INFINITY + SimDuration::from_secs(10), SimTime::INFINITY);
+        assert_eq!(
+            SimTime::INFINITY + SimDuration::from_secs(10),
+            SimTime::INFINITY
+        );
     }
 }

@@ -54,8 +54,7 @@ impl Topology {
             Topology::Clique => true,
             Topology::Star { hub } => from == *hub || to == *hub,
             Topology::Tree { .. } => {
-                self.parent(n, from) == Some(to)
-                    || self.parent(n, to) == Some(from)
+                self.parent(n, from) == Some(to) || self.parent(n, to) == Some(from)
             }
             Topology::Chain { .. } => {
                 let fp = self.chain_pos(n, from);
@@ -115,9 +114,10 @@ impl Topology {
     /// Tree: height of the whole tree (max depth).
     pub fn height(&self, n: usize) -> usize {
         match self {
-            Topology::Tree { .. } => {
-                (0..n as u32).map(|i| self.depth(n, ReplicaId(i))).max().unwrap_or(0)
-            }
+            Topology::Tree { .. } => (0..n as u32)
+                .map(|i| self.depth(n, ReplicaId(i)))
+                .max()
+                .unwrap_or(0),
             _ => 0,
         }
     }
@@ -152,9 +152,7 @@ impl Topology {
     /// Chain: position of `node` in the pipeline (head = 0).
     fn chain_pos(&self, n: usize, node: ReplicaId) -> usize {
         match self {
-            Topology::Chain { head } => {
-                ((node.0 + n as u32 - head.0) % n as u32) as usize
-            }
+            Topology::Chain { head } => ((node.0 + n as u32 - head.0) % n as u32) as usize,
             _ => 0,
         }
     }
@@ -191,26 +189,44 @@ mod tests {
 
     #[test]
     fn tree_structure_with_fanout_2() {
-        let t = Topology::Tree { root: ReplicaId(0), fanout: 2 };
+        let t = Topology::Tree {
+            root: ReplicaId(0),
+            fanout: 2,
+        };
         let n = 7;
         assert_eq!(t.parent(n, ReplicaId(0)), None);
-        assert_eq!(t.children(n, ReplicaId(0)), vec![ReplicaId(1), ReplicaId(2)]);
-        assert_eq!(t.children(n, ReplicaId(1)), vec![ReplicaId(3), ReplicaId(4)]);
+        assert_eq!(
+            t.children(n, ReplicaId(0)),
+            vec![ReplicaId(1), ReplicaId(2)]
+        );
+        assert_eq!(
+            t.children(n, ReplicaId(1)),
+            vec![ReplicaId(3), ReplicaId(4)]
+        );
         assert_eq!(t.parent(n, ReplicaId(4)), Some(ReplicaId(1)));
         assert_eq!(t.depth(n, ReplicaId(0)), 0);
         assert_eq!(t.depth(n, ReplicaId(6)), 2);
         assert_eq!(t.height(n), 2);
         assert!(t.allows(n, ReplicaId(1), ReplicaId(3)));
         assert!(!t.allows(n, ReplicaId(3), ReplicaId(4)));
-        assert_eq!(t.internal_nodes(n), vec![ReplicaId(0), ReplicaId(1), ReplicaId(2)]);
+        assert_eq!(
+            t.internal_nodes(n),
+            vec![ReplicaId(0), ReplicaId(1), ReplicaId(2)]
+        );
     }
 
     #[test]
     fn tree_rotated_root() {
-        let t = Topology::Tree { root: ReplicaId(2), fanout: 2 };
+        let t = Topology::Tree {
+            root: ReplicaId(2),
+            fanout: 2,
+        };
         let n = 4;
         assert_eq!(t.parent(n, ReplicaId(2)), None);
-        assert_eq!(t.children(n, ReplicaId(2)), vec![ReplicaId(3), ReplicaId(0)]);
+        assert_eq!(
+            t.children(n, ReplicaId(2)),
+            vec![ReplicaId(3), ReplicaId(0)]
+        );
         assert_eq!(t.parent(n, ReplicaId(0)), Some(ReplicaId(2)));
     }
 
@@ -222,7 +238,10 @@ mod tests {
         assert_eq!(t.successor(n, ReplicaId(2)), Some(ReplicaId(3)));
         assert_eq!(t.successor(n, ReplicaId(3)), None);
         assert!(t.allows(n, ReplicaId(1), ReplicaId(2)));
-        assert!(t.allows(n, ReplicaId(2), ReplicaId(1)), "backward link for acks");
+        assert!(
+            t.allows(n, ReplicaId(2), ReplicaId(1)),
+            "backward link for acks"
+        );
         assert!(!t.allows(n, ReplicaId(0), ReplicaId(2)));
     }
 
@@ -239,7 +258,10 @@ mod tests {
     fn every_tree_node_reaches_root() {
         for n in [4usize, 7, 10, 16, 31] {
             for fanout in [2usize, 3, 5] {
-                let t = Topology::Tree { root: ReplicaId(0), fanout };
+                let t = Topology::Tree {
+                    root: ReplicaId(0),
+                    fanout,
+                };
                 for i in 1..n as u32 {
                     let mut cur = ReplicaId(i);
                     let mut hops = 0;

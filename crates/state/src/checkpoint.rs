@@ -99,7 +99,11 @@ impl CheckpointManager {
         }
         entry.push(replica);
         if entry.len() >= self.quorum {
-            let proof = CheckpointProof { seq, digest, attesters: entry.clone() };
+            let proof = CheckpointProof {
+                seq,
+                digest,
+                attesters: entry.clone(),
+            };
             self.make_stable(proof.clone());
             Some(proof)
         } else {
@@ -163,11 +167,19 @@ mod tests {
     #[test]
     fn stability_requires_quorum_of_distinct_replicas() {
         let mut m = CheckpointManager::new(10, 3);
-        assert!(m.add_attestation(ReplicaId(0), SeqNum(10), digest(1)).is_none());
+        assert!(m
+            .add_attestation(ReplicaId(0), SeqNum(10), digest(1))
+            .is_none());
         // duplicate vote doesn't count
-        assert!(m.add_attestation(ReplicaId(0), SeqNum(10), digest(1)).is_none());
-        assert!(m.add_attestation(ReplicaId(1), SeqNum(10), digest(1)).is_none());
-        let proof = m.add_attestation(ReplicaId(2), SeqNum(10), digest(1)).unwrap();
+        assert!(m
+            .add_attestation(ReplicaId(0), SeqNum(10), digest(1))
+            .is_none());
+        assert!(m
+            .add_attestation(ReplicaId(1), SeqNum(10), digest(1))
+            .is_none());
+        let proof = m
+            .add_attestation(ReplicaId(2), SeqNum(10), digest(1))
+            .unwrap();
         assert_eq!(proof.seq, SeqNum(10));
         assert_eq!(proof.attesters.len(), 3);
         assert_eq!(m.low_water(), SeqNum(10));
@@ -179,9 +191,13 @@ mod tests {
         let mut m = CheckpointManager::new(10, 3);
         m.add_attestation(ReplicaId(0), SeqNum(10), digest(1));
         m.add_attestation(ReplicaId(1), SeqNum(10), digest(2)); // divergent
-        assert!(m.add_attestation(ReplicaId(2), SeqNum(10), digest(1)).is_none());
+        assert!(m
+            .add_attestation(ReplicaId(2), SeqNum(10), digest(1))
+            .is_none());
         assert!(m.stable().is_none());
-        assert!(m.add_attestation(ReplicaId(3), SeqNum(10), digest(1)).is_some());
+        assert!(m
+            .add_attestation(ReplicaId(3), SeqNum(10), digest(1))
+            .is_some());
     }
 
     #[test]
@@ -191,8 +207,12 @@ mod tests {
         m.add_attestation(ReplicaId(1), SeqNum(20), digest(2));
         assert_eq!(m.low_water(), SeqNum(20));
         // a straggler attestation for seq 10 is ignored
-        assert!(m.add_attestation(ReplicaId(2), SeqNum(10), digest(1)).is_none());
-        assert!(m.add_attestation(ReplicaId(3), SeqNum(10), digest(1)).is_none());
+        assert!(m
+            .add_attestation(ReplicaId(2), SeqNum(10), digest(1))
+            .is_none());
+        assert!(m
+            .add_attestation(ReplicaId(3), SeqNum(10), digest(1))
+            .is_none());
         assert_eq!(m.low_water(), SeqNum(20));
     }
 
@@ -203,7 +223,13 @@ mod tests {
         for i in 1..=30u64 {
             sm.execute(
                 SeqNum(i),
-                &Request::new(ClientId(1), i, Transaction { ops: vec![Op::Put(1, i as i64)] }),
+                &Request::new(
+                    ClientId(1),
+                    i,
+                    Transaction {
+                        ops: vec![Op::Put(1, i as i64)],
+                    },
+                ),
             );
             if m.is_checkpoint_seq(SeqNum(i)) {
                 m.store_snapshot(sm.snapshot());

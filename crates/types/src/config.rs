@@ -134,7 +134,10 @@ impl ClusterConfig {
 
     /// Quorum rules derived from this configuration.
     pub fn quorums(&self) -> QuorumRules {
-        QuorumRules { n: self.n, f: self.f }
+        QuorumRules {
+            n: self.n,
+            f: self.f,
+        }
     }
 
     /// Builder-style: set the number of clients.
@@ -167,15 +170,32 @@ mod tests {
     fn minimal_sizes() {
         assert_eq!(ClusterConfig::classic(1).n, 4);
         assert_eq!(ClusterConfig::classic(2).n, 7);
-        assert_eq!(ClusterConfig::minimal(ReplicaFormula::Fast, 1).unwrap().n, 6);
-        assert_eq!(ClusterConfig::minimal(ReplicaFormula::OneStep, 1).unwrap().n, 8);
-        assert_eq!(ClusterConfig::minimal(ReplicaFormula::TrustedHardware, 1).unwrap().n, 3);
         assert_eq!(
-            ClusterConfig::minimal(ReplicaFormula::WithRecovery { k: 1 }, 1).unwrap().n,
+            ClusterConfig::minimal(ReplicaFormula::Fast, 1).unwrap().n,
             6
         );
         assert_eq!(
-            ClusterConfig::minimal(ReplicaFormula::Fairness { gamma_milli: 1000 }, 1).unwrap().n,
+            ClusterConfig::minimal(ReplicaFormula::OneStep, 1)
+                .unwrap()
+                .n,
+            8
+        );
+        assert_eq!(
+            ClusterConfig::minimal(ReplicaFormula::TrustedHardware, 1)
+                .unwrap()
+                .n,
+            3
+        );
+        assert_eq!(
+            ClusterConfig::minimal(ReplicaFormula::WithRecovery { k: 1 }, 1)
+                .unwrap()
+                .n,
+            6
+        );
+        assert_eq!(
+            ClusterConfig::minimal(ReplicaFormula::Fairness { gamma_milli: 1000 }, 1)
+                .unwrap()
+                .n,
             5
         );
     }

@@ -198,8 +198,14 @@ mod tests {
 
     #[test]
     fn request_id_orders_by_client_then_timestamp() {
-        let a = RequestId { client: ClientId(1), timestamp: 9 };
-        let b = RequestId { client: ClientId(2), timestamp: 0 };
+        let a = RequestId {
+            client: ClientId(1),
+            timestamp: 9,
+        };
+        let b = RequestId {
+            client: ClientId(2),
+            timestamp: 0,
+        };
         assert!(a < b);
     }
 

@@ -79,7 +79,10 @@ impl QuorumRules {
     /// The proactive-recovery `n = 3f + 2k + 1` configuration, tolerating
     /// `k` concurrently rejuvenating (hence unavailable) replicas.
     pub fn with_recovery(f: usize, k: usize) -> Self {
-        QuorumRules { n: 3 * f + 2 * k + 1, f }
+        QuorumRules {
+            n: 3 * f + 2 * k + 1,
+            f,
+        }
     }
 
     /// Does `n` actually satisfy `n ≥ 3f + 1`? (False for trusted-hardware

@@ -116,7 +116,10 @@ pub struct Request {
 impl Request {
     /// Construct a request.
     pub fn new(client: ClientId, timestamp: u64, txn: Transaction) -> Self {
-        Request { id: RequestId { client, timestamp }, txn }
+        Request {
+            id: RequestId { client, timestamp },
+            txn,
+        }
     }
 }
 
@@ -159,7 +162,13 @@ mod tests {
 
     #[test]
     fn read_and_write_sets() {
-        let txn = t(vec![Op::Get(1), Op::Put(2, 10), Op::Add(3, 1), Op::Delete(4), Op::Work(5)]);
+        let txn = t(vec![
+            Op::Get(1),
+            Op::Put(2, 10),
+            Op::Add(3, 1),
+            Op::Delete(4),
+            Op::Work(5),
+        ]);
         let reads: Vec<_> = txn.read_set().collect();
         let writes: Vec<_> = txn.write_set().collect();
         assert_eq!(reads, vec![1, 3]);
@@ -179,7 +188,10 @@ mod tests {
         assert!(!b.conflicts_with(&c), "read-read disjoint");
         let e = t(vec![Op::Get(5)]);
         let f = t(vec![Op::Get(5)]);
-        assert!(!e.conflicts_with(&f), "read-read same key is not a conflict");
+        assert!(
+            !e.conflicts_with(&f),
+            "read-read same key is not a conflict"
+        );
     }
 
     #[test]

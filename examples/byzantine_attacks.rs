@@ -8,8 +8,8 @@
 //! cargo run --release --example byzantine_attacks
 //! ```
 
-use untrusted_txn::prelude::*;
 use untrusted_txn::core::workload::WorkloadConfig;
+use untrusted_txn::prelude::*;
 use untrusted_txn::protocols::fair::mean_displacement;
 
 fn main() {
@@ -67,7 +67,10 @@ fn main() {
         let mut sum = 0.0;
         let mut n = 0.0;
         for e in &out.log.entries {
-            if let Observation::ClientAccept { request, sent_at, .. } = e.obs {
+            if let Observation::ClientAccept {
+                request, sent_at, ..
+            } = e.obs
+            {
                 if request.client == ClientId(c) {
                     sum += e.at.since(sent_at).as_millis_f64();
                     n += 1.0;
@@ -76,7 +79,10 @@ fn main() {
         }
         sum / f64::max(n, 1.0)
     };
-    println!("   victim (c1) mean latency: {:.3} ms — every request needed a", lat(1));
+    println!(
+        "   victim (c1) mean latency: {:.3} ms — every request needed a",
+        lat(1)
+    );
     println!("   retransmission + view change to get past the censor.");
     println!("   bystander (c0) mean latency: {:.3} ms.\n", lat(0));
 
@@ -118,13 +124,22 @@ fn main() {
             ..Default::default()
         },
     );
-    let pr = prime::run(&base, &[(ReplicaId(0), prime::PrimeBehavior::DelayLeader(d))]);
+    let pr = prime::run(
+        &base,
+        &[(ReplicaId(0), prime::PrimeBehavior::DelayLeader(d))],
+    );
     SafetyAuditor::excluding(vec![NodeId::replica(0)]).assert_safe(&pr.log);
     let tput = |o: &untrusted_txn::sim::runner::RunOutcome| {
         o.log.client_latencies().len() as f64 / (o.end_time.0 as f64 / 1e9)
     };
-    println!("   PBFT under attack:  {:>7.1} req/s (the attack works)", tput(&pb));
-    println!("   Prime under attack: {:>7.1} req/s (τ7 monitoring detected the", tput(&pr));
+    println!(
+        "   PBFT under attack:  {:>7.1} req/s (the attack works)",
+        tput(&pb)
+    );
+    println!(
+        "   Prime under attack: {:>7.1} req/s (τ7 monitoring detected the",
+        tput(&pr)
+    );
     println!(
         "   slow leader {} times and rotated it out)",
         pr.log.marker_count("leader-underperforming")

@@ -22,11 +22,18 @@ fn mean_ms(out: &RunOutcome) -> f64 {
 
 fn main() {
     let reqs = 15;
-    let lan = Scenario::small(1).with_load(1, reqs).with_network(NetworkConfig::lan());
-    let wan = Scenario::small(1).with_load(1, reqs).with_network(NetworkConfig::wan());
+    let lan = Scenario::small(1)
+        .with_load(1, reqs)
+        .with_network(NetworkConfig::lan());
+    let wan = Scenario::small(1)
+        .with_load(1, reqs)
+        .with_network(NetworkConfig::wan());
 
     println!("mean commit latency, LAN (δ=0.1 ms, Δ=10 ms) vs WAN (δ=25 ms, Δ=500 ms):\n");
-    println!("  {:<28}{:>9}{:>11}{:>8}", "protocol", "LAN ms", "WAN ms", "ratio");
+    println!(
+        "  {:<28}{:>9}{:>11}{:>8}",
+        "protocol", "LAN ms", "WAN ms", "ratio"
+    );
 
     let mut rows: Vec<(&str, f64, f64)> = vec![(
         "Zyzzyva (1 phase)",

@@ -40,7 +40,10 @@ fn main() {
     let delay = SimDuration::from_millis(25);
 
     println!("mean latency (virtual ms) under three conditions, f = 1:\n");
-    println!("  {:<24}{:>7}  {:>7}  {:>7}", "protocol", "free", "crash", "attack");
+    println!(
+        "  {:<24}{:>7}  {:>7}  {:>7}",
+        "protocol", "free", "crash", "attack"
+    );
 
     // PBFT: the pessimistic baseline — steady everywhere, never the fastest
     let pbft_attacked = pbft::run(
@@ -79,20 +82,40 @@ fn main() {
     );
 
     // FaB: two phases bought with 5f+1 replicas
-    row("FaB (2-phase, 5f+1)", mean_ms(&fab::run(&free)), mean_ms(&fab::run(&crash)), f64::NAN);
+    row(
+        "FaB (2-phase, 5f+1)",
+        mean_ms(&fab::run(&free)),
+        mean_ms(&fab::run(&crash)),
+        f64::NAN,
+    );
 
     // SBFT: linear messages, fast path needs everyone
-    row("SBFT (collector)", mean_ms(&sbft::run(&free)), mean_ms(&sbft::run(&crash)), f64::NAN);
+    row(
+        "SBFT (collector)",
+        mean_ms(&sbft::run(&free)),
+        mean_ms(&sbft::run(&crash)),
+        f64::NAN,
+    );
 
     // HotStuff: rotation + linearity; fault-free latency pays for it
-    row("HotStuff (rotating)", mean_ms(&hotstuff::run(&free)), mean_ms(&hotstuff::run(&crash)), f64::NAN);
+    row(
+        "HotStuff (rotating)",
+        mean_ms(&hotstuff::run(&free)),
+        mean_ms(&hotstuff::run(&crash)),
+        f64::NAN,
+    );
 
     // Prime: robust — the only one that stays healthy under the delay attack
     let prime_attacked = prime::run(
         &free,
         &[(ReplicaId(0), prime::PrimeBehavior::DelayLeader(delay))],
     );
-    row("Prime (robust)", mean_ms(&prime::run(&free, &[])), f64::NAN, mean_ms(&prime_attacked));
+    row(
+        "Prime (robust)",
+        mean_ms(&prime::run(&free, &[])),
+        f64::NAN,
+        mean_ms(&prime_attacked),
+    );
 
     println!(
         "\nno one-size-fits-all (the paper's thesis):\n\

@@ -26,17 +26,26 @@ fn main() {
     println!("{}", report.table_row());
 
     println!("\nwhat happened:");
-    println!("  • {} transactions committed and executed", report.completed_requests);
+    println!(
+        "  • {} transactions committed and executed",
+        report.completed_requests
+    );
     println!(
         "  • mean client latency {:.3} ms (virtual time, LAN δ ≈ 0.1 ms)",
         report.mean_latency_ms()
     );
-    println!("  • {} protocol messages per transaction", report.msgs_per_commit as u64);
+    println!(
+        "  • {} protocol messages per transaction",
+        report.msgs_per_commit as u64
+    );
     println!(
         "  • leader/backup load imbalance {:.2}× (the Q2 bottleneck)",
         report.load_imbalance
     );
-    println!("  • highest view: {} (no view change was needed)", report.max_view);
+    println!(
+        "  • highest view: {} (no view change was needed)",
+        report.max_view
+    );
 
     // Now the same workload with the leader crashing mid-run: the
     // view-change stage takes over and liveness continues.

@@ -57,10 +57,10 @@ pub mod prelude {
     pub use bft_core::workload::WorkloadConfig;
     pub use bft_protocols::pbft::{self, Behavior, PbftAuth, PbftOptions};
     pub use bft_protocols::zyzzyva::{self, ZyzzyvaVariant};
+    pub use bft_protocols::Scenario;
     pub use bft_protocols::{
         chain, cheap, fab, fair, hotstuff, kauri, minbft, poe, prime, qu, sbft, tendermint,
     };
-    pub use bft_protocols::Scenario;
     pub use bft_sim::{
         FaultPlan, NetworkConfig, NodeId, Observation, SafetyAuditor, SimDuration, SimTime,
     };

@@ -8,16 +8,12 @@ use untrusted_txn::types::Digest;
 
 /// The state digest after the last execution on a given replica.
 fn final_state_digest(out: &RunOutcome, replica: u32) -> Option<Digest> {
-    out.log
-        .entries
-        .iter()
-        .rev()
-        .find_map(|e| match &e.obs {
-            Observation::Execute { state_digest, .. } if e.node == NodeId::replica(replica) => {
-                Some(*state_digest)
-            }
-            _ => None,
-        })
+    out.log.entries.iter().rev().find_map(|e| match &e.obs {
+        Observation::Execute { state_digest, .. } if e.node == NodeId::replica(replica) => {
+            Some(*state_digest)
+        }
+        _ => None,
+    })
 }
 
 #[test]
@@ -62,7 +58,11 @@ fn every_protocol_is_deterministic() {
         ($name:literal, $run:expr) => {{
             let a: RunOutcome = $run;
             let b: RunOutcome = $run;
-            assert_eq!(a.events_processed, b.events_processed, "{} events differ", $name);
+            assert_eq!(
+                a.events_processed, b.events_processed,
+                "{} events differ",
+                $name
+            );
             assert_eq!(a.end_time, b.end_time, "{} end time differs", $name);
             assert_eq!(
                 a.log.entries.len(),
@@ -90,10 +90,17 @@ fn every_protocol_is_deterministic() {
 
 #[test]
 fn seed_changes_the_microtiming_but_not_the_outcome() {
-    let a = pbft::run(&Scenario::small(1).with_load(1, 10).with_seed(1), &PbftOptions::default());
-    let b = pbft::run(&Scenario::small(1).with_load(1, 10).with_seed(2), &PbftOptions::default());
+    let a = pbft::run(
+        &Scenario::small(1).with_load(1, 10).with_seed(1),
+        &PbftOptions::default(),
+    );
+    let b = pbft::run(
+        &Scenario::small(1).with_load(1, 10).with_seed(2),
+        &PbftOptions::default(),
+    );
     // different jitter draws → different per-request latencies…
-    let lat_sum = |o: &RunOutcome| -> u64 { o.log.client_latencies().iter().map(|(_, d)| d.0).sum() };
+    let lat_sum =
+        |o: &RunOutcome| -> u64 { o.log.client_latencies().iter().map(|(_, d)| d.0).sum() };
     assert_ne!(lat_sum(&a), lat_sum(&b), "seeds must matter");
     // …but the same logical outcome: everything commits. (Final state
     // digests differ because the workload itself derives from the seed.)

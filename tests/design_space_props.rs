@@ -100,7 +100,11 @@ fn catalogue_invariants() {
         }
         // fairness implies the fairness replica budget
         if p.qos.fairness_gamma_milli.is_some() {
-            assert!(matches!(p.replicas, ReplicaFormula::Fairness { .. }), "{}", p.name);
+            assert!(
+                matches!(p.replicas, ReplicaFormula::Fairness { .. }),
+                "{}",
+                p.name
+            );
         }
     }
 }
@@ -111,8 +115,14 @@ fn paper_relationships_hold() {
     // DC8(PBFT) ≈ Zyzzyva, DC2(PBFT) ≈ FaB, DC13(PBFT) ≈ Themis — the
     // identities §2.3 claims (coordinate-level, names aside)
     let z = speculative_execution(&catalogue::pbft()).unwrap();
-    assert_eq!(z.good_case_phases(), catalogue::zyzzyva().good_case_phases());
-    assert_eq!(z.clients.reply_quorum, catalogue::zyzzyva().clients.reply_quorum);
+    assert_eq!(
+        z.good_case_phases(),
+        catalogue::zyzzyva().good_case_phases()
+    );
+    assert_eq!(
+        z.clients.reply_quorum,
+        catalogue::zyzzyva().clients.reply_quorum
+    );
 
     let f = phase_reduction(&catalogue::pbft_signed()).unwrap();
     assert_eq!(f.replicas, catalogue::fab().replicas);

@@ -1,0 +1,74 @@
+//! Determinism regression tests.
+//!
+//! A simulation run is a pure function of (scenario, seed): repeating a run
+//! must reproduce the observation log and metrics byte-for-byte once
+//! serialized, and the parallel experiment harness must produce exactly the
+//! results a sequential run produces, at any thread count.
+
+use bft_protocols::pbft::{self, PbftOptions};
+use bft_protocols::Scenario;
+
+fn outcome_json(out: &bft_sim::runner::RunOutcome) -> (String, String) {
+    (
+        serde_json::to_string(&out.log).expect("log serializes"),
+        serde_json::to_string(&out.metrics).expect("metrics serialize"),
+    )
+}
+
+#[test]
+fn same_scenario_and_seed_reproduce_identical_logs_and_metrics() {
+    let s = Scenario::small(1).with_load(2, 10);
+    let (log, metrics) = outcome_json(&pbft::run(&s, &PbftOptions::default()));
+    for _ in 0..2 {
+        let (log2, metrics2) = outcome_json(&pbft::run(&s, &PbftOptions::default()));
+        assert_eq!(log, log2, "observation log diverged across identical runs");
+        assert_eq!(metrics, metrics2, "metrics diverged across identical runs");
+    }
+    // guard against the comparison trivially passing on constant output: a
+    // different seed must actually change the run
+    let reseeded = s.with_seed(43);
+    let (log3, _) = outcome_json(&pbft::run(&reseeded, &PbftOptions::default()));
+    assert_ne!(log, log3, "seed had no effect on the run");
+}
+
+#[test]
+fn parallel_harness_matches_sequential_byte_for_byte() {
+    // a fast subset of the registry is enough: every experiment goes
+    // through the same worker-pool machinery
+    let fast = ["exp_f2", "exp_dc2", "exp_dc13", "exp_q2"];
+    let entries: Vec<_> = bft_bench::registry()
+        .into_iter()
+        .filter(|(id, _, _)| fast.contains(id))
+        .collect();
+    assert_eq!(entries.len(), fast.len());
+
+    let sequential = bft_bench::run_all(&entries, true, 1);
+    for threads in [2, 4] {
+        let parallel = bft_bench::run_all(&entries, true, threads);
+        assert_eq!(parallel.len(), sequential.len());
+        for (s, p) in sequential.iter().zip(&parallel) {
+            assert_eq!(s.id, p.id, "parallel run reordered results");
+            assert_eq!(
+                serde_json::to_string(&s.result).expect("serializable"),
+                serde_json::to_string(&p.result).expect("serializable"),
+                "{}: parallel result diverged from sequential",
+                s.id
+            );
+        }
+    }
+}
+
+#[test]
+fn repeated_parallel_runs_are_stable() {
+    let entries: Vec<_> = bft_bench::registry()
+        .into_iter()
+        .filter(|(id, _, _)| *id == "exp_dc2")
+        .collect();
+    let first = bft_bench::run_all(&entries, true, 2);
+    let second = bft_bench::run_all(&entries, true, 2);
+    assert_eq!(
+        serde_json::to_string(&first[0].result).expect("serializable"),
+        serde_json::to_string(&second[0].result).expect("serializable"),
+        "repeated runs of the same experiment diverged"
+    );
+}

@@ -4,12 +4,19 @@
 
 #[test]
 fn all_experiment_claims_reproduce_in_quick_mode() {
+    let registry = bft_bench::registry();
+    let threads = bft_bench::thread_count(registry.len());
+    let records = bft_bench::run_all(&registry, true, threads);
     let mut failures = Vec::new();
-    for (id, title, runner) in bft_bench::registry() {
-        let result = runner(true);
-        assert_eq!(result.id, id, "registry id mismatch");
-        if !result.claim_holds {
-            failures.push(format!("{id} — {title}\n{}", result.render()));
+    for rec in records {
+        assert_eq!(rec.result.id, rec.id, "registry id mismatch");
+        if !rec.result.claim_holds {
+            failures.push(format!(
+                "{} — {}\n{}",
+                rec.id,
+                rec.title,
+                rec.result.render()
+            ));
         }
     }
     assert!(

@@ -209,7 +209,11 @@ fn pbft_is_live_after_gst() {
     let s = Scenario::small(1).with_load(1, 10).with_network(net);
     let out = pbft::run(&s, &PbftOptions::default());
     SafetyAuditor::all_correct().assert_safe(&out.log);
-    assert_eq!(out.log.client_latencies().len(), 10, "all requests commit after GST");
+    assert_eq!(
+        out.log.client_latencies().len(),
+        10,
+        "all requests commit after GST"
+    );
     // at least some acceptances happen only after stabilization
     let after_gst = out
         .log
@@ -246,8 +250,7 @@ fn exceeding_f_crashes_stalls_but_stays_safe() {
             .crash(NodeId::replica(3), SimTime(2_000_000)),
     );
     let out = pbft::run(&s, &PbftOptions::default());
-    SafetyAuditor::excluding(vec![NodeId::replica(2), NodeId::replica(3)])
-        .assert_safe(&out.log);
+    SafetyAuditor::excluding(vec![NodeId::replica(2), NodeId::replica(3)]).assert_safe(&out.log);
     assert!(
         (out.log.client_latencies().len() as u64) < 10,
         "with 2f crashes a quorum is unreachable — the run must stall"

@@ -145,14 +145,14 @@ fn minbft_matrix() {
     for (sname, s, faulty) in scenarios() {
         if sname == "backup partitioned then healed" {
             // replica 3 does not exist at n = 3; isolate replica 2 instead
-            let s = Scenario::small(1).with_load(1, REQS).with_faults(
-                FaultPlan::none().isolate(
+            let s = Scenario::small(1)
+                .with_load(1, REQS)
+                .with_faults(FaultPlan::none().isolate(
                     NodeId::replica(2),
                     (0..2).map(NodeId::replica).collect(),
                     SimTime(1_000_000),
                     SimTime(30_000_000),
-                ),
-            );
+                ));
             let out = minbft::run(&s);
             check("MinBFT", sname, &out, &[], s.total_requests());
             continue;

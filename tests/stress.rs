@@ -26,7 +26,11 @@ fn pbft_large_cluster_compound_faults() {
     s.checkpoint_interval = 32;
     let out = pbft::run(&s, &PbftOptions::default());
     SafetyAuditor::excluding(vec![NodeId::replica(7)]).assert_safe(&out.log);
-    assert_eq!(out.log.client_latencies().len(), 300, "all requests complete");
+    assert_eq!(
+        out.log.client_latencies().len(),
+        300,
+        "all requests complete"
+    );
     let stable = out
         .log
         .count(|e| matches!(e.obs, Observation::StableCheckpoint { .. }));
@@ -57,10 +61,19 @@ fn zyzzyva_sustained_slow_path() {
     let out = zyzzyva::run(&s, ZyzzyvaVariant::Classic);
     SafetyAuditor::excluding(vec![NodeId::replica(3)]).assert_safe(&out.log);
     assert_eq!(out.log.client_latencies().len(), 120);
-    let fast = out
-        .log
-        .count(|e| matches!(e.obs, Observation::ClientAccept { fast_path: true, .. }));
-    assert_eq!(fast, 0, "no fast-path accept is possible with a dead replica");
+    let fast = out.log.count(|e| {
+        matches!(
+            e.obs,
+            Observation::ClientAccept {
+                fast_path: true,
+                ..
+            }
+        )
+    });
+    assert_eq!(
+        fast, 0,
+        "no fast-path accept is possible with a dead replica"
+    );
 }
 
 #[test]
@@ -70,7 +83,9 @@ fn mixed_contention_many_clients() {
     let s = Scenario::small(1)
         .with_load(12, 25)
         .with_batch(8)
-        .with_workload(untrusted_txn::core::workload::WorkloadConfig::contended(0.8));
+        .with_workload(untrusted_txn::core::workload::WorkloadConfig::contended(
+            0.8,
+        ));
     let out = pbft::run(&s, &PbftOptions::default());
     SafetyAuditor::all_correct().assert_safe(&out.log);
     assert_eq!(out.log.client_latencies().len(), 300);
@@ -86,8 +101,10 @@ fn long_view_change_cascade() {
             .crash(NodeId::replica(1), SimTime(3_000_000)),
     );
     let out = pbft::run(&s, &PbftOptions::default());
-    SafetyAuditor::excluding(vec![NodeId::replica(0), NodeId::replica(1)])
-        .assert_safe(&out.log);
-    assert!(out.log.max_view() >= View(2), "both dead leaders must be skipped");
+    SafetyAuditor::excluding(vec![NodeId::replica(0), NodeId::replica(1)]).assert_safe(&out.log);
+    assert!(
+        out.log.max_view() >= View(2),
+        "both dead leaders must be skipped"
+    );
     assert_eq!(out.log.client_latencies().len(), 20);
 }

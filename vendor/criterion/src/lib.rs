@@ -1,0 +1,277 @@
+//! Offline stand-in for [criterion](https://bheisler.github.io/criterion.rs/book/).
+//!
+//! A small wall-clock benchmarking harness exposing the API subset this
+//! workspace uses: `Criterion::benchmark_group`, `bench_function`,
+//! `Bencher::{iter, iter_batched}`, `Throughput`, `BatchSize`, and the
+//! `criterion_group!`/`criterion_main!` macros. Measurement is adaptive
+//! (calibrate iteration count to a minimum sample duration, then take the
+//! median of several samples) but deliberately simpler than upstream: no
+//! statistical regression, no HTML reports.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-sample iteration-count sizing hint (accepted for compatibility; the
+/// adaptive calibration ignores it).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Setup output is cheap to hold many of.
+    SmallInput,
+    /// Setup output is large; fewer per sample.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Work-per-iteration declaration used to derive throughput rates.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Benchmark registry and runner.
+pub struct Criterion {
+    filter: Option<String>,
+    /// Target duration for one measured sample.
+    sample_target: Duration,
+    results: Vec<BenchResult>,
+}
+
+/// One benchmark's measured outcome.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// `group/name` identifier.
+    pub id: String,
+    /// Median nanoseconds per iteration.
+    pub ns_per_iter: f64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            filter: None,
+            sample_target: Duration::from_millis(20),
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Build a `Criterion` configured from the process's CLI arguments:
+    /// harness flags are ignored, the first free argument is a substring
+    /// filter on benchmark ids.
+    pub fn from_args() -> Self {
+        let mut c = Criterion::default();
+        for arg in std::env::args().skip(1) {
+            if !arg.starts_with('-') {
+                c.filter = Some(arg);
+            }
+        }
+        c
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+            sample_count: 7,
+        }
+    }
+
+    /// Print a one-line closing summary.
+    pub fn final_summary(&self) {
+        println!("\n{} benchmarks measured", self.results.len());
+    }
+
+    /// All results measured so far.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    fn record(&mut self, id: String, ns_per_iter: f64, throughput: Option<Throughput>) {
+        let rate = match throughput {
+            Some(Throughput::Bytes(b)) => {
+                let gib = b as f64 / ns_per_iter * 1e9 / (1u64 << 30) as f64;
+                format!("   ({gib:.3} GiB/s)")
+            }
+            Some(Throughput::Elements(n)) => {
+                let meps = n as f64 / ns_per_iter * 1e9 / 1e6;
+                format!("   ({meps:.3} Melem/s)")
+            }
+            None => String::new(),
+        };
+        println!("{id:<44} time: {}{rate}", format_ns(ns_per_iter));
+        self.results.push(BenchResult { id, ns_per_iter });
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:>10.1} ns/iter")
+    } else if ns < 1_000_000.0 {
+        format!("{:>10.2} µs/iter", ns / 1e3)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:>10.2} ms/iter", ns / 1e6)
+    } else {
+        format!("{:>10.3} s/iter", ns / 1e9)
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_count: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare the work performed by one iteration of subsequent benches.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Set the number of measured samples (minimum 3).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_count = n.max(3);
+        self
+    }
+
+    /// Measure `f` under `<group>/<id>`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        if let Some(filter) = &self.criterion.filter {
+            if !full.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        // Calibrate: grow the iteration count until one sample is long
+        // enough to time reliably.
+        let target = self.criterion.sample_target;
+        let mut iters: u64 = 1;
+        loop {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            if b.elapsed >= target || iters >= 1 << 28 {
+                break;
+            }
+            let grow = if b.elapsed.is_zero() {
+                16
+            } else {
+                (target.as_secs_f64() / b.elapsed.as_secs_f64())
+                    .ceil()
+                    .min(16.0) as u64
+            };
+            iters = (iters * grow.max(2)).min(1 << 28);
+        }
+        let mut samples: Vec<f64> = (0..self.sample_count)
+            .map(|_| {
+                let mut b = Bencher {
+                    iters,
+                    elapsed: Duration::ZERO,
+                };
+                f(&mut b);
+                b.elapsed.as_secs_f64() * 1e9 / iters as f64
+            })
+            .collect();
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let median = samples[samples.len() / 2];
+        self.criterion.record(full, median, self.throughput);
+        self
+    }
+
+    /// Close the group (formatting no-op; results were printed as measured).
+    pub fn finish(&mut self) {}
+}
+
+/// Timer handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, running it the harness-chosen number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Time `routine` over inputs built by `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+/// Bundle benchmark functions into a group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($f:path),+ $(,)?) => {
+        pub fn $group(c: &mut $crate::Criterion) {
+            $($f(c);)+
+        }
+    };
+}
+
+/// Generate a `main` that runs the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::from_args();
+            $($group(&mut c);)+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_positive() {
+        let mut c = Criterion {
+            sample_target: Duration::from_micros(200),
+            ..Criterion::default()
+        };
+        let mut g = c.benchmark_group("t");
+        g.sample_size(3);
+        g.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u64; 64],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+        g.finish();
+        assert_eq!(c.results().len(), 2);
+        assert!(c.results().iter().all(|r| r.ns_per_iter > 0.0));
+    }
+}

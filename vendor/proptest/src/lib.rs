@@ -1,0 +1,456 @@
+//! Offline stand-in for [proptest](https://proptest-rs.github.io/proptest/).
+//!
+//! Implements the strategy combinators and the `proptest!` macro surface
+//! this workspace uses: integer/float range strategies, `any::<T>()`,
+//! `prop::bool::ANY`, `prop::collection::vec`, tuple strategies,
+//! `.prop_map`, `#![proptest_config]`, and the three `prop_assert*` macros.
+//!
+//! Differences from upstream: case generation is seeded deterministically
+//! from the test's file/line (stable across runs — good for CI), there is
+//! no shrinking (the failing case's drawn values are printed instead), and
+//! the default case count is 64.
+
+use std::fmt::Debug;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// Per-test configuration, set via `#![proptest_config(...)]`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of cases to draw and run.
+    pub cases: u32,
+    /// Accepted for compatibility; shrinking is not implemented.
+    pub max_shrink_iters: u32,
+    /// Accepted for compatibility; regression files are not consulted.
+    pub failure_persistence: Option<()>,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 64,
+            max_shrink_iters: 0,
+            failure_persistence: None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RNG
+// ---------------------------------------------------------------------------
+
+/// Deterministic generator backing case draws (splitmix64).
+#[derive(Clone, Debug)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, bound)`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Draw in `[0, 1)` from the top 53 bits.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Seed a [`TestRng`] from the test's source location, so every test has a
+/// distinct but run-to-run stable stream.
+#[doc(hidden)]
+pub fn test_rng(file: &str, line: u32) -> TestRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in file.bytes().chain(line.to_le_bytes()) {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    TestRng(h)
+}
+
+// ---------------------------------------------------------------------------
+// Strategies
+// ---------------------------------------------------------------------------
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    /// The generated value type.
+    type Value: Debug;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! impl_uint_strategy {
+    ($($ty:ty),*) => {
+        $(
+            impl Strategy for Range<$ty> {
+                type Value = $ty;
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    assert!(self.start < self.end, "empty strategy range");
+                    self.start + rng.below((self.end - self.start) as u64) as $ty
+                }
+            }
+            impl Strategy for RangeInclusive<$ty> {
+                type Value = $ty;
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty strategy range");
+                    lo + rng.below((hi - lo) as u64 + 1) as $ty
+                }
+            }
+        )*
+    };
+}
+
+impl_uint_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_int_strategy {
+    ($($ty:ty),*) => {
+        $(
+            impl Strategy for Range<$ty> {
+                type Value = $ty;
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let span = (self.end as i64).wrapping_sub(self.start as i64) as u64;
+                    self.start.wrapping_add(rng.below(span) as $ty)
+                }
+            }
+            impl Strategy for RangeInclusive<$ty> {
+                type Value = $ty;
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty strategy range");
+                    let span = (hi as i64).wrapping_sub(lo as i64) as u64;
+                    lo.wrapping_add(rng.below(span + 1) as $ty)
+                }
+            }
+        )*
+    };
+}
+
+impl_int_strategy!(i8, i16, i32, i64);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        self.start + (self.end - self.start) * rng.unit_f64()
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty strategy range");
+        lo + (hi - lo) * rng.unit_f64()
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident . $idx:tt),+))*) => {
+        $(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*
+    };
+}
+
+impl_tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
+}
+
+/// Strategy over every value of a type (`any::<T>()`).
+pub struct Full<T>(PhantomData<T>);
+
+impl<T> Clone for Full<T> {
+    fn clone(&self) -> Self {
+        Full(PhantomData)
+    }
+}
+
+impl<T> Debug for Full<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Full")
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized + Debug {
+    /// Draw an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl<T: Arbitrary> Strategy for Full<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The strategy generating any value of `T` (mirrors `proptest::arbitrary::any`).
+pub fn any<T: Arbitrary>() -> Full<T> {
+    Full(PhantomData)
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($ty:ty),*) => {
+        $(impl Arbitrary for $ty {
+            fn arbitrary(rng: &mut TestRng) -> $ty {
+                rng.next_u64() as $ty
+            }
+        })*
+    };
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Boolean strategies (mirrors `proptest::bool`).
+pub mod bool {
+    /// The strategy generating either boolean.
+    pub const ANY: crate::Full<::core::primitive::bool> = crate::Full(::core::marker::PhantomData);
+}
+
+/// Collection strategies (mirrors `proptest::collection`).
+pub mod collection {
+    use super::{Debug, Range, RangeInclusive, Strategy, TestRng};
+
+    /// Length bounds accepted by [`vec`].
+    pub trait SizeRange {
+        /// Draw a length.
+        fn draw(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for Range<usize> {
+        fn draw(&self, rng: &mut TestRng) -> usize {
+            assert!(self.start < self.end, "empty size range");
+            self.start + rng.below((self.end - self.start) as u64) as usize
+        }
+    }
+
+    impl SizeRange for RangeInclusive<usize> {
+        fn draw(&self, rng: &mut TestRng) -> usize {
+            let (lo, hi) = (*self.start(), *self.end());
+            assert!(lo <= hi, "empty size range");
+            lo + rng.below((hi - lo) as u64 + 1) as usize
+        }
+    }
+
+    impl SizeRange for usize {
+        fn draw(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    /// Strategy for `Vec`s with element strategy `S`.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S, L> {
+        element: S,
+        len: L,
+    }
+
+    impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L>
+    where
+        S::Value: Debug,
+    {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.draw(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Generate `Vec`s whose length is drawn from `len`.
+    pub fn vec<S: Strategy, L: SizeRange>(element: S, len: L) -> VecStrategy<S, L> {
+        VecStrategy { element, len }
+    }
+}
+
+/// Everything a property test module needs (mirrors `proptest::prelude`).
+pub mod prelude {
+    pub use crate::{any, Arbitrary, ProptestConfig, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Named strategy modules (mirrors `proptest::prelude::prop`).
+    pub mod prop {
+        pub use crate::bool;
+        pub use crate::collection;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Assert a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Assert equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Assert inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Define property tests: each `fn` runs `config.cases` times over values
+/// drawn from its parameter strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!(($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr) $(#[$meta:meta])* fn $name:ident($($params:tt)*) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::__proptest_parse!(($cfg) $body () () $($params)*);
+        }
+        $crate::__proptest_fns!(($cfg) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_parse {
+    // `mut name in strategy`
+    (($cfg:expr) $body:block ($($pat:tt)*) ($($strat:expr,)*) mut $n:ident in $s:expr, $($rest:tt)*) => {
+        $crate::__proptest_parse!(($cfg) $body ($($pat)* (mut $n)) ($($strat,)* $s,) $($rest)*)
+    };
+    (($cfg:expr) $body:block ($($pat:tt)*) ($($strat:expr,)*) mut $n:ident in $s:expr) => {
+        $crate::__proptest_parse!(($cfg) $body ($($pat)* (mut $n)) ($($strat,)* $s,))
+    };
+    // `name in strategy`
+    (($cfg:expr) $body:block ($($pat:tt)*) ($($strat:expr,)*) $n:ident in $s:expr, $($rest:tt)*) => {
+        $crate::__proptest_parse!(($cfg) $body ($($pat)* ($n)) ($($strat,)* $s,) $($rest)*)
+    };
+    (($cfg:expr) $body:block ($($pat:tt)*) ($($strat:expr,)*) $n:ident in $s:expr) => {
+        $crate::__proptest_parse!(($cfg) $body ($($pat)* ($n)) ($($strat,)* $s,))
+    };
+    // `name: Type` draws from `any::<Type>()`
+    (($cfg:expr) $body:block ($($pat:tt)*) ($($strat:expr,)*) $n:ident : $t:ty, $($rest:tt)*) => {
+        $crate::__proptest_parse!(($cfg) $body ($($pat)* ($n)) ($($strat,)* $crate::any::<$t>(),) $($rest)*)
+    };
+    (($cfg:expr) $body:block ($($pat:tt)*) ($($strat:expr,)*) $n:ident : $t:ty) => {
+        $crate::__proptest_parse!(($cfg) $body ($($pat)* ($n)) ($($strat,)* $crate::any::<$t>(),))
+    };
+    // all parameters consumed: run the cases
+    (($cfg:expr) $body:block ($(($($pat:tt)+))*) ($($strat:expr,)*)) => {{
+        let config: $crate::ProptestConfig = $cfg;
+        let strategy = ($($strat,)*);
+        let mut rng = $crate::test_rng(file!(), line!());
+        for case in 0..config.cases {
+            let value = $crate::Strategy::generate(&strategy, &mut rng);
+            let drawn = format!("{:?}", value);
+            let ($($($pat)+,)*) = value;
+            let outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| $body));
+            if let Err(payload) = outcome {
+                eprintln!("proptest: case #{case} failed with drawn values {drawn}");
+                ::std::panic::resume_unwind(payload);
+            }
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone)]
+    struct Pair {
+        a: u64,
+        b: bool,
+    }
+
+    fn pair_strategy() -> impl Strategy<Value = Pair> {
+        (0u64..100, any::<bool>()).prop_map(|(a, b)| Pair { a, b })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+        /// Range strategies respect their bounds.
+        #[test]
+        fn ranges_in_bounds(x in 3u64..17, y in -5i64..=5, f in 0.25f64..0.75, flag: bool) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-5..=5).contains(&y));
+            prop_assert!((0.25..0.75).contains(&f));
+            let _ = flag;
+        }
+
+        /// Collection + tuple + map strategies compose.
+        #[test]
+        fn composed_strategies(
+            mut v in prop::collection::vec((0u64..4, prop::bool::ANY), 0..20),
+            p in pair_strategy(),
+        ) {
+            v.push((0, true));
+            prop_assert!(v.iter().all(|(k, _)| *k < 4 || *k == 0));
+            prop_assert!(p.a < 100 || p.b);
+        }
+    }
+}

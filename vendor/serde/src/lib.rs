@@ -1,0 +1,27 @@
+//! Offline stand-in for [serde](https://serde.rs), providing the exact
+//! subset of the `ser` data model this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a minimal, API-compatible implementation: the [`Serialize`] /
+//! [`Serializer`] traits and the seven compound-serializer traits, with
+//! impls for the std types the protocol suite serializes. Custom
+//! serializers written against real serde (e.g. `bft-crypto`'s stable byte
+//! encoder, `serde_json`'s writers) compile unchanged against this crate.
+//!
+//! `Deserialize` is a marker: nothing in the workspace deserializes, but
+//! many types derive it so the bound must exist.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod ser;
+
+pub use ser::{Serialize, Serializer};
+
+/// Marker trait mirroring serde's `Deserialize`. Derivable; carries no
+/// behavior because the workspace never parses serialized data back.
+pub trait Deserialize {}
+
+/// Namespace mirroring serde's `de` module (marker-only here).
+pub mod de {
+    pub use crate::Deserialize;
+}

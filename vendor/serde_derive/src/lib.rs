@@ -1,0 +1,312 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Emits `Serialize` impls following real serde's data model (structs via
+//! `serialize_struct`, newtypes via `serialize_newtype_struct`, enums by
+//! declaration index via the `*_variant` entry points) so output is
+//! interchangeable with upstream for the formats this workspace uses.
+//! The parser walks the raw `TokenStream` directly — the build environment
+//! has no crates.io access, so `syn`/`quote` are unavailable. Generic types
+//! are unsupported (nothing in this workspace derives on one).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Data {
+    UnitStruct,
+    TupleStruct(usize),
+    NamedStruct(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Input {
+    name: String,
+    data: Data,
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse(input);
+    gen_serialize(&input)
+        .parse()
+        .expect("serde_derive: generated impl failed to parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse(input);
+    format!(
+        "#[automatically_derived]\nimpl ::serde::Deserialize for {} {{}}\n",
+        input.name
+    )
+    .parse()
+    .expect("serde_derive: generated impl failed to parse")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kw = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        t => panic!("serde_derive: expected `struct` or `enum`, found {t}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        t => panic!("serde_derive: expected type name, found {t}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive stand-in: generic types are not supported (derive on `{name}`)");
+        }
+    }
+    let data = match kw.as_str() {
+        "struct" => match tokens.get(i) {
+            None => Data::UnitStruct,
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Data::UnitStruct,
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Data::TupleStruct(count_top_level_fields(g.stream()))
+            }
+            Some(t) => panic!("serde_derive: unexpected token after struct name: {t}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Enum(parse_variants(g.stream()))
+            }
+            _ => panic!("serde_derive: expected enum body for `{name}`"),
+        },
+        other => panic!("serde_derive: cannot derive on `{other}` items"),
+    };
+    Input { name, data }
+}
+
+/// Skip leading `#[...]` attributes and `pub` / `pub(...)` visibility.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                    if g.delimiter() == Delimiter::Bracket {
+                        *i += 1;
+                        continue;
+                    }
+                }
+                panic!("serde_derive: malformed attribute");
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1;
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Advance past a type (or discriminant expression) up to and including the
+/// next comma at angle-bracket depth zero. `->` is recognized so function
+/// pointer return arrows don't unbalance the depth counter.
+fn skip_to_top_level_comma(tokens: &[TokenTree], i: &mut usize) {
+    let mut depth: i32 = 0;
+    let mut prev_dash = false;
+    while let Some(t) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' if !prev_dash => depth -= 1,
+                ',' if depth == 0 => {
+                    *i += 1;
+                    return;
+                }
+                _ => {}
+            }
+            prev_dash = p.as_char() == '-';
+        } else {
+            prev_dash = false;
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+            None => break,
+            Some(t) => panic!("serde_derive: expected field name, found {t}"),
+        }
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            t => panic!("serde_derive: expected `:` after field name, found {t:?}"),
+        }
+        skip_to_top_level_comma(&tokens, &mut i);
+    }
+    fields
+}
+
+/// Count comma-separated fields of a tuple struct / tuple variant body.
+/// Commas nested in groups are invisible at this level; only angle brackets
+/// need explicit depth tracking.
+fn count_top_level_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        count += 1;
+        skip_to_top_level_comma(&tokens, &mut i);
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(t) => panic!("serde_derive: expected variant name, found {t}"),
+        };
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_top_level_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Named(parse_named_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an optional `= discriminant` and the trailing comma.
+        skip_to_top_level_comma(&tokens, &mut i);
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.data {
+        Data::UnitStruct => {
+            format!("::serde::ser::Serializer::serialize_unit_struct(serializer, \"{name}\")")
+        }
+        Data::TupleStruct(1) => format!(
+            "::serde::ser::Serializer::serialize_newtype_struct(serializer, \"{name}\", &self.0)"
+        ),
+        Data::TupleStruct(len) => {
+            let mut b = format!(
+                "let mut st = ::serde::ser::Serializer::serialize_tuple_struct(serializer, \"{name}\", {len}usize)?;\n"
+            );
+            for idx in 0..*len {
+                b.push_str(&format!(
+                    "::serde::ser::SerializeTupleStruct::serialize_field(&mut st, &self.{idx})?;\n"
+                ));
+            }
+            b.push_str("::serde::ser::SerializeTupleStruct::end(st)");
+            b
+        }
+        Data::NamedStruct(fields) => {
+            let len = fields.len();
+            let mut b = format!(
+                "let mut st = ::serde::ser::Serializer::serialize_struct(serializer, \"{name}\", {len}usize)?;\n"
+            );
+            for f in fields {
+                b.push_str(&format!(
+                    "::serde::ser::SerializeStruct::serialize_field(&mut st, \"{f}\", &self.{f})?;\n"
+                ));
+            }
+            b.push_str("::serde::ser::SerializeStruct::end(st)");
+            b
+        }
+        Data::Enum(variants) if variants.is_empty() => "match *self {}".to_string(),
+        Data::Enum(variants) => {
+            let mut b = String::from("match self {\n");
+            for (vi, v) in variants.iter().enumerate() {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => b.push_str(&format!(
+                        "{name}::{vname} => ::serde::ser::Serializer::serialize_unit_variant(serializer, \"{name}\", {vi}u32, \"{vname}\"),\n"
+                    )),
+                    VariantKind::Tuple(1) => b.push_str(&format!(
+                        "{name}::{vname}(f0) => ::serde::ser::Serializer::serialize_newtype_variant(serializer, \"{name}\", {vi}u32, \"{vname}\", f0),\n"
+                    )),
+                    VariantKind::Tuple(len) => {
+                        let pats: Vec<String> = (0..*len).map(|k| format!("f{k}")).collect();
+                        b.push_str(&format!(
+                            "{name}::{vname}({}) => {{\nlet mut st = ::serde::ser::Serializer::serialize_tuple_variant(serializer, \"{name}\", {vi}u32, \"{vname}\", {len}usize)?;\n",
+                            pats.join(", ")
+                        ));
+                        for p in &pats {
+                            b.push_str(&format!(
+                                "::serde::ser::SerializeTupleVariant::serialize_field(&mut st, {p})?;\n"
+                            ));
+                        }
+                        b.push_str("::serde::ser::SerializeTupleVariant::end(st)\n},\n");
+                    }
+                    VariantKind::Named(fields) => {
+                        let len = fields.len();
+                        b.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => {{\nlet mut st = ::serde::ser::Serializer::serialize_struct_variant(serializer, \"{name}\", {vi}u32, \"{vname}\", {len}usize)?;\n",
+                            fields.join(", ")
+                        ));
+                        for f in fields {
+                            b.push_str(&format!(
+                                "::serde::ser::SerializeStructVariant::serialize_field(&mut st, \"{f}\", {f})?;\n"
+                            ));
+                        }
+                        b.push_str("::serde::ser::SerializeStructVariant::end(st)\n},\n");
+                    }
+                }
+            }
+            b.push('}');
+            b
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::ser::Serialize for {name} {{\n\
+         fn serialize<S: ::serde::ser::Serializer>(&self, serializer: S) -> ::core::result::Result<S::Ok, S::Error> {{\n\
+         {body}\n\
+         }}\n\
+         }}\n"
+    )
+}

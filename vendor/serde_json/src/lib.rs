@@ -1,0 +1,700 @@
+//! Offline stand-in for `serde_json`: serialization only.
+//!
+//! Implements `to_string` / `to_string_pretty` over the vendored serde data
+//! model, matching upstream serde_json's output conventions: externally
+//! tagged enums, 2-space pretty indentation, integer map keys quoted as
+//! strings, floats printed with a trailing `.0` when integral. Nothing in
+//! this workspace parses JSON back, so no deserializer is provided.
+
+use serde::ser::{self, Serialize};
+use std::fmt;
+
+/// Serialization error (only produced for unsupported map key types).
+#[derive(Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl ser::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+/// Serialize `value` as a compact JSON string.
+pub fn to_string<T: ?Sized + Serialize>(value: &T) -> Result<String, Error> {
+    let mut w = Writer {
+        out: String::new(),
+        indent: 0,
+        pretty: false,
+    };
+    value.serialize(JsonSer { w: &mut w })?;
+    Ok(w.out)
+}
+
+/// Serialize `value` as a pretty-printed JSON string (2-space indent).
+pub fn to_string_pretty<T: ?Sized + Serialize>(value: &T) -> Result<String, Error> {
+    let mut w = Writer {
+        out: String::new(),
+        indent: 0,
+        pretty: true,
+    };
+    value.serialize(JsonSer { w: &mut w })?;
+    Ok(w.out)
+}
+
+struct Writer {
+    out: String,
+    indent: usize,
+    pretty: bool,
+}
+
+impl Writer {
+    fn newline(&mut self) {
+        if self.pretty {
+            self.out.push('\n');
+            for _ in 0..self.indent {
+                self.out.push_str("  ");
+            }
+        }
+    }
+
+    fn colon(&mut self) {
+        self.out.push(':');
+        if self.pretty {
+            self.out.push(' ');
+        }
+    }
+
+    fn string(&mut self, s: &str) {
+        self.out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => self.out.push_str("\\\""),
+                '\\' => self.out.push_str("\\\\"),
+                '\n' => self.out.push_str("\\n"),
+                '\r' => self.out.push_str("\\r"),
+                '\t' => self.out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    self.out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => self.out.push(c),
+            }
+        }
+        self.out.push('"');
+    }
+
+    fn float(&mut self, v: f64) {
+        if !v.is_finite() {
+            // Upstream errors on non-finite floats; `null` keeps output valid.
+            self.out.push_str("null");
+        } else if v == v.trunc() && v.abs() < 1e16 {
+            self.out.push_str(&format!("{v:.1}"));
+        } else {
+            self.out.push_str(&format!("{v}"));
+        }
+    }
+}
+
+struct JsonSer<'a> {
+    w: &'a mut Writer,
+}
+
+/// Comma/newline bookkeeping shared by all compound serializers.
+struct Compound<'a> {
+    w: &'a mut Writer,
+    first: bool,
+    /// Extra closing delimiters (for externally tagged enum variants).
+    close: &'static str,
+}
+
+impl Compound<'_> {
+    fn element_prefix(&mut self) {
+        if self.first {
+            self.w.indent += 1;
+            self.first = false;
+        } else {
+            self.w.out.push(',');
+        }
+        self.w.newline();
+    }
+
+    fn finish(self, closer: char) -> Result<(), Error> {
+        if !self.first {
+            self.w.indent -= 1;
+            self.w.newline();
+        }
+        self.w.out.push(closer);
+        for c in self.close.chars() {
+            self.w.indent -= 1;
+            self.w.newline();
+            self.w.out.push(c);
+        }
+        Ok(())
+    }
+}
+
+impl<'a> ser::Serializer for JsonSer<'a> {
+    type Ok = ();
+    type Error = Error;
+    type SerializeSeq = Compound<'a>;
+    type SerializeTuple = Compound<'a>;
+    type SerializeTupleStruct = Compound<'a>;
+    type SerializeTupleVariant = Compound<'a>;
+    type SerializeMap = Compound<'a>;
+    type SerializeStruct = Compound<'a>;
+    type SerializeStructVariant = Compound<'a>;
+
+    fn serialize_bool(self, v: bool) -> Result<(), Error> {
+        self.w.out.push_str(if v { "true" } else { "false" });
+        Ok(())
+    }
+    fn serialize_i8(self, v: i8) -> Result<(), Error> {
+        self.serialize_i64(v as i64)
+    }
+    fn serialize_i16(self, v: i16) -> Result<(), Error> {
+        self.serialize_i64(v as i64)
+    }
+    fn serialize_i32(self, v: i32) -> Result<(), Error> {
+        self.serialize_i64(v as i64)
+    }
+    fn serialize_i64(self, v: i64) -> Result<(), Error> {
+        self.w.out.push_str(&v.to_string());
+        Ok(())
+    }
+    fn serialize_u8(self, v: u8) -> Result<(), Error> {
+        self.serialize_u64(v as u64)
+    }
+    fn serialize_u16(self, v: u16) -> Result<(), Error> {
+        self.serialize_u64(v as u64)
+    }
+    fn serialize_u32(self, v: u32) -> Result<(), Error> {
+        self.serialize_u64(v as u64)
+    }
+    fn serialize_u64(self, v: u64) -> Result<(), Error> {
+        self.w.out.push_str(&v.to_string());
+        Ok(())
+    }
+    fn serialize_f32(self, v: f32) -> Result<(), Error> {
+        self.w.float(v as f64);
+        Ok(())
+    }
+    fn serialize_f64(self, v: f64) -> Result<(), Error> {
+        self.w.float(v);
+        Ok(())
+    }
+    fn serialize_char(self, v: char) -> Result<(), Error> {
+        self.w.string(&v.to_string());
+        Ok(())
+    }
+    fn serialize_str(self, v: &str) -> Result<(), Error> {
+        self.w.string(v);
+        Ok(())
+    }
+    fn serialize_bytes(self, v: &[u8]) -> Result<(), Error> {
+        v.serialize(self)
+    }
+    fn serialize_none(self) -> Result<(), Error> {
+        self.w.out.push_str("null");
+        Ok(())
+    }
+    fn serialize_some<T: ?Sized + Serialize>(self, value: &T) -> Result<(), Error> {
+        value.serialize(self)
+    }
+    fn serialize_unit(self) -> Result<(), Error> {
+        self.w.out.push_str("null");
+        Ok(())
+    }
+    fn serialize_unit_struct(self, _name: &'static str) -> Result<(), Error> {
+        self.serialize_unit()
+    }
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+    ) -> Result<(), Error> {
+        self.w.string(variant);
+        Ok(())
+    }
+    fn serialize_newtype_struct<T: ?Sized + Serialize>(
+        self,
+        _name: &'static str,
+        value: &T,
+    ) -> Result<(), Error> {
+        value.serialize(self)
+    }
+    fn serialize_newtype_variant<T: ?Sized + Serialize>(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+        value: &T,
+    ) -> Result<(), Error> {
+        self.w.out.push('{');
+        self.w.indent += 1;
+        self.w.newline();
+        self.w.string(variant);
+        self.w.colon();
+        value.serialize(JsonSer { w: self.w })?;
+        self.w.indent -= 1;
+        self.w.newline();
+        self.w.out.push('}');
+        Ok(())
+    }
+    fn serialize_seq(self, _len: Option<usize>) -> Result<Compound<'a>, Error> {
+        self.w.out.push('[');
+        Ok(Compound {
+            w: self.w,
+            first: true,
+            close: "",
+        })
+    }
+    fn serialize_tuple(self, len: usize) -> Result<Compound<'a>, Error> {
+        self.serialize_seq(Some(len))
+    }
+    fn serialize_tuple_struct(
+        self,
+        _name: &'static str,
+        len: usize,
+    ) -> Result<Compound<'a>, Error> {
+        self.serialize_seq(Some(len))
+    }
+    fn serialize_tuple_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+        _len: usize,
+    ) -> Result<Compound<'a>, Error> {
+        self.w.out.push('{');
+        self.w.indent += 1;
+        self.w.newline();
+        self.w.string(variant);
+        self.w.colon();
+        self.w.out.push('[');
+        Ok(Compound {
+            w: self.w,
+            first: true,
+            close: "}",
+        })
+    }
+    fn serialize_map(self, _len: Option<usize>) -> Result<Compound<'a>, Error> {
+        self.w.out.push('{');
+        Ok(Compound {
+            w: self.w,
+            first: true,
+            close: "",
+        })
+    }
+    fn serialize_struct(self, _name: &'static str, _len: usize) -> Result<Compound<'a>, Error> {
+        self.w.out.push('{');
+        Ok(Compound {
+            w: self.w,
+            first: true,
+            close: "",
+        })
+    }
+    fn serialize_struct_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+        _len: usize,
+    ) -> Result<Compound<'a>, Error> {
+        self.w.out.push('{');
+        self.w.indent += 1;
+        self.w.newline();
+        self.w.string(variant);
+        self.w.colon();
+        self.w.out.push('{');
+        Ok(Compound {
+            w: self.w,
+            first: true,
+            close: "}",
+        })
+    }
+}
+
+impl ser::SerializeSeq for Compound<'_> {
+    type Ok = ();
+    type Error = Error;
+    fn serialize_element<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), Error> {
+        self.element_prefix();
+        value.serialize(JsonSer { w: self.w })
+    }
+    fn end(self) -> Result<(), Error> {
+        self.finish(']')
+    }
+}
+
+impl ser::SerializeTuple for Compound<'_> {
+    type Ok = ();
+    type Error = Error;
+    fn serialize_element<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), Error> {
+        self.element_prefix();
+        value.serialize(JsonSer { w: self.w })
+    }
+    fn end(self) -> Result<(), Error> {
+        self.finish(']')
+    }
+}
+
+impl ser::SerializeTupleStruct for Compound<'_> {
+    type Ok = ();
+    type Error = Error;
+    fn serialize_field<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), Error> {
+        self.element_prefix();
+        value.serialize(JsonSer { w: self.w })
+    }
+    fn end(self) -> Result<(), Error> {
+        self.finish(']')
+    }
+}
+
+impl ser::SerializeTupleVariant for Compound<'_> {
+    type Ok = ();
+    type Error = Error;
+    fn serialize_field<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), Error> {
+        self.element_prefix();
+        value.serialize(JsonSer { w: self.w })
+    }
+    fn end(self) -> Result<(), Error> {
+        self.finish(']')
+    }
+}
+
+impl ser::SerializeMap for Compound<'_> {
+    type Ok = ();
+    type Error = Error;
+    fn serialize_key<T: ?Sized + Serialize>(&mut self, key: &T) -> Result<(), Error> {
+        self.element_prefix();
+        key.serialize(KeySer { w: self.w })
+    }
+    fn serialize_value<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), Error> {
+        self.w.colon();
+        value.serialize(JsonSer { w: self.w })
+    }
+    fn end(self) -> Result<(), Error> {
+        self.finish('}')
+    }
+}
+
+impl ser::SerializeStruct for Compound<'_> {
+    type Ok = ();
+    type Error = Error;
+    fn serialize_field<T: ?Sized + Serialize>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), Error> {
+        self.element_prefix();
+        self.w.string(key);
+        self.w.colon();
+        value.serialize(JsonSer { w: self.w })
+    }
+    fn end(self) -> Result<(), Error> {
+        self.finish('}')
+    }
+}
+
+impl ser::SerializeStructVariant for Compound<'_> {
+    type Ok = ();
+    type Error = Error;
+    fn serialize_field<T: ?Sized + Serialize>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), Error> {
+        self.element_prefix();
+        self.w.string(key);
+        self.w.colon();
+        value.serialize(JsonSer { w: self.w })
+    }
+    fn end(self) -> Result<(), Error> {
+        self.finish('}')
+    }
+}
+
+/// Map keys must render as JSON strings; integers and unit variants are
+/// quoted, matching upstream serde_json.
+struct KeySer<'a> {
+    w: &'a mut Writer,
+}
+
+enum Impossible {}
+
+macro_rules! impossible_compound {
+    ($($trait:ident { $($method:ident ( $($arg:ty),* ))+ })+) => {
+        $(impl ser::$trait for Impossible {
+            type Ok = ();
+            type Error = Error;
+            $(fn $method<T: ?Sized + Serialize>(&mut self, _: $($arg),*) -> Result<(), Error> {
+                match *self {}
+            })+
+            fn end(self) -> Result<(), Error> {
+                match self {}
+            }
+        })+
+    };
+}
+
+impl ser::SerializeSeq for Impossible {
+    type Ok = ();
+    type Error = Error;
+    fn serialize_element<T: ?Sized + Serialize>(&mut self, _: &T) -> Result<(), Error> {
+        match *self {}
+    }
+    fn end(self) -> Result<(), Error> {
+        match self {}
+    }
+}
+
+impl ser::SerializeTuple for Impossible {
+    type Ok = ();
+    type Error = Error;
+    fn serialize_element<T: ?Sized + Serialize>(&mut self, _: &T) -> Result<(), Error> {
+        match *self {}
+    }
+    fn end(self) -> Result<(), Error> {
+        match self {}
+    }
+}
+
+impossible_compound! {
+    SerializeTupleStruct { serialize_field(&T) }
+    SerializeTupleVariant { serialize_field(&T) }
+}
+
+impl ser::SerializeMap for Impossible {
+    type Ok = ();
+    type Error = Error;
+    fn serialize_key<T: ?Sized + Serialize>(&mut self, _: &T) -> Result<(), Error> {
+        match *self {}
+    }
+    fn serialize_value<T: ?Sized + Serialize>(&mut self, _: &T) -> Result<(), Error> {
+        match *self {}
+    }
+    fn end(self) -> Result<(), Error> {
+        match self {}
+    }
+}
+
+impl ser::SerializeStruct for Impossible {
+    type Ok = ();
+    type Error = Error;
+    fn serialize_field<T: ?Sized + Serialize>(
+        &mut self,
+        _: &'static str,
+        _: &T,
+    ) -> Result<(), Error> {
+        match *self {}
+    }
+    fn end(self) -> Result<(), Error> {
+        match self {}
+    }
+}
+
+impl ser::SerializeStructVariant for Impossible {
+    type Ok = ();
+    type Error = Error;
+    fn serialize_field<T: ?Sized + Serialize>(
+        &mut self,
+        _: &'static str,
+        _: &T,
+    ) -> Result<(), Error> {
+        match *self {}
+    }
+    fn end(self) -> Result<(), Error> {
+        match self {}
+    }
+}
+
+macro_rules! key_int {
+    ($($method:ident: $ty:ty),* $(,)?) => {
+        $(fn $method(self, v: $ty) -> Result<(), Error> {
+            self.w.out.push('"');
+            self.w.out.push_str(&v.to_string());
+            self.w.out.push('"');
+            Ok(())
+        })*
+    };
+}
+
+macro_rules! key_err {
+    () => {
+        Err(ser::Error::custom(
+            "JSON map key must be a string or integer",
+        ))
+    };
+}
+
+impl<'a> ser::Serializer for KeySer<'a> {
+    type Ok = ();
+    type Error = Error;
+    type SerializeSeq = Impossible;
+    type SerializeTuple = Impossible;
+    type SerializeTupleStruct = Impossible;
+    type SerializeTupleVariant = Impossible;
+    type SerializeMap = Impossible;
+    type SerializeStruct = Impossible;
+    type SerializeStructVariant = Impossible;
+
+    key_int! {
+        serialize_i8: i8, serialize_i16: i16, serialize_i32: i32, serialize_i64: i64,
+        serialize_u8: u8, serialize_u16: u16, serialize_u32: u32, serialize_u64: u64,
+    }
+
+    fn serialize_bool(self, v: bool) -> Result<(), Error> {
+        self.w.string(if v { "true" } else { "false" });
+        Ok(())
+    }
+    fn serialize_f32(self, _: f32) -> Result<(), Error> {
+        key_err!()
+    }
+    fn serialize_f64(self, _: f64) -> Result<(), Error> {
+        key_err!()
+    }
+    fn serialize_char(self, v: char) -> Result<(), Error> {
+        self.w.string(&v.to_string());
+        Ok(())
+    }
+    fn serialize_str(self, v: &str) -> Result<(), Error> {
+        self.w.string(v);
+        Ok(())
+    }
+    fn serialize_bytes(self, _: &[u8]) -> Result<(), Error> {
+        key_err!()
+    }
+    fn serialize_none(self) -> Result<(), Error> {
+        key_err!()
+    }
+    fn serialize_some<T: ?Sized + Serialize>(self, _: &T) -> Result<(), Error> {
+        key_err!()
+    }
+    fn serialize_unit(self) -> Result<(), Error> {
+        key_err!()
+    }
+    fn serialize_unit_struct(self, _: &'static str) -> Result<(), Error> {
+        key_err!()
+    }
+    fn serialize_unit_variant(
+        self,
+        _: &'static str,
+        _: u32,
+        variant: &'static str,
+    ) -> Result<(), Error> {
+        self.w.string(variant);
+        Ok(())
+    }
+    fn serialize_newtype_struct<T: ?Sized + Serialize>(
+        self,
+        _: &'static str,
+        value: &T,
+    ) -> Result<(), Error> {
+        value.serialize(self)
+    }
+    fn serialize_newtype_variant<T: ?Sized + Serialize>(
+        self,
+        _: &'static str,
+        _: u32,
+        _: &'static str,
+        _: &T,
+    ) -> Result<(), Error> {
+        key_err!()
+    }
+    fn serialize_seq(self, _: Option<usize>) -> Result<Impossible, Error> {
+        key_err!()
+    }
+    fn serialize_tuple(self, _: usize) -> Result<Impossible, Error> {
+        key_err!()
+    }
+    fn serialize_tuple_struct(self, _: &'static str, _: usize) -> Result<Impossible, Error> {
+        key_err!()
+    }
+    fn serialize_tuple_variant(
+        self,
+        _: &'static str,
+        _: u32,
+        _: &'static str,
+        _: usize,
+    ) -> Result<Impossible, Error> {
+        key_err!()
+    }
+    fn serialize_map(self, _: Option<usize>) -> Result<Impossible, Error> {
+        key_err!()
+    }
+    fn serialize_struct(self, _: &'static str, _: usize) -> Result<Impossible, Error> {
+        key_err!()
+    }
+    fn serialize_struct_variant(
+        self,
+        _: &'static str,
+        _: u32,
+        _: &'static str,
+        _: usize,
+    ) -> Result<Impossible, Error> {
+        key_err!()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[derive(serde::Serialize)]
+    struct Point {
+        x: u64,
+        y: i64,
+    }
+
+    #[derive(serde::Serialize)]
+    enum Shape {
+        Dot,
+        Line(u64),
+        Rect { w: u64, h: u64 },
+    }
+
+    #[test]
+    fn compact_struct() {
+        let p = Point { x: 3, y: -4 };
+        assert_eq!(to_string(&p).unwrap(), r#"{"x":3,"y":-4}"#);
+    }
+
+    #[test]
+    fn pretty_struct() {
+        let p = Point { x: 3, y: -4 };
+        assert_eq!(
+            to_string_pretty(&p).unwrap(),
+            "{\n  \"x\": 3,\n  \"y\": -4\n}"
+        );
+    }
+
+    #[test]
+    fn enums_externally_tagged() {
+        assert_eq!(to_string(&Shape::Dot).unwrap(), r#""Dot""#);
+        assert_eq!(to_string(&Shape::Line(9)).unwrap(), r#"{"Line":9}"#);
+        assert_eq!(
+            to_string(&Shape::Rect { w: 2, h: 5 }).unwrap(),
+            r#"{"Rect":{"w":2,"h":5}}"#
+        );
+    }
+
+    #[test]
+    fn collections_and_floats() {
+        let v: Vec<f64> = vec![1.0, 0.5];
+        assert_eq!(to_string(&v).unwrap(), "[1.0,0.5]");
+        let empty: Vec<u8> = vec![];
+        assert_eq!(to_string_pretty(&empty).unwrap(), "[]");
+        let mut m = BTreeMap::new();
+        m.insert(2u32, "b");
+        assert_eq!(to_string(&m).unwrap(), r#"{"2":"b"}"#);
+    }
+}
