@@ -122,14 +122,14 @@ fn state_benches(c: &mut Criterion) {
 }
 
 fn sim_benches(c: &mut Criterion) {
-    use bft_protocols::pbft::{self, PbftOptions};
+    use bft_protocols::ProtocolId;
     use bft_protocols::Scenario;
     let mut g = c.benchmark_group("simulation");
     g.sample_size(10);
     g.bench_function("pbft_50_requests_end_to_end", |b| {
         b.iter(|| {
             let s = Scenario::small(1).with_load(1, 50);
-            pbft::run(std::hint::black_box(&s), &PbftOptions::default())
+            ProtocolId::Pbft.run(std::hint::black_box(&s))
         })
     });
     g.finish();

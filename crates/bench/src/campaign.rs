@@ -1,0 +1,292 @@
+//! Chaos campaigns over the unified protocol registry.
+//!
+//! This is the protocol-running half of `bft_sim::campaign`: for each
+//! campaign seed it generates a [`ChaosCase`] tailored to each registry
+//! entry's tolerance envelope, runs the protocol under that adversarial
+//! schedule, and checks safety (via the audit module) and liveness (every
+//! request accepted within the virtual-time budget). On a violation it
+//! re-runs the protocol under ddmin-shrunk fault plans until the schedule
+//! is minimal, and reports the replay seed.
+//!
+//! Everything is deterministic: a campaign over a fixed seed list renders
+//! byte-identical reports across repeated runs and across
+//! `BFT_BENCH_THREADS` settings (jobs fan out over the same scoped worker
+//! pool the experiment harness uses, then re-sort into input order).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use bft_protocols::registry::{registry, ProtocolEntry, ProtocolId};
+use bft_protocols::Scenario;
+use bft_sim::campaign::{check_outcome, generate_case, shrink_plan, suspects_of};
+use bft_sim::campaign::{CampaignViolation, ChaosCase, ChaosProfile};
+use bft_sim::runner::RunOutcome;
+use bft_sim::{FaultPlan, NetworkConfig};
+
+/// Campaign parameters.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// The seeds to draw cases from (each seed is one case per protocol).
+    pub seeds: Vec<u64>,
+    /// Fault budget per protocol (replica counts follow each entry's
+    /// formula).
+    pub f: usize,
+    /// Clients per run.
+    pub clients: usize,
+    /// Requests per client per run.
+    pub requests_per_client: u64,
+    /// Protocols to hammer (default: the whole registry).
+    pub protocols: Vec<ProtocolId>,
+}
+
+impl CampaignConfig {
+    /// A campaign over seeds `0..seeds` with a small per-case workload.
+    pub fn new(seeds: u64) -> CampaignConfig {
+        CampaignConfig {
+            seeds: (0..seeds).collect(),
+            f: 1,
+            clients: 1,
+            requests_per_client: 8,
+            protocols: ProtocolId::ALL.to_vec(),
+        }
+    }
+
+    /// The CI smoke configuration: a fixed handful of seeds, all
+    /// protocols, a few seconds of wall-clock.
+    pub fn smoke() -> CampaignConfig {
+        CampaignConfig::new(5)
+    }
+}
+
+/// The outcome of one (protocol, seed) case.
+#[derive(Debug, Clone)]
+pub struct CaseResult {
+    /// The protocol hammered.
+    pub protocol: ProtocolId,
+    /// The case (plan + network knobs), reproducible from its seed.
+    pub case: ChaosCase,
+    /// `None` when the run was clean.
+    pub violation: Option<CampaignViolation>,
+    /// The ddmin-minimized fault plan, when a violation was found.
+    pub minimal_plan: Option<FaultPlan>,
+}
+
+/// A finished campaign: every case result in (protocol, seed) order.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// All case results, protocols in registry order, seeds ascending.
+    pub results: Vec<CaseResult>,
+}
+
+impl CampaignReport {
+    /// The failing cases only.
+    pub fn failures(&self) -> Vec<&CaseResult> {
+        self.results
+            .iter()
+            .filter(|r| r.violation.is_some())
+            .collect()
+    }
+
+    /// Deterministic plain-text rendering (the campaign CLI's output).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let mut by_protocol: Vec<(ProtocolId, usize, usize)> = Vec::new();
+        for r in &self.results {
+            match by_protocol.iter_mut().find(|(p, _, _)| *p == r.protocol) {
+                Some((_, total, failed)) => {
+                    *total += 1;
+                    if r.violation.is_some() {
+                        *failed += 1;
+                    }
+                }
+                None => by_protocol.push((r.protocol, 1, usize::from(r.violation.is_some()))),
+            }
+        }
+        out.push_str("protocol        cases  violations\n");
+        for (p, total, failed) in &by_protocol {
+            out.push_str(&format!("{:<15} {:>5}  {:>10}\n", p.name(), total, failed));
+        }
+        for r in self.failures() {
+            let v = r.violation.as_ref().unwrap();
+            out.push_str(&format!(
+                "\nFAIL {} seed={} — {v}\n  case: {}\n",
+                r.protocol.name(),
+                r.case.seed,
+                r.case.describe()
+            ));
+            if let Some(min) = &r.minimal_plan {
+                out.push_str(&format!(
+                    "  minimal plan ({} event(s)): {:?}\n",
+                    min.events.len(),
+                    min.events
+                ));
+            }
+            out.push_str(&format!(
+                "  replay: campaign seed {} on {}\n",
+                r.case.seed,
+                r.protocol.name()
+            ));
+        }
+        out.push_str(&format!(
+            "\n{} case(s), {} violation(s)\n",
+            self.results.len(),
+            self.failures().len()
+        ));
+        out
+    }
+}
+
+/// The chaos envelope for one registry entry: the standard profile scoped
+/// down to what the protocol claims to tolerate.
+pub fn profile_for(entry: &ProtocolEntry, f: usize, clients: u64) -> ChaosProfile {
+    let n = (entry.min_n)(f);
+    let mut p = ChaosProfile::standard(n, f, clients);
+    let tol = entry.tolerance;
+    if !tol.crashes {
+        p.crash_victims.clear();
+        p.max_victims = 0;
+    }
+    if !tol.leader_crash {
+        p.crash_victims.retain(|v| *v != 0);
+    }
+    if !tol.partitions {
+        p.partitions = false;
+        p.isolation = false;
+    }
+    if !tol.slow_links {
+        p.slow_links = false;
+    }
+    if !tol.reordering {
+        p.max_reorder_prob = 0.0;
+    }
+    if !tol.gst_storm {
+        p.gst_storm = false;
+    }
+    p
+}
+
+/// The scenario for one case: the case's fault plan and network knobs on
+/// top of the campaign's workload, seeded by the case seed.
+pub fn scenario_for(cfg: &CampaignConfig, case: &ChaosCase) -> Scenario {
+    let network = NetworkConfig::lan()
+        .with_gst(case.gst)
+        .with_pre_gst_drop(case.pre_gst_drop)
+        .with_duplication(case.dup_prob)
+        .with_reordering(case.reorder_prob);
+    Scenario::builder()
+        .n_for_f(cfg.f)
+        .clients(cfg.clients)
+        .requests(cfg.requests_per_client)
+        .seed(case.seed)
+        .network(network)
+        .faults(case.plan.clone())
+        .build()
+}
+
+/// Run one case against an arbitrary runner (the sabotage tests inject
+/// deliberately broken protocols here; [`run_case`] passes a registry
+/// entry's default runner).
+pub fn run_case_with(
+    run: impl Fn(&Scenario) -> RunOutcome,
+    protocol: ProtocolId,
+    cfg: &CampaignConfig,
+    profile: &ChaosProfile,
+    seed: u64,
+) -> CaseResult {
+    let case = generate_case(profile, seed);
+    let scenario = scenario_for(cfg, &case);
+    let expected = scenario.total_requests();
+    let out = run(&scenario);
+    let violation = check_outcome(&out.log, case.suspects(), expected);
+    let minimal_plan = violation.as_ref().map(|_| {
+        shrink_plan(&case.plan, |candidate| {
+            let mut s = scenario.clone();
+            s.faults = candidate.clone();
+            let out = run(&s);
+            check_outcome(&out.log, suspects_of(candidate), expected).is_some()
+        })
+    });
+    CaseResult {
+        protocol,
+        case,
+        violation,
+        minimal_plan,
+    }
+}
+
+/// Run one (registry entry, seed) case with the entry's default options.
+pub fn run_case(entry: &ProtocolEntry, cfg: &CampaignConfig, seed: u64) -> CaseResult {
+    let profile = profile_for(entry, cfg.f, cfg.clients as u64);
+    run_case_with(|s| entry.run(s), entry.id, cfg, &profile, seed)
+}
+
+/// Run the full campaign on `threads` workers (the `BFT_BENCH_THREADS`
+/// convention of [`crate::parallel`]); results come back in (protocol,
+/// seed) order whatever the thread count.
+pub fn run_campaign(cfg: &CampaignConfig, threads: usize) -> CampaignReport {
+    let entries: Vec<ProtocolEntry> = registry()
+        .into_iter()
+        .filter(|e| cfg.protocols.contains(&e.id))
+        .collect();
+    let jobs: Vec<(&ProtocolEntry, u64)> = entries
+        .iter()
+        .flat_map(|e| cfg.seeds.iter().map(move |&s| (e, s)))
+        .collect();
+
+    let threads = threads.clamp(1, jobs.len().max(1));
+    let results = if threads <= 1 {
+        jobs.iter()
+            .map(|&(entry, seed)| run_case(entry, cfg, seed))
+            .collect()
+    } else {
+        let next = AtomicUsize::new(0);
+        let mut indexed: Vec<(usize, CaseResult)> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut local = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(&(entry, seed)) = jobs.get(i) else {
+                                break;
+                            };
+                            local.push((i, run_case(entry, cfg, seed)));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("campaign worker panicked"))
+                .collect()
+        });
+        indexed.sort_by_key(|(i, _)| *i);
+        indexed.into_iter().map(|(_, r)| r).collect()
+    };
+    CampaignReport { results }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tolerance_scoping_shapes_the_profile() {
+        let reg = registry();
+        let cheap = reg.iter().find(|e| e.id == ProtocolId::Cheap).unwrap();
+        let p = profile_for(cheap, 1, 1);
+        assert!(!p.crash_victims.contains(&0), "cheap leader must be spared");
+        let chain = reg.iter().find(|e| e.id == ProtocolId::Chain).unwrap();
+        let p = profile_for(chain, 1, 1);
+        assert!(!p.partitions && !p.isolation);
+    }
+
+    #[test]
+    fn single_case_is_deterministic() {
+        let cfg = CampaignConfig::new(1);
+        let entry = &registry()[0];
+        let a = run_case(entry, &cfg, 3);
+        let b = run_case(entry, &cfg, 3);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+}

@@ -5,8 +5,8 @@
 //! (liveness across GST).
 
 use bft_core::workload::WorkloadConfig;
-use bft_protocols::pbft::{self, PbftOptions};
-use bft_protocols::Scenario;
+
+use bft_protocols::{ProtocolId, Scenario};
 use bft_sim::NodeId;
 use bft_sim::{NetworkConfig, Observation, SimTime};
 
@@ -29,8 +29,13 @@ pub fn abl_batching(quick: bool) -> ExperimentResult {
     let reqs = load(quick, 25);
     let mut prev_instances = u64::MAX;
     for batch in [1usize, 4, 8] {
-        let s = Scenario::small(1).with_load(8, reqs).with_batch(batch);
-        let out = pbft::run(&s, &PbftOptions::default());
+        let s = Scenario::builder()
+            .n_for_f(1)
+            .clients(8)
+            .requests(reqs)
+            .batch(batch)
+            .build();
+        let out = ProtocolId::Pbft.run(&s);
         audit(&out, &[]);
         let total = (accepted(&out)) as u64;
         // consensus instances = distinct commits on one replica
@@ -78,8 +83,13 @@ pub fn abl_gst(quick: bool) -> ExperimentResult {
     for gst_ms in [0u64, 50, 150] {
         let gst = SimTime(gst_ms * 1_000_000);
         let net = NetworkConfig::lan().with_gst(gst).with_pre_gst_drop(0.25);
-        let s = Scenario::small(1).with_load(1, reqs).with_network(net);
-        let out = pbft::run(&s, &PbftOptions::default());
+        let s = Scenario::builder()
+            .n_for_f(1)
+            .clients(1)
+            .requests(reqs)
+            .network(net)
+            .build();
+        let out = ProtocolId::Pbft.run(&s);
         audit(&out, &[]);
         let before = out
             .log
@@ -127,11 +137,16 @@ pub fn abl_readonly(quick: bool) -> ExperimentResult {
         if label.contains("contention") {
             w = WorkloadConfig::contended(0.6).with_reads(read_frac);
         }
-        let s = Scenario::small(1).with_load(2, reqs).with_workload(w);
+        let s = Scenario::builder()
+            .n_for_f(1)
+            .clients(2)
+            .requests(reqs)
+            .workload(w)
+            .build();
         let out = if optimized {
-            pbft::run_with_read_optimization(&s, &PbftOptions::default())
+            ProtocolId::PbftReadOpt.run(&s)
         } else {
-            pbft::run(&s, &PbftOptions::default())
+            ProtocolId::Pbft.run(&s)
         };
         audit(&out, &[]);
         let instances = out

@@ -6,11 +6,11 @@ use bft_core::catalogue;
 use bft_core::choices as dc;
 use bft_core::workload::WorkloadConfig;
 use bft_crypto::CryptoCostModel;
-use bft_protocols::pbft::{self, Behavior, PbftAuth, PbftOptions};
-use bft_protocols::poe::{self, PoeBehavior};
-use bft_protocols::prime::{self, PrimeBehavior};
-use bft_protocols::zyzzyva::{self, ZyzzyvaVariant};
-use bft_protocols::{cheap, fab, fair, hotstuff, kauri, qu, sbft, tendermint, Scenario};
+use bft_protocols::pbft::{Behavior, PbftAuth, PbftOptions};
+use bft_protocols::poe::PoeBehavior;
+use bft_protocols::prime::PrimeBehavior;
+
+use bft_protocols::{fair, Protocol, ProtocolId, Scenario};
 use bft_sim::{FaultPlan, NodeId, Observation, SimDuration, SimTime};
 use bft_types::{QuorumRules, ReplicaId};
 
@@ -43,10 +43,14 @@ pub fn dc1_linearization(quick: bool) -> ExperimentResult {
     let mut crossover_seen = false;
     for f in [1usize, 2, 4] {
         let n = 3 * f + 1;
-        let s = Scenario::small(f).with_load(1, reqs);
-        let pb = pbft::run(&s, &PbftOptions::default());
+        let s = Scenario::builder()
+            .n_for_f(f)
+            .clients(1)
+            .requests(reqs)
+            .build();
+        let pb = ProtocolId::Pbft.run(&s);
         audit(&pb, &[]);
-        let sb = sbft::run(&s);
+        let sb = ProtocolId::Sbft.run(&s);
         audit(&sb, &[]);
         if msgs_per_req(&sb) < msgs_per_req(&pb) {
             crossover_seen = true;
@@ -86,10 +90,14 @@ pub fn dc2_phase_reduction(quick: bool) -> ExperimentResult {
         fast.summary()
     ));
     let reqs = load(quick, 25);
-    let s = Scenario::small(1).with_load(1, reqs);
-    let pb = pbft::run(&s, &PbftOptions::default());
+    let s = Scenario::builder()
+        .n_for_f(1)
+        .clients(1)
+        .requests(reqs)
+        .build();
+    let pb = ProtocolId::Pbft.run(&s);
     audit(&pb, &[]);
-    let fb = fab::run(&s);
+    let fb = ProtocolId::Fab.run(&s);
     audit(&fb, &[]);
     result.row(
         "PBFT (3f+1)",
@@ -141,7 +149,11 @@ pub fn dc3_rotation(quick: bool) -> ExperimentResult {
         catalogue::hotstuff().good_case_phases()
     ));
     let reqs = load(quick, 25);
-    let free = Scenario::small(1).with_load(1, reqs);
+    let free = Scenario::builder()
+        .n_for_f(1)
+        .clients(1)
+        .requests(reqs)
+        .build();
     let crash = free
         .clone()
         .with_faults(FaultPlan::none().crash(NodeId::replica(0), SimTime(4_000_000)));
@@ -156,11 +168,11 @@ pub fn dc3_rotation(quick: bool) -> ExperimentResult {
         times.sort_unstable();
         times.windows(2).map(|w| w[1] - w[0]).max().unwrap_or(0) as f64
     };
-    let pb_free = pbft::run(&free, &PbftOptions::default());
-    let pb_crash = pbft::run(&crash, &PbftOptions::default());
+    let pb_free = ProtocolId::Pbft.run(&free);
+    let pb_crash = ProtocolId::Pbft.run(&crash);
     audit(&pb_crash, &[0]);
-    let hs_free = hotstuff::run(&free);
-    let hs_crash = hotstuff::run(&crash);
+    let hs_free = ProtocolId::HotStuff.run(&free);
+    let hs_crash = ProtocolId::HotStuff.run(&crash);
     audit(&hs_crash, &[0]);
     result.row(
         "PBFT (stable)",
@@ -207,12 +219,16 @@ pub fn dc4_nonresponsive(quick: bool) -> ExperimentResult {
         tm_point.summary()
     ));
     let reqs = load(quick, 15);
-    let s = Scenario::small(1).with_load(1, reqs);
-    let hs = hotstuff::run(&s);
+    let s = Scenario::builder()
+        .n_for_f(1)
+        .clients(1)
+        .requests(reqs)
+        .build();
+    let hs = ProtocolId::HotStuff.run(&s);
     audit(&hs, &[]);
-    let tm = tendermint::run(&s, false);
+    let tm = ProtocolId::Tendermint.run(&s);
     audit(&tm, &[]);
-    let tmi = tendermint::run(&s, true);
+    let tmi = ProtocolId::TendermintInformed.run(&s);
     audit(&tmi, &[]);
     for (name, out) in [
         ("HotStuff (responsive)", &hs),
@@ -251,15 +267,19 @@ pub fn dc5_replica_reduction(quick: bool) -> ExperimentResult {
             .summary()
     ));
     let reqs = load(quick, 40).max(12);
-    let free = Scenario::small(1).with_load(1, reqs);
+    let free = Scenario::builder()
+        .n_for_f(1)
+        .clients(1)
+        .requests(reqs)
+        .build();
     let crash = free
         .clone()
         .with_faults(FaultPlan::none().crash(NodeId::replica(1), SimTime(1_500_000)));
-    let cb_free = cheap::run(&free);
+    let cb_free = ProtocolId::Cheap.run(&free);
     audit(&cb_free, &[]);
-    let cb_crash = cheap::run(&crash);
+    let cb_crash = ProtocolId::Cheap.run(&crash);
     audit(&cb_crash, &[1]);
-    let pb_free = pbft::run(&free, &PbftOptions::default());
+    let pb_free = ProtocolId::Pbft.run(&free);
     audit(&pb_free, &[]);
     for (name, out) in [
         ("CheapBFT fault-free", &cb_free),
@@ -306,13 +326,17 @@ pub fn dc6_optimistic_phase(quick: bool) -> ExperimentResult {
         vec!["fast paths", "slow paths", "latency ms"],
     );
     let reqs = load(quick, 20);
-    let free = Scenario::small(1).with_load(1, reqs);
+    let free = Scenario::builder()
+        .n_for_f(1)
+        .clients(1)
+        .requests(reqs)
+        .build();
     let crash = free
         .clone()
         .with_faults(FaultPlan::none().crash(NodeId::replica(2), SimTime::ZERO));
-    let fast = sbft::run(&free);
+    let fast = ProtocolId::Sbft.run(&free);
     audit(&fast, &[]);
-    let slow = sbft::run(&crash);
+    let slow = ProtocolId::Sbft.run(&crash);
     audit(&slow, &[2]);
     for (name, out) in [("fault-free", &fast), ("one backup crashed", &slow)] {
         result.row(
@@ -347,10 +371,14 @@ pub fn dc7_speculative_phase(quick: bool) -> ExperimentResult {
         vec!["latency ms", "rollbacks", "accepted"],
     );
     let reqs = load(quick, 20);
-    let free = Scenario::small(1).with_load(1, reqs);
-    let poe_free = poe::run(&free, &[]);
+    let free = Scenario::builder()
+        .n_for_f(1)
+        .clients(1)
+        .requests(reqs)
+        .build();
+    let poe_free = ProtocolId::Poe.run(&free);
     audit(&poe_free, &[]);
-    let sbft_free = sbft::run(&free);
+    let sbft_free = ProtocolId::Sbft.run(&free);
     audit(&sbft_free, &[]);
     // the rollback scenario: n = 7, certificate withheld from all but one
     // replica, that replica briefly partitioned during the view change
@@ -358,7 +386,9 @@ pub fn dc7_speculative_phase(quick: bool) -> ExperimentResult {
         .iter()
         .map(|i| NodeId::replica(*i))
         .collect();
-    let attack = Scenario::small(2)
+    let attack = Scenario::builder()
+        .n_for_f(2)
+        .build()
         .with_load(2, load(quick, 10))
         .with_faults(FaultPlan::none().isolate(
             NodeId::replica(1),
@@ -366,16 +396,14 @@ pub fn dc7_speculative_phase(quick: bool) -> ExperimentResult {
             SimTime(1_000_000),
             SimTime(120_000_000),
         ));
-    let attacked = poe::run(
-        &attack,
-        &[(
-            ReplicaId(0),
-            PoeBehavior::WithholdCertify {
-                seq: 3,
-                sole_recipient: ReplicaId(1),
-            },
-        )],
-    );
+    let attacked = Protocol::Poe(vec![(
+        ReplicaId(0),
+        PoeBehavior::WithholdCertify {
+            seq: 3,
+            sole_recipient: ReplicaId(1),
+        },
+    )])
+    .run(&attack);
     audit(&attacked, &[0]);
     let rollbacks = attacked
         .log
@@ -430,16 +458,20 @@ pub fn dc8_speculative_exec(quick: bool) -> ExperimentResult {
     let spec = dc::speculative_execution(&catalogue::pbft()).expect("applies");
     result.note(format!("design space: {}", spec.summary()));
     let reqs = load(quick, 20);
-    let free = Scenario::small(1).with_load(1, reqs);
+    let free = Scenario::builder()
+        .n_for_f(1)
+        .clients(1)
+        .requests(reqs)
+        .build();
     let crash = free
         .clone()
         .with_faults(FaultPlan::none().crash(NodeId::replica(2), SimTime::ZERO));
-    let z_free = zyzzyva::run(&free, ZyzzyvaVariant::Classic);
+    let z_free = ProtocolId::Zyzzyva.run(&free);
     audit(&z_free, &[]);
-    let z_crash = zyzzyva::run(&crash, ZyzzyvaVariant::Classic);
+    let z_crash = ProtocolId::Zyzzyva.run(&crash);
     audit(&z_crash, &[2]);
-    let p_free = pbft::run(&free, &PbftOptions::default());
-    let p_crash = pbft::run(&crash, &PbftOptions::default());
+    let p_free = ProtocolId::Pbft.run(&free);
+    let p_crash = ProtocolId::Pbft.run(&crash);
     audit(&p_crash, &[2]);
     let fast_rate = |out: &bft_sim::runner::RunOutcome| {
         let fast = out.log.count(|e| {
@@ -503,10 +535,13 @@ pub fn dc9_conflict_free(quick: bool) -> ExperimentResult {
     let mut retries_grow = true;
     let mut last_retries = 0usize;
     for hot in [0.0f64, 0.3, 0.7] {
-        let s = Scenario::small(1)
-            .with_load(4, reqs)
+        let s = Scenario::builder()
+            .n_for_f(1)
+            .clients(4)
+            .requests(reqs)
+            .build()
             .with_workload(WorkloadConfig::contended(hot));
-        let out = qu::run(&s);
+        let out = ProtocolId::Qu.run(&s);
         let retries = out.log.marker_count("qu-retry");
         let tp = throughput(&out);
         if hot > 0.0 {
@@ -560,15 +595,21 @@ pub fn dc10_resilience(quick: bool) -> ExperimentResult {
         fast as f64 / accepted(out).max(1) as f64
     };
     // one crashed backup in both deployments
-    let crash3 = Scenario::small(1)
-        .with_load(1, reqs)
+    let crash3 = Scenario::builder()
+        .n_for_f(1)
+        .clients(1)
+        .requests(reqs)
+        .build()
         .with_faults(FaultPlan::none().crash(NodeId::replica(2), SimTime::ZERO));
-    let z = zyzzyva::run(&crash3, ZyzzyvaVariant::Classic);
+    let z = ProtocolId::Zyzzyva.run(&crash3);
     audit(&z, &[2]);
-    let crash5 = Scenario::small(1)
-        .with_load(1, reqs)
+    let crash5 = Scenario::builder()
+        .n_for_f(1)
+        .clients(1)
+        .requests(reqs)
+        .build()
         .with_faults(FaultPlan::none().crash(NodeId::replica(3), SimTime::ZERO));
-    let z5 = zyzzyva::run(&crash5, ZyzzyvaVariant::Five);
+    let z5 = ProtocolId::Zyzzyva5.run(&crash5);
     audit(&z5, &[3]);
     result.row(
         "Zyzzyva + 1 crash",
@@ -614,25 +655,24 @@ pub fn dc11_authentication(quick: bool) -> ExperimentResult {
     result.note(format!("design space: PBFT → {}", signed.summary()));
     let reqs = load(quick, 20);
     // force view changes so the MAC-mode ack traffic shows up
-    let s = Scenario::small(1)
-        .with_load(1, reqs)
+    let s = Scenario::builder()
+        .n_for_f(1)
+        .clients(1)
+        .requests(reqs)
+        .build()
         .with_cost_model(CryptoCostModel::realistic())
         .with_faults(FaultPlan::none().crash(NodeId::replica(0), SimTime(4_000_000)));
-    let mac = pbft::run(
-        &s,
-        &PbftOptions {
-            auth: PbftAuth::Mac,
-            ..Default::default()
-        },
-    );
+    let mac = Protocol::Pbft(PbftOptions {
+        auth: PbftAuth::Mac,
+        ..Default::default()
+    })
+    .run(&s);
     audit(&mac, &[0]);
-    let sig = pbft::run(
-        &s,
-        &PbftOptions {
-            auth: PbftAuth::Signature,
-            ..Default::default()
-        },
-    );
+    let sig = Protocol::Pbft(PbftOptions {
+        auth: PbftAuth::Signature,
+        ..Default::default()
+    })
+    .run(&s);
     audit(&sig, &[0]);
     // count ack messages by wire bytes is fiddly; the MAC run's extra
     // messages during view change are the acks — report max view instead
@@ -686,18 +726,20 @@ pub fn dc12_robust(quick: bool) -> ExperimentResult {
         dc::robust(&catalogue::pbft_signed()).unwrap().summary()
     ));
     let reqs = load(quick, 20);
-    let s = Scenario::small(1).with_load(1, reqs);
+    let s = Scenario::builder()
+        .n_for_f(1)
+        .clients(1)
+        .requests(reqs)
+        .build();
     let mut prime_dominates = true;
     for delay_ms in [25u64, 35] {
         let d = SimDuration::from_millis(delay_ms);
-        let pb = pbft::run(
-            &s,
-            &PbftOptions {
-                behaviors: vec![(ReplicaId(0), Behavior::DelayLeader(d))],
-                ..Default::default()
-            },
-        );
-        let pr = prime::run(&s, &[(ReplicaId(0), PrimeBehavior::DelayLeader(d))]);
+        let pb = Protocol::Pbft(PbftOptions {
+            behaviors: vec![(ReplicaId(0), Behavior::DelayLeader(d))],
+            ..Default::default()
+        })
+        .run(&s);
+        let pr = Protocol::Prime(vec![(ReplicaId(0), PrimeBehavior::DelayLeader(d))]).run(&s);
         audit(&pr, &[0]);
         prime_dominates &= throughput(&pr) > 2.0 * throughput(&pb);
         result.row(
@@ -736,19 +778,20 @@ pub fn dc13_fair(quick: bool) -> ExperimentResult {
     );
     // the behavioural half: displacement vs the front-runner
     let reqs = load(quick, 15);
-    let s = Scenario::small(1)
-        .with_load(8, reqs)
-        .with_batch(4)
+    let s = Scenario::builder()
+        .n_for_f(1)
+        .clients(8)
+        .requests(reqs)
+        .batch(4)
+        .build()
         .with_workload(WorkloadConfig::uniform().with_work(300));
-    let fr = pbft::run(
-        &s,
-        &PbftOptions {
-            behaviors: vec![(ReplicaId(0), Behavior::Favor(bft_types::ClientId(3)))],
-            ..Default::default()
-        },
-    );
+    let fr = Protocol::Pbft(PbftOptions {
+        behaviors: vec![(ReplicaId(0), Behavior::Favor(bft_types::ClientId(3)))],
+        ..Default::default()
+    })
+    .run(&s);
     audit(&fr, &[0]);
-    let fair_out = fair::run(&s);
+    let fair_out = ProtocolId::Fair.run(&s);
     audit(&fair_out, &[]);
     let d_fr = fair::mean_displacement(&fr, NodeId::replica(1));
     let d_fair = fair::mean_displacement(&fair_out, NodeId::replica(1));
@@ -779,20 +822,30 @@ pub fn dc14_tree(quick: bool) -> ExperimentResult {
             .summary()
     ));
     let reqs = load(quick, 15);
-    let s = Scenario::small(4).with_load(1, reqs); // n = 13
-    let sb = sbft::run(&s);
+    let s = Scenario::builder()
+        .n_for_f(4)
+        .clients(1)
+        .requests(reqs)
+        .build(); // n = 13
+    let sb = ProtocolId::Sbft.run(&s);
     audit(&sb, &[]);
     let rows: Vec<(&str, bft_sim::runner::RunOutcome, Vec<u32>)> = vec![
         ("SBFT (star reference)", sb, vec![]),
-        ("Kauri fan-out 2", kauri::run(&s, 2), vec![]),
-        ("Kauri fan-out 3", kauri::run(&s, 3), vec![]),
+        ("Kauri fan-out 2", ProtocolId::Kauri.run(&s), vec![]),
+        (
+            "Kauri fan-out 3",
+            Protocol::Kauri { fanout: 3 }.run(&s),
+            vec![],
+        ),
         (
             "Kauri, internal crash",
-            kauri::run(
-                &Scenario::small(4)
-                    .with_load(1, reqs)
+            ProtocolId::Kauri.run(
+                &Scenario::builder()
+                    .n_for_f(4)
+                    .clients(1)
+                    .requests(reqs)
+                    .build()
                     .with_faults(FaultPlan::none().crash(NodeId::replica(1), SimTime(2_000_000))),
-                2,
             ),
             vec![1],
         ),

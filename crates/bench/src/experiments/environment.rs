@@ -1,8 +1,8 @@
 //! Experiments E1–E4: the environmental-settings dimensions.
 
 use bft_crypto::CryptoCostModel;
-use bft_protocols::pbft::{self, PbftAuth, PbftOptions};
-use bft_protocols::{chain, cheap, fab, hotstuff, kauri, minbft, sbft, tendermint, Scenario};
+use bft_protocols::pbft::{PbftAuth, PbftOptions};
+use bft_protocols::{Protocol, ProtocolId, Scenario};
 use bft_sim::{NetworkConfig, SimDuration};
 
 use crate::table::{fmt, ExperimentResult};
@@ -21,15 +21,19 @@ pub fn e1_replicas(quick: bool) -> ExperimentResult {
         vec!["n", "formula", "latency ms", "msgs/req"],
     );
     let reqs = load(quick, 25);
-    let s = Scenario::small(1).with_load(1, reqs);
+    let s = Scenario::builder()
+        .n_for_f(1)
+        .clients(1)
+        .requests(reqs)
+        .build();
 
-    let mb = minbft::run(&s);
+    let mb = ProtocolId::MinBft.run(&s);
     audit(&mb, &[]);
-    let pb = pbft::run(&s, &PbftOptions::default());
+    let pb = ProtocolId::Pbft.run(&s);
     audit(&pb, &[]);
-    let cb = cheap::run(&s);
+    let cb = ProtocolId::Cheap.run(&s);
     audit(&cb, &[]);
-    let fb = fab::run(&s);
+    let fb = ProtocolId::Fab.run(&s);
     audit(&fb, &[]);
 
     result.row(
@@ -95,15 +99,19 @@ pub fn e2_topology(quick: bool) -> ExperimentResult {
         vec!["msgs/req", "latency ms", "imbalance"],
     );
     let reqs = load(quick, 20);
-    let s = Scenario::small(4).with_load(1, reqs); // n = 13
+    let s = Scenario::builder()
+        .n_for_f(4)
+        .clients(1)
+        .requests(reqs)
+        .build(); // n = 13
 
-    let pb = pbft::run(&s, &PbftOptions::default());
+    let pb = ProtocolId::Pbft.run(&s);
     audit(&pb, &[]);
-    let hs = hotstuff::run(&s);
+    let hs = ProtocolId::HotStuff.run(&s);
     audit(&hs, &[]);
-    let ka = kauri::run(&s, 2);
+    let ka = ProtocolId::Kauri.run(&s);
     audit(&ka, &[]);
-    let ch = chain::run(&s);
+    let ch = ProtocolId::Chain.run(&s);
     audit(&ch, &[]);
 
     for (name, out) in [
@@ -152,27 +160,26 @@ pub fn e3_auth(quick: bool) -> ExperimentResult {
         vec!["latency ms", "replica CPU ms", "bytes/req"],
     );
     let reqs = load(quick, 25);
-    let s = Scenario::small(1)
-        .with_load(1, reqs)
+    let s = Scenario::builder()
+        .n_for_f(1)
+        .clients(1)
+        .requests(reqs)
+        .build()
         .with_cost_model(CryptoCostModel::realistic());
 
-    let mac = pbft::run(
-        &s,
-        &PbftOptions {
-            auth: PbftAuth::Mac,
-            ..Default::default()
-        },
-    );
+    let mac = Protocol::Pbft(PbftOptions {
+        auth: PbftAuth::Mac,
+        ..Default::default()
+    })
+    .run(&s);
     audit(&mac, &[]);
-    let sig = pbft::run(
-        &s,
-        &PbftOptions {
-            auth: PbftAuth::Signature,
-            ..Default::default()
-        },
-    );
+    let sig = Protocol::Pbft(PbftOptions {
+        auth: PbftAuth::Signature,
+        ..Default::default()
+    })
+    .run(&s);
     audit(&sig, &[]);
-    let thr = sbft::run(&s);
+    let thr = ProtocolId::Sbft.run(&s);
     audit(&thr, &[]);
 
     for (name, out) in [
@@ -225,12 +232,17 @@ pub fn e4_responsiveness(quick: bool) -> ExperimentResult {
         let net = NetworkConfig::lan()
             .with_base_delay(SimDuration::from_micros(delay_us))
             .with_delta(delta_bound);
-        let s = Scenario::small(1).with_load(1, reqs).with_network(net);
-        let hs = hotstuff::run(&s);
+        let s = Scenario::builder()
+            .n_for_f(1)
+            .clients(1)
+            .requests(reqs)
+            .network(net)
+            .build();
+        let hs = ProtocolId::HotStuff.run(&s);
         audit(&hs, &[]);
-        let tm = tendermint::run(&s, false);
+        let tm = ProtocolId::Tendermint.run(&s);
         audit(&tm, &[]);
-        let tmi = tendermint::run(&s, true);
+        let tmi = ProtocolId::TendermintInformed.run(&s);
         audit(&tmi, &[]);
         let hs_ms = mean_latency_ns(&hs);
         let tm_ms = mean_latency_ns(&tm);

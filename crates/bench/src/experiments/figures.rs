@@ -1,8 +1,8 @@
 //! Experiments F1 and F2: the paper's two figures.
 
 use bft_core::catalogue;
-use bft_protocols::pbft::{self, PbftOptions};
-use bft_protocols::Scenario;
+use bft_protocols::pbft::PbftOptions;
+use bft_protocols::{Protocol, ProtocolId, Scenario};
 use bft_sim::{FaultPlan, NodeId, SimDuration, SimTime, Stage};
 
 use crate::table::{fmt, ExperimentResult};
@@ -28,20 +28,20 @@ pub fn f1_lifecycle(quick: bool) -> ExperimentResult {
     // one run exercising everything: a leader crash (view change), enough
     // requests for checkpoints, and proactive rejuvenation
     // checkpointing needs ≥ one interval (16) of requests even in quick mode
-    let s = Scenario::small(1)
+    let s = Scenario::builder()
+        .n_for_f(1)
+        .build()
         .with_load(1, load(quick, 40).max(24))
         .with_faults(FaultPlan::none().crash_recover(
             NodeId::replica(0),
             SimTime(5_000_000),
             SimTime(200_000_000),
         ));
-    let out = pbft::run(
-        &s,
-        &PbftOptions {
-            recovery_period: Some(SimDuration::from_millis(40)),
-            ..Default::default()
-        },
-    );
+    let out = Protocol::Pbft(PbftOptions {
+        recovery_period: Some(SimDuration::from_millis(40)),
+        ..Default::default()
+    })
+    .run(&s);
     audit(&out, &[]);
     let mut all_present = true;
     for r in 1..4u32 {
@@ -95,8 +95,12 @@ pub fn f2_pbft_anatomy(quick: bool) -> ExperimentResult {
     for f in [1usize, 2, 3, 4] {
         let n = 3 * f + 1;
         let reqs = load(quick, 30);
-        let s = Scenario::small(f).with_load(1, reqs);
-        let out = pbft::run(&s, &PbftOptions::default());
+        let s = Scenario::builder()
+            .n_for_f(f)
+            .clients(1)
+            .requests(reqs)
+            .build();
+        let out = ProtocolId::Pbft.run(&s);
         audit(&out, &[]);
         let measured = msgs_per_req(&out);
         // the analytic good case: (n−1) pre-prepares + n(n−1) prepares+commits

@@ -1,9 +1,9 @@
 //! Experiments Q1–Q2: the quality-of-service dimensions.
 
 use bft_core::workload::WorkloadConfig;
-use bft_protocols::fair::{self, mean_displacement};
-use bft_protocols::pbft::{self, Behavior, PbftOptions};
-use bft_protocols::{hotstuff, kauri, sbft, Scenario};
+use bft_protocols::fair::mean_displacement;
+use bft_protocols::pbft::{Behavior, PbftOptions};
+use bft_protocols::{Protocol, ProtocolId, Scenario};
 use bft_sim::{NodeId, Observation};
 use bft_types::{ClientId, ReplicaId};
 
@@ -28,9 +28,12 @@ pub fn q1_fairness(quick: bool) -> ExperimentResult {
     // per-request compute plus batching gives the leader a mempool to
     // reorder; more clients than the batch size means favored requests jump
     // whole batches, which closed-loop feedback cannot mask
-    let s = Scenario::small(1)
-        .with_load(8, reqs)
-        .with_batch(4)
+    let s = Scenario::builder()
+        .n_for_f(1)
+        .clients(8)
+        .requests(reqs)
+        .batch(4)
+        .build()
         .with_workload(WorkloadConfig::uniform().with_work(300));
 
     let victim = ClientId(2);
@@ -68,25 +71,21 @@ pub fn q1_fairness(quick: bool) -> ExperimentResult {
         sum / cnt
     };
 
-    let honest = pbft::run(&s, &PbftOptions::default());
+    let honest = ProtocolId::Pbft.run(&s);
     audit(&honest, &[]);
-    let frontrun = pbft::run(
-        &s,
-        &PbftOptions {
-            behaviors: vec![(ReplicaId(0), Behavior::Favor(ClientId(3)))],
-            ..Default::default()
-        },
-    );
+    let frontrun = Protocol::Pbft(PbftOptions {
+        behaviors: vec![(ReplicaId(0), Behavior::Favor(ClientId(3)))],
+        ..Default::default()
+    })
+    .run(&s);
     audit(&frontrun, &[0]);
-    let censor = pbft::run(
-        &s,
-        &PbftOptions {
-            behaviors: vec![(ReplicaId(0), Behavior::Censor(victim))],
-            ..Default::default()
-        },
-    );
+    let censor = Protocol::Pbft(PbftOptions {
+        behaviors: vec![(ReplicaId(0), Behavior::Censor(victim))],
+        ..Default::default()
+    })
+    .run(&s);
     audit(&censor, &[0]);
-    let fair_out = fair::run(&s);
+    let fair_out = ProtocolId::Fair.run(&s);
     audit(&fair_out, &[]);
 
     for (name, out) in [
@@ -146,16 +145,17 @@ pub fn q2_loadbalance(quick: bool) -> ExperimentResult {
         vec!["imbalance", "max node msgs", "mean node msgs"],
     );
     let reqs = load(quick, 20);
-    let s = Scenario::small(4).with_load(1, reqs); // n = 13
+    let s = Scenario::builder()
+        .n_for_f(4)
+        .clients(1)
+        .requests(reqs)
+        .build(); // n = 13
 
     let runs: Vec<(&str, bft_sim::runner::RunOutcome)> = vec![
-        (
-            "PBFT (stable, clique)",
-            pbft::run(&s, &PbftOptions::default()),
-        ),
-        ("SBFT (stable, star)", sbft::run(&s)),
-        ("HotStuff (rotating, star)", hotstuff::run(&s)),
-        ("Kauri (tree m=2)", kauri::run(&s, 2)),
+        ("PBFT (stable, clique)", ProtocolId::Pbft.run(&s)),
+        ("SBFT (stable, star)", ProtocolId::Sbft.run(&s)),
+        ("HotStuff (rotating, star)", ProtocolId::HotStuff.run(&s)),
+        ("Kauri (tree m=2)", ProtocolId::Kauri.run(&s)),
     ];
     let mut stats: Vec<(f64, f64, f64)> = Vec::new();
     for (name, out) in &runs {

@@ -2,9 +2,9 @@
 
 use bft_core::catalogue;
 use bft_core::design::ReplyQuorum;
-use bft_protocols::pbft::{self, Behavior, PbftOptions};
-use bft_protocols::zyzzyva::{self, ZyzzyvaVariant};
-use bft_protocols::{hotstuff, poe, prime, sbft, Scenario};
+use bft_protocols::pbft::{Behavior, PbftOptions};
+
+use bft_protocols::{prime, Protocol, ProtocolId, Scenario};
 use bft_sim::{FaultPlan, NodeId, Observation, SimDuration, SimTime};
 use bft_types::QuorumRules;
 
@@ -25,38 +25,38 @@ pub fn p1_commitment(quick: bool) -> ExperimentResult {
         vec!["fault-free ms", "crash ms", "attacked req/s"],
     );
     let reqs = load(quick, 25);
-    let free = Scenario::small(1).with_load(1, reqs);
+    let free = Scenario::builder()
+        .n_for_f(1)
+        .clients(1)
+        .requests(reqs)
+        .build();
     let crash = free
         .clone()
         .with_faults(FaultPlan::none().crash(NodeId::replica(2), SimTime::ZERO));
     let delay = SimDuration::from_millis(25);
 
     // Zyzzyva (speculative optimistic)
-    let z_free = zyzzyva::run(&free, ZyzzyvaVariant::Classic);
-    let z_crash = zyzzyva::run(&crash, ZyzzyvaVariant::Classic);
+    let z_free = ProtocolId::Zyzzyva.run(&free);
+    let z_crash = ProtocolId::Zyzzyva.run(&crash);
     audit(&z_free, &[]);
     audit(&z_crash, &[2]);
     // PBFT (pessimistic)
-    let p_free = pbft::run(&free, &PbftOptions::default());
-    let p_crash = pbft::run(&crash, &PbftOptions::default());
-    let p_attacked = pbft::run(
-        &free,
-        &PbftOptions {
-            behaviors: vec![(bft_types::ReplicaId(0), Behavior::DelayLeader(delay))],
-            ..Default::default()
-        },
-    );
+    let p_free = ProtocolId::Pbft.run(&free);
+    let p_crash = ProtocolId::Pbft.run(&crash);
+    let p_attacked = Protocol::Pbft(PbftOptions {
+        behaviors: vec![(bft_types::ReplicaId(0), Behavior::DelayLeader(delay))],
+        ..Default::default()
+    })
+    .run(&free);
     audit(&p_free, &[]);
     audit(&p_crash, &[2]);
     // Prime (robust)
-    let r_free = prime::run(&free, &[]);
-    let r_attacked = prime::run(
-        &free,
-        &[(
-            bft_types::ReplicaId(0),
-            prime::PrimeBehavior::DelayLeader(delay),
-        )],
-    );
+    let r_free = ProtocolId::Prime.run(&free);
+    let r_attacked = Protocol::Prime(vec![(
+        bft_types::ReplicaId(0),
+        prime::PrimeBehavior::DelayLeader(delay),
+    )])
+    .run(&free);
     audit(&r_free, &[]);
     audit(&r_attacked, &[0]);
 
@@ -111,34 +111,38 @@ pub fn p2_phases(quick: bool) -> ExperimentResult {
         vec!["phases (design space)", "latency ms", "latency/δ"],
     );
     let reqs = load(quick, 25);
-    let s = Scenario::small(1).with_load(1, reqs);
+    let s = Scenario::builder()
+        .n_for_f(1)
+        .clients(1)
+        .requests(reqs)
+        .build();
     let delta = s.network.base_delay.0 as f64;
 
     let runs: Vec<(&str, usize, f64)> = vec![
         (
             "Zyzzyva",
             catalogue::zyzzyva().good_case_phases(),
-            mean_latency_ns(&zyzzyva::run(&s, ZyzzyvaVariant::Classic)),
+            mean_latency_ns(&ProtocolId::Zyzzyva.run(&s)),
         ),
         (
             "FaB",
             catalogue::fab().good_case_phases(),
-            mean_latency_ns(&bft_protocols::fab::run(&s)),
+            mean_latency_ns(&bft_protocols::ProtocolId::Fab.run(&s)),
         ),
         (
             "PBFT",
             catalogue::pbft().good_case_phases(),
-            mean_latency_ns(&pbft::run(&s, &PbftOptions::default())),
+            mean_latency_ns(&ProtocolId::Pbft.run(&s)),
         ),
         (
             "SBFT",
             catalogue::sbft().good_case_phases(),
-            mean_latency_ns(&sbft::run(&s)),
+            mean_latency_ns(&ProtocolId::Sbft.run(&s)),
         ),
         (
             "HotStuff",
             catalogue::hotstuff().good_case_phases(),
-            mean_latency_ns(&hotstuff::run(&s)),
+            mean_latency_ns(&ProtocolId::HotStuff.run(&s)),
         ),
     ];
     for (name, phases, lat) in &runs {
@@ -178,7 +182,11 @@ pub fn p3_viewchange(quick: bool) -> ExperimentResult {
         ],
     );
     let reqs = load(quick, 25);
-    let free = Scenario::small(1).with_load(1, reqs);
+    let free = Scenario::builder()
+        .n_for_f(1)
+        .clients(1)
+        .requests(reqs)
+        .build();
     let crash = free
         .clone()
         .with_faults(FaultPlan::none().crash(NodeId::replica(0), SimTime(4_000_000)));
@@ -196,11 +204,11 @@ pub fn p3_viewchange(quick: bool) -> ExperimentResult {
         times.windows(2).map(|w| w[1] - w[0]).max().unwrap_or(0) as f64
     };
 
-    let p_free = pbft::run(&free, &PbftOptions::default());
-    let p_crash = pbft::run(&crash, &PbftOptions::default());
+    let p_free = ProtocolId::Pbft.run(&free);
+    let p_crash = ProtocolId::Pbft.run(&crash);
     audit(&p_crash, &[0]);
-    let h_free = hotstuff::run(&free);
-    let h_crash = hotstuff::run(&crash);
+    let h_free = ProtocolId::HotStuff.run(&free);
+    let h_crash = ProtocolId::HotStuff.run(&crash);
     audit(&h_crash, &[0]);
 
     result.row(
@@ -258,8 +266,11 @@ pub fn p4_checkpoint(quick: bool) -> ExperimentResult {
     let heal_at = SimTime(reqs * 300_000);
     for interval in [0u64, 16, 64] {
         let peers: Vec<NodeId> = (0..3).map(NodeId::replica).collect();
-        let mut s = Scenario::small(1)
-            .with_load(1, reqs)
+        let mut s = Scenario::builder()
+            .n_for_f(1)
+            .clients(1)
+            .requests(reqs)
+            .build()
             .with_faults(FaultPlan::none().isolate(
                 NodeId::replica(3),
                 peers,
@@ -267,7 +278,7 @@ pub fn p4_checkpoint(quick: bool) -> ExperimentResult {
                 heal_at,
             ));
         s.checkpoint_interval = interval;
-        let out = pbft::run(&s, &PbftOptions::default());
+        let out = ProtocolId::Pbft.run(&s);
         audit(&out, &[]);
         let stable = out
             .log
@@ -323,17 +334,19 @@ pub fn p5_recovery(quick: bool) -> ExperimentResult {
     );
     let reqs = load(quick, 120);
     for (label, n_override) in [("n = 3f+1 = 4", None), ("n = 3f+2k+1 = 6", Some(6))] {
-        let mut s = Scenario::small(1).with_load(1, reqs);
+        let mut s = Scenario::builder()
+            .n_for_f(1)
+            .clients(1)
+            .requests(reqs)
+            .build();
         s.n_override = n_override;
         // one replica is crashed outright: recovery now eats into the margin
         let s = s.with_faults(FaultPlan::none().crash(NodeId::replica(1), SimTime::ZERO));
-        let out = pbft::run(
-            &s,
-            &PbftOptions {
-                recovery_period: Some(SimDuration::from_millis(20)),
-                ..Default::default()
-            },
-        );
+        let out = Protocol::Pbft(PbftOptions {
+            recovery_period: Some(SimDuration::from_millis(20)),
+            ..Default::default()
+        })
+        .run(&s);
         audit(&out, &[1]);
         let recoveries = out
             .log
@@ -371,16 +384,20 @@ pub fn p6_clients(quick: bool) -> ExperimentResult {
     );
     let q = QuorumRules::classic(1);
     let reqs = load(quick, 20);
-    let s = Scenario::small(1).with_load(1, reqs);
+    let s = Scenario::builder()
+        .n_for_f(1)
+        .clients(1)
+        .requests(reqs)
+        .build();
 
     let per_req = |out: &bft_sim::runner::RunOutcome| {
         out.metrics.node(NodeId::client(0)).msgs_received as f64 / accepted(out).max(1) as f64
     };
 
-    let pbft_out = pbft::run(&s, &PbftOptions::default());
-    let poe_out = poe::run(&s, &[]);
-    let z_out = zyzzyva::run(&s, ZyzzyvaVariant::Classic);
-    let sbft_out = sbft::run(&s);
+    let pbft_out = ProtocolId::Pbft.run(&s);
+    let poe_out = ProtocolId::Poe.run(&s);
+    let z_out = ProtocolId::Zyzzyva.run(&s);
+    let sbft_out = ProtocolId::Sbft.run(&s);
 
     let rq = |r: ReplyQuorum| r.count(&q).to_string();
     result.row(

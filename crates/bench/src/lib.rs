@@ -30,6 +30,7 @@
 //! comes from `BFT_BENCH_THREADS`, defaulting to the machine's available
 //! parallelism, and results are byte-identical at any thread count.
 
+pub mod campaign;
 pub mod experiments;
 pub mod parallel;
 pub mod table;

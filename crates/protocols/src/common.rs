@@ -201,6 +201,27 @@ impl Scenario {
         self.n_override.map_or(min_n, |n| n.max(min_n))
     }
 
+    /// Start a fluent builder seeded with the [`Scenario::small`]`(1)`
+    /// defaults. Mirrors `NetworkConfig::with_*`:
+    ///
+    /// ```
+    /// use bft_protocols::common::Scenario;
+    /// use bft_sim::NetworkConfig;
+    ///
+    /// let s = Scenario::builder()
+    ///     .n_for_f(1)
+    ///     .requests(120)
+    ///     .network(NetworkConfig::lan())
+    ///     .build();
+    /// assert_eq!(s.f, 1);
+    /// assert_eq!(s.requests_per_client, 120);
+    /// ```
+    pub fn builder() -> ScenarioBuilder {
+        ScenarioBuilder {
+            scenario: Scenario::small(1),
+        }
+    }
+
     /// The key store all parties in this scenario share.
     pub fn key_store(&self) -> Arc<KeyStore> {
         let mut master = [0u8; 32];
@@ -209,10 +230,21 @@ impl Scenario {
     }
 
     /// Build the simulation shell: network, seed, cost model, fault plan.
-    pub fn build_sim<M: WireSize + 'static>(&self) -> Simulation<M> {
+    ///
+    /// `n` is the replica count the protocol is about to install; the fault
+    /// plan is validated against it (and the client count) so a plan naming
+    /// nonexistent nodes fails loudly instead of silently never firing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scenario's fault plan is invalid — see
+    /// [`FaultPlan::validate`](bft_sim::faults::FaultPlan::validate).
+    pub fn build_sim<M: WireSize + 'static>(&self, n: usize) -> Simulation<M> {
         let mut sim = Simulation::new(NetworkModel::new(self.network.clone()), self.seed);
         sim.set_cost_model(self.cost_model);
-        self.faults.apply(&mut sim);
+        if let Err(e) = self.faults.apply(&mut sim, n, self.clients as u64) {
+            panic!("scenario has an invalid fault plan: {e}");
+        }
         sim
     }
 
@@ -228,6 +260,96 @@ impl Scenario {
             self.workload,
             self.seed.wrapping_mul(31).wrapping_add(client),
         )
+    }
+}
+
+/// Fluent builder for [`Scenario`], started with [`Scenario::builder`].
+///
+/// Every knob has a setter, so experiments construct scenarios without
+/// struct-literal field pokes and new `Scenario` fields don't ripple through
+/// call sites.
+#[derive(Debug, Clone)]
+pub struct ScenarioBuilder {
+    scenario: Scenario,
+}
+
+impl ScenarioBuilder {
+    /// Set the fault threshold `f` (the replica count follows from the
+    /// protocol's formula unless [`Self::n`] overrides it).
+    pub fn n_for_f(mut self, f: usize) -> Self {
+        self.scenario.f = f;
+        self
+    }
+
+    /// Override the replica count (clamped up to the protocol's minimum).
+    pub fn n(mut self, n: usize) -> Self {
+        self.scenario.n_override = Some(n);
+        self
+    }
+
+    /// Set the number of clients.
+    pub fn clients(mut self, clients: usize) -> Self {
+        self.scenario.clients = clients;
+        self
+    }
+
+    /// Set the per-client request count.
+    pub fn requests(mut self, requests_per_client: u64) -> Self {
+        self.scenario.requests_per_client = requests_per_client;
+        self
+    }
+
+    /// Set the network configuration.
+    pub fn network(mut self, network: NetworkConfig) -> Self {
+        self.scenario.network = network;
+        self
+    }
+
+    /// Set the fault plan.
+    pub fn faults(mut self, faults: FaultPlan) -> Self {
+        self.scenario.faults = faults;
+        self
+    }
+
+    /// Set the transaction mix.
+    pub fn workload(mut self, workload: WorkloadConfig) -> Self {
+        self.scenario.workload = workload;
+        self
+    }
+
+    /// Set the master seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.scenario.seed = seed;
+        self
+    }
+
+    /// Set the crypto cost model.
+    pub fn cost_model(mut self, cost_model: CryptoCostModel) -> Self {
+        self.scenario.cost_model = cost_model;
+        self
+    }
+
+    /// Set the checkpoint interval (0 disables checkpointing).
+    pub fn checkpoint_interval(mut self, interval: u64) -> Self {
+        self.scenario.checkpoint_interval = interval;
+        self
+    }
+
+    /// Set the batch size.
+    pub fn batch(mut self, batch_size: usize) -> Self {
+        self.scenario.batch_size = batch_size;
+        self
+    }
+
+    /// Set the virtual-time budget.
+    pub fn max_time(mut self, max_time: SimDuration) -> Self {
+        self.scenario.max_time = max_time;
+        self
+    }
+
+    /// Finish, yielding the scenario.
+    pub fn build(self) -> Scenario {
+        self.scenario
     }
 }
 

@@ -688,7 +688,7 @@ pub fn run(scenario: &Scenario) -> RunOutcome {
     let store = scenario.key_store();
     let t5 = SimDuration(scenario.network.delta.0 * 4);
 
-    let mut sim = scenario.build_sim::<HsMsg>();
+    let mut sim = scenario.build_sim::<HsMsg>(n);
     for i in 0..n as u32 {
         sim.add_replica(
             i,

@@ -29,6 +29,7 @@
 #![warn(missing_docs)]
 
 pub mod common;
+pub mod registry;
 
 pub mod chain;
 pub mod cheap;
@@ -45,4 +46,5 @@ pub mod sbft;
 pub mod tendermint;
 pub mod zyzzyva;
 
-pub use common::{Scenario, SignedRequest};
+pub use common::{Scenario, ScenarioBuilder, SignedRequest};
+pub use registry::{registry, ChaosTolerance, Protocol, ProtocolEntry, ProtocolId};

@@ -268,6 +268,27 @@ pub struct PbftConfig {
     pub recovery_period: Option<SimDuration>,
     /// Virtual rejuvenation downtime.
     pub recovery_duration: SimDuration,
+    /// Test-only invariant sabotage (see [`PbftSabotage`]).
+    pub sabotage: PbftSabotage,
+}
+
+/// Deliberately broken protocol invariants, behind a test-only switch.
+///
+/// These exist so the chaos campaign can prove it *catches* violations: a
+/// sabotaged run must be flagged by the safety/liveness checker and shrunk
+/// to a minimal reproducing fault plan. Never enable outside tests.
+#[doc(hidden)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PbftSabotage {
+    /// Protocol intact (the default).
+    #[default]
+    None,
+    /// Suppress view changes entirely: a crashed leader is never replaced,
+    /// so any leader crash turns into a liveness violation.
+    DisableViewChange,
+    /// Count the commit quorum one vote short (2f instead of 2f+1),
+    /// breaking the quorum-intersection argument.
+    CommitQuorumOffByOne,
 }
 
 impl PbftConfig {
@@ -283,6 +304,7 @@ impl PbftConfig {
             batch_delay: SimDuration(s.network.base_delay.0 * 4),
             recovery_period: None,
             recovery_duration: SimDuration::from_millis(50),
+            sabotage: PbftSabotage::None,
         }
     }
 }
@@ -743,7 +765,10 @@ impl PbftReplica {
         digest: Digest,
         ctx: &mut Context<'_, PbftMsg>,
     ) {
-        let quorum = self.cfg.q.quorum(); // 2f+1 commits
+        let quorum = match self.cfg.sabotage {
+            PbftSabotage::CommitQuorumOffByOne => self.cfg.q.quorum() - 1,
+            _ => self.cfg.q.quorum(), // 2f+1 commits
+        };
         let slot = self.slot(seq);
         if slot.digest.is_some() && slot.digest != Some(digest) {
             return;
@@ -1029,6 +1054,9 @@ impl PbftReplica {
 
     fn start_view_change(&mut self, target: View, ctx: &mut Context<'_, PbftMsg>) {
         if target <= self.view {
+            return;
+        }
+        if self.cfg.sabotage == PbftSabotage::DisableViewChange {
             return;
         }
         self.in_view_change = true;
@@ -1586,6 +1614,9 @@ pub struct PbftOptions {
     pub behaviors: Vec<(ReplicaId, Behavior)>,
     /// Proactive recovery period (τ8).
     pub recovery_period: Option<SimDuration>,
+    /// Test-only invariant sabotage (see [`PbftSabotage`]); keep the
+    /// default outside tests.
+    pub sabotage: PbftSabotage,
 }
 
 impl Default for PbftOptions {
@@ -1594,6 +1625,7 @@ impl Default for PbftOptions {
             auth: PbftAuth::Mac,
             behaviors: Vec::new(),
             recovery_period: None,
+            sabotage: PbftSabotage::None,
         }
     }
 }
@@ -1607,8 +1639,9 @@ pub fn run(scenario: &Scenario, options: &PbftOptions) -> RunOutcome {
     let mut cfg = PbftConfig::from_scenario(scenario, n);
     cfg.auth = options.auth;
     cfg.recovery_period = options.recovery_period;
+    cfg.sabotage = options.sabotage;
 
-    let mut sim = scenario.build_sim::<PbftMsg>();
+    let mut sim = scenario.build_sim::<PbftMsg>(n);
     for i in 0..n as u32 {
         let behavior = options
             .behaviors
@@ -1644,8 +1677,9 @@ pub fn run_with_read_optimization(scenario: &Scenario, options: &PbftOptions) ->
     let mut cfg = PbftConfig::from_scenario(scenario, n);
     cfg.auth = options.auth;
     cfg.recovery_period = options.recovery_period;
+    cfg.sabotage = options.sabotage;
 
-    let mut sim = scenario.build_sim::<PbftMsg>();
+    let mut sim = scenario.build_sim::<PbftMsg>(n);
     for i in 0..n as u32 {
         let behavior = options
             .behaviors

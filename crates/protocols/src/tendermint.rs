@@ -542,7 +542,7 @@ pub fn run(scenario: &Scenario, informed_leader_opt: bool) -> RunOutcome {
     let store = scenario.key_store();
     let delta = scenario.network.delta;
 
-    let mut sim = scenario.build_sim::<TmMsg>();
+    let mut sim = scenario.build_sim::<TmMsg>(n);
     for i in 0..n as u32 {
         sim.add_replica(
             i,

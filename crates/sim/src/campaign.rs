@@ -1,0 +1,529 @@
+//! Seeded chaos campaigns: randomized fault schedules, safety/liveness
+//! checking, and automatic minimization of failing schedules.
+//!
+//! A *campaign* hammers a protocol with many randomly generated — but fully
+//! deterministic — adversarial schedules instead of a handful of hand-curated
+//! `FaultPlan`s. Each **case** is a pure function of a [`ChaosProfile`] (what
+//! the target protocol claims to tolerate) and a `u64` seed, so any failure
+//! reproduces from its printed seed alone.
+//!
+//! The pieces here are protocol-agnostic; running actual protocols against
+//! the generated cases lives in `bft-bench` (the protocol crates depend on
+//! this one, not vice versa):
+//!
+//! * [`ChaosProfile`] — the generator's envelope: which fault classes are
+//!   enabled, the crash-victim pool and concurrency budget, the fault
+//!   horizon, and caps for the network-misbehavior knobs (GST storms,
+//!   post-GST duplication/reordering).
+//! * [`generate_case`] — seed → [`ChaosCase`] (a validated [`FaultPlan`]
+//!   plus network-knob settings).
+//! * [`check_outcome`] — safety via [`SafetyAuditor`], liveness as "every
+//!   request accepted within the virtual-time budget".
+//! * [`shrink_plan`] — ddmin-style minimization: given a failing plan and a
+//!   re-run predicate, removes event chunks while the failure persists,
+//!   yielding a minimal reproducing schedule.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::audit::{SafetyAuditor, SafetyViolation};
+use crate::event::NodeId;
+use crate::faults::{FaultEvent, FaultPlan};
+use crate::obs::ObservationLog;
+use crate::time::{SimDuration, SimTime};
+
+/// The envelope a chaos case is drawn from: what the target protocol claims
+/// to tolerate. Cases generated from the same profile and seed are
+/// identical, whatever the host or thread count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosProfile {
+    /// Replica population (node ids `0..n_replicas`).
+    pub n_replicas: usize,
+    /// Client population (node ids `0..n_clients`).
+    pub n_clients: u64,
+    /// Replicas the generator may crash or isolate. Protocols with a fixed
+    /// leader (e.g. CheapBFT) exclude replica 0 here.
+    pub crash_victims: Vec<u32>,
+    /// Maximum number of *distinct* crash/isolation victims per case — the
+    /// protocol's `f` budget.
+    pub max_victims: usize,
+    /// All fault activity starts within this window; transient faults heal
+    /// within roughly twice this. Keep it well under the scenario's
+    /// `max_time` so liveness can recover.
+    pub horizon: SimDuration,
+    /// Allow pairwise partitions between replicas (non-budget: a single cut
+    /// pair never removes a quorum).
+    pub partitions: bool,
+    /// Allow full isolation of a victim (counts against `max_victims`).
+    pub isolation: bool,
+    /// Allow permanently slowed links.
+    pub slow_links: bool,
+    /// Maximum extra one-way delay for a slowed link.
+    pub max_slow_extra: SimDuration,
+    /// Allow pre-GST drop storms (GST pushed past zero with message loss
+    /// until stabilization).
+    pub gst_storm: bool,
+    /// Latest generated GST.
+    pub max_gst: SimDuration,
+    /// Maximum pre-GST drop probability.
+    pub max_pre_gst_drop: f64,
+    /// Maximum post-GST duplication probability (0 disables the knob).
+    pub max_dup_prob: f64,
+    /// Maximum post-GST reordering probability (0 disables the knob).
+    pub max_reorder_prob: f64,
+}
+
+impl ChaosProfile {
+    /// The standard envelope for a crash-tolerant protocol with `n` replicas
+    /// and fault budget `f`: crash/recover churn, healed isolation,
+    /// partitions, slow links, GST storms, duplication and reordering.
+    pub fn standard(n_replicas: usize, f: usize, n_clients: u64) -> ChaosProfile {
+        ChaosProfile {
+            n_replicas,
+            n_clients,
+            crash_victims: (0..n_replicas as u32).collect(),
+            max_victims: f,
+            horizon: SimDuration::from_millis(30),
+            partitions: true,
+            isolation: true,
+            slow_links: true,
+            max_slow_extra: SimDuration::from_millis(2),
+            gst_storm: true,
+            max_gst: SimDuration::from_millis(50),
+            max_pre_gst_drop: 0.2,
+            max_dup_prob: 0.3,
+            max_reorder_prob: 0.3,
+        }
+    }
+
+    /// A benign envelope: no crashes or isolation, only misbehavior every
+    /// protocol must absorb (healed partitions, slow links, GST storms,
+    /// duplication, reordering).
+    pub fn benign(n_replicas: usize, n_clients: u64) -> ChaosProfile {
+        ChaosProfile {
+            crash_victims: Vec::new(),
+            max_victims: 0,
+            isolation: false,
+            ..ChaosProfile::standard(n_replicas, 0, n_clients)
+        }
+    }
+}
+
+/// One generated adversarial schedule: a fault plan plus network-misbehavior
+/// knob settings, reproducible from `seed` alone (given the profile).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosCase {
+    /// The seed this case was generated from (the replay handle).
+    pub seed: u64,
+    /// The crash/partition/isolation/slow-link schedule.
+    pub plan: FaultPlan,
+    /// Global stabilization time (`SimTime::ZERO` = synchronous run).
+    pub gst: SimTime,
+    /// Pre-GST drop probability.
+    pub pre_gst_drop: f64,
+    /// Post-GST duplication probability.
+    pub dup_prob: f64,
+    /// Post-GST reordering probability.
+    pub reorder_prob: f64,
+}
+
+impl ChaosCase {
+    /// Replicas the safety auditor should not blame: every crash or
+    /// isolation victim in the plan (matching the convention of the
+    /// hand-written fault tests, which exclude victims even after they
+    /// recover).
+    pub fn suspects(&self) -> Vec<NodeId> {
+        suspects_of(&self.plan)
+    }
+
+    /// One-line human summary for campaign reports.
+    pub fn describe(&self) -> String {
+        let mut parts = vec![format!("{} fault event(s)", self.plan.events.len())];
+        if self.gst > SimTime::ZERO {
+            parts.push(format!(
+                "gst={}ms drop={:.2}",
+                self.gst.0 / 1_000_000,
+                self.pre_gst_drop
+            ));
+        }
+        if self.dup_prob > 0.0 {
+            parts.push(format!("dup={:.2}", self.dup_prob));
+        }
+        if self.reorder_prob > 0.0 {
+            parts.push(format!("reorder={:.2}", self.reorder_prob));
+        }
+        parts.join(", ")
+    }
+}
+
+/// Crash and isolation victims of a plan, deduplicated, in id order.
+pub fn suspects_of(plan: &FaultPlan) -> Vec<NodeId> {
+    let mut seen = std::collections::BTreeSet::new();
+    for ev in &plan.events {
+        match ev {
+            FaultEvent::Crash { node, .. } | FaultEvent::Isolate { node, .. } => {
+                if let NodeId::Replica(r) = node {
+                    seen.insert(r.0);
+                }
+            }
+            _ => {}
+        }
+    }
+    seen.into_iter().map(NodeId::replica).collect()
+}
+
+/// Generate the chaos case for `seed` under `profile`.
+///
+/// The case always stays inside the profile's envelope: at most
+/// `max_victims` distinct crash/isolation victims, transient faults heal
+/// within ~2× the horizon, GST and knob probabilities within their caps.
+/// The returned plan always passes `FaultPlan::validate` for the profile's
+/// population.
+pub fn generate_case(profile: &ChaosProfile, seed: u64) -> ChaosCase {
+    // Domain-separate from the simulation's own seed usage so a campaign
+    // seed and a scenario seed never share a stream.
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x4348_414f_5343_4150); // "CHAOSCAP"
+    let h = profile.horizon.0.max(16);
+    let mut plan = FaultPlan::none();
+
+    // 1. Victim faults (crash/recover churn or full isolation), within the
+    //    concurrency budget.
+    let budget = profile.max_victims.min(profile.crash_victims.len());
+    let n_victims = if budget > 0 {
+        rng.gen_range(0..=budget)
+    } else {
+        0
+    };
+    let mut pool = profile.crash_victims.clone();
+    let mut isolated = false;
+    for _ in 0..n_victims {
+        let v = pool.swap_remove(rng.gen_range(0..pool.len()));
+        let node = NodeId::replica(v);
+        if profile.isolation && rng.gen_bool(0.3) {
+            isolated = true;
+            // In-dark replica: cut off from every peer, healing within the
+            // horizon.
+            let from = rng.gen_range(0..h / 2);
+            let until = rng.gen_range(from + h / 8..=h);
+            let peers = (0..profile.n_replicas as u32)
+                .filter(|i| *i != v)
+                .map(NodeId::replica)
+                .collect();
+            plan = plan.isolate(node, peers, SimTime(from), SimTime(until));
+        } else {
+            // Crash/recover churn: one or two down intervals.
+            let cycles = rng.gen_range(1..=2u32);
+            let mut t = rng.gen_range(0..h / 2);
+            for _ in 0..cycles {
+                let down = rng.gen_range(h / 16..=h / 4);
+                plan = plan.crash_recover(node, SimTime(t), SimTime(t + down));
+                t += down + rng.gen_range(h / 16..=h / 4);
+            }
+        }
+    }
+
+    // 2. A pairwise partition (cutting one link pair never removes a
+    //    quorum, so it carries no victim budget). Never combined with an
+    //    isolation: together they can fragment a small population past its
+    //    quorum even though each alone cannot.
+    if profile.partitions && !isolated && profile.n_replicas >= 2 && rng.gen_bool(0.5) {
+        let a = rng.gen_range(0..profile.n_replicas as u32);
+        let mut b = rng.gen_range(0..profile.n_replicas as u32 - 1);
+        if b >= a {
+            b += 1;
+        }
+        let from = rng.gen_range(0..h / 2);
+        let until = rng.gen_range(from + h / 8..=h);
+        plan = plan.partition(
+            NodeId::replica(a),
+            NodeId::replica(b),
+            SimTime(from),
+            SimTime(until),
+        );
+    }
+
+    // 3. A permanently slowed link between two distinct replicas.
+    if profile.slow_links && profile.n_replicas >= 2 && rng.gen_bool(0.5) {
+        let from = rng.gen_range(0..profile.n_replicas as u32);
+        let mut to = rng.gen_range(0..profile.n_replicas as u32 - 1);
+        if to >= from {
+            to += 1;
+        }
+        let extra = rng.gen_range(0..=profile.max_slow_extra.0);
+        plan = plan.slow_link(
+            NodeId::replica(from),
+            NodeId::replica(to),
+            SimDuration(extra),
+        );
+    }
+
+    // 4. Network-misbehavior knobs.
+    let (gst, pre_gst_drop) = if profile.gst_storm && rng.gen_bool(0.4) {
+        (
+            SimTime(rng.gen_range(1..=profile.max_gst.0.max(1))),
+            rng.gen_range(0.0..=profile.max_pre_gst_drop),
+        )
+    } else {
+        (SimTime::ZERO, 0.0)
+    };
+    let dup_prob = if profile.max_dup_prob > 0.0 && rng.gen_bool(0.5) {
+        rng.gen_range(0.0..=profile.max_dup_prob)
+    } else {
+        0.0
+    };
+    let reorder_prob = if profile.max_reorder_prob > 0.0 && rng.gen_bool(0.5) {
+        rng.gen_range(0.0..=profile.max_reorder_prob)
+    } else {
+        0.0
+    };
+
+    ChaosCase {
+        seed,
+        plan,
+        gst,
+        pre_gst_drop,
+        dup_prob,
+        reorder_prob,
+    }
+}
+
+/// What a campaign case found wrong with a run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CampaignViolation {
+    /// The safety auditor found conflicting commits or divergent state
+    /// among correct replicas.
+    Safety(Vec<SafetyViolation>),
+    /// The run did not accept every request within the virtual-time budget.
+    Liveness {
+        /// Requests the clients saw accepted.
+        accepted: u64,
+        /// Requests issued.
+        expected: u64,
+    },
+}
+
+impl std::fmt::Display for CampaignViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CampaignViolation::Safety(vs) => {
+                write!(f, "SAFETY: {} violation(s)", vs.len())?;
+                if let Some(v) = vs.first() {
+                    write!(f, " — first: {v:?}")?;
+                }
+                Ok(())
+            }
+            CampaignViolation::Liveness { accepted, expected } => {
+                write!(f, "LIVENESS: {accepted}/{expected} requests accepted")
+            }
+        }
+    }
+}
+
+/// Check one run: safety first (auditing all replicas except `faulty`),
+/// then liveness as "all `expected` requests accepted". Returns `None` when
+/// the run is clean.
+pub fn check_outcome(
+    log: &ObservationLog,
+    faulty: Vec<NodeId>,
+    expected: u64,
+) -> Option<CampaignViolation> {
+    let violations = SafetyAuditor::excluding(faulty).check(log);
+    if !violations.is_empty() {
+        return Some(CampaignViolation::Safety(violations));
+    }
+    let accepted = log.client_latencies().len() as u64;
+    if accepted != expected {
+        return Some(CampaignViolation::Liveness { accepted, expected });
+    }
+    None
+}
+
+/// Shrink a failing fault plan to a locally minimal reproducing schedule.
+///
+/// `still_fails` re-runs the system under a candidate plan and reports
+/// whether the original failure persists. Classic ddmin over the event
+/// list: try dropping chunks (halving the chunk size on each sweep) and
+/// keep any candidate that still fails, until no single event can be
+/// removed. The result always satisfies `still_fails`; if even the full
+/// plan does not (flaky failure), the plan is returned unshrunk.
+pub fn shrink_plan(plan: &FaultPlan, mut still_fails: impl FnMut(&FaultPlan) -> bool) -> FaultPlan {
+    if !still_fails(plan) {
+        return plan.clone();
+    }
+    let mut events = plan.events.clone();
+    let mut chunk = events.len().div_ceil(2).max(1);
+    loop {
+        let mut reduced = false;
+        let mut i = 0;
+        while i < events.len() {
+            let mut candidate = events.clone();
+            let end = (i + chunk).min(candidate.len());
+            candidate.drain(i..end);
+            if still_fails(&FaultPlan {
+                events: candidate.clone(),
+            }) {
+                events = candidate;
+                reduced = true;
+                // same index now holds the next chunk — do not advance
+            } else {
+                i += chunk;
+            }
+        }
+        if chunk == 1 {
+            if !reduced {
+                break;
+            }
+        } else {
+            chunk = (chunk / 2).max(1);
+        }
+        if events.is_empty() {
+            break;
+        }
+    }
+    FaultPlan { events }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn debug_str(case: &ChaosCase) -> String {
+        format!("{case:?}")
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let p = ChaosProfile::standard(4, 1, 2);
+        for seed in 0..50 {
+            let a = generate_case(&p, seed);
+            let b = generate_case(&p, seed);
+            assert_eq!(debug_str(&a), debug_str(&b), "seed {seed} not stable");
+        }
+        // different seeds explore different schedules (at least some)
+        let distinct: std::collections::BTreeSet<String> =
+            (0..50).map(|s| debug_str(&generate_case(&p, s))).collect();
+        assert!(
+            distinct.len() > 10,
+            "only {} distinct cases",
+            distinct.len()
+        );
+    }
+
+    #[test]
+    fn generated_plans_validate_and_respect_budget() {
+        for n in [3usize, 4, 6, 7] {
+            let f = (n - 1) / 3;
+            let p = ChaosProfile::standard(n, f.max(1), 2);
+            for seed in 0..200 {
+                let case = generate_case(&p, seed);
+                case.plan
+                    .validate(n, 2)
+                    .unwrap_or_else(|e| panic!("seed {seed}, n {n}: {e}"));
+                assert!(
+                    case.suspects().len() <= p.max_victims,
+                    "seed {seed}, n {n}: {} victims > budget {}",
+                    case.suspects().len(),
+                    p.max_victims
+                );
+                assert!(case.dup_prob <= p.max_dup_prob);
+                assert!(case.reorder_prob <= p.max_reorder_prob);
+                assert!(case.pre_gst_drop <= p.max_pre_gst_drop);
+                assert!(case.gst.0 <= p.max_gst.0);
+            }
+        }
+    }
+
+    #[test]
+    fn benign_profile_never_crashes_or_isolates() {
+        let p = ChaosProfile::benign(4, 1);
+        for seed in 0..200 {
+            let case = generate_case(&p, seed);
+            assert!(
+                case.suspects().is_empty(),
+                "seed {seed}: benign case has victims {:?}",
+                case.suspects()
+            );
+        }
+    }
+
+    #[test]
+    fn shrink_finds_single_culprit() {
+        // failure iff the plan crashes replica 2
+        let plan = FaultPlan::none()
+            .crash_recover(NodeId::replica(1), SimTime(10), SimTime(20))
+            .partition(
+                NodeId::replica(0),
+                NodeId::replica(3),
+                SimTime(0),
+                SimTime(5),
+            )
+            .crash(NodeId::replica(2), SimTime(30))
+            .slow_link(NodeId::replica(0), NodeId::replica(1), SimDuration(7))
+            .isolate(
+                NodeId::replica(3),
+                vec![NodeId::replica(0)],
+                SimTime(1),
+                SimTime(9),
+            );
+        let culprit = |p: &FaultPlan| {
+            p.events
+                .iter()
+                .any(|e| matches!(e, FaultEvent::Crash { node, .. } if *node == NodeId::replica(2)))
+        };
+        let minimal = shrink_plan(&plan, culprit);
+        assert_eq!(
+            minimal.events,
+            vec![FaultEvent::Crash {
+                node: NodeId::replica(2),
+                at: SimTime(30),
+            }]
+        );
+    }
+
+    #[test]
+    fn shrink_keeps_conjunction_of_two_events() {
+        // failure needs BOTH the crash of 1 and the partition
+        let plan = FaultPlan::none()
+            .crash(NodeId::replica(1), SimTime(5))
+            .slow_link(NodeId::replica(2), NodeId::replica(3), SimDuration(4))
+            .partition(
+                NodeId::replica(0),
+                NodeId::replica(2),
+                SimTime(0),
+                SimTime(9),
+            )
+            .crash_recover(NodeId::replica(0), SimTime(40), SimTime(50));
+        let needs_both = |p: &FaultPlan| {
+            let has_crash = p.events.iter().any(
+                |e| matches!(e, FaultEvent::Crash { node, .. } if *node == NodeId::replica(1)),
+            );
+            let has_part = p
+                .events
+                .iter()
+                .any(|e| matches!(e, FaultEvent::Partition { .. }));
+            has_crash && has_part
+        };
+        let minimal = shrink_plan(&plan, needs_both);
+        assert_eq!(minimal.events.len(), 2);
+        assert!(needs_both(&minimal));
+    }
+
+    #[test]
+    fn shrink_of_nonreproducing_failure_returns_plan_unchanged() {
+        let plan = FaultPlan::none().crash(NodeId::replica(1), SimTime(5));
+        let shrunk = shrink_plan(&plan, |_| false);
+        assert_eq!(shrunk, plan);
+    }
+
+    #[test]
+    fn check_outcome_flags_missing_acceptances() {
+        let log = ObservationLog::default();
+        match check_outcome(&log, vec![], 5) {
+            Some(CampaignViolation::Liveness { accepted, expected }) => {
+                assert_eq!((accepted, expected), (0, 5));
+            }
+            other => panic!("expected liveness violation, got {other:?}"),
+        }
+        assert_eq!(check_outcome(&log, vec![], 0), None);
+    }
+}

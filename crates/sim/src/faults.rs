@@ -15,7 +15,7 @@ use crate::runner::Simulation;
 use crate::time::{SimDuration, SimTime};
 
 /// One scheduled fault.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum FaultEvent {
     /// Crash a node at a time (it silently stops).
     Crash {
@@ -65,8 +65,48 @@ pub enum FaultEvent {
     },
 }
 
+/// Why a [`FaultPlan`] was rejected by [`FaultPlan::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultPlanError {
+    /// A fault names a node outside the simulated population.
+    UnknownNode {
+        /// Index of the offending event in [`FaultPlan::events`].
+        index: usize,
+        /// The out-of-range node.
+        node: NodeId,
+    },
+    /// A partition or isolation interval is empty or inverted
+    /// (`from >= until`), so it would silently never fire.
+    EmptyInterval {
+        /// Index of the offending event in [`FaultPlan::events`].
+        index: usize,
+        /// Interval start.
+        from: SimTime,
+        /// Interval end.
+        until: SimTime,
+    },
+}
+
+impl std::fmt::Display for FaultPlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultPlanError::UnknownNode { index, node } => {
+                write!(f, "fault event #{index} targets unknown node {node:?}")
+            }
+            FaultPlanError::EmptyInterval { index, from, until } => {
+                write!(
+                    f,
+                    "fault event #{index} has empty interval [{from:?}, {until:?})"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultPlanError {}
+
 /// A set of scheduled faults.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct FaultPlan {
     /// The scheduled fault events.
     pub events: Vec<FaultEvent>,
@@ -140,8 +180,53 @@ impl FaultPlan {
         seen.len()
     }
 
-    /// Install the plan into a simulation.
-    pub fn apply<M: WireSize + 'static>(&self, sim: &mut Simulation<M>) {
+    /// Check that every event targets a node inside the population
+    /// (`n_replicas` replicas, `n_clients` clients) and that every
+    /// partition/isolation interval is non-empty (`from < until`).
+    pub fn validate(&self, n_replicas: usize, n_clients: u64) -> Result<(), FaultPlanError> {
+        let node_ok = |node: &NodeId| match node {
+            NodeId::Replica(r) => (r.0 as usize) < n_replicas,
+            NodeId::Client(c) => c.0 < n_clients,
+        };
+        for (index, ev) in self.events.iter().enumerate() {
+            let (nodes, interval): (Vec<&NodeId>, Option<(SimTime, SimTime)>) = match ev {
+                FaultEvent::Crash { node, .. } | FaultEvent::Recover { node, .. } => {
+                    (vec![node], None)
+                }
+                FaultEvent::Partition { a, b, from, until } => (vec![a, b], Some((*from, *until))),
+                FaultEvent::Isolate {
+                    node,
+                    peers,
+                    from,
+                    until,
+                } => {
+                    let mut ns = vec![node];
+                    ns.extend(peers.iter());
+                    (ns, Some((*from, *until)))
+                }
+                FaultEvent::SlowLink { from, to, .. } => (vec![from, to], None),
+            };
+            if let Some(node) = nodes.into_iter().find(|n| !node_ok(n)) {
+                return Err(FaultPlanError::UnknownNode { index, node: *node });
+            }
+            if let Some((from, until)) = interval {
+                if from >= until {
+                    return Err(FaultPlanError::EmptyInterval { index, from, until });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Validate the plan against the node population, then install it into
+    /// the simulation. Nothing is installed if validation fails.
+    pub fn apply<M: WireSize + 'static>(
+        &self,
+        sim: &mut Simulation<M>,
+        n_replicas: usize,
+        n_clients: u64,
+    ) -> Result<(), FaultPlanError> {
+        self.validate(n_replicas, n_clients)?;
         for ev in &self.events {
             match ev {
                 FaultEvent::Crash { node, at } => sim.schedule_crash(*node, *at),
@@ -162,6 +247,7 @@ impl FaultPlan {
                 }
             }
         }
+        Ok(())
     }
 }
 
@@ -184,5 +270,91 @@ mod tests {
             );
         assert_eq!(plan.crashed_replicas(), 2);
         assert_eq!(plan.events.len(), 5);
+    }
+
+    #[test]
+    fn validate_accepts_in_range_plan() {
+        let plan = FaultPlan::none()
+            .crash_recover(NodeId::replica(3), SimTime(100), SimTime(200))
+            .partition(
+                NodeId::replica(0),
+                NodeId::replica(1),
+                SimTime(0),
+                SimTime(10),
+            )
+            .isolate(
+                NodeId::replica(2),
+                vec![NodeId::replica(0), NodeId::replica(1)],
+                SimTime(5),
+                SimTime(15),
+            )
+            .slow_link(NodeId::replica(1), NodeId::client(0), SimDuration(50));
+        assert_eq!(plan.validate(4, 1), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_unknown_nodes() {
+        let plan = FaultPlan::none().crash(NodeId::replica(4), SimTime(100));
+        assert_eq!(
+            plan.validate(4, 0),
+            Err(FaultPlanError::UnknownNode {
+                index: 0,
+                node: NodeId::replica(4),
+            })
+        );
+        // a client id beyond the population is just as invalid
+        let plan =
+            FaultPlan::none().slow_link(NodeId::replica(0), NodeId::client(2), SimDuration(1));
+        assert!(matches!(
+            plan.validate(4, 2),
+            Err(FaultPlanError::UnknownNode { index: 0, .. })
+        ));
+        // an isolate peer out of range is caught too
+        let plan = FaultPlan::none().isolate(
+            NodeId::replica(0),
+            vec![NodeId::replica(7)],
+            SimTime(0),
+            SimTime(10),
+        );
+        assert!(matches!(
+            plan.validate(4, 0),
+            Err(FaultPlanError::UnknownNode { index: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_inverted_intervals() {
+        let plan = FaultPlan::none().partition(
+            NodeId::replica(0),
+            NodeId::replica(1),
+            SimTime(10),
+            SimTime(10),
+        );
+        assert_eq!(
+            plan.validate(4, 0),
+            Err(FaultPlanError::EmptyInterval {
+                index: 0,
+                from: SimTime(10),
+                until: SimTime(10),
+            })
+        );
+        let plan = FaultPlan::none().isolate(
+            NodeId::replica(0),
+            vec![NodeId::replica(1)],
+            SimTime(20),
+            SimTime(10),
+        );
+        assert!(matches!(
+            plan.validate(4, 0),
+            Err(FaultPlanError::EmptyInterval { index: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn apply_refuses_invalid_plan() {
+        use crate::net::{NetworkConfig, NetworkModel};
+        let mut sim: Simulation<u64> = Simulation::new(NetworkModel::new(NetworkConfig::lan()), 1);
+        let plan = FaultPlan::none().crash(NodeId::replica(9), SimTime(100));
+        assert!(plan.apply(&mut sim, 4, 0).is_err());
     }
 }

@@ -45,6 +45,7 @@
 #![warn(missing_docs)]
 
 pub mod audit;
+pub mod campaign;
 pub mod event;
 pub mod faults;
 pub mod metrics;
@@ -55,8 +56,9 @@ pub mod time;
 pub mod topology;
 
 pub use audit::SafetyAuditor;
+pub use campaign::{CampaignViolation, ChaosCase, ChaosProfile};
 pub use event::NodeId;
-pub use faults::FaultPlan;
+pub use faults::{FaultEvent, FaultPlan, FaultPlanError};
 pub use metrics::{LatencyStats, Metrics, NodeCounters};
 pub use net::{NetworkConfig, NetworkModel};
 pub use obs::{Observation, ObservationLog, Stage};

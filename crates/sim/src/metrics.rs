@@ -39,6 +39,8 @@ pub struct Metrics {
     clients: BTreeMap<u64, NodeCounters>,
     /// Messages dropped by the network (pre-GST loss, partitions).
     pub dropped: u64,
+    /// Messages duplicated by the network (post-GST duplication knob).
+    pub duplicated: u64,
     /// Messages suppressed because the topology forbids the link.
     pub topology_blocked: u64,
 }

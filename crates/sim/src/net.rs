@@ -16,6 +16,13 @@
 //! `delta` between correct nodes. Partitions block link sets during an
 //! interval; per-link overrides let experiments model slow replicas and
 //! geo-distributed latency matrices.
+//!
+//! Post-GST misbehavior stays within the model: the network may still
+//! *duplicate* a message (`dup_prob` — one bounded extra copy, each copy
+//! within Δ) and *reorder* messages (`reorder_prob` — a delivery is pushed
+//! later within the remaining Δ slack so later messages can overtake it).
+//! Both knobs default to zero and consume no randomness when disabled, so
+//! existing seeded runs are byte-identical.
 
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
@@ -42,6 +49,15 @@ pub struct NetworkConfig {
     /// Drop probability before GST (after GST the network is reliable
     /// between correct nodes, per the model).
     pub pre_gst_drop: f64,
+    /// Post-GST duplication probability: with this probability a delivered
+    /// message arrives twice (bounded duplication — at most one extra copy,
+    /// both within Δ). Zero disables the knob and consumes no randomness.
+    pub dup_prob: f64,
+    /// Post-GST reordering probability: with this probability a delivery is
+    /// delayed further, uniformly within the remaining Δ slack, so messages
+    /// sent later can overtake it. Zero disables the knob and consumes no
+    /// randomness.
+    pub reorder_prob: f64,
 }
 
 impl NetworkConfig {
@@ -55,6 +71,8 @@ impl NetworkConfig {
             gst: SimTime::ZERO,
             pre_gst_max: SimDuration::from_millis(50),
             pre_gst_drop: 0.0,
+            dup_prob: 0.0,
+            reorder_prob: 0.0,
         }
     }
 
@@ -67,6 +85,8 @@ impl NetworkConfig {
             gst: SimTime::ZERO,
             pre_gst_max: SimDuration::from_millis(2_000),
             pre_gst_drop: 0.0,
+            dup_prob: 0.0,
+            reorder_prob: 0.0,
         }
     }
 
@@ -91,6 +111,18 @@ impl NetworkConfig {
     /// Builder-style: set pre-GST drop probability.
     pub fn with_pre_gst_drop(mut self, p: f64) -> Self {
         self.pre_gst_drop = p;
+        self
+    }
+
+    /// Builder-style: set the post-GST duplication probability.
+    pub fn with_duplication(mut self, p: f64) -> Self {
+        self.dup_prob = p;
+        self
+    }
+
+    /// Builder-style: set the post-GST reordering probability.
+    pub fn with_reordering(mut self, p: f64) -> Self {
+        self.reorder_prob = p;
         self
     }
 }
@@ -128,6 +160,9 @@ pub struct NetworkModel {
 pub enum Delivery {
     /// Deliver after the given delay.
     After(SimDuration),
+    /// Deliver twice: the original copy and one duplicate, each after its
+    /// own delay (post-GST bounded duplication).
+    Duplicated(SimDuration, SimDuration),
     /// Drop silently.
     Dropped,
 }
@@ -204,13 +239,34 @@ impl NetworkModel {
             Delivery::After(SimDuration(d) + extra)
         } else {
             // Post-GST: base + jitter, capped at Δ.
-            let jitter = if self.config.jitter.0 > 0 {
-                rng.gen_range(0..=self.config.jitter.0)
-            } else {
-                0
-            };
-            let d = (self.config.base_delay.0 + jitter).min(self.config.delta.0);
-            Delivery::After(SimDuration(d) + extra)
+            let mut d =
+                (self.config.base_delay.0 + self.sample_jitter(rng)).min(self.config.delta.0);
+            // Bounded reordering: push this delivery later within the
+            // remaining Δ slack so messages sent afterwards can overtake it.
+            // The Δ bound between correct nodes still holds.
+            if self.config.reorder_prob > 0.0 && rng.gen_bool(self.config.reorder_prob) {
+                let slack = self.config.delta.0.saturating_sub(d);
+                if slack > 0 {
+                    d += rng.gen_range(0..=slack);
+                }
+            }
+            let first = SimDuration(d) + extra;
+            // Bounded duplication: at most one extra copy, independently
+            // delayed but also within Δ.
+            if self.config.dup_prob > 0.0 && rng.gen_bool(self.config.dup_prob) {
+                let d2 =
+                    (self.config.base_delay.0 + self.sample_jitter(rng)).min(self.config.delta.0);
+                return Delivery::Duplicated(first, SimDuration(d2) + extra);
+            }
+            Delivery::After(first)
+        }
+    }
+
+    fn sample_jitter(&self, rng: &mut ChaCha8Rng) -> u64 {
+        if self.config.jitter.0 > 0 {
+            rng.gen_range(0..=self.config.jitter.0)
+        } else {
+            0
         }
     }
 
@@ -242,9 +298,101 @@ mod tests {
                 NodeId::replica(1),
             ) {
                 Delivery::After(d) => assert!(d <= net.config.delta),
+                Delivery::Duplicated(..) => panic!("duplication knob is off"),
                 Delivery::Dropped => panic!("post-GST messages are never dropped"),
             }
         }
+    }
+
+    #[test]
+    fn zero_knobs_never_duplicate_or_reorder() {
+        // dup_prob = reorder_prob = 0 must never produce a duplicate and
+        // must leave the delay distribution at base + jitter (the regression
+        // guard for the experiments' byte-identical artifacts).
+        let net = NetworkModel::new(NetworkConfig::lan());
+        let mut r = rng();
+        for _ in 0..1000 {
+            match net.route(&mut r, SimTime(1), NodeId::replica(0), NodeId::replica(1)) {
+                Delivery::After(d) => {
+                    assert!(d <= net.config.base_delay + net.config.jitter);
+                }
+                other => panic!("zero knobs produced {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn duplication_is_bounded_and_post_gst_only() {
+        let cfg = NetworkConfig::lan()
+            .with_gst(SimTime(1_000))
+            .with_duplication(1.0);
+        let net = NetworkModel::new(cfg);
+        let mut r = rng();
+        // post-GST: every message duplicated exactly once, both copies ≤ Δ
+        for _ in 0..200 {
+            match net.route(
+                &mut r,
+                SimTime(2_000),
+                NodeId::replica(0),
+                NodeId::replica(1),
+            ) {
+                Delivery::Duplicated(a, b) => {
+                    assert!(a <= net.config.delta && b <= net.config.delta);
+                }
+                other => panic!("dup_prob = 1.0 post-GST produced {other:?}"),
+            }
+        }
+        // pre-GST: the duplication knob does not apply
+        for _ in 0..200 {
+            assert!(
+                !matches!(
+                    net.route(&mut r, SimTime(0), NodeId::replica(0), NodeId::replica(1)),
+                    Delivery::Duplicated(..)
+                ),
+                "duplication is a post-GST knob"
+            );
+        }
+    }
+
+    #[test]
+    fn reordering_stays_within_delta() {
+        let cfg = NetworkConfig::lan().with_reordering(1.0);
+        let net = NetworkModel::new(cfg);
+        let mut r = rng();
+        let mut max = SimDuration::ZERO;
+        for _ in 0..1000 {
+            match net.route(&mut r, SimTime(1), NodeId::replica(0), NodeId::replica(1)) {
+                Delivery::After(d) => {
+                    assert!(d <= net.config.delta, "reordered delay exceeds Δ");
+                    max = max.max(d);
+                }
+                other => panic!("reorder-only config produced {other:?}"),
+            }
+        }
+        // the knob actually spreads deliveries beyond base + jitter
+        assert!(max > net.config.base_delay + net.config.jitter);
+    }
+
+    #[test]
+    fn misbehavior_knobs_are_deterministic() {
+        // two same-seed runs with duplication + reordering enabled sample
+        // identical delivery streams; a different seed diverges
+        let cfg = NetworkConfig::lan()
+            .with_duplication(0.3)
+            .with_reordering(0.3);
+        let net = NetworkModel::new(cfg);
+        let sample = |seed: u64| -> Vec<Delivery> {
+            let mut r = ChaCha8Rng::seed_from_u64(seed);
+            (0..500)
+                .map(|_| net.route(&mut r, SimTime(1), NodeId::replica(0), NodeId::replica(1)))
+                .collect()
+        };
+        assert_eq!(sample(11), sample(11));
+        assert_ne!(sample(11), sample(12));
+        // and the knobs do fire at these probabilities
+        assert!(sample(11)
+            .iter()
+            .any(|d| matches!(d, Delivery::Duplicated(..))));
     }
 
     #[test]

@@ -235,6 +235,20 @@ impl<'a, M: WireSize> Context<'a, M> {
                     },
                 );
             }
+            Delivery::Duplicated(d1, d2) => {
+                // network-level duplication: one send, two deliveries
+                self.state.metrics.duplicated += 1;
+                for d in [d1, d2] {
+                    self.state.push(
+                        sent_at + d,
+                        to,
+                        EventKind::Deliver {
+                            from: self.node,
+                            msg: Arc::clone(msg),
+                        },
+                    );
+                }
+            }
             Delivery::Dropped => {
                 self.state.metrics.dropped += 1;
             }

@@ -18,13 +18,11 @@ fn main() {
     // ── 1. the equivocating leader ───────────────────────────────────────
     println!("1. EQUIVOCATION — the leader proposes different batches to");
     println!("   different halves of the backups for the same slot.\n");
-    let out = pbft::run(
-        &base,
-        &PbftOptions {
-            behaviors: vec![(ReplicaId(0), Behavior::Equivocate)],
-            ..Default::default()
-        },
-    );
+    let out = Protocol::Pbft(PbftOptions {
+        behaviors: vec![(ReplicaId(0), Behavior::Equivocate)],
+        ..Default::default()
+    })
+    .run(&base);
     SafetyAuditor::excluding(vec![NodeId::replica(0)]).assert_safe(&out.log);
     println!(
         "   detected {} equivocation attempts; safety audit PASSED — the",
@@ -39,13 +37,11 @@ fn main() {
 
     // ── 2. the silent leader ────────────────────────────────────────────
     println!("2. SILENCE — the leader simply never proposes.\n");
-    let out = pbft::run(
-        &base,
-        &PbftOptions {
-            behaviors: vec![(ReplicaId(0), Behavior::SilentLeader)],
-            ..Default::default()
-        },
-    );
+    let out = Protocol::Pbft(PbftOptions {
+        behaviors: vec![(ReplicaId(0), Behavior::SilentLeader)],
+        ..Default::default()
+    })
+    .run(&base);
     SafetyAuditor::excluding(vec![NodeId::replica(0)]).assert_safe(&out.log);
     println!(
         "   timer τ2 fired, the cluster moved to view {}, all {} requests completed.\n",
@@ -55,13 +51,11 @@ fn main() {
 
     // ── 3. the censoring leader ─────────────────────────────────────────
     println!("3. CENSORSHIP — the leader drops every request from client c1.\n");
-    let out = pbft::run(
-        &base,
-        &PbftOptions {
-            behaviors: vec![(ReplicaId(0), Behavior::Censor(ClientId(1)))],
-            ..Default::default()
-        },
-    );
+    let out = Protocol::Pbft(PbftOptions {
+        behaviors: vec![(ReplicaId(0), Behavior::Censor(ClientId(1)))],
+        ..Default::default()
+    })
+    .run(&base);
     SafetyAuditor::excluding(vec![NodeId::replica(0)]).assert_safe(&out.log);
     let lat = |c: u64| -> f64 {
         let mut sum = 0.0;
@@ -93,15 +87,13 @@ fn main() {
         .with_load(8, 10)
         .with_batch(4)
         .with_workload(WorkloadConfig::uniform().with_work(300));
-    let honest = pbft::run(&loaded, &PbftOptions::default());
-    let fr = pbft::run(
-        &loaded,
-        &PbftOptions {
-            behaviors: vec![(ReplicaId(0), Behavior::Favor(ClientId(3)))],
-            ..Default::default()
-        },
-    );
-    let fair_run = fair::run(&loaded);
+    let honest = ProtocolId::Pbft.run(&loaded);
+    let fr = Protocol::Pbft(PbftOptions {
+        behaviors: vec![(ReplicaId(0), Behavior::Favor(ClientId(3)))],
+        ..Default::default()
+    })
+    .run(&loaded);
+    let fair_run = ProtocolId::Fair.run(&loaded);
     SafetyAuditor::excluding(vec![NodeId::replica(0)]).assert_safe(&fr.log);
     SafetyAuditor::all_correct().assert_safe(&fair_run.log);
     println!(
@@ -117,17 +109,12 @@ fn main() {
     println!("5. DELAY ATTACK — the leader stays just below the view-change");
     println!("   timeout (P1 robust / DC12).\n");
     let d = SimDuration::from_millis(25);
-    let pb = pbft::run(
-        &base,
-        &PbftOptions {
-            behaviors: vec![(ReplicaId(0), Behavior::DelayLeader(d))],
-            ..Default::default()
-        },
-    );
-    let pr = prime::run(
-        &base,
-        &[(ReplicaId(0), prime::PrimeBehavior::DelayLeader(d))],
-    );
+    let pb = Protocol::Pbft(PbftOptions {
+        behaviors: vec![(ReplicaId(0), Behavior::DelayLeader(d))],
+        ..Default::default()
+    })
+    .run(&base);
+    let pr = Protocol::Prime(vec![(ReplicaId(0), prime::PrimeBehavior::DelayLeader(d))]).run(&base);
     SafetyAuditor::excluding(vec![NodeId::replica(0)]).assert_safe(&pr.log);
     let tput = |o: &untrusted_txn::sim::runner::RunOutcome| {
         o.log.client_latencies().len() as f64 / (o.end_time.0 as f64 / 1e9)

@@ -37,38 +37,38 @@ fn main() {
 
     let mut rows: Vec<(&str, f64, f64)> = vec![(
         "Zyzzyva (1 phase)",
-        mean_ms(&zyzzyva::run(&lan, ZyzzyvaVariant::Classic)),
-        mean_ms(&zyzzyva::run(&wan, ZyzzyvaVariant::Classic)),
+        mean_ms(&ProtocolId::Zyzzyva.run(&lan)),
+        mean_ms(&ProtocolId::Zyzzyva.run(&wan)),
     )];
     rows.push((
         "FaB (2 phases)",
-        mean_ms(&fab::run(&lan)),
-        mean_ms(&fab::run(&wan)),
+        mean_ms(&ProtocolId::Fab.run(&lan)),
+        mean_ms(&ProtocolId::Fab.run(&wan)),
     ));
     rows.push((
         "PBFT (3 phases)",
-        mean_ms(&pbft::run(&lan, &PbftOptions::default())),
-        mean_ms(&pbft::run(&wan, &PbftOptions::default())),
+        mean_ms(&ProtocolId::Pbft.run(&lan)),
+        mean_ms(&ProtocolId::Pbft.run(&wan)),
     ));
     rows.push((
         "SBFT (5 linear phases)",
-        mean_ms(&sbft::run(&lan)),
-        mean_ms(&sbft::run(&wan)),
+        mean_ms(&ProtocolId::Sbft.run(&lan)),
+        mean_ms(&ProtocolId::Sbft.run(&wan)),
     ));
     rows.push((
         "HotStuff (7 linear phases)",
-        mean_ms(&hotstuff::run(&lan)),
-        mean_ms(&hotstuff::run(&wan)),
+        mean_ms(&ProtocolId::HotStuff.run(&lan)),
+        mean_ms(&ProtocolId::HotStuff.run(&wan)),
     ));
     rows.push((
         "Tendermint (Δ-wait)",
-        mean_ms(&tendermint::run(&lan, false)),
-        mean_ms(&tendermint::run(&wan, false)),
+        mean_ms(&ProtocolId::Tendermint.run(&lan)),
+        mean_ms(&ProtocolId::Tendermint.run(&wan)),
     ));
     rows.push((
         "Tendermint + informed",
-        mean_ms(&tendermint::run(&lan, true)),
-        mean_ms(&tendermint::run(&wan, true)),
+        mean_ms(&ProtocolId::TendermintInformed.run(&lan)),
+        mean_ms(&ProtocolId::TendermintInformed.run(&wan)),
     ));
 
     for (name, l, w) in &rows {

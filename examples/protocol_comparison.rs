@@ -46,73 +46,73 @@ fn main() {
     );
 
     // PBFT: the pessimistic baseline — steady everywhere, never the fastest
-    let pbft_attacked = pbft::run(
-        &free,
-        &PbftOptions {
-            behaviors: vec![(ReplicaId(0), Behavior::DelayLeader(delay))],
-            ..Default::default()
-        },
-    );
+    let pbft_attacked = Protocol::Pbft(PbftOptions {
+        behaviors: vec![(ReplicaId(0), Behavior::DelayLeader(delay))],
+        ..Default::default()
+    })
+    .run(&free);
     row(
         "PBFT (pessimistic)",
-        mean_ms(&pbft::run(&free, &PbftOptions::default())),
-        mean_ms(&pbft::run(&crash, &PbftOptions::default())),
+        mean_ms(&ProtocolId::Pbft.run(&free)),
+        mean_ms(&ProtocolId::Pbft.run(&crash)),
         mean_ms(&pbft_attacked),
     );
 
     // Zyzzyva: spectacular fault-free, cliff on any fault
     row(
         "Zyzzyva (speculative)",
-        mean_ms(&zyzzyva::run(&free, ZyzzyvaVariant::Classic)),
-        mean_ms(&zyzzyva::run(&crash, ZyzzyvaVariant::Classic)),
+        mean_ms(&ProtocolId::Zyzzyva.run(&free)),
+        mean_ms(&ProtocolId::Zyzzyva.run(&crash)),
         f64::NAN,
     );
 
     // Zyzzyva5: pays 2f extra replicas to keep the fast path under faults
     row(
         "Zyzzyva5 (5f+1)",
-        mean_ms(&zyzzyva::run(&free, ZyzzyvaVariant::Five)),
-        mean_ms(&zyzzyva::run(
-            &free
-                .clone()
-                .with_faults(FaultPlan::none().crash(NodeId::replica(3), SimTime::ZERO)),
-            ZyzzyvaVariant::Five,
-        )),
+        mean_ms(&ProtocolId::Zyzzyva5.run(&free)),
+        mean_ms(
+            &ProtocolId::Zyzzyva5.run(
+                &free
+                    .clone()
+                    .with_faults(FaultPlan::none().crash(NodeId::replica(3), SimTime::ZERO)),
+            ),
+        ),
         f64::NAN,
     );
 
     // FaB: two phases bought with 5f+1 replicas
     row(
         "FaB (2-phase, 5f+1)",
-        mean_ms(&fab::run(&free)),
-        mean_ms(&fab::run(&crash)),
+        mean_ms(&ProtocolId::Fab.run(&free)),
+        mean_ms(&ProtocolId::Fab.run(&crash)),
         f64::NAN,
     );
 
     // SBFT: linear messages, fast path needs everyone
     row(
         "SBFT (collector)",
-        mean_ms(&sbft::run(&free)),
-        mean_ms(&sbft::run(&crash)),
+        mean_ms(&ProtocolId::Sbft.run(&free)),
+        mean_ms(&ProtocolId::Sbft.run(&crash)),
         f64::NAN,
     );
 
     // HotStuff: rotation + linearity; fault-free latency pays for it
     row(
         "HotStuff (rotating)",
-        mean_ms(&hotstuff::run(&free)),
-        mean_ms(&hotstuff::run(&crash)),
+        mean_ms(&ProtocolId::HotStuff.run(&free)),
+        mean_ms(&ProtocolId::HotStuff.run(&crash)),
         f64::NAN,
     );
 
     // Prime: robust — the only one that stays healthy under the delay attack
-    let prime_attacked = prime::run(
-        &free,
-        &[(ReplicaId(0), prime::PrimeBehavior::DelayLeader(delay))],
-    );
+    let prime_attacked = Protocol::Prime(vec![(
+        ReplicaId(0),
+        prime::PrimeBehavior::DelayLeader(delay),
+    )])
+    .run(&free);
     row(
         "Prime (robust)",
-        mean_ms(&prime::run(&free, &[])),
+        mean_ms(&ProtocolId::Prime.run(&free)),
         f64::NAN,
         mean_ms(&prime_attacked),
     );

@@ -13,7 +13,7 @@ fn main() {
     let scenario = Scenario::small(1).with_load(2, 25);
 
     println!("running PBFT: n = 4, f = 1, 2 clients × 25 transactions…\n");
-    let outcome = pbft::run(&scenario, &PbftOptions::default());
+    let outcome = ProtocolId::Pbft.run(&scenario);
 
     // Safety is never taken on faith: the auditor replays the observation
     // log and panics if any two correct replicas committed different
@@ -53,7 +53,7 @@ fn main() {
     let crash = scenario
         .clone()
         .with_faults(FaultPlan::none().crash(NodeId::replica(0), SimTime(5_000_000)));
-    let outcome = pbft::run(&crash, &PbftOptions::default());
+    let outcome = ProtocolId::Pbft.run(&crash);
     SafetyAuditor::excluding(vec![NodeId::replica(0)]).assert_safe(&outcome.log);
     let report = RunReport::from_outcome("PBFT+crash", 4, 1, &outcome);
     println!("{}", report.table_row());

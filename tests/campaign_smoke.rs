@@ -1,0 +1,115 @@
+//! The CI smoke chaos campaign.
+//!
+//! Three gates:
+//!
+//! 1. the fixed-seed smoke campaign is clean for every registry entry
+//!    (safety always, liveness within each protocol's tolerance envelope);
+//! 2. its report is byte-identical across repeated runs and thread counts;
+//! 3. a deliberately broken protocol (PBFT with its view change disabled —
+//!    the test-only sabotage hook) is caught, ddmin-shrunk to a minimal
+//!    reproducing fault plan, and reported with its replay seed.
+
+use bft_bench::campaign::{
+    profile_for, run_campaign, run_case_with, CampaignConfig, CampaignReport,
+};
+use bft_protocols::pbft::{PbftOptions, PbftSabotage};
+use bft_protocols::registry::{registry, Protocol, ProtocolId};
+
+#[test]
+fn smoke_campaign_is_clean() {
+    let report = run_campaign(&CampaignConfig::smoke(), 1);
+    assert_eq!(
+        report.results.len(),
+        ProtocolId::ALL.len() * CampaignConfig::smoke().seeds.len()
+    );
+    assert!(
+        report.failures().is_empty(),
+        "smoke campaign found violations:\n{}",
+        report.render()
+    );
+}
+
+#[test]
+fn smoke_campaign_is_deterministic_across_threads() {
+    let cfg = CampaignConfig::smoke();
+    let sequential = run_campaign(&cfg, 1).render();
+    for threads in [2, 4] {
+        assert_eq!(
+            sequential,
+            run_campaign(&cfg, threads).render(),
+            "report differs at {threads} worker threads"
+        );
+    }
+    // and across repeated runs
+    assert_eq!(sequential, run_campaign(&cfg, 1).render());
+}
+
+#[test]
+fn sabotaged_pbft_is_caught_and_shrunk() {
+    let cfg = CampaignConfig::smoke();
+    let entry = registry()
+        .into_iter()
+        .find(|e| e.id == ProtocolId::Pbft)
+        .unwrap();
+    let profile = profile_for(&entry, cfg.f, cfg.clients as u64);
+    let broken = |s: &bft_protocols::Scenario| {
+        Protocol::Pbft(PbftOptions {
+            sabotage: PbftSabotage::DisableViewChange,
+            ..Default::default()
+        })
+        .run(s)
+    };
+
+    // Scan for a seed where the sabotage bites *because of the fault
+    // schedule* (a GST drop storm alone can also strand view-change-less
+    // PBFT, but then there is no plan to shrink).
+    let mut caught = None;
+    for seed in 0..50 {
+        let r = run_case_with(broken, ProtocolId::Pbft, &cfg, &profile, seed);
+        if r.violation.is_some()
+            && r.minimal_plan
+                .as_ref()
+                .is_some_and(|p| !p.events.is_empty())
+        {
+            // The same case must be clean for stock PBFT: the campaign is
+            // detecting the planted bug, not an out-of-envelope schedule.
+            let stock = run_case_with(
+                |s| ProtocolId::Pbft.run(s),
+                ProtocolId::Pbft,
+                &cfg,
+                &profile,
+                seed,
+            );
+            assert!(
+                stock.violation.is_none(),
+                "seed {seed} fails even without sabotage: {:?}",
+                stock.violation
+            );
+            caught = Some(r);
+            break;
+        }
+    }
+    let r = caught.expect("no seed within 0..50 exercised the sabotaged view-change path");
+
+    // ddmin shrank the schedule to a minimal reproducing plan: disabling
+    // the view change only bites once the schedule makes a view change
+    // necessary, so the minimal plan is the crash (or crash + recover) of
+    // the leader and nothing else.
+    let min = r
+        .minimal_plan
+        .clone()
+        .expect("violation must come with a minimized plan");
+    assert!(
+        !min.events.is_empty() && min.events.len() <= 2,
+        "expected a 1-2 event minimal plan, got {:?}",
+        min.events
+    );
+
+    // ...and the report names the replay seed.
+    let report = CampaignReport { results: vec![r] };
+    let rendered = report.render();
+    assert!(
+        rendered.contains("replay: campaign seed"),
+        "report must print the replay seed:\n{rendered}"
+    );
+}

@@ -22,19 +22,19 @@ fn all_ordering_protocols_agree_on_final_state() {
     // execute the identical command sequence, hence end in identical state
     let s = Scenario::small(1).with_load(1, 20);
     let outs: Vec<(&str, RunOutcome)> = vec![
-        ("PBFT", pbft::run(&s, &PbftOptions::default())),
-        ("Zyzzyva", zyzzyva::run(&s, ZyzzyvaVariant::Classic)),
-        ("SBFT", sbft::run(&s)),
-        ("HotStuff", hotstuff::run(&s)),
-        ("Tendermint", tendermint::run(&s, false)),
-        ("PoE", poe::run(&s, &[])),
-        ("FaB", fab::run(&s)),
-        ("CheapBFT", cheap::run(&s)),
-        ("Prime", prime::run(&s, &[])),
-        ("Fair", fair::run(&s)),
-        ("Kauri", kauri::run(&s, 2)),
-        ("MinBFT", minbft::run(&s)),
-        ("Chain", chain::run(&s)),
+        ("PBFT", ProtocolId::Pbft.run(&s)),
+        ("Zyzzyva", ProtocolId::Zyzzyva.run(&s)),
+        ("SBFT", ProtocolId::Sbft.run(&s)),
+        ("HotStuff", ProtocolId::HotStuff.run(&s)),
+        ("Tendermint", ProtocolId::Tendermint.run(&s)),
+        ("PoE", ProtocolId::Poe.run(&s)),
+        ("FaB", ProtocolId::Fab.run(&s)),
+        ("CheapBFT", ProtocolId::Cheap.run(&s)),
+        ("Prime", ProtocolId::Prime.run(&s)),
+        ("Fair", ProtocolId::Fair.run(&s)),
+        ("Kauri", ProtocolId::Kauri.run(&s)),
+        ("MinBFT", ProtocolId::MinBft.run(&s)),
+        ("Chain", ProtocolId::Chain.run(&s)),
     ];
     let reference = final_state_digest(&outs[0].1, 1).expect("PBFT executed something");
     for (name, out) in &outs {
@@ -72,32 +72,26 @@ fn every_protocol_is_deterministic() {
             );
         }};
     }
-    det!("PBFT", pbft::run(&s, &PbftOptions::default()));
-    det!("Zyzzyva", zyzzyva::run(&s, ZyzzyvaVariant::Classic));
-    det!("SBFT", sbft::run(&s));
-    det!("HotStuff", hotstuff::run(&s));
-    det!("Tendermint", tendermint::run(&s, false));
-    det!("PoE", poe::run(&s, &[]));
-    det!("FaB", fab::run(&s));
-    det!("CheapBFT", cheap::run(&s));
-    det!("Prime", prime::run(&s, &[]));
-    det!("Fair", fair::run(&s));
-    det!("Kauri", kauri::run(&s, 2));
-    det!("MinBFT", minbft::run(&s));
-    det!("Chain", chain::run(&s));
-    det!("Q/U", qu::run(&s));
+    det!("PBFT", ProtocolId::Pbft.run(&s));
+    det!("Zyzzyva", ProtocolId::Zyzzyva.run(&s));
+    det!("SBFT", ProtocolId::Sbft.run(&s));
+    det!("HotStuff", ProtocolId::HotStuff.run(&s));
+    det!("Tendermint", ProtocolId::Tendermint.run(&s));
+    det!("PoE", ProtocolId::Poe.run(&s));
+    det!("FaB", ProtocolId::Fab.run(&s));
+    det!("CheapBFT", ProtocolId::Cheap.run(&s));
+    det!("Prime", ProtocolId::Prime.run(&s));
+    det!("Fair", ProtocolId::Fair.run(&s));
+    det!("Kauri", ProtocolId::Kauri.run(&s));
+    det!("MinBFT", ProtocolId::MinBft.run(&s));
+    det!("Chain", ProtocolId::Chain.run(&s));
+    det!("Q/U", ProtocolId::Qu.run(&s));
 }
 
 #[test]
 fn seed_changes_the_microtiming_but_not_the_outcome() {
-    let a = pbft::run(
-        &Scenario::small(1).with_load(1, 10).with_seed(1),
-        &PbftOptions::default(),
-    );
-    let b = pbft::run(
-        &Scenario::small(1).with_load(1, 10).with_seed(2),
-        &PbftOptions::default(),
-    );
+    let a = ProtocolId::Pbft.run(&Scenario::small(1).with_load(1, 10).with_seed(1));
+    let b = ProtocolId::Pbft.run(&Scenario::small(1).with_load(1, 10).with_seed(2));
     // different jitter draws → different per-request latencies…
     let lat_sum =
         |o: &RunOutcome| -> u64 { o.log.client_latencies().iter().map(|(_, d)| d.0).sum() };
@@ -110,14 +104,8 @@ fn seed_changes_the_microtiming_but_not_the_outcome() {
 
 #[test]
 fn batching_preserves_final_state() {
-    let unbatched = pbft::run(
-        &Scenario::small(1).with_load(4, 10).with_batch(1),
-        &PbftOptions::default(),
-    );
-    let batched = pbft::run(
-        &Scenario::small(1).with_load(4, 10).with_batch(8),
-        &PbftOptions::default(),
-    );
+    let unbatched = ProtocolId::Pbft.run(&Scenario::small(1).with_load(4, 10).with_batch(1));
+    let batched = ProtocolId::Pbft.run(&Scenario::small(1).with_load(4, 10).with_batch(8));
     assert_eq!(unbatched.log.client_latencies().len(), 40);
     assert_eq!(batched.log.client_latencies().len(), 40);
     // same per-client request streams; with multiple clients the interleaving

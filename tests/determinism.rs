@@ -5,7 +5,7 @@
 //! serialized, and the parallel experiment harness must produce exactly the
 //! results a sequential run produces, at any thread count.
 
-use bft_protocols::pbft::{self, PbftOptions};
+use bft_protocols::ProtocolId;
 use bft_protocols::Scenario;
 
 fn outcome_json(out: &bft_sim::runner::RunOutcome) -> (String, String) {
@@ -18,16 +18,16 @@ fn outcome_json(out: &bft_sim::runner::RunOutcome) -> (String, String) {
 #[test]
 fn same_scenario_and_seed_reproduce_identical_logs_and_metrics() {
     let s = Scenario::small(1).with_load(2, 10);
-    let (log, metrics) = outcome_json(&pbft::run(&s, &PbftOptions::default()));
+    let (log, metrics) = outcome_json(&ProtocolId::Pbft.run(&s));
     for _ in 0..2 {
-        let (log2, metrics2) = outcome_json(&pbft::run(&s, &PbftOptions::default()));
+        let (log2, metrics2) = outcome_json(&ProtocolId::Pbft.run(&s));
         assert_eq!(log, log2, "observation log diverged across identical runs");
         assert_eq!(metrics, metrics2, "metrics diverged across identical runs");
     }
     // guard against the comparison trivially passing on constant output: a
     // different seed must actually change the run
     let reseeded = s.with_seed(43);
-    let (log3, _) = outcome_json(&pbft::run(&reseeded, &PbftOptions::default()));
+    let (log3, _) = outcome_json(&ProtocolId::Pbft.run(&reseeded));
     assert_ne!(log, log3, "seed had no effect on the run");
 }
 

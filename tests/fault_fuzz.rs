@@ -52,7 +52,7 @@ proptest! {
             .with_load(1, REQS)
             .with_seed(seed)
             .with_faults(plan(&s));
-        let out = pbft::run(&scenario, &PbftOptions::default());
+        let out = ProtocolId::Pbft.run(&scenario);
         SafetyAuditor::excluding(vec![NodeId::replica(s.victim)]).assert_safe(&out.log);
         prop_assert_eq!(out.log.client_latencies().len() as u64, REQS,
             "liveness lost under {:?}", s);
@@ -65,7 +65,7 @@ proptest! {
             .with_load(1, REQS)
             .with_seed(seed)
             .with_faults(plan(&s));
-        let out = hotstuff::run(&scenario);
+        let out = ProtocolId::HotStuff.run(&scenario);
         SafetyAuditor::excluding(vec![NodeId::replica(s.victim)]).assert_safe(&out.log);
         prop_assert_eq!(out.log.client_latencies().len() as u64, REQS,
             "liveness lost under {:?}", s);
@@ -79,7 +79,7 @@ proptest! {
             .with_load(1, REQS)
             .with_seed(seed)
             .with_faults(plan(&s));
-        let out = zyzzyva::run(&scenario, ZyzzyvaVariant::Classic);
+        let out = ProtocolId::Zyzzyva.run(&scenario);
         SafetyAuditor::excluding(vec![NodeId::replica(s.victim)]).assert_safe(&out.log);
         prop_assert_eq!(out.log.client_latencies().len() as u64, REQS,
             "liveness lost under {:?}", s);
@@ -92,7 +92,7 @@ proptest! {
             .with_load(1, REQS)
             .with_seed(seed)
             .with_faults(plan(&s));
-        let out = sbft::run(&scenario);
+        let out = ProtocolId::Sbft.run(&scenario);
         SafetyAuditor::excluding(vec![NodeId::replica(s.victim)]).assert_safe(&out.log);
         prop_assert_eq!(out.log.client_latencies().len() as u64, REQS,
             "liveness lost under {:?}", s);
@@ -106,7 +106,7 @@ proptest! {
             .with_load(1, REQS)
             .with_seed(seed)
             .with_faults(plan(&s));
-        let out = poe::run(&scenario, &[]);
+        let out = ProtocolId::Poe.run(&scenario);
         SafetyAuditor::excluding(vec![NodeId::replica(s.victim)]).assert_safe(&out.log);
         prop_assert_eq!(out.log.client_latencies().len() as u64, REQS,
             "liveness lost under {:?}", s);
@@ -119,7 +119,7 @@ proptest! {
             .with_load(1, REQS)
             .with_seed(seed)
             .with_faults(plan(&s));
-        let out = fab::run(&scenario);
+        let out = ProtocolId::Fab.run(&scenario);
         SafetyAuditor::excluding(vec![NodeId::replica(s.victim)]).assert_safe(&out.log);
         prop_assert_eq!(out.log.client_latencies().len() as u64, REQS,
             "liveness lost under {:?}", s);
@@ -132,7 +132,7 @@ proptest! {
             .with_load(1, REQS)
             .with_seed(seed)
             .with_faults(plan(&s));
-        let out = tendermint::run(&scenario, false);
+        let out = ProtocolId::Tendermint.run(&scenario);
         SafetyAuditor::excluding(vec![NodeId::replica(s.victim)]).assert_safe(&out.log);
         prop_assert_eq!(out.log.client_latencies().len() as u64, REQS,
             "liveness lost under {:?}", s);
@@ -145,7 +145,7 @@ proptest! {
             .with_load(1, REQS)
             .with_seed(seed)
             .with_faults(plan(&s));
-        let out = minbft::run(&scenario);
+        let out = ProtocolId::MinBft.run(&scenario);
         SafetyAuditor::excluding(vec![NodeId::replica(s.victim)]).assert_safe(&out.log);
         prop_assert_eq!(out.log.client_latencies().len() as u64, REQS,
             "liveness lost under {:?}", s);
@@ -173,7 +173,7 @@ proptest! {
                 SimTime(from_us * 1_000),
                 SimTime((from_us + len_us) * 1_000),
             ));
-        let out = pbft::run(&scenario, &PbftOptions::default());
+        let out = ProtocolId::Pbft.run(&scenario);
         SafetyAuditor::all_correct().assert_safe(&out.log);
         prop_assert_eq!(out.log.client_latencies().len() as u64, REQS);
     }
@@ -189,10 +189,7 @@ proptest! {
             _ => Behavior::Favor(ClientId(0)),
         };
         let scenario = Scenario::small(1).with_load(2, 6).with_seed(seed);
-        let out = pbft::run(
-            &scenario,
-            &PbftOptions { behaviors: vec![(ReplicaId(0), behavior)], ..Default::default() },
-        );
+        let out = Protocol::Pbft(PbftOptions { behaviors: vec![(ReplicaId(0), behavior)], ..Default::default() }).run(&scenario);
         SafetyAuditor::excluding(vec![NodeId::replica(0)]).assert_safe(&out.log);
         // liveness too: every behavior in the gallery is recoverable
         prop_assert_eq!(out.log.client_latencies().len() as u64, 12);
@@ -207,7 +204,7 @@ fn pbft_is_live_after_gst() {
         .with_gst(SimTime(80_000_000))
         .with_pre_gst_drop(0.2);
     let s = Scenario::small(1).with_load(1, 10).with_network(net);
-    let out = pbft::run(&s, &PbftOptions::default());
+    let out = ProtocolId::Pbft.run(&s);
     SafetyAuditor::all_correct().assert_safe(&out.log);
     assert_eq!(
         out.log.client_latencies().len(),
@@ -234,7 +231,7 @@ fn two_fault_budget_holds_at_f2() {
             .crash(NodeId::replica(3), SimTime(1_000_000))
             .crash(NodeId::replica(5), SimTime(3_000_000)),
     );
-    let out = pbft::run(&s, &PbftOptions::default());
+    let out = ProtocolId::Pbft.run(&s);
     SafetyAuditor::excluding(vec![NodeId::replica(3), NodeId::replica(5)]).assert_safe(&out.log);
     assert_eq!(out.log.client_latencies().len(), 10);
 }
@@ -249,7 +246,7 @@ fn exceeding_f_crashes_stalls_but_stays_safe() {
             .crash(NodeId::replica(2), SimTime(2_000_000))
             .crash(NodeId::replica(3), SimTime(2_000_000)),
     );
-    let out = pbft::run(&s, &PbftOptions::default());
+    let out = ProtocolId::Pbft.run(&s);
     SafetyAuditor::excluding(vec![NodeId::replica(2), NodeId::replica(3)]).assert_safe(&out.log);
     assert!(
         (out.log.client_latencies().len() as u64) < 10,

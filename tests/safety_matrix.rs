@@ -49,7 +49,7 @@ fn check(name: &str, scenario_name: &str, out: &RunOutcome, faulty: &[u32], expe
 #[test]
 fn pbft_matrix() {
     for (sname, s, faulty) in scenarios() {
-        let out = pbft::run(&s, &PbftOptions::default());
+        let out = ProtocolId::Pbft.run(&s);
         check("PBFT", sname, &out, &faulty, s.total_requests());
     }
 }
@@ -57,7 +57,7 @@ fn pbft_matrix() {
 #[test]
 fn zyzzyva_matrix() {
     for (sname, s, faulty) in scenarios() {
-        let out = zyzzyva::run(&s, ZyzzyvaVariant::Classic);
+        let out = ProtocolId::Zyzzyva.run(&s);
         check("Zyzzyva", sname, &out, &faulty, s.total_requests());
     }
 }
@@ -65,7 +65,7 @@ fn zyzzyva_matrix() {
 #[test]
 fn sbft_matrix() {
     for (sname, s, faulty) in scenarios() {
-        let out = sbft::run(&s);
+        let out = ProtocolId::Sbft.run(&s);
         check("SBFT", sname, &out, &faulty, s.total_requests());
     }
 }
@@ -73,7 +73,7 @@ fn sbft_matrix() {
 #[test]
 fn hotstuff_matrix() {
     for (sname, s, faulty) in scenarios() {
-        let out = hotstuff::run(&s);
+        let out = ProtocolId::HotStuff.run(&s);
         check("HotStuff", sname, &out, &faulty, s.total_requests());
     }
 }
@@ -81,7 +81,7 @@ fn hotstuff_matrix() {
 #[test]
 fn tendermint_matrix() {
     for (sname, s, faulty) in scenarios() {
-        let out = tendermint::run(&s, false);
+        let out = ProtocolId::Tendermint.run(&s);
         check("Tendermint", sname, &out, &faulty, s.total_requests());
     }
 }
@@ -89,7 +89,7 @@ fn tendermint_matrix() {
 #[test]
 fn poe_matrix() {
     for (sname, s, faulty) in scenarios() {
-        let out = poe::run(&s, &[]);
+        let out = ProtocolId::Poe.run(&s);
         check("PoE", sname, &out, &faulty, s.total_requests());
     }
 }
@@ -97,7 +97,7 @@ fn poe_matrix() {
 #[test]
 fn fab_matrix() {
     for (sname, s, faulty) in scenarios() {
-        let out = fab::run(&s);
+        let out = ProtocolId::Fab.run(&s);
         check("FaB", sname, &out, &faulty, s.total_requests());
     }
 }
@@ -110,7 +110,7 @@ fn cheap_matrix() {
         if sname == "leader crash mid-run" {
             continue;
         }
-        let out = cheap::run(&s);
+        let out = ProtocolId::Cheap.run(&s);
         check("CheapBFT", sname, &out, &faulty, s.total_requests());
     }
 }
@@ -118,7 +118,7 @@ fn cheap_matrix() {
 #[test]
 fn prime_matrix() {
     for (sname, s, faulty) in scenarios() {
-        let out = prime::run(&s, &[]);
+        let out = ProtocolId::Prime.run(&s);
         check("Prime", sname, &out, &faulty, s.total_requests());
     }
 }
@@ -126,7 +126,7 @@ fn prime_matrix() {
 #[test]
 fn fair_matrix() {
     for (sname, s, faulty) in scenarios() {
-        let out = fair::run(&s);
+        let out = ProtocolId::Fair.run(&s);
         check("Fair", sname, &out, &faulty, s.total_requests());
     }
 }
@@ -134,7 +134,7 @@ fn fair_matrix() {
 #[test]
 fn kauri_matrix() {
     for (sname, s, faulty) in scenarios() {
-        let out = kauri::run(&s, 2);
+        let out = ProtocolId::Kauri.run(&s);
         check("Kauri", sname, &out, &faulty, s.total_requests());
     }
 }
@@ -153,11 +153,11 @@ fn minbft_matrix() {
                     SimTime(1_000_000),
                     SimTime(30_000_000),
                 ));
-            let out = minbft::run(&s);
+            let out = ProtocolId::MinBft.run(&s);
             check("MinBFT", sname, &out, &[], s.total_requests());
             continue;
         }
-        let out = minbft::run(&s);
+        let out = ProtocolId::MinBft.run(&s);
         check("MinBFT", sname, &out, &faulty, s.total_requests());
     }
 }
@@ -170,7 +170,7 @@ fn chain_matrix() {
                       // a crashed one mid-pipeline; reconfiguration excludes
                       // it and the healed node stays excluded (documented)
         }
-        let out = chain::run(&s);
+        let out = ProtocolId::Chain.run(&s);
         check("Chain", sname, &out, &faulty, s.total_requests());
     }
 }
@@ -180,11 +180,11 @@ fn qu_conflict_free_matrix() {
     // Q/U has no ordering: run it fault-free and with a crashed replica
     // (4f+1 of 5f+1 still reachable)
     let s = Scenario::small(1).with_load(2, REQS);
-    let out = qu::run(&s);
+    let out = ProtocolId::Qu.run(&s);
     assert_eq!(out.log.client_latencies().len() as u64, s.total_requests());
     let s = Scenario::small(1)
         .with_load(2, REQS)
         .with_faults(FaultPlan::none().crash(NodeId::replica(5), SimTime::ZERO));
-    let out = qu::run(&s);
+    let out = ProtocolId::Qu.run(&s);
     assert_eq!(out.log.client_latencies().len() as u64, s.total_requests());
 }

@@ -24,7 +24,7 @@ fn pbft_large_cluster_compound_faults() {
                 ),
         );
     s.checkpoint_interval = 32;
-    let out = pbft::run(&s, &PbftOptions::default());
+    let out = ProtocolId::Pbft.run(&s);
     SafetyAuditor::excluding(vec![NodeId::replica(7)]).assert_safe(&out.log);
     assert_eq!(
         out.log.client_latencies().len(),
@@ -45,7 +45,7 @@ fn hotstuff_wan_with_crash() {
         .with_load(1, 30)
         .with_network(NetworkConfig::wan())
         .with_faults(FaultPlan::none().crash(NodeId::replica(3), SimTime(50_000_000)));
-    let out = hotstuff::run(&s);
+    let out = ProtocolId::HotStuff.run(&s);
     SafetyAuditor::excluding(vec![NodeId::replica(3)]).assert_safe(&out.log);
     assert_eq!(out.log.client_latencies().len(), 30);
 }
@@ -58,7 +58,7 @@ fn zyzzyva_sustained_slow_path() {
     let s = Scenario::small(1)
         .with_load(2, 60)
         .with_faults(FaultPlan::none().crash(NodeId::replica(3), SimTime::ZERO));
-    let out = zyzzyva::run(&s, ZyzzyvaVariant::Classic);
+    let out = ProtocolId::Zyzzyva.run(&s);
     SafetyAuditor::excluding(vec![NodeId::replica(3)]).assert_safe(&out.log);
     assert_eq!(out.log.client_latencies().len(), 120);
     let fast = out.log.count(|e| {
@@ -86,7 +86,7 @@ fn mixed_contention_many_clients() {
         .with_workload(untrusted_txn::core::workload::WorkloadConfig::contended(
             0.8,
         ));
-    let out = pbft::run(&s, &PbftOptions::default());
+    let out = ProtocolId::Pbft.run(&s);
     SafetyAuditor::all_correct().assert_safe(&out.log);
     assert_eq!(out.log.client_latencies().len(), 300);
 }
@@ -100,7 +100,7 @@ fn long_view_change_cascade() {
             .crash(NodeId::replica(0), SimTime(3_000_000))
             .crash(NodeId::replica(1), SimTime(3_000_000)),
     );
-    let out = pbft::run(&s, &PbftOptions::default());
+    let out = ProtocolId::Pbft.run(&s);
     SafetyAuditor::excluding(vec![NodeId::replica(0), NodeId::replica(1)]).assert_safe(&out.log);
     assert!(
         out.log.max_view() >= View(2),
