@@ -1,15 +1,23 @@
 //! The chaos-campaign bench target.
 //!
 //! Hammers every protocol in the unified registry under randomized,
-//! seed-reproducible adversarial schedules (crash/recover churn, healed
-//! partitions and isolation, slow links, pre-GST drop storms, post-GST
-//! duplication and reordering), checking safety and liveness on every run
-//! and ddmin-shrinking any failure to a minimal reproducing fault plan.
+//! seed-reproducible adversarial schedules, checking safety and liveness on
+//! every run and ddmin-shrinking any failure to a minimal reproducer. Two
+//! modes:
+//!
+//! * default: crash/recover churn, healed partitions and isolation, slow
+//!   links, pre-GST drop storms, post-GST duplication and reordering;
+//! * `--byzantine`: a clean network with up to `f` compromised replicas
+//!   mounting wire-level attacks (equivocation, censorship, strategic
+//!   delay, replay, corruption), scoped per protocol by its measured
+//!   Byzantine tolerance envelope.
 //!
 //! ```text
 //! cargo bench -p bft-bench --bench campaign -- --seeds 50   # 50 seeds/protocol
 //! cargo bench -p bft-bench --bench campaign -- --quick      # the CI smoke set
 //! cargo bench -p bft-bench --bench campaign -- --seeds 20 pbft kauri
+//! cargo bench -p bft-bench --bench campaign -- --byzantine --seeds 25
+//! cargo bench -p bft-bench --bench campaign -- --byzantine --attacks equivocate,censor
 //! BFT_BENCH_THREADS=1 cargo bench -p bft-bench --bench campaign   # sequential
 //! ```
 //!
@@ -21,10 +29,12 @@ use std::time::Instant;
 
 use bft_bench::campaign::{run_campaign, CampaignConfig};
 use bft_protocols::registry::ProtocolId;
+use bft_sim::AttackKind;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let byzantine = args.iter().any(|a| a == "--byzantine");
     let mut seeds: u64 = 25;
     if let Some(i) = args.iter().position(|a| a == "--seeds") {
         match args.get(i + 1).and_then(|v| v.parse().ok()) {
@@ -35,11 +45,34 @@ fn main() {
             }
         }
     }
+    let mut attack_filter: Option<Vec<AttackKind>> = None;
+    if let Some(i) = args.iter().position(|a| a == "--attacks") {
+        let Some(list) = args.get(i + 1) else {
+            eprintln!("--attacks needs a comma-separated list");
+            std::process::exit(2);
+        };
+        let kinds: Option<Vec<AttackKind>> = list
+            .split(',')
+            .map(|s| AttackKind::parse(s.trim()))
+            .collect();
+        match kinds {
+            Some(kinds) if !kinds.is_empty() => attack_filter = Some(kinds),
+            _ => {
+                eprintln!(
+                    "--attacks takes a comma-separated subset of: {}",
+                    AttackKind::ALL.map(|k| k.name()).join(", ")
+                );
+                std::process::exit(2);
+            }
+        }
+    }
     let filters: Vec<&String> = args
         .iter()
         .enumerate()
         .filter(|&(i, a)| {
-            !(a.starts_with("--") || a.is_empty() || i > 0 && args[i - 1] == "--seeds")
+            !(a.starts_with("--")
+                || a.is_empty()
+                || i > 0 && (args[i - 1] == "--seeds" || args[i - 1] == "--attacks"))
         })
         .map(|(_, a)| a)
         .collect();
@@ -49,6 +82,8 @@ fn main() {
     } else {
         CampaignConfig::new(seeds)
     };
+    cfg.byzantine = byzantine;
+    cfg.attack_filter = attack_filter;
     if !filters.is_empty() {
         cfg.protocols = ProtocolId::ALL
             .into_iter()
@@ -67,7 +102,8 @@ fn main() {
     let jobs = cfg.protocols.len() * cfg.seeds.len();
     let threads = bft_bench::thread_count(jobs);
     println!(
-        "untrusted-txn chaos campaign — {} protocol(s) × {} seed(s), {} worker thread{}\n",
+        "untrusted-txn {} campaign — {} protocol(s) × {} seed(s), {} worker thread{}\n",
+        if cfg.byzantine { "byzantine" } else { "chaos" },
         cfg.protocols.len(),
         cfg.seeds.len(),
         threads,

@@ -146,7 +146,7 @@ mod sim_actors {
     /// A message whose wire size tracks its payload length. Broadcasts
     /// share one allocation (`Arc` in the event queue), so per-recipient
     /// cost must stay flat as the payload grows.
-    #[derive(Debug, Clone)]
+    #[derive(Debug, Clone, serde::Serialize)]
     pub struct Blob(pub Vec<u8>);
 
     impl WireSize for Blob {

@@ -5,8 +5,16 @@
 //! entry's tolerance envelope, runs the protocol under that adversarial
 //! schedule, and checks safety (via the audit module) and liveness (every
 //! request accepted within the virtual-time budget). On a violation it
-//! re-runs the protocol under ddmin-shrunk fault plans until the schedule
-//! is minimal, and reports the replay seed.
+//! re-runs the protocol under ddmin-shrunk schedules — dropping fault
+//! events, then individual Byzantine attacks — until the reproducer is
+//! minimal, and reports the replay seed.
+//!
+//! Two campaign modes share this machinery: the *chaos* mode (crash /
+//! partition / network-knob schedules, scoped by
+//! [`ChaosTolerance`](bft_protocols::registry::ChaosTolerance)) and the
+//! *Byzantine* mode (`--byzantine`: a clean network with up to `f`
+//! compromised replicas mounting wire-level attacks, scoped by
+//! [`ByzantineTolerance`](bft_protocols::registry::ByzantineTolerance)).
 //!
 //! Everything is deterministic: a campaign over a fixed seed list renders
 //! byte-identical reports across repeated runs and across
@@ -17,10 +25,10 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 use bft_protocols::registry::{registry, ProtocolEntry, ProtocolId};
 use bft_protocols::Scenario;
-use bft_sim::campaign::{check_outcome, generate_case, shrink_plan, suspects_of};
+use bft_sim::campaign::{check_outcome, generate_case, shrink_case, suspects_with};
 use bft_sim::campaign::{CampaignViolation, ChaosCase, ChaosProfile};
 use bft_sim::runner::RunOutcome;
-use bft_sim::{FaultPlan, NetworkConfig};
+use bft_sim::{AdversarySpec, AttackKind, FaultPlan, NetworkConfig};
 
 /// Campaign parameters.
 #[derive(Debug, Clone)]
@@ -36,10 +44,17 @@ pub struct CampaignConfig {
     pub requests_per_client: u64,
     /// Protocols to hammer (default: the whole registry).
     pub protocols: Vec<ProtocolId>,
+    /// Run the Byzantine mode: clean network, up to `f` compromised
+    /// replicas mounting wire-level attacks.
+    pub byzantine: bool,
+    /// Restrict the Byzantine generator to these attack classes (`None` =
+    /// everything the protocol's envelope allows).
+    pub attack_filter: Option<Vec<AttackKind>>,
 }
 
 impl CampaignConfig {
-    /// A campaign over seeds `0..seeds` with a small per-case workload.
+    /// A chaos campaign over seeds `0..seeds` with a small per-case
+    /// workload.
     pub fn new(seeds: u64) -> CampaignConfig {
         CampaignConfig {
             seeds: (0..seeds).collect(),
@@ -47,6 +62,16 @@ impl CampaignConfig {
             clients: 1,
             requests_per_client: 8,
             protocols: ProtocolId::ALL.to_vec(),
+            byzantine: false,
+            attack_filter: None,
+        }
+    }
+
+    /// A Byzantine campaign over seeds `0..seeds`.
+    pub fn byzantine(seeds: u64) -> CampaignConfig {
+        CampaignConfig {
+            byzantine: true,
+            ..CampaignConfig::new(seeds)
         }
     }
 
@@ -68,6 +93,9 @@ pub struct CaseResult {
     pub violation: Option<CampaignViolation>,
     /// The ddmin-minimized fault plan, when a violation was found.
     pub minimal_plan: Option<FaultPlan>,
+    /// The ddmin-minimized adversary placements, when a violation was
+    /// found (empty when the failure reproduces without any adversary).
+    pub minimal_adversaries: Option<Vec<AdversarySpec>>,
 }
 
 /// A finished campaign: every case result in (protocol, seed) order.
@@ -120,6 +148,16 @@ impl CampaignReport {
                     min.events
                 ));
             }
+            if let Some(advs) = &r.minimal_adversaries {
+                if !advs.is_empty() {
+                    let descs: Vec<String> = advs.iter().map(|a| a.describe()).collect();
+                    out.push_str(&format!(
+                        "  minimal adversaries ({}): {}\n",
+                        advs.len(),
+                        descs.join(" ")
+                    ));
+                }
+            }
             out.push_str(&format!(
                 "  replay: campaign seed {} on {}\n",
                 r.case.seed,
@@ -164,6 +202,30 @@ pub fn profile_for(entry: &ProtocolEntry, f: usize, clients: u64) -> ChaosProfil
     p
 }
 
+/// The Byzantine envelope for one registry entry: a clean network with the
+/// adversary budget scoped to what the protocol's measured envelope
+/// tolerates, further narrowed by an optional CLI attack filter.
+pub fn byz_profile_for(
+    entry: &ProtocolEntry,
+    f: usize,
+    clients: u64,
+    attack_filter: Option<&[AttackKind]>,
+) -> ChaosProfile {
+    let n = (entry.min_n)(f);
+    let mut p = ChaosProfile::byzantine(n, f, clients);
+    // `BFT_BYZ_UNSCOPED=1` skips the per-protocol envelope so every
+    // protocol faces the full attack gallery — the measurement mode that
+    // produced the envelopes in the registry (per-attack sweeps under this
+    // flag; see EXPERIMENTS.md "Byzantine tolerance envelopes").
+    if std::env::var_os("BFT_BYZ_UNSCOPED").is_none() {
+        p.adversary = p.adversary.restrict(&entry.byz_tolerance.kinds());
+    }
+    if let Some(kinds) = attack_filter {
+        p.adversary = p.adversary.restrict(kinds);
+    }
+    p
+}
+
 /// The scenario for one case: the case's fault plan and network knobs on
 /// top of the campaign's workload, seeded by the case seed.
 pub fn scenario_for(cfg: &CampaignConfig, case: &ChaosCase) -> Scenario {
@@ -179,6 +241,7 @@ pub fn scenario_for(cfg: &CampaignConfig, case: &ChaosCase) -> Scenario {
         .seed(case.seed)
         .network(network)
         .faults(case.plan.clone())
+        .adversaries(case.adversaries.clone())
         .build()
 }
 
@@ -197,25 +260,40 @@ pub fn run_case_with(
     let expected = scenario.total_requests();
     let out = run(&scenario);
     let violation = check_outcome(&out.log, case.suspects(), expected);
-    let minimal_plan = violation.as_ref().map(|_| {
-        shrink_plan(&case.plan, |candidate| {
+    let minimal = violation.as_ref().map(|_| {
+        shrink_case(&case, |plan, advs| {
             let mut s = scenario.clone();
-            s.faults = candidate.clone();
+            s.faults = plan.clone();
+            s.adversaries = advs.to_vec();
             let out = run(&s);
-            check_outcome(&out.log, suspects_of(candidate), expected).is_some()
+            check_outcome(&out.log, suspects_with(plan, advs), expected).is_some()
         })
     });
+    let (minimal_plan, minimal_adversaries) = match minimal {
+        Some((plan, advs)) => (Some(plan), Some(advs)),
+        None => (None, None),
+    };
     CaseResult {
         protocol,
         case,
         violation,
         minimal_plan,
+        minimal_adversaries,
     }
 }
 
 /// Run one (registry entry, seed) case with the entry's default options.
 pub fn run_case(entry: &ProtocolEntry, cfg: &CampaignConfig, seed: u64) -> CaseResult {
-    let profile = profile_for(entry, cfg.f, cfg.clients as u64);
+    let profile = if cfg.byzantine {
+        byz_profile_for(
+            entry,
+            cfg.f,
+            cfg.clients as u64,
+            cfg.attack_filter.as_deref(),
+        )
+    } else {
+        profile_for(entry, cfg.f, cfg.clients as u64)
+    };
     run_case_with(|s| entry.run(s), entry.id, cfg, &profile, seed)
 }
 

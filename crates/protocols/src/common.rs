@@ -16,8 +16,8 @@ use bft_core::workload::{Workload, WorkloadConfig};
 use bft_crypto::sign::PartyId;
 use bft_crypto::{digest_of, CryptoCostModel, KeyStore, Signature};
 use bft_sim::{
-    Actor, Context, FaultPlan, NetworkConfig, NetworkModel, NodeId, Observation, SimDuration,
-    SimTime, Simulation, TimerId,
+    Actor, AdversarySpec, Context, FaultPlan, NetworkConfig, NetworkModel, NodeId, Observation,
+    SimDuration, SimTime, Simulation, TimerId,
 };
 use bft_types::{
     ClientId, Digest, QuorumRules, ReplicaId, Reply, Request, RequestId, TimerKind, WireSize,
@@ -120,6 +120,10 @@ pub struct Scenario {
     pub network: NetworkConfig,
     /// Crash/partition schedule.
     pub faults: FaultPlan,
+    /// Byzantine adversary placements: compromised replicas whose wire
+    /// traffic the simulator intercepts (equivocation, censorship, delay,
+    /// replay, corruption) — protocol-agnostic, see [`bft_sim::adversary`].
+    pub adversaries: Vec<AdversarySpec>,
     /// Transaction mix.
     pub workload: WorkloadConfig,
     /// Master seed (drives network delays, workload, crypto keys).
@@ -144,6 +148,7 @@ impl Scenario {
             requests_per_client: 50,
             network: NetworkConfig::lan(),
             faults: FaultPlan::none(),
+            adversaries: Vec::new(),
             workload: WorkloadConfig::uniform(),
             seed: 42,
             cost_model: CryptoCostModel::free(),
@@ -163,6 +168,12 @@ impl Scenario {
     /// Builder-style: set the fault plan.
     pub fn with_faults(mut self, faults: FaultPlan) -> Scenario {
         self.faults = faults;
+        self
+    }
+
+    /// Builder-style: set the Byzantine adversary placements.
+    pub fn with_adversaries(mut self, adversaries: Vec<AdversarySpec>) -> Scenario {
+        self.adversaries = adversaries;
         self
     }
 
@@ -237,13 +248,20 @@ impl Scenario {
     ///
     /// # Panics
     ///
-    /// Panics if the scenario's fault plan is invalid — see
-    /// [`FaultPlan::validate`](bft_sim::faults::FaultPlan::validate).
-    pub fn build_sim<M: WireSize + 'static>(&self, n: usize) -> Simulation<M> {
+    /// Panics if the scenario's fault plan or an adversary placement is
+    /// invalid — see [`FaultPlan::validate`](bft_sim::faults::FaultPlan::validate)
+    /// and [`AdversarySpec::validate`].
+    pub fn build_sim<M: WireSize + serde::Serialize + 'static>(&self, n: usize) -> Simulation<M> {
         let mut sim = Simulation::new(NetworkModel::new(self.network.clone()), self.seed);
         sim.set_cost_model(self.cost_model);
         if let Err(e) = self.faults.apply(&mut sim, n, self.clients as u64) {
             panic!("scenario has an invalid fault plan: {e}");
+        }
+        for spec in &self.adversaries {
+            if let Err(e) = spec.validate(n, self.clients as u64) {
+                panic!("scenario has an invalid adversary placement: {e}");
+            }
+            sim.install_adversary(spec.clone());
         }
         sim
     }
@@ -311,6 +329,12 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Set the Byzantine adversary placements.
+    pub fn adversaries(mut self, adversaries: Vec<AdversarySpec>) -> Self {
+        self.scenario.adversaries = adversaries;
+        self
+    }
+
     /// Set the transaction mix.
     pub fn workload(mut self, workload: WorkloadConfig) -> Self {
         self.scenario.workload = workload;
@@ -366,7 +390,7 @@ pub enum SubmitPolicy {
 /// Hooks a protocol provides to use [`GenericClient`].
 pub trait ClientProtocol: 'static {
     /// The protocol's message type.
-    type Msg: WireSize + Clone + 'static;
+    type Msg: WireSize + Clone + serde::Serialize + 'static;
 
     /// Wrap a signed request for submission.
     fn wrap_request(req: SignedRequest) -> Self::Msg;
@@ -510,7 +534,7 @@ impl<P: ClientProtocol> Actor<P::Msg> for GenericClient<P> {
 /// Drive a simulation until every expected client acceptance has been
 /// observed, the event queue drains, or the virtual-time budget runs out.
 /// Returns the finished outcome.
-pub fn run_to_completion<M: WireSize + 'static>(
+pub fn run_to_completion<M: WireSize + serde::Serialize + 'static>(
     sim: Simulation<M>,
     total_requests: u64,
     max_time: SimDuration,
@@ -522,7 +546,7 @@ pub fn run_to_completion<M: WireSize + 'static>(
 /// extra virtual time after the last client acceptance, letting in-flight
 /// messages settle (used by protocols whose convergence outlasts the last
 /// reply, e.g. Q/U's trailing fast-forwards).
-pub fn run_to_completion_with_drain<M: WireSize + 'static>(
+pub fn run_to_completion_with_drain<M: WireSize + serde::Serialize + 'static>(
     mut sim: Simulation<M>,
     total_requests: u64,
     max_time: SimDuration,

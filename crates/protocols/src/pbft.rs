@@ -204,12 +204,18 @@ impl WireSize for PbftMsg {
 }
 
 /// How a (possibly Byzantine) replica behaves.
+///
+/// These hooks cover *content-dependent* misbehavior that needs protocol
+/// state to express (which client a batch favors, which sequence number is
+/// equivocated on). Content-*independent* wire attacks — silence, delay,
+/// replay, corruption, peer-set equivocation — are expressed at the network
+/// boundary instead, via [`bft_sim::AdversarySpec`] on
+/// [`crate::common::Scenario::with_adversaries`]; e.g. the old
+/// `SilentLeader` variant is now `bft_sim::Attack::mute()` on replica 0.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Behavior {
     /// Follows the protocol.
     Honest,
-    /// As leader, never proposes anything (liveness attack → view change).
-    SilentLeader,
     /// As leader, never proposes requests from this client (censorship —
     /// the Q1 fairness adversary).
     Censor(ClientId),
@@ -468,9 +474,6 @@ impl PbftReplica {
             return;
         }
         if self.is_leader() {
-            if self.behavior == Behavior::SilentLeader {
-                return; // drops it on the floor
-            }
             if let Behavior::Censor(victim) = self.behavior {
                 if signed.request.id.client == victim {
                     return; // censorship: never propose the victim's requests
@@ -1769,14 +1772,13 @@ mod tests {
 
     #[test]
     fn silent_leader_triggers_view_change() {
-        let s = Scenario::small(1).with_load(1, 10);
-        let out = run(
-            &s,
-            &PbftOptions {
-                behaviors: vec![(ReplicaId(0), Behavior::SilentLeader)],
-                ..Default::default()
-            },
-        );
+        // The leader is compromised at the wire: every outgoing envelope is
+        // censored (the envelope-layer successor of the old
+        // `Behavior::SilentLeader` hook). Backups must view-change past it.
+        let s = Scenario::small(1).with_load(1, 10).with_adversaries(vec![
+            bft_sim::AdversarySpec::new(0, bft_sim::Attack::mute()),
+        ]);
+        let out = run(&s, &PbftOptions::default());
         audit_excluding(&out, &[0]);
         assert!(out.log.max_view() >= View(1));
         assert_eq!(accepted(&out), 10);

@@ -243,6 +243,131 @@ impl ProtocolId {
             _ => ChaosTolerance::full(),
         }
     }
+
+    /// Which wire-level Byzantine attack classes the protocol stays safe
+    /// *and live* under with up to `f` compromised replicas — the Byzantine
+    /// campaign's generator envelope (`--byzantine`).
+    ///
+    /// The exclusions below are measured findings from the unscoped
+    /// campaign (`BFT_BYZ_UNSCOPED=1`, 15 seeds per protocol per attack
+    /// class; see EXPERIMENTS.md, "Byzantine tolerance envelopes"). Most
+    /// are liveness deficits, but three are *safety* escapes among the
+    /// honest replicas: PoE diverges state under strategic delay, and
+    /// HotStuff and Kauri diverge when corruption (rejected at the wire,
+    /// so effectively relay loss) perturbs dissemination. Like the chaos
+    /// findings, the flags scope the generator so the remaining envelope
+    /// is enforced in CI while the gap stays recorded executably.
+    pub fn byzantine_tolerance(self) -> ByzantineTolerance {
+        match self {
+            // Campaign finding: read-optimized clients need 2f+1 matching
+            // replies from a read quorum; a compromised replica censoring
+            // two peers' links starves that quorum for good (0/8 at seed
+            // 59, ddmin-minimal `r0:censor(r2+r3, both)`).
+            ProtocolId::PbftReadOpt => ByzantineTolerance {
+                censorship: false,
+                ..ByzantineTolerance::full()
+            },
+            // Campaign finding — SAFETY: SBFT's collector aggregation
+            // diverges honest state when strategic holds reorder its
+            // fast/slow path hand-off (DivergentState at seed 50) — the
+            // wire-level twin of its chaos-mode reordering exclusion.
+            ProtocolId::Sbft => ByzantineTolerance {
+                delay: false,
+                ..ByzantineTolerance::full()
+            },
+            // Campaign findings: CheapBFT's fixed active set cannot route
+            // around a compromised active replica — equivocated, censored
+            // or corrupted traffic from it stalls runs outright (0/8 on
+            // five corrupt seeds); only delay and replay stay harmless.
+            ProtocolId::Cheap => ByzantineTolerance {
+                equivocation: false,
+                censorship: false,
+                corruption: false,
+                ..ByzantineTolerance::full()
+            },
+            // Campaign findings: the Δ-wait rotation never recovers rounds
+            // lost to a withholding, equivocating, delaying or corrupting
+            // proposer — the round clock advances but stranded requests
+            // stay stranded (down to 0/8). Only replay is absorbed.
+            ProtocolId::Tendermint | ProtocolId::TendermintInformed => ByzantineTolerance {
+                equivocation: false,
+                censorship: false,
+                delay: false,
+                corruption: false,
+                ..ByzantineTolerance::full()
+            },
+            // Campaign findings — SAFETY: PoE's speculative execution
+            // diverges honest state whenever wire attacks desynchronize
+            // its rollback path: strategic holds at the retransmission
+            // scale (DivergentState at two of fifteen delay seeds) and an
+            // equivocate+corrupt stack on the leader (seed 20; ddmin
+            // keeps both attacks — either alone is absorbed).
+            ProtocolId::Poe => ByzantineTolerance {
+                delay: false,
+                corruption: false,
+                ..ByzantineTolerance::full()
+            },
+            // Campaign findings: Prime's preordering pipeline starves when
+            // a compromised replica equivocates its ordering stream, holds
+            // it back, or feeds it corrupt (wire-rejected) envelopes; τ7
+            // monitoring handles slow leaders but not these.
+            ProtocolId::Prime => ByzantineTolerance {
+                equivocation: false,
+                delay: false,
+                corruption: false,
+                ..ByzantineTolerance::full()
+            },
+            // Campaign findings — SAFETY: HotStuff's chained commits
+            // assume order-consistent delivery, and every wire attack
+            // that perturbs it diverges honest state: corruption
+            // (wire-rejected, so relay loss; seed 4), strategic holds
+            // (seed 50), and replay+equivocate stacks on the leader
+            // (seeds 47, 49). Only censorship and replay alone are
+            // absorbed.
+            ProtocolId::HotStuff => ByzantineTolerance {
+                equivocation: false,
+                delay: false,
+                corruption: false,
+                ..ByzantineTolerance::full()
+            },
+            // Campaign findings: through Kauri's aggregation tree a
+            // compromised internal node is a single point of dissemination
+            // — corruption (wire-rejected, so relay loss) makes honest
+            // roots commit divergent state (SAFETY, seed 4), and totally
+            // censoring one internal node severs its subtree for good
+            // (0/8, ddmin-minimal `r1:censor(all, both)`); near-timeout
+            // holds on the root likewise strand the last batch (7/8).
+            ProtocolId::Kauri => ByzantineTolerance {
+                censorship: false,
+                delay: false,
+                corruption: false,
+                ..ByzantineTolerance::full()
+            },
+            // Campaign findings: order-fair batching amplifies equivocated
+            // and corrupted ordering streams into retransmission storms
+            // (hundreds of thousands of adversarial multicasts, runs ended
+            // only by the event budget, 3/8 accepted), and near-timeout
+            // holds on the leader strand the last batch (7/8, seed 31).
+            ProtocolId::Fair => ByzantineTolerance {
+                equivocation: false,
+                delay: false,
+                corruption: false,
+                ..ByzantineTolerance::full()
+            },
+            // Campaign finding: MinBFT's 2f+1 sizing has no spare quorum —
+            // losing one replica's stream to wire-rejected corruption
+            // already strands requests (3/8 at seed 2).
+            ProtocolId::MinBft => ByzantineTolerance {
+                corruption: false,
+                ..ByzantineTolerance::full()
+            },
+            // Measured clean across the full gallery: PBFT's view change,
+            // Zyzzyva's commit-certificate fallback, FaB's recovery, Q/U's
+            // repair loops and Chain's reconfiguration all absorb every
+            // attack class within the liveness budget.
+            _ => ByzantineTolerance::full(),
+        }
+    }
 }
 
 impl std::fmt::Display for ProtocolId {
@@ -281,6 +406,53 @@ impl ChaosTolerance {
             reordering: true,
             gst_storm: true,
         }
+    }
+}
+
+/// Which wire-level Byzantine attack classes a protocol stays live under
+/// with up to `f` compromised replicas (safety is always checked — see
+/// [`ProtocolId::byzantine_tolerance`]). These flags scope the Byzantine
+/// campaign's [`bft_sim::AdversaryBudget`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ByzantineTolerance {
+    /// Multicasts split into conflicting peer sets.
+    pub equivocation: bool,
+    /// Selective or total message suppression.
+    pub censorship: bool,
+    /// Strategic holds at the retransmission-timer scale.
+    pub delay: bool,
+    /// Stale-message re-injection (valid tags).
+    pub replay: bool,
+    /// In-flight payload tampering (rejected by wire auth).
+    pub corruption: bool,
+}
+
+impl ByzantineTolerance {
+    /// Tolerates the full attack gallery.
+    pub fn full() -> ByzantineTolerance {
+        ByzantineTolerance {
+            equivocation: true,
+            censorship: true,
+            delay: true,
+            replay: true,
+            corruption: true,
+        }
+    }
+
+    /// The tolerated attack classes as generator kinds (for
+    /// [`bft_sim::AdversaryBudget::restrict`]).
+    pub fn kinds(&self) -> Vec<bft_sim::AttackKind> {
+        use bft_sim::AttackKind;
+        AttackKind::ALL
+            .into_iter()
+            .filter(|k| match k {
+                AttackKind::Equivocate => self.equivocation,
+                AttackKind::Censor => self.censorship,
+                AttackKind::Delay => self.delay,
+                AttackKind::Replay => self.replay,
+                AttackKind::Corrupt => self.corruption,
+            })
+            .collect()
     }
 }
 
@@ -415,6 +587,8 @@ pub struct ProtocolEntry {
     pub min_n: fn(usize) -> usize,
     /// Chaos-campaign tolerance envelope.
     pub tolerance: ChaosTolerance,
+    /// Byzantine-campaign tolerance envelope.
+    pub byz_tolerance: ByzantineTolerance,
 }
 
 impl ProtocolEntry {
@@ -440,6 +614,7 @@ pub fn registry() -> Vec<ProtocolEntry> {
                 _ => |f| 3 * f + 1,
             },
             tolerance: id.tolerance(),
+            byz_tolerance: id.byzantine_tolerance(),
         })
         .collect()
 }

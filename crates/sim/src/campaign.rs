@@ -16,16 +16,19 @@
 //!   horizon, and caps for the network-misbehavior knobs (GST storms,
 //!   post-GST duplication/reordering).
 //! * [`generate_case`] — seed → [`ChaosCase`] (a validated [`FaultPlan`]
-//!   plus network-knob settings).
+//!   plus network-knob settings and Byzantine adversary placements drawn
+//!   from the profile's [`AdversaryBudget`]).
 //! * [`check_outcome`] — safety via [`SafetyAuditor`], liveness as "every
 //!   request accepted within the virtual-time budget".
-//! * [`shrink_plan`] — ddmin-style minimization: given a failing plan and a
-//!   re-run predicate, removes event chunks while the failure persists,
-//!   yielding a minimal reproducing schedule.
+//! * [`shrink_plan`] / [`shrink_case`] — ddmin-style minimization: given a
+//!   failing schedule and a re-run predicate, removes fault events (and,
+//!   for cases, individual attacks) while the failure persists, yielding a
+//!   minimal reproducing schedule.
 
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
+use crate::adversary::{AdversarySpec, Attack, AttackKind};
 use crate::audit::{SafetyAuditor, SafetyViolation};
 use crate::event::NodeId;
 use crate::faults::{FaultEvent, FaultPlan};
@@ -71,6 +74,103 @@ pub struct ChaosProfile {
     pub max_dup_prob: f64,
     /// Maximum post-GST reordering probability (0 disables the knob).
     pub max_reorder_prob: f64,
+    /// Byzantine adversary placements the generator may draw. A disabled
+    /// budget ([`AdversaryBudget::none`]) consumes no randomness, so
+    /// adversary-free campaigns generate byte-identical cases to builds
+    /// that predate the adversary layer.
+    pub adversary: AdversaryBudget,
+}
+
+/// How many replicas a campaign may compromise and which wire-level attacks
+/// they may mount (see [`crate::adversary`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdversaryBudget {
+    /// Maximum compromised replicas per case (the Byzantine `f` budget).
+    pub max_compromised: usize,
+    /// Replicas eligible for compromise.
+    pub pool: Vec<u32>,
+    /// Bias placements toward replica 0 — the initial leader of every
+    /// leader-based protocol in the registry — half of the time.
+    pub leader_targeted: bool,
+    /// Allow [`Attack::Equivocate`].
+    pub equivocation: bool,
+    /// Allow [`Attack::Censor`].
+    pub censorship: bool,
+    /// Allow [`Attack::Delay`].
+    pub delay: bool,
+    /// Allow [`Attack::Replay`].
+    pub replay: bool,
+    /// Allow [`Attack::Corrupt`].
+    pub corruption: bool,
+    /// Maximum strategic hold for delay attacks. Sized against the
+    /// protocols' retransmission timers: holds just under a timeout are
+    /// the interesting regime.
+    pub max_hold: SimDuration,
+}
+
+impl AdversaryBudget {
+    /// No compromised replicas; the generator draws no adversary
+    /// randomness at all.
+    pub fn none() -> AdversaryBudget {
+        AdversaryBudget {
+            max_compromised: 0,
+            pool: Vec::new(),
+            leader_targeted: false,
+            equivocation: false,
+            censorship: false,
+            delay: false,
+            replay: false,
+            corruption: false,
+            max_hold: SimDuration::ZERO,
+        }
+    }
+
+    /// The full gallery: up to `f` compromised replicas from the whole
+    /// population, leader-targeted, every attack class enabled.
+    pub fn full(n_replicas: usize, f: usize) -> AdversaryBudget {
+        AdversaryBudget {
+            max_compromised: f,
+            pool: (0..n_replicas as u32).collect(),
+            leader_targeted: true,
+            equivocation: true,
+            censorship: true,
+            delay: true,
+            replay: true,
+            corruption: true,
+            // 4Δ on the LAN profile: exactly the client retransmission /
+            // PBFT view-timeout scale the strategic attacker aims for.
+            max_hold: SimDuration::from_millis(40),
+        }
+    }
+
+    /// Keep only the listed attack classes (CLI `--attacks` filters).
+    pub fn restrict(mut self, kinds: &[AttackKind]) -> AdversaryBudget {
+        self.equivocation = self.equivocation && kinds.contains(&AttackKind::Equivocate);
+        self.censorship = self.censorship && kinds.contains(&AttackKind::Censor);
+        self.delay = self.delay && kinds.contains(&AttackKind::Delay);
+        self.replay = self.replay && kinds.contains(&AttackKind::Replay);
+        self.corruption = self.corruption && kinds.contains(&AttackKind::Corrupt);
+        self
+    }
+
+    /// The enabled attack classes, in [`AttackKind::ALL`] order.
+    pub fn enabled_kinds(&self) -> Vec<AttackKind> {
+        AttackKind::ALL
+            .into_iter()
+            .filter(|k| match k {
+                AttackKind::Equivocate => self.equivocation,
+                AttackKind::Censor => self.censorship,
+                AttackKind::Delay => self.delay,
+                AttackKind::Replay => self.replay,
+                AttackKind::Corrupt => self.corruption,
+            })
+            .collect()
+    }
+
+    /// Whether the generator can place any adversary at all.
+    pub fn enabled(&self) -> bool {
+        self.max_compromised > 0 && !self.pool.is_empty() && !self.enabled_kinds().is_empty()
+    }
 }
 
 impl ChaosProfile {
@@ -93,6 +193,26 @@ impl ChaosProfile {
             max_pre_gst_drop: 0.2,
             max_dup_prob: 0.3,
             max_reorder_prob: 0.3,
+            adversary: AdversaryBudget::none(),
+        }
+    }
+
+    /// A Byzantine envelope: a *clean* network (no crashes, partitions,
+    /// slow links or knob misbehavior) with up to `f` compromised replicas
+    /// mounting wire-level attacks — so every failure attributes to the
+    /// adversary placements alone.
+    pub fn byzantine(n_replicas: usize, f: usize, n_clients: u64) -> ChaosProfile {
+        ChaosProfile {
+            crash_victims: Vec::new(),
+            max_victims: 0,
+            partitions: false,
+            isolation: false,
+            slow_links: false,
+            gst_storm: false,
+            max_dup_prob: 0.0,
+            max_reorder_prob: 0.0,
+            adversary: AdversaryBudget::full(n_replicas, f),
+            ..ChaosProfile::standard(n_replicas, 0, n_clients)
         }
     }
 
@@ -125,15 +245,18 @@ pub struct ChaosCase {
     pub dup_prob: f64,
     /// Post-GST reordering probability.
     pub reorder_prob: f64,
+    /// Byzantine adversary placements (compromised replicas and their
+    /// attack stacks), empty unless the profile's budget enables them.
+    pub adversaries: Vec<AdversarySpec>,
 }
 
 impl ChaosCase {
     /// Replicas the safety auditor should not blame: every crash or
     /// isolation victim in the plan (matching the convention of the
     /// hand-written fault tests, which exclude victims even after they
-    /// recover).
+    /// recover) plus every compromised replica.
     pub fn suspects(&self) -> Vec<NodeId> {
-        suspects_of(&self.plan)
+        suspects_with(&self.plan, &self.adversaries)
     }
 
     /// One-line human summary for campaign reports.
@@ -152,8 +275,24 @@ impl ChaosCase {
         if self.reorder_prob > 0.0 {
             parts.push(format!("reorder={:.2}", self.reorder_prob));
         }
+        if !self.adversaries.is_empty() {
+            let advs: Vec<String> = self.adversaries.iter().map(|a| a.describe()).collect();
+            parts.push(format!("adv=[{}]", advs.join(" ")));
+        }
         parts.join(", ")
     }
+}
+
+/// Crash/isolation victims of `plan` plus the compromised replicas of
+/// `adversaries`, deduplicated, in id order — the set the safety auditor
+/// must not blame.
+pub fn suspects_with(plan: &FaultPlan, adversaries: &[AdversarySpec]) -> Vec<NodeId> {
+    let mut seen: std::collections::BTreeSet<u32> = suspects_of(plan)
+        .into_iter()
+        .filter_map(|n| n.as_replica().map(|r| r.0))
+        .collect();
+    seen.extend(adversaries.iter().map(|a| a.node));
+    seen.into_iter().map(NodeId::replica).collect()
 }
 
 /// Crash and isolation victims of a plan, deduplicated, in id order.
@@ -277,6 +416,15 @@ pub fn generate_case(profile: &ChaosProfile, seed: u64) -> ChaosCase {
         0.0
     };
 
+    // 5. Byzantine adversary placements. Drawn last, and only when the
+    //    budget is enabled, so adversary-free profiles consume exactly the
+    //    randomness they always did (cases stay byte-identical).
+    let adversaries = if profile.adversary.enabled() {
+        generate_adversaries(profile, &mut rng)
+    } else {
+        Vec::new()
+    };
+
     ChaosCase {
         seed,
         plan,
@@ -284,6 +432,94 @@ pub fn generate_case(profile: &ChaosProfile, seed: u64) -> ChaosCase {
         pre_gst_drop,
         dup_prob,
         reorder_prob,
+        adversaries,
+    }
+}
+
+/// Draw the case's compromised replicas and their attack stacks from the
+/// profile's budget. Caller guarantees the budget is enabled.
+fn generate_adversaries(profile: &ChaosProfile, rng: &mut ChaCha8Rng) -> Vec<AdversarySpec> {
+    let budget = &profile.adversary;
+    let kinds = budget.enabled_kinds();
+    let cap = budget.max_compromised.min(budget.pool.len());
+    let n_compromised = rng.gen_range(0..=cap);
+    if n_compromised == 0 {
+        return Vec::new();
+    }
+    let mut pool = budget.pool.clone();
+    let mut chosen: Vec<u32> = Vec::new();
+    // Leader-targeted bias: half the placements pin the initial leader
+    // (replica 0), the regime where Byzantine behavior bites hardest.
+    if budget.leader_targeted && pool.contains(&0) && rng.gen_bool(0.5) {
+        chosen.push(0);
+        pool.retain(|v| *v != 0);
+    }
+    while chosen.len() < n_compromised {
+        chosen.push(pool.swap_remove(rng.gen_range(0..pool.len())));
+    }
+    chosen.truncate(n_compromised);
+    chosen.sort_unstable();
+    chosen
+        .into_iter()
+        .map(|node| {
+            let n_attacks = rng.gen_range(1..=2.min(kinds.len()));
+            let mut avail = kinds.clone();
+            let attacks = (0..n_attacks)
+                .map(|_| {
+                    let kind = avail.swap_remove(rng.gen_range(0..avail.len()));
+                    sample_attack(kind, node, profile, rng)
+                })
+                .collect();
+            AdversarySpec { node, attacks }
+        })
+        .collect()
+}
+
+/// Draw one attack's parameters. Ranges pick the aggressive end of each
+/// class: probabilities high enough to bite within a short horizon, holds
+/// at the retransmission-timer scale.
+fn sample_attack(
+    kind: AttackKind,
+    node: u32,
+    profile: &ChaosProfile,
+    rng: &mut ChaCha8Rng,
+) -> Attack {
+    match kind {
+        AttackKind::Equivocate => Attack::Equivocate {
+            prob: rng.gen_range(0.5..=1.0),
+        },
+        AttackKind::Censor => {
+            // 30% mute (censor everyone); else 1–2 named replica victims.
+            let victims = if rng.gen_bool(0.3) || profile.n_replicas < 3 {
+                Vec::new()
+            } else {
+                let mut others: Vec<u32> = (0..profile.n_replicas as u32)
+                    .filter(|r| *r != node)
+                    .collect();
+                let n_victims = rng.gen_range(1..=2.min(others.len()));
+                (0..n_victims)
+                    .map(|_| NodeId::replica(others.swap_remove(rng.gen_range(0..others.len()))))
+                    .collect()
+            };
+            Attack::Censor {
+                victims,
+                outbound: true,
+                inbound: rng.gen_bool(0.3),
+            }
+        }
+        AttackKind::Delay => {
+            let max = profile.adversary.max_hold.0.max(4);
+            Attack::Delay {
+                hold: SimDuration(rng.gen_range(max / 4..=max)),
+                prob: rng.gen_range(0.5..=1.0),
+            }
+        }
+        AttackKind::Replay => Attack::Replay {
+            prob: rng.gen_range(0.3..=0.8),
+        },
+        AttackKind::Corrupt => Attack::Corrupt {
+            prob: rng.gen_range(0.3..=1.0),
+        },
     }
 }
 
@@ -350,19 +586,76 @@ pub fn shrink_plan(plan: &FaultPlan, mut still_fails: impl FnMut(&FaultPlan) -> 
     if !still_fails(plan) {
         return plan.clone();
     }
-    let mut events = plan.events.clone();
-    let mut chunk = events.len().div_ceil(2).max(1);
+    let events = ddmin(&plan.events, |evs| {
+        still_fails(&FaultPlan {
+            events: evs.to_vec(),
+        })
+    });
+    FaultPlan { events }
+}
+
+/// Shrink a failing chaos case along both axes: first ddmin the fault
+/// events (adversaries held fixed), then ddmin the flattened
+/// `(replica, attack)` pairs (minimal plan held fixed). The result is the
+/// smallest (plan, adversary) pair found that still satisfies
+/// `still_fails`; a non-reproducing failure is returned unshrunk.
+pub fn shrink_case(
+    case: &ChaosCase,
+    mut still_fails: impl FnMut(&FaultPlan, &[AdversarySpec]) -> bool,
+) -> (FaultPlan, Vec<AdversarySpec>) {
+    if !still_fails(&case.plan, &case.adversaries) {
+        return (case.plan.clone(), case.adversaries.clone());
+    }
+    let events = ddmin(&case.plan.events, |evs| {
+        still_fails(
+            &FaultPlan {
+                events: evs.to_vec(),
+            },
+            &case.adversaries,
+        )
+    });
+    let plan = FaultPlan { events };
+    let flat: Vec<(u32, Attack)> = case
+        .adversaries
+        .iter()
+        .flat_map(|s| s.attacks.iter().map(|a| (s.node, a.clone())))
+        .collect();
+    let kept = ddmin(&flat, |pairs| still_fails(&plan, &unflatten(pairs)));
+    (plan, unflatten(&kept))
+}
+
+/// Regroup shrunk `(replica, attack)` pairs into per-replica specs, in
+/// replica order.
+fn unflatten(pairs: &[(u32, Attack)]) -> Vec<AdversarySpec> {
+    let mut by_node: std::collections::BTreeMap<u32, Vec<Attack>> =
+        std::collections::BTreeMap::new();
+    for (node, attack) in pairs {
+        by_node.entry(*node).or_default().push(attack.clone());
+    }
+    by_node
+        .into_iter()
+        .map(|(node, attacks)| AdversarySpec { node, attacks })
+        .collect()
+}
+
+/// Classic ddmin over a list: try dropping chunks (halving the chunk size
+/// each sweep) and keep any candidate that still fails, until no single
+/// item can be removed. The caller guarantees the full list fails.
+fn ddmin<T: Clone>(full: &[T], mut still_fails: impl FnMut(&[T]) -> bool) -> Vec<T> {
+    let mut items = full.to_vec();
+    if items.is_empty() {
+        return items;
+    }
+    let mut chunk = items.len().div_ceil(2).max(1);
     loop {
         let mut reduced = false;
         let mut i = 0;
-        while i < events.len() {
-            let mut candidate = events.clone();
+        while i < items.len() {
+            let mut candidate = items.clone();
             let end = (i + chunk).min(candidate.len());
             candidate.drain(i..end);
-            if still_fails(&FaultPlan {
-                events: candidate.clone(),
-            }) {
-                events = candidate;
+            if still_fails(&candidate) {
+                items = candidate;
                 reduced = true;
                 // same index now holds the next chunk — do not advance
             } else {
@@ -376,11 +669,11 @@ pub fn shrink_plan(plan: &FaultPlan, mut still_fails: impl FnMut(&FaultPlan) -> 
         } else {
             chunk = (chunk / 2).max(1);
         }
-        if events.is_empty() {
+        if items.is_empty() {
             break;
         }
     }
-    FaultPlan { events }
+    items
 }
 
 #[cfg(test)]
@@ -513,6 +806,149 @@ mod tests {
         let plan = FaultPlan::none().crash(NodeId::replica(1), SimTime(5));
         let shrunk = shrink_plan(&plan, |_| false);
         assert_eq!(shrunk, plan);
+    }
+
+    #[test]
+    fn standard_profile_places_no_adversaries() {
+        let p = ChaosProfile::standard(4, 1, 2);
+        for seed in 0..100 {
+            assert!(generate_case(&p, seed).adversaries.is_empty());
+        }
+    }
+
+    #[test]
+    fn byzantine_profile_attributes_everything_to_adversaries() {
+        let p = ChaosProfile::byzantine(4, 1, 2);
+        let mut placed = 0;
+        for seed in 0..200 {
+            let case = generate_case(&p, seed);
+            // clean network: no fault events, no knob misbehavior
+            assert!(case.plan.events.is_empty(), "seed {seed}: {:?}", case.plan);
+            assert_eq!(case.gst, SimTime::ZERO);
+            assert_eq!(case.dup_prob, 0.0);
+            assert_eq!(case.reorder_prob, 0.0);
+            // placements within budget, each spec well-formed
+            assert!(case.adversaries.len() <= 1, "seed {seed}");
+            for spec in &case.adversaries {
+                placed += 1;
+                spec.validate(4, 2)
+                    .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            }
+            // compromised replicas are suspects for the safety auditor
+            let suspects = case.suspects();
+            for spec in &case.adversaries {
+                assert!(suspects.contains(&NodeId::replica(spec.node)));
+            }
+        }
+        assert!(placed > 50, "only {placed} placements in 200 seeds");
+    }
+
+    #[test]
+    fn leader_targeting_biases_placements_to_replica_zero() {
+        let p = ChaosProfile::byzantine(7, 2, 1);
+        let mut on_leader = 0;
+        let mut elsewhere = 0;
+        for seed in 0..300 {
+            for spec in generate_case(&p, seed).adversaries {
+                if spec.node == 0 {
+                    on_leader += 1;
+                } else {
+                    elsewhere += 1;
+                }
+            }
+        }
+        // an unbiased draw over 7 replicas puts ~1/7 on the leader; the
+        // bias should push it far above that
+        assert!(
+            on_leader * 3 > elsewhere,
+            "leader {on_leader} vs elsewhere {elsewhere}"
+        );
+    }
+
+    #[test]
+    fn attack_filter_restricts_generated_kinds() {
+        let mut p = ChaosProfile::byzantine(4, 1, 1);
+        p.adversary = p
+            .adversary
+            .restrict(&[AttackKind::Equivocate, AttackKind::Censor]);
+        for seed in 0..200 {
+            for spec in generate_case(&p, seed).adversaries {
+                for attack in &spec.attacks {
+                    assert!(
+                        matches!(attack.kind(), AttackKind::Equivocate | AttackKind::Censor),
+                        "seed {seed}: {attack:?}"
+                    );
+                }
+            }
+        }
+        let disabled = AdversaryBudget::full(4, 1).restrict(&[]);
+        assert!(!disabled.enabled());
+    }
+
+    #[test]
+    fn shrink_case_minimizes_both_axes() {
+        let case = ChaosCase {
+            seed: 9,
+            plan: FaultPlan::none()
+                .crash(NodeId::replica(1), SimTime(5))
+                .slow_link(NodeId::replica(2), NodeId::replica(3), SimDuration(4)),
+            gst: SimTime::ZERO,
+            pre_gst_drop: 0.0,
+            dup_prob: 0.0,
+            reorder_prob: 0.0,
+            adversaries: vec![
+                AdversarySpec::new(0, Attack::Equivocate { prob: 1.0 })
+                    .and(Attack::Replay { prob: 0.5 }),
+                AdversarySpec::new(2, Attack::mute()),
+            ],
+        };
+        // failure needs the crash of r1 AND r0 equivocating — everything
+        // else is noise
+        let needs = |plan: &FaultPlan, advs: &[AdversarySpec]| {
+            let has_crash = plan.events.iter().any(
+                |e| matches!(e, FaultEvent::Crash { node, .. } if *node == NodeId::replica(1)),
+            );
+            let has_equiv = advs.iter().any(|s| {
+                s.node == 0
+                    && s.attacks
+                        .iter()
+                        .any(|a| matches!(a, Attack::Equivocate { .. }))
+            });
+            has_crash && has_equiv
+        };
+        let (plan, advs) = shrink_case(&case, needs);
+        assert_eq!(plan.events.len(), 1);
+        assert_eq!(
+            advs,
+            vec![AdversarySpec::new(0, Attack::Equivocate { prob: 1.0 })]
+        );
+    }
+
+    #[test]
+    fn shrink_case_of_nonreproducing_failure_is_identity() {
+        let case = ChaosCase {
+            seed: 1,
+            plan: FaultPlan::none().crash(NodeId::replica(1), SimTime(5)),
+            gst: SimTime::ZERO,
+            pre_gst_drop: 0.0,
+            dup_prob: 0.0,
+            reorder_prob: 0.0,
+            adversaries: vec![AdversarySpec::new(0, Attack::mute())],
+        };
+        let (plan, advs) = shrink_case(&case, |_, _| false);
+        assert_eq!(plan, case.plan);
+        assert_eq!(advs, case.adversaries);
+    }
+
+    #[test]
+    fn byzantine_generation_is_deterministic() {
+        let p = ChaosProfile::byzantine(4, 1, 2);
+        for seed in 0..50 {
+            assert_eq!(
+                debug_str(&generate_case(&p, seed)),
+                debug_str(&generate_case(&p, seed)),
+            );
+        }
     }
 
     #[test]

@@ -55,10 +55,14 @@ impl std::fmt::Display for NodeId {
 pub(crate) enum EventKind<M> {
     /// Deliver a protocol message. The payload is behind an `Arc` so an
     /// n-way broadcast enqueues n pointers to one allocation instead of n
-    /// deep clones; receivers get `&M`.
+    /// deep clones; receivers get `&M`. `tag` is `None` for honest
+    /// in-process deliveries; adversary-produced envelopes (replays,
+    /// equivocation substitutes, corruptions) carry a wire-auth tag that
+    /// is verified against the payload at delivery.
     Deliver {
         from: NodeId,
         msg: std::sync::Arc<M>,
+        tag: Option<bft_crypto::Mac>,
     },
     /// Fire a timer (if it has not been cancelled).
     Timer { id: TimerId, kind: TimerKind },

@@ -2,11 +2,11 @@
 //!
 //! Experiments describe failure scenarios as data: crashes, recoveries,
 //! partitions and slow links with their schedules. [`FaultPlan::apply`]
-//! installs the plan into a simulation. Byzantine *behaviors* (equivocation,
-//! censorship, reordering) are implemented as malicious actor variants in
-//! `bft-protocols` — the simulator itself only models timing and
-//! crash/recovery faults, matching the paper's separation between the
-//! network adversary and corrupted replicas.
+//! installs the plan into a simulation. These are the *benign* faults of
+//! the paper's network adversary; corrupted replicas are modeled by the
+//! wire-envelope adversary layer in [`crate::adversary`] (with
+//! content-aware misbehavior staying in `bft-protocols` as malicious
+//! actor variants).
 
 use bft_types::WireSize;
 
@@ -85,6 +85,20 @@ pub enum FaultPlanError {
         /// Interval end.
         until: SimTime,
     },
+    /// A fault links a node to itself — a partition with `a == b`, a slow
+    /// link with `from == to`, or an isolation whose peer list contains
+    /// the isolated node — and would silently do nothing.
+    SelfLink {
+        /// Index of the offending event in [`FaultPlan::events`].
+        index: usize,
+        /// The self-linked node.
+        node: NodeId,
+    },
+    /// An isolation with an empty peer list would silently cut nothing.
+    EmptyPeers {
+        /// Index of the offending event in [`FaultPlan::events`].
+        index: usize,
+    },
 }
 
 impl std::fmt::Display for FaultPlanError {
@@ -98,6 +112,12 @@ impl std::fmt::Display for FaultPlanError {
                     f,
                     "fault event #{index} has empty interval [{from:?}, {until:?})"
                 )
+            }
+            FaultPlanError::SelfLink { index, node } => {
+                write!(f, "fault event #{index} links {node:?} to itself")
+            }
+            FaultPlanError::EmptyPeers { index } => {
+                write!(f, "fault event #{index} isolates from an empty peer set")
             }
         }
     }
@@ -180,34 +200,56 @@ impl FaultPlan {
         seen.len()
     }
 
-    /// Check that every event targets a node inside the population
-    /// (`n_replicas` replicas, `n_clients` clients) and that every
-    /// partition/isolation interval is non-empty (`from < until`).
+    /// Check every event variant uniformly: each named node must be inside
+    /// the population (`n_replicas` replicas, `n_clients` clients), each
+    /// partition/isolation window must be non-empty and ordered
+    /// (`from < until`), link endpoints must be distinct (a partition of
+    /// `a` with itself, a self-slow-link, or an isolation listing the
+    /// isolated node among its peers would silently do nothing), and an
+    /// isolation must name at least one peer.
     pub fn validate(&self, n_replicas: usize, n_clients: u64) -> Result<(), FaultPlanError> {
         let node_ok = |node: &NodeId| match node {
             NodeId::Replica(r) => (r.0 as usize) < n_replicas,
             NodeId::Client(c) => c.0 < n_clients,
         };
         for (index, ev) in self.events.iter().enumerate() {
-            let (nodes, interval): (Vec<&NodeId>, Option<(SimTime, SimTime)>) = match ev {
+            let (nodes, interval, self_link): (
+                Vec<&NodeId>,
+                Option<(SimTime, SimTime)>,
+                Option<&NodeId>,
+            ) = match ev {
                 FaultEvent::Crash { node, .. } | FaultEvent::Recover { node, .. } => {
-                    (vec![node], None)
+                    (vec![node], None, None)
                 }
-                FaultEvent::Partition { a, b, from, until } => (vec![a, b], Some((*from, *until))),
+                FaultEvent::Partition { a, b, from, until } => {
+                    (vec![a, b], Some((*from, *until)), (a == b).then_some(a))
+                }
                 FaultEvent::Isolate {
                     node,
                     peers,
                     from,
                     until,
                 } => {
+                    if peers.is_empty() {
+                        return Err(FaultPlanError::EmptyPeers { index });
+                    }
                     let mut ns = vec![node];
                     ns.extend(peers.iter());
-                    (ns, Some((*from, *until)))
+                    (
+                        ns,
+                        Some((*from, *until)),
+                        peers.contains(node).then_some(node),
+                    )
                 }
-                FaultEvent::SlowLink { from, to, .. } => (vec![from, to], None),
+                FaultEvent::SlowLink { from, to, .. } => {
+                    (vec![from, to], None, (from == to).then_some(from))
+                }
             };
             if let Some(node) = nodes.into_iter().find(|n| !node_ok(n)) {
                 return Err(FaultPlanError::UnknownNode { index, node: *node });
+            }
+            if let Some(node) = self_link {
+                return Err(FaultPlanError::SelfLink { index, node: *node });
             }
             if let Some((from, until)) = interval {
                 if from >= until {
@@ -220,7 +262,7 @@ impl FaultPlan {
 
     /// Validate the plan against the node population, then install it into
     /// the simulation. Nothing is installed if validation fails.
-    pub fn apply<M: WireSize + 'static>(
+    pub fn apply<M: WireSize + serde::Serialize + 'static>(
         &self,
         sim: &mut Simulation<M>,
         n_replicas: usize,
@@ -348,6 +390,89 @@ mod tests {
             plan.validate(4, 0),
             Err(FaultPlanError::EmptyInterval { index: 0, .. })
         ));
+    }
+
+    #[test]
+    fn validate_rejects_self_partition() {
+        let plan = FaultPlan::none().partition(
+            NodeId::replica(2),
+            NodeId::replica(2),
+            SimTime(0),
+            SimTime(10),
+        );
+        assert_eq!(
+            plan.validate(4, 0),
+            Err(FaultPlanError::SelfLink {
+                index: 0,
+                node: NodeId::replica(2),
+            })
+        );
+    }
+
+    #[test]
+    fn validate_rejects_self_slow_link() {
+        let plan =
+            FaultPlan::none().slow_link(NodeId::replica(1), NodeId::replica(1), SimDuration(5));
+        assert_eq!(
+            plan.validate(4, 0),
+            Err(FaultPlanError::SelfLink {
+                index: 0,
+                node: NodeId::replica(1),
+            })
+        );
+    }
+
+    #[test]
+    fn validate_rejects_self_isolation_peer() {
+        let plan = FaultPlan::none().isolate(
+            NodeId::replica(0),
+            vec![NodeId::replica(1), NodeId::replica(0)],
+            SimTime(0),
+            SimTime(10),
+        );
+        assert_eq!(
+            plan.validate(4, 0),
+            Err(FaultPlanError::SelfLink {
+                index: 0,
+                node: NodeId::replica(0),
+            })
+        );
+    }
+
+    #[test]
+    fn validate_rejects_empty_isolation_peers() {
+        let plan = FaultPlan::none().isolate(NodeId::replica(0), vec![], SimTime(0), SimTime(10));
+        assert_eq!(
+            plan.validate(4, 0),
+            Err(FaultPlanError::EmptyPeers { index: 0 })
+        );
+    }
+
+    #[test]
+    fn errors_render_each_variant() {
+        let cases: Vec<FaultPlanError> = vec![
+            FaultPlanError::UnknownNode {
+                index: 0,
+                node: NodeId::replica(9),
+            },
+            FaultPlanError::EmptyInterval {
+                index: 1,
+                from: SimTime(5),
+                until: SimTime(5),
+            },
+            FaultPlanError::SelfLink {
+                index: 2,
+                node: NodeId::replica(0),
+            },
+            FaultPlanError::EmptyPeers { index: 3 },
+        ];
+        for (i, e) in cases.iter().enumerate() {
+            let rendered = e.to_string();
+            assert!(
+                rendered.contains(&format!("#{i}")),
+                "{rendered:?} lacks its index"
+            );
+        }
     }
 
     #[test]

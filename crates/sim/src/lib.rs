@@ -29,9 +29,14 @@
 //!   `max(arrival, busy_until)` and charged costs push `busy_until`
 //!   forward, so crypto-heavy protocols exhibit the leader bottleneck the
 //!   paper's Q2 dimension discusses.
-//! * **Faults** — crash/recover schedules at the simulator level;
-//!   Byzantine *behaviors* are implemented by the protocol crates as
-//!   malicious actors (the simulator is agnostic).
+//! * **Faults** — crash/recover schedules, partitions and slow links at
+//!   the simulator level ([`faults`]); *Byzantine* replicas are modeled
+//!   protocol-agnostically by the [`adversary`] layer, which intercepts a
+//!   compromised node's wire envelopes (equivocation, censorship,
+//!   strategic delay, replay, corruption) at the send/deliver chokepoint.
+//!   Content-aware misbehavior that needs protocol knowledge (e.g. a
+//!   leader crafting valid-but-conflicting batches) stays in the protocol
+//!   crates as malicious actor variants.
 //! * **Determinism** — a run is a pure function of (actors, config, seed).
 //!   Events at equal timestamps are delivered in insertion order.
 //!
@@ -44,6 +49,7 @@
 
 #![warn(missing_docs)]
 
+pub mod adversary;
 pub mod audit;
 pub mod campaign;
 pub mod event;
@@ -55,8 +61,9 @@ pub mod runner;
 pub mod time;
 pub mod topology;
 
+pub use adversary::{AdversaryError, AdversarySpec, Attack, AttackKind};
 pub use audit::SafetyAuditor;
-pub use campaign::{CampaignViolation, ChaosCase, ChaosProfile};
+pub use campaign::{AdversaryBudget, CampaignViolation, ChaosCase, ChaosProfile};
 pub use event::NodeId;
 pub use faults::{FaultEvent, FaultPlan, FaultPlanError};
 pub use metrics::{LatencyStats, Metrics, NodeCounters};

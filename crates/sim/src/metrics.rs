@@ -43,6 +43,25 @@ pub struct Metrics {
     pub duplicated: u64,
     /// Messages suppressed because the topology forbids the link.
     pub topology_blocked: u64,
+    /// Messages suppressed by a compromised node's censorship attack
+    /// (outbound drops plus inbound refusals).
+    pub adv_censored: u64,
+    /// Outgoing messages held back by a strategic-delay adversary.
+    pub adv_delayed: u64,
+    /// Stale captured payloads re-injected by replay adversaries.
+    pub adv_replayed: u64,
+    /// Multicasts split into conflicting peer sets by equivocation.
+    pub adv_equivocated: u64,
+    /// Payloads corrupted in flight by compromised senders.
+    pub adv_corrupted: u64,
+    /// Adversary-tagged envelopes rejected by wire-auth verification at
+    /// delivery. The audited crypto invariant: every corrupted payload
+    /// lands here, and none of them ever reaches an actor.
+    pub auth_rejected: u64,
+    /// Adversary-tagged envelopes whose wire auth verified (replayed and
+    /// equivocation-substitute payloads are genuinely authored, so they
+    /// pass).
+    pub auth_verified: u64,
 }
 
 impl Metrics {

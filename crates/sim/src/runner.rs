@@ -15,15 +15,17 @@
 //! bottleneck* (dimension Q2) and the MAC-vs-signature CPU trade-off
 //! (dimension E3) in experiments.
 
-use std::collections::{BTreeMap, BinaryHeap};
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 use std::sync::Arc;
 
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
-use bft_crypto::{CryptoCostModel, CryptoOp};
+use bft_crypto::{CryptoCostModel, CryptoOp, Mac};
 use bft_types::{TimerKind, WireSize};
+use serde::Serialize;
 
+use crate::adversary::{AdversarySpec, Attack, WireAuth, CAPTURE_CAP};
 use crate::event::{EventKind, NodeId, QueuedEvent};
 use crate::metrics::Metrics;
 use crate::net::{Delivery, NetworkModel};
@@ -118,6 +120,13 @@ pub trait Actor<M> {
     fn on_recover(&mut self, _ctx: &mut Context<'_, M>) {}
 }
 
+/// Runtime state of one compromised replica: its attack stack and the
+/// bounded buffer of its own past payloads (replay/equivocation material).
+struct AdversaryState<M> {
+    attacks: Vec<Attack>,
+    capture: VecDeque<Arc<M>>,
+}
+
 /// Shared simulation state the context exposes to the running actor.
 struct SimState<M> {
     queue: BinaryHeap<QueuedEvent<M>>,
@@ -130,6 +139,8 @@ struct SimState<M> {
     metrics: Metrics,
     log: ObservationLog,
     cost_model: CryptoCostModel,
+    wire_auth: WireAuth,
+    adversaries: BTreeMap<u32, AdversaryState<M>>,
 }
 
 impl<M> SimState<M> {
@@ -145,6 +156,118 @@ impl<M> SimState<M> {
     }
 }
 
+impl<M: WireSize + Serialize> SimState<M> {
+    /// Route one envelope through the network model and enqueue its
+    /// deliveries. `tag` travels with the payload for wire-auth
+    /// verification at delivery; `extra` is adversary hold time on top of
+    /// the sampled network delay.
+    fn enqueue_send(
+        &mut self,
+        sent_at: SimTime,
+        from: NodeId,
+        to: NodeId,
+        msg: &Arc<M>,
+        tag: Option<Mac>,
+        extra: SimDuration,
+    ) {
+        self.metrics.on_send(from, msg.wire_size());
+        match self.network.route(&mut self.rng, sent_at, from, to) {
+            Delivery::After(d) => {
+                self.push(
+                    sent_at + d + extra,
+                    to,
+                    EventKind::Deliver {
+                        from,
+                        msg: Arc::clone(msg),
+                        tag,
+                    },
+                );
+            }
+            Delivery::Duplicated(d1, d2) => {
+                // network-level duplication: one send, two deliveries
+                self.metrics.duplicated += 1;
+                for d in [d1, d2] {
+                    self.push(
+                        sent_at + d + extra,
+                        to,
+                        EventKind::Deliver {
+                            from,
+                            msg: Arc::clone(msg),
+                            tag,
+                        },
+                    );
+                }
+            }
+            Delivery::Dropped => {
+                self.metrics.dropped += 1;
+            }
+        }
+    }
+
+    /// A compromised replica's outgoing envelope: apply its attack stack
+    /// (outbound censorship, strategic delay, corruption, replay), then
+    /// route what survives. Attack randomness draws from the shared
+    /// simulation RNG, in attack-stack order, so runs stay deterministic.
+    fn adversary_send(&mut self, sent_at: SimTime, from: NodeId, to: NodeId, msg: &Arc<M>) {
+        let NodeId::Replica(me) = from else { return };
+        let mut extra = SimDuration::ZERO;
+        let mut corrupt = false;
+        let mut replay: Option<Arc<M>> = None;
+        {
+            let adv = self.adversaries.get(&me.0).expect("caller checked");
+            for attack in &adv.attacks {
+                match attack {
+                    Attack::Censor {
+                        victims,
+                        outbound: true,
+                        ..
+                    } if victims.is_empty() || victims.contains(&to) => {
+                        self.metrics.adv_censored += 1;
+                        return;
+                    }
+                    Attack::Censor { .. } => {}
+                    Attack::Delay { hold, prob } => {
+                        if self.rng.gen_bool(*prob) {
+                            extra = SimDuration(extra.0 + hold.0);
+                            self.metrics.adv_delayed += 1;
+                        }
+                    }
+                    Attack::Corrupt { prob } => {
+                        if self.rng.gen_bool(*prob) {
+                            corrupt = true;
+                        }
+                    }
+                    Attack::Replay { prob } => {
+                        if !adv.capture.is_empty() && self.rng.gen_bool(*prob) {
+                            let i = self.rng.gen_range(0..adv.capture.len());
+                            replay = adv.capture.get(i).cloned();
+                        }
+                    }
+                    // equivocation is a multicast-level attack
+                    Attack::Equivocate { .. } => {}
+                }
+            }
+        }
+        if corrupt {
+            // The payload is destroyed in flight: the delivered envelope's
+            // tag was minted over tampered bytes, so wire auth must reject
+            // it at the receiver and the actor never sees it.
+            self.metrics.adv_corrupted += 1;
+            let tag = self.wire_auth.tamper_tag(from, to, &**msg);
+            self.enqueue_send(sent_at, from, to, msg, Some(tag), extra);
+        } else {
+            self.enqueue_send(sent_at, from, to, msg, None, extra);
+        }
+        if let Some(stale) = replay {
+            // Stale but genuinely authored: the tag verifies, and defeating
+            // the replay is the receiving protocol's job.
+            self.metrics.adv_replayed += 1;
+            let tag = self.wire_auth.tag(from, to, &*stale);
+            self.enqueue_send(sent_at, from, to, &stale, Some(tag), extra);
+        }
+    }
+}
+
 /// The interface through which an actor interacts with the world while
 /// handling an event.
 pub struct Context<'a, M> {
@@ -156,7 +279,7 @@ pub struct Context<'a, M> {
     state: &'a mut SimState<M>,
 }
 
-impl<'a, M: WireSize> Context<'a, M> {
+impl<'a, M: WireSize + Serialize> Context<'a, M> {
     /// This node's identity.
     pub fn me(&self) -> NodeId {
         self.node
@@ -202,12 +325,15 @@ impl<'a, M: WireSize> Context<'a, M> {
     /// Send a message. Applies topology constraints (replica↔replica links
     /// only), samples network delay, and records metrics.
     pub fn send(&mut self, to: NodeId, msg: M) {
-        self.send_shared(to, &Arc::new(msg));
+        let msg = Arc::new(msg);
+        self.send_shared(to, &msg);
+        self.capture_payload(&msg);
     }
 
     /// Route an already-shared payload: one `Arc` clone per receiver, no
     /// deep copy. Wire bytes and per-node counters are still charged per
-    /// receiver.
+    /// receiver. Envelopes leaving a compromised sender pass through its
+    /// adversary attack stack first.
     fn send_shared(&mut self, to: NodeId, msg: &Arc<M>) {
         // Overlay enforcement: only replica-to-replica links are constrained.
         if let (Some(topo), NodeId::Replica(f), NodeId::Replica(t)) =
@@ -218,40 +344,58 @@ impl<'a, M: WireSize> Context<'a, M> {
                 return;
             }
         }
-        self.state.metrics.on_send(self.node, msg.wire_size());
         let sent_at = self.now();
-        match self
-            .state
-            .network
-            .route(&mut self.state.rng, sent_at, self.node, to)
+        if let NodeId::Replica(r) = self.node {
+            if self.state.adversaries.contains_key(&r.0) {
+                self.state.adversary_send(sent_at, self.node, to, msg);
+                return;
+            }
+        }
+        self.state
+            .enqueue_send(sent_at, self.node, to, msg, None, SimDuration::ZERO);
+    }
+
+    /// Deliver an attack payload (an equivocation substitute) in place of
+    /// genuine traffic. It carries a *valid* wire tag — the compromised
+    /// node genuinely authored the payload — and bypasses the rest of the
+    /// attack stack.
+    fn send_substitute(&mut self, to: NodeId, payload: &Arc<M>) {
+        // Topology still applies: a compromised node cannot invent links.
+        if let (Some(topo), NodeId::Replica(f), NodeId::Replica(t)) =
+            (&self.state.topology, self.node, to)
         {
-            Delivery::After(d) => {
-                self.state.push(
-                    sent_at + d,
-                    to,
-                    EventKind::Deliver {
-                        from: self.node,
-                        msg: Arc::clone(msg),
-                    },
-                );
+            if f != t && !topo.allows(self.state.n_replicas, f, t) {
+                self.state.metrics.topology_blocked += 1;
+                return;
             }
-            Delivery::Duplicated(d1, d2) => {
-                // network-level duplication: one send, two deliveries
-                self.state.metrics.duplicated += 1;
-                for d in [d1, d2] {
-                    self.state.push(
-                        sent_at + d,
-                        to,
-                        EventKind::Deliver {
-                            from: self.node,
-                            msg: Arc::clone(msg),
-                        },
-                    );
-                }
+        }
+        let sent_at = self.now();
+        let tag = self.state.wire_auth.tag(self.node, to, &**payload);
+        self.state.enqueue_send(
+            sent_at,
+            self.node,
+            to,
+            payload,
+            Some(tag),
+            SimDuration::ZERO,
+        );
+    }
+
+    /// Record an authored payload in the sender's capture buffer — the
+    /// replay/equivocation material of a compromised node. No-op (one
+    /// branch) for honest senders and adversary-free runs.
+    fn capture_payload(&mut self, msg: &Arc<M>) {
+        if self.state.adversaries.is_empty() {
+            return;
+        }
+        let NodeId::Replica(r) = self.node else {
+            return;
+        };
+        if let Some(adv) = self.state.adversaries.get_mut(&r.0) {
+            if adv.capture.len() == CAPTURE_CAP {
+                adv.capture.pop_front();
             }
-            Delivery::Dropped => {
-                self.state.metrics.dropped += 1;
-            }
+            adv.capture.push_back(Arc::clone(msg));
         }
     }
 
@@ -260,8 +404,66 @@ impl<'a, M: WireSize> Context<'a, M> {
     /// charged per receiver).
     pub fn multicast(&mut self, to: impl IntoIterator<Item = NodeId>, msg: M) {
         let msg = Arc::new(msg);
+        if let NodeId::Replica(r) = self.node {
+            if self.state.adversaries.contains_key(&r.0) {
+                let recipients: Vec<NodeId> = to.into_iter().collect();
+                self.adversary_multicast(&recipients, &msg);
+                self.capture_payload(&msg);
+                return;
+            }
+        }
         for node in to {
             self.send_shared(node, &msg);
+        }
+    }
+
+    /// A compromised sender's multicast: an `Equivocate` attack may split
+    /// the recipients into disjoint sets — a random prefix receives the
+    /// genuine payload, the rest a stale substitute from the capture
+    /// buffer (or silence when nothing has been captured yet).
+    fn adversary_multicast(&mut self, recipients: &[NodeId], msg: &Arc<M>) {
+        let NodeId::Replica(me) = self.node else {
+            return;
+        };
+        let mut split: Option<usize> = None;
+        let mut stale: Option<Arc<M>> = None;
+        if recipients.len() >= 2 {
+            let adv = self
+                .state
+                .adversaries
+                .get(&me.0)
+                .expect("caller checked compromise");
+            for attack in &adv.attacks {
+                if let Attack::Equivocate { prob } = attack {
+                    if self.state.rng.gen_bool(*prob) {
+                        split = Some(self.state.rng.gen_range(1..recipients.len()));
+                        if !adv.capture.is_empty() {
+                            let i = self.state.rng.gen_range(0..adv.capture.len());
+                            stale = adv.capture.get(i).cloned();
+                        }
+                        break;
+                    }
+                }
+            }
+        }
+        match split {
+            None => {
+                for node in recipients {
+                    self.send_shared(*node, msg);
+                }
+            }
+            Some(k) => {
+                self.state.metrics.adv_equivocated += 1;
+                for (i, node) in recipients.iter().enumerate() {
+                    if i < k {
+                        self.send_shared(*node, msg);
+                    } else if let Some(stale) = &stale {
+                        self.send_substitute(*node, stale);
+                    } else {
+                        self.state.metrics.adv_censored += 1;
+                    }
+                }
+            }
         }
     }
 
@@ -329,7 +531,7 @@ pub struct Simulation<M> {
     pub max_events: u64,
 }
 
-impl<M: WireSize + 'static> Simulation<M> {
+impl<M: WireSize + Serialize + 'static> Simulation<M> {
     /// Create a simulation with the given network and RNG seed.
     pub fn new(network: NetworkModel, seed: u64) -> Self {
         Simulation {
@@ -345,11 +547,39 @@ impl<M: WireSize + 'static> Simulation<M> {
                 metrics: Metrics::default(),
                 log: ObservationLog::default(),
                 cost_model: CryptoCostModel::free(),
+                wire_auth: WireAuth::from_seed(seed),
+                adversaries: BTreeMap::new(),
             },
             now: SimTime::ZERO,
             events_processed: 0,
             max_events: 20_000_000,
         }
+    }
+
+    /// Compromise a replica: install a Byzantine adversary that intercepts
+    /// its wire envelopes (see [`crate::adversary`]). Validate the spec
+    /// against the population first ([`AdversarySpec::validate`]); a run
+    /// with no adversaries installed draws no adversary randomness and is
+    /// byte-identical to one on a build without the adversary layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the replica already has an adversary installed.
+    pub fn install_adversary(&mut self, spec: AdversarySpec) {
+        let node = spec.node;
+        let prev = self.state.adversaries.insert(
+            node,
+            AdversaryState {
+                attacks: spec.attacks,
+                capture: VecDeque::new(),
+            },
+        );
+        assert!(prev.is_none(), "duplicate adversary for replica {node}");
+    }
+
+    /// Replicas currently compromised by [`Self::install_adversary`].
+    pub fn compromised(&self) -> Vec<u32> {
+        self.state.adversaries.keys().copied().collect()
     }
 
     /// Set the crypto cost model charged by `Context::charge_crypto`.
@@ -430,6 +660,7 @@ impl<M: WireSize + 'static> Simulation<M> {
             EventKind::Deliver {
                 from,
                 msg: Arc::new(msg),
+                tag: None,
             },
         );
     }
@@ -481,12 +712,40 @@ impl<M: WireSize + 'static> Simulation<M> {
                     self.with_actor(node, ev.at, |actor, ctx| actor.on_recover(ctx));
                 }
             }
-            EventKind::Deliver { from, msg } => {
+            EventKind::Deliver { from, msg, tag } => {
                 let Some(slot) = self.nodes.get(&node) else {
                     return;
                 };
                 if slot.crashed || slot.actor.is_none() {
                     return;
+                }
+                // Inbound censorship: a compromised receiver refuses
+                // traffic from its victims before it reaches the stack.
+                if let NodeId::Replica(r) = node {
+                    if let Some(adv) = self.state.adversaries.get(&r.0) {
+                        let refused = adv.attacks.iter().any(|a| {
+                            matches!(
+                                a,
+                                Attack::Censor { victims, inbound: true, .. }
+                                    if victims.is_empty() || victims.contains(&from)
+                            )
+                        });
+                        if refused {
+                            self.state.metrics.adv_censored += 1;
+                            return;
+                        }
+                    }
+                }
+                // Wire-auth boundary: adversary-produced envelopes verify
+                // against the delivered payload before the actor ever sees
+                // them. Tampered payloads stop here, and the rejection is
+                // counted — the audited crypto invariant.
+                if let Some(tag) = tag {
+                    if !self.state.wire_auth.verify(from, node, &*msg, &tag) {
+                        self.state.metrics.auth_rejected += 1;
+                        return;
+                    }
+                    self.state.metrics.auth_verified += 1;
                 }
                 self.state.metrics.on_deliver(node, msg.wire_size());
                 self.with_actor(node, ev.at, |actor, ctx| actor.on_message(from, &msg, ctx));

@@ -1,0 +1,302 @@
+//! End-to-end coverage for the protocol-agnostic Byzantine adversary layer:
+//! scripted actors under each attack class, with the metrics counters and
+//! the wire-auth invariant (corrupted ⇒ rejected, never delivered) checked
+//! from real runs.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use bft_sim::runner::{Actor, Context};
+use bft_sim::{
+    AdversarySpec, Attack, NetworkConfig, NetworkModel, NodeId, SimDuration, SimTime, Simulation,
+    TimerId,
+};
+use bft_types::{TimerKind, WireSize};
+
+/// Opaque payload carrying a distinguishing value.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+struct Blob(u64);
+
+impl WireSize for Blob {
+    fn wire_size(&self) -> usize {
+        8
+    }
+}
+
+/// Sends a scripted sequence of payloads, one per timer tick (each send in
+/// its own event, letting the capture buffer fill between them).
+struct Script {
+    sends: Vec<(Vec<NodeId>, Blob)>,
+    next: usize,
+}
+
+impl Script {
+    fn new(sends: Vec<(Vec<NodeId>, Blob)>) -> Script {
+        Script { sends, next: 0 }
+    }
+}
+
+impl Actor<Blob> for Script {
+    fn on_start(&mut self, ctx: &mut Context<'_, Blob>) {
+        ctx.set_timer(TimerKind::T1WaitReplies, SimDuration::from_millis(1));
+    }
+
+    fn on_message(&mut self, _from: NodeId, _msg: &Blob, _ctx: &mut Context<'_, Blob>) {}
+
+    fn on_timer(&mut self, _id: TimerId, _kind: TimerKind, ctx: &mut Context<'_, Blob>) {
+        if let Some((to, blob)) = self.sends.get(self.next).cloned() {
+            self.next += 1;
+            if to.len() == 1 {
+                ctx.send(to[0], blob);
+            } else {
+                ctx.multicast(to, blob);
+            }
+            ctx.set_timer(TimerKind::T1WaitReplies, SimDuration::from_millis(1));
+        }
+    }
+}
+
+type Delivered = Rc<RefCell<Vec<(NodeId, Blob, SimTime)>>>;
+
+/// Records every delivered payload with its arrival time.
+struct Sink {
+    got: Delivered,
+}
+
+impl Actor<Blob> for Sink {
+    fn on_start(&mut self, _ctx: &mut Context<'_, Blob>) {}
+
+    fn on_message(&mut self, from: NodeId, msg: &Blob, ctx: &mut Context<'_, Blob>) {
+        self.got.borrow_mut().push((from, msg.clone(), ctx.now()));
+    }
+}
+
+/// Build a 4-replica sim: r0 runs `script`, r1–r3 are recording sinks.
+/// Returns the sim plus each sink's delivery log, indexed by replica − 1.
+fn rig(script: Script, adversary: Option<AdversarySpec>) -> (Simulation<Blob>, Vec<Delivered>) {
+    let mut sim = Simulation::new(NetworkModel::new(NetworkConfig::lan()), 7);
+    if let Some(spec) = adversary {
+        sim.install_adversary(spec);
+    }
+    sim.add_replica(0, Box::new(script));
+    let mut logs = Vec::new();
+    for r in 1..4 {
+        let got: Delivered = Rc::new(RefCell::new(Vec::new()));
+        logs.push(Rc::clone(&got));
+        sim.add_replica(r, Box::new(Sink { got }));
+    }
+    (sim, logs)
+}
+
+fn run(mut sim: Simulation<Blob>) -> Simulation<Blob> {
+    sim.run(SimTime::ZERO + SimDuration::from_secs(1));
+    sim
+}
+
+fn payloads(log: &Delivered) -> Vec<Blob> {
+    log.borrow().iter().map(|(_, b, _)| b.clone()).collect()
+}
+
+#[test]
+fn outbound_censorship_silences_chosen_victims() {
+    let script = Script::new(vec![
+        (vec![NodeId::replica(1)], Blob(1)),
+        (vec![NodeId::replica(2)], Blob(2)),
+        (vec![NodeId::replica(1)], Blob(3)),
+    ]);
+    let spec = AdversarySpec::new(
+        0,
+        Attack::Censor {
+            victims: vec![NodeId::replica(1)],
+            outbound: true,
+            inbound: false,
+        },
+    );
+    let (sim, logs) = rig(script, Some(spec));
+    let sim = run(sim);
+    assert_eq!(payloads(&logs[0]), Vec::<Blob>::new());
+    assert_eq!(payloads(&logs[1]), vec![Blob(2)]);
+    assert_eq!(sim.metrics().adv_censored, 2);
+}
+
+#[test]
+fn mute_adversary_censors_every_peer() {
+    let script = Script::new(vec![
+        (vec![NodeId::replica(1)], Blob(1)),
+        (vec![NodeId::replica(2)], Blob(2)),
+        (vec![NodeId::replica(3)], Blob(3)),
+    ]);
+    let (sim, logs) = rig(script, Some(AdversarySpec::new(0, Attack::mute())));
+    let sim = run(sim);
+    for log in &logs {
+        assert_eq!(payloads(log), Vec::<Blob>::new());
+    }
+    assert_eq!(sim.metrics().adv_censored, 3);
+}
+
+#[test]
+fn inbound_censorship_refuses_traffic_from_victims() {
+    // r0 (honest here) sends to r1; r1 is compromised and refuses r0.
+    let script = Script::new(vec![
+        (vec![NodeId::replica(1)], Blob(1)),
+        (vec![NodeId::replica(1)], Blob(2)),
+    ]);
+    let spec = AdversarySpec::new(
+        1,
+        Attack::Censor {
+            victims: vec![NodeId::replica(0)],
+            outbound: false,
+            inbound: true,
+        },
+    );
+    let (sim, logs) = rig(script, Some(spec));
+    let sim = run(sim);
+    assert_eq!(payloads(&logs[0]), Vec::<Blob>::new());
+    assert_eq!(sim.metrics().adv_censored, 2);
+    // the refusal happens at delivery: the sends themselves went out
+    assert_eq!(sim.metrics().node(NodeId::replica(0)).msgs_sent, 2);
+}
+
+#[test]
+fn strategic_delay_holds_messages_past_the_network_bound() {
+    let hold = SimDuration::from_millis(50);
+    let script = Script::new(vec![(vec![NodeId::replica(1)], Blob(1))]);
+    let spec = AdversarySpec::new(0, Attack::Delay { hold, prob: 1.0 });
+    let (sim, logs) = rig(script, Some(spec));
+    let sim = run(sim);
+    let got = logs[0].borrow().clone();
+    assert_eq!(got.len(), 1);
+    // sent at ~1ms; even with the network's worst delay the arrival must
+    // carry the full 50ms hold
+    assert!(
+        got[0].2 >= SimTime::ZERO + hold,
+        "arrived at {:?}",
+        got[0].2
+    );
+    assert_eq!(sim.metrics().adv_delayed, 1);
+}
+
+#[test]
+fn replay_reinjects_stale_payloads_with_valid_tags() {
+    let script = Script::new(vec![
+        (vec![NodeId::replica(1)], Blob(1)),
+        (vec![NodeId::replica(1)], Blob(2)),
+    ]);
+    let spec = AdversarySpec::new(0, Attack::Replay { prob: 1.0 });
+    let (sim, logs) = rig(script, Some(spec));
+    let sim = run(sim);
+    let got = payloads(&logs[0]);
+    // genuine 1, genuine 2, plus a stale replay of 1 alongside send #2
+    assert_eq!(got.len(), 3);
+    assert_eq!(got.iter().filter(|b| **b == Blob(1)).count(), 2);
+    assert_eq!(got.iter().filter(|b| **b == Blob(2)).count(), 1);
+    assert_eq!(sim.metrics().adv_replayed, 1);
+    // the replayed envelope is genuinely authored: wire auth verifies it
+    assert_eq!(sim.metrics().auth_verified, 1);
+    assert_eq!(sim.metrics().auth_rejected, 0);
+}
+
+#[test]
+fn corrupted_payloads_are_rejected_and_never_reach_the_actor() {
+    let script = Script::new(vec![
+        (vec![NodeId::replica(1)], Blob(1)),
+        (vec![NodeId::replica(2)], Blob(2)),
+        (vec![NodeId::replica(3)], Blob(3)),
+    ]);
+    let spec = AdversarySpec::new(0, Attack::Corrupt { prob: 1.0 });
+    let (sim, logs) = rig(script, Some(spec));
+    let sim = run(sim);
+    for log in &logs {
+        assert_eq!(payloads(log), Vec::<Blob>::new());
+    }
+    // the audited crypto invariant: every corruption became a rejection
+    assert_eq!(sim.metrics().adv_corrupted, 3);
+    assert_eq!(sim.metrics().auth_rejected, 3);
+    assert_eq!(sim.metrics().auth_verified, 0);
+}
+
+#[test]
+fn equivocation_splits_multicasts_into_disjoint_peer_sets() {
+    let everyone = vec![NodeId::replica(1), NodeId::replica(2), NodeId::replica(3)];
+    let script = Script::new(vec![
+        (everyone.clone(), Blob(1)),
+        (everyone.clone(), Blob(2)),
+    ]);
+    let spec = AdversarySpec::new(0, Attack::Equivocate { prob: 1.0 });
+    let (sim, logs) = rig(script, Some(spec));
+    let sim = run(sim);
+    assert_eq!(sim.metrics().adv_equivocated, 2);
+    let got: Vec<Vec<Blob>> = logs.iter().map(payloads).collect();
+    // Multicast #1 had an empty capture buffer, so its non-prefix set got
+    // silence: strictly fewer than the 6 honest deliveries happened.
+    let total: usize = got.iter().map(|g| g.len()).sum();
+    assert!(total < 6, "some recipients must be deprived: {got:?}");
+    // Multicast #2 split peers between genuine Blob(2) and the stale
+    // substitute Blob(1); the genuine payload reached at least one peer.
+    assert!(
+        got.iter().any(|g| g.contains(&Blob(2))),
+        "someone must see the genuine round-2 payload: {got:?}"
+    );
+    // substitutes are genuinely authored, so whatever flowed verified
+    assert_eq!(sim.metrics().auth_rejected, 0);
+}
+
+#[test]
+fn attack_stacks_compose_on_one_node() {
+    // censor r1, corrupt what still flows to the others
+    let script = Script::new(vec![
+        (vec![NodeId::replica(1)], Blob(1)),
+        (vec![NodeId::replica(2)], Blob(2)),
+    ]);
+    let spec = AdversarySpec::new(
+        0,
+        Attack::Censor {
+            victims: vec![NodeId::replica(1)],
+            outbound: true,
+            inbound: false,
+        },
+    )
+    .and(Attack::Corrupt { prob: 1.0 });
+    let (sim, logs) = rig(script, Some(spec));
+    let sim = run(sim);
+    assert_eq!(sim.metrics().adv_censored, 1);
+    assert_eq!(sim.metrics().adv_corrupted, 1);
+    assert_eq!(sim.metrics().auth_rejected, 1);
+    assert_eq!(payloads(&logs[0]), Vec::<Blob>::new());
+    assert_eq!(payloads(&logs[1]), Vec::<Blob>::new());
+}
+
+#[test]
+fn adversarial_runs_are_deterministic() {
+    let everyone = vec![NodeId::replica(1), NodeId::replica(2), NodeId::replica(3)];
+    let mk = || {
+        let script = Script::new(vec![
+            (everyone.clone(), Blob(1)),
+            (vec![NodeId::replica(1)], Blob(2)),
+            (everyone.clone(), Blob(3)),
+        ]);
+        let spec = AdversarySpec::new(0, Attack::Equivocate { prob: 0.8 })
+            .and(Attack::Delay {
+                hold: SimDuration::from_millis(5),
+                prob: 0.5,
+            })
+            .and(Attack::Replay { prob: 0.5 })
+            .and(Attack::Corrupt { prob: 0.3 });
+        let (sim, logs) = rig(script, Some(spec));
+        (run(sim), logs)
+    };
+    let (a, a_logs) = mk();
+    let (b, b_logs) = mk();
+    for (la, lb) in a_logs.iter().zip(&b_logs) {
+        assert_eq!(*la.borrow(), *lb.borrow());
+    }
+    assert_eq!(format!("{:?}", a.metrics()), format!("{:?}", b.metrics()));
+}
+
+#[test]
+fn install_adversary_reports_compromised_set() {
+    let mut sim: Simulation<Blob> = Simulation::new(NetworkModel::new(NetworkConfig::lan()), 7);
+    sim.install_adversary(AdversarySpec::new(2, Attack::mute()));
+    sim.install_adversary(AdversarySpec::new(0, Attack::Replay { prob: 0.5 }));
+    assert_eq!(sim.compromised(), vec![0, 2]);
+}

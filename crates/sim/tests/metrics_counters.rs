@@ -9,7 +9,7 @@ use bft_sim::{
 use bft_types::{ReplicaId, TimerKind, WireSize};
 
 /// Fixed-size opaque payload.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize)]
 struct Blob(usize);
 
 impl WireSize for Blob {

@@ -36,12 +36,15 @@ fn main() {
     );
 
     // ── 2. the silent leader ────────────────────────────────────────────
-    println!("2. SILENCE — the leader simply never proposes.\n");
-    let out = Protocol::Pbft(PbftOptions {
-        behaviors: vec![(ReplicaId(0), Behavior::SilentLeader)],
-        ..Default::default()
-    })
-    .run(&base);
+    // Silence is a wire-level attack, so it is mounted at the network
+    // boundary: the adversary layer censors every envelope the compromised
+    // leader sends, whatever the protocol. No PBFT-specific hook needed.
+    println!("2. SILENCE — the compromised leader's outbound wire is muted.\n");
+    let out = Protocol::Pbft(PbftOptions::default()).run(
+        &base
+            .clone()
+            .with_adversaries(vec![AdversarySpec::new(0, Attack::mute())]),
+    );
     SafetyAuditor::excluding(vec![NodeId::replica(0)]).assert_safe(&out.log);
     println!(
         "   timer τ2 fired, the cluster moved to view {}, all {} requests completed.\n",

@@ -44,6 +44,35 @@ fn smoke_campaign_is_deterministic_across_threads() {
     assert_eq!(sequential, run_campaign(&cfg, 1).render());
 }
 
+/// The Byzantine smoke campaign: every registry entry survives the attack
+/// gallery its measured envelope claims (safety always; liveness within
+/// the per-protocol [`ByzantineTolerance`] scope), and the report is
+/// byte-identical whatever the worker-thread count.
+///
+/// [`ByzantineTolerance`]: bft_protocols::registry::ByzantineTolerance
+#[test]
+fn byzantine_smoke_campaign_is_clean_and_deterministic() {
+    let cfg = CampaignConfig::byzantine(5);
+    let report = run_campaign(&cfg, 1);
+    assert_eq!(
+        report.results.len(),
+        ProtocolId::ALL.len() * cfg.seeds.len()
+    );
+    assert!(
+        report.failures().is_empty(),
+        "byzantine smoke campaign found violations:\n{}",
+        report.render()
+    );
+    let sequential = report.render();
+    for threads in [2, 4] {
+        assert_eq!(
+            sequential,
+            run_campaign(&cfg, threads).render(),
+            "byzantine report differs at {threads} worker threads"
+        );
+    }
+}
+
 #[test]
 fn sabotaged_pbft_is_caught_and_shrunk() {
     let cfg = CampaignConfig::smoke();

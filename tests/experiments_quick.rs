@@ -26,6 +26,48 @@ fn all_experiment_claims_reproduce_in_quick_mode() {
     );
 }
 
+/// Pins the `exp_p5` full-mode liveness deficit under the campaign's
+/// liveness checker: proactive rejuvenation concurrent with a crashed
+/// replica strands requests in *both* provisioning regimes (36/120 at
+/// n = 3f+1, 96/120 at n = 3f+2k+1 — the full-mode table in
+/// EXPERIMENTS.md). The deficit is a known open item; this test makes any
+/// drift — a fix or a regression — visible instead of silent.
+#[test]
+fn exp_p5_full_mode_liveness_deficit_is_pinned() {
+    use bft_sim::campaign::{check_outcome, CampaignViolation};
+    use untrusted_txn::prelude::*;
+
+    for (n_override, pinned_accepted) in [(None, 36), (Some(6), 96)] {
+        let mut s = Scenario::builder()
+            .n_for_f(1)
+            .clients(1)
+            .requests(120)
+            .build();
+        s.n_override = n_override;
+        let s = s.with_faults(FaultPlan::none().crash(NodeId::replica(1), SimTime::ZERO));
+        let out = Protocol::Pbft(PbftOptions {
+            recovery_period: Some(SimDuration::from_millis(20)),
+            ..Default::default()
+        })
+        .run(&s);
+        match check_outcome(&out.log, vec![NodeId::replica(1)], 120) {
+            Some(CampaignViolation::Liveness { accepted, expected }) => {
+                assert_eq!(expected, 120);
+                assert_eq!(
+                    accepted, pinned_accepted,
+                    "exp_p5 deficit drifted at n_override={n_override:?} — \
+                     update this pin and the EXPERIMENTS.md table together"
+                );
+            }
+            other => panic!(
+                "exp_p5 (n_override={n_override:?}) no longer shows the \
+                 liveness deficit: {other:?} — update this pin and \
+                 EXPERIMENTS.md together"
+            ),
+        }
+    }
+}
+
 #[test]
 fn experiment_tables_are_well_formed() {
     // spot-check a handful of fast experiments for structural sanity

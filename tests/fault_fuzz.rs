@@ -178,20 +178,27 @@ proptest! {
         prop_assert_eq!(out.log.client_latencies().len() as u64, REQS);
     }
 
-    /// A Byzantine PBFT leader drawn from the behavior gallery can never
-    /// violate safety, whichever behavior and seed.
+    /// A Byzantine PBFT leader drawn from the attack gallery can never
+    /// violate safety, whichever attack and seed. Variant 0 is the
+    /// wire-level adversary (a fully muted leader — the envelope-layer
+    /// successor of the retired `Behavior::SilentLeader`); the rest are
+    /// content-dependent protocol behaviors.
     #[test]
     fn byzantine_leader_gallery_is_always_safe(which in 0usize..4, seed in 0u64..1000) {
-        let behavior = match which {
-            0 => Behavior::SilentLeader,
-            1 => Behavior::Equivocate,
-            2 => Behavior::Censor(ClientId(0)),
-            _ => Behavior::Favor(ClientId(0)),
-        };
-        let scenario = Scenario::small(1).with_load(2, 6).with_seed(seed);
-        let out = Protocol::Pbft(PbftOptions { behaviors: vec![(ReplicaId(0), behavior)], ..Default::default() }).run(&scenario);
+        let mut scenario = Scenario::small(1).with_load(2, 6).with_seed(seed);
+        let mut options = PbftOptions::default();
+        match which {
+            0 => {
+                scenario =
+                    scenario.with_adversaries(vec![AdversarySpec::new(0, Attack::mute())]);
+            }
+            1 => options.behaviors = vec![(ReplicaId(0), Behavior::Equivocate)],
+            2 => options.behaviors = vec![(ReplicaId(0), Behavior::Censor(ClientId(0)))],
+            _ => options.behaviors = vec![(ReplicaId(0), Behavior::Favor(ClientId(0)))],
+        }
+        let out = Protocol::Pbft(options).run(&scenario);
         SafetyAuditor::excluding(vec![NodeId::replica(0)]).assert_safe(&out.log);
-        // liveness too: every behavior in the gallery is recoverable
+        // liveness too: every attack in the gallery is recoverable
         prop_assert_eq!(out.log.client_latencies().len() as u64, 12);
     }
 }
