@@ -361,12 +361,51 @@ mod bench_json {
     }
 
     #[derive(Serialize)]
+    struct WorkloadPoint {
+        family: String,
+        clients: usize,
+        requests_per_client: u64,
+        accepted: u64,
+        virtual_tput_per_sec: f64,
+    }
+
+    #[derive(Serialize)]
     struct BenchSimJson {
         generated_by: String,
         host_threads: usize,
         micro: Vec<MicroBench>,
         registry: RegistryTiming,
+        workloads: Vec<WorkloadPoint>,
         notes: Vec<String>,
+    }
+
+    /// Per-workload throughput scale points: each suite family under PBFT
+    /// at increasing load. Virtual-time throughput, so the numbers are
+    /// deterministic and host-independent (unlike the micro rows).
+    fn workload_points() -> Vec<WorkloadPoint> {
+        use bft_protocols::suite::workload_suite;
+        use bft_protocols::ProtocolId;
+        let mut points = Vec::new();
+        for entry in workload_suite() {
+            for (clients, requests) in [(2usize, 25u64), (4, 50)] {
+                let s = entry.scenario(1, clients, requests, 11);
+                let out = ProtocolId::Pbft.run(&s);
+                let accepted = out.log.client_latencies().len() as u64;
+                let secs = out.end_time.0 as f64 / 1e9;
+                points.push(WorkloadPoint {
+                    family: entry.name.to_string(),
+                    clients,
+                    requests_per_client: requests,
+                    accepted,
+                    virtual_tput_per_sec: if secs > 0.0 {
+                        accepted as f64 / secs
+                    } else {
+                        0.0
+                    },
+                });
+            }
+        }
+        points
     }
 
     fn registry_json(records: &[bft_bench::RunRecord]) -> String {
@@ -417,8 +456,12 @@ mod bench_json {
                 speedup: seq_ms / par_ms,
                 results_byte_identical: identical,
             },
+            workloads: workload_points(),
             notes: vec![
                 "virtual-time simulations; wall-clock numbers are host-dependent".into(),
+                "workloads: per-family PBFT throughput scale points in virtual time \
+                 (deterministic; see EXPERIMENTS.md 'Workload suite')"
+                    .into(),
                 format!(
                     "broadcast fan-out shares one Arc allocation across recipients: \
                      per-delivery cost is payload-size-independent (compare the \

@@ -23,9 +23,11 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+use bft_core::workload::WorkloadConfig;
 use bft_protocols::registry::{registry, ProtocolEntry, ProtocolId};
+use bft_protocols::suite::semantic_config;
 use bft_protocols::Scenario;
-use bft_sim::campaign::{check_outcome, generate_case, shrink_case, suspects_with};
+use bft_sim::campaign::{check_outcome_with_semantics, generate_case, shrink_case, suspects_with};
 use bft_sim::campaign::{CampaignViolation, ChaosCase, ChaosProfile};
 use bft_sim::runner::RunOutcome;
 use bft_sim::{AdversarySpec, AttackKind, FaultPlan, NetworkConfig};
@@ -50,6 +52,9 @@ pub struct CampaignConfig {
     /// Restrict the Byzantine generator to these attack classes (`None` =
     /// everything the protocol's envelope allows).
     pub attack_filter: Option<Vec<AttackKind>>,
+    /// The transaction mix each client drives (default: the uniform
+    /// key-value mix; any workload-suite family can be hammered instead).
+    pub workload: WorkloadConfig,
 }
 
 impl CampaignConfig {
@@ -64,6 +69,7 @@ impl CampaignConfig {
             protocols: ProtocolId::ALL.to_vec(),
             byzantine: false,
             attack_filter: None,
+            workload: WorkloadConfig::uniform(),
         }
     }
 
@@ -240,6 +246,7 @@ pub fn scenario_for(cfg: &CampaignConfig, case: &ChaosCase) -> Scenario {
         .requests(cfg.requests_per_client)
         .seed(case.seed)
         .network(network)
+        .workload(cfg.workload)
         .faults(case.plan.clone())
         .adversaries(case.adversaries.clone())
         .build()
@@ -259,14 +266,20 @@ pub fn run_case_with(
     let scenario = scenario_for(cfg, &case);
     let expected = scenario.total_requests();
     let out = run(&scenario);
-    let violation = check_outcome(&out.log, case.suspects(), expected);
+    // Safety and liveness first, then the per-workload semantic checkers
+    // (replay faithfulness, lost-write, linearizability, log/counter
+    // invariants) — sabotage that keeps digests unanimous is only visible
+    // to the semantic layer.
+    let semantic = semantic_config(protocol, &scenario);
+    let violation = check_outcome_with_semantics(&out.log, case.suspects(), expected, &semantic);
     let minimal = violation.as_ref().map(|_| {
         shrink_case(&case, |plan, advs| {
             let mut s = scenario.clone();
             s.faults = plan.clone();
             s.adversaries = advs.to_vec();
             let out = run(&s);
-            check_outcome(&out.log, suspects_with(plan, advs), expected).is_some()
+            check_outcome_with_semantics(&out.log, suspects_with(plan, advs), expected, &semantic)
+                .is_some()
         })
     });
     let (minimal_plan, minimal_adversaries) = match minimal {

@@ -7,3 +7,4 @@ pub mod figures;
 pub mod qos;
 pub mod structure;
 pub(crate) mod util;
+pub mod workloads;

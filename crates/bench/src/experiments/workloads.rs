@@ -1,0 +1,68 @@
+//! The workload-suite experiment: per-family throughput and semantic
+//! checker verdicts across representative protocols.
+//!
+//! Each row runs one (workload family, protocol) pair at the suite's
+//! canonical load, reports the usual throughput/latency/message-cost
+//! quantities, and re-validates the accepted history with the family's
+//! consistency checker — the same code path the chaos campaign gates on.
+
+use bft_protocols::suite::{check_run, workload_suite};
+use bft_protocols::ProtocolId;
+
+use crate::table::{fmt, ExperimentResult};
+
+use super::util::*;
+
+/// **W1 — workload suite**: every suite family is protocol-agnostic; the
+/// relative cost of log appends, counter increments and read-heavy mixes
+/// tracks each protocol's write path, not per-workload plumbing.
+pub fn w1_workloads(quick: bool) -> ExperimentResult {
+    let mut result = ExperimentResult::new(
+        "exp_w1",
+        "W1: workload suite across protocols",
+        "the workload layer is protocol-agnostic: every registry protocol \
+         serves the key-value, read-heavy, append-only-log and grow-only \
+         counter families through the same composed state machine, and \
+         every accepted history passes the family's consistency checker",
+        vec!["tput/s", "mean ms", "msgs/req", "checker"],
+    );
+    let reqs = load(quick, 40);
+    // a spread of commitment strategies: classic three-phase, speculative,
+    // chained, trusted-hardware and versioned-object replication
+    let protocols = [
+        ProtocolId::Pbft,
+        ProtocolId::Zyzzyva,
+        ProtocolId::HotStuff,
+        ProtocolId::MinBft,
+        ProtocolId::Qu,
+    ];
+    let mut all_clean = true;
+    for entry in workload_suite() {
+        for protocol in protocols {
+            let s = entry.scenario(1, 2, reqs, 11);
+            let out = protocol.run(&s);
+            audit(&out, &[]);
+            let violations = check_run(protocol, &s, &out);
+            all_clean &= violations.is_empty() && accepted(&out) as u64 == s.total_requests();
+            let verdict = if violations.is_empty() {
+                "clean".to_string()
+            } else {
+                format!("{} violation(s)", violations.len())
+            };
+            result.row(
+                format!("{}/{}", entry.name, protocol.name()),
+                vec![
+                    fmt::f1(throughput(&out)),
+                    fmt::ms(mean_latency_ns(&out)),
+                    fmt::f1(msgs_per_req(&out)),
+                    verdict,
+                ],
+            );
+        }
+    }
+    result.check(
+        all_clean,
+        "all families complete and pass their consistency checkers",
+    );
+    result
+}

@@ -170,6 +170,11 @@ pub fn registry() -> Vec<(&'static str, &'static str, ExperimentFn)> {
             "Ablation: PBFT read-only optimization",
             ablations::abl_readonly,
         ),
+        (
+            "exp_w1",
+            "W1: workload suite across protocols",
+            workloads::w1_workloads,
+        ),
     ]
 }
 
@@ -190,13 +195,13 @@ mod tests {
         let reg = registry();
         assert_eq!(
             reg.len(),
-            31,
-            "2 figures + 6 P + 4 E + 2 Q + 14 DC + 3 ablations"
+            32,
+            "2 figures + 6 P + 4 E + 2 Q + 14 DC + 3 ablations + 1 workload suite"
         );
         let mut ids: Vec<&str> = reg.iter().map(|(id, _, _)| *id).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 31);
+        assert_eq!(ids.len(), 32);
     }
 
     #[test]

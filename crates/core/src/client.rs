@@ -101,6 +101,21 @@ impl ReplyCollector {
         groups.values().copied().max().unwrap_or(0)
     }
 
+    /// A representative reply from the largest matching group (the result
+    /// the client accepts once that group reaches its quorum).
+    pub fn best_matching_reply(&self) -> Option<&Reply> {
+        let mut groups: BTreeMap<(Digest, bool), usize> = BTreeMap::new();
+        for reply in self.replies.values() {
+            *groups
+                .entry((reply.state_digest, reply.speculative))
+                .or_insert(0) += 1;
+        }
+        let (best, _) = groups.into_iter().max_by_key(|(_, n)| *n)?;
+        self.replies
+            .values()
+            .find(|r| (r.state_digest, r.speculative) == best)
+    }
+
     /// Reset for the next request.
     pub fn clear(&mut self) {
         self.replies.clear();

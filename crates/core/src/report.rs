@@ -145,7 +145,7 @@ impl RunReport {
 mod tests {
     use super::*;
     use bft_sim::{Metrics, NodeId};
-    use bft_types::{ClientId, RequestId};
+    use bft_types::{ClientId, RequestId, Transaction, TxnResult};
 
     #[test]
     fn report_from_log() {
@@ -162,6 +162,8 @@ mod tests {
                     },
                     sent_at: SimTime((ts - 1) * 1_000_000),
                     fast_path: ts % 2 == 0,
+                    txn: Transaction::default(),
+                    result: TxnResult { reads: vec![] },
                 },
             );
         }

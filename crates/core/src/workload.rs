@@ -14,6 +14,22 @@ use serde::{Deserialize, Serialize};
 
 use bft_types::{Key, Op, Transaction};
 
+/// Which workload family to generate. Each family drives a different
+/// application state machine (`bft-state`'s composed app) and comes with
+/// its own consistency checker in `bft-sim`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum WorkloadKind {
+    /// The original read/write key-value mix (`Get`/`Add`).
+    #[default]
+    KvMix,
+    /// Append-only log: producers `Append` uniquely tagged records,
+    /// consumers `ReadAt` fixed offsets.
+    LogAppend,
+    /// Grow-only counter: commutative `GAdd` increments and `GRead`s
+    /// (the DC9 conflict-freedom story).
+    CounterInc,
+}
+
 /// Workload parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct WorkloadConfig {
@@ -29,6 +45,8 @@ pub struct WorkloadConfig {
     /// Virtual-time execution cost units per transaction (adds an
     /// [`Op::Work`] operation when > 0).
     pub work_units: u32,
+    /// Which workload family to generate.
+    pub kind: WorkloadKind,
 }
 
 impl WorkloadConfig {
@@ -41,6 +59,40 @@ impl WorkloadConfig {
             read_fraction: 0.5,
             ops_per_txn: 1,
             work_units: 0,
+            kind: WorkloadKind::KvMix,
+        }
+    }
+
+    /// Read-heavy key-value tier: 90% read-only transactions, exercising
+    /// the optimized read path (ABL-3) under whatever network profile the
+    /// scenario selects (geo/WAN in the suite).
+    pub fn read_heavy() -> Self {
+        WorkloadConfig::uniform().with_reads(0.9)
+    }
+
+    /// Append-only log workload over a handful of named logs: appends carry
+    /// stream-unique record tags; consumer reads probe fixed offsets.
+    pub fn log_append() -> Self {
+        WorkloadConfig {
+            keys: 4,
+            hot_fraction: 0.0,
+            read_fraction: 0.3,
+            ops_per_txn: 1,
+            work_units: 0,
+            kind: WorkloadKind::LogAppend,
+        }
+    }
+
+    /// Grow-only counter workload over a small counter set: contended but
+    /// commutative increments plus occasional total reads.
+    pub fn counter_inc() -> Self {
+        WorkloadConfig {
+            keys: 4,
+            hot_fraction: 0.0,
+            read_fraction: 0.25,
+            ops_per_txn: 1,
+            work_units: 0,
+            kind: WorkloadKind::CounterInc,
         }
     }
 
@@ -65,6 +117,12 @@ impl WorkloadConfig {
         self.work_units = units;
         self
     }
+
+    /// Builder-style: set the key-space size.
+    pub fn with_keys(mut self, keys: u64) -> Self {
+        self.keys = keys;
+        self
+    }
 }
 
 /// A deterministic transaction generator.
@@ -73,14 +131,29 @@ pub struct Workload {
     /// The parameters.
     pub config: WorkloadConfig,
     rng: ChaCha8Rng,
+    /// Stream tag (normally the client id): makes appended records unique
+    /// across generators so the log checker can attribute every record.
+    stream: u64,
+    /// Appends generated so far by this stream (offset guesses for
+    /// consumer reads; the record tag's low half).
+    appends: u64,
 }
 
 impl Workload {
-    /// Create a workload from a config and seed.
+    /// Create a workload from a config and seed (stream tag 0).
     pub fn new(config: WorkloadConfig, seed: u64) -> Self {
+        Workload::for_stream(config, seed, 0)
+    }
+
+    /// Create a workload bound to a stream tag (normally the client id).
+    /// The tag does not perturb the RNG, so `KvMix` generation is identical
+    /// to [`Workload::new`] at the same seed.
+    pub fn for_stream(config: WorkloadConfig, seed: u64, stream: u64) -> Self {
         Workload {
             config,
             rng: ChaCha8Rng::seed_from_u64(seed ^ 0x9e3779b97f4a7c15),
+            stream,
+            appends: 0,
         }
     }
 
@@ -90,11 +163,35 @@ impl Workload {
         let read_only = self.rng.gen_bool(self.config.read_fraction.clamp(0.0, 1.0));
         for _ in 0..self.config.ops_per_txn {
             let key = self.pick_key();
-            if read_only {
-                ops.push(Op::Get(key));
-            } else {
-                // read-modify-write: conflicts both ways on the key
-                ops.push(Op::Add(key, self.rng.gen_range(-5..=5)));
+            match self.config.kind {
+                WorkloadKind::KvMix => {
+                    if read_only {
+                        ops.push(Op::Get(key));
+                    } else {
+                        // read-modify-write: conflicts both ways on the key
+                        ops.push(Op::Add(key, self.rng.gen_range(-5..=5)));
+                    }
+                }
+                WorkloadKind::LogAppend => {
+                    if read_only {
+                        // probe an offset this stream believes exists
+                        let guess = self.rng.gen_range(0..self.appends.max(1));
+                        ops.push(Op::ReadAt(key, guess));
+                    } else {
+                        // stream-unique record tag: (stream, per-stream counter)
+                        let record =
+                            ((self.stream as i64) << 32) | (self.appends as i64 & 0xffff_ffff);
+                        self.appends += 1;
+                        ops.push(Op::Append(key, record));
+                    }
+                }
+                WorkloadKind::CounterInc => {
+                    if read_only {
+                        ops.push(Op::GRead(key));
+                    } else {
+                        ops.push(Op::GAdd(key, self.rng.gen_range(1..=8)));
+                    }
+                }
             }
         }
         if self.config.work_units > 0 {

@@ -20,7 +20,8 @@ use bft_sim::{
     SimDuration, SimTime, Simulation, TimerId,
 };
 use bft_types::{
-    ClientId, Digest, QuorumRules, ReplicaId, Reply, Request, RequestId, TimerKind, WireSize,
+    ClientId, Digest, QuorumRules, ReplicaId, Reply, Request, RequestId, TimerKind, Transaction,
+    WireSize,
 };
 
 /// A client request plus the client's signature over it.
@@ -274,10 +275,32 @@ impl Scenario {
     /// Workload generator for one client (each client gets a distinct
     /// stream).
     pub fn workload_for(&self, client: u64) -> Workload {
-        Workload::new(
+        Workload::for_stream(
             self.workload,
             self.seed.wrapping_mul(31).wrapping_add(client),
+            client,
         )
+    }
+
+    /// The full request table the scenario's clients will generate:
+    /// client ids are `0..clients`, timestamps `1..=requests_per_client`,
+    /// transactions drawn deterministically from [`Scenario::workload_for`].
+    /// Feeds the semantic checkers (phantom resolution and replay).
+    pub fn request_txns(&self) -> std::collections::BTreeMap<RequestId, Transaction> {
+        let mut txns = std::collections::BTreeMap::new();
+        for c in 0..self.clients as u64 {
+            let mut w = self.workload_for(c);
+            for ts in 1..=self.requests_per_client {
+                txns.insert(
+                    RequestId {
+                        client: ClientId(c),
+                        timestamp: ts,
+                    },
+                    w.next_txn(),
+                );
+            }
+        }
+        txns
     }
 }
 
@@ -505,11 +528,17 @@ impl<P: ClientProtocol> Actor<P::Msg> for GenericClient<P> {
             if let Some(t) = self.timer.take() {
                 ctx.cancel_timer(t);
             }
-            self.in_flight = None;
+            let txn = self
+                .in_flight
+                .take()
+                .map(|(_, signed, _)| signed.request.txn)
+                .unwrap_or_default();
             ctx.observe(Observation::ClientAccept {
                 request: current,
                 sent_at,
                 fast_path: !self.retransmitted && agreed.speculative,
+                txn,
+                result: agreed.result.clone(),
             });
             self.submit_next(ctx);
         }

@@ -1019,5 +1019,47 @@ mod tests {
         assert_eq!(a.end_time, b.end_time);
     }
 
+    /// Retransmission-storm bound: a compromised replica equivocating its
+    /// ordering streams (splitting every multicast between genuine and
+    /// stale payloads) must not amplify honest traffic. The pre-order
+    /// rounds are time-triggered, not reply-triggered, so the adversary
+    /// gets no retransmission lever to pull — the run completes at the
+    /// same event budget with replica traffic within a whisker of the
+    /// clean run.
+    #[test]
+    fn equivocated_ordering_streams_do_not_storm() {
+        use bft_sim::{AdversarySpec, Attack};
+        for seed in [1u64, 2, 3] {
+            let clean = Scenario::small(1).with_load(2, 8).with_seed(seed);
+            let attacked = clean.clone().with_adversaries(vec![AdversarySpec::new(
+                1,
+                Attack::Equivocate { prob: 1.0 },
+            )]);
+            let base = run(&clean);
+            let adv = run(&attacked);
+            assert!(
+                adv.metrics.adv_equivocated >= 8,
+                "seed {seed}: the adversary must actually split multicasts (got {})",
+                adv.metrics.adv_equivocated
+            );
+            assert_eq!(accepted(&adv), 16, "seed {seed}: every request accepted");
+            let (base_msgs, adv_msgs) = (
+                base.metrics.replica_msgs_sent(),
+                adv.metrics.replica_msgs_sent(),
+            );
+            assert!(
+                adv_msgs <= base_msgs + base_msgs / 4,
+                "seed {seed}: equivocation caused a retransmission storm: \
+                 {adv_msgs} msgs vs {base_msgs} clean"
+            );
+            assert!(
+                adv.events_processed <= base.events_processed * 2,
+                "seed {seed}: event budget blown: {} vs {} clean",
+                adv.events_processed,
+                base.events_processed
+            );
+        }
+    }
+
     use bft_crypto::KeyStore;
 }

@@ -30,6 +30,7 @@
 
 pub mod common;
 pub mod registry;
+pub mod suite;
 
 pub mod chain;
 pub mod cheap;

@@ -80,29 +80,34 @@ impl Usig {
     }
 }
 
-/// Receiver-side monotonicity checking of another replica's UIs.
+/// Receiver-side uniqueness checking of another replica's UIs.
 ///
-/// A replica interleaves attestations for different message types (its
-/// prepares and its commits draw from the same counter), so receivers check
-/// *strict monotonicity per message stream* rather than gap-freedom: a
-/// counter may never repeat or go backwards. Replays and forks — the
-/// equivocation vectors — are thereby rejected; benign gaps (counters spent
-/// on other message types) pass.
+/// The equivocation vectors are *replays* (the same attested counter
+/// presented twice) and *forks* (two different digests claiming one
+/// counter) — both are rejected. Counters arriving out of order are fine:
+/// the network does not provide FIFO channels, a replica interleaves
+/// attestations for different message types (its prepares and its commits
+/// draw from the same counter), and every unseen counter value is a
+/// genuine hardware attestation regardless of arrival order. (The MinBFT
+/// paper gets to insist on gap-free counters only because it assumes
+/// reliable FIFO point-to-point links; rejecting a late lower counter
+/// here would silently drop a valid prepare and wedge the slot.)
 #[derive(Debug, Clone, Default)]
 pub struct UiVerifier {
-    last_seen: BTreeMap<ReplicaId, u64>,
+    seen: BTreeMap<ReplicaId, BTreeMap<u64, Digest>>,
 }
 
 impl UiVerifier {
-    /// Accept `ui` iff its counter is strictly greater than the last
-    /// accepted counter from that replica.
+    /// Accept `ui` iff this counter value has never been presented by that
+    /// replica before — replays and forked attestations are rejected.
     pub fn accept(&mut self, ui: &Ui) -> bool {
-        let last = self.last_seen.entry(ui.replica).or_insert(0);
-        if ui.counter > *last {
-            *last = ui.counter;
-            true
-        } else {
-            false
+        let seen = self.seen.entry(ui.replica).or_default();
+        match seen.get(&ui.counter) {
+            Some(_) => false, // replay, or a fork the hardware cannot emit
+            None => {
+                seen.insert(ui.counter, ui.digest);
+                true
+            }
         }
     }
 }
@@ -791,10 +796,15 @@ mod tests {
         // replays rejected — the anti-equivocation core
         assert!(!v.accept(&a));
         assert!(!v.accept(&b));
-        // rollback rejected
+        // out-of-order arrival of a fresh attestation is accepted (the
+        // network is not FIFO), but replaying it afterwards is not
         let mut v2 = UiVerifier::default();
         assert!(v2.accept(&b));
-        assert!(!v2.accept(&a), "counter going backwards must be rejected");
+        assert!(
+            v2.accept(&a),
+            "late lower counter is still a valid attestation"
+        );
+        assert!(!v2.accept(&a), "…but only once");
     }
 
     #[test]

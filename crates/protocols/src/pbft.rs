@@ -295,6 +295,11 @@ pub enum PbftSabotage {
     /// Count the commit quorum one vote short (2f instead of 2f+1),
     /// breaking the quorum-intersection argument.
     CommitQuorumOffByOne,
+    /// Every replica silently skips applying the k-th request it would
+    /// execute (0-based), fabricating a plausible reply instead. Replica
+    /// digests stay unanimous — only the semantic (per-workload) checkers
+    /// can catch the lost update/append.
+    DropExecution(u64),
 }
 
 impl PbftConfig {
@@ -328,6 +333,10 @@ pub struct PbftReplica {
     mempool: VecDeque<SignedRequest>,
     /// Requests already executed (dedup across retransmissions).
     executed_reqs: BTreeMap<RequestId, ()>,
+    /// Requests processed by `try_execute` (drives the `DropExecution`
+    /// sabotage counter; identical across replicas since execution order
+    /// is identical).
+    exec_seen: u64,
     sm: StateMachine,
     /// Last executed consensus slot (slot space ≠ request space when
     /// batches hold several requests).
@@ -371,6 +380,7 @@ impl PbftReplica {
             slots: BTreeMap::new(),
             mempool: VecDeque::new(),
             executed_reqs: BTreeMap::new(),
+            exec_seen: 0,
             sm: StateMachine::new(),
             exec_cursor: SeqNum(0),
             ckpt,
@@ -501,18 +511,12 @@ impl PbftReplica {
         if !signed.verify(&self.store) || !signed.request.txn.is_read_only() {
             return;
         }
-        let reads: Vec<Option<bft_types::Value>> = signed
-            .request
-            .txn
-            .ops
-            .iter()
-            .filter_map(|op| op.read_key())
-            .map(|k| self.sm.store().get(k))
-            .collect();
+        // each read op is answered by the app that serves it (kv get, log
+        // offset probe, counter total)
         let reply = Reply {
             request: signed.request.id,
             view: self.view,
-            result: bft_types::TxnResult { reads },
+            result: self.sm.read_only_results(&signed.request.txn),
             state_digest: self.sm.digest(),
             speculative: true, // tentative: matching across 2f+1 finalizes it
         };
@@ -806,6 +810,44 @@ impl PbftReplica {
             let view = slot.view;
             self.enter_stage(Stage::Execution, ctx);
             for signed in &batch {
+                let drop_this = matches!(
+                    self.cfg.sabotage,
+                    PbftSabotage::DropExecution(k) if self.exec_seen == k
+                );
+                self.exec_seen += 1;
+                if drop_this {
+                    // skip the state transition entirely but answer the
+                    // client with a deterministic fabricated result: every
+                    // replica fabricates identically, so digests (and the
+                    // digest-based safety auditor) stay unanimous
+                    let fabricated = Reply {
+                        request: signed.request.id,
+                        view,
+                        result: bft_types::TxnResult {
+                            reads: signed
+                                .request
+                                .txn
+                                .ops
+                                .iter()
+                                .filter(|op| {
+                                    !matches!(op, Op::Put(_, _) | Op::Delete(_) | Op::Work(_))
+                                })
+                                .map(|_| Some(0))
+                                .collect(),
+                        },
+                        state_digest: self.sm.digest(),
+                        speculative: false,
+                    };
+                    match self.cfg.auth {
+                        PbftAuth::Mac => ctx.charge_crypto(CryptoOp::MacGen),
+                        PbftAuth::Signature => ctx.charge_crypto(CryptoOp::Sign),
+                    }
+                    ctx.send(
+                        NodeId::Client(signed.request.id.client),
+                        PbftMsg::Reply(fabricated),
+                    );
+                    continue;
+                }
                 let seq = self.sm.last_executed().next();
                 // charge execution work for Work ops
                 let work: u32 = signed
@@ -1571,7 +1613,11 @@ impl Actor<PbftMsg> for PbftReadClient {
             if let Some(t) = self.timer.take() {
                 ctx.cancel_timer(t);
             }
-            self.in_flight = None;
+            let txn = self
+                .in_flight
+                .take()
+                .map(|(_, signed, _)| signed.request.txn)
+                .unwrap_or_default();
             let fast = agreed.speculative; // read replies are marked tentative
             if fast {
                 self.fast_reads += 1;
@@ -1581,6 +1627,8 @@ impl Actor<PbftMsg> for PbftReadClient {
                 request: current,
                 sent_at,
                 fast_path: fast,
+                txn,
+                result: agreed.result.clone(),
             });
             self.submit_next(ctx);
         }

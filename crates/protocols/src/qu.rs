@@ -33,8 +33,8 @@ use bft_crypto::{CryptoOp, KeyStore};
 use bft_sim::runner::RunOutcome;
 use bft_sim::{Actor, Context, NodeId, Observation, SimDuration, SimTime, TimerId};
 use bft_types::{
-    ClientId, Digest, Key, Op, QuorumRules, ReplicaId, Request, RequestId, TimerKind, Value,
-    WireSize,
+    ClientId, Digest, Key, Op, QuorumRules, ReplicaId, Request, RequestId, TimerKind, TxnResult,
+    Value, WireSize,
 };
 
 use crate::common::{run_to_completion_with_drain, Scenario, SignedRequest};
@@ -176,6 +176,30 @@ impl Actor<QuMsg> for QuReplica {
             Some(Op::Add(k, val)) => {
                 let (applied, v) = self.objects.write(*k, *val, *expected_version);
                 (applied, v, Some(*val))
+            }
+            // log append: a versioned write whose assigned offset is the
+            // new version minus one (versions count writes to the object)
+            Some(Op::Append(k, val)) => {
+                let (applied, v) = self.objects.write(*k, *val, *expected_version);
+                (applied, v, Some(*val))
+            }
+            // consumer read at a fixed offset: answers the latest record
+            // only when the log has grown exactly that far (offset probes
+            // beyond or behind the object's single-version window miss)
+            Some(Op::ReadAt(k, off)) => {
+                let (v, val) = self.objects.get(*k);
+                let hit = v > 0 && v - 1 == *off;
+                (true, v, if hit { val } else { None })
+            }
+            // grow-only counter increment: blind write of the delta (same
+            // object-history caveat as `Add`)
+            Some(Op::GAdd(k, d)) => {
+                let (applied, v) = self.objects.write(*k, *d as Value, *expected_version);
+                (applied, v, Some(*d as Value))
+            }
+            Some(Op::GRead(k)) => {
+                let (v, val) = self.objects.get(*k);
+                (true, v, val)
             }
             _ => (true, 0, None),
         };
@@ -368,12 +392,12 @@ impl Actor<QuMsg> for QuClient {
             voters.push(replica);
         }
         // success: a fast quorum of matching *applied* answers
-        if let Some(((_, version, _), _)) = self
+        if let Some(((_, version, value), _)) = self
             .answers
             .iter()
             .find(|((applied, _, _), voters)| *applied && voters.len() >= self.quorum())
         {
-            let version = *version;
+            let (version, value) = (*version, *value);
             if let Some(t) = self.timer.take() {
                 ctx.cancel_timer(t);
             }
@@ -387,10 +411,21 @@ impl Actor<QuMsg> for QuClient {
             self.versions.insert(key, version);
             let sent_at = self.first_sent_at.unwrap_or(SimTime::ZERO);
             self.in_flight = None;
+            // synthesize the agreed result from the quorum answer: reads
+            // echo the object value, appends report the assigned offset
+            // (version - 1), blind writes echo what they wrote
+            let reads = match signed.request.txn.ops.first() {
+                Some(Op::Get(_)) | Some(Op::GRead(_)) | Some(Op::ReadAt(_, _)) => vec![value],
+                Some(Op::Add(_, _)) | Some(Op::GAdd(_, _)) => vec![value],
+                Some(Op::Append(_, _)) => vec![Some(version.saturating_sub(1) as i64)],
+                _ => vec![],
+            };
             ctx.observe(Observation::ClientAccept {
                 request: current,
                 sent_at,
                 fast_path: self.answers.len() == 1,
+                txn: signed.request.txn.clone(),
+                result: TxnResult { reads },
             });
             self.submit_next(ctx);
             return;
@@ -403,6 +438,16 @@ impl Actor<QuMsg> for QuClient {
             .map(|(_, v)| v.len())
             .sum();
         if refused > self.q.n - self.quorum() {
+            self.retry(ctx);
+            return;
+        }
+        // stale split: every replica answered yet no applied quorum formed.
+        // Only a read racing a write can do this (matching applied write
+        // answers are identical), and the per-request answer cache freezes
+        // the split — a fresh request id is needed to observe the
+        // converged object state.
+        let total: usize = self.answers.values().map(|v| v.len()).sum();
+        if total >= self.q.n {
             self.retry(ctx);
         }
     }

@@ -136,6 +136,17 @@ impl ProtocolId {
         Protocol::from(self).run(scenario)
     }
 
+    /// How the protocol executes transactions — selects which semantic
+    /// checkers apply (see [`bft_sim::checker`]). Q/U has no global order
+    /// and no `Execute` stream; everything else is a replicated state
+    /// machine.
+    pub fn semantics(self) -> bft_sim::ExecutionSemantics {
+        match self {
+            ProtocolId::Qu => bft_sim::ExecutionSemantics::VersionedObjects,
+            _ => bft_sim::ExecutionSemantics::Replicated,
+        }
+    }
+
     /// What the protocol tolerates while staying safe *and* live — the
     /// chaos campaign's generator envelope.
     ///

@@ -32,7 +32,7 @@ use bft_sim::{Actor, Context, NodeId, Observation, SimDuration, SimTime, Stage, 
 use bft_state::StateMachine;
 use bft_types::{
     ClientId, Digest, Op, QuorumRules, ReplicaId, Reply, Request, RequestId, SeqNum, TimerKind,
-    View, WireSize,
+    TxnResult, View, WireSize,
 };
 
 use crate::common::{run_to_completion, Scenario, SignedRequest};
@@ -656,16 +656,25 @@ impl ZyzzyvaClient {
     }
 
     fn complete(&mut self, fast: bool, ctx: &mut Context<'_, ZyzzyvaMsg>) {
-        let Some((id, _, sent_at)) = self.in_flight.take() else {
+        let Some((id, signed, sent_at)) = self.in_flight.take() else {
             return;
         };
         if let Some(t) = self.timer.take() {
             ctx.cancel_timer(t);
         }
+        // the agreed result is whatever quorum of matching spec replies the
+        // collector converged on (a quorum exists on both completion paths)
+        let result = self
+            .collector
+            .best_matching_reply()
+            .map(|r| r.result.clone())
+            .unwrap_or(TxnResult { reads: vec![] });
         ctx.observe(Observation::ClientAccept {
             request: id,
             sent_at,
             fast_path: fast,
+            txn: signed.request.txn,
+            result,
         });
         self.submit_next(ctx);
     }

@@ -536,6 +536,10 @@ pub enum CampaignViolation {
         /// Requests issued.
         expected: u64,
     },
+    /// A per-workload semantic checker fired (lost write, broken log
+    /// offsets, counter divergence, non-linearizable history, …) even
+    /// though digests agreed and everything committed.
+    Semantic(Vec<crate::checker::SemanticViolation>),
 }
 
 impl std::fmt::Display for CampaignViolation {
@@ -550,6 +554,13 @@ impl std::fmt::Display for CampaignViolation {
             }
             CampaignViolation::Liveness { accepted, expected } => {
                 write!(f, "LIVENESS: {accepted}/{expected} requests accepted")
+            }
+            CampaignViolation::Semantic(vs) => {
+                write!(f, "SEMANTIC: {} violation(s)", vs.len())?;
+                for v in vs.iter().take(3) {
+                    write!(f, "; {v}")?;
+                }
+                Ok(())
             }
         }
     }
@@ -570,6 +581,27 @@ pub fn check_outcome(
     let accepted = log.client_latencies().len() as u64;
     if accepted != expected {
         return Some(CampaignViolation::Liveness { accepted, expected });
+    }
+    None
+}
+
+/// [`check_outcome`] plus the per-workload semantic checkers: digest
+/// agreement and liveness first, then replay faithfulness, lost-write,
+/// linearizability, log-offset and counter-convergence checks against the
+/// accepted history.
+pub fn check_outcome_with_semantics(
+    log: &ObservationLog,
+    faulty: Vec<NodeId>,
+    expected: u64,
+    semantic: &crate::checker::SemanticConfig,
+) -> Option<CampaignViolation> {
+    if let Some(v) = check_outcome(log, faulty.clone(), expected) {
+        return Some(v);
+    }
+    let cfg = semantic.clone().with_faulty(faulty);
+    let violations = crate::checker::check_semantics(log, &cfg);
+    if !violations.is_empty() {
+        return Some(CampaignViolation::Semantic(violations));
     }
     None
 }

@@ -52,6 +52,7 @@
 pub mod adversary;
 pub mod audit;
 pub mod campaign;
+pub mod checker;
 pub mod event;
 pub mod faults;
 pub mod metrics;
@@ -64,6 +65,7 @@ pub mod topology;
 pub use adversary::{AdversaryError, AdversarySpec, Attack, AttackKind};
 pub use audit::SafetyAuditor;
 pub use campaign::{AdversaryBudget, CampaignViolation, ChaosCase, ChaosProfile};
+pub use checker::{ExecutionSemantics, SemanticConfig, SemanticViolation};
 pub use event::NodeId;
 pub use faults::{FaultEvent, FaultPlan, FaultPlanError};
 pub use metrics::{LatencyStats, Metrics, NodeCounters};

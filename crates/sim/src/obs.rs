@@ -8,7 +8,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use bft_types::{Digest, RequestId, SeqNum, View};
+use bft_types::{Digest, RequestId, SeqNum, Transaction, TxnResult, View};
 
 use crate::event::NodeId;
 use crate::time::SimTime;
@@ -113,6 +113,11 @@ pub enum Observation {
         sent_at: SimTime,
         /// Whether acceptance used the speculative (fast) path.
         fast_path: bool,
+        /// The transaction the request carried (makes accepted histories
+        /// self-contained for the semantic checkers).
+        txn: Transaction,
+        /// The agreed execution result the client accepted.
+        result: TxnResult,
     },
     /// Protocol-specific marker (e.g. "fallback triggered", "fast path").
     Marker {
@@ -288,6 +293,8 @@ mod tests {
                 request: req,
                 sent_at: SimTime(400),
                 fast_path: true,
+                txn: Transaction::default(),
+                result: TxnResult { reads: vec![] },
             },
         );
         let lat = log.client_latencies();

@@ -167,6 +167,65 @@ mod tests {
             }
         }
 
+        /// Order independence: inserting distinct keys in any permutation
+        /// (modelled as rotation + optional reversal, which generate the
+        /// full permutation group) yields the identical digest, and both
+        /// match the from-scratch recompute.
+        #[test]
+        fn digest_is_order_independent(
+            values in prop::collection::vec(-100i64..100, 1..40),
+            rot in 0usize..40,
+            rev: bool,
+        ) {
+            let entries: Vec<(u64, i64)> = values
+                .iter()
+                .enumerate()
+                .map(|(i, v)| (i as u64, *v))
+                .collect();
+            let mut permuted = entries.clone();
+            permuted.rotate_left(rot % entries.len());
+            if rev {
+                permuted.reverse();
+            }
+            let mut a = KvStore::new();
+            for (k, v) in &entries {
+                a.put(*k, *v);
+            }
+            let mut b = KvStore::new();
+            for (k, v) in &permuted {
+                b.put(*k, *v);
+            }
+            prop_assert_eq!(a.digest(), b.digest());
+            prop_assert_eq!(a.digest(), a.recomputed_digest());
+            prop_assert_eq!(b.digest(), b.recomputed_digest());
+        }
+
+        /// Update sequences: interleaved updates to the same keys in two
+        /// different orders converge to the same digest once final contents
+        /// agree, and the incremental accumulator never drifts.
+        #[test]
+        fn digest_order_independent_under_updates(
+            ops in prop::collection::vec((0u64..6, -50i64..50), 2..40),
+        ) {
+            // apply the same multiset of final writes in two orders: the
+            // original, and key-major (stable-sorted by key)
+            let mut sorted = ops.clone();
+            sorted.sort_by_key(|(k, _)| *k);
+            let mut a = KvStore::new();
+            for (k, v) in &ops {
+                a.put(*k, *v);
+                prop_assert_eq!(a.digest(), a.recomputed_digest());
+            }
+            let mut b = KvStore::new();
+            for (k, v) in &sorted {
+                b.put(*k, *v);
+                prop_assert_eq!(b.digest(), b.recomputed_digest());
+            }
+            // stable sort preserves per-key write order, so final contents
+            // agree ⇒ digests agree
+            prop_assert_eq!(a.digest(), b.digest());
+        }
+
         /// Equal contents ⇒ equal digests, regardless of operation history.
         #[test]
         fn digest_depends_only_on_content(

@@ -14,10 +14,12 @@
 
 #![warn(missing_docs)]
 
+pub mod app;
 pub mod checkpoint;
 pub mod kv;
 pub mod machine;
 
+pub use app::{App, AppendLog, ComposedApp, GCounter, UndoOp};
 pub use checkpoint::{CheckpointManager, CheckpointProof};
 pub use kv::KvStore;
 pub use machine::{ExecutedEntry, Snapshot, StateMachine};

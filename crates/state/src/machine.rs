@@ -21,16 +21,18 @@ use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
-use bft_types::{ClientId, Digest, Key, Op, Request, RequestId, SeqNum, TxnResult, Value};
+use bft_types::{ClientId, Digest, Request, RequestId, SeqNum, Transaction, TxnResult, Value};
 
+use crate::app::{ComposedApp, UndoOp};
 use crate::kv::KvStore;
 
 /// Undo record for one executed transaction.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 struct UndoRecord {
     seq: SeqNum,
-    /// `(key, previous value)` — `None` means the key did not exist.
-    prior: Vec<(Key, Option<Value>)>,
+    /// Reversible effects of the transaction, applied in reverse on
+    /// rollback.
+    prior: Vec<UndoOp>,
     /// Previous reply-cache entry for the client.
     prior_reply: Option<(RequestId, TxnResult)>,
     client: ClientId,
@@ -44,7 +46,7 @@ pub struct Snapshot {
     pub seq: SeqNum,
     /// State digest at that point.
     pub digest: Digest,
-    store: KvStore,
+    app: ComposedApp,
     replies: BTreeMap<ClientId, (RequestId, TxnResult)>,
 }
 
@@ -82,7 +84,7 @@ pub struct ExecutedEntry {
 /// ```
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct StateMachine {
-    store: KvStore,
+    app: ComposedApp,
     /// Last executed sequence number (0 = nothing executed; sequence
     /// numbers start at 1, as in PBFT).
     last_executed: SeqNum,
@@ -107,13 +109,28 @@ impl StateMachine {
 
     /// Current state digest.
     pub fn digest(&self) -> Digest {
-        self.store.digest()
+        self.app.digest()
     }
 
-    /// Read-only access to the store (for read-path optimizations and
-    /// tests).
+    /// Read-only access to the key-value component (for read-path
+    /// optimizations and tests).
     pub fn store(&self) -> &KvStore {
-        &self.store
+        self.app.kv()
+    }
+
+    /// Read-only access to the full application composition (log and
+    /// counter apps included).
+    pub fn app(&self) -> &ComposedApp {
+        &self.app
+    }
+
+    /// Serve a read-only transaction from current state without ordering
+    /// it (the optimized read path, ABL-3): each read op is answered by the
+    /// app that handles it. Write ops contribute nothing.
+    pub fn read_only_results(&self, txn: &Transaction) -> TxnResult {
+        TxnResult {
+            reads: txn.ops.iter().filter_map(|op| self.app.read(op)).collect(),
+        }
     }
 
     /// The cached reply for a client, if any (used for request
@@ -176,31 +193,10 @@ impl StateMachine {
             }
         }
 
-        let mut prior: Vec<(Key, Option<Value>)> = Vec::new();
+        let mut prior: Vec<UndoOp> = Vec::new();
         let mut reads: Vec<Option<Value>> = Vec::new();
         for op in &request.txn.ops {
-            match *op {
-                Op::Get(k) => reads.push(self.store.get(k)),
-                Op::Put(k, v) => {
-                    prior.push((k, self.store.get(k)));
-                    self.store.put(k, v);
-                }
-                Op::Add(k, v) => {
-                    let old = self.store.get(k);
-                    prior.push((k, old));
-                    let new = old.unwrap_or(0).wrapping_add(v);
-                    self.store.put(k, new);
-                    reads.push(Some(new));
-                }
-                Op::Delete(k) => {
-                    prior.push((k, self.store.get(k)));
-                    self.store.delete(k);
-                }
-                Op::Work(_) => {
-                    // Virtual compute only; the ordering layer charges the
-                    // simulator for it.
-                }
-            }
+            self.app.apply(op, &mut reads, &mut prior);
         }
 
         let result = TxnResult { reads };
@@ -250,16 +246,9 @@ impl StateMachine {
                 break;
             }
             let rec = self.undo.pop().unwrap();
-            // restore writes in reverse order
-            for (k, prior) in rec.prior.into_iter().rev() {
-                match prior {
-                    Some(v) => {
-                        self.store.put(k, v);
-                    }
-                    None => {
-                        self.store.delete(k);
-                    }
-                }
+            // restore effects in reverse order
+            for op in rec.prior.iter().rev() {
+                self.app.undo(op);
             }
             match rec.prior_reply {
                 Some(entry) => {
@@ -281,7 +270,7 @@ impl StateMachine {
         Snapshot {
             seq: self.last_executed,
             digest: self.digest(),
-            store: self.store.clone(),
+            app: self.app.clone(),
             replies: self.replies.clone(),
         }
     }
@@ -289,7 +278,7 @@ impl StateMachine {
     /// Install a snapshot, discarding the current state (how an in-dark
     /// replica catches up from a stable checkpoint).
     pub fn install_snapshot(&mut self, snap: &Snapshot) {
-        self.store = snap.store.clone();
+        self.app = snap.app.clone();
         self.replies = snap.replies.clone();
         self.last_executed = snap.seq;
         self.undo.clear();
@@ -315,7 +304,7 @@ impl StateMachine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bft_types::Transaction;
+    use bft_types::{Op, Transaction};
     use proptest::prelude::*;
 
     fn req(client: u64, ts: u64, ops: Vec<Op>) -> Request {

@@ -32,13 +32,24 @@ pub enum Op {
     /// A no-op that burns `amount` units of virtual execution time; used by
     /// workloads that model compute-heavy transactions.
     Work(u32),
+    /// Append a record to the append-only log named by the key; the result
+    /// reports the offset the record landed at (log workload).
+    Append(Key, Value),
+    /// Read the record at a fixed offset of the named log; returns `None`
+    /// when the log is still shorter than the offset (consumer read).
+    ReadAt(Key, u64),
+    /// Grow-only counter increment (commutative, conflict-free in the DC9
+    /// sense); the result reports the post-increment total.
+    GAdd(Key, u64),
+    /// Read a grow-only counter's current total (0 when never incremented).
+    GRead(Key),
 }
 
 impl Op {
     /// The key this operation reads, if any.
     pub fn read_key(&self) -> Option<Key> {
         match self {
-            Op::Get(k) | Op::Add(k, _) => Some(*k),
+            Op::Get(k) | Op::Add(k, _) | Op::ReadAt(k, _) | Op::GRead(k) => Some(*k),
             _ => None,
         }
     }
@@ -46,7 +57,9 @@ impl Op {
     /// The key this operation writes, if any.
     pub fn write_key(&self) -> Option<Key> {
         match self {
-            Op::Put(k, _) | Op::Add(k, _) | Op::Delete(k) => Some(*k),
+            Op::Put(k, _) | Op::Add(k, _) | Op::Delete(k) | Op::Append(k, _) | Op::GAdd(k, _) => {
+                Some(*k)
+            }
             _ => None,
         }
     }

@@ -104,8 +104,9 @@ impl WireSize for Op {
     fn wire_size(&self) -> usize {
         // 1-byte tag + operands
         match self {
-            Op::Get(_) | Op::Delete(_) => 1 + 8,
-            Op::Put(_, _) | Op::Add(_, _) => 1 + 16,
+            Op::Get(_) | Op::Delete(_) | Op::GRead(_) => 1 + 8,
+            Op::Put(_, _) | Op::Add(_, _) | Op::Append(_, _) | Op::ReadAt(_, _) => 1 + 16,
+            Op::GAdd(_, _) => 1 + 16,
             Op::Work(_) => 1 + 4,
         }
     }

@@ -54,7 +54,7 @@ pub mod prelude {
     pub use bft_core::choices::DesignChoice;
     pub use bft_core::design::ProtocolPoint;
     pub use bft_core::report::RunReport;
-    pub use bft_core::workload::WorkloadConfig;
+    pub use bft_core::workload::{WorkloadConfig, WorkloadKind};
     pub use bft_protocols::pbft::{self, Behavior, PbftAuth, PbftOptions};
     pub use bft_protocols::registry::{registry, Protocol, ProtocolEntry, ProtocolId};
     pub use bft_protocols::zyzzyva::{self, ZyzzyvaVariant};

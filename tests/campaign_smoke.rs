@@ -142,3 +142,70 @@ fn sabotaged_pbft_is_caught_and_shrunk() {
         "report must print the replay seed:\n{rendered}"
     );
 }
+
+/// The checker mutation test: a sabotaged PBFT that silently skips
+/// executing one request — while fabricating a plausible reply and keeping
+/// replica digests unanimous — passes every safety/liveness gate and is
+/// caught only by the semantic layer (lost-write / replay faithfulness /
+/// log invariants) on the append-only log workload. ddmin then confirms
+/// the minimal reproducer needs *no* fault events at all: the planted bug
+/// alone is the failure.
+#[test]
+fn execution_drop_is_caught_by_log_checker() {
+    let cfg = CampaignConfig {
+        workload: untrusted_txn::prelude::WorkloadConfig::log_append(),
+        ..CampaignConfig::smoke()
+    };
+    let entry = registry()
+        .into_iter()
+        .find(|e| e.id == ProtocolId::Pbft)
+        .unwrap();
+    let profile = profile_for(&entry, cfg.f, cfg.clients as u64);
+    let broken = |s: &bft_protocols::Scenario| {
+        Protocol::Pbft(PbftOptions {
+            sabotage: PbftSabotage::DropExecution(2),
+            ..Default::default()
+        })
+        .run(s)
+    };
+
+    let mut caught = None;
+    for seed in 0..50 {
+        let r = run_case_with(broken, ProtocolId::Pbft, &cfg, &profile, seed);
+        let semantic = matches!(
+            r.violation,
+            Some(bft_sim::campaign::CampaignViolation::Semantic(_))
+        );
+        if semantic {
+            // Stock PBFT must be clean on the same case: the campaign is
+            // detecting the planted bug, not an out-of-envelope schedule.
+            let stock = run_case_with(
+                |s| ProtocolId::Pbft.run(s),
+                ProtocolId::Pbft,
+                &cfg,
+                &profile,
+                seed,
+            );
+            assert!(
+                stock.violation.is_none(),
+                "seed {seed} fails even without sabotage: {:?}",
+                stock.violation
+            );
+            caught = Some(r);
+            break;
+        }
+    }
+    let r = caught.expect("no seed within 0..50 tripped the semantic checker on the dropped write");
+
+    // The sabotage fires unconditionally, so ddmin strips every fault
+    // event: the minimal reproducing schedule is empty.
+    let min = r
+        .minimal_plan
+        .clone()
+        .expect("violation must come with a minimized plan");
+    assert!(
+        min.events.is_empty(),
+        "expected an empty minimal plan (the bug needs no faults), got {:?}",
+        min.events
+    );
+}

@@ -113,3 +113,98 @@ fn batching_preserves_final_state() {
     SafetyAuditor::all_correct().assert_safe(&unbatched.log);
     SafetyAuditor::all_correct().assert_safe(&batched.log);
 }
+
+// ---------------------------------------------------------------------------
+// protocol × workload smoke matrix
+// ---------------------------------------------------------------------------
+
+mod matrix {
+    use bft_protocols::registry::registry;
+    use bft_protocols::suite::{check_run, workload_suite};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// One cell of the matrix: run `protocol` under `family` at `seed`,
+    /// assert completion + digest agreement (via the run's own auditor
+    /// path) + semantic-checker pass, and return a deterministic summary
+    /// line.
+    fn run_cell(protocol: bft_protocols::registry::ProtocolId, family: &str, seed: u64) -> String {
+        let entry = bft_protocols::suite::suite_entry(family).expect("family exists");
+        let s = entry.scenario(1, 2, 5, seed);
+        let out = protocol.run(&s);
+        assert_eq!(
+            out.log.client_latencies().len(),
+            s.total_requests() as usize,
+            "{} × {family} seed {seed}: incomplete clean run",
+            protocol.name()
+        );
+        untrusted_txn::sim::SafetyAuditor::all_correct().assert_safe(&out.log);
+        let violations = check_run(protocol, &s, &out);
+        assert!(
+            violations.is_empty(),
+            "{} × {family} seed {seed}: {violations:?}",
+            protocol.name()
+        );
+        format!(
+            "{}/{family}/{seed}: events={} end={}",
+            protocol.name(),
+            out.events_processed,
+            out.end_time.0
+        )
+    }
+
+    /// Run the full matrix on a worker pool and return the summary lines in
+    /// deterministic (input) order.
+    fn run_matrix(seeds: std::ops::Range<u64>, threads: usize) -> Vec<String> {
+        let mut cells = Vec::new();
+        for entry in registry() {
+            for family in workload_suite() {
+                for seed in seeds.clone() {
+                    cells.push((entry.id, family.name, seed));
+                }
+            }
+        }
+        let next = AtomicUsize::new(0);
+        let mut indexed: Vec<(usize, String)> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads.max(1))
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut local = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(&(p, fam, seed)) = cells.get(i) else {
+                                break;
+                            };
+                            local.push((i, run_cell(p, fam, seed)));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect()
+        });
+        indexed.sort_by_key(|(i, _)| *i);
+        indexed.into_iter().map(|(_, line)| line).collect()
+    }
+
+    /// All 17 registry protocols × 4 workload families × 15 seeds: clean
+    /// runs complete, replica digests agree, and every per-workload
+    /// consistency checker passes.
+    #[test]
+    fn every_protocol_passes_every_workload_checker() {
+        let threads = bft_bench::thread_count(usize::MAX);
+        let lines = run_matrix(0..15, threads);
+        assert_eq!(lines.len(), registry().len() * 4 * 15);
+    }
+
+    /// The matrix is deterministic and thread-count invariant: the same
+    /// summary (event counts, end times) at 1 worker and at 4.
+    #[test]
+    fn matrix_is_thread_count_invariant() {
+        let sequential = run_matrix(0..2, 1);
+        let parallel = run_matrix(0..2, 4);
+        assert_eq!(sequential, parallel);
+    }
+}
