@@ -135,142 +135,7 @@ fn sim_benches(c: &mut Criterion) {
     g.finish();
 }
 
-mod sim_actors {
-    //! Minimal actors driving the simulator's hot paths in isolation —
-    //! no protocol logic, so the measured cost is the event loop itself.
-
-    use bft_sim::runner::{Actor, Context};
-    use bft_sim::{NetworkConfig, NetworkModel, NodeId, SimDuration, SimTime, Simulation, TimerId};
-    use bft_types::{TimerKind, WireSize};
-
-    /// A message whose wire size tracks its payload length. Broadcasts
-    /// share one allocation (`Arc` in the event queue), so per-recipient
-    /// cost must stay flat as the payload grows.
-    #[derive(Debug, Clone, serde::Serialize)]
-    pub struct Blob(pub Vec<u8>);
-
-    impl WireSize for Blob {
-        fn wire_size(&self) -> usize {
-            self.0.len()
-        }
-    }
-
-    /// Echoes each message back with an incremented counter, up to `limit`
-    /// — one event-queue round trip per message.
-    struct Echo {
-        limit: u64,
-    }
-
-    impl Actor<Blob> for Echo {
-        fn on_message(&mut self, from: NodeId, msg: &Blob, ctx: &mut Context<'_, Blob>) {
-            let n = u64::from_le_bytes(msg.0[..8].try_into().unwrap());
-            if n < self.limit {
-                ctx.send(from, Blob((n + 1).to_le_bytes().to_vec()));
-            }
-        }
-    }
-
-    /// Ping-pong simulation: `events` messages bounce between two replicas.
-    pub fn ping_pong(events: u64) -> Simulation<Blob> {
-        let mut s = Simulation::new(NetworkModel::new(NetworkConfig::lan()), 7);
-        s.add_replica(0, Box::new(Echo { limit: events }));
-        s.add_replica(1, Box::new(Echo { limit: events }));
-        s.reserve_events(events as usize);
-        s.inject(
-            SimTime::ZERO,
-            NodeId::replica(0),
-            NodeId::replica(1),
-            Blob(0u64.to_le_bytes().to_vec()),
-        );
-        s
-    }
-
-    /// Rebroadcasts a fixed payload to all peers each time the designated
-    /// sink acknowledges, for `rounds` rounds.
-    struct Broadcaster {
-        payload: usize,
-        rounds: u32,
-    }
-
-    impl Actor<Blob> for Broadcaster {
-        fn on_start(&mut self, ctx: &mut Context<'_, Blob>) {
-            ctx.broadcast_replicas(Blob(vec![0xcd; self.payload]));
-        }
-
-        fn on_message(&mut self, _from: NodeId, _msg: &Blob, ctx: &mut Context<'_, Blob>) {
-            if self.rounds > 0 {
-                self.rounds -= 1;
-                ctx.broadcast_replicas(Blob(vec![0xcd; self.payload]));
-            }
-        }
-    }
-
-    /// Consumes broadcasts; the replica-1 instance acks back to drive the
-    /// next round.
-    struct Sink {
-        ack: bool,
-    }
-
-    impl Actor<Blob> for Sink {
-        fn on_message(&mut self, from: NodeId, msg: &Blob, ctx: &mut Context<'_, Blob>) {
-            std::hint::black_box(msg.0.as_slice());
-            if self.ack {
-                ctx.send(from, Blob(Vec::new()));
-            }
-        }
-    }
-
-    /// Fan-out simulation: replica 0 broadcasts `payload` bytes to `n - 1`
-    /// peers, `rounds + 1` times.
-    pub fn fan_out(n: u32, payload: usize, rounds: u32) -> Simulation<Blob> {
-        let mut s = Simulation::new(NetworkModel::new(NetworkConfig::lan()), 7);
-        s.add_replica(0, Box::new(Broadcaster { payload, rounds }));
-        for i in 1..n {
-            s.add_replica(i, Box::new(Sink { ack: i == 1 }));
-        }
-        s.reserve_events((rounds as usize + 1) * (n as usize - 1));
-        s
-    }
-
-    /// Sets two timers per fire and cancels one — steady-state churn
-    /// through the timer arena without growing it.
-    struct TimerChurn {
-        remaining: u32,
-    }
-
-    impl Actor<Blob> for TimerChurn {
-        fn on_start(&mut self, ctx: &mut Context<'_, Blob>) {
-            ctx.set_timer(TimerKind::T7Heartbeat, SimDuration::from_micros(1));
-        }
-
-        fn on_message(&mut self, _f: NodeId, _m: &Blob, _c: &mut Context<'_, Blob>) {}
-
-        fn on_timer(&mut self, _id: TimerId, _k: TimerKind, ctx: &mut Context<'_, Blob>) {
-            if self.remaining == 0 {
-                return;
-            }
-            self.remaining -= 1;
-            let keep = ctx.set_timer(TimerKind::T7Heartbeat, SimDuration::from_micros(1));
-            let drop = ctx.set_timer(TimerKind::T2ViewChange, SimDuration::from_micros(2));
-            ctx.cancel_timer(drop);
-            std::hint::black_box(keep);
-        }
-    }
-
-    /// Timer-churn simulation: `fires` timer events, each setting two
-    /// timers and cancelling one.
-    pub fn timer_churn(fires: u32) -> Simulation<Blob> {
-        let mut s = Simulation::new(NetworkModel::new(NetworkConfig::lan()), 7);
-        s.add_replica(0, Box::new(TimerChurn { remaining: fires }));
-        s
-    }
-
-    /// Run a prepared simulation to quiescence and return the outcome.
-    pub fn drain(mut s: Simulation<Blob>) -> bft_sim::runner::RunOutcome {
-        s.run(SimTime(SimDuration::from_secs(3600).0));
-        s.finish()
-    }
-}
+use bft_bench::simload as sim_actors;
 
 fn event_loop_benches(c: &mut Criterion) {
     use sim_actors::*;
@@ -280,6 +145,19 @@ fn event_loop_benches(c: &mut Criterion) {
     g.throughput(Throughput::Elements(EVENTS));
     g.bench_function("ping_pong_10k_events", |b| {
         b.iter_batched(|| ping_pong(EVENTS), drain, BatchSize::SmallInput)
+    });
+    g.finish();
+
+    // The scale point: two orders of magnitude more events than the row
+    // above. The calendar queue keeps per-event cost flat here; the heap's
+    // O(log n) sifts would not show at this depth either (the queue stays
+    // shallow), so the row mostly guards the pooled-envelope steady state.
+    const SCALE_EVENTS: u64 = 1_000_000;
+    let mut g = c.benchmark_group("event-loop");
+    g.sample_size(3);
+    g.throughput(Throughput::Elements(SCALE_EVENTS));
+    g.bench_function("1M_events", |b| {
+        b.iter_batched(|| ping_pong(SCALE_EVENTS), drain, BatchSize::SmallInput)
     });
     g.finish();
 
@@ -311,6 +189,46 @@ fn broadcast_benches(c: &mut Criterion) {
         });
     }
     g.finish();
+
+    // The n=128 scale point: twice the replica count, 1 KiB payloads. At
+    // this width the per-delivery node lookup dominates — the dense
+    // replica table keeps it an array index.
+    const N_WIDE: u32 = 128;
+    const ROUNDS_WIDE: u32 = 100;
+    let deliveries_wide = (ROUNDS_WIDE as u64 + 1) * (N_WIDE as u64 - 1);
+    let mut g = c.benchmark_group("broadcast");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(deliveries_wide));
+    g.bench_function("fan_out_127_peers", |b| {
+        b.iter_batched(
+            || fan_out(N_WIDE, 1 << 10, ROUNDS_WIDE),
+            drain,
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn open_loop_benches(c: &mut Criterion) {
+    use sim_actors::*;
+    // A million Zipfian-skewed requests from 4 tenant streams into 100
+    // replicas, paced open-loop at 1M req/s per stream. No protocol logic:
+    // the row measures the simulator's request path (timer pop → workload
+    // sample → send → delivery) at the target scale of the n=100
+    // million-request experiments.
+    const REQUESTS: u64 = 1_000_000;
+    const CLIENTS: u64 = 4;
+    let mut g = c.benchmark_group("open-loop");
+    g.sample_size(3);
+    g.throughput(Throughput::Elements(REQUESTS));
+    g.bench_function("zipfian_1M_requests_n100", |b| {
+        b.iter_batched(
+            || open_loop_zipfian(100, CLIENTS, REQUESTS / CLIENTS, 1_000_000),
+            drain,
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
 }
 
 criterion_group!(
@@ -319,7 +237,8 @@ criterion_group!(
     state_benches,
     sim_benches,
     event_loop_benches,
-    broadcast_benches
+    broadcast_benches,
+    open_loop_benches
 );
 
 fn main() {

@@ -33,6 +33,7 @@
 pub mod campaign;
 pub mod experiments;
 pub mod parallel;
+pub mod simload;
 pub mod table;
 
 pub use parallel::{run_all, thread_count, RunRecord};

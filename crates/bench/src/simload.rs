@@ -1,0 +1,247 @@
+//! Minimal actors driving the simulator's hot paths in isolation — no
+//! protocol logic, so the measured cost is the event loop itself.
+//!
+//! Shared between the criterion micro-benchmarks (`benches/micro.rs`), the
+//! determinism regression tests, and the CI scale smoke: the workloads that
+//! produce the committed `BENCH_sim.json` rows are exactly the ones the
+//! byte-identity tests pin down.
+
+use bft_sim::runner::{Actor, Context, RunOutcome};
+use bft_sim::{
+    NetworkConfig, NetworkModel, NodeId, SchedulerKind, SimDuration, SimTime, Simulation, TimerId,
+};
+use bft_types::{TimerKind, WireSize};
+
+/// A message whose wire size tracks its payload length. Broadcasts share
+/// one reference-counted allocation in the event queue, so per-recipient
+/// cost must stay flat as the payload grows.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct Blob(pub Vec<u8>);
+
+impl WireSize for Blob {
+    fn wire_size(&self) -> usize {
+        self.0.len()
+    }
+}
+
+/// Echoes each message back with an incremented counter, up to `limit` —
+/// one event-queue round trip per message.
+struct Echo {
+    limit: u64,
+}
+
+impl Actor<Blob> for Echo {
+    fn on_message(&mut self, from: NodeId, msg: &Blob, ctx: &mut Context<'_, Blob>) {
+        let n = u64::from_le_bytes(msg.0[..8].try_into().unwrap());
+        if n < self.limit {
+            ctx.send(from, Blob((n + 1).to_le_bytes().to_vec()));
+        }
+    }
+}
+
+/// Ping-pong simulation: `events` messages bounce between two replicas.
+pub fn ping_pong(events: u64) -> Simulation<Blob> {
+    ping_pong_with(events, SchedulerKind::default())
+}
+
+/// [`ping_pong`] on an explicit scheduler backend.
+pub fn ping_pong_with(events: u64, scheduler: SchedulerKind) -> Simulation<Blob> {
+    let mut s = Simulation::with_scheduler(NetworkModel::new(NetworkConfig::lan()), 7, scheduler);
+    s.add_replica(0, Box::new(Echo { limit: events }));
+    s.add_replica(1, Box::new(Echo { limit: events }));
+    s.reserve_events(events as usize);
+    s.inject(
+        SimTime::ZERO,
+        NodeId::replica(0),
+        NodeId::replica(1),
+        Blob(0u64.to_le_bytes().to_vec()),
+    );
+    s
+}
+
+/// Rebroadcasts a fixed payload to all peers each time the designated
+/// sink acknowledges, for `rounds` rounds.
+struct Broadcaster {
+    payload: usize,
+    rounds: u32,
+}
+
+impl Actor<Blob> for Broadcaster {
+    fn on_start(&mut self, ctx: &mut Context<'_, Blob>) {
+        ctx.broadcast_replicas(Blob(vec![0xcd; self.payload]));
+    }
+
+    fn on_message(&mut self, _from: NodeId, _msg: &Blob, ctx: &mut Context<'_, Blob>) {
+        if self.rounds > 0 {
+            self.rounds -= 1;
+            ctx.broadcast_replicas(Blob(vec![0xcd; self.payload]));
+        }
+    }
+}
+
+/// Consumes broadcasts; the replica-1 instance acks back to drive the
+/// next round.
+struct Sink {
+    ack: bool,
+}
+
+impl Actor<Blob> for Sink {
+    fn on_message(&mut self, from: NodeId, msg: &Blob, ctx: &mut Context<'_, Blob>) {
+        std::hint::black_box(msg.0.as_slice());
+        if self.ack {
+            ctx.send(from, Blob(Vec::new()));
+        }
+    }
+}
+
+/// Fan-out simulation: replica 0 broadcasts `payload` bytes to `n - 1`
+/// peers, `rounds + 1` times.
+pub fn fan_out(n: u32, payload: usize, rounds: u32) -> Simulation<Blob> {
+    let mut s = Simulation::new(NetworkModel::new(NetworkConfig::lan()), 7);
+    s.add_replica(0, Box::new(Broadcaster { payload, rounds }));
+    for i in 1..n {
+        s.add_replica(i, Box::new(Sink { ack: i == 1 }));
+    }
+    s.reserve_events((rounds as usize + 1) * (n as usize - 1));
+    s
+}
+
+/// Sets two timers per fire and cancels one — steady-state churn through
+/// the timer arena without growing it.
+struct TimerChurn {
+    remaining: u32,
+}
+
+impl Actor<Blob> for TimerChurn {
+    fn on_start(&mut self, ctx: &mut Context<'_, Blob>) {
+        ctx.set_timer(TimerKind::T7Heartbeat, SimDuration::from_micros(1));
+    }
+
+    fn on_message(&mut self, _f: NodeId, _m: &Blob, _c: &mut Context<'_, Blob>) {}
+
+    fn on_timer(&mut self, _id: TimerId, _k: TimerKind, ctx: &mut Context<'_, Blob>) {
+        if self.remaining == 0 {
+            return;
+        }
+        self.remaining -= 1;
+        let keep = ctx.set_timer(TimerKind::T7Heartbeat, SimDuration::from_micros(1));
+        let drop = ctx.set_timer(TimerKind::T2ViewChange, SimDuration::from_micros(2));
+        ctx.cancel_timer(drop);
+        std::hint::black_box(keep);
+    }
+}
+
+/// Timer-churn simulation: `fires` timer events, each setting two timers
+/// and cancelling one.
+pub fn timer_churn(fires: u32) -> Simulation<Blob> {
+    let mut s = Simulation::new(NetworkModel::new(NetworkConfig::lan()), 7);
+    s.add_replica(0, Box::new(TimerChurn { remaining: fires }));
+    s
+}
+
+/// An open-loop client stream: one request per arrival tick (timer τ7),
+/// key drawn from a `bft_core::Workload` sampler, routed to the replica
+/// owning the key. Requests are fire-and-forget — arrival pacing, not
+/// replies, drives the load (open loop).
+struct OpenLoopDriver {
+    workload: bft_core::Workload,
+    remaining: u64,
+    interarrival: SimDuration,
+    replicas: u32,
+}
+
+impl Actor<Blob> for OpenLoopDriver {
+    fn on_start(&mut self, ctx: &mut Context<'_, Blob>) {
+        ctx.set_timer(TimerKind::T7Heartbeat, self.interarrival);
+    }
+
+    fn on_message(&mut self, _f: NodeId, _m: &Blob, _c: &mut Context<'_, Blob>) {}
+
+    fn on_timer(&mut self, _id: TimerId, _k: TimerKind, ctx: &mut Context<'_, Blob>) {
+        if self.remaining == 0 {
+            return;
+        }
+        self.remaining -= 1;
+        let txn = self.workload.next_txn();
+        let key = txn
+            .ops
+            .first()
+            .map(|op| match *op {
+                bft_types::Op::Get(k)
+                | bft_types::Op::Put(k, _)
+                | bft_types::Op::Add(k, _)
+                | bft_types::Op::Delete(k) => k,
+                _ => 0,
+            })
+            .unwrap_or(0);
+        ctx.send(
+            NodeId::replica((key % self.replicas as u64) as u32),
+            Blob(key.to_le_bytes().to_vec()),
+        );
+        if self.remaining > 0 {
+            ctx.set_timer(TimerKind::T7Heartbeat, self.interarrival);
+        }
+    }
+}
+
+/// Open-loop Zipfian simulation: `clients` tenant streams submit
+/// `per_client` requests each at `rate_per_sec` into `n` replicas that
+/// swallow them. Measures the simulator's steady-state request path
+/// (timer pop → workload sample → send → delivery) at scale, with no
+/// protocol logic in the way.
+pub fn open_loop_zipfian(
+    n: u32,
+    clients: u64,
+    per_client: u64,
+    rate_per_sec: u64,
+) -> Simulation<Blob> {
+    open_loop_zipfian_with(
+        n,
+        clients,
+        per_client,
+        rate_per_sec,
+        SchedulerKind::default(),
+    )
+}
+
+/// [`open_loop_zipfian`] on an explicit scheduler backend.
+pub fn open_loop_zipfian_with(
+    n: u32,
+    clients: u64,
+    per_client: u64,
+    rate_per_sec: u64,
+    scheduler: SchedulerKind,
+) -> Simulation<Blob> {
+    let cfg = bft_core::WorkloadConfig::uniform()
+        .with_keys(100_000)
+        .zipfian(0.9)
+        .with_tenants(clients)
+        .open_loop(rate_per_sec);
+    let interarrival = match cfg.arrival {
+        bft_core::Arrival::OpenLoop { interarrival_ns } => SimDuration(interarrival_ns.max(1)),
+        bft_core::Arrival::ClosedLoop => unreachable!("open_loop() sets OpenLoop arrival"),
+    };
+    let mut s = Simulation::with_scheduler(NetworkModel::new(NetworkConfig::lan()), 7, scheduler);
+    for i in 0..n {
+        s.add_replica(i, Box::new(Sink { ack: false }));
+    }
+    for c in 0..clients {
+        s.add_client(
+            c,
+            Box::new(OpenLoopDriver {
+                workload: bft_core::Workload::for_stream(cfg, 11, c),
+                remaining: per_client,
+                interarrival,
+                replicas: n,
+            }),
+        );
+    }
+    s.reserve_events(2 * per_client as usize);
+    s
+}
+
+/// Run a prepared simulation to quiescence and return the outcome.
+pub fn drain(mut s: Simulation<Blob>) -> RunOutcome {
+    s.run(SimTime(SimDuration::from_secs(3600).0));
+    s.finish()
+}

@@ -39,4 +39,4 @@ pub use design::{
     QosFeatures, RecoveryMode, TopologyKind,
 };
 pub use report::RunReport;
-pub use workload::{Workload, WorkloadConfig, WorkloadKind};
+pub use workload::{Arrival, KeyDist, Workload, WorkloadConfig, WorkloadKind};

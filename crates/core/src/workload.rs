@@ -30,13 +30,56 @@ pub enum WorkloadKind {
     CounterInc,
 }
 
+/// How the non-hot part of the key space is sampled.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum KeyDist {
+    /// Uniform over the key space (the original behavior; draws exactly the
+    /// same RNG sequence as before this knob existed).
+    #[default]
+    Uniform,
+    /// Zipfian (YCSB-style): rank 0 is the most popular key. `theta` in
+    /// (0, 1) controls skew; YCSB's default is 0.99.
+    Zipfian {
+        /// Skew exponent θ.
+        theta: f64,
+    },
+}
+
+/// How clients pace their requests.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum Arrival {
+    /// One request in flight per client; the next is submitted when the
+    /// previous completes (the original behavior).
+    #[default]
+    ClosedLoop,
+    /// Requests are submitted on a fixed virtual-time schedule regardless
+    /// of completions — arbitrarily many may be in flight. This is the mode
+    /// for million-request throughput runs: offered load is a knob, not an
+    /// emergent property of latency.
+    OpenLoop {
+        /// Virtual nanoseconds between consecutive submissions per client.
+        interarrival_ns: u64,
+    },
+}
+
+impl Arrival {
+    /// Open-loop arrival at `rate` requests per virtual second (per
+    /// client).
+    pub fn per_second(rate: u64) -> Arrival {
+        Arrival::OpenLoop {
+            interarrival_ns: 1_000_000_000 / rate.max(1),
+        }
+    }
+}
+
 /// Workload parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct WorkloadConfig {
-    /// Size of the key space.
+    /// Size of the key space (per tenant).
     pub keys: u64,
-    /// Fraction of transactions that target the single "hot" key 0 (driving
-    /// conflicts): 0.0 = uniform, 1.0 = everything conflicts.
+    /// Fraction of transactions that target the single "hot" key (driving
+    /// conflicts): 0.0 = uniform, 1.0 = everything conflicts. Each tenant
+    /// has its own hot key (key 0 of its range).
     pub hot_fraction: f64,
     /// Fraction of read-only transactions.
     pub read_fraction: f64,
@@ -47,6 +90,15 @@ pub struct WorkloadConfig {
     pub work_units: u32,
     /// Which workload family to generate.
     pub kind: WorkloadKind,
+    /// How non-hot keys are sampled.
+    pub key_dist: KeyDist,
+    /// Number of disjoint tenant key ranges. Client streams are assigned
+    /// round-robin (`stream % tenants`), and each tenant's keys occupy
+    /// `[tenant * keys, (tenant + 1) * keys)`. 1 = the original shared key
+    /// space.
+    pub tenants: u64,
+    /// Request pacing (closed loop vs. open loop).
+    pub arrival: Arrival,
 }
 
 impl WorkloadConfig {
@@ -60,6 +112,9 @@ impl WorkloadConfig {
             ops_per_txn: 1,
             work_units: 0,
             kind: WorkloadKind::KvMix,
+            key_dist: KeyDist::Uniform,
+            tenants: 1,
+            arrival: Arrival::ClosedLoop,
         }
     }
 
@@ -80,6 +135,9 @@ impl WorkloadConfig {
             ops_per_txn: 1,
             work_units: 0,
             kind: WorkloadKind::LogAppend,
+            key_dist: KeyDist::Uniform,
+            tenants: 1,
+            arrival: Arrival::ClosedLoop,
         }
     }
 
@@ -93,6 +151,9 @@ impl WorkloadConfig {
             ops_per_txn: 1,
             work_units: 0,
             kind: WorkloadKind::CounterInc,
+            key_dist: KeyDist::Uniform,
+            tenants: 1,
+            arrival: Arrival::ClosedLoop,
         }
     }
 
@@ -123,6 +184,80 @@ impl WorkloadConfig {
         self.keys = keys;
         self
     }
+
+    /// Builder-style: set the key distribution.
+    pub fn with_key_dist(mut self, key_dist: KeyDist) -> Self {
+        self.key_dist = key_dist;
+        self
+    }
+
+    /// Builder-style: Zipfian key popularity with skew θ.
+    pub fn zipfian(self, theta: f64) -> Self {
+        self.with_key_dist(KeyDist::Zipfian { theta })
+    }
+
+    /// Builder-style: set the number of tenant key ranges.
+    pub fn with_tenants(mut self, tenants: u64) -> Self {
+        self.tenants = tenants.max(1);
+        self
+    }
+
+    /// Builder-style: set the arrival process.
+    pub fn with_arrival(mut self, arrival: Arrival) -> Self {
+        self.arrival = arrival;
+        self
+    }
+
+    /// Builder-style: open-loop arrivals at the given per-client rate
+    /// (requests per virtual second).
+    pub fn open_loop(self, rate_per_sec: u64) -> Self {
+        self.with_arrival(Arrival::per_second(rate_per_sec))
+    }
+}
+
+/// YCSB-style bounded Zipfian sampler (Gray et al.'s rejection-free
+/// inversion): returns ranks in `[0, n)` where rank 0 is most popular.
+/// Construction is O(n) — the harmonic normalizer — and sampling is O(1).
+#[derive(Debug, Clone)]
+struct ZipfSampler {
+    n: u64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+    zeta2: f64,
+}
+
+impl ZipfSampler {
+    fn new(n: u64, theta: f64) -> ZipfSampler {
+        let n = n.max(1);
+        let theta = theta.clamp(1e-6, 0.999_999);
+        let zetan: f64 = (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum();
+        let zeta2 = 1.0 + 0.5f64.powf(theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        ZipfSampler {
+            n,
+            alpha,
+            zetan,
+            eta,
+            zeta2,
+        }
+    }
+
+    fn sample(&self, rng: &mut ChaCha8Rng) -> u64 {
+        use rand::RngCore;
+        // 53 uniform bits → u in [0, 1)
+        let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            0
+        } else if uz < self.zeta2 {
+            1
+        } else {
+            let r = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+            r.min(self.n - 1)
+        }
+    }
 }
 
 /// A deterministic transaction generator.
@@ -137,6 +272,8 @@ pub struct Workload {
     /// Appends generated so far by this stream (offset guesses for
     /// consumer reads; the record tag's low half).
     appends: u64,
+    /// Precomputed Zipfian state (only when `config.key_dist` is Zipfian).
+    zipf: Option<ZipfSampler>,
 }
 
 impl Workload {
@@ -149,12 +286,22 @@ impl Workload {
     /// The tag does not perturb the RNG, so `KvMix` generation is identical
     /// to [`Workload::new`] at the same seed.
     pub fn for_stream(config: WorkloadConfig, seed: u64, stream: u64) -> Self {
+        let zipf = match config.key_dist {
+            KeyDist::Uniform => None,
+            KeyDist::Zipfian { theta } => Some(ZipfSampler::new(config.keys.max(2) - 1, theta)),
+        };
         Workload {
             config,
             rng: ChaCha8Rng::seed_from_u64(seed ^ 0x9e3779b97f4a7c15),
             stream,
             appends: 0,
+            zipf,
         }
+    }
+
+    /// The tenant this stream belongs to.
+    pub fn tenant(&self) -> u64 {
+        self.stream % self.config.tenants.max(1)
     }
 
     /// Generate the next transaction.
@@ -201,13 +348,18 @@ impl Workload {
     }
 
     fn pick_key(&mut self) -> Key {
+        // With one tenant (the default) the base is 0 and every draw below
+        // is identical to the pre-tenant behavior.
+        let base = self.tenant() * self.config.keys;
         if self.config.hot_fraction > 0.0
             && self.rng.gen_bool(self.config.hot_fraction.clamp(0.0, 1.0))
         {
-            0
-        } else {
-            // avoid the hot key in the uniform part
-            self.rng.gen_range(1..self.config.keys.max(2))
+            return base;
+        }
+        // the non-hot part avoids the tenant's hot key (offset 0)
+        base + match &self.zipf {
+            None => self.rng.gen_range(1..self.config.keys.max(2)),
+            Some(z) => 1 + z.sample(&mut self.rng),
         }
     }
 }
@@ -265,5 +417,92 @@ mod tests {
         let mut w = Workload::new(WorkloadConfig::uniform().with_work(42), 5);
         let txn = w.next_txn();
         assert!(txn.ops.iter().any(|op| matches!(op, Op::Work(42))));
+    }
+
+    fn touched_keys(txn: &Transaction) -> Vec<Key> {
+        txn.ops
+            .iter()
+            .filter_map(|op| match op {
+                Op::Get(k) | Op::Add(k, _) => Some(*k),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn zipfian_skews_toward_low_ranks() {
+        let cfg = WorkloadConfig::uniform()
+            .with_keys(10_000)
+            .with_reads(0.0)
+            .zipfian(0.99);
+        let mut w = Workload::new(cfg, 11);
+        let mut low = 0usize;
+        let mut total = 0usize;
+        for _ in 0..2000 {
+            for k in touched_keys(&w.next_txn()) {
+                total += 1;
+                if k <= 100 {
+                    low += 1;
+                }
+            }
+        }
+        // under uniform sampling ~1% of draws would land in the first 100
+        // keys; θ=0.99 Zipf concentrates the majority there
+        assert!(
+            low * 2 > total,
+            "zipf not skewed: {low}/{total} in the hot 1%"
+        );
+        // and every key stays in range
+        let mut w = Workload::new(cfg, 12);
+        for _ in 0..500 {
+            for k in touched_keys(&w.next_txn()) {
+                assert!(k < 10_000);
+            }
+        }
+    }
+
+    #[test]
+    fn tenants_partition_the_key_space() {
+        let cfg = WorkloadConfig::uniform().with_keys(100).with_tenants(4);
+        for stream in 0..8u64 {
+            let mut w = Workload::for_stream(cfg, 9, stream);
+            let lo = (stream % 4) * 100;
+            for _ in 0..200 {
+                for k in touched_keys(&w.next_txn()) {
+                    assert!(k >= lo && k < lo + 100, "stream {stream} drew key {k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_tenant_is_byte_identical_to_no_tenant_knob() {
+        // tenants=1 must not perturb the draw sequence: same txns as the
+        // plain uniform config at any stream tag
+        let a_cfg = WorkloadConfig::uniform();
+        let b_cfg = WorkloadConfig::uniform().with_tenants(1);
+        let mut a = Workload::for_stream(a_cfg, 7, 3);
+        let mut b = Workload::for_stream(b_cfg, 7, 3);
+        for _ in 0..200 {
+            assert_eq!(a.next_txn(), b.next_txn());
+        }
+    }
+
+    #[test]
+    fn arrival_rate_helper() {
+        assert_eq!(
+            Arrival::per_second(1000),
+            Arrival::OpenLoop {
+                interarrival_ns: 1_000_000
+            }
+        );
+        assert_eq!(WorkloadConfig::uniform().arrival, Arrival::ClosedLoop);
+        let ol = WorkloadConfig::uniform().open_loop(10_000);
+        assert_eq!(
+            ol.arrival,
+            Arrival::OpenLoop {
+                interarrival_ns: 100_000
+            }
+        );
     }
 }

@@ -39,6 +39,43 @@ pub enum CryptoOp {
     ThresholdVerify,
 }
 
+impl CryptoOp {
+    /// Every operation, in declaration order (the [`CostTable`] index
+    /// order).
+    pub const ALL: [CryptoOp; 9] = [
+        CryptoOp::Hash,
+        CryptoOp::MacGen,
+        CryptoOp::MacVerify,
+        CryptoOp::Sign,
+        CryptoOp::Verify,
+        CryptoOp::ThresholdShareGen,
+        CryptoOp::ThresholdShareVerify,
+        CryptoOp::ThresholdCombine,
+        CryptoOp::ThresholdVerify,
+    ];
+
+    /// Dense index of this op (its discriminant).
+    #[inline]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// Per-operation costs flattened into a dense array, so the simulator's hot
+/// path charges crypto with a single indexed load instead of a match over
+/// [`CryptoCostModel`] fields. Derived from a model via
+/// [`CryptoCostModel::table`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostTable([u64; CryptoOp::ALL.len()]);
+
+impl CostTable {
+    /// Look up the cost of an operation (array index, no branch).
+    #[inline]
+    pub fn cost_ns(&self, op: CryptoOp) -> u64 {
+        self.0[op.index()]
+    }
+}
+
 /// Nanosecond costs for each operation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CryptoCostModel {
@@ -104,6 +141,15 @@ impl CryptoCostModel {
             CryptoOp::ThresholdCombine => self.threshold_combine_ns,
             CryptoOp::ThresholdVerify => self.threshold_verify_ns,
         }
+    }
+
+    /// Flatten this model into a dense per-op lookup table.
+    pub fn table(&self) -> CostTable {
+        let mut t = [0u64; CryptoOp::ALL.len()];
+        for op in CryptoOp::ALL {
+            t[op.index()] = self.cost_ns(op);
+        }
+        CostTable(t)
     }
 
     /// Scale every cost by a factor (for sweeps).

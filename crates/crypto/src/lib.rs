@@ -46,7 +46,7 @@ pub mod hmac;
 pub mod sign;
 pub mod threshold;
 
-pub use cost::{CryptoCostModel, CryptoOp};
+pub use cost::{CostTable, CryptoCostModel, CryptoOp};
 pub use hash::{sha256, Hasher};
 pub use hmac::{hmac_sha256, Mac, MacKey};
 pub use sign::{KeyStore, SecretKey, Signature, Signer};

@@ -137,6 +137,10 @@ pub struct Scenario {
     pub batch_size: usize,
     /// Virtual-time budget for the run.
     pub max_time: SimDuration,
+    /// Event-queue scheduler backing the simulation. Both options pop in
+    /// the identical order, so this never changes a run's output — only
+    /// wall-clock cost at scale.
+    pub scheduler: bft_sim::SchedulerKind,
 }
 
 impl Scenario {
@@ -156,6 +160,7 @@ impl Scenario {
             checkpoint_interval: 16,
             batch_size: 1,
             max_time: SimDuration::from_secs(60),
+            scheduler: bft_sim::SchedulerKind::default(),
         }
     }
 
@@ -208,6 +213,12 @@ impl Scenario {
         self
     }
 
+    /// Builder-style: set the event-queue scheduler.
+    pub fn with_scheduler(mut self, scheduler: bft_sim::SchedulerKind) -> Scenario {
+        self.scheduler = scheduler;
+        self
+    }
+
     /// The replica count for a protocol whose formula minimum is `min_n`.
     pub fn n(&self, min_n: usize) -> usize {
         self.n_override.map_or(min_n, |n| n.max(min_n))
@@ -253,7 +264,11 @@ impl Scenario {
     /// invalid — see [`FaultPlan::validate`](bft_sim::faults::FaultPlan::validate)
     /// and [`AdversarySpec::validate`].
     pub fn build_sim<M: WireSize + serde::Serialize + 'static>(&self, n: usize) -> Simulation<M> {
-        let mut sim = Simulation::new(NetworkModel::new(self.network.clone()), self.seed);
+        let mut sim = Simulation::with_scheduler(
+            NetworkModel::new(self.network.clone()),
+            self.seed,
+            self.scheduler,
+        );
         sim.set_cost_model(self.cost_model);
         if let Err(e) = self.faults.apply(&mut sim, n, self.clients as u64) {
             panic!("scenario has an invalid fault plan: {e}");
@@ -394,6 +409,12 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Set the event-queue scheduler.
+    pub fn scheduler(mut self, scheduler: bft_sim::SchedulerKind) -> Self {
+        self.scenario.scheduler = scheduler;
+        self
+    }
+
     /// Finish, yielding the scenario.
     pub fn build(self) -> Scenario {
         self.scenario
@@ -428,9 +449,24 @@ pub trait ClientProtocol: 'static {
     fn reply_quorum(q: &QuorumRules) -> usize;
 }
 
-/// The requester client shared by most protocols: closed-loop, collects
-/// matching replies, retransmits on timeout (broadcasting if the policy says
-/// so), records `ClientAccept` observations for latency accounting.
+/// One open-loop request in flight: its payload, submission time, reply
+/// collector and retransmission state.
+struct OpenRequest {
+    signed: SignedRequest,
+    sent_at: SimTime,
+    collector: bft_core::client::ReplyCollector,
+    timer: TimerId,
+    retransmitted: bool,
+}
+
+/// The requester client shared by most protocols: collects matching
+/// replies, retransmits on timeout (broadcasting if the policy says so),
+/// records `ClientAccept` observations for latency accounting.
+///
+/// Pacing follows the scenario workload's [`Arrival`](bft_core::Arrival)
+/// knob: closed-loop (one request in flight, the default) or open-loop
+/// (submissions on a fixed virtual-time schedule with arbitrarily many in
+/// flight — the million-request throughput mode).
 pub struct GenericClient<P: ClientProtocol> {
     id: ClientId,
     q: QuorumRules,
@@ -444,12 +480,26 @@ pub struct GenericClient<P: ClientProtocol> {
     retransmit: SimDuration,
     timer: Option<TimerId>,
     retransmitted: bool,
+    /// `Some(interarrival)` in open-loop mode.
+    arrival: Option<SimDuration>,
+    /// Open-loop requests awaiting a reply quorum, keyed by request id.
+    outstanding: BTreeMap<RequestId, OpenRequest>,
+    /// Open-loop retransmission timers → the request they guard.
+    retransmit_ids: BTreeMap<TimerId, RequestId>,
+    /// Open-loop completions.
+    done: u64,
     _marker: std::marker::PhantomData<P>,
 }
 
 impl<P: ClientProtocol> GenericClient<P> {
     /// Create a client for `scenario` with identity `id`.
     pub fn new(scenario: &Scenario, q: QuorumRules, id: u64) -> Self {
+        let arrival = match scenario.workload.arrival {
+            bft_core::Arrival::ClosedLoop => None,
+            bft_core::Arrival::OpenLoop { interarrival_ns } => {
+                Some(SimDuration(interarrival_ns.max(1)))
+            }
+        };
         GenericClient {
             id: ClientId(id),
             q,
@@ -463,6 +513,10 @@ impl<P: ClientProtocol> GenericClient<P> {
             retransmit: SimDuration(scenario.network.delta.0 * 4),
             timer: None,
             retransmitted: false,
+            arrival,
+            outstanding: BTreeMap::new(),
+            retransmit_ids: BTreeMap::new(),
+            done: 0,
             _marker: std::marker::PhantomData,
         }
     }
@@ -495,21 +549,93 @@ impl<P: ClientProtocol> GenericClient<P> {
         }
     }
 
+    /// Open-loop: sign and submit the next request on the arrival schedule,
+    /// tracking it among the (arbitrarily many) outstanding requests.
+    fn submit_open(&mut self, ctx: &mut Context<'_, P::Msg>) {
+        if self.sent >= self.total {
+            return;
+        }
+        self.sent += 1;
+        let request = Request::new(self.id, self.sent, self.workload.next_txn());
+        let signed = SignedRequest::new(&self.store, request.clone());
+        ctx.charge_crypto(bft_crypto::CryptoOp::Sign);
+        let timer = ctx.set_timer(TimerKind::T1WaitReplies, self.retransmit);
+        self.retransmit_ids.insert(timer, request.id);
+        self.outstanding.insert(
+            request.id,
+            OpenRequest {
+                signed: signed.clone(),
+                sent_at: ctx.now(),
+                collector: bft_core::client::ReplyCollector::new(),
+                timer,
+                retransmitted: false,
+            },
+        );
+        self.dispatch(signed, false, ctx);
+    }
+
+    /// Open-loop reply handling: route the reply to its outstanding
+    /// request's collector; completion never triggers a submission (the
+    /// arrival timer owns pacing).
+    fn on_open_reply(&mut self, from: NodeId, reply: &Reply, ctx: &mut Context<'_, P::Msg>) {
+        let NodeId::Replica(replica) = from else {
+            return;
+        };
+        let Some(pending) = self.outstanding.get_mut(&reply.request) else {
+            return;
+        };
+        ctx.charge_crypto(bft_crypto::CryptoOp::Verify);
+        self.leader_hint = reply.view.leader_of(self.q.n);
+        let quorum = P::reply_quorum(&self.q);
+        if let bft_core::client::CollectStatus::Complete { reply: agreed, .. } =
+            pending.collector.offer(replica, reply.clone(), quorum)
+        {
+            let pending = self.outstanding.remove(&reply.request).expect("present");
+            ctx.cancel_timer(pending.timer);
+            self.retransmit_ids.remove(&pending.timer);
+            self.done += 1;
+            ctx.observe(Observation::ClientAccept {
+                request: reply.request,
+                sent_at: pending.sent_at,
+                fast_path: !pending.retransmitted && agreed.speculative,
+                txn: pending.signed.request.txn,
+                result: agreed.result.clone(),
+            });
+        }
+    }
+
     /// Completed request count.
     pub fn completed(&self) -> u64 {
-        self.sent.saturating_sub(self.in_flight.is_some() as u64)
+        if self.arrival.is_some() {
+            self.done
+        } else {
+            self.sent.saturating_sub(self.in_flight.is_some() as u64)
+        }
     }
 }
 
 impl<P: ClientProtocol> Actor<P::Msg> for GenericClient<P> {
     fn on_start(&mut self, ctx: &mut Context<'_, P::Msg>) {
-        self.submit_next(ctx);
+        match self.arrival {
+            None => self.submit_next(ctx),
+            Some(interarrival) => {
+                // first request at t=0, then one per interarrival tick
+                self.submit_open(ctx);
+                if self.sent < self.total {
+                    ctx.set_timer(TimerKind::T7Heartbeat, interarrival);
+                }
+            }
+        }
     }
 
     fn on_message(&mut self, from: NodeId, msg: &P::Msg, ctx: &mut Context<'_, P::Msg>) {
         let Some(reply) = P::unwrap_reply(msg) else {
             return;
         };
+        if self.arrival.is_some() {
+            self.on_open_reply(from, reply, ctx);
+            return;
+        }
         let Some((current, _, sent_at)) = self.in_flight else {
             return;
         };
@@ -544,7 +670,35 @@ impl<P: ClientProtocol> Actor<P::Msg> for GenericClient<P> {
         }
     }
 
-    fn on_timer(&mut self, id: TimerId, _kind: TimerKind, ctx: &mut Context<'_, P::Msg>) {
+    fn on_timer(&mut self, id: TimerId, kind: TimerKind, ctx: &mut Context<'_, P::Msg>) {
+        if let Some(interarrival) = self.arrival {
+            match kind {
+                // the arrival schedule: submit and re-arm until the stream
+                // is exhausted
+                TimerKind::T7Heartbeat => {
+                    self.submit_open(ctx);
+                    if self.sent < self.total {
+                        ctx.set_timer(TimerKind::T7Heartbeat, interarrival);
+                    }
+                }
+                // a per-request retransmission backstop fired
+                _ => {
+                    let Some(rid) = self.retransmit_ids.remove(&id) else {
+                        return;
+                    };
+                    let Some(pending) = self.outstanding.get_mut(&rid) else {
+                        return;
+                    };
+                    pending.retransmitted = true;
+                    let signed = pending.signed.clone();
+                    let timer = ctx.set_timer(TimerKind::T1WaitReplies, self.retransmit);
+                    pending.timer = timer;
+                    self.retransmit_ids.insert(timer, rid);
+                    self.dispatch(signed, true, ctx);
+                }
+            }
+            return;
+        }
         if Some(id) != self.timer {
             return;
         }

@@ -212,6 +212,12 @@ pub struct FairReplica {
     round_timer: Option<TimerId>,
     round_period: SimDuration,
     view_timeout: SimDuration,
+    /// Fingerprint of the last `RoundBatch` stream state: (view, exec
+    /// cursor, hash of pending ids). Unchanged across ticks means the
+    /// stream is a pure retransmission.
+    stream_fp: Option<(u64, u64, u64)>,
+    /// Consecutive ticks with an unchanged fingerprint.
+    idle_ticks: u32,
 }
 
 impl FairReplica {
@@ -243,6 +249,8 @@ impl FairReplica {
             round_timer: None,
             round_period,
             view_timeout,
+            stream_fp: None,
+            idle_ticks: 0,
         }
     }
 
@@ -264,28 +272,73 @@ impl FairReplica {
         self.q.f + 1
     }
 
+    /// How many rounds apart a replica with a stalled stream resends its
+    /// batch. While the fingerprint keeps repeating, the resend schedule
+    /// thins exponentially — but it stays keyed to the *shared* round
+    /// number (`round % interval == 0`), so replicas that entered backoff
+    /// at different ticks still converge on common send rounds (every
+    /// power-of-two interval divides the larger ones) and the leader can
+    /// assemble its n−f batch quorum there.
+    fn backoff_interval(&self) -> u64 {
+        match self.idle_ticks {
+            0..=2 => 1, // grace period: a healthy commit needs a few ticks
+            3..=7 => 4,
+            8..=15 => 8,
+            16..=31 => 16,
+            _ => 32,
+        }
+    }
+
     fn on_round_tick(&mut self, ctx: &mut Context<'_, FairMsg>) {
         self.round += 1;
         let round = self.round;
         let executed = &self.executed_reqs;
         self.pending
             .retain(|r| !executed.contains_key(&r.request.id));
+        // De-duplicate the preordering stream: fingerprint what a
+        // RoundBatch this tick would carry (plus the view and execution
+        // progress). An unchanged fingerprint means resending is pure
+        // retransmission, so a storm of identical batches — e.g. induced
+        // by an equivocating leader that never lets the round commit —
+        // backs off instead of flooding the leader every period.
+        let fp = (
+            self.view.0,
+            self.exec_cursor.0,
+            self.pending.iter().fold(0xcbf2_9ce4_8422_2325_u64, |h, r| {
+                (h ^ r.request.id.client.0)
+                    .wrapping_mul(0x0100_0000_01b3)
+                    .wrapping_add(r.request.id.timestamp)
+                    .wrapping_mul(0x0100_0000_01b3)
+            }),
+        );
+        if self.stream_fp == Some(fp) {
+            self.idle_ticks = self.idle_ticks.saturating_add(1);
+        } else {
+            self.stream_fp = Some(fp);
+            self.idle_ticks = 0;
+        }
         let entries = self.pending.clone();
         let me = self.me;
         if !entries.is_empty() || self.is_leader() {
-            ctx.charge_crypto(CryptoOp::Sign);
             let leader = self.leader();
             if leader == self.me {
+                // The leader's own record is local (no wire traffic) and
+                // anchors the quorum, so it never backs off.
+                ctx.charge_crypto(CryptoOp::Sign);
                 self.record_round_batch(me, round, entries, ctx);
             } else {
-                ctx.send(
-                    NodeId::Replica(leader),
-                    FairMsg::RoundBatch {
-                        round,
-                        entries,
-                        from: me,
-                    },
-                );
+                let interval = self.backoff_interval();
+                if interval == 1 || round.is_multiple_of(interval) {
+                    ctx.charge_crypto(CryptoOp::Sign);
+                    ctx.send(
+                        NodeId::Replica(leader),
+                        FairMsg::RoundBatch {
+                            round,
+                            entries,
+                            from: me,
+                        },
+                    );
+                }
             }
         }
         // liveness pressure: pending work arms τ2
@@ -1057,6 +1110,53 @@ mod tests {
                 "seed {seed}: event budget blown: {} vs {} clean",
                 adv.events_processed,
                 base.events_processed
+            );
+        }
+    }
+
+    /// The re-measure of the carried ROADMAP storm: stack equivocation and
+    /// corruption until the batch quorum is permanently dead (two of five
+    /// replicas corrupted exceeds f = 1, so nothing ever commits and every
+    /// replica's pending set never drains). Before the preordering-stream
+    /// backoff this was the configuration that resent identical batches
+    /// every round until the simulator's 20M-event budget ended the run
+    /// (~700k adversarial multicasts). Now the fingerprint-keyed backoff
+    /// bounds the retransmission stream by protocol logic: a 2-second
+    /// stall stays around ~27k events — three orders of magnitude under
+    /// the old budget-bound blowup.
+    #[test]
+    fn stalled_ordering_streams_back_off_instead_of_storming() {
+        use bft_sim::{AdversarySpec, Attack};
+        for seed in [1u64, 2, 3] {
+            let mut scenario = Scenario::small(1).with_load(2, 8).with_seed(seed);
+            scenario.max_time = SimDuration::from_secs(2);
+            let attacked = scenario.with_adversaries(vec![
+                AdversarySpec::new(1, Attack::Equivocate { prob: 1.0 })
+                    .and(Attack::Corrupt { prob: 1.0 }),
+                AdversarySpec::new(2, Attack::Corrupt { prob: 1.0 }),
+            ]);
+            let adv = run(&attacked);
+            assert_eq!(
+                accepted(&adv),
+                0,
+                "seed {seed}: two corrupted replicas of five must kill the n−f batch quorum"
+            );
+            // Ticks keep firing every round_period for the whole budget;
+            // without backoff each stalled replica resends its pending
+            // batch on every one of them.
+            let round_period = attacked.network.base_delay.0 * 4;
+            let ticks = attacked.max_time.0 / round_period;
+            let msgs = adv.metrics.replica_msgs_sent();
+            assert!(
+                msgs < ticks,
+                "seed {seed}: {msgs} replica msgs for {ticks} rounds — the \
+                 stalled stream is still resending instead of backing off"
+            );
+            assert!(
+                adv.events_processed < 100_000,
+                "seed {seed}: {} events for a 2 s stall — the storm is back \
+                 to being bounded only by the event budget",
+                adv.events_processed
             );
         }
     }

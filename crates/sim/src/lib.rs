@@ -66,10 +66,10 @@ pub use adversary::{AdversaryError, AdversarySpec, Attack, AttackKind};
 pub use audit::SafetyAuditor;
 pub use campaign::{AdversaryBudget, CampaignViolation, ChaosCase, ChaosProfile};
 pub use checker::{ExecutionSemantics, SemanticConfig, SemanticViolation};
-pub use event::NodeId;
+pub use event::{CalendarQueue, NodeId, SchedulerKind};
 pub use faults::{FaultEvent, FaultPlan, FaultPlanError};
 pub use metrics::{LatencyStats, Metrics, NodeCounters};
-pub use net::{NetworkConfig, NetworkModel};
+pub use net::{Delivery, NetworkConfig, NetworkModel};
 pub use obs::{Observation, ObservationLog, Stage};
 pub use runner::{Actor, Context, Simulation, TimerId};
 pub use time::{SimDuration, SimTime};

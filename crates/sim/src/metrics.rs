@@ -65,6 +65,30 @@ pub struct Metrics {
 }
 
 impl Metrics {
+    /// Flush one event handler's batched accounting in a single counter
+    /// access: CPU charge, sends, and deliveries all land on `node`. Sums
+    /// are identical to the unbatched `on_cpu`/`on_send`/`on_deliver`
+    /// sequence; callers skip the call entirely when nothing was recorded,
+    /// matching which nodes the unbatched path would have touched.
+    #[allow(clippy::too_many_arguments)]
+    pub fn on_event_flush(
+        &mut self,
+        node: NodeId,
+        cpu: SimDuration,
+        sent_msgs: u64,
+        sent_bytes: u64,
+        recv_msgs: u64,
+        recv_bytes: u64,
+    ) {
+        let c = self.counters_mut(node);
+        c.cpu += cpu;
+        c.msgs_sent += sent_msgs;
+        c.bytes_sent += sent_bytes;
+        c.msgs_received += recv_msgs;
+        c.bytes_received += recv_bytes;
+    }
+
+    #[inline]
     fn counters_mut(&mut self, node: NodeId) -> &mut NodeCounters {
         match node {
             NodeId::Replica(r) => {
@@ -83,6 +107,14 @@ impl Metrics {
         let c = self.counters_mut(from);
         c.msgs_sent += 1;
         c.bytes_sent += bytes as u64;
+    }
+
+    /// Record a batch of sends in one counter update (the per-handler flush
+    /// path: totals are identical to `msgs` individual `on_send` calls).
+    pub fn on_send_n(&mut self, from: NodeId, msgs: u64, bytes: u64) {
+        let c = self.counters_mut(from);
+        c.msgs_sent += msgs;
+        c.bytes_sent += bytes;
     }
 
     /// Record a delivery.

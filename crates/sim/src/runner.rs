@@ -15,18 +15,20 @@
 //! bottleneck* (dimension Q2) and the MAC-vs-signature CPU trade-off
 //! (dimension E3) in experiments.
 
-use std::collections::{BTreeMap, BinaryHeap, VecDeque};
-use std::sync::Arc;
+use std::collections::{BTreeMap, VecDeque};
+use std::rc::Rc;
 
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
-use bft_crypto::{CryptoCostModel, CryptoOp, Mac};
+use bft_crypto::{CostTable, CryptoCostModel, CryptoOp, Mac};
 use bft_types::{TimerKind, WireSize};
 use serde::Serialize;
 
 use crate::adversary::{AdversarySpec, Attack, WireAuth, CAPTURE_CAP};
-use crate::event::{EventKind, NodeId, QueuedEvent};
+use crate::event::{
+    EventKind, EventQueue, NodeId, PackedNode, QueuedEvent, SchedulerKind, TaggedEnvelope,
+};
 use crate::metrics::Metrics;
 use crate::net::{Delivery, NetworkModel};
 use crate::obs::{Observation, ObservationLog};
@@ -124,12 +126,16 @@ pub trait Actor<M> {
 /// bounded buffer of its own past payloads (replay/equivocation material).
 struct AdversaryState<M> {
     attacks: Vec<Attack>,
-    capture: VecDeque<Arc<M>>,
+    capture: VecDeque<Rc<M>>,
 }
+
+/// Cap on recycled envelope `Rc`s kept for reuse: bounds pool memory while
+/// covering the in-flight envelope population of large fan-outs.
+const ENVELOPE_POOL_CAP: usize = 4096;
 
 /// Shared simulation state the context exposes to the running actor.
 struct SimState<M> {
-    queue: BinaryHeap<QueuedEvent<M>>,
+    queue: EventQueue<M>,
     next_seq: u64,
     timers: TimerArena,
     network: NetworkModel,
@@ -139,8 +145,25 @@ struct SimState<M> {
     metrics: Metrics,
     log: ObservationLog,
     cost_model: CryptoCostModel,
+    /// Dense per-op cost lookup derived from `cost_model`: the hot path
+    /// indexes an array instead of matching on the op.
+    cost_table: CostTable,
     wire_auth: WireAuth,
     adversaries: BTreeMap<u32, AdversaryState<M>>,
+    /// Recycled message envelopes: a delivered `Rc` whose last reference
+    /// pops here is reused by the next send, so steady-state traffic does
+    /// zero per-message heap allocation.
+    envelope_pool: Vec<Rc<M>>,
+    /// True once any adversary is installed: the per-event adversary
+    /// lookups are gated on this flag so honest runs pay one branch.
+    adversaries_active: bool,
+    /// Sends and deliveries accumulated during the current handler,
+    /// flushed to the handling node's counters once per event instead of
+    /// once per send / per delivery.
+    pending_send_msgs: u64,
+    pending_send_bytes: u64,
+    pending_recv_msgs: u64,
+    pending_recv_bytes: u64,
 }
 
 impl<M> SimState<M> {
@@ -150,9 +173,28 @@ impl<M> SimState<M> {
         self.queue.push(QueuedEvent {
             at,
             seq,
-            node,
+            node: PackedNode::pack(node),
             kind,
         });
+    }
+
+    /// Wrap a message in an `Rc`, reusing a recycled envelope allocation
+    /// when one is available.
+    fn alloc_envelope(&mut self, msg: M) -> Rc<M> {
+        if let Some(mut spare) = self.envelope_pool.pop() {
+            if let Some(slot) = Rc::get_mut(&mut spare) {
+                *slot = msg;
+                return spare;
+            }
+        }
+        Rc::new(msg)
+    }
+
+    /// Return an envelope to the pool if this was its last reference.
+    fn recycle_envelope(&mut self, msg: Rc<M>) {
+        if Rc::strong_count(&msg) == 1 && self.envelope_pool.len() < ENVELOPE_POOL_CAP {
+            self.envelope_pool.push(msg);
+        }
     }
 }
 
@@ -166,36 +208,35 @@ impl<M: WireSize + Serialize> SimState<M> {
         sent_at: SimTime,
         from: NodeId,
         to: NodeId,
-        msg: &Arc<M>,
+        msg: &Rc<M>,
         tag: Option<Mac>,
         extra: SimDuration,
     ) {
-        self.metrics.on_send(from, msg.wire_size());
+        // Accumulated locally and flushed to `from`'s counters once per
+        // handler (`with_actor`); every enqueue_send call happens inside a
+        // handler of the sending node, so attribution is unchanged.
+        self.pending_send_msgs += 1;
+        self.pending_send_bytes += msg.wire_size() as u64;
+        let deliver = |msg: &Rc<M>| match tag {
+            None => EventKind::Deliver {
+                from: PackedNode::pack(from),
+                msg: Rc::clone(msg),
+            },
+            Some(tag) => EventKind::DeliverTagged(Box::new(TaggedEnvelope {
+                from: PackedNode::pack(from),
+                msg: Rc::clone(msg),
+                tag,
+            })),
+        };
         match self.network.route(&mut self.rng, sent_at, from, to) {
             Delivery::After(d) => {
-                self.push(
-                    sent_at + d + extra,
-                    to,
-                    EventKind::Deliver {
-                        from,
-                        msg: Arc::clone(msg),
-                        tag,
-                    },
-                );
+                self.push(sent_at + d + extra, to, deliver(msg));
             }
             Delivery::Duplicated(d1, d2) => {
                 // network-level duplication: one send, two deliveries
                 self.metrics.duplicated += 1;
                 for d in [d1, d2] {
-                    self.push(
-                        sent_at + d + extra,
-                        to,
-                        EventKind::Deliver {
-                            from,
-                            msg: Arc::clone(msg),
-                            tag,
-                        },
-                    );
+                    self.push(sent_at + d + extra, to, deliver(msg));
                 }
             }
             Delivery::Dropped => {
@@ -208,11 +249,11 @@ impl<M: WireSize + Serialize> SimState<M> {
     /// (outbound censorship, strategic delay, corruption, replay), then
     /// route what survives. Attack randomness draws from the shared
     /// simulation RNG, in attack-stack order, so runs stay deterministic.
-    fn adversary_send(&mut self, sent_at: SimTime, from: NodeId, to: NodeId, msg: &Arc<M>) {
+    fn adversary_send(&mut self, sent_at: SimTime, from: NodeId, to: NodeId, msg: &Rc<M>) {
         let NodeId::Replica(me) = from else { return };
         let mut extra = SimDuration::ZERO;
         let mut corrupt = false;
-        let mut replay: Option<Arc<M>> = None;
+        let mut replay: Option<Rc<M>> = None;
         {
             let adv = self.adversaries.get(&me.0).expect("caller checked");
             for attack in &adv.attacks {
@@ -276,6 +317,9 @@ pub struct Context<'a, M> {
     base: SimTime,
     /// Virtual CPU time charged so far during this handler.
     charged: SimDuration,
+    /// Whether `charge` was called at all (a zero-cost charge still touches
+    /// the node's CPU counter, matching the unbatched accounting).
+    charged_any: bool,
     state: &'a mut SimState<M>,
 }
 
@@ -301,40 +345,44 @@ impl<'a, M: WireSize + Serialize> Context<'a, M> {
     }
 
     /// Charge virtual CPU time: delays this node's subsequent sends and its
-    /// availability for the next event.
+    /// availability for the next event. The charge accumulates locally and
+    /// is flushed to the metrics once per handler.
     pub fn charge(&mut self, d: SimDuration) {
         self.charged += d;
-        self.state.metrics.on_cpu(self.node, d);
+        self.charged_any = true;
     }
 
-    /// Charge one cryptographic operation at the configured cost model.
+    /// Charge one cryptographic operation at the configured cost model
+    /// (a dense-table lookup, no match).
     pub fn charge_crypto(&mut self, op: CryptoOp) {
-        self.charge(SimDuration(self.state.cost_model.cost_ns(op)));
+        self.charge(SimDuration(self.state.cost_table.cost_ns(op)));
     }
 
     /// Charge `count` cryptographic operations.
     pub fn charge_crypto_n(&mut self, op: CryptoOp, count: usize) {
         self.charge(SimDuration(
             self.state
-                .cost_model
+                .cost_table
                 .cost_ns(op)
                 .saturating_mul(count as u64),
         ));
     }
 
     /// Send a message. Applies topology constraints (replica↔replica links
-    /// only), samples network delay, and records metrics.
+    /// only), samples network delay, and records metrics. The envelope
+    /// allocation is drawn from the simulation's recycle pool.
     pub fn send(&mut self, to: NodeId, msg: M) {
-        let msg = Arc::new(msg);
+        let msg = self.state.alloc_envelope(msg);
         self.send_shared(to, &msg);
         self.capture_payload(&msg);
+        self.state.recycle_envelope(msg);
     }
 
-    /// Route an already-shared payload: one `Arc` clone per receiver, no
+    /// Route an already-shared payload: one `Rc` clone per receiver, no
     /// deep copy. Wire bytes and per-node counters are still charged per
     /// receiver. Envelopes leaving a compromised sender pass through its
     /// adversary attack stack first.
-    fn send_shared(&mut self, to: NodeId, msg: &Arc<M>) {
+    fn send_shared(&mut self, to: NodeId, msg: &Rc<M>) {
         // Overlay enforcement: only replica-to-replica links are constrained.
         if let (Some(topo), NodeId::Replica(f), NodeId::Replica(t)) =
             (&self.state.topology, self.node, to)
@@ -345,10 +393,12 @@ impl<'a, M: WireSize + Serialize> Context<'a, M> {
             }
         }
         let sent_at = self.now();
-        if let NodeId::Replica(r) = self.node {
-            if self.state.adversaries.contains_key(&r.0) {
-                self.state.adversary_send(sent_at, self.node, to, msg);
-                return;
+        if self.state.adversaries_active {
+            if let NodeId::Replica(r) = self.node {
+                if self.state.adversaries.contains_key(&r.0) {
+                    self.state.adversary_send(sent_at, self.node, to, msg);
+                    return;
+                }
             }
         }
         self.state
@@ -359,7 +409,7 @@ impl<'a, M: WireSize + Serialize> Context<'a, M> {
     /// genuine traffic. It carries a *valid* wire tag — the compromised
     /// node genuinely authored the payload — and bypasses the rest of the
     /// attack stack.
-    fn send_substitute(&mut self, to: NodeId, payload: &Arc<M>) {
+    fn send_substitute(&mut self, to: NodeId, payload: &Rc<M>) {
         // Topology still applies: a compromised node cannot invent links.
         if let (Some(topo), NodeId::Replica(f), NodeId::Replica(t)) =
             (&self.state.topology, self.node, to)
@@ -384,8 +434,8 @@ impl<'a, M: WireSize + Serialize> Context<'a, M> {
     /// Record an authored payload in the sender's capture buffer — the
     /// replay/equivocation material of a compromised node. No-op (one
     /// branch) for honest senders and adversary-free runs.
-    fn capture_payload(&mut self, msg: &Arc<M>) {
-        if self.state.adversaries.is_empty() {
+    fn capture_payload(&mut self, msg: &Rc<M>) {
+        if !self.state.adversaries_active {
             return;
         }
         let NodeId::Replica(r) = self.node else {
@@ -395,38 +445,41 @@ impl<'a, M: WireSize + Serialize> Context<'a, M> {
             if adv.capture.len() == CAPTURE_CAP {
                 adv.capture.pop_front();
             }
-            adv.capture.push_back(Arc::clone(msg));
+            adv.capture.push_back(Rc::clone(msg));
         }
     }
 
     /// Send the same message to many nodes. The payload is allocated once
-    /// and shared via `Arc` across all receivers (wire bytes are still
+    /// and shared via `Rc` across all receivers (wire bytes are still
     /// charged per receiver).
     pub fn multicast(&mut self, to: impl IntoIterator<Item = NodeId>, msg: M) {
-        let msg = Arc::new(msg);
-        if let NodeId::Replica(r) = self.node {
-            if self.state.adversaries.contains_key(&r.0) {
-                let recipients: Vec<NodeId> = to.into_iter().collect();
-                self.adversary_multicast(&recipients, &msg);
-                self.capture_payload(&msg);
-                return;
+        let msg = self.state.alloc_envelope(msg);
+        if self.state.adversaries_active {
+            if let NodeId::Replica(r) = self.node {
+                if self.state.adversaries.contains_key(&r.0) {
+                    let recipients: Vec<NodeId> = to.into_iter().collect();
+                    self.adversary_multicast(&recipients, &msg);
+                    self.capture_payload(&msg);
+                    return;
+                }
             }
         }
         for node in to {
             self.send_shared(node, &msg);
         }
+        self.state.recycle_envelope(msg);
     }
 
     /// A compromised sender's multicast: an `Equivocate` attack may split
     /// the recipients into disjoint sets — a random prefix receives the
     /// genuine payload, the rest a stale substitute from the capture
     /// buffer (or silence when nothing has been captured yet).
-    fn adversary_multicast(&mut self, recipients: &[NodeId], msg: &Arc<M>) {
+    fn adversary_multicast(&mut self, recipients: &[NodeId], msg: &Rc<M>) {
         let NodeId::Replica(me) = self.node else {
             return;
         };
         let mut split: Option<usize> = None;
-        let mut stale: Option<Arc<M>> = None;
+        let mut stale: Option<Rc<M>> = None;
         if recipients.len() >= 2 {
             let adv = self
                 .state
@@ -508,6 +561,61 @@ struct NodeSlot<M> {
     busy_until: SimTime,
 }
 
+impl<M> NodeSlot<M> {
+    fn vacant() -> Self {
+        NodeSlot {
+            actor: None,
+            crashed: false,
+            busy_until: SimTime::ZERO,
+        }
+    }
+}
+
+/// The simulation's node slots. Replicas — the hot path, looked up three
+/// times per delivered event — live in a dense `Vec` indexed by replica id;
+/// clients are few and sparse, so they stay in a map.
+struct NodeTable<M> {
+    replicas: Vec<NodeSlot<M>>,
+    clients: BTreeMap<u64, NodeSlot<M>>,
+}
+
+impl<M> NodeTable<M> {
+    fn new() -> Self {
+        NodeTable {
+            replicas: Vec::new(),
+            clients: BTreeMap::new(),
+        }
+    }
+
+    #[inline]
+    fn get(&self, node: NodeId) -> Option<&NodeSlot<M>> {
+        match node {
+            NodeId::Replica(r) => self.replicas.get(r.0 as usize),
+            NodeId::Client(c) => self.clients.get(&c.0),
+        }
+    }
+
+    #[inline]
+    fn get_mut(&mut self, node: NodeId) -> Option<&mut NodeSlot<M>> {
+        match node {
+            NodeId::Replica(r) => self.replicas.get_mut(r.0 as usize),
+            NodeId::Client(c) => self.clients.get_mut(&c.0),
+        }
+    }
+
+    /// All node ids with an installed actor, replicas first then clients,
+    /// each in id order (the iteration order of the former per-node map).
+    fn ids(&self) -> Vec<NodeId> {
+        self.replicas
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.actor.is_some())
+            .map(|(i, _)| NodeId::replica(i as u32))
+            .chain(self.clients.keys().map(|c| NodeId::client(*c)))
+            .collect()
+    }
+}
+
 /// Outcome of a finished run.
 #[derive(Debug)]
 pub struct RunOutcome {
@@ -523,7 +631,7 @@ pub struct RunOutcome {
 
 /// A deterministic discrete-event simulation.
 pub struct Simulation<M> {
-    nodes: BTreeMap<NodeId, NodeSlot<M>>,
+    nodes: NodeTable<M>,
     state: SimState<M>,
     now: SimTime,
     events_processed: u64,
@@ -532,12 +640,21 @@ pub struct Simulation<M> {
 }
 
 impl<M: WireSize + Serialize + 'static> Simulation<M> {
-    /// Create a simulation with the given network and RNG seed.
+    /// Create a simulation with the given network and RNG seed, using the
+    /// default scheduler ([`SchedulerKind::Calendar`]).
     pub fn new(network: NetworkModel, seed: u64) -> Self {
+        Simulation::with_scheduler(network, seed, SchedulerKind::default())
+    }
+
+    /// Create a simulation with an explicit event-queue scheduler. Both
+    /// schedulers pop in the identical `(timestamp, seq)` order, so the
+    /// choice never affects a run's output.
+    pub fn with_scheduler(network: NetworkModel, seed: u64, scheduler: SchedulerKind) -> Self {
+        let free = CryptoCostModel::free();
         Simulation {
-            nodes: BTreeMap::new(),
+            nodes: NodeTable::new(),
             state: SimState {
-                queue: BinaryHeap::new(),
+                queue: EventQueue::new(scheduler),
                 next_seq: 0,
                 timers: TimerArena::default(),
                 network,
@@ -546,9 +663,16 @@ impl<M: WireSize + Serialize + 'static> Simulation<M> {
                 rng: ChaCha8Rng::seed_from_u64(seed),
                 metrics: Metrics::default(),
                 log: ObservationLog::default(),
-                cost_model: CryptoCostModel::free(),
+                cost_model: free,
+                cost_table: free.table(),
                 wire_auth: WireAuth::from_seed(seed),
                 adversaries: BTreeMap::new(),
+                adversaries_active: false,
+                envelope_pool: Vec::new(),
+                pending_send_msgs: 0,
+                pending_send_bytes: 0,
+                pending_recv_msgs: 0,
+                pending_recv_bytes: 0,
             },
             now: SimTime::ZERO,
             events_processed: 0,
@@ -575,6 +699,7 @@ impl<M: WireSize + Serialize + 'static> Simulation<M> {
             },
         );
         assert!(prev.is_none(), "duplicate adversary for replica {node}");
+        self.state.adversaries_active = true;
     }
 
     /// Replicas currently compromised by [`Self::install_adversary`].
@@ -585,6 +710,7 @@ impl<M: WireSize + Serialize + 'static> Simulation<M> {
     /// Set the crypto cost model charged by `Context::charge_crypto`.
     pub fn set_cost_model(&mut self, model: CryptoCostModel) {
         self.state.cost_model = model;
+        self.state.cost_table = model.table();
     }
 
     /// Restrict replica↔replica communication to a topology (dimension E2).
@@ -599,39 +725,27 @@ impl<M: WireSize + Serialize + 'static> Simulation<M> {
 
     /// Add a replica actor as replica `i` (`i` must be dense from 0).
     pub fn add_replica(&mut self, i: u32, actor: Box<dyn Actor<M>>) {
-        let id = NodeId::replica(i);
-        assert!(
-            self.nodes
-                .insert(
-                    id,
-                    NodeSlot {
-                        actor: Some(actor),
-                        crashed: false,
-                        busy_until: SimTime::ZERO
-                    }
-                )
-                .is_none(),
-            "duplicate replica {id}"
-        );
-        self.state.n_replicas = self.state.n_replicas.max(i as usize + 1);
+        let idx = i as usize;
+        if idx >= self.nodes.replicas.len() {
+            self.nodes.replicas.resize_with(idx + 1, NodeSlot::vacant);
+        }
+        let slot = &mut self.nodes.replicas[idx];
+        assert!(slot.actor.is_none(), "duplicate replica r{i}");
+        slot.actor = Some(actor);
+        self.state.n_replicas = self.state.n_replicas.max(idx + 1);
     }
 
     /// Add a client actor.
     pub fn add_client(&mut self, c: u64, actor: Box<dyn Actor<M>>) {
-        let id = NodeId::client(c);
-        assert!(
-            self.nodes
-                .insert(
-                    id,
-                    NodeSlot {
-                        actor: Some(actor),
-                        crashed: false,
-                        busy_until: SimTime::ZERO
-                    }
-                )
-                .is_none(),
-            "duplicate client {id}"
+        let prev = self.nodes.clients.insert(
+            c,
+            NodeSlot {
+                actor: Some(actor),
+                crashed: false,
+                busy_until: SimTime::ZERO,
+            },
         );
+        assert!(prev.is_none(), "duplicate client c{c}");
     }
 
     /// Schedule a crash: the node stops processing events at `at`.
@@ -658,9 +772,8 @@ impl<M: WireSize + Serialize + 'static> Simulation<M> {
             at,
             to,
             EventKind::Deliver {
-                from,
-                msg: Arc::new(msg),
-                tag: None,
+                from: PackedNode::pack(from),
+                msg: Rc::new(msg),
             },
         );
     }
@@ -671,84 +784,53 @@ impl<M: WireSize + Serialize + 'static> Simulation<M> {
     pub fn run(&mut self, until: SimTime) -> &mut Self {
         if self.events_processed == 0 {
             // fire on_start hooks in node order, at t = 0
-            let ids: Vec<NodeId> = self.nodes.keys().copied().collect();
-            for id in ids {
+            for id in self.nodes.ids() {
                 self.with_actor(id, SimTime::ZERO, |actor, ctx| actor.on_start(ctx));
             }
         }
-        while let Some(ev) = self.state.queue.peek() {
-            if ev.at > until {
+        while self.events_processed < self.max_events {
+            // Fused peek-then-pop: one queue settle per event instead of two.
+            let Some(ev) = self.state.queue.pop_at_most(until) else {
                 break;
-            }
-            if self.events_processed >= self.max_events {
-                break;
-            }
-            let ev = self.state.queue.pop().unwrap();
+            };
             self.now = self.now.max(ev.at);
             self.events_processed += 1;
             self.dispatch(ev);
         }
         self.now = self
             .now
-            .max(until.min(self.state.queue.peek().map(|e| e.at).unwrap_or(until)));
+            .max(until.min(self.state.queue.next_at().unwrap_or(until)));
         self
     }
 
     fn dispatch(&mut self, ev: QueuedEvent<M>) {
-        let node = ev.node;
+        let node = ev.node.unpack();
         match ev.kind {
             EventKind::Crash => {
-                if let Some(slot) = self.nodes.get_mut(&node) {
+                if let Some(slot) = self.nodes.get_mut(node) {
                     slot.crashed = true;
                 }
             }
             EventKind::Recover => {
                 let was_crashed = self
                     .nodes
-                    .get_mut(&node)
+                    .get_mut(node)
                     .map(|s| std::mem::replace(&mut s.crashed, false))
                     .unwrap_or(false);
                 if was_crashed {
                     self.with_actor(node, ev.at, |actor, ctx| actor.on_recover(ctx));
                 }
             }
-            EventKind::Deliver { from, msg, tag } => {
-                let Some(slot) = self.nodes.get(&node) else {
-                    return;
-                };
-                if slot.crashed || slot.actor.is_none() {
-                    return;
-                }
-                // Inbound censorship: a compromised receiver refuses
-                // traffic from its victims before it reaches the stack.
-                if let NodeId::Replica(r) = node {
-                    if let Some(adv) = self.state.adversaries.get(&r.0) {
-                        let refused = adv.attacks.iter().any(|a| {
-                            matches!(
-                                a,
-                                Attack::Censor { victims, inbound: true, .. }
-                                    if victims.is_empty() || victims.contains(&from)
-                            )
-                        });
-                        if refused {
-                            self.state.metrics.adv_censored += 1;
-                            return;
-                        }
-                    }
-                }
-                // Wire-auth boundary: adversary-produced envelopes verify
-                // against the delivered payload before the actor ever sees
-                // them. Tampered payloads stop here, and the rejection is
-                // counted — the audited crypto invariant.
-                if let Some(tag) = tag {
-                    if !self.state.wire_auth.verify(from, node, &*msg, &tag) {
-                        self.state.metrics.auth_rejected += 1;
-                        return;
-                    }
-                    self.state.metrics.auth_verified += 1;
-                }
-                self.state.metrics.on_deliver(node, msg.wire_size());
-                self.with_actor(node, ev.at, |actor, ctx| actor.on_message(from, &msg, ctx));
+            EventKind::Deliver { from, msg } => {
+                self.deliver(node, from.unpack(), &msg, None, ev.at);
+                // The delivery consumed this reference; if it was the last
+                // one the envelope allocation goes back to the pool.
+                self.state.recycle_envelope(msg);
+            }
+            EventKind::DeliverTagged(env) => {
+                let TaggedEnvelope { from, msg, tag } = *env;
+                self.deliver(node, from.unpack(), &msg, Some(&tag), ev.at);
+                self.state.recycle_envelope(msg);
             }
             EventKind::Timer { id, kind } => {
                 // Always release the arena slot when the event pops, even if
@@ -757,7 +839,7 @@ impl<M: WireSize + Serialize + 'static> Simulation<M> {
                 if !self.state.timers.fire(id) {
                     return;
                 }
-                let Some(slot) = self.nodes.get(&node) else {
+                let Some(slot) = self.nodes.get(node) else {
                     return;
                 };
                 if slot.crashed || slot.actor.is_none() {
@@ -768,6 +850,48 @@ impl<M: WireSize + Serialize + 'static> Simulation<M> {
         }
     }
 
+    fn deliver(&mut self, node: NodeId, from: NodeId, msg: &Rc<M>, tag: Option<&Mac>, at: SimTime) {
+        let Some(slot) = self.nodes.get(node) else {
+            return;
+        };
+        if slot.crashed || slot.actor.is_none() {
+            return;
+        }
+        // Inbound censorship: a compromised receiver refuses
+        // traffic from its victims before it reaches the stack.
+        if let (true, NodeId::Replica(r)) = (self.state.adversaries_active, node) {
+            if let Some(adv) = self.state.adversaries.get(&r.0) {
+                let refused = adv.attacks.iter().any(|a| {
+                    matches!(
+                        a,
+                        Attack::Censor { victims, inbound: true, .. }
+                            if victims.is_empty() || victims.contains(&from)
+                    )
+                });
+                if refused {
+                    self.state.metrics.adv_censored += 1;
+                    return;
+                }
+            }
+        }
+        // Wire-auth boundary: adversary-produced envelopes verify
+        // against the delivered payload before the actor ever sees
+        // them. Tampered payloads stop here, and the rejection is
+        // counted — the audited crypto invariant.
+        if let Some(tag) = tag {
+            if !self.state.wire_auth.verify(from, node, &**msg, tag) {
+                self.state.metrics.auth_rejected += 1;
+                return;
+            }
+            self.state.metrics.auth_verified += 1;
+        }
+        // Accumulated into the handler's batched flush (`with_actor`):
+        // sums are identical to an `on_deliver` call here.
+        self.state.pending_recv_msgs += 1;
+        self.state.pending_recv_bytes += msg.wire_size() as u64;
+        self.with_actor(node, at, |actor, ctx| actor.on_message(from, msg, ctx));
+    }
+
     /// Run `f` with the node's actor checked out and a context built over
     /// the shared state; applies the single-core CPU model.
     fn with_actor(
@@ -776,10 +900,13 @@ impl<M: WireSize + Serialize + 'static> Simulation<M> {
         arrival: SimTime,
         f: impl FnOnce(&mut Box<dyn Actor<M>>, &mut Context<'_, M>),
     ) {
-        let Some(slot) = self.nodes.get_mut(&node) else {
+        // `nodes` and `state` are disjoint fields: the actor stays borrowed
+        // in place (no take/put round trip) while the context borrows the
+        // shared state.
+        let Some(slot) = self.nodes.get_mut(node) else {
             return;
         };
-        let Some(mut actor) = slot.actor.take() else {
+        let Some(actor) = slot.actor.as_mut() else {
             return;
         };
         let start = arrival.max(slot.busy_until);
@@ -787,13 +914,36 @@ impl<M: WireSize + Serialize + 'static> Simulation<M> {
             node,
             base: start,
             charged: SimDuration::ZERO,
+            charged_any: false,
             state: &mut self.state,
         };
-        f(&mut actor, &mut ctx);
-        let busy_until = start + ctx.charged;
-        let slot = self.nodes.get_mut(&node).expect("slot exists");
-        slot.busy_until = busy_until;
-        slot.actor = Some(actor);
+        f(actor, &mut ctx);
+        let charged = ctx.charged;
+        let charged_any = ctx.charged_any;
+        slot.busy_until = start + charged;
+        // Flush the handler's batched accounting: at most one counter
+        // access per event instead of one per charge / send / delivery.
+        // Sums — and the set of nodes ever touched — are identical to the
+        // unbatched path.
+        let st = &mut self.state;
+        if charged_any || st.pending_send_msgs > 0 || st.pending_recv_msgs > 0 {
+            st.metrics.on_event_flush(
+                node,
+                if charged_any {
+                    charged
+                } else {
+                    SimDuration::ZERO
+                },
+                st.pending_send_msgs,
+                st.pending_send_bytes,
+                st.pending_recv_msgs,
+                st.pending_recv_bytes,
+            );
+            st.pending_send_msgs = 0;
+            st.pending_send_bytes = 0;
+            st.pending_recv_msgs = 0;
+            st.pending_recv_bytes = 0;
+        }
     }
 
     /// Current virtual time.
@@ -828,12 +978,12 @@ impl<M: WireSize + Serialize + 'static> Simulation<M> {
 
     /// Borrow an actor for inspection (tests / experiments).
     pub fn actor(&self, node: NodeId) -> Option<&dyn Actor<M>> {
-        self.nodes.get(&node).and_then(|s| s.actor.as_deref())
+        self.nodes.get(node).and_then(|s| s.actor.as_deref())
     }
 
     /// Whether the node is currently crashed.
     pub fn is_crashed(&self, node: NodeId) -> bool {
-        self.nodes.get(&node).map(|s| s.crashed).unwrap_or(false)
+        self.nodes.get(node).map(|s| s.crashed).unwrap_or(false)
     }
 }
 

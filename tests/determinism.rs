@@ -72,3 +72,54 @@ fn repeated_parallel_runs_are_stable() {
         "repeated runs of the same experiment diverged"
     );
 }
+
+/// The open-loop Zipfian workload (the `open-loop/zipfian_1M_requests_n100`
+/// bench row, scaled down) is a pure function of its configuration: the
+/// run must be byte-identical between the two scheduler backends, across
+/// repeated runs, and regardless of which OS thread executes it (the
+/// worker-pool thread counts `BFT_BENCH_THREADS` selects).
+#[test]
+fn open_loop_zipfian_deterministic_across_schedulers_and_threads() {
+    use bft_bench::simload;
+    use bft_sim::SchedulerKind;
+
+    let run = |scheduler: SchedulerKind| {
+        let out = simload::drain(simload::open_loop_zipfian_with(
+            100, 100, 200, 1_000_000, scheduler,
+        ));
+        let log = serde_json::to_string(&out.log).expect("log serializes");
+        let metrics = serde_json::to_string(&out.metrics).expect("metrics serialize");
+        (log, metrics, out.events_processed, out.end_time)
+    };
+
+    let reference = run(SchedulerKind::Calendar);
+    assert!(
+        reference.2 >= 100 * 200,
+        "open-loop run processed too few events: {}",
+        reference.2
+    );
+    assert_eq!(
+        reference,
+        run(SchedulerKind::Heap),
+        "calendar and heap schedulers diverged on the open-loop workload"
+    );
+
+    // Thread-count independence: the same run on freshly spawned threads
+    // (1, 2, and 4 concurrent runners) must reproduce the reference
+    // byte-for-byte. This is the property that lets BFT_BENCH_THREADS
+    // change wall-clock time without changing any result.
+    for threads in [1usize, 2, 4] {
+        let results: Vec<_> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| scope.spawn(|| run(SchedulerKind::Calendar)))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for r in results {
+            assert_eq!(
+                reference, r,
+                "open-loop run diverged on a {threads}-thread execution"
+            );
+        }
+    }
+}

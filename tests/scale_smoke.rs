@@ -1,0 +1,50 @@
+//! The CI scale smoke: a scaled-down version of the
+//! `open-loop/zipfian_1M_requests_n100` bench row that must finish fast
+//! and produce exactly the expected event volume.
+//!
+//! 100 tenant streams push 1 000 Zipfian-keyed requests each (100k
+//! requests, ~300k simulator events counting arrival timers and
+//! deliveries) into 100 replicas, paced open-loop at 1M req/s per stream.
+//! This exercises the calendar-queue scheduler, the pooled-envelope
+//! steady state, and the multi-tenant workload sampler at a depth the
+//! unit tests never reach, in a few hundred milliseconds of wall clock.
+
+use bft_bench::simload;
+
+#[test]
+fn open_loop_zipfian_100k_requests_drain_to_quiescence() {
+    const CLIENTS: u64 = 100;
+    const PER_CLIENT: u64 = 1_000;
+
+    let out = simload::drain(simload::open_loop_zipfian(
+        100, CLIENTS, PER_CLIENT, 1_000_000,
+    ));
+
+    // Every request is one timer fire plus one delivery; the final fire
+    // of each stream schedules no successor.
+    let requests = CLIENTS * PER_CLIENT;
+    assert_eq!(
+        out.events_processed,
+        2 * requests,
+        "open-loop run did not process one timer + one delivery per request"
+    );
+
+    // All requests must actually arrive at replicas: the metrics side of
+    // the run is the consistency anchor the determinism test serializes.
+    let delivered: u64 = (0..100u32)
+        .map(|r| out.metrics.node(bft_sim::NodeId::replica(r)).msgs_received)
+        .sum();
+    assert_eq!(delivered, requests, "deliveries lost on the request path");
+
+    // Zipfian skew must actually bias the key space: with theta = 0.9,
+    // the most-loaded replica sees far more than the uniform share.
+    let max_one = (0..100u32)
+        .map(|r| out.metrics.node(bft_sim::NodeId::replica(r)).msgs_received)
+        .max()
+        .unwrap();
+    assert!(
+        max_one > 2 * (requests / 100),
+        "key distribution looks uniform (max replica load {max_one}); the \
+         Zipfian sampler is not skewing"
+    );
+}
