@@ -10,7 +10,11 @@
 //! * `--byzantine`: a clean network with up to `f` compromised replicas
 //!   mounting wire-level attacks (equivocation, censorship, strategic
 //!   delay, replay, corruption), scoped per protocol by its measured
-//!   Byzantine tolerance envelope.
+//!   Byzantine tolerance envelope;
+//! * `--recovery`: a clean network with up to `f` replicas cycling
+//!   through repeated crash → recover churn in mixed restart modes
+//!   (durable and amnesia), scoped per protocol by its recovery
+//!   tolerance envelope.
 //!
 //! ```text
 //! cargo bench -p bft-bench --bench campaign -- --seeds 50   # 50 seeds/protocol
@@ -18,6 +22,7 @@
 //! cargo bench -p bft-bench --bench campaign -- --seeds 20 pbft kauri
 //! cargo bench -p bft-bench --bench campaign -- --byzantine --seeds 25
 //! cargo bench -p bft-bench --bench campaign -- --byzantine --attacks equivocate,censor
+//! cargo bench -p bft-bench --bench campaign -- --recovery --seeds 25
 //! BFT_BENCH_THREADS=1 cargo bench -p bft-bench --bench campaign   # sequential
 //! ```
 //!
@@ -35,6 +40,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let byzantine = args.iter().any(|a| a == "--byzantine");
+    let recovery = args.iter().any(|a| a == "--recovery");
     let mut seeds: u64 = 25;
     if let Some(i) = args.iter().position(|a| a == "--seeds") {
         match args.get(i + 1).and_then(|v| v.parse().ok()) {
@@ -77,7 +83,9 @@ fn main() {
         .map(|(_, a)| a)
         .collect();
 
-    let mut cfg = if quick {
+    let mut cfg = if recovery {
+        CampaignConfig::recovery(if quick { 5 } else { seeds })
+    } else if quick {
         CampaignConfig::smoke()
     } else {
         CampaignConfig::new(seeds)
@@ -103,7 +111,13 @@ fn main() {
     let threads = bft_bench::thread_count(jobs);
     println!(
         "untrusted-txn {} campaign — {} protocol(s) × {} seed(s), {} worker thread{}\n",
-        if cfg.byzantine { "byzantine" } else { "chaos" },
+        if cfg.recovery {
+            "recovery"
+        } else if cfg.byzantine {
+            "byzantine"
+        } else {
+            "chaos"
+        },
         cfg.protocols.len(),
         cfg.seeds.len(),
         threads,

@@ -9,12 +9,16 @@
 //! events, then individual Byzantine attacks — until the reproducer is
 //! minimal, and reports the replay seed.
 //!
-//! Two campaign modes share this machinery: the *chaos* mode (crash /
+//! Three campaign modes share this machinery: the *chaos* mode (crash /
 //! partition / network-knob schedules, scoped by
-//! [`ChaosTolerance`](bft_protocols::registry::ChaosTolerance)) and the
+//! [`ChaosTolerance`](bft_protocols::registry::ChaosTolerance)), the
 //! *Byzantine* mode (`--byzantine`: a clean network with up to `f`
 //! compromised replicas mounting wire-level attacks, scoped by
-//! [`ByzantineTolerance`](bft_protocols::registry::ByzantineTolerance)).
+//! [`ByzantineTolerance`](bft_protocols::registry::ByzantineTolerance)),
+//! and the *recovery* mode (`--recovery`: a clean network with up to `f`
+//! replicas cycling through repeated crash → recover churn in mixed
+//! restart modes — durable and amnesia — scoped by
+//! [`RecoveryTolerance`](bft_protocols::registry::RecoveryTolerance)).
 //!
 //! Everything is deterministic: a campaign over a fixed seed list renders
 //! byte-identical reports across repeated runs and across
@@ -28,7 +32,7 @@ use bft_protocols::registry::{registry, ProtocolEntry, ProtocolId};
 use bft_protocols::suite::semantic_config;
 use bft_protocols::Scenario;
 use bft_sim::campaign::{check_outcome_with_semantics, generate_case, shrink_case, suspects_with};
-use bft_sim::campaign::{CampaignViolation, ChaosCase, ChaosProfile};
+use bft_sim::campaign::{CampaignViolation, ChaosCase, ChaosProfile, RecoveryBudget};
 use bft_sim::runner::RunOutcome;
 use bft_sim::{AdversarySpec, AttackKind, FaultPlan, NetworkConfig};
 
@@ -49,6 +53,10 @@ pub struct CampaignConfig {
     /// Run the Byzantine mode: clean network, up to `f` compromised
     /// replicas mounting wire-level attacks.
     pub byzantine: bool,
+    /// Run the recovery mode: clean network, up to `f` replicas cycling
+    /// through repeated crash → recover churn in mixed restart modes
+    /// (takes precedence over `byzantine` when both are set).
+    pub recovery: bool,
     /// Restrict the Byzantine generator to these attack classes (`None` =
     /// everything the protocol's envelope allows).
     pub attack_filter: Option<Vec<AttackKind>>,
@@ -68,6 +76,7 @@ impl CampaignConfig {
             requests_per_client: 8,
             protocols: ProtocolId::ALL.to_vec(),
             byzantine: false,
+            recovery: false,
             attack_filter: None,
             workload: WorkloadConfig::uniform(),
         }
@@ -77,6 +86,20 @@ impl CampaignConfig {
     pub fn byzantine(seeds: u64) -> CampaignConfig {
         CampaignConfig {
             byzantine: true,
+            ..CampaignConfig::new(seeds)
+        }
+    }
+
+    /// A recovery-churn campaign over seeds `0..seeds`.
+    ///
+    /// The workload is longer than the chaos default: amnesia restarts
+    /// only exercise the checkpoint-reload and state-transfer paths once
+    /// the run has crossed a checkpoint interval (16 requests), so an
+    /// 8-request case would never hand a rejoining replica a snapshot.
+    pub fn recovery(seeds: u64) -> CampaignConfig {
+        CampaignConfig {
+            recovery: true,
+            requests_per_client: 40,
             ..CampaignConfig::new(seeds)
         }
     }
@@ -232,6 +255,34 @@ pub fn byz_profile_for(
     p
 }
 
+/// The recovery envelope for one registry entry: a clean network with the
+/// churn budget scoped to what the protocol's measured envelope tolerates.
+pub fn recovery_profile_for(entry: &ProtocolEntry, f: usize, clients: u64) -> ChaosProfile {
+    let n = (entry.min_n)(f);
+    let mut p = ChaosProfile::recovery_churn(n, f, clients);
+    // `BFT_REC_UNSCOPED=1` skips the per-protocol envelope so every
+    // protocol faces the full churn gallery — the measurement mode that
+    // produced the envelopes in the registry (see EXPERIMENTS.md,
+    // "Recovery campaign").
+    if std::env::var_os("BFT_REC_UNSCOPED").is_some() {
+        return p;
+    }
+    let rec = entry.rec_tolerance;
+    if !rec.durable {
+        p.recovery = RecoveryBudget::none();
+    }
+    if !rec.amnesia {
+        p.recovery.amnesia = false;
+    }
+    // Churning the fixed leader of a leader-pinned protocol is the chaos
+    // campaign's leader-crash axis, not a recovery finding — spare it
+    // here exactly as `profile_for` does.
+    if !entry.tolerance.leader_crash {
+        p.recovery.pool.retain(|v| *v != 0);
+    }
+    p
+}
+
 /// The scenario for one case: the case's fault plan and network knobs on
 /// top of the campaign's workload, seeded by the case seed.
 pub fn scenario_for(cfg: &CampaignConfig, case: &ChaosCase) -> Scenario {
@@ -297,7 +348,9 @@ pub fn run_case_with(
 
 /// Run one (registry entry, seed) case with the entry's default options.
 pub fn run_case(entry: &ProtocolEntry, cfg: &CampaignConfig, seed: u64) -> CaseResult {
-    let profile = if cfg.byzantine {
+    let profile = if cfg.recovery {
+        recovery_profile_for(entry, cfg.f, cfg.clients as u64)
+    } else if cfg.byzantine {
         byz_profile_for(
             entry,
             cfg.f,
@@ -370,6 +423,26 @@ mod tests {
         let chain = reg.iter().find(|e| e.id == ProtocolId::Chain).unwrap();
         let p = profile_for(chain, 1, 1);
         assert!(!p.partitions && !p.isolation);
+    }
+
+    #[test]
+    fn recovery_scoping_shapes_the_profile() {
+        let reg = registry();
+        let pbft = reg.iter().find(|e| e.id == ProtocolId::Pbft).unwrap();
+        let p = recovery_profile_for(pbft, 1, 1);
+        assert!(p.recovery.enabled() && p.recovery.amnesia);
+        let hs = reg.iter().find(|e| e.id == ProtocolId::HotStuff).unwrap();
+        let p = recovery_profile_for(hs, 1, 1);
+        assert!(
+            p.recovery.enabled() && !p.recovery.amnesia,
+            "amnesia restarts are pbft-family only (no on_recover hook elsewhere)"
+        );
+        let cheap = reg.iter().find(|e| e.id == ProtocolId::Cheap).unwrap();
+        let p = recovery_profile_for(cheap, 1, 1);
+        assert!(
+            !p.recovery.pool.contains(&0),
+            "cheap's fixed leader must be spared from churn"
+        );
     }
 
     #[test]

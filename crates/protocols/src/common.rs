@@ -766,6 +766,158 @@ pub fn run_to_completion_with_drain<M: WireSize + serde::Serialize + 'static>(
     sim.finish()
 }
 
+/// Protocol-agnostic state-transfer/catch-up driver — the generalization of
+/// PBFT's `StateRequest` retry loop for rejoining replicas.
+///
+/// A replica that restarts (durable or amnesia) or wakes from proactive
+/// rejuvenation is behind the quorum and must close the gap from its peers.
+/// This service owns the mechanics every protocol shares:
+///
+/// * **bounded in-flight window** — at most `window` peers are asked per
+///   round, rotating round-robin so one unresponsive peer cannot wedge the
+///   rejoin;
+/// * **retry with exponential backoff** — while no progress arrives the
+///   request is re-issued, each round waiting twice as long (capped), and
+///   after [`Catchup::MAX_ATTEMPTS`] rounds the service gives up and lets
+///   the ordinary protocol flow (checkpoint attestations revealing the gap)
+///   take over;
+/// * **recovery metrics** — catch-up rounds and retries are counted into
+///   [`bft_sim::Metrics`] (`rec_catchup_events`, `rec_retries`).
+///
+/// The protocol owns message construction: `begin`/`on_timer` call back
+/// with each peer to solicit, and the protocol sends its own state-request
+/// message. Completion is reported by the protocol (snapshot installed, or
+/// normal execution resumed) via [`Catchup::complete`].
+#[derive(Debug)]
+pub struct Catchup {
+    me: ReplicaId,
+    n: usize,
+    window: usize,
+    base: SimDuration,
+    next_peer: u32,
+    attempt: u32,
+    timer: Option<TimerId>,
+    kind: TimerKind,
+    active: bool,
+}
+
+impl Catchup {
+    /// Retry rounds before the service gives up (the protocol's ordinary
+    /// checkpoint/in-dark machinery remains as the fallback).
+    pub const MAX_ATTEMPTS: u32 = 6;
+
+    /// A catch-up service for replica `me` of `n`, retrying on `kind`
+    /// timers with initial backoff `base` (doubled per retry, capped at
+    /// `8 × base`).
+    pub fn new(me: ReplicaId, n: usize, kind: TimerKind, base: SimDuration) -> Catchup {
+        Catchup {
+            me,
+            n,
+            window: 2,
+            base,
+            next_peer: 0,
+            attempt: 0,
+            timer: None,
+            kind,
+            active: false,
+        }
+    }
+
+    /// Override the in-flight window (peers solicited per round).
+    pub fn with_window(mut self, window: usize) -> Catchup {
+        self.window = window.max(1);
+        self
+    }
+
+    /// Whether a catch-up round is in flight.
+    pub fn active(&self) -> bool {
+        self.active
+    }
+
+    /// Current backoff: `base × 2^attempt`, capped at `8 × base`.
+    fn backoff(&self) -> SimDuration {
+        let factor = 1u64 << self.attempt.min(3);
+        SimDuration(self.base.0.saturating_mul(factor))
+    }
+
+    /// The next `window` peers in round-robin order, skipping `me`.
+    fn targets(&mut self) -> Vec<ReplicaId> {
+        let mut peers = Vec::new();
+        if self.n <= 1 {
+            return peers;
+        }
+        let want = self.window.min(self.n - 1);
+        while peers.len() < want {
+            let candidate = ReplicaId(self.next_peer % self.n as u32);
+            self.next_peer = self.next_peer.wrapping_add(1);
+            if candidate != self.me {
+                peers.push(candidate);
+            }
+        }
+        peers
+    }
+
+    /// Start (or restart) a catch-up: solicit the next `window` peers and
+    /// arm the retry timer. Counts one `rec_catchup_events`.
+    pub fn begin<M: WireSize + serde::Serialize + 'static>(
+        &mut self,
+        ctx: &mut Context<'_, M>,
+        mut solicit: impl FnMut(ReplicaId, &mut Context<'_, M>),
+    ) {
+        if let Some(t) = self.timer.take() {
+            ctx.cancel_timer(t);
+        }
+        self.active = true;
+        self.attempt = 0;
+        ctx.count_catchup_event();
+        for peer in self.targets() {
+            solicit(peer, ctx);
+        }
+        self.timer = Some(ctx.set_timer(self.kind, self.backoff()));
+    }
+
+    /// Handle a timer pop. Returns `true` when the timer was this
+    /// service's retry timer (consumed here); `false` means it belongs to
+    /// the protocol. On retry, the next peers are solicited and the timer
+    /// re-arms with doubled backoff; after [`Self::MAX_ATTEMPTS`] rounds
+    /// the service deactivates instead.
+    pub fn on_timer<M: WireSize + serde::Serialize + 'static>(
+        &mut self,
+        id: TimerId,
+        ctx: &mut Context<'_, M>,
+        mut solicit: impl FnMut(ReplicaId, &mut Context<'_, M>),
+    ) -> bool {
+        if Some(id) != self.timer {
+            return false;
+        }
+        self.timer = None;
+        if !self.active {
+            return true;
+        }
+        self.attempt += 1;
+        if self.attempt >= Self::MAX_ATTEMPTS {
+            self.active = false;
+            return true;
+        }
+        ctx.count_catchup_retry();
+        for peer in self.targets() {
+            solicit(peer, ctx);
+        }
+        self.timer = Some(ctx.set_timer(self.kind, self.backoff()));
+        true
+    }
+
+    /// The gap is closed (snapshot installed or ordinary execution
+    /// resumed): cancel the retry timer and deactivate.
+    pub fn complete<M: WireSize + serde::Serialize + 'static>(&mut self, ctx: &mut Context<'_, M>) {
+        if let Some(t) = self.timer.take() {
+            ctx.cancel_timer(t);
+        }
+        self.active = false;
+        self.attempt = 0;
+    }
+}
+
 /// A re-proposable consensus entry: `(slot, batch digest, batch)` — the
 /// unit view-change messages carry.
 pub type BatchEntry = (bft_types::SeqNum, Digest, Vec<SignedRequest>);
@@ -812,6 +964,20 @@ mod tests {
         let mut bad = signed.clone();
         bad.request.id.timestamp = 99;
         assert!(!bad.verify(&store));
+    }
+
+    #[test]
+    fn catchup_targets_rotate_and_skip_self() {
+        let mut c = Catchup::new(ReplicaId(1), 4, TimerKind::T1WaitReplies, SimDuration(1000));
+        assert_eq!(c.targets(), vec![ReplicaId(0), ReplicaId(2)]);
+        assert_eq!(c.targets(), vec![ReplicaId(3), ReplicaId(0)]);
+        assert_eq!(c.targets(), vec![ReplicaId(2), ReplicaId(3)]);
+        // backoff doubles per retry and caps at 8× base
+        assert_eq!(c.backoff(), SimDuration(1000));
+        c.attempt = 1;
+        assert_eq!(c.backoff(), SimDuration(2000));
+        c.attempt = 5;
+        assert_eq!(c.backoff(), SimDuration(8000));
     }
 
     #[test]

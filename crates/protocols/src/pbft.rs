@@ -32,7 +32,9 @@ use std::sync::Arc;
 
 use bft_crypto::{digest_of, CryptoOp, KeyStore};
 use bft_sim::runner::RunOutcome;
-use bft_sim::{Actor, Context, NodeId, Observation, SimDuration, Stage, TimerId};
+use bft_sim::{
+    Actor, Context, NodeId, Observation, RestartMode, SimDuration, SimTime, Stage, TimerId,
+};
 use bft_state::{CheckpointManager, Snapshot, StateMachine};
 use bft_types::{
     ClientId, Digest, Op, QuorumRules, ReplicaId, Reply, RequestId, SeqNum, TimerKind, View,
@@ -40,7 +42,8 @@ use bft_types::{
 };
 
 use crate::common::{
-    run_to_completion, ClientProtocol, GenericClient, Scenario, SignedRequest, SubmitPolicy,
+    run_to_completion, Catchup, ClientProtocol, GenericClient, Scenario, SignedRequest,
+    SubmitPolicy,
 };
 
 /// Authentication mode for PBFT messages (dimension E3 / design choice 11).
@@ -358,10 +361,25 @@ pub struct PbftReplica {
     future_msgs: Vec<(NodeId, PbftMsg)>,
     /// τ2 timer for the currently pending request set.
     vc_timer: Option<TimerId>,
+    /// When the live τ2 span started (recovery-aware discipline: scheduled
+    /// rejuvenation windows during the span do not count against the
+    /// leader).
+    vc_armed_at: SimTime,
     /// Timer id for the next proactive recovery (τ8).
     recovery_timer: Option<TimerId>,
     /// True while rejuvenating (unavailable).
     recovering: bool,
+    /// Messages that arrive during a rejuvenation window; replayed at
+    /// wake-up so the dark window delays traffic instead of losing it.
+    recovery_buffer: Vec<(NodeId, PbftMsg)>,
+    /// True between a restart/wake-up and re-synchronization with the
+    /// quorum's working view (the new-view message that installed it was
+    /// broadcast while this replica was dark, so it adopts the view from
+    /// the first valid leader message instead).
+    rejoining: bool,
+    /// Shared state-transfer solicitation service (windowed, retried with
+    /// exponential backoff).
+    catchup: Catchup,
     /// Stage bookkeeping for Figure 1 audits.
     stage: Stage,
 }
@@ -370,6 +388,8 @@ impl PbftReplica {
     /// Create a replica.
     pub fn new(me: ReplicaId, cfg: PbftConfig, store: Arc<KeyStore>, behavior: Behavior) -> Self {
         let ckpt = CheckpointManager::new(cfg.checkpoint_interval, cfg.q.quorum());
+        let n = cfg.q.n;
+        let view_timeout = cfg.view_timeout;
         PbftReplica {
             me,
             cfg,
@@ -392,8 +412,12 @@ impl PbftReplica {
             batch_timer: None,
             future_msgs: Vec::new(),
             vc_timer: None,
+            vc_armed_at: SimTime::ZERO,
             recovery_timer: None,
             recovering: false,
+            recovery_buffer: Vec::new(),
+            rejoining: false,
+            catchup: Catchup::new(me, n, TimerKind::T1WaitReplies, view_timeout),
             stage: Stage::Ordering,
         }
     }
@@ -532,6 +556,7 @@ impl PbftReplica {
 
     fn arm_view_timer(&mut self, ctx: &mut Context<'_, PbftMsg>) {
         if self.vc_timer.is_none() && !self.in_view_change {
+            self.vc_armed_at = ctx.now();
             self.vc_timer = Some(ctx.set_timer(TimerKind::T2ViewChange, self.cfg.view_timeout));
         }
     }
@@ -540,6 +565,48 @@ impl PbftReplica {
         if let Some(t) = self.vc_timer.take() {
             ctx.cancel_timer(t);
         }
+    }
+
+    /// Recovery-aware τ2 discipline: total time within `[from, to]` in
+    /// which *some* replica sat in a scheduled rejuvenation window. The
+    /// rotation is deterministic and derived from shared configuration, so
+    /// every replica can compute it locally: replica `i` first goes dark at
+    /// `(i+1)·period` for `duration`, then every `duration + n·period`.
+    /// Time stolen by scheduled unavailability must not indict the leader —
+    /// τ2 extends by exactly this amount, so only clear-quorum time counts.
+    fn scheduled_dark_overlap(&self, from: SimTime, to: SimTime) -> SimDuration {
+        let Some(period) = self.cfg.recovery_period else {
+            return SimDuration::ZERO;
+        };
+        let (p, d) = (period.0, self.cfg.recovery_duration.0);
+        if p == 0 || d == 0 || to.0 <= from.0 {
+            return SimDuration::ZERO;
+        }
+        let n = self.cfg.q.n as u64;
+        let cycle = d + p * n;
+        let mut dark: Vec<(u64, u64)> = Vec::new();
+        for i in 0..n {
+            let first = p * (i + 1);
+            let k0 = from.0.saturating_sub(first + d) / cycle;
+            let mut start = first + k0 * cycle;
+            while start < to.0 {
+                let end = start + d;
+                if end > from.0 {
+                    dark.push((start.max(from.0), end.min(to.0)));
+                }
+                start += cycle;
+            }
+        }
+        dark.sort_unstable();
+        let (mut stolen, mut cursor) = (0u64, from.0);
+        for (s, e) in dark {
+            let s = s.max(cursor);
+            if e > s {
+                stolen += e - s;
+                cursor = e;
+            }
+        }
+        SimDuration(stolen)
     }
 
     // ---- leader: propose -------------------------------------------------
@@ -715,6 +782,9 @@ impl PbftReplica {
         slot.batch = batch;
         slot.pre_prepared = true;
         let ids: Vec<RequestId> = slot.batch.iter().map(|r| r.request.id).collect();
+        // a valid pre-prepare from the current leader means we are in the
+        // quorum's working view
+        self.rejoining = false;
         self.mempool.retain(|r| !ids.contains(&r.request.id));
         self.arm_view_timer(ctx);
         self.charge_broadcast_auth(ctx);
@@ -798,6 +868,7 @@ impl PbftReplica {
     // ---- execution -------------------------------------------------------
 
     fn try_execute(&mut self, ctx: &mut Context<'_, PbftMsg>) {
+        let before = self.exec_cursor;
         loop {
             let next = self.exec_cursor.next();
             let Some(slot) = self.slots.get(&next) else {
@@ -894,6 +965,13 @@ impl PbftReplica {
             // outstanding work done? disarm τ2; else re-arm
             self.disarm_view_timer(ctx);
             self.maybe_checkpoint(ctx);
+        }
+        if self.exec_cursor > before {
+            // execution progress means we are back in step with the quorum
+            self.rejoining = false;
+            if self.catchup.active() {
+                self.catchup.complete(ctx);
+            }
         }
     }
 
@@ -1003,9 +1081,15 @@ impl PbftReplica {
         self.slots.retain(|s, _| *s > slot_seq);
         self.snapshots.insert(slot_seq, snapshot);
         self.next_seq = self.next_seq.max(slot_seq.next());
+        ctx.count_state_transfer();
+        if self.catchup.active() {
+            self.catchup.complete(ctx);
+        }
         ctx.observe(Observation::Marker {
             label: "state-transferred",
         });
+        // a transferred snapshot may unblock committed-but-unexecuted slots
+        self.try_execute(ctx);
     }
 
     /// Buffer an ordering message for a view we have not installed yet.
@@ -1137,6 +1221,7 @@ impl PbftReplica {
         // consecutive view-change timer: if the new view fails to form,
         // move to the one after (doubling is elided; the constant timeout
         // re-fires)
+        self.vc_armed_at = ctx.now();
         self.vc_timer = Some(ctx.set_timer(TimerKind::T2ViewChange, self.cfg.view_timeout));
     }
 
@@ -1281,6 +1366,7 @@ impl PbftReplica {
     ) {
         self.view = view;
         self.in_view_change = false;
+        self.rejoining = false;
         self.disarm_view_timer(ctx);
         self.vc_msgs.retain(|v, _| *v > view);
         self.vc_acks.retain(|(v, _), _| *v > view);
@@ -1372,28 +1458,80 @@ impl PbftReplica {
         if self.recovering {
             // rejuvenation complete
             self.recovering = false;
+            self.rejoining = true;
+            self.in_view_change = false;
             ctx.observe(Observation::RecoveryDone);
             self.enter_stage(Stage::Ordering, ctx);
-            // catch up from peers
-            let me = self.me;
-            let have = self.exec_cursor;
-            ctx.broadcast_replicas(PbftMsg::StateRequest { from: me, have });
             // schedule the next round (full rotation later)
             if let Some(period) = self.cfg.recovery_period {
                 let next = SimDuration(period.0 * self.cfg.q.n as u64);
                 self.recovery_timer = Some(ctx.set_timer(TimerKind::T8RecoveryWatchdog, next));
             }
+            // the dark window delayed traffic instead of losing it: replay
+            // everything that arrived, adopting the quorum's current view
+            // from the first valid leader message
+            let buffered = std::mem::take(&mut self.recovery_buffer);
+            for (from, msg) in buffered {
+                self.on_message(from, &msg, ctx);
+            }
+            // close any remaining execution gap via windowed state transfer
+            self.begin_catchup(ctx);
         } else {
-            // begin rejuvenation: drop volatile state, go dark briefly
+            // begin rejuvenation: drop volatile state, go dark briefly. Any
+            // timer armed for the pre-rejuvenation incarnation is stale —
+            // disarming τ2 here is what stops a just-woken replica from
+            // firing spurious view changes against a healthy leader.
             self.recovering = true;
             ctx.observe(Observation::RecoveryStart);
             self.enter_stage(Stage::Recovery, ctx);
             self.mempool.clear();
             self.vc_msgs.clear();
             self.vc_acks.clear();
+            self.disarm_view_timer(ctx);
+            if let Some(t) = self.batch_timer.take() {
+                ctx.cancel_timer(t);
+            }
             self.recovery_timer =
                 Some(ctx.set_timer(TimerKind::T8RecoveryWatchdog, self.cfg.recovery_duration));
         }
+    }
+
+    /// Solicit a snapshot from the next catch-up window of peers.
+    fn begin_catchup(&mut self, ctx: &mut Context<'_, PbftMsg>) {
+        let me = self.me;
+        let have = self.exec_cursor;
+        self.catchup.begin(ctx, |peer, ctx| {
+            ctx.send(
+                NodeId::Replica(peer),
+                PbftMsg::StateRequest { from: me, have },
+            );
+        });
+    }
+
+    /// Rejoin discipline: a replica that restarted or woke from
+    /// rejuvenation may hold a stale view — the new-view message that
+    /// installed the quorum's working view was broadcast while it was dark
+    /// and will never be retransmitted. Instead of waiting (or worse,
+    /// firing τ2 into a healthy quorum), adopt the view from the first
+    /// pre-prepare authored by that view's leader.
+    fn maybe_adopt_view(&mut self, from: NodeId, msg: &PbftMsg, ctx: &mut Context<'_, PbftMsg>) {
+        let adopted = match msg {
+            PbftMsg::PrePrepare { view, .. }
+                if *view > self.view && from == NodeId::Replica(view.leader_of(self.cfg.q.n)) =>
+            {
+                Some(*view)
+            }
+            _ => None,
+        };
+        let Some(view) = adopted else { return };
+        self.view = view;
+        self.in_view_change = false;
+        self.rejoining = false;
+        self.disarm_view_timer(ctx);
+        self.vc_msgs.retain(|v, _| *v > view);
+        self.vc_acks.retain(|(v, _), _| *v > view);
+        ctx.observe(Observation::NewView { view });
+        self.replay_buffered(ctx);
     }
 }
 
@@ -1407,7 +1545,15 @@ impl Actor<PbftMsg> for PbftReplica {
 
     fn on_message(&mut self, from: NodeId, msg: &PbftMsg, ctx: &mut Context<'_, PbftMsg>) {
         if self.recovering {
-            return; // unavailable during rejuvenation
+            // unavailable during rejuvenation — but dark, not deaf: buffer
+            // the traffic and replay it at wake-up
+            if self.recovery_buffer.len() < 10_000 {
+                self.recovery_buffer.push((from, msg.clone()));
+            }
+            return;
+        }
+        if self.rejoining {
+            self.maybe_adopt_view(from, msg, ctx);
         }
         match msg {
             PbftMsg::Request(signed) => self.on_request(signed.clone(), ctx),
@@ -1455,8 +1601,33 @@ impl Actor<PbftMsg> for PbftReplica {
     }
 
     fn on_timer(&mut self, id: TimerId, kind: TimerKind, ctx: &mut Context<'_, PbftMsg>) {
+        if self.recovering && kind != TimerKind::T8RecoveryWatchdog {
+            return; // only the wake-up watchdog fires while dark
+        }
         match kind {
+            TimerKind::T1WaitReplies => {
+                // replicas use τ1 only for catch-up solicitation retries
+                let me = self.me;
+                let have = self.exec_cursor;
+                self.catchup.on_timer(id, ctx, |peer, ctx| {
+                    ctx.send(
+                        NodeId::Replica(peer),
+                        PbftMsg::StateRequest { from: me, have },
+                    );
+                });
+            }
             TimerKind::T2ViewChange if Some(id) == self.vc_timer => {
+                // recovery-aware discipline: time in which a peer sat in a
+                // scheduled rejuvenation window does not count against the
+                // leader — extend τ2 by exactly the stolen amount so only
+                // clear-quorum time accumulates toward the timeout
+                let now = ctx.now();
+                let stolen = self.scheduled_dark_overlap(self.vc_armed_at, now);
+                if stolen > SimDuration::ZERO {
+                    self.vc_armed_at = now;
+                    self.vc_timer = Some(ctx.set_timer(TimerKind::T2ViewChange, stolen));
+                    return;
+                }
                 self.vc_timer = None;
                 // pending work still outstanding → (next) view change
                 let target = if self.in_view_change {
@@ -1482,6 +1653,62 @@ impl Actor<PbftMsg> for PbftReplica {
             }
             _ => {}
         }
+    }
+
+    fn on_recover(&mut self, mode: RestartMode, ctx: &mut Context<'_, PbftMsg>) {
+        // Timers armed before the crash popped into the void while we were
+        // down: the handles are dead, not merely stale.
+        self.vc_timer = None;
+        self.batch_timer = None;
+        self.recovery_timer = None;
+        self.recovering = false;
+        self.in_view_change = false;
+        self.recovery_buffer.clear();
+        if mode == RestartMode::Amnesia {
+            // Volatile memory is gone; the last stable checkpoint is the
+            // only durable artifact. Reload it and rebuild from there —
+            // everything since comes back via catch-up.
+            let stable_seq = self.ckpt.low_water();
+            let stable_snap = self
+                .ckpt
+                .reset_to_stable()
+                .or_else(|| self.snapshots.get(&stable_seq).cloned());
+            self.sm = StateMachine::new();
+            self.slots.clear();
+            self.mempool.clear();
+            self.executed_reqs.clear();
+            self.vc_msgs.clear();
+            self.vc_acks.clear();
+            self.future_msgs.clear();
+            self.attested.clear();
+            self.snapshots.clear();
+            self.view = View(0);
+            match stable_snap {
+                Some(snap) => {
+                    self.sm.install_snapshot(&snap);
+                    self.exec_cursor = stable_seq;
+                    self.next_seq = stable_seq.next();
+                    self.snapshots.insert(stable_seq, snap);
+                }
+                None => {
+                    self.exec_cursor = SeqNum(0);
+                    self.next_seq = SeqNum(1);
+                }
+            }
+            ctx.observe(Observation::Marker {
+                label: "amnesia-restart",
+            });
+        } else {
+            ctx.observe(Observation::Marker {
+                label: "durable-restart",
+            });
+        }
+        // rejoin: adopt the quorum's working view from its traffic, close
+        // the execution gap via windowed state transfer, restart τ8
+        self.rejoining = true;
+        self.enter_stage(Stage::Ordering, ctx);
+        self.schedule_recovery(ctx);
+        self.begin_catchup(ctx);
     }
 }
 
@@ -1943,13 +2170,16 @@ mod tests {
     #[test]
     fn lifecycle_stages_all_visited() {
         // Figure 1: ordering, execution, checkpointing, view-change,
-        // recovery all appear in one run
+        // recovery all appear in one run. The leader stays down 2s: τ2
+        // discounts scheduled rejuvenation windows, so the backups need
+        // that long to accumulate the clear-quorum time that elects a new
+        // leader (a short outage is ridden out without a view change).
         let s = Scenario::small(1)
             .with_load(1, 40)
             .with_faults(FaultPlan::none().crash_recover(
                 NodeId::replica(0),
                 SimTime(5_000_000),
-                SimTime(200_000_000),
+                SimTime(2_000_000_000),
             ));
         let out = run(
             &s,

@@ -208,6 +208,12 @@ pub struct SbftReplica {
     exec_cursor: SeqNum,
     /// Collector: exec shares per (seq, request).
     exec_shares: BTreeMap<(SeqNum, RequestId), (Vec<ReplicaId>, Option<Reply>)>,
+    /// Collector: threshold replies already combined from `weak` exec
+    /// shares — the only replies a client may be handed (a bare cached
+    /// result from one replica must never stand in for one; the client
+    /// accepts a single signature only because it is threshold-backed by
+    /// f+1 executions).
+    combined: BTreeMap<RequestId, Reply>,
     in_view_change: bool,
     vc_votes: crate::common::VcVotes,
     vc_timer: Option<TimerId>,
@@ -241,6 +247,7 @@ impl SbftReplica {
             sm: StateMachine::new(),
             exec_cursor: SeqNum(0),
             exec_shares: BTreeMap::new(),
+            combined: BTreeMap::new(),
             in_view_change: false,
             vc_votes: BTreeMap::new(),
             vc_timer: None,
@@ -439,6 +446,14 @@ impl SbftReplica {
         if slot.committed {
             return;
         }
+        if slot.digest.is_none() {
+            // certificate outran the pre-prepare (delayed/reordered
+            // leader traffic): adopt the certified digest; the batch
+            // arrives with the late pre-prepare and execution waits for it
+            slot.digest = Some(digest);
+        } else if slot.digest != Some(digest) {
+            return;
+        }
         slot.committed = true;
         ctx.observe(Observation::Commit {
             seq,
@@ -456,6 +471,15 @@ impl SbftReplica {
                 break;
             };
             if !slot.committed || slot.executed {
+                break;
+            }
+            // Never execute a slot whose batch we don't actually hold: a
+            // commit certificate can outrun its (delayed) pre-prepare, and
+            // executing the empty placeholder batch would silently skip
+            // the slot's requests and desynchronize this replica's
+            // execution stream for good. The late pre-prepare re-enters
+            // here once it fills the batch in.
+            if slot.digest != Some(digest_of(&slot.batch)) {
                 break;
             }
             let batch = slot.batch.clone();
@@ -540,10 +564,13 @@ impl SbftReplica {
             entry.0.push(from);
         }
         entry.1.get_or_insert(reply);
-        if entry.0.len() == weak {
+        let ready = entry.0.len() >= weak;
+        let combined_reply = entry.1.clone();
+        if ready && !self.combined.contains_key(&request) {
             // f+1 matching execution shares: combine and send ONE reply
             ctx.charge_crypto(CryptoOp::ThresholdCombine);
-            if let Some(reply) = entry.1.clone() {
+            if let Some(reply) = combined_reply {
+                self.combined.insert(request, reply.clone());
                 ctx.send(NodeId::Client(request.client), SbftMsg::Reply(reply));
             }
         }
@@ -749,18 +776,47 @@ impl Actor<SbftMsg> for SbftReplica {
                     return;
                 }
                 if self.executed_reqs.contains_key(&signed.request.id) {
-                    // answer from cache through the collector path is gone;
-                    // reply directly (retransmission case)
-                    if let Some((id, result)) = self.sm.cached_reply(signed.request.id.client) {
-                        if *id == signed.request.id {
-                            let reply = Reply {
-                                request: *id,
-                                view: self.view,
-                                result: result.clone(),
-                                state_digest: self.sm.digest(),
-                                speculative: false,
-                            };
-                            ctx.send(NodeId::Client(id.client), SbftMsg::Reply(reply));
+                    // retransmission of an executed request: only the
+                    // combined threshold reply may answer it — a bare
+                    // cached result from a single replica would let one
+                    // (possibly compromised-wire) node vouch for a write
+                    // no honest quorum has executed
+                    let id = signed.request.id;
+                    if let Some(reply) = self.combined.get(&id).cloned() {
+                        ctx.send(NodeId::Client(id.client), SbftMsg::Reply(reply));
+                    } else if !self.is_leader() {
+                        // re-send our exec share so the collector can
+                        // (re-)combine the threshold reply
+                        let seq = self
+                            .slots
+                            .iter()
+                            .find(|(_, s)| s.executed && s.batch.iter().any(|r| r.request.id == id))
+                            .map(|(seq, _)| *seq);
+                        if let (Some(seq), Some((cached, result))) =
+                            (seq, self.sm.cached_reply(id.client))
+                        {
+                            if *cached == id {
+                                let reply = Reply {
+                                    request: id,
+                                    view: self.view,
+                                    result: result.clone(),
+                                    state_digest: self.sm.digest(),
+                                    speculative: false,
+                                };
+                                ctx.charge_crypto(CryptoOp::ThresholdShareGen);
+                                let leader = self.leader();
+                                let me = self.me;
+                                ctx.send(
+                                    NodeId::Replica(leader),
+                                    SbftMsg::ExecShare {
+                                        seq,
+                                        request: id,
+                                        state_digest: reply.state_digest,
+                                        reply,
+                                        from: me,
+                                    },
+                                );
+                            }
                         }
                     }
                     return;
@@ -804,13 +860,20 @@ impl Actor<SbftMsg> for SbftReplica {
                 if digest_of(batch) != digest {
                     return;
                 }
-                {
+                let committed = {
                     let slot = self.slots.entry(seq).or_default();
                     if slot.digest.is_some() && slot.digest != Some(digest) {
                         return;
                     }
                     slot.digest = Some(digest);
                     slot.batch = batch.clone();
+                    slot.committed
+                };
+                if committed {
+                    // late pre-prepare for a slot whose certificate already
+                    // arrived: the batch is in place, execution can resume
+                    self.try_execute(ctx);
+                    return;
                 }
                 self.sign_slot(seq, digest, ctx);
                 let leader = self.leader();
@@ -1113,5 +1176,49 @@ mod tests {
         let b = run(&s);
         assert_eq!(a.events_processed, b.events_processed);
         assert_eq!(a.end_time, b.end_time);
+    }
+
+    /// Regression: a strategic-delay adversary on the collector can make a
+    /// commit certificate outrun its pre-prepare. The receiving replica
+    /// used to commit the empty placeholder slot and "execute" it,
+    /// silently skipping the slot's requests and desynchronizing its
+    /// execution stream for good (DivergentState at campaign seeds 49/50);
+    /// a bare cached reply could also vouch for a write no honest quorum
+    /// had executed (lost write at seed 17). Both must stay fixed across
+    /// the campaign's hold scales.
+    #[test]
+    fn delayed_collector_traffic_cannot_skip_or_fabricate_commits() {
+        use crate::registry::ProtocolId;
+        use crate::suite::semantic_config;
+        use bft_sim::campaign::check_outcome_with_semantics;
+        use bft_sim::{AdversarySpec, Attack};
+
+        for (hold_us, prob, seed) in [
+            (14_467u64, 0.59, 49u64),
+            (23_930, 0.59, 50),
+            (31_446, 0.71, 17),
+        ] {
+            let s = Scenario::builder()
+                .n_for_f(1)
+                .clients(1)
+                .requests(8)
+                .seed(seed)
+                .build()
+                .with_adversaries(vec![AdversarySpec::new(
+                    0,
+                    Attack::Delay {
+                        hold: SimDuration(hold_us * 1_000),
+                        prob,
+                    },
+                )]);
+            let out = run(&s);
+            let semantic = semantic_config(ProtocolId::Sbft, &s);
+            let violation =
+                check_outcome_with_semantics(&out.log, vec![NodeId::replica(0)], 8, &semantic);
+            assert_eq!(
+                violation, None,
+                "seed {seed}: delayed collector traffic must stay safe and live"
+            );
+        }
     }
 }

@@ -31,7 +31,7 @@ use rand_chacha::ChaCha8Rng;
 use crate::adversary::{AdversarySpec, Attack, AttackKind};
 use crate::audit::{SafetyAuditor, SafetyViolation};
 use crate::event::NodeId;
-use crate::faults::{FaultEvent, FaultPlan};
+use crate::faults::{FaultEvent, FaultPlan, RestartMode};
 use crate::obs::ObservationLog;
 use crate::time::{SimDuration, SimTime};
 
@@ -79,6 +79,59 @@ pub struct ChaosProfile {
     /// adversary-free campaigns generate byte-identical cases to builds
     /// that predate the adversary layer.
     pub adversary: AdversaryBudget,
+    /// Recovery-churn draws the generator may make (repeated crash→recover
+    /// cycles with explicit restart modes). A disabled budget
+    /// ([`RecoveryBudget::none`]) consumes no randomness, so churn-free
+    /// campaigns generate byte-identical cases to builds that predate the
+    /// recovery axis.
+    pub recovery: RecoveryBudget,
+}
+
+/// How much restart churn a campaign may inject: which replicas cycle
+/// through crash→recover, how many times, and whether restarts may come
+/// back *amnesiac* (reloading only the last stable checkpoint and rejoining
+/// via state transfer) instead of durable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryBudget {
+    /// Maximum replicas subjected to churn per case.
+    pub max_victims: usize,
+    /// Replicas eligible for churn.
+    pub pool: Vec<u32>,
+    /// Maximum crash→recover cycles per victim (at least one is drawn when
+    /// the budget is enabled — a recovery case without churn tests nothing).
+    pub max_cycles: u32,
+    /// Allow [`RestartMode::Amnesia`] restarts; otherwise every restart is
+    /// [`RestartMode::Durable`].
+    pub amnesia: bool,
+}
+
+impl RecoveryBudget {
+    /// No churn; the generator draws no recovery randomness at all.
+    pub fn none() -> RecoveryBudget {
+        RecoveryBudget {
+            max_victims: 0,
+            pool: Vec::new(),
+            max_cycles: 0,
+            amnesia: false,
+        }
+    }
+
+    /// The full churn envelope: up to `f` victims from the whole
+    /// population, up to three crash→recover cycles each, mixed restart
+    /// modes.
+    pub fn full(n_replicas: usize, f: usize) -> RecoveryBudget {
+        RecoveryBudget {
+            max_victims: f,
+            pool: (0..n_replicas as u32).collect(),
+            max_cycles: 3,
+            amnesia: true,
+        }
+    }
+
+    /// Whether the generator can draw any churn at all.
+    pub fn enabled(&self) -> bool {
+        self.max_victims > 0 && !self.pool.is_empty() && self.max_cycles > 0
+    }
 }
 
 /// How many replicas a campaign may compromise and which wire-level attacks
@@ -194,6 +247,7 @@ impl ChaosProfile {
             max_dup_prob: 0.3,
             max_reorder_prob: 0.3,
             adversary: AdversaryBudget::none(),
+            recovery: RecoveryBudget::none(),
         }
     }
 
@@ -224,6 +278,25 @@ impl ChaosProfile {
             crash_victims: Vec::new(),
             max_victims: 0,
             isolation: false,
+            ..ChaosProfile::standard(n_replicas, 0, n_clients)
+        }
+    }
+
+    /// A recovery-churn envelope: a *clean* network (no step-1 crash
+    /// victims, partitions, slow links or knob misbehavior) with up to `f`
+    /// replicas cycling through crash→recover in mixed restart modes — so
+    /// every failure attributes to the restart/rejoin path alone.
+    pub fn recovery_churn(n_replicas: usize, f: usize, n_clients: u64) -> ChaosProfile {
+        ChaosProfile {
+            crash_victims: Vec::new(),
+            max_victims: 0,
+            partitions: false,
+            isolation: false,
+            slow_links: false,
+            gst_storm: false,
+            max_dup_prob: 0.0,
+            max_reorder_prob: 0.0,
+            recovery: RecoveryBudget::full(n_replicas, f),
             ..ChaosProfile::standard(n_replicas, 0, n_clients)
         }
     }
@@ -278,6 +351,20 @@ impl ChaosCase {
         if !self.adversaries.is_empty() {
             let advs: Vec<String> = self.adversaries.iter().map(|a| a.describe()).collect();
             parts.push(format!("adv=[{}]", advs.join(" ")));
+        }
+        // restart-mode breakdown, only once amnesia is in play (legacy
+        // durable-only plans keep their historical description)
+        let (mut durable, mut amnesia) = (0u32, 0u32);
+        for ev in &self.plan.events {
+            if let FaultEvent::Recover { mode, .. } = ev {
+                match mode {
+                    RestartMode::Durable => durable += 1,
+                    RestartMode::Amnesia => amnesia += 1,
+                }
+            }
+        }
+        if amnesia > 0 {
+            parts.push(format!("restarts={durable}×durable+{amnesia}×amnesia"));
         }
         parts.join(", ")
     }
@@ -416,14 +503,53 @@ pub fn generate_case(profile: &ChaosProfile, seed: u64) -> ChaosCase {
         0.0
     };
 
-    // 5. Byzantine adversary placements. Drawn last, and only when the
-    //    budget is enabled, so adversary-free profiles consume exactly the
-    //    randomness they always did (cases stay byte-identical).
+    // 5. Byzantine adversary placements. Drawn only when the budget is
+    //    enabled, so adversary-free profiles consume exactly the randomness
+    //    they always did (cases stay byte-identical).
     let adversaries = if profile.adversary.enabled() {
         generate_adversaries(profile, &mut rng)
     } else {
         Vec::new()
     };
+
+    // 6. Recovery churn: repeated crash→recover cycles with explicit
+    //    restart modes, possibly overlapping each other (and the
+    //    adversaries of step 5) mid-catch-up. Drawn last and only when the
+    //    budget is enabled — churn-free profiles consume no recovery
+    //    randomness at all.
+    if profile.recovery.enabled() {
+        // never double-crash a replica step 1 already schedules
+        let step1_victims = suspects_of(&plan);
+        let mut pool: Vec<u32> = profile
+            .recovery
+            .pool
+            .iter()
+            .copied()
+            .filter(|v| !step1_victims.contains(&NodeId::replica(*v)))
+            .collect();
+        let cap = profile.recovery.max_victims.min(pool.len());
+        if cap > 0 {
+            // at least one victim: a recovery case without churn tests
+            // nothing
+            let n_churn = rng.gen_range(1..=cap);
+            for _ in 0..n_churn {
+                let v = pool.swap_remove(rng.gen_range(0..pool.len()));
+                let node = NodeId::replica(v);
+                let cycles = rng.gen_range(1..=profile.recovery.max_cycles);
+                let mut t = rng.gen_range(0..h / 2);
+                for _ in 0..cycles {
+                    let down = rng.gen_range(h / 16..=h / 4);
+                    let mode = if profile.recovery.amnesia && rng.gen_bool(0.5) {
+                        RestartMode::Amnesia
+                    } else {
+                        RestartMode::Durable
+                    };
+                    plan = plan.crash_recover_mode(node, SimTime(t), SimTime(t + down), mode);
+                    t += down + rng.gen_range(h / 16..=h / 4);
+                }
+            }
+        }
+    }
 
     ChaosCase {
         seed,
@@ -769,6 +895,79 @@ mod tests {
                 case.suspects()
             );
         }
+    }
+
+    #[test]
+    fn recovery_budget_is_drawn_last_and_gated() {
+        // enabling the recovery budget must not perturb any earlier draw:
+        // steps 1–5 of a case generated with churn enabled are identical to
+        // the churn-free case from the same seed, and the churn events are
+        // appended strictly after them
+        let base = ChaosProfile::standard(4, 1, 2);
+        let mut churny = base.clone();
+        churny.recovery = RecoveryBudget::full(4, 1);
+        for seed in 0..100 {
+            let a = generate_case(&base, seed);
+            let b = generate_case(&churny, seed);
+            assert_eq!(a.gst, b.gst, "seed {seed}: gst perturbed");
+            assert_eq!(a.dup_prob, b.dup_prob, "seed {seed}: dup perturbed");
+            assert_eq!(
+                a.reorder_prob, b.reorder_prob,
+                "seed {seed}: reorder perturbed"
+            );
+            assert_eq!(a.adversaries, b.adversaries, "seed {seed}: adv perturbed");
+            assert_eq!(
+                &b.plan.events[..a.plan.events.len()],
+                &a.plan.events[..],
+                "seed {seed}: churn draws reordered earlier fault events"
+            );
+        }
+    }
+
+    #[test]
+    fn recovery_churn_cases_validate_and_mix_restart_modes() {
+        let p = ChaosProfile::recovery_churn(4, 1, 2);
+        let (mut durable, mut amnesia) = (0u32, 0u32);
+        for seed in 0..200 {
+            let case = generate_case(&p, seed);
+            case.plan
+                .validate(4, 2)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            let recovers: Vec<&FaultEvent> = case
+                .plan
+                .events
+                .iter()
+                .filter(|e| matches!(e, FaultEvent::Recover { .. }))
+                .collect();
+            assert!(
+                !recovers.is_empty(),
+                "seed {seed}: recovery case drew no churn"
+            );
+            for ev in recovers {
+                if let FaultEvent::Recover { mode, .. } = ev {
+                    match mode {
+                        RestartMode::Durable => durable += 1,
+                        RestartMode::Amnesia => amnesia += 1,
+                    }
+                }
+            }
+            if case.plan.events.iter().any(|e| {
+                matches!(
+                    e,
+                    FaultEvent::Recover {
+                        mode: RestartMode::Amnesia,
+                        ..
+                    }
+                )
+            }) {
+                assert!(
+                    case.describe().contains("amnesia"),
+                    "seed {seed}: describe() omits the restart-mode breakdown"
+                );
+            }
+        }
+        assert!(durable > 0, "mode mix never drew durable");
+        assert!(amnesia > 0, "mode mix never drew amnesia");
     }
 
     #[test]

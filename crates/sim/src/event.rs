@@ -123,8 +123,9 @@ pub(crate) enum EventKind<M> {
     Timer { id: TimerId, kind: TimerKind },
     /// Crash the node (stops processing events).
     Crash,
-    /// Recover the node (resumes processing; the actor's `on_recover` runs).
-    Recover,
+    /// Recover the node (resumes processing; the actor's `on_recover` runs
+    /// with the restart mode).
+    Recover { mode: crate::faults::RestartMode },
 }
 
 /// A queued event: fires at `at` for `node`. `seq` breaks timestamp ties in

@@ -14,6 +14,37 @@ use crate::event::NodeId;
 use crate::runner::Simulation;
 use crate::time::{SimDuration, SimTime};
 
+/// What state a recovering node wakes up with — the restart semantics of a
+/// [`FaultEvent::Recover`].
+///
+/// The distinction matters because "the node comes back" hides two very
+/// different failure models: a process restart on durable storage (all
+/// in-memory protocol state survives, only time passed) versus an
+/// amnesia crash (everything volatile is gone; the node restarts from its
+/// last *stable checkpoint* and must rejoin via state transfer). Protocols
+/// receive the mode through [`Actor::on_recover`](crate::Actor::on_recover)
+/// and implement the matching rejoin discipline.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RestartMode {
+    /// The node resumes with the state it crashed with (durable storage /
+    /// process pause). This is the historical behavior and the default.
+    #[default]
+    Durable,
+    /// The node loses all volatile state: it reloads only its last stable
+    /// checkpoint and rejoins through the state-transfer/catch-up path.
+    Amnesia,
+}
+
+impl RestartMode {
+    /// Short stable label for reports ("durable" / "amnesia").
+    pub fn label(self) -> &'static str {
+        match self {
+            RestartMode::Durable => "durable",
+            RestartMode::Amnesia => "amnesia",
+        }
+    }
+}
+
 /// One scheduled fault.
 #[derive(Debug, Clone, PartialEq)]
 pub enum FaultEvent {
@@ -30,6 +61,8 @@ pub enum FaultEvent {
         node: NodeId,
         /// When it rejoins.
         at: SimTime,
+        /// What state survives the restart.
+        mode: RestartMode,
     },
     /// Cut all links between two nodes for an interval.
     Partition {
@@ -99,6 +132,35 @@ pub enum FaultPlanError {
         /// Index of the offending event in [`FaultPlan::events`].
         index: usize,
     },
+    /// A `Recover` names a node that is not crashed at that point of the
+    /// plan — it would silently do nothing.
+    RecoverWithoutCrash {
+        /// Index of the offending event in [`FaultPlan::events`].
+        index: usize,
+        /// The node named by the spurious recovery.
+        node: NodeId,
+    },
+    /// A `Crash` hits a node that is already down (no intervening
+    /// `Recover`) — the second crash would silently do nothing.
+    DoubleCrash {
+        /// Index of the offending event in [`FaultPlan::events`].
+        index: usize,
+        /// The doubly crashed node.
+        node: NodeId,
+    },
+    /// A `Recover` is scheduled at or before its matching `Crash`, so the
+    /// node would never actually be down (recovery of a live node is a
+    /// no-op at dispatch).
+    RecoverBeforeCrash {
+        /// Index of the offending event in [`FaultPlan::events`].
+        index: usize,
+        /// The node with the inverted schedule.
+        node: NodeId,
+        /// When the node crashes.
+        crash_at: SimTime,
+        /// When the (too early) recovery fires.
+        recover_at: SimTime,
+    },
 }
 
 impl std::fmt::Display for FaultPlanError {
@@ -118,6 +180,30 @@ impl std::fmt::Display for FaultPlanError {
             }
             FaultPlanError::EmptyPeers { index } => {
                 write!(f, "fault event #{index} isolates from an empty peer set")
+            }
+            FaultPlanError::RecoverWithoutCrash { index, node } => {
+                write!(
+                    f,
+                    "fault event #{index} recovers {node:?} which is not crashed at that point"
+                )
+            }
+            FaultPlanError::DoubleCrash { index, node } => {
+                write!(
+                    f,
+                    "fault event #{index} crashes {node:?} which is already down"
+                )
+            }
+            FaultPlanError::RecoverBeforeCrash {
+                index,
+                node,
+                crash_at,
+                recover_at,
+            } => {
+                write!(
+                    f,
+                    "fault event #{index} recovers {node:?} at {recover_at:?}, at or before \
+                     its crash at {crash_at:?}"
+                )
             }
         }
     }
@@ -144,12 +230,31 @@ impl FaultPlan {
         self
     }
 
-    /// Add a crash followed by recovery.
-    pub fn crash_recover(mut self, node: NodeId, at: SimTime, recover_at: SimTime) -> Self {
+    /// Add a crash followed by a durable recovery (the node resumes with
+    /// the state it crashed with).
+    pub fn crash_recover(self, node: NodeId, at: SimTime, recover_at: SimTime) -> Self {
+        self.crash_recover_mode(node, at, recover_at, RestartMode::Durable)
+    }
+
+    /// Add a crash followed by an amnesia recovery (the node reloads its
+    /// last stable checkpoint and rejoins via state transfer).
+    pub fn crash_recover_amnesia(self, node: NodeId, at: SimTime, recover_at: SimTime) -> Self {
+        self.crash_recover_mode(node, at, recover_at, RestartMode::Amnesia)
+    }
+
+    /// Add a crash followed by a recovery with an explicit restart mode.
+    pub fn crash_recover_mode(
+        mut self,
+        node: NodeId,
+        at: SimTime,
+        recover_at: SimTime,
+        mode: RestartMode,
+    ) -> Self {
         self.events.push(FaultEvent::Crash { node, at });
         self.events.push(FaultEvent::Recover {
             node,
             at: recover_at,
+            mode,
         });
         self
     }
@@ -207,6 +312,12 @@ impl FaultPlan {
     /// `a` with itself, a self-slow-link, or an isolation listing the
     /// isolated node among its peers would silently do nothing), and an
     /// isolation must name at least one peer.
+    ///
+    /// Crash/recover schedules must additionally be *coherent* per node
+    /// (walking the events in plan order): a `Recover` needs a prior
+    /// `Crash` still in effect, a second `Crash` needs an intervening
+    /// `Recover`, and a `Recover` must fire strictly after its `Crash` —
+    /// each incoherent shape would otherwise be a silent no-op at dispatch.
     pub fn validate(&self, n_replicas: usize, n_clients: u64) -> Result<(), FaultPlanError> {
         let node_ok = |node: &NodeId| match node {
             NodeId::Replica(r) => (r.0 as usize) < n_replicas,
@@ -257,6 +368,35 @@ impl FaultPlan {
                 }
             }
         }
+        // crash/recover coherence, per node in plan order: Some(crash time)
+        // while the node is down
+        let mut down: std::collections::BTreeMap<NodeId, SimTime> =
+            std::collections::BTreeMap::new();
+        for (index, ev) in self.events.iter().enumerate() {
+            match ev {
+                FaultEvent::Crash { node, at } => {
+                    if down.contains_key(node) {
+                        return Err(FaultPlanError::DoubleCrash { index, node: *node });
+                    }
+                    down.insert(*node, *at);
+                }
+                FaultEvent::Recover { node, at, .. } => match down.remove(node) {
+                    None => {
+                        return Err(FaultPlanError::RecoverWithoutCrash { index, node: *node });
+                    }
+                    Some(crash_at) if *at <= crash_at => {
+                        return Err(FaultPlanError::RecoverBeforeCrash {
+                            index,
+                            node: *node,
+                            crash_at,
+                            recover_at: *at,
+                        });
+                    }
+                    Some(_) => {}
+                },
+                _ => {}
+            }
+        }
         Ok(())
     }
 
@@ -272,7 +412,9 @@ impl FaultPlan {
         for ev in &self.events {
             match ev {
                 FaultEvent::Crash { node, at } => sim.schedule_crash(*node, *at),
-                FaultEvent::Recover { node, at } => sim.schedule_recover(*node, *at),
+                FaultEvent::Recover { node, at, mode } => {
+                    sim.schedule_recover_with(*node, *at, *mode)
+                }
                 FaultEvent::Partition { a, b, from, until } => {
                     sim.network_mut().partition_pair(*a, *b, *from, *until)
                 }
@@ -449,6 +591,102 @@ mod tests {
     }
 
     #[test]
+    fn validate_rejects_recover_without_crash() {
+        let mut plan = FaultPlan::none();
+        plan.events.push(FaultEvent::Recover {
+            node: NodeId::replica(1),
+            at: SimTime(100),
+            mode: RestartMode::Durable,
+        });
+        assert_eq!(
+            plan.validate(4, 0),
+            Err(FaultPlanError::RecoverWithoutCrash {
+                index: 0,
+                node: NodeId::replica(1),
+            })
+        );
+        // a second recover after a coherent crash/recover pair is just as
+        // spurious
+        let plan = FaultPlan::none().crash_recover(NodeId::replica(1), SimTime(10), SimTime(20));
+        let mut plan = plan;
+        plan.events.push(FaultEvent::Recover {
+            node: NodeId::replica(1),
+            at: SimTime(30),
+            mode: RestartMode::Amnesia,
+        });
+        assert_eq!(
+            plan.validate(4, 0),
+            Err(FaultPlanError::RecoverWithoutCrash {
+                index: 2,
+                node: NodeId::replica(1),
+            })
+        );
+    }
+
+    #[test]
+    fn validate_rejects_double_crash() {
+        let plan = FaultPlan::none()
+            .crash(NodeId::replica(2), SimTime(10))
+            .crash(NodeId::replica(2), SimTime(50));
+        assert_eq!(
+            plan.validate(4, 0),
+            Err(FaultPlanError::DoubleCrash {
+                index: 1,
+                node: NodeId::replica(2),
+            })
+        );
+        // distinct victims are fine, and so is crash → recover → crash
+        let plan = FaultPlan::none()
+            .crash(NodeId::replica(1), SimTime(10))
+            .crash(NodeId::replica(2), SimTime(10));
+        assert_eq!(plan.validate(4, 0), Ok(()));
+        let plan = FaultPlan::none()
+            .crash_recover(NodeId::replica(1), SimTime(10), SimTime(20))
+            .crash(NodeId::replica(1), SimTime(30));
+        assert_eq!(plan.validate(4, 0), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_recover_at_or_before_crash() {
+        for recover_at in [SimTime(100), SimTime(50)] {
+            let plan =
+                FaultPlan::none().crash_recover(NodeId::replica(3), SimTime(100), recover_at);
+            assert_eq!(
+                plan.validate(4, 0),
+                Err(FaultPlanError::RecoverBeforeCrash {
+                    index: 1,
+                    node: NodeId::replica(3),
+                    crash_at: SimTime(100),
+                    recover_at,
+                })
+            );
+        }
+    }
+
+    #[test]
+    fn amnesia_builder_records_the_mode() {
+        let plan =
+            FaultPlan::none().crash_recover_amnesia(NodeId::replica(1), SimTime(10), SimTime(20));
+        assert_eq!(plan.validate(4, 0), Ok(()));
+        assert!(matches!(
+            plan.events[1],
+            FaultEvent::Recover {
+                mode: RestartMode::Amnesia,
+                ..
+            }
+        ));
+        // the plain builder stays durable (the historical behavior)
+        let plan = FaultPlan::none().crash_recover(NodeId::replica(1), SimTime(10), SimTime(20));
+        assert!(matches!(
+            plan.events[1],
+            FaultEvent::Recover {
+                mode: RestartMode::Durable,
+                ..
+            }
+        ));
+    }
+
+    #[test]
     fn errors_render_each_variant() {
         let cases: Vec<FaultPlanError> = vec![
             FaultPlanError::UnknownNode {
@@ -465,6 +703,20 @@ mod tests {
                 node: NodeId::replica(0),
             },
             FaultPlanError::EmptyPeers { index: 3 },
+            FaultPlanError::RecoverWithoutCrash {
+                index: 4,
+                node: NodeId::replica(1),
+            },
+            FaultPlanError::DoubleCrash {
+                index: 5,
+                node: NodeId::replica(2),
+            },
+            FaultPlanError::RecoverBeforeCrash {
+                index: 6,
+                node: NodeId::replica(3),
+                crash_at: SimTime(100),
+                recover_at: SimTime(100),
+            },
         ];
         for (i, e) in cases.iter().enumerate() {
             let rendered = e.to_string();

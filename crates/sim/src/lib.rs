@@ -64,10 +64,10 @@ pub mod topology;
 
 pub use adversary::{AdversaryError, AdversarySpec, Attack, AttackKind};
 pub use audit::SafetyAuditor;
-pub use campaign::{AdversaryBudget, CampaignViolation, ChaosCase, ChaosProfile};
+pub use campaign::{AdversaryBudget, CampaignViolation, ChaosCase, ChaosProfile, RecoveryBudget};
 pub use checker::{ExecutionSemantics, SemanticConfig, SemanticViolation};
 pub use event::{CalendarQueue, NodeId, SchedulerKind};
-pub use faults::{FaultEvent, FaultPlan, FaultPlanError};
+pub use faults::{FaultEvent, FaultPlan, FaultPlanError, RestartMode};
 pub use metrics::{LatencyStats, Metrics, NodeCounters};
 pub use net::{Delivery, NetworkConfig, NetworkModel};
 pub use obs::{Observation, ObservationLog, Stage};

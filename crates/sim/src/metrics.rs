@@ -33,7 +33,7 @@ pub struct NodeCounters {
 /// path (`on_send`/`on_deliver` per message) is an array index instead of a
 /// `BTreeMap` walk. Clients are few and sparse, so they stay in a small map
 /// keyed by client id.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Metrics {
     replicas: Vec<NodeCounters>,
     clients: BTreeMap<u64, NodeCounters>,
@@ -62,7 +62,62 @@ pub struct Metrics {
     /// equivocation-substitute payloads are genuinely authored, so they
     /// pass).
     pub auth_verified: u64,
+    /// Nodes restarted by a scheduled [`FaultEvent::Recover`] (either
+    /// restart mode).
+    ///
+    /// The four recovery counters are skipped when zero so runs without
+    /// recovery events serialize byte-identically to the pre-recovery
+    /// format (see the hand-written [`Serialize`] impl below).
+    ///
+    /// [`FaultEvent::Recover`]: crate::faults::FaultEvent::Recover
+    pub rec_restarts: u64,
+    /// Snapshots installed from a peer during catch-up (state transfers
+    /// completed on the receiving side).
+    pub rec_state_transfers: u64,
+    /// Catch-up requests re-sent after a timeout (retries with backoff).
+    pub rec_retries: u64,
+    /// Catch-up rounds started by rejoining replicas.
+    pub rec_catchup_events: u64,
 }
+
+// Hand-written so the recovery counters are *omitted when zero*: the
+// vendored serde derive has no `skip_serializing_if`, and recovery-free
+// runs must keep serializing byte-identically to the pre-recovery format
+// (the determinism suite compares whole-run JSON across builds). Field
+// order matches the struct declaration, exactly as the derive emitted it.
+impl Serialize for Metrics {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use serde::ser::SerializeStruct;
+        let rec = [
+            ("rec_restarts", self.rec_restarts),
+            ("rec_state_transfers", self.rec_state_transfers),
+            ("rec_retries", self.rec_retries),
+            ("rec_catchup_events", self.rec_catchup_events),
+        ];
+        let len = 12 + rec.iter().filter(|(_, v)| *v != 0).count();
+        let mut s = serializer.serialize_struct("Metrics", len)?;
+        s.serialize_field("replicas", &self.replicas)?;
+        s.serialize_field("clients", &self.clients)?;
+        s.serialize_field("dropped", &self.dropped)?;
+        s.serialize_field("duplicated", &self.duplicated)?;
+        s.serialize_field("topology_blocked", &self.topology_blocked)?;
+        s.serialize_field("adv_censored", &self.adv_censored)?;
+        s.serialize_field("adv_delayed", &self.adv_delayed)?;
+        s.serialize_field("adv_replayed", &self.adv_replayed)?;
+        s.serialize_field("adv_equivocated", &self.adv_equivocated)?;
+        s.serialize_field("adv_corrupted", &self.adv_corrupted)?;
+        s.serialize_field("auth_rejected", &self.auth_rejected)?;
+        s.serialize_field("auth_verified", &self.auth_verified)?;
+        for (name, value) in rec {
+            if value != 0 {
+                s.serialize_field(name, &value)?;
+            }
+        }
+        s.end()
+    }
+}
+
+impl Deserialize for Metrics {}
 
 impl Metrics {
     /// Flush one event handler's batched accounting in a single counter

@@ -29,6 +29,7 @@ use crate::adversary::{AdversarySpec, Attack, WireAuth, CAPTURE_CAP};
 use crate::event::{
     EventKind, EventQueue, NodeId, PackedNode, QueuedEvent, SchedulerKind, TaggedEnvelope,
 };
+use crate::faults::RestartMode;
 use crate::metrics::Metrics;
 use crate::net::{Delivery, NetworkModel};
 use crate::obs::{Observation, ObservationLog};
@@ -118,8 +119,14 @@ pub trait Actor<M> {
     /// cancelled).
     fn on_timer(&mut self, _id: TimerId, _kind: TimerKind, _ctx: &mut Context<'_, M>) {}
 
-    /// The node recovered after a scheduled crash (rejuvenation).
-    fn on_recover(&mut self, _ctx: &mut Context<'_, M>) {}
+    /// The node recovered after a scheduled crash. `mode` says what state
+    /// survived: [`RestartMode::Durable`] restarts resume with everything
+    /// the actor held at crash time (implementations should still discard
+    /// stale timer handles — timers that popped during the outage were
+    /// silently released); [`RestartMode::Amnesia`] restarts must drop all
+    /// volatile state, reload the last stable checkpoint, and rejoin via
+    /// state transfer.
+    fn on_recover(&mut self, _mode: RestartMode, _ctx: &mut Context<'_, M>) {}
 }
 
 /// Runtime state of one compromised replica: its attack stack and the
@@ -552,6 +559,23 @@ impl<'a, M: WireSize + Serialize> Context<'a, M> {
         let now = self.now();
         self.state.log.push(now, self.node, obs);
     }
+
+    /// Count one completed state transfer (a snapshot installed from a
+    /// peer during catch-up).
+    pub fn count_state_transfer(&mut self) {
+        self.state.metrics.rec_state_transfers += 1;
+    }
+
+    /// Count one catch-up retry (a state request re-sent after a timeout).
+    pub fn count_catchup_retry(&mut self) {
+        self.state.metrics.rec_retries += 1;
+    }
+
+    /// Count one catch-up round starting (a rejoining replica soliciting
+    /// state from its peers).
+    pub fn count_catchup_event(&mut self) {
+        self.state.metrics.rec_catchup_events += 1;
+    }
 }
 
 /// State of one node slot.
@@ -753,10 +777,16 @@ impl<M: WireSize + Serialize + 'static> Simulation<M> {
         self.state.push(at, node, EventKind::Crash);
     }
 
-    /// Schedule a recovery: the node resumes processing at `at` and its
-    /// `on_recover` hook runs.
+    /// Schedule a durable recovery: the node resumes processing at `at`
+    /// with the state it crashed with, and its `on_recover` hook runs.
     pub fn schedule_recover(&mut self, node: NodeId, at: SimTime) {
-        self.state.push(at, node, EventKind::Recover);
+        self.schedule_recover_with(node, at, RestartMode::Durable);
+    }
+
+    /// Schedule a recovery with explicit restart semantics (see
+    /// [`RestartMode`]).
+    pub fn schedule_recover_with(&mut self, node: NodeId, at: SimTime, mode: RestartMode) {
+        self.state.push(at, node, EventKind::Recover { mode });
     }
 
     /// Pre-reserve event-queue capacity. Call before a run when the
@@ -811,14 +841,15 @@ impl<M: WireSize + Serialize + 'static> Simulation<M> {
                     slot.crashed = true;
                 }
             }
-            EventKind::Recover => {
+            EventKind::Recover { mode } => {
                 let was_crashed = self
                     .nodes
                     .get_mut(node)
                     .map(|s| std::mem::replace(&mut s.crashed, false))
                     .unwrap_or(false);
                 if was_crashed {
-                    self.with_actor(node, ev.at, |actor, ctx| actor.on_recover(ctx));
+                    self.state.metrics.rec_restarts += 1;
+                    self.with_actor(node, ev.at, |actor, ctx| actor.on_recover(mode, ctx));
                 }
             }
             EventKind::Deliver { from, msg } => {

@@ -141,6 +141,25 @@ impl CheckpointManager {
     pub fn retained_snapshots(&self) -> usize {
         self.snapshots.len()
     }
+
+    /// Amnesia restart: volatile memory is gone, only the last *stable*
+    /// checkpoint survives. Drops all in-flight attestation votes and every
+    /// snapshot except the stable one, and returns the stable snapshot (if
+    /// this manager retained it) so the caller can reinstall it.
+    pub fn reset_to_stable(&mut self) -> Option<Snapshot> {
+        self.votes.clear();
+        let stable_seq = self.stable.as_ref().map(|p| p.seq);
+        match stable_seq {
+            Some(seq) => {
+                self.snapshots.retain(|s, _| *s == seq);
+                self.snapshots.get(&seq).cloned()
+            }
+            None => {
+                self.snapshots.clear();
+                None
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -247,5 +266,46 @@ mod tests {
             m.latest_snapshot_at_or_below(SeqNum(25)).unwrap().seq,
             SeqNum(20)
         );
+    }
+
+    #[test]
+    fn reset_to_stable_keeps_only_the_stable_snapshot() {
+        let mut m = CheckpointManager::new(10, 2);
+        let mut sm = StateMachine::new();
+        for i in 1..=30u64 {
+            sm.execute(
+                SeqNum(i),
+                &Request::new(
+                    ClientId(1),
+                    i,
+                    Transaction {
+                        ops: vec![Op::Put(1, i as i64)],
+                    },
+                ),
+            );
+            if m.is_checkpoint_seq(SeqNum(i)) {
+                m.store_snapshot(sm.snapshot());
+            }
+        }
+        let d20 = m.snapshot_at(SeqNum(20)).unwrap().digest;
+        m.add_attestation(ReplicaId(0), SeqNum(20), d20);
+        m.add_attestation(ReplicaId(1), SeqNum(20), d20);
+        m.add_attestation(ReplicaId(0), SeqNum(30), digest(9)); // in-flight vote
+        let snap = m.reset_to_stable().expect("stable snapshot retained");
+        assert_eq!(snap.seq, SeqNum(20));
+        assert_eq!(m.retained_snapshots(), 1);
+        assert_eq!(m.low_water(), SeqNum(20)); // stability survives amnesia
+
+        // the in-flight vote for 30 was volatile: two fresh attestations are
+        // needed again for seq 30 to become stable
+        assert!(m
+            .add_attestation(ReplicaId(1), SeqNum(30), digest(9))
+            .is_none());
+
+        // no stable checkpoint → nothing survives
+        let mut empty = CheckpointManager::new(10, 2);
+        empty.store_snapshot(sm.snapshot());
+        assert!(empty.reset_to_stable().is_none());
+        assert_eq!(empty.retained_snapshots(), 0);
     }
 }

@@ -26,18 +26,22 @@ fn all_experiment_claims_reproduce_in_quick_mode() {
     );
 }
 
-/// Pins the `exp_p5` full-mode liveness deficit under the campaign's
-/// liveness checker: proactive rejuvenation concurrent with a crashed
-/// replica strands requests in *both* provisioning regimes (36/120 at
-/// n = 3f+1, 96/120 at n = 3f+2k+1 — the full-mode table in
-/// EXPERIMENTS.md). The deficit is a known open item; this test makes any
-/// drift — a fix or a regression — visible instead of silent.
+/// The `exp_p5` full-mode liveness repair: proactive rejuvenation (20ms
+/// period, 50ms dark window) concurrent with a permanently crashed replica
+/// used to strand most of the workload (36/120 at n = 3f+1, 96/120 at
+/// n = 3f+2k+1). Three recovery fixes close the gap: rejuvenating replicas
+/// buffer and replay traffic instead of dropping it, rejoining replicas
+/// adopt the quorum's working view from the first valid leader message,
+/// and τ2 discounts scheduled rejuvenation windows so the rotation never
+/// indicts a healthy leader. Both provisioning regimes must now accept the
+/// full workload (the n = 3f+1 floor of 110/120 is the acceptance bar; in
+/// practice both reach 120/120).
 #[test]
-fn exp_p5_full_mode_liveness_deficit_is_pinned() {
-    use bft_sim::campaign::{check_outcome, CampaignViolation};
+fn exp_p5_full_mode_liveness_is_repaired() {
+    use bft_sim::campaign::check_outcome;
     use untrusted_txn::prelude::*;
 
-    for (n_override, pinned_accepted) in [(None, 36), (Some(6), 96)] {
+    for (n_override, floor) in [(None, 110), (Some(6), 110)] {
         let mut s = Scenario::builder()
             .n_for_f(1)
             .clients(1)
@@ -50,21 +54,18 @@ fn exp_p5_full_mode_liveness_deficit_is_pinned() {
             ..Default::default()
         })
         .run(&s);
-        match check_outcome(&out.log, vec![NodeId::replica(1)], 120) {
-            Some(CampaignViolation::Liveness { accepted, expected }) => {
-                assert_eq!(expected, 120);
-                assert_eq!(
-                    accepted, pinned_accepted,
-                    "exp_p5 deficit drifted at n_override={n_override:?} — \
-                     update this pin and the EXPERIMENTS.md table together"
-                );
-            }
-            other => panic!(
-                "exp_p5 (n_override={n_override:?}) no longer shows the \
-                 liveness deficit: {other:?} — update this pin and \
-                 EXPERIMENTS.md together"
-            ),
-        }
+        let accepted = out.log.client_latencies().len() as u64;
+        assert!(
+            accepted >= floor,
+            "exp_p5 (n_override={n_override:?}) regressed: accepted \
+             {accepted}/120, floor {floor} — the recovery/rejoin path lost \
+             its liveness repair"
+        );
+        assert_eq!(
+            check_outcome(&out.log, vec![NodeId::replica(1)], 120),
+            None,
+            "exp_p5 (n_override={n_override:?}) violates the campaign checker"
+        );
     }
 }
 
