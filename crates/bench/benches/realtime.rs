@@ -1,0 +1,138 @@
+//! The real-time engine bench target.
+//!
+//! Runs every registry protocol on the multi-threaded real-time backend
+//! (one OS thread per node, real channels, real clocks) across cluster
+//! sizes n = 4..16 and reports wall-clock requests per second. Every run
+//! is validated by the workload-suite consistency checkers; a dirty or
+//! incomplete run fails the bench.
+//!
+//! ```text
+//! cargo bench -p bft-bench --bench realtime                   # full sweep
+//! cargo bench -p bft-bench --bench realtime -- --save-json    # + BENCH_realtime.json
+//! cargo bench -p bft-bench --bench realtime -- --quick        # CI smoke (n=4)
+//! cargo bench -p bft-bench --bench realtime -- pbft hotstuff  # protocol filter
+//! cargo bench -p bft-bench --bench realtime -- --engine sim   # wall-clock baseline
+//! cargo bench -p bft-bench --bench realtime -- --out /tmp/rt.json
+//! ```
+//!
+//! Unlike the virtual-time targets, output is host-dependent by design:
+//! it measures this machine running the actors for real.
+
+use std::time::Instant;
+
+use bft_bench::realtime::{all_clean, run_realtime, RealtimeConfig};
+use bft_protocols::registry::ProtocolId;
+use bft_sim::EngineKind;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let save_json = args.iter().any(|a| a == "--save-json");
+
+    let mut cfg = if quick {
+        RealtimeConfig::quick()
+    } else {
+        RealtimeConfig::full()
+    };
+
+    if let Some(i) = args.iter().position(|a| a == "--engine") {
+        match args.get(i + 1).map(String::as_str).map(str::parse) {
+            Some(Ok(engine)) => cfg.engine = engine,
+            _ => {
+                eprintln!("--engine takes `sim` or `threaded`");
+                std::process::exit(2);
+            }
+        }
+    }
+    let mut out_path: Option<String> = None;
+    if let Some(i) = args.iter().position(|a| a == "--out") {
+        match args.get(i + 1) {
+            Some(p) => out_path = Some(p.clone()),
+            None => {
+                eprintln!("--out needs a path");
+                std::process::exit(2);
+            }
+        }
+    }
+    let positive = |flag: &str| -> Option<usize> {
+        let i = args.iter().position(|a| a == flag)?;
+        match args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) {
+            Some(v) if v > 0 => Some(v),
+            _ => {
+                eprintln!("{flag} needs a positive integer");
+                std::process::exit(2);
+            }
+        }
+    };
+    if let Some(v) = positive("--clients") {
+        cfg.clients = v;
+    }
+    if let Some(v) = positive("--requests") {
+        cfg.requests_per_client = v as u64;
+    }
+    let filters: Vec<&String> = args
+        .iter()
+        .enumerate()
+        .filter(|&(i, a)| {
+            !(a.starts_with("--")
+                || a.is_empty()
+                || i > 0
+                    && ["--engine", "--out", "--clients", "--requests"]
+                        .contains(&args[i - 1].as_str()))
+        })
+        .map(|(_, a)| a)
+        .collect();
+    if !filters.is_empty() {
+        cfg.protocols = ProtocolId::ALL
+            .into_iter()
+            .filter(|p| filters.iter().any(|f| p.name().contains(f.as_str())))
+            .collect();
+        if cfg.protocols.is_empty() {
+            eprintln!(
+                "no protocols match {:?} — known names: {}",
+                filters,
+                ProtocolId::ALL.map(|p| p.name()).join(", ")
+            );
+            std::process::exit(2);
+        }
+    }
+
+    println!(
+        "untrusted-txn realtime — {} engine, {} protocol(s) × {} scale point(s), \
+         {} client(s) × {} request(s)\n",
+        cfg.engine,
+        cfg.protocols.len(),
+        cfg.fault_budgets.len(),
+        cfg.clients,
+        cfg.requests_per_client
+    );
+
+    let started = Instant::now();
+    let report = run_realtime(&cfg);
+    println!("\n({:.2?})", started.elapsed());
+
+    if save_json || out_path.is_some() {
+        let path = out_path.map(std::path::PathBuf::from).unwrap_or_else(|| {
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+                .join("../..")
+                .join("BENCH_realtime.json")
+        });
+        std::fs::write(
+            &path,
+            serde_json::to_string_pretty(&report).expect("serializable"),
+        )
+        .expect("write realtime report");
+        println!("wrote {}", path.display());
+    }
+
+    if !all_clean(&report) {
+        eprintln!("FAIL: at least one run was incomplete or checker-dirty");
+        std::process::exit(1);
+    }
+
+    // The threaded engine is the reason this target exists; make the sim
+    // baseline impossible to mistake for it in saved artifacts.
+    if cfg.engine == EngineKind::Sim {
+        println!("note: sim-engine baseline — wall numbers include simulator overhead only");
+    }
+}

@@ -360,7 +360,7 @@ pub fn run_case(entry: &ProtocolEntry, cfg: &CampaignConfig, seed: u64) -> CaseR
     } else {
         profile_for(entry, cfg.f, cfg.clients as u64)
     };
-    run_case_with(|s| entry.run(s), entry.id, cfg, &profile, seed)
+    run_case_with(|s| entry.id.run(s), entry.id, cfg, &profile, seed)
 }
 
 /// Run the full campaign on `threads` workers (the `BFT_BENCH_THREADS`

@@ -33,6 +33,7 @@
 pub mod campaign;
 pub mod experiments;
 pub mod parallel;
+pub mod realtime;
 pub mod simload;
 pub mod table;
 

@@ -704,7 +704,7 @@ pub fn run(scenario: &Scenario) -> RunOutcome {
     let store = scenario.key_store();
     let t3 = SimDuration(scenario.network.delta.0 * 2);
 
-    let mut sim = scenario.build_sim::<CheapMsg>(n);
+    let mut sim = scenario.build_engine::<CheapMsg>(n);
     for i in 0..n as u32 {
         sim.add_replica(
             i,

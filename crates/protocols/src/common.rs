@@ -16,8 +16,8 @@ use bft_core::workload::{Workload, WorkloadConfig};
 use bft_crypto::sign::PartyId;
 use bft_crypto::{digest_of, CryptoCostModel, KeyStore, Signature};
 use bft_sim::{
-    Actor, AdversarySpec, Context, FaultPlan, NetworkConfig, NetworkModel, NodeId, Observation,
-    SimDuration, SimTime, Simulation, TimerId,
+    Actor, AdversarySpec, Context, Engine, EngineKind, FaultPlan, NetworkConfig, NetworkModel,
+    NodeId, Observation, SimDuration, SimTime, Simulation, ThreadedEngine, TimerId,
 };
 use bft_types::{
     ClientId, Digest, QuorumRules, ReplicaId, Reply, Request, RequestId, TimerKind, Transaction,
@@ -141,6 +141,11 @@ pub struct Scenario {
     /// the identical order, so this never changes a run's output — only
     /// wall-clock cost at scale.
     pub scheduler: bft_sim::SchedulerKind,
+    /// Which execution backend runs the scenario. Defaults to
+    /// [`EngineKind::Sim`] (deterministic, virtual time); the threaded
+    /// engine trades determinism, fault plans and adversaries for real
+    /// wall-clock measurement.
+    pub engine: EngineKind,
 }
 
 impl Scenario {
@@ -161,6 +166,7 @@ impl Scenario {
             batch_size: 1,
             max_time: SimDuration::from_secs(60),
             scheduler: bft_sim::SchedulerKind::default(),
+            engine: EngineKind::default(),
         }
     }
 
@@ -168,6 +174,13 @@ impl Scenario {
     pub fn with_load(mut self, clients: usize, requests_per_client: u64) -> Scenario {
         self.clients = clients;
         self.requests_per_client = requests_per_client;
+        self
+    }
+
+    /// Builder-style: override the replica count (clamped up to each
+    /// protocol's formula minimum, see [`Scenario::n`]).
+    pub fn with_n(mut self, n: usize) -> Scenario {
+        self.n_override = Some(n);
         self
     }
 
@@ -219,6 +232,12 @@ impl Scenario {
         self
     }
 
+    /// Builder-style: set the execution engine.
+    pub fn with_engine(mut self, engine: EngineKind) -> Scenario {
+        self.engine = engine;
+        self
+    }
+
     /// The replica count for a protocol whose formula minimum is `min_n`.
     pub fn n(&self, min_n: usize) -> usize {
         self.n_override.map_or(min_n, |n| n.max(min_n))
@@ -252,7 +271,9 @@ impl Scenario {
         KeyStore::shared(master)
     }
 
-    /// Build the simulation shell: network, seed, cost model, fault plan.
+    /// Build the execution engine the scenario selects ([`Scenario::engine`]):
+    /// the deterministic simulation shell (network, seed, cost model, fault
+    /// plan) or the real-time threaded engine.
     ///
     /// `n` is the replica count the protocol is about to install; the fault
     /// plan is validated against it (and the client count) so a plan naming
@@ -262,24 +283,46 @@ impl Scenario {
     ///
     /// Panics if the scenario's fault plan or an adversary placement is
     /// invalid — see [`FaultPlan::validate`](bft_sim::faults::FaultPlan::validate)
-    /// and [`AdversarySpec::validate`].
-    pub fn build_sim<M: WireSize + serde::Serialize + 'static>(&self, n: usize) -> Simulation<M> {
-        let mut sim = Simulation::with_scheduler(
-            NetworkModel::new(self.network.clone()),
-            self.seed,
-            self.scheduler,
-        );
-        sim.set_cost_model(self.cost_model);
-        if let Err(e) = self.faults.apply(&mut sim, n, self.clients as u64) {
-            panic!("scenario has an invalid fault plan: {e}");
-        }
-        for spec in &self.adversaries {
-            if let Err(e) = spec.validate(n, self.clients as u64) {
-                panic!("scenario has an invalid adversary placement: {e}");
+    /// and [`AdversarySpec::validate`] — or if a threaded scenario carries
+    /// a fault plan or adversaries (sim-only features: the threaded engine
+    /// has no deterministic event stream to inject them into).
+    pub fn build_engine<M: WireSize + serde::Serialize + Send + Sync + 'static>(
+        &self,
+        n: usize,
+    ) -> Engine<M> {
+        match self.engine {
+            EngineKind::Sim => {
+                let mut sim = Simulation::with_scheduler(
+                    NetworkModel::new(self.network.clone()),
+                    self.seed,
+                    self.scheduler,
+                );
+                sim.set_cost_model(self.cost_model);
+                if let Err(e) = self.faults.apply(&mut sim, n, self.clients as u64) {
+                    panic!("scenario has an invalid fault plan: {e}");
+                }
+                for spec in &self.adversaries {
+                    if let Err(e) = spec.validate(n, self.clients as u64) {
+                        panic!("scenario has an invalid adversary placement: {e}");
+                    }
+                    sim.install_adversary(spec.clone());
+                }
+                Engine::Sim(Box::new(sim))
             }
-            sim.install_adversary(spec.clone());
+            EngineKind::Threaded => {
+                assert!(
+                    self.faults.events.is_empty(),
+                    "fault plans are a sim-engine feature; the threaded engine cannot run them"
+                );
+                assert!(
+                    self.adversaries.is_empty(),
+                    "wire adversaries are a sim-engine feature; the threaded engine cannot run them"
+                );
+                let mut eng = ThreadedEngine::new(self.network.delta, self.seed);
+                eng.set_cost_model(self.cost_model);
+                Engine::Threaded(eng)
+            }
         }
-        sim
     }
 
     /// Total requests across all clients.
@@ -412,6 +455,12 @@ impl ScenarioBuilder {
     /// Set the event-queue scheduler.
     pub fn scheduler(mut self, scheduler: bft_sim::SchedulerKind) -> Self {
         self.scenario.scheduler = scheduler;
+        self
+    }
+
+    /// Set the execution engine.
+    pub fn engine(mut self, engine: EngineKind) -> Self {
+        self.scenario.engine = engine;
         self
     }
 
@@ -714,27 +763,36 @@ impl<P: ClientProtocol> Actor<P::Msg> for GenericClient<P> {
     }
 }
 
-/// Drive a simulation until every expected client acceptance has been
-/// observed, the event queue drains, or the virtual-time budget runs out.
-/// Returns the finished outcome.
-pub fn run_to_completion<M: WireSize + serde::Serialize + 'static>(
-    sim: Simulation<M>,
+/// Drive an engine until every expected client acceptance has been
+/// observed, the workload drains, or the time budget runs out (virtual
+/// time on the sim engine, wall clock on the threaded engine). Returns the
+/// finished outcome.
+pub fn run_to_completion<M: WireSize + serde::Serialize + Send + Sync + 'static>(
+    engine: Engine<M>,
     total_requests: u64,
     max_time: SimDuration,
-) -> bft_sim::runner::RunOutcome {
-    run_to_completion_with_drain(sim, total_requests, max_time, SimDuration::ZERO)
+) -> bft_sim::RunOutcome {
+    run_to_completion_with_drain(engine, total_requests, max_time, SimDuration::ZERO)
 }
 
-/// Like [`run_to_completion`], but keeps the simulation running for `drain`
-/// extra virtual time after the last client acceptance, letting in-flight
-/// messages settle (used by protocols whose convergence outlasts the last
-/// reply, e.g. Q/U's trailing fast-forwards).
-pub fn run_to_completion_with_drain<M: WireSize + serde::Serialize + 'static>(
-    mut sim: Simulation<M>,
+/// Like [`run_to_completion`], but keeps the run going for `drain` extra
+/// time after the last client acceptance, letting in-flight messages settle
+/// (used by protocols whose convergence outlasts the last reply, e.g. Q/U's
+/// trailing fast-forwards).
+pub fn run_to_completion_with_drain<M: WireSize + serde::Serialize + Send + Sync + 'static>(
+    engine: Engine<M>,
     total_requests: u64,
     max_time: SimDuration,
     drain: SimDuration,
-) -> bft_sim::runner::RunOutcome {
+) -> bft_sim::RunOutcome {
+    let mut sim = match engine {
+        Engine::Threaded(eng) => {
+            // `max_time` doubles as the wall-clock budget: the deadlock
+            // backstop on real threads.
+            return eng.run_with_drain(total_requests, max_time, drain);
+        }
+        Engine::Sim(sim) => sim,
+    };
     // Pre-size the event queue: each request fans out to O(n²) protocol
     // messages, so reserving up front avoids repeated heap regrowth in
     // the hot loop. Capped so large request counts don't over-allocate.

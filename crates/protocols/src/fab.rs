@@ -671,7 +671,7 @@ pub fn run(scenario: &Scenario) -> RunOutcome {
     let store = scenario.key_store();
     let view_timeout = SimDuration(scenario.network.delta.0 * 4);
 
-    let mut sim = scenario.build_sim::<FabMsg>(n);
+    let mut sim = scenario.build_engine::<FabMsg>(n);
     for i in 0..n as u32 {
         sim.add_replica(
             i,

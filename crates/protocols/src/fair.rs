@@ -906,7 +906,7 @@ pub fn run(scenario: &Scenario) -> RunOutcome {
     let round_period = SimDuration(scenario.network.base_delay.0 * 4);
     let view_timeout = SimDuration(scenario.network.delta.0 * 4);
 
-    let mut sim = scenario.build_sim::<FairMsg>(n);
+    let mut sim = scenario.build_engine::<FairMsg>(n);
     for i in 0..n as u32 {
         sim.add_replica(
             i,

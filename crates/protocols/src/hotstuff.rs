@@ -161,7 +161,35 @@ pub struct HotStuffReplica {
     /// Slot batches by digest (to execute on decide even if the decide QC
     /// arrives before the proposal — buffered).
     batches: BTreeMap<Digest, Vec<SignedRequest>>,
+    /// Traffic for views we have not entered yet, replayed on entry. The
+    /// view advances per decision, so the next leader's proposal (and the
+    /// QCs cascading behind it) routinely overtakes the previous view's
+    /// commit announcement on engines with real concurrency; dropping it
+    /// silently turns a responsive decision into a pacemaker timeout.
+    /// Bounded window against flooding.
+    pending: BTreeMap<View, Vec<PendingHs>>,
 }
+
+/// A buffered ahead-of-view message. Proposals are re-validated (and
+/// crypto-charged) on replay; votes and QCs were charged at arrival.
+enum PendingHs {
+    Proposal {
+        seq: SeqNum,
+        digest: Digest,
+        batch: Vec<SignedRequest>,
+        justify: Option<Qc>,
+    },
+    Vote {
+        from: ReplicaId,
+        phase: HsPhase,
+        seq: SeqNum,
+        digest: Digest,
+    },
+    Qc(Qc),
+}
+
+/// How far ahead of the local view buffered traffic is kept.
+const PENDING_VIEW_WINDOW: u64 = 8;
 
 impl HotStuffReplica {
     /// Create a replica.
@@ -192,6 +220,43 @@ impl HotStuffReplica {
             proposed_this_view: false,
             batch_size,
             batches: BTreeMap::new(),
+            pending: BTreeMap::new(),
+        }
+    }
+
+    fn buffer(&mut self, view: View, msg: PendingHs) {
+        if view.0 > self.view.0 + PENDING_VIEW_WINDOW {
+            return;
+        }
+        let slot = self.pending.entry(view).or_default();
+        if slot.len() < 8 * self.q.n {
+            slot.push(msg);
+        }
+    }
+
+    /// Re-deliver traffic buffered for the view we just entered.
+    fn replay_pending(&mut self, ctx: &mut Context<'_, HsMsg>) {
+        let v = self.view;
+        self.pending.retain(|pv, _| *pv >= v);
+        let Some(msgs) = self.pending.remove(&v) else {
+            return;
+        };
+        for msg in msgs {
+            match msg {
+                PendingHs::Proposal {
+                    seq,
+                    digest,
+                    batch,
+                    justify,
+                } => self.on_proposal(v, seq, digest, batch, justify, ctx),
+                PendingHs::Vote {
+                    from,
+                    phase,
+                    seq,
+                    digest,
+                } => self.record_vote(from, phase, v, seq, digest, ctx),
+                PendingHs::Qc(qc) => self.on_qc(qc, ctx),
+            }
         }
     }
 
@@ -311,6 +376,55 @@ impl HotStuffReplica {
         }
     }
 
+    fn on_proposal(
+        &mut self,
+        view: View,
+        seq: SeqNum,
+        digest: Digest,
+        batch: Vec<SignedRequest>,
+        justify: Option<Qc>,
+        ctx: &mut Context<'_, HsMsg>,
+    ) {
+        if view != self.view {
+            return;
+        }
+        ctx.charge_crypto(CryptoOp::Verify);
+        ctx.charge_crypto(CryptoOp::Hash);
+        if digest_of(&batch) != digest {
+            return;
+        }
+        // never vote on a slot that has already decided or executed
+        // here — a lagging leader proposing into history cannot be
+        // allowed to re-open it
+        if seq <= self.exec_cursor || self.decided.contains_key(&seq) {
+            return;
+        }
+        // safety rule (per slot): an unlocked slot is free; a locked
+        // slot only accepts its locked digest, or a conflicting one
+        // justified by a newer prepare QC for the SAME slot
+        let safe = match self.locks.get(&seq) {
+            None => true,
+            Some(l) if l.digest == digest => true,
+            Some(l) => {
+                justify.is_some_and(|j| j.seq == seq && j.digest == digest && j.view > l.view)
+            }
+        };
+        if !safe {
+            return;
+        }
+        // one proposal per view: ignore any further proposal in the
+        // same view (an equivocating leader cannot split votes)
+        if self.cur.is_some() {
+            return;
+        }
+        let ids: Vec<RequestId> = batch.iter().map(|r| r.request.id).collect();
+        self.mempool.retain(|r| !ids.contains(&r.request.id));
+        self.batches.insert(digest, batch.clone());
+        self.cur = Some((seq, digest, batch));
+        self.cast_vote(HsPhase::Prepare, seq, digest, ctx);
+        self.arm_pacemaker(ctx);
+    }
+
     fn record_vote(
         &mut self,
         from: ReplicaId,
@@ -320,6 +434,18 @@ impl HotStuffReplica {
         digest: Digest,
         ctx: &mut Context<'_, HsMsg>,
     ) {
+        if view > self.view {
+            self.buffer(
+                view,
+                PendingHs::Vote {
+                    from,
+                    phase,
+                    seq,
+                    digest,
+                },
+            );
+            return;
+        }
         if view != self.view || !self.is_leader() {
             return;
         }
@@ -345,6 +471,13 @@ impl HotStuffReplica {
     }
 
     fn on_qc(&mut self, qc: Qc, ctx: &mut Context<'_, HsMsg>) {
+        // a future Commit QC is processed immediately (it is the lagging
+        // replica's catch-up path and is safe at any view); future
+        // Prepare/PreCommit QCs wait for view entry
+        if qc.view > self.view && qc.phase != HsPhase::Commit {
+            self.buffer(qc.view, PendingHs::Qc(qc));
+            return;
+        }
         if qc.view != self.view {
             // stale QC from an earlier view: only the decide step of an
             // earlier view is still interesting (handled via decided map);
@@ -480,6 +613,7 @@ impl HotStuffReplica {
             self.arm_pacemaker(ctx);
         }
         self.maybe_propose(ctx);
+        self.replay_pending(ctx);
     }
 
     fn on_new_view(
@@ -565,43 +699,24 @@ impl Actor<HsMsg> for HotStuffReplica {
                 justify,
             } => {
                 let (view, seq, digest, justify) = (*view, *seq, *digest, *justify);
-                if view != self.view || from != NodeId::Replica(self.leader_of(view)) {
+                if from != NodeId::Replica(self.leader_of(view)) {
                     return;
                 }
-                ctx.charge_crypto(CryptoOp::Verify);
-                ctx.charge_crypto(CryptoOp::Hash);
-                if digest_of(batch) != digest {
+                if view > self.view {
+                    // the next leader's proposal overtook the previous
+                    // view's commit announcement: hold it for view entry
+                    self.buffer(
+                        view,
+                        PendingHs::Proposal {
+                            seq,
+                            digest,
+                            batch: batch.clone(),
+                            justify,
+                        },
+                    );
                     return;
                 }
-                // never vote on a slot that has already decided or executed
-                // here — a lagging leader proposing into history cannot be
-                // allowed to re-open it
-                if seq <= self.exec_cursor || self.decided.contains_key(&seq) {
-                    return;
-                }
-                // safety rule (per slot): an unlocked slot is free; a locked
-                // slot only accepts its locked digest, or a conflicting one
-                // justified by a newer prepare QC for the SAME slot
-                let safe = match self.locks.get(&seq) {
-                    None => true,
-                    Some(l) if l.digest == digest => true,
-                    Some(l) => justify
-                        .is_some_and(|j| j.seq == seq && j.digest == digest && j.view > l.view),
-                };
-                if !safe {
-                    return;
-                }
-                // one proposal per view: ignore any further proposal in the
-                // same view (an equivocating leader cannot split votes)
-                if self.cur.is_some() {
-                    return;
-                }
-                let ids: Vec<RequestId> = batch.iter().map(|r| r.request.id).collect();
-                self.mempool.retain(|r| !ids.contains(&r.request.id));
-                self.batches.insert(digest, batch.clone());
-                self.cur = Some((seq, digest, batch.clone()));
-                self.cast_vote(HsPhase::Prepare, seq, digest, ctx);
-                self.arm_pacemaker(ctx);
+                self.on_proposal(view, seq, digest, batch.clone(), justify, ctx);
             }
             HsMsg::Vote {
                 phase,
@@ -688,7 +803,7 @@ pub fn run(scenario: &Scenario) -> RunOutcome {
     let store = scenario.key_store();
     let t5 = SimDuration(scenario.network.delta.0 * 4);
 
-    let mut sim = scenario.build_sim::<HsMsg>(n);
+    let mut sim = scenario.build_engine::<HsMsg>(n);
     for i in 0..n as u32 {
         sim.add_replica(
             i,

@@ -946,7 +946,7 @@ pub fn run(scenario: &Scenario, fanout: usize) -> RunOutcome {
     let view_timeout = SimDuration(scenario.network.delta.0 * 4);
     let agg_timeout = SimDuration(scenario.network.delta.0);
 
-    let mut sim = scenario.build_sim::<KauriMsg>(n);
+    let mut sim = scenario.build_engine::<KauriMsg>(n);
     for i in 0..n as u32 {
         sim.add_replica(
             i,

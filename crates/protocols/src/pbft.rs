@@ -1919,7 +1919,7 @@ pub fn run(scenario: &Scenario, options: &PbftOptions) -> RunOutcome {
     cfg.recovery_period = options.recovery_period;
     cfg.sabotage = options.sabotage;
 
-    let mut sim = scenario.build_sim::<PbftMsg>(n);
+    let mut sim = scenario.build_engine::<PbftMsg>(n);
     for i in 0..n as u32 {
         let behavior = options
             .behaviors
@@ -1957,7 +1957,7 @@ pub fn run_with_read_optimization(scenario: &Scenario, options: &PbftOptions) ->
     cfg.recovery_period = options.recovery_period;
     cfg.sabotage = options.sabotage;
 
-    let mut sim = scenario.build_sim::<PbftMsg>(n);
+    let mut sim = scenario.build_engine::<PbftMsg>(n);
     for i in 0..n as u32 {
         let behavior = options
             .behaviors

@@ -828,7 +828,7 @@ pub fn run(scenario: &Scenario, behaviors: &[(ReplicaId, PoeBehavior)]) -> RunOu
     let store = scenario.key_store();
     let view_timeout = SimDuration(scenario.network.delta.0 * 4);
 
-    let mut sim = scenario.build_sim::<PoeMsg>(n);
+    let mut sim = scenario.build_engine::<PoeMsg>(n);
     for i in 0..n as u32 {
         let behavior = behaviors
             .iter()

@@ -919,7 +919,7 @@ pub fn run(scenario: &Scenario, behaviors: &[(ReplicaId, PrimeBehavior)]) -> Run
     // traversals; triple that is the tolerance bound
     let order_bound = SimDuration(scenario.network.delta.0 * 2);
 
-    let mut sim = scenario.build_sim::<PrimeMsg>(n);
+    let mut sim = scenario.build_engine::<PrimeMsg>(n);
     for i in 0..n as u32 {
         let behavior = behaviors
             .iter()

@@ -481,7 +481,7 @@ pub fn run(scenario: &Scenario) -> RunOutcome {
     let q = QuorumRules { n, f: scenario.f };
     let store = scenario.key_store();
 
-    let mut sim = scenario.build_sim::<QuMsg>(n);
+    let mut sim = scenario.build_engine::<QuMsg>(n);
     for i in 0..n as u32 {
         sim.add_replica(i, Box::new(QuReplica::new(ReplicaId(i), store.clone())));
     }

@@ -131,7 +131,15 @@ impl ProtocolId {
         }
     }
 
-    /// Run this protocol with its default options.
+    /// Run this protocol with its default options — the canonical run
+    /// entry point: `run(&Scenario) -> RunOutcome`.
+    ///
+    /// Everything about the run comes from the scenario, including which
+    /// execution backend carries it ([`Scenario::engine`]:
+    /// deterministic simulation by default, or the real-time threaded
+    /// engine). Protocols with non-default options are run through
+    /// [`Protocol::run`], the single dispatch this delegates to; it shares
+    /// this exact signature.
     pub fn run(self, scenario: &Scenario) -> RunOutcome {
         Protocol::from(self).run(scenario)
     }
@@ -627,7 +635,9 @@ impl Protocol {
         }
     }
 
-    /// Run the protocol under a scenario.
+    /// Run the protocol under a scenario — the one dispatch behind the
+    /// canonical `run(&Scenario) -> RunOutcome` signature; use
+    /// [`ProtocolId::run`] unless non-default options are needed.
     pub fn run(&self, scenario: &Scenario) -> RunOutcome {
         match self {
             Protocol::Pbft(opts) => pbft::run(scenario, opts),
@@ -664,13 +674,6 @@ pub struct ProtocolEntry {
     pub byz_tolerance: ByzantineTolerance,
     /// Recovery-campaign tolerance envelope.
     pub rec_tolerance: RecoveryTolerance,
-}
-
-impl ProtocolEntry {
-    /// Run this entry's protocol with default options.
-    pub fn run(&self, scenario: &Scenario) -> RunOutcome {
-        self.id.run(scenario)
-    }
 }
 
 /// The full protocol registry: experiments, smoke tests and the chaos
@@ -726,7 +729,7 @@ mod tests {
             .requests(5)
             .build();
         for entry in registry() {
-            let out = entry.run(&scenario);
+            let out = entry.id.run(&scenario);
             SafetyAuditor::all_correct().assert_safe(&out.log);
             assert_eq!(
                 out.log.client_latencies().len(),

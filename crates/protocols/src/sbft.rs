@@ -1071,7 +1071,7 @@ pub fn run(scenario: &Scenario) -> RunOutcome {
     let view_timeout = SimDuration(scenario.network.delta.0 * 4);
     let t3 = SimDuration(scenario.network.delta.0 / 2);
 
-    let mut sim = scenario.build_sim::<SbftMsg>(n);
+    let mut sim = scenario.build_engine::<SbftMsg>(n);
     for i in 0..n as u32 {
         sim.add_replica(
             i,

@@ -85,6 +85,28 @@ impl WireSize for TmMsg {
     }
 }
 
+/// A buffered ahead-of-state message (signature already charged and the
+/// proposal digest already checked at arrival).
+enum PendingMsg {
+    Proposal {
+        from: ReplicaId,
+        round: u32,
+        digest: Digest,
+        batch: Vec<SignedRequest>,
+    },
+    Vote {
+        from: ReplicaId,
+        kind: VoteKind,
+        round: u32,
+        digest: Option<Digest>,
+    },
+}
+
+/// How far ahead of the local height buffered traffic is kept; anything
+/// further out is dropped (honest peers run at most one height ahead, so
+/// the window only needs to cover scheduling skew).
+const PENDING_HEIGHT_WINDOW: u64 = 8;
+
 /// A Tendermint replica.
 pub struct TendermintReplica {
     me: ReplicaId,
@@ -110,6 +132,13 @@ pub struct TendermintReplica {
     sm: StateMachine,
     /// Sent votes dedup: (kind, height, round).
     voted: BTreeMap<(VoteKind, SeqNum, u32), ()>,
+    /// Messages that arrived ahead of our state, keyed by height: the
+    /// informed-leader optimization lets a fast proposer ship height-h+1
+    /// traffic before a slow replica has decided h (a constant occurrence
+    /// on the real-time threaded engine), and a proposer that advanced
+    /// rounds faster can ship a future-round proposal. Replayed on
+    /// entering the height/round; bounded window against flooding.
+    pending: BTreeMap<SeqNum, Vec<PendingMsg>>,
     /// Decided this height already.
     decided: bool,
     /// Δ-wait timer before proposing (τ5).
@@ -148,6 +177,7 @@ impl TendermintReplica {
             executed_reqs: BTreeMap::new(),
             sm: StateMachine::new(),
             voted: BTreeMap::new(),
+            pending: BTreeMap::new(),
             decided: false,
             propose_timer: None,
             round_timer: None,
@@ -235,6 +265,18 @@ impl TendermintReplica {
         batch: Vec<SignedRequest>,
         ctx: &mut Context<'_, TmMsg>,
     ) {
+        if height > self.height || (height == self.height && round > self.round) {
+            self.buffer(
+                height,
+                PendingMsg::Proposal {
+                    from,
+                    round,
+                    digest,
+                    batch,
+                },
+            );
+            return;
+        }
         if height != self.height || round != self.round || self.decided {
             return;
         }
@@ -284,6 +326,18 @@ impl TendermintReplica {
         digest: Option<Digest>,
         ctx: &mut Context<'_, TmMsg>,
     ) {
+        if height > self.height {
+            self.buffer(
+                height,
+                PendingMsg::Vote {
+                    from,
+                    kind,
+                    round,
+                    digest,
+                },
+            );
+            return;
+        }
         if height != self.height {
             return;
         }
@@ -397,6 +451,7 @@ impl TendermintReplica {
         if !self.mempool.is_empty() {
             self.arm_round_timer(ctx);
         }
+        self.replay_pending(ctx);
     }
 
     fn next_round(&mut self, ctx: &mut Context<'_, TmMsg>) {
@@ -409,6 +464,48 @@ impl TendermintReplica {
         // previous height's precommits recently: apply the Δ-wait rule again
         self.schedule_propose(ctx);
         self.arm_round_timer(ctx);
+        self.replay_pending(ctx);
+    }
+
+    fn buffer(&mut self, height: SeqNum, msg: PendingMsg) {
+        if height.0 > self.height.0 + PENDING_HEIGHT_WINDOW {
+            return;
+        }
+        let slot = self.pending.entry(height).or_default();
+        // Per-height cap: honest traffic is one proposal plus two votes
+        // per replica per round; anything past a generous multiple is a
+        // flood, not a race.
+        if slot.len() < 8 * self.q.n {
+            slot.push(msg);
+        }
+    }
+
+    /// Re-deliver traffic buffered for the height/round we just entered.
+    /// Entries that are still ahead (a future round of this height) are
+    /// re-buffered by the handlers; entries now behind fall through the
+    /// handlers' staleness guards.
+    fn replay_pending(&mut self, ctx: &mut Context<'_, TmMsg>) {
+        let h = self.height;
+        self.pending.retain(|ph, _| *ph >= h);
+        let Some(msgs) = self.pending.remove(&h) else {
+            return;
+        };
+        for msg in msgs {
+            match msg {
+                PendingMsg::Proposal {
+                    from,
+                    round,
+                    digest,
+                    batch,
+                } => self.on_proposal(from, h, round, digest, batch, ctx),
+                PendingMsg::Vote {
+                    from,
+                    kind,
+                    round,
+                    digest,
+                } => self.record_vote(from, kind, h, round, digest, ctx),
+            }
+        }
     }
 
     fn arm_round_timer(&mut self, ctx: &mut Context<'_, TmMsg>) {
@@ -542,7 +639,7 @@ pub fn run(scenario: &Scenario, informed_leader_opt: bool) -> RunOutcome {
     let store = scenario.key_store();
     let delta = scenario.network.delta;
 
-    let mut sim = scenario.build_sim::<TmMsg>(n);
+    let mut sim = scenario.build_engine::<TmMsg>(n);
     for i in 0..n as u32 {
         sim.add_replica(
             i,

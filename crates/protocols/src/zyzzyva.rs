@@ -791,7 +791,7 @@ pub fn run(scenario: &Scenario, variant: ZyzzyvaVariant) -> RunOutcome {
     let store = scenario.key_store();
     let view_timeout = SimDuration(scenario.network.delta.0 * 4);
 
-    let mut sim = scenario.build_sim::<ZyzzyvaMsg>(n);
+    let mut sim = scenario.build_engine::<ZyzzyvaMsg>(n);
     for i in 0..n as u32 {
         sim.add_replica(
             i,

@@ -53,12 +53,14 @@ pub mod adversary;
 pub mod audit;
 pub mod campaign;
 pub mod checker;
+pub mod engine;
 pub mod event;
 pub mod faults;
 pub mod metrics;
 pub mod net;
 pub mod obs;
 pub mod runner;
+pub mod threaded;
 pub mod time;
 pub mod topology;
 
@@ -66,11 +68,13 @@ pub use adversary::{AdversaryError, AdversarySpec, Attack, AttackKind};
 pub use audit::SafetyAuditor;
 pub use campaign::{AdversaryBudget, CampaignViolation, ChaosCase, ChaosProfile, RecoveryBudget};
 pub use checker::{ExecutionSemantics, SemanticConfig, SemanticViolation};
+pub use engine::{Engine, EngineKind};
 pub use event::{CalendarQueue, NodeId, SchedulerKind};
 pub use faults::{FaultEvent, FaultPlan, FaultPlanError, RestartMode};
 pub use metrics::{LatencyStats, Metrics, NodeCounters};
 pub use net::{Delivery, NetworkConfig, NetworkModel};
 pub use obs::{Observation, ObservationLog, Stage};
-pub use runner::{Actor, Context, Simulation, TimerId};
+pub use runner::{Actor, Context, RunOutcome, Simulation, TimerId};
+pub use threaded::ThreadedEngine;
 pub use time::{SimDuration, SimTime};
 pub use topology::Topology;

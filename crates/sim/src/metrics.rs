@@ -78,13 +78,21 @@ pub struct Metrics {
     pub rec_retries: u64,
     /// Catch-up rounds started by rejoining replicas.
     pub rec_catchup_events: u64,
+    /// Wall-clock duration of the run in nanoseconds. Zero on the sim
+    /// engine (virtual time only) — and, like the recovery counters,
+    /// skipped when zero so sim-engine output keeps its exact format.
+    pub wall_elapsed_ns: u64,
+    /// OS threads the threaded engine ran (replicas + clients). Zero on
+    /// the sim engine; skipped when zero.
+    pub wall_threads: u64,
 }
 
-// Hand-written so the recovery counters are *omitted when zero*: the
-// vendored serde derive has no `skip_serializing_if`, and recovery-free
-// runs must keep serializing byte-identically to the pre-recovery format
-// (the determinism suite compares whole-run JSON across builds). Field
-// order matches the struct declaration, exactly as the derive emitted it.
+// Hand-written so the recovery counters and wall-clock fields are *omitted
+// when zero*: the vendored serde derive has no `skip_serializing_if`, and
+// recovery-free sim runs must keep serializing byte-identically to the
+// pre-recovery format (the determinism suite compares whole-run JSON across
+// builds). Field order matches the struct declaration, exactly as the
+// derive emitted it.
 impl Serialize for Metrics {
     fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
         use serde::ser::SerializeStruct;
@@ -93,6 +101,8 @@ impl Serialize for Metrics {
             ("rec_state_transfers", self.rec_state_transfers),
             ("rec_retries", self.rec_retries),
             ("rec_catchup_events", self.rec_catchup_events),
+            ("wall_elapsed_ns", self.wall_elapsed_ns),
+            ("wall_threads", self.wall_threads),
         ];
         let len = 12 + rec.iter().filter(|(_, v)| *v != 0).count();
         let mut s = serializer.serialize_struct("Metrics", len)?;

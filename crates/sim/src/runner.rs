@@ -64,15 +64,17 @@ impl TimerId {
 /// Slot arena tracking which timers are still live. Every `set_timer`
 /// enqueues exactly one `Timer` event, so each allocated slot is released
 /// when that event pops (fired or skipped) and can be reused with a bumped
-/// generation; stale `TimerId`s then no longer match.
+/// generation; stale `TimerId`s then no longer match. Shared with the
+/// threaded engine, whose per-thread timer heaps have the same
+/// one-event-per-slot discipline.
 #[derive(Debug, Default)]
-struct TimerArena {
+pub(crate) struct TimerArena {
     generations: Vec<u32>,
     free: Vec<u32>,
 }
 
 impl TimerArena {
-    fn alloc(&mut self) -> TimerId {
+    pub(crate) fn alloc(&mut self) -> TimerId {
         let slot = self.free.pop().unwrap_or_else(|| {
             self.generations.push(0);
             (self.generations.len() - 1) as u32
@@ -81,7 +83,7 @@ impl TimerArena {
     }
 
     /// Invalidate a pending timer; no-op if it already fired.
-    fn cancel(&mut self, id: TimerId) {
+    pub(crate) fn cancel(&mut self, id: TimerId) {
         let slot = id.slot() as usize;
         if self.generations.get(slot) == Some(&id.generation()) {
             self.generations[slot] = id.generation().wrapping_add(1);
@@ -90,7 +92,7 @@ impl TimerArena {
 
     /// The timer's queue event popped: release the slot and report whether
     /// the timer was still live (i.e. not cancelled).
-    fn fire(&mut self, id: TimerId) -> bool {
+    pub(crate) fn fire(&mut self, id: TimerId) -> bool {
         let slot = id.slot() as usize;
         let live = self.generations.get(slot) == Some(&id.generation());
         if let Some(g) = self.generations.get_mut(slot) {
@@ -318,8 +320,25 @@ impl<M: WireSize + Serialize> SimState<M> {
 
 /// The interface through which an actor interacts with the world while
 /// handling an event.
+///
+/// Engine-agnostic: the same surface is backed either by the deterministic
+/// simulation (virtual time, pooled `Rc` envelopes, adversary interception)
+/// or by the real-time threaded engine (monotonic clocks, channels,
+/// per-thread RNG). Protocol actors never learn which engine carries their
+/// messages — that is the API boundary the second backend plugs into.
 pub struct Context<'a, M> {
     node: NodeId,
+    inner: CtxInner<'a, M>,
+}
+
+enum CtxInner<'a, M> {
+    Sim(SimCtx<'a, M>),
+    Threaded(&'a mut crate::threaded::ThreadCtx<M>),
+}
+
+/// Simulation-side context: the event's processing window over the shared
+/// simulation state.
+struct SimCtx<'a, M> {
     /// Time at which processing of this event started.
     base: SimTime,
     /// Virtual CPU time charged so far during this handler.
@@ -331,57 +350,184 @@ pub struct Context<'a, M> {
 }
 
 impl<'a, M: WireSize + Serialize> Context<'a, M> {
+    /// Build a context over the threaded engine's per-node state (the sim
+    /// variant is built privately by `Simulation::with_actor`).
+    pub(crate) fn for_threaded(node: NodeId, t: &'a mut crate::threaded::ThreadCtx<M>) -> Self {
+        Context {
+            node,
+            inner: CtxInner::Threaded(t),
+        }
+    }
+
     /// This node's identity.
     pub fn me(&self) -> NodeId {
         self.node
     }
 
-    /// Current virtual time: processing start plus CPU charged so far.
+    /// Current time: virtual (processing start plus CPU charged so far) on
+    /// the sim engine, monotonic wall clock on the threaded engine.
     pub fn now(&self) -> SimTime {
-        self.base + self.charged
+        match &self.inner {
+            CtxInner::Sim(s) => s.now(),
+            CtxInner::Threaded(t) => t.now(),
+        }
     }
 
     /// The network's synchrony bound Δ (protocols derive timeouts from it).
     pub fn delta(&self) -> SimDuration {
-        self.state.network.config.delta
+        match &self.inner {
+            CtxInner::Sim(s) => s.state.network.config.delta,
+            CtxInner::Threaded(t) => t.delta(),
+        }
     }
 
-    /// Deterministic RNG for protocol-level randomness.
+    /// Seeded RNG for protocol-level randomness: the shared simulation
+    /// stream, or this thread's private stream on the threaded engine.
     pub fn rng(&mut self) -> &mut ChaCha8Rng {
-        &mut self.state.rng
+        match &mut self.inner {
+            CtxInner::Sim(s) => &mut s.state.rng,
+            CtxInner::Threaded(t) => t.rng(),
+        }
     }
 
-    /// Charge virtual CPU time: delays this node's subsequent sends and its
-    /// availability for the next event. The charge accumulates locally and
-    /// is flushed to the metrics once per handler.
+    /// Charge CPU time. On the sim engine this is the virtual single-core
+    /// model: it delays this node's subsequent sends and its availability
+    /// for the next event. On the threaded engine real time passes on a
+    /// real core, so the charge is accounting only.
     pub fn charge(&mut self, d: SimDuration) {
-        self.charged += d;
-        self.charged_any = true;
+        match &mut self.inner {
+            CtxInner::Sim(s) => {
+                s.charged += d;
+                s.charged_any = true;
+            }
+            CtxInner::Threaded(t) => t.charge(d),
+        }
     }
 
     /// Charge one cryptographic operation at the configured cost model
     /// (a dense-table lookup, no match).
     pub fn charge_crypto(&mut self, op: CryptoOp) {
-        self.charge(SimDuration(self.state.cost_table.cost_ns(op)));
+        let cost = match &self.inner {
+            CtxInner::Sim(s) => s.state.cost_table.cost_ns(op),
+            CtxInner::Threaded(t) => t.cost_ns(op),
+        };
+        self.charge(SimDuration(cost));
     }
 
     /// Charge `count` cryptographic operations.
     pub fn charge_crypto_n(&mut self, op: CryptoOp, count: usize) {
-        self.charge(SimDuration(
-            self.state
-                .cost_table
-                .cost_ns(op)
-                .saturating_mul(count as u64),
-        ));
+        let cost = match &self.inner {
+            CtxInner::Sim(s) => s.state.cost_table.cost_ns(op),
+            CtxInner::Threaded(t) => t.cost_ns(op),
+        };
+        self.charge(SimDuration(cost.saturating_mul(count as u64)));
     }
 
     /// Send a message. Applies topology constraints (replica↔replica links
-    /// only), samples network delay, and records metrics. The envelope
-    /// allocation is drawn from the simulation's recycle pool.
+    /// only), routes through the engine's transport, and records metrics.
     pub fn send(&mut self, to: NodeId, msg: M) {
+        let node = self.node;
+        match &mut self.inner {
+            CtxInner::Sim(s) => s.send(node, to, msg),
+            CtxInner::Threaded(t) => t.send(to, msg),
+        }
+    }
+
+    /// Send the same message to many nodes. The payload is allocated once
+    /// and shared across all receivers (wire bytes are still charged per
+    /// receiver).
+    pub fn multicast(&mut self, to: impl IntoIterator<Item = NodeId>, msg: M) {
+        let node = self.node;
+        match &mut self.inner {
+            CtxInner::Sim(s) => s.multicast(node, to, msg),
+            CtxInner::Threaded(t) => t.multicast(to, msg),
+        }
+    }
+
+    /// Send to every replica in `0..n` except self, sharing one payload
+    /// allocation across all n−1 receivers.
+    pub fn broadcast_replicas(&mut self, msg: M) {
+        let n = self.n_replicas();
+        let me = self.node;
+        self.multicast((0..n as u32).map(NodeId::replica).filter(|r| *r != me), msg);
+    }
+
+    /// Number of replicas in the run.
+    pub fn n_replicas(&self) -> usize {
+        match &self.inner {
+            CtxInner::Sim(s) => s.state.n_replicas,
+            CtxInner::Threaded(t) => t.n_replicas(),
+        }
+    }
+
+    /// Set a timer of the given kind; fires after `delay` unless cancelled.
+    pub fn set_timer(&mut self, kind: TimerKind, delay: SimDuration) -> TimerId {
+        let node = self.node;
+        match &mut self.inner {
+            CtxInner::Sim(s) => s.set_timer(node, kind, delay),
+            CtxInner::Threaded(t) => t.set_timer(kind, delay),
+        }
+    }
+
+    /// Cancel a pending timer (no-op if it already fired).
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        match &mut self.inner {
+            CtxInner::Sim(s) => s.state.timers.cancel(id),
+            CtxInner::Threaded(t) => t.cancel_timer(id),
+        }
+    }
+
+    /// Record an observation in the audit log.
+    pub fn observe(&mut self, obs: Observation) {
+        let node = self.node;
+        match &mut self.inner {
+            CtxInner::Sim(s) => {
+                let now = s.now();
+                s.state.log.push(now, node, obs);
+            }
+            CtxInner::Threaded(t) => t.observe(obs),
+        }
+    }
+
+    /// Count one completed state transfer (a snapshot installed from a
+    /// peer during catch-up).
+    pub fn count_state_transfer(&mut self) {
+        match &mut self.inner {
+            CtxInner::Sim(s) => s.state.metrics.rec_state_transfers += 1,
+            CtxInner::Threaded(t) => t.count_state_transfer(),
+        }
+    }
+
+    /// Count one catch-up retry (a state request re-sent after a timeout).
+    pub fn count_catchup_retry(&mut self) {
+        match &mut self.inner {
+            CtxInner::Sim(s) => s.state.metrics.rec_retries += 1,
+            CtxInner::Threaded(t) => t.count_catchup_retry(),
+        }
+    }
+
+    /// Count one catch-up round starting (a rejoining replica soliciting
+    /// state from its peers).
+    pub fn count_catchup_event(&mut self) {
+        match &mut self.inner {
+            CtxInner::Sim(s) => s.state.metrics.rec_catchup_events += 1,
+            CtxInner::Threaded(t) => t.count_catchup_event(),
+        }
+    }
+}
+
+impl<'a, M: WireSize + Serialize> SimCtx<'a, M> {
+    /// Current virtual time: processing start plus CPU charged so far.
+    fn now(&self) -> SimTime {
+        self.base + self.charged
+    }
+
+    /// Send a message. The envelope allocation is drawn from the
+    /// simulation's recycle pool.
+    fn send(&mut self, node: NodeId, to: NodeId, msg: M) {
         let msg = self.state.alloc_envelope(msg);
-        self.send_shared(to, &msg);
-        self.capture_payload(&msg);
+        self.send_shared(node, to, &msg);
+        self.capture_payload(node, &msg);
         self.state.recycle_envelope(msg);
     }
 
@@ -389,10 +535,10 @@ impl<'a, M: WireSize + Serialize> Context<'a, M> {
     /// deep copy. Wire bytes and per-node counters are still charged per
     /// receiver. Envelopes leaving a compromised sender pass through its
     /// adversary attack stack first.
-    fn send_shared(&mut self, to: NodeId, msg: &Rc<M>) {
+    fn send_shared(&mut self, node: NodeId, to: NodeId, msg: &Rc<M>) {
         // Overlay enforcement: only replica-to-replica links are constrained.
         if let (Some(topo), NodeId::Replica(f), NodeId::Replica(t)) =
-            (&self.state.topology, self.node, to)
+            (&self.state.topology, node, to)
         {
             if f != t && !topo.allows(self.state.n_replicas, f, t) {
                 self.state.metrics.topology_blocked += 1;
@@ -401,25 +547,25 @@ impl<'a, M: WireSize + Serialize> Context<'a, M> {
         }
         let sent_at = self.now();
         if self.state.adversaries_active {
-            if let NodeId::Replica(r) = self.node {
+            if let NodeId::Replica(r) = node {
                 if self.state.adversaries.contains_key(&r.0) {
-                    self.state.adversary_send(sent_at, self.node, to, msg);
+                    self.state.adversary_send(sent_at, node, to, msg);
                     return;
                 }
             }
         }
         self.state
-            .enqueue_send(sent_at, self.node, to, msg, None, SimDuration::ZERO);
+            .enqueue_send(sent_at, node, to, msg, None, SimDuration::ZERO);
     }
 
     /// Deliver an attack payload (an equivocation substitute) in place of
     /// genuine traffic. It carries a *valid* wire tag — the compromised
     /// node genuinely authored the payload — and bypasses the rest of the
     /// attack stack.
-    fn send_substitute(&mut self, to: NodeId, payload: &Rc<M>) {
+    fn send_substitute(&mut self, node: NodeId, to: NodeId, payload: &Rc<M>) {
         // Topology still applies: a compromised node cannot invent links.
         if let (Some(topo), NodeId::Replica(f), NodeId::Replica(t)) =
-            (&self.state.topology, self.node, to)
+            (&self.state.topology, node, to)
         {
             if f != t && !topo.allows(self.state.n_replicas, f, t) {
                 self.state.metrics.topology_blocked += 1;
@@ -427,25 +573,19 @@ impl<'a, M: WireSize + Serialize> Context<'a, M> {
             }
         }
         let sent_at = self.now();
-        let tag = self.state.wire_auth.tag(self.node, to, &**payload);
-        self.state.enqueue_send(
-            sent_at,
-            self.node,
-            to,
-            payload,
-            Some(tag),
-            SimDuration::ZERO,
-        );
+        let tag = self.state.wire_auth.tag(node, to, &**payload);
+        self.state
+            .enqueue_send(sent_at, node, to, payload, Some(tag), SimDuration::ZERO);
     }
 
     /// Record an authored payload in the sender's capture buffer — the
     /// replay/equivocation material of a compromised node. No-op (one
     /// branch) for honest senders and adversary-free runs.
-    fn capture_payload(&mut self, msg: &Rc<M>) {
+    fn capture_payload(&mut self, node: NodeId, msg: &Rc<M>) {
         if !self.state.adversaries_active {
             return;
         }
-        let NodeId::Replica(r) = self.node else {
+        let NodeId::Replica(r) = node else {
             return;
         };
         if let Some(adv) = self.state.adversaries.get_mut(&r.0) {
@@ -456,23 +596,21 @@ impl<'a, M: WireSize + Serialize> Context<'a, M> {
         }
     }
 
-    /// Send the same message to many nodes. The payload is allocated once
-    /// and shared via `Rc` across all receivers (wire bytes are still
-    /// charged per receiver).
-    pub fn multicast(&mut self, to: impl IntoIterator<Item = NodeId>, msg: M) {
+    /// Send the same message to many nodes via shared `Rc` envelopes.
+    fn multicast(&mut self, node: NodeId, to: impl IntoIterator<Item = NodeId>, msg: M) {
         let msg = self.state.alloc_envelope(msg);
         if self.state.adversaries_active {
-            if let NodeId::Replica(r) = self.node {
+            if let NodeId::Replica(r) = node {
                 if self.state.adversaries.contains_key(&r.0) {
                     let recipients: Vec<NodeId> = to.into_iter().collect();
-                    self.adversary_multicast(&recipients, &msg);
-                    self.capture_payload(&msg);
+                    self.adversary_multicast(node, &recipients, &msg);
+                    self.capture_payload(node, &msg);
                     return;
                 }
             }
         }
-        for node in to {
-            self.send_shared(node, &msg);
+        for peer in to {
+            self.send_shared(node, peer, &msg);
         }
         self.state.recycle_envelope(msg);
     }
@@ -481,8 +619,8 @@ impl<'a, M: WireSize + Serialize> Context<'a, M> {
     /// the recipients into disjoint sets — a random prefix receives the
     /// genuine payload, the rest a stale substitute from the capture
     /// buffer (or silence when nothing has been captured yet).
-    fn adversary_multicast(&mut self, recipients: &[NodeId], msg: &Rc<M>) {
-        let NodeId::Replica(me) = self.node else {
+    fn adversary_multicast(&mut self, node: NodeId, recipients: &[NodeId], msg: &Rc<M>) {
+        let NodeId::Replica(me) = node else {
             return;
         };
         let mut split: Option<usize> = None;
@@ -508,17 +646,17 @@ impl<'a, M: WireSize + Serialize> Context<'a, M> {
         }
         match split {
             None => {
-                for node in recipients {
-                    self.send_shared(*node, msg);
+                for peer in recipients {
+                    self.send_shared(node, *peer, msg);
                 }
             }
             Some(k) => {
                 self.state.metrics.adv_equivocated += 1;
-                for (i, node) in recipients.iter().enumerate() {
+                for (i, peer) in recipients.iter().enumerate() {
                     if i < k {
-                        self.send_shared(*node, msg);
+                        self.send_shared(node, *peer, msg);
                     } else if let Some(stale) = &stale {
-                        self.send_substitute(*node, stale);
+                        self.send_substitute(node, *peer, stale);
                     } else {
                         self.state.metrics.adv_censored += 1;
                     }
@@ -527,54 +665,12 @@ impl<'a, M: WireSize + Serialize> Context<'a, M> {
         }
     }
 
-    /// Send to every replica in `0..n` except self, sharing one payload
-    /// allocation across all n−1 receivers.
-    pub fn broadcast_replicas(&mut self, msg: M) {
-        let n = self.state.n_replicas;
-        let me = self.node;
-        self.multicast((0..n as u32).map(NodeId::replica).filter(|r| *r != me), msg);
-    }
-
-    /// Number of replicas in the simulation.
-    pub fn n_replicas(&self) -> usize {
-        self.state.n_replicas
-    }
-
-    /// Set a timer of the given kind; fires after `delay` unless cancelled.
-    pub fn set_timer(&mut self, kind: TimerKind, delay: SimDuration) -> TimerId {
+    /// Set a timer: allocate an arena slot and enqueue its single event.
+    fn set_timer(&mut self, node: NodeId, kind: TimerKind, delay: SimDuration) -> TimerId {
         let id = self.state.timers.alloc();
         let at = self.now() + delay;
-        self.state
-            .push(at, self.node, EventKind::Timer { id, kind });
+        self.state.push(at, node, EventKind::Timer { id, kind });
         id
-    }
-
-    /// Cancel a pending timer (no-op if it already fired).
-    pub fn cancel_timer(&mut self, id: TimerId) {
-        self.state.timers.cancel(id);
-    }
-
-    /// Record an observation in the audit log.
-    pub fn observe(&mut self, obs: Observation) {
-        let now = self.now();
-        self.state.log.push(now, self.node, obs);
-    }
-
-    /// Count one completed state transfer (a snapshot installed from a
-    /// peer during catch-up).
-    pub fn count_state_transfer(&mut self) {
-        self.state.metrics.rec_state_transfers += 1;
-    }
-
-    /// Count one catch-up retry (a state request re-sent after a timeout).
-    pub fn count_catchup_retry(&mut self) {
-        self.state.metrics.rec_retries += 1;
-    }
-
-    /// Count one catch-up round starting (a rejoining replica soliciting
-    /// state from its peers).
-    pub fn count_catchup_event(&mut self) {
-        self.state.metrics.rec_catchup_events += 1;
     }
 }
 
@@ -943,14 +1039,19 @@ impl<M: WireSize + Serialize + 'static> Simulation<M> {
         let start = arrival.max(slot.busy_until);
         let mut ctx = Context {
             node,
-            base: start,
-            charged: SimDuration::ZERO,
-            charged_any: false,
-            state: &mut self.state,
+            inner: CtxInner::Sim(SimCtx {
+                base: start,
+                charged: SimDuration::ZERO,
+                charged_any: false,
+                state: &mut self.state,
+            }),
         };
         f(actor, &mut ctx);
-        let charged = ctx.charged;
-        let charged_any = ctx.charged_any;
+        let CtxInner::Sim(sim_ctx) = ctx.inner else {
+            unreachable!("with_actor builds a sim context");
+        };
+        let charged = sim_ctx.charged;
+        let charged_any = sim_ctx.charged_any;
         slot.busy_until = start + charged;
         // Flush the handler's batched accounting: at most one counter
         // access per event instead of one per charge / send / delivery.

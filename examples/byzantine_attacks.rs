@@ -119,9 +119,7 @@ fn main() {
     .run(&base);
     let pr = Protocol::Prime(vec![(ReplicaId(0), prime::PrimeBehavior::DelayLeader(d))]).run(&base);
     SafetyAuditor::excluding(vec![NodeId::replica(0)]).assert_safe(&pr.log);
-    let tput = |o: &untrusted_txn::sim::runner::RunOutcome| {
-        o.log.client_latencies().len() as f64 / (o.end_time.0 as f64 / 1e9)
-    };
+    let tput = |o: &RunOutcome| o.log.client_latencies().len() as f64 / (o.end_time.0 as f64 / 1e9);
     println!(
         "   PBFT under attack:  {:>7.1} req/s (the attack works)",
         tput(&pb)

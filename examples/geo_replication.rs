@@ -13,7 +13,6 @@
 //! ```
 
 use untrusted_txn::prelude::*;
-use untrusted_txn::sim::runner::RunOutcome;
 
 fn mean_ms(out: &RunOutcome) -> f64 {
     let l = out.log.client_latencies();

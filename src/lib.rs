@@ -63,8 +63,8 @@ pub mod prelude {
     };
     pub use bft_protocols::{Scenario, ScenarioBuilder};
     pub use bft_sim::{
-        AdversarySpec, Attack, AttackKind, FaultPlan, NetworkConfig, NodeId, Observation,
-        SafetyAuditor, SimDuration, SimTime,
+        AdversarySpec, Attack, AttackKind, EngineKind, FaultPlan, NetworkConfig, NodeId,
+        Observation, RunOutcome, SafetyAuditor, SimDuration, SimTime,
     };
     pub use bft_types::{ClientId, QuorumRules, ReplicaId, SeqNum, View};
 }

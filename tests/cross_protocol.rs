@@ -3,7 +3,7 @@
 //! must be deterministic under a fixed seed and sensitive to seed changes.
 
 use untrusted_txn::prelude::*;
-use untrusted_txn::sim::runner::RunOutcome;
+
 use untrusted_txn::types::Digest;
 
 /// The state digest after the last execution on a given replica.

@@ -3,7 +3,6 @@
 //! replicas diverge and (b) complete the whole workload.
 
 use untrusted_txn::prelude::*;
-use untrusted_txn::sim::runner::RunOutcome;
 
 const REQS: u64 = 15;
 
